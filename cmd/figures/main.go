@@ -1,0 +1,71 @@
+// Command figures regenerates Figure 1 of the paper (and the Section 5.3
+// plane) by classifying the (l,k)-freedom lattice against running
+// implementations and adversaries.
+//
+// Usage:
+//
+//	figures [-n 4] [-panel a|b|s|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 4, "plane bound (number of processes axis)")
+	panel := flag.String("panel", "all", "panel to print: a, b, s, or all")
+	flag.Parse()
+
+	if *n < 2 || *n > 8 {
+		return fmt.Errorf("n must be in [2,8], got %d", *n)
+	}
+
+	printPanel := func(name string, pc *core.PlaneClassification) {
+		fmt.Printf("=== Figure 1(%s) ===\n%s", name, pc.Render())
+		if s, ok := pc.StrongestImplementable(); ok {
+			fmt.Printf("strongest (l,k)-freedom that does not exclude S: %v\n", s)
+		} else {
+			fmt.Printf("strongest implementable: none (maximal whites %v)\n", pc.MaximalWhites())
+		}
+		if w, ok := pc.WeakestNonImplementable(); ok {
+			fmt.Printf("weakest (l,k)-freedom that excludes S:          %v\n", w)
+		} else {
+			fmt.Printf("weakest non-implementable: none (minimal blacks %v)\n", pc.MinimalBlacks())
+		}
+		fmt.Println()
+	}
+
+	if *panel == "a" || *panel == "all" {
+		pc, err := core.Figure1a(*n)
+		if err != nil {
+			return err
+		}
+		printPanel("a", pc)
+	}
+	if *panel == "b" || *panel == "all" {
+		printPanel("b", core.Figure1b(*n))
+	}
+	if *panel == "s" || *panel == "all" {
+		pc := core.Section53Plane(*n)
+		fmt.Printf("=== Section 5.3 counterexample ===\n%s", pc.Render())
+		fmt.Printf("maximal whites: %v\n", pc.MaximalWhites())
+		fmt.Printf("minimal blacks: %v — ", pc.MinimalBlacks())
+		if _, ok := pc.WeakestNonImplementable(); !ok {
+			fmt.Println("incomparable, so no weakest (l,k)-freedom excludes S")
+		} else {
+			fmt.Println("unexpected unique weakest")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Command slx (Safety-Liveness eXclusion) runs the individual experiments
+// of the reproduction.
+//
+// Usage:
+//
+//	slx bivalence [-steps 140]           FLP/CIL adversary vs register consensus
+//	slx tmstarve  [-impl i12] [-steps 600]  Section 4.1 TM adversary
+//	slx s3        [-steps 900]           Section 5.3 three-process adversary
+//	slx gmax                             Corollaries 4.5 / 4.6 (G_max = ∅)
+//	slx theorem44                        Theorem 4.4 on finite models
+//	slx theorem49                        Theorem 4.9 over I_t / I_b automata
+//	slx explore   [-target consensus] [-depth 12]  exhaustive safety check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slx:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: slx <bivalence|tmstarve|s3|gmax|theorem44|theorem49|explore> [flags]")
+	}
+	switch args[0] {
+	case "bivalence":
+		return cmdBivalence(args[1:])
+	case "tmstarve":
+		return cmdTMStarve(args[1:])
+	case "s3":
+		return cmdS3(args[1:])
+	case "gmax":
+		return cmdGmax()
+	case "theorem44":
+		return cmdTheorem44()
+	case "theorem49":
+		return cmdTheorem49()
+	case "explore":
+		return cmdExplore(args[1:])
+	case "report":
+		return cmdReport()
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdBivalence(args []string) error {
+	fs := flag.NewFlagSet("bivalence", flag.ContinueOnError)
+	steps := fs.Int("steps", 140, "length of the fair non-deciding schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	adv := &adversary.Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        0,
+		V2:        1,
+	}
+	res, err := adv.Run(*steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("constructed a fair %d-step schedule with %d solo probes\n", len(res.Schedule), res.Probes)
+	fmt.Printf("steps: p1=%d p2=%d\n", res.Run.StepsBy[1], res.Run.StepsBy[2])
+	fmt.Printf("external history: %s\n", res.Run.H)
+	e := liveness.FromResult(res.Run, 0)
+	fmt.Printf("(1,2)-freedom holds: %v (expected false)\n", (liveness.LK{L: 1, K: 2}).Holds(e))
+	fmt.Printf("(1,1)-freedom holds: %v (vacuously true)\n", (liveness.LK{L: 1, K: 1}).Holds(e))
+	fmt.Printf("agreement+validity holds: %v\n", (safety.AgreementValidity{}).Holds(res.Run.H))
+	return nil
+}
+
+func cmdTMStarve(args []string) error {
+	fs := flag.NewFlagSet("tmstarve", flag.ContinueOnError)
+	impl := fs.String("impl", "i12", "TM implementation: i12 or globalcas")
+	steps := fs.Int("steps", 600, "step budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var obj sim.Object
+	switch *impl {
+	case "i12":
+		obj = tm.NewI12(2)
+	case "globalcas":
+		obj = tm.NewGlobalCAS(2)
+	default:
+		return fmt.Errorf("unknown impl %q", *impl)
+	}
+	adv := adversary.NewTMStarve(1, 2)
+	res := adv.Attack(obj, 2, *steps)
+	if res.Err != nil {
+		return res.Err
+	}
+	commits := map[int]int{}
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse && e.Val == history.Commit {
+			commits[e.Proc]++
+		}
+	}
+	fmt.Printf("starvation cycles completed: %d\n", adv.Loops())
+	fmt.Printf("victim committed: %v; commits per process: p1=%d p2=%d\n",
+		adv.VictimCommitted(), commits[1], commits[2])
+	e := liveness.FromResult(res, 0)
+	fmt.Printf("local progress holds: %v (expected false)\n", (liveness.LocalProgress{}).Holds(e))
+	fmt.Printf("(2,2)-freedom holds: %v (expected false)\n",
+		(liveness.LK{L: 2, K: 2, Good: liveness.TMGood()}).Holds(e))
+	fmt.Printf("opacity holds: %v (the adversary wins on liveness, not safety)\n", safety.Opaque(res.H))
+	return nil
+}
+
+func cmdS3(args []string) error {
+	fs := flag.NewFlagSet("s3", flag.ContinueOnError)
+	steps := fs.Int("steps", 900, "step budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	adv := adversary.NewS3(3)
+	res := adv.Attack(tm.NewI12(3), *steps)
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("all-aborted rounds: %d; anyone committed: %v\n", adv.Rounds(), adv.Committed())
+	e := liveness.FromResult(res, 0)
+	fmt.Printf("(1,3)-freedom holds: %v (expected false)\n",
+		(liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e))
+	fmt.Printf("property S holds: %v\n", (safety.PropertyS{}).Holds(res.H))
+	return nil
+}
+
+func cmdGmax() error {
+	f1 := core.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
+	f2 := core.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
+	fmt.Printf("consensus: |F1|=%d |F2|=%d |F1∩F2|=%d → G_max empty: %v (Corollary 4.5)\n",
+		f1.Len(), f2.Len(), core.Intersect(f1, f2).Len(), core.Gmax(f1, f2).Empty())
+
+	a1 := adversary.NewTMStarve(1, 2)
+	h1 := a1.Attack(tm.NewI12(2), 2, 200).H
+	a2 := adversary.NewTMStarve(2, 1)
+	h2 := a2.Attack(tm.NewI12(2), 2, 200).H
+	g := core.Gmax(core.NewHistorySet("TM-F1", h1), core.NewHistorySet("TM-F2", h2))
+	fmt.Printf("TM: first events %s vs %s → G_max empty: %v (Corollary 4.6)\n",
+		h1[0], h2[0], g.Empty())
+	return nil
+}
+
+func cmdTheorem44() error {
+	for _, tc := range []struct {
+		name string
+		m    *core.FiniteModel
+	}{
+		{"model with weakest", core.ModelWithWeakest()},
+		{"model without weakest (corollary shape)", core.ModelWithoutWeakest()},
+	} {
+		r, err := tc.m.CheckTheorem44()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: weakest exists=%v, Gmax∈F(Lmax)=%v, theorem agrees=%v\n",
+			tc.name, r.WeakestExists, r.GmaxIsAdversary, r.Agrees)
+	}
+	return nil
+}
+
+func cmdTheorem49() error {
+	r, err := core.CheckTheorem49(5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+	fmt.Printf("all proof steps verified: %v\n", r.Holds())
+	return nil
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	target := fs.String("target", "consensus", "consensus, i12, or globalcas")
+	depth := fs.Int("depth", 12, "schedule depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := explore.Config{Procs: 2, Depth: *depth}
+	switch *target {
+	case "consensus":
+		prop := safety.AgreementValidity{}
+		cfg.NewObject = func() sim.Object { return consensus.NewCommitAdoptOF(2) }
+		cfg.NewEnv = func() sim.Environment {
+			return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
+		}
+		cfg.Check = explore.CheckSafety("agreement+validity", prop.Holds)
+	case "i12", "globalcas":
+		tpl := map[int]tm.Txn{
+			1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+			2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
+		}
+		cfg.NewEnv = func() sim.Environment { return tm.TxnLoop(tpl) }
+		if *target == "i12" {
+			propS := safety.PropertyS{}
+			cfg.NewObject = func() sim.Object { return tm.NewI12(2) }
+			cfg.Check = explore.CheckSafety("opacity+S", propS.Holds)
+		} else {
+			cfg.NewObject = func() sim.Object { return tm.NewGlobalCAS(2) }
+			cfg.Check = explore.CheckSafety("opacity", safety.Opaque)
+		}
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+	st, err := explore.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("violation found: %w (witness %v)", err, st.Witness)
+	}
+	fmt.Printf("explored %d schedule prefixes (%d simulator steps): no violation up to depth %d\n",
+		st.Prefixes, st.Steps, *depth)
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package repro is a from-scratch Go reproduction of "Safety-Liveness
+// Exclusion in Distributed Computing" (Bushkov & Guerraoui, PODC 2015).
+//
+// The repository mechanizes the paper's framework — histories, I/O
+// automata, safety and liveness properties, adversary sets, the
+// (l,k)-freedom lattice — and executes every argument of the paper against
+// real implementations running on a deterministic shared-memory simulator:
+//
+//   - internal/history, internal/automata: the formal substrate of
+//     Section 2 (events, histories, h|p_i projections, I/O automata with
+//     the paper's composition and fairness).
+//   - internal/base, internal/sim: atomic base objects and the
+//     scheduler-driven asynchronous shared-memory system; the scheduler is
+//     the paper's adversarial external scheduler.
+//   - internal/safety, internal/liveness: linearizability, consensus
+//     agreement+validity, TM opacity, strict serializability and the
+//     Section 5.3 property S; wait/lock/obstruction-freedom, local
+//     progress and the (l,k)-freedom family of Definition 5.1.
+//   - internal/consensus, internal/tm: commit-adopt obstruction-free
+//     consensus from registers, CAS-based wait-free consensus, the paper's
+//     Algorithm 1 (I(1,2)) and the AGP-style global-CAS TM.
+//   - internal/adversary: the bivalence adversary, the TM starvation
+//     strategy of Section 4.1, the Section 5.3 three-process adversary and
+//     the swapped adversary sets F1/F2.
+//   - internal/core: the exclusion engine — plane classification (Figure
+//     1), G_max and Theorem 4.4 (verified by brute force on finite
+//     models), and Theorem 4.9 over the trivial implementations.
+//   - internal/explore: exhaustive bounded model checking of the positive
+//     (implementability) claims.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// every figure and theorem of the paper's evaluation; cmd/figures prints
+// Figure 1.
+package repro

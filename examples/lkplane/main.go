@@ -1,0 +1,44 @@
+// Lkplane: classify the whole (l,k)-freedom lattice against consensus
+// safety, TM opacity and the Section 5.3 property S, reproducing both
+// panels of the paper's Figure 1 plus the counterexample plane.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lkplane:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 4
+
+	pa, err := core.Figure1a(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", pa.Render())
+	sa, _ := pa.StrongestImplementable()
+	wa, _ := pa.WeakestNonImplementable()
+	fmt.Printf("Theorem 5.2: strongest implementable %v, weakest non-implementable %v\n\n", sa, wa)
+
+	pb := core.Figure1b(n)
+	fmt.Printf("%s\n", pb.Render())
+	sb, _ := pb.StrongestImplementable()
+	wb, _ := pb.WeakestNonImplementable()
+	fmt.Printf("Theorem 5.3: strongest implementable %v, weakest non-implementable %v (incomparable: %v)\n\n",
+		sb, wb, !sb.Comparable(wb))
+
+	ps := core.Section53Plane(n)
+	fmt.Printf("%s\n", ps.Render())
+	fmt.Printf("Section 5.3: minimal blacks %v — no weakest (l,k)-freedom excludes S\n",
+		ps.MinimalBlacks())
+	return nil
+}

@@ -1,0 +1,78 @@
+// Lockgame: the safety-liveness trade-off in the lock world the paper's
+// Section 3.2 references — starvation-freedom is L_max for lock-based
+// implementations. Peterson (registers) is starvation-free; the
+// test-and-set spinlock is only deadlock-free, and a fair adversary
+// schedule starves one process forever.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/mutex"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lockgame:", err)
+		os.Exit(1)
+	}
+}
+
+func acquisitions(h history.History) map[int]int {
+	out := make(map[int]int)
+	for _, e := range h {
+		if e.Kind == history.KindResponse && e.Val == mutex.Locked {
+			out[e.Proc]++
+		}
+	}
+	return out
+}
+
+func run() error {
+	fmt.Println("== Peterson lock under fair round-robin ==")
+	pet := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    mutex.NewPeterson(),
+		Env:       mutex.AcquireReleaseLoop(2),
+		Scheduler: sim.Limit(&sim.RoundRobin{}, 600),
+		MaxSteps:  600,
+	})
+	e := liveness.FromResult(pet, 0)
+	fmt.Printf("acquisitions: %v; mutual exclusion: %v; starvation-freedom: %v\n\n",
+		acquisitions(pet.H),
+		(safety.MutualExclusion{}).Holds(pet.H),
+		mutex.StarvationFreedom().Holds(e))
+
+	fmt.Println("== TAS spinlock under the starvation adversary (fair!) ==")
+	tas := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    mutex.NewTASLock(),
+		Env:       mutex.AcquireReleaseLoop(2),
+		Scheduler: sim.Limit(mutex.StarveTAS(2, 1), 800),
+		MaxSteps:  800,
+	})
+	et := liveness.FromResult(tas, 0)
+	fmt.Printf("acquisitions: %v (victim p2 starves while stepping forever)\n", acquisitions(tas.H))
+	fmt.Printf("fair: %v; deadlock-freedom: %v; starvation-freedom: %v\n\n",
+		et.Fair(),
+		mutex.DeadlockFreedom().Holds(et),
+		mutex.StarvationFreedom().Holds(et))
+
+	fmt.Println("== Bakery lock, three processes, first-come-first-served ==")
+	bak := sim.Run(sim.Config{
+		Procs:     3,
+		Object:    mutex.NewBakery(3),
+		Env:       mutex.AcquireReleaseLoop(3),
+		Scheduler: sim.Limit(&sim.RoundRobin{}, 2000),
+		MaxSteps:  2000,
+	})
+	eb := liveness.FromResult(bak, 0)
+	fmt.Printf("acquisitions: %v; starvation-freedom: %v\n",
+		acquisitions(bak.H), mutex.StarvationFreedom().Holds(eb))
+	return nil
+}

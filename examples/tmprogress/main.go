@@ -1,0 +1,90 @@
+// Tmprogress: the paper's Section 4.1 TM adversary starves process p1
+// against both opaque TMs (local progress is impossible with opacity), and
+// the Section 5.3 adversary aborts everything against I(1,2) — while
+// two-process schedules still make commit progress (Lemma 5.4).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tmprogress:", err)
+		os.Exit(1)
+	}
+}
+
+func commits(h history.History) map[int]int {
+	out := make(map[int]int)
+	for _, e := range h {
+		if e.Kind == history.KindResponse && e.Val == history.Commit {
+			out[e.Proc]++
+		}
+	}
+	return out
+}
+
+func run() error {
+	for _, impl := range []struct {
+		name string
+		mk   func() sim.Object
+	}{
+		{"I(1,2) — the paper's Algorithm 1", func() sim.Object { return tm.NewI12(2) }},
+		{"global-CAS (AGP)", func() sim.Object { return tm.NewGlobalCAS(2) }},
+	} {
+		fmt.Printf("== starvation adversary vs %s ==\n", impl.name)
+		adv := adversary.NewTMStarve(1, 2)
+		res := adv.Attack(impl.mk(), 2, 600)
+		if res.Err != nil {
+			return res.Err
+		}
+		cs := commits(res.H)
+		fmt.Printf("cycles=%d commits: p1=%d p2=%d; opacity=%v\n",
+			adv.Loops(), cs[1], cs[2], safety.Opaque(res.H))
+		e := liveness.FromResult(res, 0)
+		fmt.Printf("local progress=%v (2,2)-freedom=%v (1,2)-freedom=%v\n\n",
+			(liveness.LocalProgress{}).Holds(e),
+			(liveness.LK{L: 2, K: 2, Good: liveness.TMGood()}).Holds(e),
+			(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(e))
+	}
+
+	fmt.Println("== Section 5.3 adversary vs I(1,2): three lockstep processes ==")
+	s3 := adversary.NewS3(3)
+	res := s3.Attack(tm.NewI12(3), 900)
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("all-aborted rounds=%d committed=%v\n", s3.Rounds(), s3.Committed())
+	e := liveness.FromResult(res, 0)
+	fmt.Printf("(1,3)-freedom=%v — the price of property S\n\n",
+		(liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e))
+
+	fmt.Println("== Lemma 5.4 liveness half: I(1,2) with two processes ==")
+	tpl := map[int]tm.Txn{
+		1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	lock := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    tm.NewI12(2),
+		Env:       tm.TxnLoop(tpl),
+		Scheduler: sim.Limit(sim.Alternate(1, 2), 400),
+		MaxSteps:  400,
+	})
+	cs := commits(lock.H)
+	el := liveness.FromResult(lock, 0)
+	fmt.Printf("lockstep contention: commits p1=%d p2=%d; (1,2)-freedom=%v; S=%v\n",
+		cs[1], cs[2],
+		(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(el),
+		(safety.PropertyS{}).Holds(lock.H))
+	return nil
+}

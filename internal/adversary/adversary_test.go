@@ -1,0 +1,341 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/tm"
+)
+
+func TestBivalenceDefeatsRegisterConsensus(t *testing.T) {
+	adv := &Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        0,
+		V2:        1,
+	}
+	res, err := adv.Run(140)
+	if err != nil {
+		t.Fatalf("adversary failed: %v", err)
+	}
+	if len(res.Schedule) != 140 {
+		t.Fatalf("schedule length %d", len(res.Schedule))
+	}
+	// Nobody decides on the constructed schedule.
+	for _, e := range res.Run.H {
+		if e.Kind == history.KindResponse {
+			t.Fatalf("a process decided on the bivalent schedule: %s", res.Run.H)
+		}
+	}
+	// The schedule is fair: both processes keep taking steps.
+	if res.Run.StepsBy[1] == 0 || res.Run.StepsBy[2] == 0 {
+		t.Fatalf("schedule is unfair: steps %v", res.Run.StepsBy)
+	}
+	half := res.Schedule[len(res.Schedule)/2:]
+	seen := map[int]bool{}
+	for _, p := range half {
+		seen[p] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("both processes must step in the tail: %v", seen)
+	}
+	// (1,2)-freedom is violated; (1,1)-freedom is vacuous.
+	e := liveness.FromResult(res.Run, 0)
+	if (liveness.LK{L: 1, K: 2}).Holds(e) {
+		t.Error("(1,2)-freedom must fail on the adversary's run")
+	}
+	if !(liveness.LK{L: 1, K: 1}).Holds(e) {
+		t.Error("(1,1)-freedom is vacuously satisfied (two steppers)")
+	}
+	// Safety still holds, and the external history is the F1 pattern
+	// propose_1(v)·propose_2(v').
+	if !(safety.AgreementValidity{}).Holds(res.Run.H) {
+		t.Error("safety must hold")
+	}
+	want := ConsensusF1(0, 1)[0]
+	if !res.Run.H.Equal(want) {
+		t.Errorf("external history = %s, want %s", res.Run.H, want)
+	}
+	if res.Probes == 0 {
+		t.Error("probe accounting broken")
+	}
+}
+
+func TestBivalenceRespectsSwappedRoles(t *testing.T) {
+	// Swapping proposals yields the mirrored attack; the external history
+	// is still the two bare invocations.
+	adv := &Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        1,
+		V2:        0,
+	}
+	res, err := adv.Run(60)
+	if err != nil {
+		t.Fatalf("adversary failed: %v", err)
+	}
+	if len(res.Run.H) != 2 {
+		t.Fatalf("history = %s", res.Run.H)
+	}
+}
+
+func TestBivalenceFailsAgainstCAS(t *testing.T) {
+	// Against CAS-based consensus the adversary must get stuck: it reaches
+	// a critical configuration whose both successors are univalent with
+	// different valences — exactly why CAS has consensus number > 1.
+	adv := &Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCASBased() },
+		V1:        0,
+		V2:        1,
+	}
+	if _, err := adv.Run(60); err == nil {
+		t.Fatal("the bivalence adversary cannot defeat CAS consensus")
+	}
+}
+
+func TestBivalenceRejectsEqualProposals(t *testing.T) {
+	adv := &Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        5,
+		V2:        5,
+	}
+	if _, err := adv.Run(10); err == nil {
+		t.Fatal("equal proposals cannot be bivalent")
+	}
+}
+
+func TestTMStarveAgainstI12(t *testing.T) {
+	testTMStarve(t, func() sim.Object { return tm.NewI12(2) })
+}
+
+func TestTMStarveAgainstGlobalCAS(t *testing.T) {
+	testTMStarve(t, func() sim.Object { return tm.NewGlobalCAS(2) })
+}
+
+func testTMStarve(t *testing.T, mk func() sim.Object) {
+	t.Helper()
+	adv := NewTMStarve(1, 2)
+	res := adv.Attack(mk(), 2, 600)
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if adv.VictimCommitted() {
+		t.Fatal("the victim committed against an opaque TM")
+	}
+	if adv.Loops() < 5 {
+		t.Fatalf("expected many starvation cycles, got %d", adv.Loops())
+	}
+	commits := map[int]int{}
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse && e.Val == history.Commit {
+			commits[e.Proc]++
+		}
+	}
+	if commits[1] != 0 {
+		t.Fatalf("victim committed %d times", commits[1])
+	}
+	if commits[2] < 5 {
+		t.Fatalf("helper should commit every cycle, got %d", commits[2])
+	}
+	// Local progress and (2,2)-freedom are violated; (1,2)-freedom holds.
+	e := liveness.FromResult(res, 0)
+	if (liveness.LocalProgress{}).Holds(e) {
+		t.Error("local progress must fail")
+	}
+	if (liveness.LK{L: 2, K: 2, Good: liveness.TMGood()}).Holds(e) {
+		t.Error("(2,2)-freedom must fail")
+	}
+	if !(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(e) {
+		t.Error("(1,2)-freedom holds: the helper commits")
+	}
+	// The history stays opaque: the adversary wins on liveness, not
+	// safety.
+	if !safety.Opaque(res.H) {
+		t.Error("opacity must hold on the adversary's run")
+	}
+	// The first event is the victim's start: the swapped adversary's
+	// histories are disjoint from these (Corollary 4.6).
+	if res.H[0].Proc != 1 || res.H[0].Op != history.TMStart {
+		t.Errorf("first event = %s, want start_1", res.H[0])
+	}
+}
+
+func TestTMStarveLassoCertificate(t *testing.T) {
+	// The starvation run's schedule tail is periodic (each cycle repeats
+	// the same step pattern) and the victim gets zero commits per cycle —
+	// the repetition certificate mirroring the paper's "the adversary
+	// repeats Step 1" argument.
+	adv := NewTMStarve(1, 2)
+	res := adv.Attack(tm.NewI12(2), 2, 600)
+	e := liveness.FromResult(res, 0)
+	c, ok := liveness.FindLasso(e, 4, 80)
+	if !ok {
+		t.Fatal("the starvation schedule must be periodic")
+	}
+	if !c.Starved(e, liveness.TMGood(), 1) {
+		t.Errorf("victim must be starved per cycle: %v", c.GoodPerRep(e, liveness.TMGood(), 1))
+	}
+	if c.Starved(e, liveness.TMGood(), 2) {
+		t.Errorf("helper commits per cycle: %v", c.GoodPerRep(e, liveness.TMGood(), 2))
+	}
+}
+
+func TestS3LassoCertificate(t *testing.T) {
+	adv := NewS3(3)
+	res := adv.Attack(tm.NewI12(3), 900)
+	e := liveness.FromResult(res, 0)
+	c, ok := liveness.FindLasso(e, 4, 60)
+	if !ok {
+		t.Fatal("the S3 schedule must be periodic")
+	}
+	for p := 1; p <= 3; p++ {
+		if !c.Starved(e, liveness.TMGood(), p) {
+			t.Errorf("p%d must be starved per round: %v", p, c.GoodPerRep(e, liveness.TMGood(), p))
+		}
+	}
+}
+
+func TestBivalenceLassoCertificate(t *testing.T) {
+	// The constructed bivalent schedule of the commit-adopt implementation
+	// converges to the lock-step alternation, which is periodic with zero
+	// responses per period.
+	adv := &Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        0,
+		V2:        1,
+	}
+	res, err := adv.Run(140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := liveness.FromResult(res.Run, 0)
+	c, ok := liveness.FindLasso(e, 4, 40)
+	if !ok {
+		t.Fatal("the bivalent schedule should settle into a periodic pattern")
+	}
+	for p := 1; p <= 2; p++ {
+		if !c.Starved(e, nil, p) {
+			t.Errorf("p%d never decides: %v", p, c.GoodPerRep(e, nil, p))
+		}
+	}
+}
+
+func TestTMStarveSwappedRolesDisjointHistories(t *testing.T) {
+	a1 := NewTMStarve(1, 2)
+	r1 := a1.Attack(tm.NewI12(2), 2, 200)
+	a2 := NewTMStarve(2, 1)
+	r2 := a2.Attack(tm.NewI12(2), 2, 200)
+	if r1.H[0].Proc == r2.H[0].Proc {
+		t.Fatal("swapped adversary must start with the other process")
+	}
+	// No prefix of one is a history of the other (they differ at the very
+	// first event), which gives F1 ∩ F2 = ∅.
+	if r1.H[0].Equal(r2.H[0]) {
+		t.Error("first events must differ")
+	}
+	// The swapped run is the role-mirror of the original.
+	if !SwapProcs(r1.H, 1, 2).Equal(r2.H) {
+		t.Error("swapped adversary's history should mirror the original")
+	}
+}
+
+func TestS3AgainstI12(t *testing.T) {
+	adv := NewS3(3)
+	res := adv.Attack(tm.NewI12(3), 900)
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if adv.Committed() {
+		t.Fatal("no transaction may commit against a property-S TM")
+	}
+	if adv.Rounds() < 10 {
+		t.Fatalf("expected many aborted rounds, got %d", adv.Rounds())
+	}
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse && e.Val == history.Commit {
+			t.Fatalf("commit appeared: %s", res.H)
+		}
+	}
+	e := liveness.FromResult(res, 0)
+	if (liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e) {
+		t.Error("(1,3)-freedom must fail: three steppers, zero commits")
+	}
+	if !(safety.PropertyS{}).Holds(res.H) {
+		t.Error("property S holds on the all-aborted history")
+	}
+}
+
+func TestS3AgainstGlobalCASCommits(t *testing.T) {
+	// Without the timestamp rule someone commits in the first round and
+	// the adversary stops, having produced a property-S violation.
+	adv := NewS3(3)
+	res := adv.Attack(tm.NewGlobalCAS(3), 900)
+	if !adv.Committed() {
+		t.Fatal("GlobalCAS lets the first tryC commit")
+	}
+	if (safety.PropertyS{}).Holds(res.H) {
+		t.Error("the committed group violates property S")
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("opacity itself holds")
+	}
+}
+
+func TestConsensusF1F2(t *testing.T) {
+	f1 := ConsensusF1(0, 1)
+	f2 := ConsensusF2(0, 1)
+	if len(f1) != 6 || len(f2) != 6 {
+		t.Fatalf("|F1| = %d, |F2| = %d, want 6 each", len(f1), len(f2))
+	}
+	prop := safety.AgreementValidity{}
+	for i, h := range f1 {
+		if !h.WellFormed() {
+			t.Errorf("F1[%d] not well-formed: %s", i, h)
+		}
+		if !prop.Holds(h) {
+			t.Errorf("F1[%d] must be in S (Definition 4.3 condition 1): %s", i, h)
+		}
+		if len(h.PendingProcs()) == 0 {
+			t.Errorf("F1[%d] must leave someone undecided: %s", i, h)
+		}
+		if h[0].Proc != 1 {
+			t.Errorf("F1[%d] must begin with p1's proposal", i)
+		}
+	}
+	for i, h := range f2 {
+		if h[0].Proc != 2 {
+			t.Errorf("F2[%d] must begin with p2's proposal", i)
+		}
+	}
+	// Disjointness: the heart of Corollary 4.5.
+	keys := make(map[string]bool)
+	for _, h := range f1 {
+		keys[h.Key()] = true
+	}
+	for _, h := range f2 {
+		if keys[h.Key()] {
+			t.Fatalf("F1 and F2 intersect at %s", h)
+		}
+	}
+}
+
+func TestSwapProcsInvolution(t *testing.T) {
+	h := history.History{
+		history.Invoke(1, "propose", 0),
+		history.Invoke(2, "propose", 1),
+		history.Response(1, "propose", 0),
+		history.Crash(3),
+	}
+	sw := SwapProcs(h, 1, 2)
+	if sw[0].Proc != 2 || sw[1].Proc != 1 || sw[3].Proc != 3 {
+		t.Errorf("swap wrong: %s", sw)
+	}
+	if !SwapProcs(sw, 1, 2).Equal(h) {
+		t.Error("SwapProcs must be an involution")
+	}
+	if len(h) == 0 || h[0].Proc != 1 {
+		t.Error("SwapProcs must not mutate its input")
+	}
+}

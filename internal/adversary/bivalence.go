@@ -1,0 +1,160 @@
+// Package adversary implements the adversaries of the paper's impossibility
+// arguments as executable strategies against real implementations:
+//
+//   - Bivalence: the FLP/Chor-Israeli-Li adversary for register-based
+//     consensus (Section 4.1's F1). It maintains a bivalent schedule prefix
+//     by probing solo-run decisions under deterministic replay and extends
+//     it forever while keeping both processes stepping — a fair schedule in
+//     which nobody ever decides.
+//   - TMStarve: the Steps 1-3 strategy of Section 4.1 against opaque TMs:
+//     p1 is forever aborted by p2's interfering commits, violating local
+//     progress (and (2,2)-freedom).
+//   - S3: the Section 5.3 adversary: three processes repeatedly start
+//     concurrently and then request commits concurrently; against any TM
+//     ensuring property S, every transaction aborts, violating
+//     (1,3)-freedom.
+//   - ConsensusF1/F2 and SwapProcs: the paper's finite adversary sets and
+//     the process-swap transformation, used for the G_max = ∅ corollaries.
+//
+// An adversary is an entity that "decides on the schedule and inputs of
+// processes" — here realized as a paired sim.Scheduler and
+// sim.Environment over shared strategy state.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Bivalence drives any deterministic two-process consensus implementation
+// into an arbitrarily long fair schedule in which neither process decides.
+//
+// A schedule prefix σ is *bivalent* when the two solo continuations decide
+// differently: running p1 alone after σ decides a different value than
+// running p2 alone after σ. The empty prefix is bivalent (each process
+// alone decides its own proposal, by validity); from a bivalent prefix of a
+// deterministic two-process implementation at least one one-step extension
+// is bivalent (otherwise the two univalent successors would have different
+// valences, contradicting determinism of register steps — the classic
+// FLP/CIL case analysis). The adversary greedily extends, preferring the
+// process with fewer steps so far, which keeps the schedule fair.
+type Bivalence struct {
+	// NewObject creates a fresh instance of the implementation under
+	// attack; it is called once per replay probe.
+	NewObject func() sim.Object
+	// V1, V2 are the proposals of p1 and p2; they must differ.
+	V1, V2 history.Value
+	// ProbeSlack bounds each solo probe: the probe run may take up to
+	// len(prefix)+ProbeSlack steps. It must exceed the implementation's
+	// solo decision time from any reachable configuration. 0 means 400.
+	ProbeSlack int
+}
+
+// Result is the outcome of a Bivalence attack.
+type Result struct {
+	// Schedule is the constructed fair non-deciding schedule prefix.
+	Schedule []int
+	// Run is the replay of Schedule against a fresh instance.
+	Run *sim.Result
+	// Probes counts solo-probe replays performed.
+	Probes int
+}
+
+// env returns the proposal environment: both processes propose forever.
+func (b *Bivalence) env() sim.Environment {
+	return sim.RepeatPerProc(map[int]sim.Invocation{
+		1: {Op: "propose", Arg: b.V1},
+		2: {Op: "propose", Arg: b.V2},
+	})
+}
+
+// probe replays prefix and then runs proc solo, returning the decision
+// value (the first response in the run) and whether one occurred.
+func (b *Bivalence) probe(prefix []int, proc int) (history.Value, bool) {
+	slack := b.ProbeSlack
+	if slack == 0 {
+		slack = 400
+	}
+	res := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    b.NewObject(),
+		Env:       b.env(),
+		Scheduler: sim.Seq(sim.FixedProcs(prefix), sim.Solo(proc)),
+		MaxSteps:  len(prefix) + slack,
+	})
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse {
+			return e.Val, true
+		}
+	}
+	return nil, false
+}
+
+// bivalent reports whether prefix is bivalent, counting probes.
+func (b *Bivalence) bivalent(prefix []int, probes *int) (bool, error) {
+	*probes += 2
+	d1, ok1 := b.probe(prefix, 1)
+	if !ok1 {
+		return false, fmt.Errorf("adversary: solo probe of p1 after %d steps did not decide (raise ProbeSlack or the implementation is not obstruction-free)", len(prefix))
+	}
+	d2, ok2 := b.probe(prefix, 2)
+	if !ok2 {
+		return false, fmt.Errorf("adversary: solo probe of p2 after %d steps did not decide", len(prefix))
+	}
+	return d1 != d2, nil
+}
+
+// Run constructs a fair non-deciding schedule of the given length and
+// replays it, returning the result. It fails if the initial configuration
+// is not bivalent (equal proposals) or if bivalence cannot be maintained,
+// which for a correct register-based consensus implementation cannot happen.
+func (b *Bivalence) Run(steps int) (*Result, error) {
+	if b.V1 == b.V2 {
+		return nil, errors.New("adversary: proposals must differ for initial bivalence")
+	}
+	probes := 0
+	ok, err := b.bivalent(nil, &probes)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("adversary: initial configuration not bivalent; implementation violates validity")
+	}
+	prefix := make([]int, 0, steps)
+	count := [3]int{}
+	for len(prefix) < steps {
+		// Prefer the process with fewer steps, for fairness.
+		first, second := 1, 2
+		if count[2] < count[1] {
+			first, second = 2, 1
+		}
+		extended := false
+		for _, p := range []int{first, second} {
+			cand := append(prefix, p)
+			ok, err := b.bivalent(cand, &probes)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				prefix = cand
+				count[p]++
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			return nil, fmt.Errorf("adversary: no bivalence-preserving step after %d steps (impossible for a correct deterministic register implementation)", len(prefix))
+		}
+	}
+	run := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    b.NewObject(),
+		Env:       b.env(),
+		Scheduler: sim.FixedProcs(prefix),
+		MaxSteps:  len(prefix) + 1,
+	})
+	return &Result{Schedule: prefix, Run: run, Probes: probes}, nil
+}

@@ -1,0 +1,154 @@
+package adversary
+
+import (
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// S3 is the Section 5.3 adversary against TM implementations ensuring
+// property S, for three (or more) processes:
+//
+//	Step 1: all processes concurrently invoke start and wait for their
+//	        responses (ok or A).
+//	Step 2: the processes that were not aborted concurrently invoke tryC;
+//	        if every response is A the strategy returns to Step 1,
+//	        otherwise (a commit) it stops.
+//
+// Against a TM ensuring S, in every round the transactions form a
+// qualifying same-timestamp concurrent group, so a commit would violate S:
+// every transaction aborts forever and no process ever makes commit
+// progress — (1,3)-freedom is violated. Rounds counts completed
+// all-aborted rounds (the repetition certificate).
+type S3 struct {
+	// N is the number of attacking processes (the paper uses 3).
+	N int
+
+	phase     int // 1 = concurrent starts, 2 = concurrent tryCs
+	rounds    int
+	committed bool
+	cursor    int
+	startDone map[int]bool
+	startOK   map[int]bool
+	tryCDone  map[int]bool
+}
+
+// NewS3 creates the adversary for n attacking processes (n >= 3 for the
+// property-S argument).
+func NewS3(n int) *S3 {
+	return &S3{
+		N:         n,
+		phase:     1,
+		startDone: make(map[int]bool),
+		startOK:   make(map[int]bool),
+		tryCDone:  make(map[int]bool),
+	}
+}
+
+// Rounds returns the number of completed all-aborted rounds.
+func (a *S3) Rounds() int { return a.rounds }
+
+// Committed reports whether some process committed (the adversary lost;
+// property-S implementations never let this happen).
+func (a *S3) Committed() bool { return a.committed }
+
+func (a *S3) advance(h history.History) {
+	for ; a.cursor < len(h); a.cursor++ {
+		e := h[a.cursor]
+		if e.Kind != history.KindResponse {
+			continue
+		}
+		switch e.Op {
+		case history.TMStart:
+			a.startDone[e.Proc] = true
+			a.startOK[e.Proc] = e.Val != history.Abort
+		case history.TMTryC:
+			a.tryCDone[e.Proc] = true
+			if e.Val == history.Commit {
+				a.committed = true
+			}
+		}
+		a.maybeTransition()
+	}
+}
+
+func (a *S3) maybeTransition() {
+	switch a.phase {
+	case 1:
+		for p := 1; p <= a.N; p++ {
+			if !a.startDone[p] {
+				return
+			}
+		}
+		a.phase = 2
+		// Processes whose start aborted sit this round out.
+		for p := 1; p <= a.N; p++ {
+			a.tryCDone[p] = !a.startOK[p]
+		}
+	case 2:
+		for p := 1; p <= a.N; p++ {
+			if !a.tryCDone[p] {
+				return
+			}
+		}
+		a.phase = 1
+		a.rounds++
+		for p := 1; p <= a.N; p++ {
+			a.startDone[p] = false
+			a.startOK[p] = false
+			a.tryCDone[p] = false
+		}
+	}
+}
+
+// Scheduler rotates among the processes that still owe a response in the
+// current step, interleaving their operations so the starts (and then the
+// commit requests) are concurrent.
+func (a *S3) Scheduler() sim.Scheduler {
+	last := 0
+	return sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
+		a.advance(v.H)
+		if a.committed {
+			return sim.Decision{}, false
+		}
+		due := func(p int) bool {
+			if a.phase == 1 {
+				return !a.startDone[p]
+			}
+			return !a.tryCDone[p]
+		}
+		for off := 1; off <= a.N; off++ {
+			p := (last+off-1)%a.N + 1
+			if due(p) && v.ReadyContains(p) {
+				last = p
+				return sim.Decision{Proc: p}, true
+			}
+		}
+		return sim.Decision{}, false
+	})
+}
+
+// Environment alternates start and tryC per process: after a successful
+// start the process requests a commit; after any abort it starts afresh.
+func (a *S3) Environment() sim.Environment {
+	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
+		if proc > a.N {
+			return sim.Invocation{}, false
+		}
+		op, val, ok := lastCompleted(v.H, proc)
+		if ok && op == history.TMStart && val != history.Abort {
+			return sim.Invocation{Op: history.TMTryC}, true
+		}
+		return sim.Invocation{Op: history.TMStart}, true
+	})
+}
+
+// Attack runs the adversary against a fresh TM implementation.
+func (a *S3) Attack(obj sim.Object, maxSteps int) *sim.Result {
+	return sim.Run(sim.Config{
+		Procs:     a.N,
+		Object:    obj,
+		Env:       a.Environment(),
+		Scheduler: a.Scheduler(),
+		MaxSteps:  maxSteps,
+	})
+}

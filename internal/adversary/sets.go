@@ -1,0 +1,92 @@
+package adversary
+
+import (
+	"repro/internal/history"
+	"repro/internal/safety"
+)
+
+// ConsensusF1 returns the paper's Section 4.1 adversary set F1 w.r.t.
+// wait-freedom and agreement+validity for consensus from registers: the six
+// histories in which p1 proposes v, then p2 proposes v' (v ≠ v'), and at
+// most one of the two decides. The Chor-Israeli-Li impossibility guarantees
+// that every register-based implementation has a fair execution whose
+// external history is one of these (an infinite execution with no further
+// external events).
+func ConsensusF1(v, vPrime history.Value) []history.History {
+	inv1 := history.Invoke(1, safety.ConsensusPropose, v)
+	inv2 := history.Invoke(2, safety.ConsensusPropose, vPrime)
+	res := func(p int, val history.Value) history.Event {
+		return history.Response(p, safety.ConsensusPropose, val)
+	}
+	return []history.History{
+		{inv1, inv2},
+		{inv1, res(1, v), inv2},
+		{inv1, inv2, res(1, v)},
+		{inv1, inv2, res(1, vPrime)},
+		{inv1, inv2, res(2, v)},
+		{inv1, inv2, res(2, vPrime)},
+	}
+}
+
+// ConsensusF2 returns the process-swapped adversary set F2: p2 proposes
+// first. F1 ∩ F2 = ∅ because every history of F1 begins with propose_1 and
+// every history of F2 begins with propose_2, which is the heart of
+// Corollary 4.5.
+func ConsensusF2(v, vPrime history.Value) []history.History {
+	f1 := ConsensusF1(v, vPrime)
+	out := make([]history.History, len(f1))
+	for i, h := range f1 {
+		out[i] = SwapProcs(h, 1, 2)
+	}
+	return out
+}
+
+// KSetF1 returns a finite adversary set for k-set agreement, mirroring the
+// consensus construction (the paper's Section 1 "our impossibilities can
+// be applied to ... k-set agreement"): k+1 processes propose k+1 distinct
+// values with p1 proposing first, and at most one of them decides. The
+// Borowsky-Gafni impossibility guarantees every register-based
+// implementation has a fair execution with such an external history.
+// values must contain at least k+1 distinct entries.
+func KSetF1(k int, values []history.Value) []history.History {
+	n := k + 1
+	var base history.History
+	for p := 1; p <= n; p++ {
+		base = append(base, history.Invoke(p, safety.ConsensusPropose, values[p-1]))
+	}
+	out := []history.History{base}
+	for p := 1; p <= n; p++ {
+		for _, v := range values[:n] {
+			out = append(out, base.Append(history.Response(p, safety.ConsensusPropose, v)))
+		}
+	}
+	return out
+}
+
+// KSetF2 is the process-swapped variant of KSetF1 (p2 proposes first);
+// KSetF1 ∩ KSetF2 = ∅ since the first invocations differ, so G_max = ∅
+// and no weakest liveness property excludes k-set agreement either.
+func KSetF2(k int, values []history.Value) []history.History {
+	f1 := KSetF1(k, values)
+	out := make([]history.History, len(f1))
+	for i, h := range f1 {
+		out[i] = SwapProcs(h, 1, 2)
+	}
+	return out
+}
+
+// SwapProcs returns a copy of h with the identifiers of processes a and b
+// exchanged (the paper's "exchange processes in the strategy so that p1
+// plays the role of p2 and vice versa").
+func SwapProcs(h history.History, a, b int) history.History {
+	out := h.Clone()
+	for i := range out {
+		switch out[i].Proc {
+		case a:
+			out[i].Proc = b
+		case b:
+			out[i].Proc = a
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// TMStarve is the paper's Section 4.1 adversary against TM implementations
+// (the strategy of Bushkov-Guerraoui-Kapalka), with the two roles
+// parameterizable so that the process-swapped variant of Corollary 4.6 is
+// the same code:
+//
+//	Step 1: Victim starts a transaction and reads Var (retrying on abort).
+//	Step 2: Helper starts, reads Var (value v''), writes v'+1 and commits
+//	        (retrying on abort).
+//	Step 3: Victim writes v''+1 and requests commit; on abort the strategy
+//	        returns to Step 1; on commit it stops (the adversary lost).
+//
+// Against any TM ensuring opacity, Step 3 always aborts — the helper's
+// commit invalidates the victim's snapshot — so the victim never commits
+// while the helper commits infinitely often: local progress and
+// (2,2)-freedom are violated. Loops counts completed Step3→Step1 cycles,
+// the repetition certificate for the violation.
+type TMStarve struct {
+	// Victim and Helper are the process ids playing p1 and p2 of the
+	// paper's strategy.
+	Victim, Helper int
+	// Var is the contended transactional variable (default "x").
+	Var string
+
+	phase  int // 1, 2, 3
+	loops  int
+	won    bool // victim committed: the adversary lost the game
+	cursor int  // history events already consumed by advance
+}
+
+// NewTMStarve creates the adversary with the given role assignment.
+func NewTMStarve(victim, helper int) *TMStarve {
+	return &TMStarve{Victim: victim, Helper: helper, Var: "x", phase: 1}
+}
+
+// Loops returns the number of completed starvation cycles (Step 3 aborts
+// that returned the strategy to Step 1).
+func (a *TMStarve) Loops() int { return a.loops }
+
+// VictimCommitted reports whether the victim ever committed (which would
+// mean the implementation beat the adversary; opaque TMs never do).
+func (a *TMStarve) VictimCommitted() bool { return a.won }
+
+// advance consumes new history events and updates the strategy phase.
+func (a *TMStarve) advance(h history.History) {
+	for ; a.cursor < len(h); a.cursor++ {
+		e := h[a.cursor]
+		if e.Kind != history.KindResponse {
+			continue
+		}
+		switch a.phase {
+		case 1:
+			if e.Proc == a.Victim && e.Op == history.TMRead && e.Val != history.Abort {
+				a.phase = 2
+			}
+		case 2:
+			if e.Proc == a.Helper && e.Op == history.TMTryC && e.Val == history.Commit {
+				a.phase = 3
+			}
+		case 3:
+			if e.Proc != a.Victim {
+				continue
+			}
+			switch {
+			case e.Val == history.Abort:
+				a.phase = 1
+				a.loops++
+			case e.Op == history.TMTryC && e.Val == history.Commit:
+				a.won = true
+			}
+		}
+	}
+}
+
+// Scheduler returns the adversary's scheduler: it always steps the process
+// whose strategy step is active.
+func (a *TMStarve) Scheduler() sim.Scheduler {
+	return sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
+		a.advance(v.H)
+		if a.won {
+			return sim.Decision{}, false
+		}
+		active := a.Victim
+		if a.phase == 2 {
+			active = a.Helper
+		}
+		if !v.ReadyContains(active) {
+			return sim.Decision{}, false
+		}
+		return sim.Decision{Proc: active}, true
+	})
+}
+
+// lastCompleted returns the op name and response value of proc's most
+// recent completed operation in h.
+func lastCompleted(h history.History, proc int) (op string, val history.Value, ok bool) {
+	for i := len(h) - 1; i >= 0; i-- {
+		e := h[i]
+		if e.Proc == proc && e.Kind == history.KindResponse {
+			return e.Op, e.Val, true
+		}
+	}
+	return "", nil, false
+}
+
+// lastRead returns proc's most recent successful read value of anything,
+// defaulting to 0.
+func lastRead(h history.History, proc int) int {
+	for i := len(h) - 1; i >= 0; i-- {
+		e := h[i]
+		if e.Proc == proc && e.Kind == history.KindResponse && e.Op == history.TMRead && e.Val != history.Abort {
+			if n, isInt := e.Val.(int); isInt {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// Environment returns the adversary's input choices. Both processes follow
+// the cycle start → read → write → tryC, restarting after any abort; the
+// written values are the other process's read plus one, resolved lazily at
+// scheduling time exactly as in the paper's strategy.
+func (a *TMStarve) Environment() sim.Environment {
+	next := func(proc, other int, v *sim.View) (sim.Invocation, bool) {
+		op, val, ok := lastCompleted(v.H, proc)
+		switch {
+		case !ok || val == history.Abort:
+			return sim.Invocation{Op: history.TMStart}, true
+		case op == history.TMStart:
+			return sim.Invocation{Op: history.TMRead, Obj: a.Var}, true
+		case op == history.TMRead:
+			arg := sim.LazyArg(func(v *sim.View) history.Value {
+				return lastRead(v.H, other) + 1
+			})
+			return sim.Invocation{Op: history.TMWrite, Obj: a.Var, Arg: arg}, true
+		case op == history.TMWrite:
+			return sim.Invocation{Op: history.TMTryC}, true
+		case op == history.TMTryC && val == history.Commit:
+			if proc == a.Victim {
+				return sim.Invocation{}, false // adversary lost; park
+			}
+			return sim.Invocation{Op: history.TMStart}, true
+		default:
+			return sim.Invocation{Op: history.TMStart}, true
+		}
+	}
+	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
+		switch proc {
+		case a.Victim:
+			return next(a.Victim, a.Helper, v)
+		case a.Helper:
+			return next(a.Helper, a.Victim, v)
+		default:
+			return sim.Invocation{}, false // bystanders take no part
+		}
+	})
+}
+
+// Attack runs the adversary against a fresh TM implementation for at most
+// maxSteps steps and returns the run result.
+func (a *TMStarve) Attack(obj sim.Object, procs, maxSteps int) *sim.Result {
+	return sim.Run(sim.Config{
+		Procs:     procs,
+		Object:    obj,
+		Env:       a.Environment(),
+		Scheduler: a.Scheduler(),
+		MaxSteps:  maxSteps,
+	})
+}

@@ -1,0 +1,409 @@
+// Package automata implements the I/O automata model of Section 2: action
+// signatures partitioned into input, output and internal actions, the
+// paper's simplified composition (communication actions between components
+// become internal), executions, and the fairness notion used to define
+// fair(A_I).
+//
+// The package works with explicit finite automata over string states and
+// actions. It is the substrate for the Theorem 4.9 constructions (the
+// trivial implementations I_t and I_b), where the proof's key steps — "this
+// history is fair for I_t but no execution of I_b with this history is
+// fair" — are checked by exhaustive enumeration.
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one transition: on Action, move to state To.
+type Edge struct {
+	Action string
+	To     string
+}
+
+// Automaton is a finite I/O automaton. The state set is implicit (every
+// state mentioned in Init or Trans). Actions must be consistently
+// classified: an action may appear in only one of Inputs/Outputs/Internals.
+type Automaton struct {
+	// Name identifies the automaton (used in composed state names).
+	Name string
+	// Init is the initial state.
+	Init string
+	// Inputs, Outputs, Internals classify the action signature.
+	Inputs, Outputs, Internals map[string]bool
+	// Trans maps each state to its outgoing edges. Nondeterminism is
+	// allowed (several edges with the same action).
+	Trans map[string][]Edge
+}
+
+// New creates an empty automaton with the given name and initial state.
+func New(name, init string) *Automaton {
+	return &Automaton{
+		Name:      name,
+		Init:      init,
+		Inputs:    make(map[string]bool),
+		Outputs:   make(map[string]bool),
+		Internals: make(map[string]bool),
+		Trans:     make(map[string][]Edge),
+	}
+}
+
+// AddInput declares input actions.
+func (a *Automaton) AddInput(actions ...string) *Automaton {
+	for _, act := range actions {
+		a.Inputs[act] = true
+	}
+	return a
+}
+
+// AddOutput declares output actions.
+func (a *Automaton) AddOutput(actions ...string) *Automaton {
+	for _, act := range actions {
+		a.Outputs[act] = true
+	}
+	return a
+}
+
+// AddInternal declares internal actions.
+func (a *Automaton) AddInternal(actions ...string) *Automaton {
+	for _, act := range actions {
+		a.Internals[act] = true
+	}
+	return a
+}
+
+// AddEdge adds a transition from → (action) → to.
+func (a *Automaton) AddEdge(from, action, to string) *Automaton {
+	a.Trans[from] = append(a.Trans[from], Edge{Action: action, To: to})
+	return a
+}
+
+// Actions returns the full action set acts(A).
+func (a *Automaton) Actions() map[string]bool {
+	out := make(map[string]bool)
+	for s := range a.Inputs {
+		out[s] = true
+	}
+	for s := range a.Outputs {
+		out[s] = true
+	}
+	for s := range a.Internals {
+		out[s] = true
+	}
+	return out
+}
+
+// External reports whether the action is externally visible (input or
+// output).
+func (a *Automaton) External(action string) bool {
+	return a.Inputs[action] || a.Outputs[action]
+}
+
+// Enabled returns the actions enabled at the state, sorted.
+func (a *Automaton) Enabled(state string) []string {
+	seen := make(map[string]bool)
+	for _, e := range a.Trans[state] {
+		seen[e.Action] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Next returns the successor states of state under action.
+func (a *Automaton) Next(state, action string) []string {
+	var out []string
+	for _, e := range a.Trans[state] {
+		if e.Action == action {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Validate checks signature consistency: actions belong to exactly one
+// class and every transition's action is declared.
+func (a *Automaton) Validate() error {
+	for s := range a.Inputs {
+		if a.Outputs[s] || a.Internals[s] {
+			return fmt.Errorf("automata: action %q in several classes", s)
+		}
+	}
+	for s := range a.Outputs {
+		if a.Internals[s] {
+			return fmt.Errorf("automata: action %q in several classes", s)
+		}
+	}
+	acts := a.Actions()
+	for from, edges := range a.Trans {
+		for _, e := range edges {
+			if !acts[e.Action] {
+				return fmt.Errorf("automata: transition %s-%s->%s uses undeclared action", from, e.Action, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// Compatible reports whether a and b may be composed: disjoint outputs and
+// no internal action of one appearing in the other.
+func Compatible(a, b *Automaton) bool {
+	for s := range a.Outputs {
+		if b.Outputs[s] {
+			return false
+		}
+	}
+	actsB := b.Actions()
+	for s := range a.Internals {
+		if actsB[s] {
+			return false
+		}
+	}
+	actsA := a.Actions()
+	for s := range b.Internals {
+		if actsA[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose builds the composition A = a × b with the paper's simplified
+// signature: communication actions (in(a)∩out(b) and in(b)∩out(a)) become
+// internal. Composed states are "sa|sb". Only states reachable from the
+// initial pair are materialized.
+func Compose(a, b *Automaton) (*Automaton, error) {
+	if !Compatible(a, b) {
+		return nil, fmt.Errorf("automata: %s and %s are not compatible", a.Name, b.Name)
+	}
+	c := New(a.Name+"x"+b.Name, join(a.Init, b.Init))
+	for s := range a.Internals {
+		c.Internals[s] = true
+	}
+	for s := range b.Internals {
+		c.Internals[s] = true
+	}
+	for s := range a.Inputs {
+		if b.Outputs[s] {
+			c.Internals[s] = true
+		}
+	}
+	for s := range b.Inputs {
+		if a.Outputs[s] {
+			c.Internals[s] = true
+		}
+	}
+	for s := range a.Inputs {
+		if !c.Internals[s] {
+			c.Inputs[s] = true
+		}
+	}
+	for s := range b.Inputs {
+		if !c.Internals[s] {
+			c.Inputs[s] = true
+		}
+	}
+	for s := range a.Outputs {
+		if !c.Internals[s] {
+			c.Outputs[s] = true
+		}
+	}
+	for s := range b.Outputs {
+		if !c.Internals[s] {
+			c.Outputs[s] = true
+		}
+	}
+
+	actsA, actsB := a.Actions(), b.Actions()
+	type pair struct{ sa, sb string }
+	start := pair{a.Init, b.Init}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		from := join(cur.sa, cur.sb)
+		for act := range c.Actions() {
+			inA, inB := actsA[act], actsB[act]
+			var nextA, nextB []string
+			if inA {
+				nextA = a.Next(cur.sa, act)
+				if len(nextA) == 0 {
+					continue // a participates but is not enabled
+				}
+			} else {
+				nextA = []string{cur.sa}
+			}
+			if inB {
+				nextB = b.Next(cur.sb, act)
+				if len(nextB) == 0 {
+					continue
+				}
+			} else {
+				nextB = []string{cur.sb}
+			}
+			for _, na := range nextA {
+				for _, nb := range nextB {
+					c.AddEdge(from, act, join(na, nb))
+					np := pair{na, nb}
+					if !seen[np] {
+						seen[np] = true
+						queue = append(queue, np)
+					}
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// ComposeAll folds Compose over several automata left to right.
+func ComposeAll(as ...*Automaton) (*Automaton, error) {
+	if len(as) == 0 {
+		return nil, fmt.Errorf("automata: nothing to compose")
+	}
+	cur := as[0]
+	for _, next := range as[1:] {
+		c, err := Compose(cur, next)
+		if err != nil {
+			return nil, err
+		}
+		cur = c
+	}
+	return cur, nil
+}
+
+func join(a, b string) string { return a + "|" + b }
+
+// Execution is an alternating state/action sequence, represented by the
+// action sequence and the visited states (len(States) = len(Actions)+1).
+type Execution struct {
+	Actions []string
+	States  []string
+}
+
+// Final returns the last state.
+func (e *Execution) Final() string { return e.States[len(e.States)-1] }
+
+// Trace returns the external actions of the execution (its history, as a
+// sequence of action names).
+func (e *Execution) Trace(a *Automaton) []string {
+	var out []string
+	for _, act := range e.Actions {
+		if a.External(act) {
+			out = append(out, act)
+		}
+	}
+	return out
+}
+
+// String renders the action sequence.
+func (e *Execution) String() string { return strings.Join(e.Actions, "·") }
+
+// Executions enumerates every execution of a with at most maxLen actions
+// (including the empty one), depth-first.
+func (a *Automaton) Executions(maxLen int) []*Execution {
+	var out []*Execution
+	var rec func(states []string, actions []string)
+	rec = func(states, actions []string) {
+		out = append(out, &Execution{
+			Actions: append([]string(nil), actions...),
+			States:  append([]string(nil), states...),
+		})
+		if len(actions) == maxLen {
+			return
+		}
+		cur := states[len(states)-1]
+		for _, e := range a.Trans[cur] {
+			rec(append(states, e.To), append(actions, e.Action))
+		}
+	}
+	rec([]string{a.Init}, nil)
+	return out
+}
+
+// FairFinite reports whether the finite execution is fair: no action other
+// than crash actions is enabled at its final state (clause (I) of the
+// paper's fairness definition). isCrash identifies crash actions.
+func (a *Automaton) FairFinite(e *Execution, isCrash func(action string) bool) bool {
+	for _, act := range a.Enabled(e.Final()) {
+		if !isCrash(act) {
+			return false
+		}
+	}
+	return true
+}
+
+// FairTraces enumerates the traces (external action sequences) of the fair
+// finite executions of at most maxLen actions. Traces are deduplicated.
+func (a *Automaton) FairTraces(maxLen int, isCrash func(string) bool) [][]string {
+	seen := make(map[string]bool)
+	var out [][]string
+	for _, e := range a.Executions(maxLen) {
+		if !a.FairFinite(e, isCrash) {
+			continue
+		}
+		tr := e.Trace(a)
+		key := strings.Join(tr, "·")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Traces enumerates all traces of executions up to maxLen actions
+// (deduplicated) — the finite histories of the automaton, fair or not.
+func (a *Automaton) Traces(maxLen int) [][]string {
+	seen := make(map[string]bool)
+	var out [][]string
+	for _, e := range a.Executions(maxLen) {
+		tr := e.Trace(a)
+		key := strings.Join(tr, "·")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// HasTrace reports whether some execution of at most maxLen actions has
+// exactly the given trace.
+func (a *Automaton) HasTrace(trace []string, maxLen int) bool {
+	want := strings.Join(trace, "·")
+	for _, tr := range a.Traces(maxLen) {
+		if strings.Join(tr, "·") == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns all states reachable from Init.
+func (a *Automaton) Reachable() []string {
+	seen := map[string]bool{a.Init: true}
+	queue := []string{a.Init}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range a.Trans[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

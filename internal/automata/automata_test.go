@@ -1,0 +1,257 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/safety"
+)
+
+func TestValidate(t *testing.T) {
+	a := New("a", "s0").AddInput("x").AddOutput("y")
+	a.AddEdge("s0", "x", "s1").AddEdge("s1", "y", "s0")
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid automaton rejected: %v", err)
+	}
+	bad := New("b", "s0").AddInput("x").AddOutput("x")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("action in two classes must be rejected")
+	}
+	undeclared := New("c", "s0")
+	undeclared.AddEdge("s0", "z", "s1")
+	if err := undeclared.Validate(); err == nil {
+		t.Fatal("undeclared transition action must be rejected")
+	}
+}
+
+func TestEnabledAndNext(t *testing.T) {
+	a := New("a", "s0").AddInput("x", "y")
+	a.AddEdge("s0", "x", "s1").AddEdge("s0", "y", "s2").AddEdge("s0", "x", "s3")
+	en := a.Enabled("s0")
+	if len(en) != 2 || en[0] != "x" || en[1] != "y" {
+		t.Errorf("Enabled = %v", en)
+	}
+	if nx := a.Next("s0", "x"); len(nx) != 2 {
+		t.Errorf("Next(x) = %v, want both nondeterministic targets", nx)
+	}
+	if nx := a.Next("s1", "x"); len(nx) != 0 {
+		t.Errorf("Next at sink = %v", nx)
+	}
+}
+
+func TestComposeCommunicationBecomesInternal(t *testing.T) {
+	// a outputs "m"; b takes "m" as input: in the composition "m" is
+	// internal (the paper's simplified composition).
+	a := New("a", "s0").AddOutput("m")
+	a.AddEdge("s0", "m", "s1")
+	b := New("b", "t0").AddInput("m").AddOutput("done")
+	b.AddEdge("t0", "m", "t1").AddEdge("t1", "done", "t2")
+	c, err := Compose(a, b)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if !c.Internals["m"] {
+		t.Error("communication action must become internal")
+	}
+	if !c.Outputs["done"] {
+		t.Error("non-communication output stays external")
+	}
+	// The composed run s0|t0 -m-> s1|t1 -done-> s1|t2 exists; its trace
+	// hides m.
+	traces := c.Traces(2)
+	found := false
+	for _, tr := range traces {
+		if strings.Join(tr, "·") == "done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected externally visible trace [done], got %v", traces)
+	}
+}
+
+func TestComposeIncompatible(t *testing.T) {
+	a := New("a", "s0").AddOutput("m")
+	b := New("b", "t0").AddOutput("m")
+	if _, err := Compose(a, b); err == nil {
+		t.Fatal("shared outputs must be incompatible")
+	}
+	c := New("c", "u0").AddInternal("i")
+	d := New("d", "v0").AddInput("i")
+	if _, err := Compose(c, d); err == nil {
+		t.Fatal("internal action of one appearing in the other must be incompatible")
+	}
+}
+
+func TestComposeInterleavesIndependent(t *testing.T) {
+	a := New("a", "s0").AddInput("x")
+	a.AddEdge("s0", "x", "s1")
+	b := New("b", "t0").AddInput("y")
+	b.AddEdge("t0", "y", "t1")
+	c, err := Compose(a, b)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if !c.HasTrace([]string{"x", "y"}, 2) || !c.HasTrace([]string{"y", "x"}, 2) {
+		t.Error("independent actions must interleave both ways")
+	}
+}
+
+func TestExecutionsAndFairness(t *testing.T) {
+	// s0 -x-> s1 (only crash enabled at s1).
+	a := New("a", "s0").AddInput("x", "crash_1").AddOutput("r")
+	a.AddEdge("s0", "x", "s1")
+	a.AddEdge("s1", "crash_1", "dead")
+	execs := a.Executions(2)
+	// empty, x, x·crash
+	if len(execs) != 3 {
+		t.Fatalf("got %d executions, want 3", len(execs))
+	}
+	// The empty execution is not fair (x enabled at s0); [x] is fair (only
+	// crash at s1).
+	var empty, justX *Execution
+	for _, e := range execs {
+		switch len(e.Actions) {
+		case 0:
+			empty = e
+		case 1:
+			justX = e
+		}
+	}
+	if a.FairFinite(empty, IsCrashAction) {
+		t.Error("empty execution is not fair: x is enabled")
+	}
+	if !a.FairFinite(justX, IsCrashAction) {
+		t.Error("[x] is fair: only crash remains")
+	}
+}
+
+func TestTraceToHistory(t *testing.T) {
+	h, err := TraceToHistory([]string{"propose_1(0)", "ret_1=0", "crash_2"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := history.History{
+		history.Invoke(1, "propose", 0),
+		history.Response(1, "propose", 0),
+		history.Crash(2),
+	}
+	if !h.Equal(want) {
+		t.Errorf("got %s, want %s", h, want)
+	}
+	if _, err := TraceToHistory([]string{"garbage"}); err == nil {
+		t.Error("unknown action must fail")
+	}
+}
+
+func TestTrivialConsensusModel(t *testing.T) {
+	it, err := TrivialConsensus(2, []int{0, 1})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if err := it.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Every trace is invocation-and-crash only, and satisfies
+	// agreement+validity (vacuously): I_t ensures S.
+	for _, tr := range it.Traces(4) {
+		h, err := TraceToHistory(tr)
+		if err != nil {
+			t.Fatalf("parse %v: %v", tr, err)
+		}
+		for _, e := range h {
+			if e.Kind == history.KindResponse {
+				t.Fatalf("I_t produced a response: %v", tr)
+			}
+		}
+		if !(safety.AgreementValidity{}).Holds(h) {
+			t.Fatalf("I_t history violates safety: %s", h)
+		}
+	}
+	// propose_1(0)·propose_2(1) IS a fair trace of I_t: both processes are
+	// pending, so nothing but crashes is enabled. propose_1(0) alone is
+	// not fair — p2's invocations are still enabled (the paper's fairness
+	// counts input actions).
+	fair := it.FairTraces(2, IsCrashAction)
+	foundPair, foundSolo := false, false
+	for _, tr := range fair {
+		if len(tr) == 2 && tr[0] == ActionInvoke(1, 0) && tr[1] == ActionInvoke(2, 1) {
+			foundPair = true
+		}
+		if len(tr) == 1 && tr[0] == ActionInvoke(1, 0) {
+			foundSolo = true
+		}
+	}
+	if !foundPair {
+		t.Error("propose_1(0)·propose_2(1) must be a fair trace of I_t")
+	}
+	if foundSolo {
+		t.Error("propose_1(0) alone is not fair: p2 can still invoke")
+	}
+	// Input-enabledness in the paper's sense.
+	if err := InputEnabledForInvocations(it, 2, []int{0, 1}, 3); err != nil {
+		t.Errorf("I_t must be input-enabled: %v", err)
+	}
+}
+
+func TestRespondOnceConsensusModel(t *testing.T) {
+	ib, err := RespondOnceConsensus(2, 1, 0, 0, []int{0, 1})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if err := ib.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Every history of I_b is safe: the only response is ret_1=0 to
+	// propose_1(0).
+	for _, tr := range ib.Traces(5) {
+		h, err := TraceToHistory(tr)
+		if err != nil {
+			t.Fatalf("parse %v: %v", tr, err)
+		}
+		if !(safety.AgreementValidity{}).Holds(h) {
+			t.Fatalf("I_b history violates safety: %s", h)
+		}
+	}
+	// The proof's pivot: h = propose_1(0)·propose_2(1) is a fair trace of
+	// I_t (everyone pending) but NOT of I_b, where ret_1=0 stays enabled.
+	pivot := []string{ActionInvoke(1, 0), ActionInvoke(2, 1)}
+	for _, tr := range ib.FairTraces(3, IsCrashAction) {
+		if strings.Join(tr, "·") == strings.Join(pivot, "·") {
+			t.Fatal("the pivot history must not be fair for I_b: ret_1=0 is enabled")
+		}
+	}
+	// Conversely propose_1(0)·ret_1=0·propose_1(1)·propose_2(0) IS fair
+	// for I_b (p1 dead-ended, p2 pending) and is not even a trace of I_t.
+	target := []string{
+		ActionInvoke(1, 0), ActionResponse(1, 0),
+		ActionInvoke(1, 1), ActionInvoke(2, 0),
+	}
+	foundFair := false
+	for _, tr := range ib.FairTraces(4, IsCrashAction) {
+		if strings.Join(tr, "·") == strings.Join(target, "·") {
+			foundFair = true
+		}
+	}
+	if !foundFair {
+		t.Error("propose_1(0)·ret_1=0·propose_1(1)·propose_2(0) must be a fair trace of I_b")
+	}
+	it, err := TrivialConsensus(2, []int{0, 1})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if it.HasTrace(target, 5) {
+		t.Error("I_t cannot produce the response-bearing trace")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	a := New("a", "s0").AddInput("x")
+	a.AddEdge("s0", "x", "s1").AddEdge("s1", "x", "s0")
+	a.AddEdge("unreachable", "x", "s0")
+	r := a.Reachable()
+	if len(r) != 2 {
+		t.Errorf("Reachable = %v", r)
+	}
+}

@@ -1,0 +1,98 @@
+package automata
+
+import "fmt"
+
+// Section 2 models an implementation as the composition A_I1 × ... × A_In
+// × A_B, where A_B is the base-object automaton. This file provides
+// explicit finite automata for a boolean register and for a trivial
+// process algorithm that uses it, so the paper's full composition —
+// process automata communicating with a base-object automaton through
+// actions that become internal — can be built and inspected end to end.
+
+// Base-object action names: processes issue "doread_i(r)" / "dowrite_i(r,v)"
+// (outputs of the process automaton, inputs of the register automaton) and
+// the register answers "val_i(r,v)" / "ack_i(r)".
+
+// ActDoRead names process i's read request on register r.
+func ActDoRead(i int, r string) string { return fmt.Sprintf("doread_%d(%s)", i, r) }
+
+// ActDoWrite names process i's write request of bit v to register r.
+func ActDoWrite(i int, r string, v int) string {
+	return fmt.Sprintf("dowrite_%d(%s,%d)", i, r, v)
+}
+
+// ActVal names the register's value response to process i.
+func ActVal(i int, r string, v int) string { return fmt.Sprintf("val_%d(%s,%d)", i, r, v) }
+
+// ActAck names the register's write acknowledgment to process i.
+func ActAck(i int, r string) string { return fmt.Sprintf("ack_%d(%s)", i, r) }
+
+// BitRegisterAutomaton builds A_B for a single boolean register named r
+// serving processes 1..n: state tracks the stored bit and the pending
+// request; read/write requests are inputs, responses outputs. One request
+// is served at a time per the paper's sequential-process assumption.
+func BitRegisterAutomaton(r string, n int) *Automaton {
+	a := New("reg:"+r, "v0")
+	for v := 0; v <= 1; v++ {
+		for i := 1; i <= n; i++ {
+			a.AddInput(ActDoRead(i, r))
+			a.AddInput(ActDoWrite(i, r, v))
+			a.AddOutput(ActVal(i, r, v))
+			a.AddOutput(ActAck(i, r))
+		}
+	}
+	// States: "v<bit>" idle, "v<bit>;read<i>" serving a read,
+	// "v<bit>;wrote<i>" serving a write ack.
+	for v := 0; v <= 1; v++ {
+		idle := fmt.Sprintf("v%d", v)
+		for i := 1; i <= n; i++ {
+			reading := fmt.Sprintf("v%d;read%d", v, i)
+			a.AddEdge(idle, ActDoRead(i, r), reading)
+			a.AddEdge(reading, ActVal(i, r, v), idle)
+			for w := 0; w <= 1; w++ {
+				acking := fmt.Sprintf("v%d;wrote%d", w, i)
+				a.AddEdge(idle, ActDoWrite(i, r, w), acking)
+			}
+			a.AddEdge(fmt.Sprintf("v%d;wrote%d", v, i), ActAck(i, r), idle)
+		}
+	}
+	return a
+}
+
+// CopyBitProcess builds A_Ii for a one-shot "copy" algorithm of process i:
+// on invocation copy_i(v) it writes v to register r, reads it back, and
+// returns the read bit. External actions are copy_i(v) (input) and
+// ret_i=<bit> (output); the register interactions are outputs/inputs that
+// the composition with BitRegisterAutomaton hides.
+func CopyBitProcess(i int, r string) *Automaton {
+	a := New(fmt.Sprintf("copy%d", i), "idle")
+	a.AddInput(ActionCrash(i))
+	for v := 0; v <= 1; v++ {
+		a.AddInput(fmt.Sprintf("copy_%d(%d)", i, v))
+		a.AddOutput(ActionResponse(i, v))
+		a.AddOutput(ActDoWrite(i, r, v))
+		a.AddInput(ActVal(i, r, v))
+	}
+	a.AddOutput(ActDoRead(i, r))
+	a.AddInput(ActAck(i, r))
+
+	for v := 0; v <= 1; v++ {
+		a.AddEdge("idle", fmt.Sprintf("copy_%d(%d)", i, v), fmt.Sprintf("want%d", v))
+		a.AddEdge(fmt.Sprintf("want%d", v), ActDoWrite(i, r, v), "awaitAck")
+		a.AddEdge("awaitAck", ActAck(i, r), "doRead")
+		a.AddEdge("doRead", ActDoRead(i, r), "awaitVal")
+		a.AddEdge("awaitVal", ActVal(i, r, v), fmt.Sprintf("got%d", v))
+		a.AddEdge(fmt.Sprintf("got%d", v), ActionResponse(i, v), "done")
+	}
+	for _, st := range []string{"idle", "awaitAck", "doRead", "awaitVal", "done", "want0", "want1", "got0", "got1"} {
+		a.AddEdge(st, ActionCrash(i), "crashed")
+	}
+	return a
+}
+
+// CopySystem composes A_I1 × A_B per Section 2 for one process and one
+// register: the base-object communication becomes internal and only
+// copy_1(v), ret_1=v and crash_1 stay external.
+func CopySystem() (*Automaton, error) {
+	return Compose(CopyBitProcess(1, "r"), BitRegisterAutomaton("r", 1))
+}

@@ -1,0 +1,67 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCopySystemComposition(t *testing.T) {
+	sys, err := CopySystem()
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// The base-object communication must be internal after composition.
+	for _, act := range []string{
+		ActDoRead(1, "r"), ActDoWrite(1, "r", 0), ActVal(1, "r", 0), ActAck(1, "r"),
+	} {
+		if !sys.Internals[act] {
+			t.Errorf("action %q must be internal in A_I x A_B", act)
+		}
+	}
+	// Only the object-level actions stay external.
+	if !sys.Inputs["copy_1(0)"] || !sys.Outputs[ActionResponse(1, 0)] {
+		t.Error("object-level invocation/response must stay external")
+	}
+}
+
+func TestCopySystemBehavior(t *testing.T) {
+	sys, err := CopySystem()
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	// The copy algorithm writes v, reads it back and returns it: the only
+	// completed external traces are copy_1(v)·ret_1=v.
+	for _, v := range []int{0, 1} {
+		want := []string{
+			fmt.Sprintf("copy_1(%d)", v),
+			ActionResponse(1, v),
+		}
+		if !sys.HasTrace(want, 8) {
+			t.Errorf("trace %v must exist", want)
+		}
+		wrong := []string{fmt.Sprintf("copy_1(%d)", v), ActionResponse(1, 1-v)}
+		if sys.HasTrace(wrong, 8) {
+			t.Errorf("trace %v must not exist (register faithfulness)", wrong)
+		}
+	}
+	// A completed run is fair (only the crash stays enabled); an
+	// incomplete one is not (internal steps remain enabled).
+	completed := []string{"copy_1(1)", ActionResponse(1, 1)}
+	foundFair := false
+	for _, tr := range sys.FairTraces(8, IsCrashAction) {
+		joined := strings.Join(tr, "·")
+		if joined == strings.Join(completed, "·") {
+			foundFair = true
+		}
+		if joined == "copy_1(1)" {
+			t.Error("an incomplete execution must not be fair: internal steps pending")
+		}
+	}
+	if !foundFair {
+		t.Error("the completed run must be fair")
+	}
+}

@@ -1,0 +1,178 @@
+package automata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Action-name helpers for the consensus models used by the Theorem 4.9
+// constructions. Invocations are "propose_<p>(<v>)", responses are
+// "ret_<p>=<v>", crashes are "crash_<p>".
+
+// ActionInvoke names the propose invocation of process p with value v.
+func ActionInvoke(p, v int) string { return fmt.Sprintf("propose_%d(%d)", p, v) }
+
+// ActionResponse names the decision response of process p with value v.
+func ActionResponse(p, v int) string { return fmt.Sprintf("ret_%d=%d", p, v) }
+
+// ActionCrash names the crash input of process p.
+func ActionCrash(p int) string { return fmt.Sprintf("crash_%d", p) }
+
+// IsCrashAction reports whether the action is a crash input.
+func IsCrashAction(a string) bool { return strings.HasPrefix(a, "crash_") }
+
+// TraceToHistory converts a trace in the naming convention above into a
+// history.
+func TraceToHistory(tr []string) (history.History, error) {
+	var h history.History
+	for _, act := range tr {
+		switch {
+		case strings.HasPrefix(act, "propose_"):
+			rest := strings.TrimPrefix(act, "propose_")
+			open := strings.IndexByte(rest, '(')
+			if open < 0 || !strings.HasSuffix(rest, ")") {
+				return nil, fmt.Errorf("automata: bad invoke action %q", act)
+			}
+			p, err := strconv.Atoi(rest[:open])
+			if err != nil {
+				return nil, fmt.Errorf("automata: bad process in %q: %w", act, err)
+			}
+			v, err := strconv.Atoi(rest[open+1 : len(rest)-1])
+			if err != nil {
+				return nil, fmt.Errorf("automata: bad value in %q: %w", act, err)
+			}
+			h = append(h, history.Invoke(p, "propose", v))
+		case strings.HasPrefix(act, "ret_"):
+			rest := strings.TrimPrefix(act, "ret_")
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("automata: bad response action %q", act)
+			}
+			p, err := strconv.Atoi(rest[:eq])
+			if err != nil {
+				return nil, fmt.Errorf("automata: bad process in %q: %w", act, err)
+			}
+			v, err := strconv.Atoi(rest[eq+1:])
+			if err != nil {
+				return nil, fmt.Errorf("automata: bad value in %q: %w", act, err)
+			}
+			h = append(h, history.Response(p, "propose", v))
+		case strings.HasPrefix(act, "crash_"):
+			p, err := strconv.Atoi(strings.TrimPrefix(act, "crash_"))
+			if err != nil {
+				return nil, fmt.Errorf("automata: bad crash action %q: %w", act, err)
+			}
+			h = append(h, history.Crash(p))
+		default:
+			return nil, fmt.Errorf("automata: unknown action %q", act)
+		}
+	}
+	return h, nil
+}
+
+// ProcTrivial builds A_{It,i}: process i of the trivial implementation I_t
+// from the proof of Theorem 4.9 — it accepts one invocation and then
+// enables nothing (no response, ever). values is the proposal alphabet.
+func ProcTrivial(i int, values []int) *Automaton {
+	a := New(fmt.Sprintf("It%d", i), "idle")
+	a.AddInput(ActionCrash(i))
+	for _, v := range values {
+		a.AddInput(ActionInvoke(i, v))
+		a.AddOutput(ActionResponse(i, v)) // declared, never enabled
+		a.AddEdge("idle", ActionInvoke(i, v), "dead")
+	}
+	a.AddEdge("idle", ActionCrash(i), "crashed")
+	a.AddEdge("dead", ActionCrash(i), "crashed")
+	return a
+}
+
+// ProcRespondOnce builds A_{Ib,i}: process i of the implementation I_b from
+// the proof of Theorem 4.9. For the distinguished process l with the
+// distinguished invocation propose_l(arg):
+//
+//   - the first propose_l(arg) moves to a state where only the response
+//     ret_l=resp (and crash) is enabled — so a history that leaves it
+//     pending is NOT fair;
+//   - after the response, every invocation is enabled once more, and any
+//     second invocation dead-ends;
+//   - any other first invocation dead-ends;
+//   - every other process dead-ends on any invocation.
+func ProcRespondOnce(i, l, arg, resp int, values []int) *Automaton {
+	a := New(fmt.Sprintf("Ib%d", i), "s0")
+	a.AddInput(ActionCrash(i))
+	for _, v := range values {
+		a.AddInput(ActionInvoke(i, v))
+		a.AddOutput(ActionResponse(i, v))
+	}
+	if i != l {
+		for _, v := range values {
+			a.AddEdge("s0", ActionInvoke(i, v), "s1")
+		}
+		a.AddEdge("s0", ActionCrash(i), "crashed")
+		a.AddEdge("s1", ActionCrash(i), "crashed")
+		return a
+	}
+	for _, v := range values {
+		if v == arg {
+			a.AddEdge("s0", ActionInvoke(i, v), "sl")
+		} else {
+			a.AddEdge("s0", ActionInvoke(i, v), "sl2")
+		}
+		a.AddEdge("slen", ActionInvoke(i, v), "sl1")
+	}
+	a.AddEdge("sl", ActionResponse(i, resp), "slen")
+	for _, st := range []string{"s0", "sl", "slen", "sl1", "sl2"} {
+		a.AddEdge(st, ActionCrash(i), "crashed")
+	}
+	return a
+}
+
+// TrivialConsensus composes I_t for n processes over the value alphabet.
+func TrivialConsensus(n int, values []int) (*Automaton, error) {
+	procs := make([]*Automaton, n)
+	for i := 1; i <= n; i++ {
+		procs[i-1] = ProcTrivial(i, values)
+	}
+	return ComposeAll(procs...)
+}
+
+// RespondOnceConsensus composes I_b for n processes: process l responds
+// resp to its first propose_l(arg); everything else blocks.
+func RespondOnceConsensus(n, l, arg, resp int, values []int) (*Automaton, error) {
+	procs := make([]*Automaton, n)
+	for i := 1; i <= n; i++ {
+		procs[i-1] = ProcRespondOnce(i, l, arg, resp, values)
+	}
+	return ComposeAll(procs...)
+}
+
+// InputEnabledForInvocations checks the paper's input-enabledness on the
+// composed automaton: at every reachable state whose generating history
+// leaves process p non-pending and non-crashed, every invocation of p is
+// enabled. It explores executions up to maxLen actions.
+func InputEnabledForInvocations(a *Automaton, n int, values []int, maxLen int) error {
+	for _, e := range a.Executions(maxLen) {
+		h, err := TraceToHistory(e.Trace(a))
+		if err != nil {
+			return err
+		}
+		enabled := make(map[string]bool)
+		for _, act := range a.Enabled(e.Final()) {
+			enabled[act] = true
+		}
+		for p := 1; p <= n; p++ {
+			if h.Pending(p) || h.Crashed(p) {
+				continue
+			}
+			for _, v := range values {
+				if !enabled[ActionInvoke(p, v)] {
+					return fmt.Errorf("automata: %s not enabled after %s", ActionInvoke(p, v), e)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package base implements the atomic base objects of the paper's system
+// model (Section 2): read/write registers, compare-and-swap, test-and-set,
+// fetch-and-add, and an atomic snapshot array. Base objects are the
+// primitives "usually provided by the hardware" from which higher-level
+// shared objects (consensus, transactional memory) are implemented.
+//
+// Every operation on a base object is exactly one atomic step of the
+// executing process. The step boundary is expressed through the Stepper
+// interface: an operation first obtains a step grant from the scheduler
+// (blocking inside Stepper.Exec) and performs its effect atomically within
+// that grant. The simulation runtime (internal/sim) provides the Stepper;
+// because it serializes all grants, base-object state needs no locking.
+package base
+
+import "repro/internal/history"
+
+// Value is the datum stored in base objects.
+type Value = history.Value
+
+// Stepper grants atomic steps. Exec blocks until the scheduler schedules
+// the calling process, then runs op as a single atomic step. desc is a
+// human-readable step description used for tracing.
+//
+// Exec panics with a runtime-internal sentinel if the process has been
+// crashed or the run has ended; algorithm code must not recover it.
+type Stepper interface {
+	Exec(desc string, op func())
+}
+
+// Register is an atomic read/write register.
+type Register struct {
+	name string
+	val  Value
+}
+
+// NewRegister creates a register with the given initial value.
+func NewRegister(name string, initial Value) *Register {
+	return &Register{name: name, val: initial}
+}
+
+// Name returns the register's name.
+func (r *Register) Name() string { return r.name }
+
+// Read atomically reads the register.
+func (r *Register) Read(s Stepper) Value {
+	var v Value
+	s.Exec("read "+r.name, func() { v = r.val })
+	return v
+}
+
+// Write atomically writes v to the register.
+func (r *Register) Write(s Stepper, v Value) {
+	s.Exec("write "+r.name, func() { r.val = v })
+}
+
+// CAS is an atomic compare-and-swap object. Comparison uses ==, so
+// composite states should be stored as pointers to immutable records (the
+// usual technique for CAS-based algorithms).
+type CAS struct {
+	name string
+	val  Value
+}
+
+// NewCAS creates a compare-and-swap object with the given initial value.
+func NewCAS(name string, initial Value) *CAS {
+	return &CAS{name: name, val: initial}
+}
+
+// Name returns the object's name.
+func (c *CAS) Name() string { return c.name }
+
+// Read atomically reads the current value.
+func (c *CAS) Read(s Stepper) Value {
+	var v Value
+	s.Exec("read "+c.name, func() { v = c.val })
+	return v
+}
+
+// CompareAndSwap atomically replaces the current value with new if it
+// equals old, reporting whether the swap happened.
+func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
+	var ok bool
+	s.Exec("cas "+c.name, func() {
+		if c.val == old {
+			c.val = new
+			ok = true
+		}
+	})
+	return ok
+}
+
+// Peek reads the current value without consuming a step. It is intended
+// for inspection from scheduler callbacks and tests, which the simulator
+// runs strictly between process windows; algorithm code must use Read.
+func (c *CAS) Peek() Value { return c.val }
+
+// Swap atomically replaces the current value unconditionally and returns
+// the previous value.
+func (c *CAS) Swap(s Stepper, new Value) Value {
+	var prev Value
+	s.Exec("swap "+c.name, func() {
+		prev = c.val
+		c.val = new
+	})
+	return prev
+}
+
+// TAS is an atomic test-and-set bit.
+type TAS struct {
+	name string
+	set  bool
+}
+
+// NewTAS creates a test-and-set object, initially unset.
+func NewTAS(name string) *TAS {
+	return &TAS{name: name}
+}
+
+// Name returns the object's name.
+func (t *TAS) Name() string { return t.name }
+
+// TestAndSet atomically sets the bit and reports whether this call was the
+// one that set it (true = won).
+func (t *TAS) TestAndSet(s Stepper) bool {
+	var won bool
+	s.Exec("tas "+t.name, func() {
+		won = !t.set
+		t.set = true
+	})
+	return won
+}
+
+// Read atomically reads the bit.
+func (t *TAS) Read(s Stepper) bool {
+	var v bool
+	s.Exec("read "+t.name, func() { v = t.set })
+	return v
+}
+
+// Reset atomically clears the bit (the release half of a test-and-set
+// spinlock).
+func (t *TAS) Reset(s Stepper) {
+	s.Exec("reset "+t.name, func() { t.set = false })
+}
+
+// FetchAdd is an atomic fetch-and-add counter.
+type FetchAdd struct {
+	name string
+	val  int
+}
+
+// NewFetchAdd creates a counter with the given initial value.
+func NewFetchAdd(name string, initial int) *FetchAdd {
+	return &FetchAdd{name: name, val: initial}
+}
+
+// Name returns the object's name.
+func (f *FetchAdd) Name() string { return f.name }
+
+// Add atomically adds delta and returns the previous value.
+func (f *FetchAdd) Add(s Stepper, delta int) int {
+	var prev int
+	s.Exec("faa "+f.name, func() {
+		prev = f.val
+		f.val += delta
+	})
+	return prev
+}
+
+// Read atomically reads the counter.
+func (f *FetchAdd) Read(s Stepper) int {
+	var v int
+	s.Exec("read "+f.name, func() { v = f.val })
+	return v
+}
+
+// Snapshot is an atomic snapshot object of n single-writer registers with
+// an atomic scan, as used by the paper's Algorithm 1 (R[1..n] with
+// R.scan()). Update writes one component; Scan returns a consistent copy of
+// all components in a single atomic step.
+type Snapshot struct {
+	name  string
+	slots []Value
+}
+
+// NewSnapshot creates a snapshot object with n components, all initialized
+// to initial.
+func NewSnapshot(name string, n int, initial Value) *Snapshot {
+	slots := make([]Value, n)
+	for i := range slots {
+		slots[i] = initial
+	}
+	return &Snapshot{name: name, slots: slots}
+}
+
+// Name returns the object's name.
+func (sn *Snapshot) Name() string { return sn.name }
+
+// Len returns the number of components.
+func (sn *Snapshot) Len() int { return len(sn.slots) }
+
+// Update atomically writes v to component i (0-based).
+func (sn *Snapshot) Update(s Stepper, i int, v Value) {
+	s.Exec("update "+sn.name, func() { sn.slots[i] = v })
+}
+
+// Scan atomically returns a copy of all components.
+func (sn *Snapshot) Scan(s Stepper) []Value {
+	var out []Value
+	s.Exec("scan "+sn.name, func() {
+		out = make([]Value, len(sn.slots))
+		copy(out, sn.slots)
+	})
+	return out
+}

@@ -1,0 +1,188 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// countStepper runs every op immediately and counts atomic steps; it stands
+// in for the simulation runtime in unit tests.
+type countStepper struct {
+	steps int
+	descs []string
+}
+
+func (c *countStepper) Exec(desc string, op func()) {
+	c.steps++
+	c.descs = append(c.descs, desc)
+	op()
+}
+
+func TestRegister(t *testing.T) {
+	s := &countStepper{}
+	r := NewRegister("r", 0)
+	if got := r.Read(s); got != 0 {
+		t.Errorf("initial Read = %v, want 0", got)
+	}
+	r.Write(s, 42)
+	if got := r.Read(s); got != 42 {
+		t.Errorf("Read after Write = %v, want 42", got)
+	}
+	if s.steps != 3 {
+		t.Errorf("steps = %d, want 3 (each op is one atomic step)", s.steps)
+	}
+	if r.Name() != "r" {
+		t.Errorf("Name() = %q", r.Name())
+	}
+}
+
+func TestCAS(t *testing.T) {
+	s := &countStepper{}
+	c := NewCAS("c", nil)
+	if !c.CompareAndSwap(s, nil, 1) {
+		t.Error("CAS from initial nil should succeed")
+	}
+	if c.CompareAndSwap(s, nil, 2) {
+		t.Error("CAS with stale expected value should fail")
+	}
+	if got := c.Read(s); got != 1 {
+		t.Errorf("Read = %v, want 1", got)
+	}
+	if prev := c.Swap(s, 9); prev != 1 {
+		t.Errorf("Swap returned %v, want previous value 1", prev)
+	}
+	if got := c.Read(s); got != 9 {
+		t.Errorf("Read after Swap = %v, want 9", got)
+	}
+}
+
+func TestCASPointerIdentity(t *testing.T) {
+	// Composite states are stored as pointers to immutable records; CAS
+	// compares identities, so two structurally equal records are distinct.
+	type state struct{ v int }
+	s := &countStepper{}
+	a, b := &state{1}, &state{1}
+	c := NewCAS("c", a)
+	if c.CompareAndSwap(s, b, &state{2}) {
+		t.Error("CAS must compare pointer identity, not structure")
+	}
+	if !c.CompareAndSwap(s, a, b) {
+		t.Error("CAS with the installed pointer should succeed")
+	}
+}
+
+func TestTAS(t *testing.T) {
+	s := &countStepper{}
+	ts := NewTAS("t")
+	if ts.Read(s) {
+		t.Error("TAS initially unset")
+	}
+	if !ts.TestAndSet(s) {
+		t.Error("first TestAndSet should win")
+	}
+	if ts.TestAndSet(s) {
+		t.Error("second TestAndSet should lose")
+	}
+	if !ts.Read(s) {
+		t.Error("bit should be set")
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	s := &countStepper{}
+	f := NewFetchAdd("f", 10)
+	if prev := f.Add(s, 5); prev != 10 {
+		t.Errorf("Add returned %d, want previous 10", prev)
+	}
+	if got := f.Read(s); got != 15 {
+		t.Errorf("Read = %d, want 15", got)
+	}
+	if prev := f.Add(s, -3); prev != 15 {
+		t.Errorf("Add returned %d, want 15", prev)
+	}
+	if got := f.Read(s); got != 12 {
+		t.Errorf("Read = %d, want 12", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := &countStepper{}
+	sn := NewSnapshot("R", 3, 0)
+	if sn.Len() != 3 {
+		t.Fatalf("Len = %d", sn.Len())
+	}
+	sn.Update(s, 1, 7)
+	got := sn.Scan(s)
+	want := []Value{0, 7, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", got, want)
+		}
+	}
+	// Scan returns a copy: mutating it must not affect the object.
+	got[0] = 99
+	if again := sn.Scan(s); again[0] != 0 {
+		t.Error("Scan must return a defensive copy")
+	}
+	if s.steps != 3 {
+		t.Errorf("steps = %d, want 3 (one update + two scans)", s.steps)
+	}
+}
+
+func TestQuickRegisterLastWriteWins(t *testing.T) {
+	f := func(writes []int) bool {
+		s := &countStepper{}
+		r := NewRegister("r", -1)
+		for _, w := range writes {
+			r.Write(s, w)
+		}
+		want := Value(-1)
+		if len(writes) > 0 {
+			want = writes[len(writes)-1]
+		}
+		return r.Read(s) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFetchAddSum(t *testing.T) {
+	f := func(deltas []int8) bool {
+		s := &countStepper{}
+		fa := NewFetchAdd("f", 0)
+		sum := 0
+		for _, d := range deltas {
+			fa.Add(s, int(d))
+			sum += int(d)
+		}
+		return fa.Read(s) == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCASLinearizesToSequence(t *testing.T) {
+	// Applying a random sequence of CAS ops sequentially must behave like
+	// the functional model.
+	f := func(ops []struct{ Old, New uint8 }) bool {
+		s := &countStepper{}
+		c := NewCAS("c", 0)
+		model := Value(0)
+		for _, op := range ops {
+			ok := c.CompareAndSwap(s, int(op.Old), int(op.New))
+			wantOK := model == int(op.Old)
+			if wantOK {
+				model = int(op.New)
+			}
+			if ok != wantOK {
+				return false
+			}
+		}
+		return c.Read(s) == model
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package consensus implements the consensus shared object type of the
+// paper's corollaries, with three implementations:
+//
+//   - CommitAdoptOF: an obstruction-free consensus from read/write
+//     registers only, built from rounds of commit-adopt (in the style of
+//     Herlihy-Luchangco-Moir [20] and Guerraoui-Ruppert [17]). It is the
+//     (1,1)-freedom white point of Figure 1(a): a process running without
+//     step contention decides, and once any process decides, every propose
+//     returns the decision in two steps.
+//   - CASBased: a wait-free consensus from a single compare-and-swap
+//     object, the ablation showing that L_max is achievable once base
+//     objects stronger than registers are allowed (the register-only
+//     restriction is what makes the exclusion bite).
+//   - Trivial and RespondOnce: the degenerate implementations I_t and I_b
+//     from the proof of Theorem 4.9, which ensure any safety property by
+//     (almost) never responding.
+//
+// Processes propose by invoking "propose" with a value; re-invocations
+// after a decision return the decided value (the object is a one-shot
+// decision with a repeatable accessor, which is what the liveness
+// experiments need: progress = infinitely many responses).
+package consensus
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Propose is the consensus invocation name.
+const Propose = "propose"
+
+// bEntry is a commit-adopt phase-2 register value.
+type bEntry struct {
+	v      history.Value
+	commit bool
+}
+
+// caRound is one commit-adopt object built from 2n registers.
+type caRound struct {
+	a []*base.Register
+	b []*base.Register
+}
+
+func newCARound(n int) *caRound {
+	r := &caRound{
+		a: make([]*base.Register, n),
+		b: make([]*base.Register, n),
+	}
+	for i := 0; i < n; i++ {
+		r.a[i] = base.NewRegister("A", nil)
+		r.b[i] = base.NewRegister("B", nil)
+	}
+	return r
+}
+
+// run executes commit-adopt for process p with input v, returning the
+// adopted value and whether it was committed.
+func (r *caRound) run(p *sim.Proc, v history.Value) (history.Value, bool) {
+	i := p.ID() - 1
+	r.a[i].Write(p, v)
+	allSame := true
+	for j := range r.a {
+		if av := r.a[j].Read(p); av != nil && av != v {
+			allSame = false
+		}
+	}
+	r.b[i].Write(p, bEntry{v: v, commit: allSame})
+	var committed *bEntry
+	mixed := false
+	for j := range r.b {
+		bv := r.b[j].Read(p)
+		if bv == nil {
+			continue
+		}
+		e := bv.(bEntry)
+		if e.commit {
+			if committed == nil {
+				committed = &e
+			}
+		} else {
+			mixed = true
+		}
+	}
+	if committed != nil {
+		return committed.v, !mixed
+	}
+	return v, false
+}
+
+// CommitAdoptOF is obstruction-free consensus from registers: rounds of
+// commit-adopt plus a decision register.
+type CommitAdoptOF struct {
+	n        int
+	decision *base.Register
+	rounds   []*caRound
+}
+
+// NewCommitAdoptOF creates the implementation for n processes.
+func NewCommitAdoptOF(n int) *CommitAdoptOF {
+	return &CommitAdoptOF{n: n, decision: base.NewRegister("D", nil)}
+}
+
+// round returns the r-th commit-adopt object (0-based), allocating lazily.
+// Allocation is serialized by the simulator's step discipline.
+func (c *CommitAdoptOF) round(r int) *caRound {
+	for len(c.rounds) <= r {
+		c.rounds = append(c.rounds, newCARound(c.n))
+	}
+	return c.rounds[r]
+}
+
+// Apply implements sim.Object.
+func (c *CommitAdoptOF) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	if d := c.decision.Read(p); d != nil {
+		return d
+	}
+	v := inv.Arg
+	for r := 0; ; r++ {
+		adopted, committed := c.round(r).run(p, v)
+		v = adopted
+		if committed {
+			c.decision.Write(p, v)
+			return v
+		}
+		if d := c.decision.Read(p); d != nil {
+			return d
+		}
+	}
+}
+
+// CASBased is wait-free consensus from one compare-and-swap object.
+type CASBased struct {
+	c *base.CAS
+}
+
+// NewCASBased creates the implementation.
+func NewCASBased() *CASBased {
+	return &CASBased{c: base.NewCAS("C", nil)}
+}
+
+// Apply implements sim.Object.
+func (c *CASBased) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	c.c.CompareAndSwap(p, nil, inv.Arg)
+	return c.c.Read(p)
+}
+
+// Trivial is the implementation I_t from the proof of Theorem 4.9: it never
+// responds to any invocation (every process blocks forever). It vacuously
+// ensures every safety property that contains the invocation-only
+// histories.
+type Trivial struct{}
+
+// Apply implements sim.Object.
+func (Trivial) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	p.Block()
+	return nil
+}
+
+// RespondOnce is the implementation I_b from the proof of Theorem 4.9: the
+// first invocation matching (Proc, Op, Arg) receives Resp; every other
+// invocation by any process blocks forever.
+type RespondOnce struct {
+	// Proc, Op, Arg select the single invocation that gets a response.
+	Proc int
+	Op   string
+	Arg  history.Value
+	// Resp is the response it gets.
+	Resp history.Value
+
+	responded bool
+}
+
+// Apply implements sim.Object.
+func (r *RespondOnce) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	if !r.responded && p.ID() == r.Proc && inv.Op == r.Op && inv.Arg == r.Arg {
+		r.responded = true
+		return r.Resp
+	}
+	p.Block()
+	return nil
+}
+
+// ProposeForever is the liveness environment: each process proposes its
+// assigned value over and over.
+func ProposeForever(values map[int]history.Value) sim.Environment {
+	invs := make(map[int]sim.Invocation, len(values))
+	for p, v := range values {
+		invs[p] = sim.Invocation{Op: Propose, Arg: v}
+	}
+	return sim.RepeatPerProc(invs)
+}
+
+// ProposeOnce is the safety environment: each process proposes its value
+// once.
+func ProposeOnce(values map[int]history.Value) sim.Environment {
+	invs := make(map[int]sim.Invocation, len(values))
+	for p, v := range values {
+		invs[p] = sim.Invocation{Op: Propose, Arg: v}
+	}
+	return sim.OneShot(invs)
+}

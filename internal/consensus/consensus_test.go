@@ -1,0 +1,250 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+func runConsensus(t *testing.T, obj sim.Object, procs int, env sim.Environment, sched sim.Scheduler, maxSteps int) *sim.Result {
+	t.Helper()
+	res := sim.Run(sim.Config{
+		Procs: procs, Object: obj, Env: env, Scheduler: sched, MaxSteps: maxSteps,
+	})
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if !res.H.WellFormed() {
+		t.Fatalf("history not well-formed: %s", res.H)
+	}
+	return res
+}
+
+func TestCommitAdoptSoloDecidesOwnValue(t *testing.T) {
+	res := runConsensus(t, NewCommitAdoptOF(2), 2,
+		ProposeOnce(map[int]history.Value{1: 7}),
+		sim.Solo(1), 0)
+	d := safety.Decisions(res.H)
+	if d[1] != 7 {
+		t.Errorf("solo proposer decided %v, want own value 7", d[1])
+	}
+	if !(safety.AgreementValidity{}).Holds(res.H) {
+		t.Error("safety violated")
+	}
+}
+
+func TestCommitAdoptSequentialAgreement(t *testing.T) {
+	// p1 decides alone; p2 then proposes a different value and must adopt
+	// p1's decision.
+	res := runConsensus(t, NewCommitAdoptOF(2), 2,
+		ProposeOnce(map[int]history.Value{1: 7, 2: 9}),
+		sim.Seq(sim.Solo(1), sim.Solo(2)), 0)
+	d := safety.Decisions(res.H)
+	if d[1] != 7 || d[2] != 7 {
+		t.Errorf("decisions = %v, want both 7", d)
+	}
+}
+
+func TestCommitAdoptRandomSchedulesSafe(t *testing.T) {
+	// Agreement and validity must hold under arbitrary schedules and
+	// crash injection.
+	prop := safety.AgreementValidity{}
+	for seed := int64(0); seed < 200; seed++ {
+		obj := NewCommitAdoptOF(3)
+		res := sim.Run(sim.Config{
+			Procs:  3,
+			Object: obj,
+			Env: ProposeOnce(map[int]history.Value{
+				1: 10, 2: 20, 3: 30,
+			}),
+			Scheduler: sim.RandomCrashy(seed, 0.05, 2),
+			MaxSteps:  2000,
+		})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if !prop.Holds(res.H) {
+			t.Fatalf("seed %d: safety violated: %s", seed, res.H)
+		}
+	}
+}
+
+func TestCommitAdoptLockStepLivelock(t *testing.T) {
+	// Perfect lock-step alternation keeps the two processes symmetric
+	// forever: every commit-adopt round ends with both adopting their own
+	// value. This is the deterministic heart of the bivalence adversary
+	// and a direct witness that (1,2)-freedom is violated.
+	res := runConsensus(t, NewCommitAdoptOF(2), 2,
+		ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+		sim.Limit(sim.Alternate(1, 2), 600), 600)
+	if res.Reason != sim.StopBudget {
+		t.Fatalf("run should exhaust its budget, got %v", res.Reason)
+	}
+	if n := len(safety.Decisions(res.H)); n != 0 {
+		t.Fatalf("lock-step run decided (%d decisions); expected livelock", n)
+	}
+	e := liveness.FromResult(res, 0)
+	if (liveness.LK{L: 1, K: 2}).Holds(e) {
+		t.Error("(1,2)-freedom must be violated by the livelock")
+	}
+	if !(liveness.LK{L: 1, K: 1}).Holds(e) {
+		t.Error("(1,1)-freedom is vacuous here (two steppers)")
+	}
+}
+
+func TestCommitAdoptSoloAfterContentionDecides(t *testing.T) {
+	// Obstruction-freedom from an arbitrary reachable configuration: run
+	// lock-step contention for a while, then let p1 run alone; it must
+	// decide.
+	res := runConsensus(t, NewCommitAdoptOF(2), 2,
+		ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+		sim.Seq(sim.Limit(sim.Alternate(1, 2), 100), sim.Limit(sim.Solo(1), 200)), 0)
+	d := safety.Decisions(res.H)
+	if _, ok := d[1]; !ok {
+		t.Fatalf("p1 ran solo after contention and must decide; history: %s", res.H)
+	}
+	if d[1] != 0 && d[1] != 1 {
+		t.Errorf("decided %v, want a proposed value", d[1])
+	}
+}
+
+func TestCommitAdoptRepeatedProposalsReturnDecision(t *testing.T) {
+	res := runConsensus(t, NewCommitAdoptOF(2), 2,
+		ProposeForever(map[int]history.Value{1: 4, 2: 5}),
+		sim.Seq(sim.Limit(sim.Solo(1), 100), sim.Limit(&sim.RoundRobin{}, 100)), 0)
+	vals := make(map[history.Value]bool)
+	count := 0
+	for _, op := range res.H.Operations() {
+		if op.Done {
+			vals[op.Val] = true
+			count++
+		}
+	}
+	if len(vals) != 1 {
+		t.Errorf("all responses must carry the single decision, got %v", vals)
+	}
+	if count < 3 {
+		t.Errorf("repeat environment should produce many decisions, got %d", count)
+	}
+}
+
+func TestCommitAdoptCrashMidRoundIsHarmless(t *testing.T) {
+	// Crash p2 at every possible early point; p1 must still decide solo
+	// (non-blocking system) and safety must hold.
+	for crashAt := 1; crashAt <= 12; crashAt++ {
+		var sched []sim.Decision
+		for i := 0; i < crashAt; i++ {
+			sched = append(sched, sim.Decision{Proc: 2})
+		}
+		sched = append(sched, sim.Decision{Proc: 2, Crash: true})
+		obj := NewCommitAdoptOF(2)
+		res := sim.Run(sim.Config{
+			Procs:  2,
+			Object: obj,
+			Env:    ProposeOnce(map[int]history.Value{1: 1, 2: 2}),
+			Scheduler: sim.Seq(
+				sim.Fixed(sched),
+				sim.Solo(1),
+			),
+			MaxSteps: 2000,
+		})
+		if res.Err != nil {
+			t.Fatalf("crashAt %d: %v", crashAt, res.Err)
+		}
+		if !(safety.AgreementValidity{}).Holds(res.H) {
+			t.Fatalf("crashAt %d: safety violated: %s", crashAt, res.H)
+		}
+		if _, ok := safety.Decisions(res.H)[1]; !ok {
+			t.Fatalf("crashAt %d: p1 must decide despite p2's crash", crashAt)
+		}
+	}
+}
+
+func TestCASBasedConsensus(t *testing.T) {
+	t.Run("wait-free under lock-step", func(t *testing.T) {
+		// The schedule that livelocks the register implementation cannot
+		// hurt the CAS one.
+		res := runConsensus(t, NewCASBased(), 2,
+			ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+			sim.Limit(sim.Alternate(1, 2), 200), 0)
+		if !(safety.AgreementValidity{}).Holds(res.H) {
+			t.Error("safety violated")
+		}
+		e := liveness.FromResult(res, 0)
+		if !(liveness.WaitFreedom{}).Holds(e) {
+			t.Error("CAS consensus is wait-free")
+		}
+		if !(liveness.LK{L: 2, K: 2}).Holds(e) {
+			t.Error("(2,2)-freedom holds for the CAS implementation")
+		}
+	})
+	t.Run("safe under random schedules", func(t *testing.T) {
+		for seed := int64(0); seed < 100; seed++ {
+			res := sim.Run(sim.Config{
+				Procs:     3,
+				Object:    NewCASBased(),
+				Env:       ProposeOnce(map[int]history.Value{1: 1, 2: 2, 3: 3}),
+				Scheduler: sim.Random(seed),
+				MaxSteps:  500,
+			})
+			if !(safety.AgreementValidity{}).Holds(res.H) {
+				t.Fatalf("seed %d: safety violated: %s", seed, res.H)
+			}
+		}
+	})
+}
+
+func TestTrivialNeverResponds(t *testing.T) {
+	res := runConsensus(t, Trivial{}, 2,
+		ProposeOnce(map[int]history.Value{1: 1, 2: 2}),
+		&sim.RoundRobin{}, 0)
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse {
+			t.Fatalf("Trivial responded: %s", res.H)
+		}
+	}
+	// It vacuously ensures consensus safety.
+	if !(safety.AgreementValidity{}).Holds(res.H) {
+		t.Error("invocation-only histories satisfy agreement+validity")
+	}
+	if res.Reason != sim.StopQuiescent {
+		t.Errorf("all processes parked: want quiescent stop, got %v", res.Reason)
+	}
+}
+
+func TestRespondOnce(t *testing.T) {
+	obj := &RespondOnce{Proc: 1, Op: Propose, Arg: 7, Resp: 7}
+	res := runConsensus(t, obj, 2,
+		sim.Script(map[int][]sim.Invocation{
+			1: {{Op: Propose, Arg: 7}, {Op: Propose, Arg: 7}},
+			2: {{Op: Propose, Arg: 7}},
+		}),
+		&sim.RoundRobin{}, 100)
+	responses := 0
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse {
+			responses++
+			if e.Proc != 1 || e.Val != 7 {
+				t.Errorf("unexpected response %s", e)
+			}
+		}
+	}
+	if responses != 1 {
+		t.Errorf("got %d responses, want exactly 1", responses)
+	}
+}
+
+func TestRespondOnceWrongInvocationBlocks(t *testing.T) {
+	obj := &RespondOnce{Proc: 1, Op: Propose, Arg: 7, Resp: 7}
+	res := runConsensus(t, obj, 1,
+		ProposeOnce(map[int]history.Value{1: 9}), // arg mismatch
+		&sim.RoundRobin{}, 100)
+	for _, e := range res.H {
+		if e.Kind == history.KindResponse {
+			t.Fatalf("mismatching invocation must block: %s", res.H)
+		}
+	}
+}

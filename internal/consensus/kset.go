@@ -1,0 +1,55 @@
+package consensus
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// DecideOwn is the trivial wait-free k-set agreement implementation for
+// n <= k processes: every process announces and decides its own value (at
+// most n <= k distinct decisions). For n >= k+1 it violates k-set
+// agreement, matching the Borowsky-Gafni boundary: k-set agreement is
+// wait-free solvable from registers iff n <= k.
+type DecideOwn struct {
+	ann *base.Snapshot
+}
+
+// NewDecideOwn creates the implementation for n processes.
+func NewDecideOwn(n int) *DecideOwn {
+	return &DecideOwn{ann: base.NewSnapshot("ann", n, nil)}
+}
+
+// Apply implements sim.Object.
+func (d *DecideOwn) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	d.ann.Update(p, p.ID()-1, inv.Arg)
+	return inv.Arg
+}
+
+// FirstAnnounced is a k-set agreement implementation that decides the
+// value in the lowest announced slot it observes: wait-free and safe for
+// every n (all processes converge to at most... in fact exactly the values
+// that were in low slots when each scanned — up to n distinct values in
+// adversarial interleavings, but at most k when at most k values are ever
+// announced). It is used by tests as a *plausible but wrong* candidate for
+// n > k: the explorer finds the violating interleaving.
+type FirstAnnounced struct {
+	ann *base.Snapshot
+}
+
+// NewFirstAnnounced creates the implementation for n processes.
+func NewFirstAnnounced(n int) *FirstAnnounced {
+	return &FirstAnnounced{ann: base.NewSnapshot("ann", n, nil)}
+}
+
+// Apply implements sim.Object.
+func (d *FirstAnnounced) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	d.ann.Update(p, p.ID()-1, inv.Arg)
+	snap := d.ann.Scan(p)
+	for _, v := range snap {
+		if v != nil {
+			return v
+		}
+	}
+	return inv.Arg
+}

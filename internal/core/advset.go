@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/history"
+)
+
+// HistorySet is a finitely generated set of histories (the representable
+// fragment of the paper's adversary sets and liveness-property
+// complements).
+type HistorySet struct {
+	// Name labels the set in reports.
+	Name string
+
+	byKey map[string]history.History
+}
+
+// NewHistorySet builds a set from histories (duplicates collapse).
+func NewHistorySet(name string, hs ...history.History) *HistorySet {
+	s := &HistorySet{Name: name, byKey: make(map[string]history.History, len(hs))}
+	for _, h := range hs {
+		s.byKey[h.Key()] = h
+	}
+	return s
+}
+
+// Len returns the number of histories.
+func (s *HistorySet) Len() int { return len(s.byKey) }
+
+// Contains reports membership.
+func (s *HistorySet) Contains(h history.History) bool {
+	_, ok := s.byKey[h.Key()]
+	return ok
+}
+
+// Histories returns the members in a deterministic order.
+func (s *HistorySet) Histories() []history.History {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]history.History, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// Intersect returns the intersection of the two sets.
+func Intersect(a, b *HistorySet) *HistorySet {
+	out := NewHistorySet(a.Name + "∩" + b.Name)
+	for k, h := range a.byKey {
+		if _, ok := b.byKey[k]; ok {
+			out.byKey[k] = h
+		}
+	}
+	return out
+}
+
+// Gmax returns the intersection of all the sets (the G_max of Theorem 4.4
+// over the given family of adversary sets w.r.t. L_max and S).
+func Gmax(sets ...*HistorySet) *HistorySet {
+	if len(sets) == 0 {
+		return NewHistorySet("Gmax")
+	}
+	cur := sets[0]
+	for _, s := range sets[1:] {
+		cur = Intersect(cur, s)
+	}
+	cur.Name = "Gmax"
+	return cur
+}
+
+// Empty reports whether the set has no histories. When the family of
+// adversary sets has an empty intersection, G_max cannot be an adversary
+// set (adversary sets are non-empty by Definition 4.3), so by Theorem 4.4
+// there is no weakest liveness property excluding S — the operational core
+// of Corollaries 4.5 and 4.6.
+func (s *HistorySet) Empty() bool { return len(s.byKey) == 0 }
+
+// PendingCorrectSomewhere reports whether every history in the set leaves
+// at least one correct process pending. Read as external histories of
+// infinite fair executions with no further external events, such histories
+// violate the one-shot L_max (wait-freedom / every correct invocation
+// eventually returns) — Definition 4.3's condition (2), F ⊆ complement of
+// L_max, on the finite representation.
+func (s *HistorySet) PendingCorrectSomewhere() bool {
+	for _, h := range s.Histories() {
+		found := false
+		for _, p := range h.PendingProcs() {
+			if h.Correct(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

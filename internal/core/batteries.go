@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/sim"
+	"repro/internal/tm"
+)
+
+// Batteries are built from fair runs only: every live process keeps taking
+// steps (adversary strategies, lockstep rotation, round-robin) or is
+// crashed (solo runs). Liveness verdicts are only meaningful on fair
+// executions (Section 3.2).
+
+// ConsensusBattery builds the Figure 1(a) evidence for the register-only
+// commit-adopt consensus implementation: the bivalence-adversary run and
+// the deterministic lockstep livelock (the violations), plus solo-after-
+// crash, crash-mid-run and n-process round-robin runs (the positive
+// evidence).
+func ConsensusBattery(n int) (*Battery, error) {
+	b := &Battery{Impl: "commit-adopt-OF(registers)"}
+
+	adv := &adversary.Bivalence{
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		V1:        0,
+		V2:        1,
+	}
+	bres, err := adv.Run(140)
+	if err != nil {
+		return nil, fmt.Errorf("core: bivalence adversary failed: %w", err)
+	}
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "bivalence-adversary",
+		Exec: liveness.FromResult(bres.Run, 0),
+	})
+
+	lock := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    consensus.NewCommitAdoptOF(2),
+		Env:       consensus.ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+		Scheduler: sim.Limit(sim.Alternate(1, 2), 400),
+		MaxSteps:  400,
+	})
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "lockstep-livelock",
+		Exec: liveness.FromResult(lock, 100),
+	})
+
+	for p := 1; p <= 2; p++ {
+		other := 3 - p
+		solo := sim.Run(sim.Config{
+			Procs:  2,
+			Object: consensus.NewCommitAdoptOF(2),
+			Env:    consensus.ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+			Scheduler: sim.Seq(
+				sim.Fixed([]sim.Decision{{Proc: other, Crash: true}}),
+				sim.Limit(sim.Solo(p), 200),
+			),
+			MaxSteps: 220,
+		})
+		b.Runs = append(b.Runs, BatteryRun{
+			Name: fmt.Sprintf("solo-p%d-after-crash", p),
+			Exec: liveness.FromResult(solo, 50),
+		})
+	}
+
+	crashMid := sim.Run(sim.Config{
+		Procs:  2,
+		Object: consensus.NewCommitAdoptOF(2),
+		Env:    consensus.ProposeForever(map[int]history.Value{1: 0, 2: 1}),
+		Scheduler: sim.Seq(
+			sim.Limit(sim.Alternate(1, 2), 9),
+			sim.Fixed([]sim.Decision{{Proc: 2, Crash: true}}),
+			sim.Limit(sim.Solo(1), 200),
+		),
+		MaxSteps: 250,
+	})
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "crash-mid-run-then-solo",
+		Exec: liveness.FromResult(crashMid, 50),
+	})
+
+	values := make(map[int]history.Value, n)
+	for p := 1; p <= n; p++ {
+		values[p] = p * 11
+	}
+	rr := sim.Run(sim.Config{
+		Procs:     n,
+		Object:    consensus.NewCommitAdoptOF(n),
+		Env:       consensus.ProposeForever(values),
+		Scheduler: sim.Limit(&sim.RoundRobin{}, 300*n),
+		MaxSteps:  300 * n,
+	})
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "round-robin-all",
+		Exec: liveness.FromResult(rr, 60*n),
+	})
+	return b, nil
+}
+
+// tmKind selects a TM implementation family for battery construction.
+type tmKind int
+
+const (
+	kindGlobalCAS tmKind = iota + 1
+	kindI12
+)
+
+func (k tmKind) name() string {
+	if k == kindGlobalCAS {
+		return "global-CAS(AGP)"
+	}
+	return "I(1,2)(Algorithm 1)"
+}
+
+func (k tmKind) make(n int) sim.Object {
+	if k == kindGlobalCAS {
+		return tm.NewGlobalCAS(n)
+	}
+	return tm.NewI12(n)
+}
+
+// tmBattery builds the shared run set for a TM implementation: the
+// starvation adversary, lockstep contention, solo-after-crash runs, and an
+// n-process round-robin random workload. For I12 it additionally includes
+// the Section 5.3 S3 adversary run (three lockstep starters), which is the
+// run that separates (1,2) from (1,3).
+func tmBattery(kind tmKind, n int) *Battery {
+	b := &Battery{Impl: kind.name()}
+
+	starve := adversary.NewTMStarve(1, 2)
+	sres := starve.Attack(kind.make(2), 2, 600)
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "tmstarve-adversary",
+		Exec: liveness.FromResult(sres, 150),
+	})
+
+	contention := map[int]tm.Txn{
+		1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	lock := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    kind.make(2),
+		Env:       tm.TxnLoop(contention),
+		Scheduler: sim.Limit(sim.Alternate(1, 2), 400),
+		MaxSteps:  400,
+	})
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "lockstep-contention",
+		Exec: liveness.FromResult(lock, 100),
+	})
+
+	for p := 1; p <= 2; p++ {
+		other := 3 - p
+		solo := sim.Run(sim.Config{
+			Procs:  2,
+			Object: kind.make(2),
+			Env:    tm.TxnLoop(contention),
+			Scheduler: sim.Seq(
+				sim.Fixed([]sim.Decision{{Proc: other, Crash: true}}),
+				sim.Limit(sim.Solo(p), 200),
+			),
+			MaxSteps: 220,
+		})
+		b.Runs = append(b.Runs, BatteryRun{
+			Name: fmt.Sprintf("solo-p%d-after-crash", p),
+			Exec: liveness.FromResult(solo, 50),
+		})
+	}
+
+	rr := sim.Run(sim.Config{
+		Procs:     n,
+		Object:    kind.make(n),
+		Env:       tm.TxnLoop(tm.RandomWorkload(7, n, 3, 2)),
+		Scheduler: sim.Limit(&sim.RoundRobin{}, 300*n),
+		MaxSteps:  300 * n,
+	})
+	b.Runs = append(b.Runs, BatteryRun{
+		Name: "round-robin-random-workload",
+		Exec: liveness.FromResult(rr, 60*n),
+	})
+
+	if kind == kindI12 && n >= 3 {
+		s3 := adversary.NewS3(3)
+		s3res := s3.Attack(kind.make(3), 900)
+		b.Runs = append(b.Runs, BatteryRun{
+			Name: "s3-adversary",
+			Exec: liveness.FromResult(s3res, 200),
+		})
+	}
+	return b
+}
+
+// TMOpacityBatteries builds the Figure 1(b) evidence: the GlobalCAS
+// battery (certifying the l=1 column) and the I12 battery.
+func TMOpacityBatteries(n int) []*Battery {
+	return []*Battery{
+		tmBattery(kindGlobalCAS, n),
+		tmBattery(kindI12, n),
+	}
+}
+
+// TMPropertySBattery builds the Section 5.3 evidence: the I12 battery
+// including the S3 adversary run.
+func TMPropertySBattery(n int) *Battery {
+	return tmBattery(kindI12, n)
+}
+
+// Figure1a classifies the consensus plane (panel a).
+func Figure1a(n int) (*PlaneClassification, error) {
+	b, err := ConsensusBattery(n)
+	if err != nil {
+		return nil, err
+	}
+	return ClassifyPlane(n, "agreement+validity (registers only)", nil, []*Battery{b}), nil
+}
+
+// Figure1b classifies the TM opacity plane (panel b).
+func Figure1b(n int) *PlaneClassification {
+	return ClassifyPlane(n, "opacity", liveness.TMGood(), TMOpacityBatteries(n))
+}
+
+// Section53Plane classifies the (l,k) plane against the Section 5.3
+// property S with the I12 implementation, exhibiting two incomparable
+// minimal black points.
+func Section53Plane(n int) *PlaneClassification {
+	return ClassifyPlane(n, "S (opacity + timestamp rule)", liveness.TMGood(),
+		[]*Battery{TMPropertySBattery(n)})
+}

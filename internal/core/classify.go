@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/liveness"
+)
+
+// Battery is a labeled set of bounded fair executions of one
+// implementation: the runs against which (l,k)-freedom points are judged.
+// A battery should contain the adversarial runs that witness violations
+// (bivalence schedules, starvation strategies) as well as benign runs
+// (solo after crashes, fair rotation) so that white points carry real
+// evidence.
+type Battery struct {
+	// Impl names the implementation the runs were produced from.
+	Impl string
+	// Runs are the labeled executions.
+	Runs []BatteryRun
+}
+
+// BatteryRun is one labeled bounded execution.
+type BatteryRun struct {
+	// Name describes the schedule/adversary that produced the run.
+	Name string
+	// Exec is the bounded execution.
+	Exec *liveness.Execution
+}
+
+// Validate checks that every run in the battery is fair in the windowed
+// sense — the precondition for liveness verdicts to mean anything.
+func (b *Battery) Validate() error {
+	for _, r := range b.Runs {
+		if !r.Exec.Fair() {
+			return fmt.Errorf("core: battery %s run %s is not fair", b.Impl, r.Name)
+		}
+	}
+	return nil
+}
+
+// Violations returns the runs of the battery on which the property fails.
+func (b *Battery) Violations(p liveness.Property) []string {
+	var out []string
+	for _, r := range b.Runs {
+		if !p.Holds(r.Exec) {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// ClassifyPlane classifies every (l,k) point against the batteries: a
+// point is white when some battery (implementation) satisfies
+// (l,k)-freedom on all of its runs, black otherwise, with witnesses
+// recorded either way. good is the object type's good-response set G_Tp.
+func ClassifyPlane(n int, safetyName string, good liveness.Good, batteries []*Battery) *PlaneClassification {
+	pc := &PlaneClassification{
+		N:          n,
+		SafetyName: safetyName,
+		Points:     make(map[LKPoint]PointInfo),
+	}
+	for _, pt := range Plane(n) {
+		prop := liveness.LK{L: pt.L, K: pt.K, Good: good}
+		info := PointInfo{Point: pt, Class: Black}
+		var firstViolation string
+		for _, b := range batteries {
+			viols := b.Violations(prop)
+			if len(viols) == 0 {
+				info.Class = White
+				info.Witness = b.Impl
+				break
+			}
+			if firstViolation == "" {
+				firstViolation = fmt.Sprintf("%s/%s", b.Impl, viols[0])
+			}
+		}
+		if info.Class == Black {
+			info.Witness = firstViolation
+		}
+		pc.Points[pt] = info
+	}
+	return pc
+}

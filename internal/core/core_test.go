@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/history"
+	"repro/internal/safety"
+	"repro/internal/tm"
+)
+
+func TestFigure1aConsensusPlane(t *testing.T) {
+	pc, err := Figure1a(4)
+	if err != nil {
+		t.Fatalf("classification failed: %v", err)
+	}
+	if err := pc.Monotone(); err != nil {
+		t.Fatalf("classification inconsistent: %v", err)
+	}
+	// The paper's panel (a): (1,1) is the only white point.
+	whites := pc.Whites()
+	if len(whites) != 1 || whites[0] != (LKPoint{1, 1}) {
+		t.Fatalf("whites = %v, want exactly [(1,1)]\n%s", whites, pc.Render())
+	}
+	s, ok := pc.StrongestImplementable()
+	if !ok || s != (LKPoint{1, 1}) {
+		t.Errorf("strongest implementable = %v, %v; want (1,1)", s, ok)
+	}
+	w, ok := pc.WeakestNonImplementable()
+	if !ok || w != (LKPoint{1, 2}) {
+		t.Errorf("weakest non-implementable = %v, %v; want (1,2)", w, ok)
+	}
+}
+
+func TestFigure1bTMPlane(t *testing.T) {
+	pc := Figure1b(4)
+	if err := pc.Monotone(); err != nil {
+		t.Fatalf("classification inconsistent: %v", err)
+	}
+	// The paper's panel (b): the l=1 column is white, everything else
+	// black.
+	for _, p := range Plane(4) {
+		want := Black
+		if p.L == 1 {
+			want = White
+		}
+		if got := pc.Class(p); got != want {
+			t.Errorf("%v classified %v, want %v\n%s", p, got, want, pc.Render())
+		}
+	}
+	s, ok := pc.StrongestImplementable()
+	if !ok || s != (LKPoint{1, 4}) {
+		t.Errorf("strongest implementable = %v, %v; want (1,n)=(1,4)", s, ok)
+	}
+	w, ok := pc.WeakestNonImplementable()
+	if !ok || w != (LKPoint{2, 2}) {
+		t.Errorf("weakest non-implementable = %v, %v; want (2,2)", w, ok)
+	}
+	// Theorem 5.3's remark: the two are incomparable.
+	if s.Comparable(w) {
+		t.Error("(1,n) and (2,2) must be incomparable")
+	}
+}
+
+func TestSection53NoWeakest(t *testing.T) {
+	pc := Section53Plane(4)
+	if err := pc.Monotone(); err != nil {
+		t.Fatalf("classification inconsistent: %v", err)
+	}
+	// Against property S, I12 certifies (1,1) and (1,2); (2,2) and (1,3)
+	// are both black and minimal: no weakest excluding (l,k)-freedom.
+	s, ok := pc.StrongestImplementable()
+	if !ok || s != (LKPoint{1, 2}) {
+		t.Errorf("strongest implementable = %v, %v; want (1,2)", s, ok)
+	}
+	mb := pc.MinimalBlacks()
+	if len(mb) != 2 {
+		t.Fatalf("minimal blacks = %v, want the incomparable pair\n%s", mb, pc.Render())
+	}
+	if mb[0] != (LKPoint{2, 2}) || mb[1] != (LKPoint{1, 3}) {
+		t.Errorf("minimal blacks = %v, want [(2,2) (1,3)]", mb)
+	}
+	if _, ok := pc.WeakestNonImplementable(); ok {
+		t.Error("no unique weakest non-implementable point may exist")
+	}
+}
+
+func TestCorollary45GmaxEmpty(t *testing.T) {
+	f1 := NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
+	f2 := NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
+	if f1.Len() != 6 || f2.Len() != 6 {
+		t.Fatalf("|F1|=%d |F2|=%d", f1.Len(), f2.Len())
+	}
+	// Definition 4.3 condition (2) on the finite representation: every
+	// history leaves a correct process pending, violating L_max.
+	if !f1.PendingCorrectSomewhere() || !f2.PendingCorrectSomewhere() {
+		t.Error("adversary-set histories must violate wait-freedom")
+	}
+	g := Gmax(f1, f2)
+	if !g.Empty() {
+		t.Fatalf("G_max must be empty, got %d histories", g.Len())
+	}
+}
+
+func TestCorollary46TMGmaxEmpty(t *testing.T) {
+	// Generate the two TM adversary sets by unrolling the strategies
+	// against the I12 implementation at several horizons and taking the
+	// run histories. Disjointness follows from the first event (start_1
+	// vs start_2).
+	runs1 := tmStarveHistories(t, 1, 2)
+	runs2 := tmStarveHistories(t, 2, 1)
+	f1 := NewHistorySet("TM-F1", runs1...)
+	f2 := NewHistorySet("TM-F2", runs2...)
+	if f1.Len() == 0 || f2.Len() == 0 {
+		t.Fatal("empty adversary sets")
+	}
+	if !Gmax(f1, f2).Empty() {
+		t.Fatal("the swapped TM adversary sets must be disjoint")
+	}
+}
+
+func tmStarveHistories(t *testing.T, victim, helper int) []history.History {
+	t.Helper()
+	var out []history.History
+	for _, steps := range []int{120, 240, 360} {
+		adv := adversary.NewTMStarve(victim, helper)
+		res := adv.Attack(tm.NewI12(2), 2, steps)
+		if res.Err != nil {
+			t.Fatalf("attack: %v", res.Err)
+		}
+		out = append(out, res.H)
+	}
+	return out
+}
+
+func TestBatteriesAreFair(t *testing.T) {
+	// Liveness verdicts are only meaningful on fair runs; every battery
+	// run must be fair in the windowed sense.
+	cb, err := ConsensusBattery(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batteries := append(TMOpacityBatteries(3), cb)
+	for _, b := range batteries {
+		if err := b.Validate(); err != nil {
+			t.Errorf("battery fairness: %v", err)
+		}
+	}
+}
+
+func TestKSetCorollaryGmaxEmpty(t *testing.T) {
+	// The paper's Section 1 remark applied: the swapped k-set adversary
+	// sets are disjoint, so no weakest liveness excludes k-set agreement
+	// either.
+	values := []history.Value{10, 20, 30}
+	f1 := NewHistorySet("kset-F1", adversary.KSetF1(2, values)...)
+	f2 := NewHistorySet("kset-F2", adversary.KSetF2(2, values)...)
+	if f1.Len() == 0 || f2.Len() == 0 {
+		t.Fatal("empty k-set adversary sets")
+	}
+	for _, h := range f1.Histories() {
+		if !(safety.KSetAgreement{K: 2}).Holds(h) {
+			t.Fatalf("F1 history must satisfy 2-set agreement: %s", h)
+		}
+	}
+	if !f1.PendingCorrectSomewhere() || !f2.PendingCorrectSomewhere() {
+		t.Error("k-set adversary histories must violate L_max")
+	}
+	if !Gmax(f1, f2).Empty() {
+		t.Fatal("the swapped k-set adversary sets must be disjoint")
+	}
+}
+
+func TestHistorySetOps(t *testing.T) {
+	h1 := history.History{history.Invoke(1, "propose", 0)}
+	h2 := history.History{history.Invoke(2, "propose", 0)}
+	a := NewHistorySet("a", h1, h2, h1)
+	if a.Len() != 2 {
+		t.Errorf("duplicates must collapse: %d", a.Len())
+	}
+	b := NewHistorySet("b", h2)
+	i := Intersect(a, b)
+	if i.Len() != 1 || !i.Contains(h2) || i.Contains(h1) {
+		t.Errorf("intersection wrong: %v", i.Histories())
+	}
+	if Gmax(a, b).Len() != 1 {
+		t.Error("Gmax of two sets is their intersection")
+	}
+	if Gmax().Len() != 0 {
+		t.Error("empty family yields empty Gmax")
+	}
+}
+
+func TestTheorem44OnFiniteModels(t *testing.T) {
+	t.Run("weakest exists", func(t *testing.T) {
+		r, err := ModelWithWeakest().CheckTheorem44()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.WeakestExists {
+			t.Error("a weakest excluding property must exist")
+		}
+		if !r.GmaxIsAdversary {
+			t.Error("G_max must be an adversary set")
+		}
+		if !r.Agrees {
+			t.Error("both sides of the iff must agree")
+		}
+		if !r.WeakestIsGmaxComplement {
+			t.Errorf("weakest %b must be the complement of Gmax %b", r.Weakest, r.Gmax)
+		}
+	})
+	t.Run("no weakest (corollary shape)", func(t *testing.T) {
+		r, err := ModelWithoutWeakest().CheckTheorem44()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.WeakestExists {
+			t.Error("no weakest excluding property may exist")
+		}
+		if r.GmaxIsAdversary {
+			t.Error("G_max must fail to be an adversary set")
+		}
+		if !r.Agrees {
+			t.Error("both sides of the iff must agree")
+		}
+	})
+	t.Run("exhaustive random models", func(t *testing.T) {
+		// Theorem 4.4 must hold on every finite model: sweep a family of
+		// small models exhaustively.
+		for u := 2; u <= 4; u++ {
+			all := uint32(1)<<uint(u) - 1
+			for lmax := uint32(1); lmax <= all; lmax++ {
+				for f1 := uint32(1); f1 <= all; f1++ {
+					m := &FiniteModel{U: u, Lmax: lmax, Impls: []uint32{f1}}
+					r, err := m.CheckTheorem44()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !r.Agrees {
+						t.Fatalf("Theorem 4.4 fails on U=%d Lmax=%b fair=%b: %+v", u, lmax, f1, r)
+					}
+					if !r.WeakestIsGmaxComplement {
+						t.Fatalf("weakest != complement(Gmax) on U=%d Lmax=%b fair=%b", u, lmax, f1)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestTheorem49(t *testing.T) {
+	r, err := CheckTheorem49(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Holds() {
+		t.Fatalf("Theorem 4.9 proof steps failed:\n%s", r)
+	}
+}
+
+func TestFiniteModelValidate(t *testing.T) {
+	bad := &FiniteModel{U: 25}
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized universe must be rejected")
+	}
+	outside := &FiniteModel{U: 2, Lmax: 1 << 3}
+	if err := outside.Validate(); err == nil {
+		t.Error("Lmax outside universe must be rejected")
+	}
+}

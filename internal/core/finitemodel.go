@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// FiniteModel is an abstract instance of the paper's Section 4 setting
+// with a finite universe of histories, on which Theorem 4.4 can be
+// verified by exhaustive enumeration:
+//
+//   - the universe is {0, ..., U-1}, each element an abstract well-formed
+//     history of S (Definition 4.3's condition F ⊆ S is built in);
+//   - Lmax is the strongest liveness property; every liveness property is
+//     a superset of Lmax (Definition 3.2);
+//   - Impls holds fair(A_I) for every implementation I ensuring S — the
+//     quantification domain of Definitions 4.1 and 4.3.
+//
+// Sets are bitmasks over the universe; U must be at most 20 (2^U subsets
+// are enumerated).
+type FiniteModel struct {
+	U     int
+	Lmax  uint32
+	Impls []uint32
+}
+
+// Validate checks the model's basic sanity.
+func (m *FiniteModel) Validate() error {
+	if m.U < 1 || m.U > 20 {
+		return fmt.Errorf("core: universe size %d out of range [1,20]", m.U)
+	}
+	all := m.all()
+	if m.Lmax&^all != 0 {
+		return fmt.Errorf("core: Lmax outside universe")
+	}
+	for i, f := range m.Impls {
+		if f&^all != 0 {
+			return fmt.Errorf("core: impl %d fair set outside universe", i)
+		}
+	}
+	return nil
+}
+
+func (m *FiniteModel) all() uint32 { return uint32(1)<<uint(m.U) - 1 }
+
+// Excludes reports whether the liveness property L excludes S in the
+// model: no implementation ensuring S has fair(A_I) ⊆ L (Definition 4.1).
+func (m *FiniteModel) Excludes(l uint32) bool {
+	for _, f := range m.Impls {
+		if f&^l == 0 {
+			return false // this implementation ensures both S and L
+		}
+	}
+	return true
+}
+
+// LivenessProperties enumerates every liveness property of the model: all
+// supersets of Lmax.
+func (m *FiniteModel) LivenessProperties() []uint32 {
+	rest := m.all() &^ m.Lmax
+	var out []uint32
+	// Enumerate subsets of the non-Lmax part and union with Lmax.
+	for sub := uint32(0); ; sub = (sub - rest) & rest {
+		out = append(out, m.Lmax|sub)
+		if sub == rest {
+			break
+		}
+	}
+	return out
+}
+
+// WeakestExcluding returns the weakest liveness property excluding S
+// (Definition 4.2), if it exists: the unique excluding property that every
+// excluding property is stronger than (i.e. a subset of).
+func (m *FiniteModel) WeakestExcluding() (uint32, bool) {
+	var union uint32
+	found := false
+	for _, l := range m.LivenessProperties() {
+		if m.Excludes(l) {
+			union |= l
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// The union of all excluding properties is weaker than each of them;
+	// the weakest excluding property exists iff the union itself excludes
+	// (then it is the maximum of the excluding family).
+	if m.Excludes(union) {
+		return union, true
+	}
+	return 0, false
+}
+
+// IsAdversarySetWrtLmax checks Definition 4.3 for F against L_max: F
+// non-empty, F ⊆ complement(Lmax), and every implementation has a fair
+// history in F. (F ⊆ S holds by construction of the universe.)
+func (m *FiniteModel) IsAdversarySetWrtLmax(f uint32) bool {
+	if f == 0 || f&m.Lmax != 0 {
+		return false
+	}
+	for _, fair := range m.Impls {
+		if fair&f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GmaxSet returns the intersection of all adversary sets w.r.t. L_max, and
+// whether at least one adversary set exists.
+func (m *FiniteModel) GmaxSet() (uint32, bool) {
+	g := m.all()
+	any := false
+	rest := m.all() &^ m.Lmax
+	for sub := uint32(0); ; sub = (sub - rest) & rest {
+		if m.IsAdversarySetWrtLmax(sub) {
+			g &= sub
+			any = true
+		}
+		if sub == rest {
+			break
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	return g, true
+}
+
+// Theorem44Report is the outcome of checking Theorem 4.4 on a model.
+type Theorem44Report struct {
+	// WeakestExists says whether a weakest excluding liveness property
+	// exists (left side of the iff).
+	WeakestExists bool
+	// Weakest is that property when it exists.
+	Weakest uint32
+	// GmaxIsAdversary says whether G_max is itself an adversary set w.r.t.
+	// L_max (right side of the iff).
+	GmaxIsAdversary bool
+	// Gmax is the intersection of all adversary sets (0 if none exist).
+	Gmax uint32
+	// Agrees says whether the two sides agree, i.e. the theorem holds on
+	// this model.
+	Agrees bool
+	// WeakestIsGmaxComplement says whether, when both sides hold, the
+	// weakest excluding property is exactly the complement of G_max (as
+	// the proof of Theorem 4.4 constructs it).
+	WeakestIsGmaxComplement bool
+}
+
+// CheckTheorem44 verifies both directions of Theorem 4.4 on the model by
+// brute force.
+func (m *FiniteModel) CheckTheorem44() (*Theorem44Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Theorem44Report{}
+	r.Weakest, r.WeakestExists = m.WeakestExcluding()
+	var haveAdv bool
+	r.Gmax, haveAdv = m.GmaxSet()
+	r.GmaxIsAdversary = haveAdv && m.IsAdversarySetWrtLmax(r.Gmax)
+	r.Agrees = r.WeakestExists == r.GmaxIsAdversary
+	if r.WeakestExists && r.GmaxIsAdversary {
+		r.WeakestIsGmaxComplement = r.Weakest == m.all()&^r.Gmax
+	} else {
+		r.WeakestIsGmaxComplement = true // vacuous
+	}
+	return r, nil
+}
+
+// PopCount returns the number of histories in the set (exported for
+// reporting).
+func PopCount(set uint32) int { return bits.OnesCount32(set) }
+
+// ModelWithWeakest is a canonical instance where the weakest excluding
+// liveness property exists: a single history (index 1) lies in every
+// implementation's fair set outside Lmax, so every adversary set contains
+// it and G_max = {1} is itself an adversary set.
+func ModelWithWeakest() *FiniteModel {
+	return &FiniteModel{
+		U:    4,
+		Lmax: 1 << 0,
+		Impls: []uint32{
+			1 << 1,
+			1<<1 | 1<<2,
+		},
+	}
+}
+
+// ModelWithoutWeakest mirrors the consensus/TM corollaries: the single
+// implementation has two interchangeable bad fair histories (indices 1 and
+// 2 — "swap the processes"), giving two disjoint adversary sets {1} and
+// {2}; G_max = ∅ is not an adversary set and no weakest excluding property
+// exists.
+func ModelWithoutWeakest() *FiniteModel {
+	return &FiniteModel{
+		U:    4,
+		Lmax: 1 << 0,
+		Impls: []uint32{
+			1<<1 | 1<<2 | 1<<3,
+		},
+	}
+}

@@ -1,0 +1,246 @@
+// Package core is the paper's primary contribution mechanized: the
+// safety-liveness exclusion machinery.
+//
+// It provides:
+//
+//   - the (l,k)-freedom lattice with its partial order, the classification
+//     of the (l,k) plane against implementation batteries (regenerating
+//     Figure 1), and the extraction of strongest-implementable /
+//     weakest-non-implementable points (Theorems 5.2, 5.3 and the Section
+//     5.3 counterexample);
+//   - adversary sets (Definition 4.3) over finitely generated history
+//     sets, with intersections and the G_max of Theorem 4.4 (Corollaries
+//     4.5 and 4.6);
+//   - a finite abstract model on which Theorem 4.4 itself is verified by
+//     brute force (both directions of the iff);
+//   - the Theorem 4.9 engine over the I/O-automata models of the trivial
+//     implementations I_t and I_b.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LKPoint is a point (l,k) of the (l,k)-freedom plane, 1 <= l <= k <= n.
+type LKPoint struct {
+	L, K int
+}
+
+// String renders the point as "(l,k)".
+func (p LKPoint) String() string { return fmt.Sprintf("(%d,%d)", p.L, p.K) }
+
+// Valid reports whether the point satisfies 1 <= l <= k.
+func (p LKPoint) Valid() bool { return 1 <= p.L && p.L <= p.K }
+
+// StrongerEq reports whether p is at least as strong as q: an
+// implementation ensuring (p.L,p.K)-freedom ensures (q.L,q.K)-freedom. The
+// order is componentwise: LF_l shrinks as l grows and OF_k shrinks as k
+// grows, so LF_{l1} ∪ OF_{k1} ⊆ LF_{l2} ∪ OF_{k2} iff l1 >= l2 and
+// k1 >= k2 (Figure 1's "the more to the right and the higher, the
+// stronger").
+func (p LKPoint) StrongerEq(q LKPoint) bool { return p.L >= q.L && p.K >= q.K }
+
+// Comparable reports whether p and q are ordered either way.
+func (p LKPoint) Comparable(q LKPoint) bool {
+	return p.StrongerEq(q) || q.StrongerEq(p)
+}
+
+// Plane enumerates all valid points with k <= n, in (k, l) order.
+func Plane(n int) []LKPoint {
+	var out []LKPoint
+	for k := 1; k <= n; k++ {
+		for l := 1; l <= k; l++ {
+			out = append(out, LKPoint{L: l, K: k})
+		}
+	}
+	return out
+}
+
+// PointClass is the Figure 1 color of a point.
+type PointClass int
+
+// Point classes. White marks properties that do not exclude the safety
+// property (implementable together with it); black marks properties that
+// do.
+const (
+	White PointClass = iota + 1
+	Black
+)
+
+// String names the class.
+func (c PointClass) String() string {
+	switch c {
+	case White:
+		return "white"
+	case Black:
+		return "black"
+	default:
+		return fmt.Sprintf("PointClass(%d)", int(c))
+	}
+}
+
+// PointInfo is the classification of one point with its evidence.
+type PointInfo struct {
+	Point LKPoint
+	Class PointClass
+	// Witness names the implementation whose battery certifies a white
+	// point, or the battery run that violates the property for a black
+	// point.
+	Witness string
+}
+
+// PlaneClassification is the result of classifying the whole plane.
+type PlaneClassification struct {
+	// N is the plane bound.
+	N int
+	// SafetyName names the safety property S of the panel.
+	SafetyName string
+	// Points maps each valid (l,k) to its classification.
+	Points map[LKPoint]PointInfo
+}
+
+// Class returns the class of a point.
+func (pc *PlaneClassification) Class(p LKPoint) PointClass {
+	return pc.Points[p].Class
+}
+
+// Whites returns the white points, sorted.
+func (pc *PlaneClassification) Whites() []LKPoint { return pc.ofClass(White) }
+
+// Blacks returns the black points, sorted.
+func (pc *PlaneClassification) Blacks() []LKPoint { return pc.ofClass(Black) }
+
+func (pc *PlaneClassification) ofClass(c PointClass) []LKPoint {
+	var out []LKPoint
+	for _, p := range Plane(pc.N) {
+		if pc.Points[p].Class == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MaximalWhites returns the maximal elements of the white set: white points
+// with no strictly stronger white point. A unique maximal white point is
+// the strongest implementable (l,k)-freedom property.
+func (pc *PlaneClassification) MaximalWhites() []LKPoint {
+	return maximal(pc.Whites())
+}
+
+// MinimalBlacks returns the minimal elements of the black set: black points
+// with no strictly weaker black point. A unique minimal black point is the
+// weakest non-implementable (l,k)-freedom property.
+func (pc *PlaneClassification) MinimalBlacks() []LKPoint {
+	return minimal(pc.Blacks())
+}
+
+// StrongestImplementable returns the unique strongest white point, if one
+// exists (ok=false when the maximal whites are not a singleton, the
+// Section 5.3 situation on the black side).
+func (pc *PlaneClassification) StrongestImplementable() (LKPoint, bool) {
+	m := pc.MaximalWhites()
+	if len(m) == 1 {
+		return m[0], true
+	}
+	return LKPoint{}, false
+}
+
+// WeakestNonImplementable returns the unique weakest black point, if one
+// exists.
+func (pc *PlaneClassification) WeakestNonImplementable() (LKPoint, bool) {
+	m := pc.MinimalBlacks()
+	if len(m) == 1 {
+		return m[0], true
+	}
+	return LKPoint{}, false
+}
+
+// Monotone checks the classification for order consistency: every point
+// stronger than a black point is black, and every point weaker than a white
+// point is white. A violation means the battery evidence is inconsistent.
+func (pc *PlaneClassification) Monotone() error {
+	pts := Plane(pc.N)
+	for _, p := range pts {
+		for _, q := range pts {
+			if p.StrongerEq(q) && pc.Class(q) == Black && pc.Class(p) == White {
+				return fmt.Errorf("core: %v is white but weaker %v is black", p, q)
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws the plane as ASCII art in the layout of Figure 1: k grows to
+// the right, l grows upward; o = white (does not exclude S), x = black
+// (excludes S), . = invalid (l > k).
+func (pc *PlaneClassification) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "S = %s (n = %d)\n", pc.SafetyName, pc.N)
+	for l := pc.N; l >= 1; l-- {
+		fmt.Fprintf(&b, "l=%d ", l)
+		for k := 1; k <= pc.N; k++ {
+			switch {
+			case l > k:
+				b.WriteString(" .")
+			case pc.Class(LKPoint{L: l, K: k}) == White:
+				b.WriteString(" o")
+			default:
+				b.WriteString(" x")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("    ")
+	for k := 1; k <= pc.N; k++ {
+		fmt.Fprintf(&b, "k%d", k)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func maximal(pts []LKPoint) []LKPoint {
+	var out []LKPoint
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q != p && q.StrongerEq(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+func minimal(pts []LKPoint) []LKPoint {
+	var out []LKPoint
+	for _, p := range pts {
+		dominates := false
+		for _, q := range pts {
+			if q != p && p.StrongerEq(q) {
+				dominates = true
+				break
+			}
+		}
+		if !dominates {
+			out = append(out, p)
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+func sortPoints(pts []LKPoint) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].K != pts[j].K {
+			return pts[i].K < pts[j].K
+		}
+		return pts[i].L < pts[j].L
+	})
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/liveness"
+)
+
+// Section 6 of the paper discusses alternative restricted liveness
+// families. This file mechanizes the two it analyzes:
+//
+//   - (n,x)-liveness (Imbs-Raynal-Taubenfeld): x designated processes must
+//     be wait-free, the rest obstruction-free. The family is *totally
+//     ordered* in x, so unique strongest/weakest answers always exist; for
+//     register consensus the strongest implementable is (n,0) and the
+//     weakest non-implementable is (n,1).
+//   - S-freedom (Taubenfeld): progress for contention-free groups whose
+//     size lies in S. The singleton properties are pairwise incomparable,
+//     so no strongest implementable S-freedom property exists even though
+//     each singleton question is decidable.
+
+// NXClassification classifies (n,x)-liveness for x = 0..N against run
+// batteries.
+type NXClassification struct {
+	// N is the number of processes.
+	N int
+	// Class[x] is the classification of (n,x)-liveness.
+	Class []PointClass
+	// Witness[x] names the certifying implementation (white) or violating
+	// run (black).
+	Witness []string
+}
+
+// ClassifyNX evaluates (n,x)-liveness for every x: the first x processes
+// are the wait-free set (the family's canonical presentation; symmetric
+// batteries make the choice immaterial).
+func ClassifyNX(n int, good liveness.Good, batteries []*Battery) *NXClassification {
+	out := &NXClassification{
+		N:       n,
+		Class:   make([]PointClass, n+1),
+		Witness: make([]string, n+1),
+	}
+	for x := 0; x <= n; x++ {
+		waitFree := make([]int, 0, x)
+		for p := 1; p <= x; p++ {
+			waitFree = append(waitFree, p)
+		}
+		prop := liveness.NXLiveness{WaitFree: waitFree, Good: good}
+		out.Class[x] = Black
+		var firstViolation string
+		for _, b := range batteries {
+			viols := b.Violations(prop)
+			if len(viols) == 0 {
+				out.Class[x] = White
+				out.Witness[x] = b.Impl
+				break
+			}
+			if firstViolation == "" {
+				firstViolation = fmt.Sprintf("%s/%s", b.Impl, viols[0])
+			}
+		}
+		if out.Class[x] == Black {
+			out.Witness[x] = firstViolation
+		}
+	}
+	return out
+}
+
+// Monotone verifies the total order: once black, always black for larger
+// x ((n,x+1)-liveness is stronger than (n,x)-liveness).
+func (c *NXClassification) Monotone() error {
+	seenBlack := false
+	for x := 0; x <= c.N; x++ {
+		if c.Class[x] == Black {
+			seenBlack = true
+		} else if seenBlack {
+			return fmt.Errorf("core: (n,%d) white above a black point", x)
+		}
+	}
+	return nil
+}
+
+// StrongestImplementable returns the largest white x; ok=false if none.
+func (c *NXClassification) StrongestImplementable() (int, bool) {
+	best, ok := -1, false
+	for x := 0; x <= c.N; x++ {
+		if c.Class[x] == White {
+			best, ok = x, true
+		}
+	}
+	return best, ok
+}
+
+// WeakestNonImplementable returns the smallest black x; ok=false if none.
+func (c *NXClassification) WeakestNonImplementable() (int, bool) {
+	for x := 0; x <= c.N; x++ {
+		if c.Class[x] == Black {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// NXConsensus classifies (n,x)-liveness for register consensus using the
+// standard battery. Per Section 6 the totally ordered family always yields
+// unique answers: (n,0) strongest implementable, (n,1) weakest
+// non-implementable.
+func NXConsensus(n int) (*NXClassification, error) {
+	b, err := ConsensusBattery(n)
+	if err != nil {
+		return nil, err
+	}
+	return ClassifyNX(2, nil, []*Battery{b}), nil
+}
+
+// SFreedomIncomparable demonstrates Section 6's observation that singleton
+// S-freedom properties are pairwise incomparable, using two executions:
+// one satisfying S={sizeA} but not S={sizeB}, and one the other way
+// around. It returns an error if the provided executions do not witness
+// the incomparability.
+func SFreedomIncomparable(sizeA, sizeB int, good liveness.Good,
+	onlyA, onlyB *liveness.Execution) error {
+	pa := liveness.SFreedom{Sizes: map[int]bool{sizeA: true}, Good: good}
+	pb := liveness.SFreedom{Sizes: map[int]bool{sizeB: true}, Good: good}
+	if !pa.Holds(onlyA) || pb.Holds(onlyA) {
+		return fmt.Errorf("core: first execution must satisfy %s and violate %s", pa.Name(), pb.Name())
+	}
+	if pa.Holds(onlyB) || !pb.Holds(onlyB) {
+		return fmt.Errorf("core: second execution must violate %s and satisfy %s", pa.Name(), pb.Name())
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/history"
+	"repro/internal/safety"
+)
+
+// LmaxFiniteOneShot interprets a finite history as the external part of an
+// infinite fair execution with no further external events and asks whether
+// it belongs to the one-shot L_max (wait-freedom): every correct process's
+// invocation eventually returns, i.e. no correct process is left pending.
+func LmaxFiniteOneShot(h history.History) bool {
+	for _, p := range h.PendingProcs() {
+		if h.Correct(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem49Report is the mechanized content of Theorem 4.9 (and its
+// corollaries 4.10/4.11) on the two-process binary-consensus models: for
+// any candidate "strongest" liveness property Ls strictly below L_max —
+// which by Lemma 4.8 must be L_max ∪ fair(A_Is) for some implementation —
+// the trivial implementations I_t and I_b produce liveness properties
+// incomparable with it, so only L_max itself could be strongest.
+type Theorem49Report struct {
+	// ItEnsuresSafety / IbEnsuresSafety: the trivial implementations
+	// ensure agreement+validity on every history (up to the checked
+	// depth) — the proof's "hence I_t (I_b) ensures S".
+	ItEnsuresSafety bool
+	IbEnsuresSafety bool
+	// Pivot is the history h = propose_1(0)·propose_2(1): fair for I_t,
+	// not fair for I_b (ret_1=0 stays enabled), and outside L_max.
+	Pivot       history.History
+	PivotFairIt bool
+	PivotFairIb bool
+	PivotInLmax bool
+	// Witness is the history propose_1(0)·ret_1=0·propose_1(1)·
+	// propose_2(0): fair for I_b, not even a history of I_t, and outside
+	// L_max.
+	Witness          history.History
+	WitnessFairIb    bool
+	WitnessHistoryIt bool
+	WitnessInLmax    bool
+	// Incomparable: L_t = L_max ∪ fair(I_t) and L_b = L_max ∪ fair(I_b)
+	// are incomparable, the engine of the proof.
+	Incomparable bool
+}
+
+// CheckTheorem49 builds the I_t and I_b automata for two processes over
+// binary values and verifies the proof's key steps by exhaustive
+// enumeration of executions up to depth.
+func CheckTheorem49(depth int) (*Theorem49Report, error) {
+	values := []int{0, 1}
+	it, err := automata.TrivialConsensus(2, values)
+	if err != nil {
+		return nil, fmt.Errorf("core: building I_t: %w", err)
+	}
+	ib, err := automata.RespondOnceConsensus(2, 1, 0, 0, values)
+	if err != nil {
+		return nil, fmt.Errorf("core: building I_b: %w", err)
+	}
+
+	r := &Theorem49Report{}
+	prop := safety.AgreementValidity{}
+	r.ItEnsuresSafety = allTracesSafe(it, depth, prop)
+	r.IbEnsuresSafety = allTracesSafe(ib, depth, prop)
+
+	pivotTrace := []string{automata.ActionInvoke(1, 0), automata.ActionInvoke(2, 1)}
+	r.Pivot, err = automata.TraceToHistory(pivotTrace)
+	if err != nil {
+		return nil, err
+	}
+	r.PivotFairIt = hasFairTrace(it, pivotTrace, depth)
+	r.PivotFairIb = hasFairTrace(ib, pivotTrace, depth)
+	r.PivotInLmax = LmaxFiniteOneShot(r.Pivot)
+
+	witnessTrace := []string{
+		automata.ActionInvoke(1, 0), automata.ActionResponse(1, 0),
+		automata.ActionInvoke(1, 1), automata.ActionInvoke(2, 0),
+	}
+	r.Witness, err = automata.TraceToHistory(witnessTrace)
+	if err != nil {
+		return nil, err
+	}
+	r.WitnessFairIb = hasFairTrace(ib, witnessTrace, depth)
+	r.WitnessHistoryIt = it.HasTrace(witnessTrace, depth)
+	r.WitnessInLmax = LmaxFiniteOneShot(r.Witness)
+
+	// L_t ∌ witness (not even a history of I_t, and outside L_max);
+	// L_b ∌ pivot (not fair for I_b, outside L_max). Each contains the
+	// other's missing history, so the two liveness properties are
+	// incomparable.
+	ltHasPivot := r.PivotFairIt || r.PivotInLmax
+	ltHasWitness := r.WitnessHistoryIt || r.WitnessInLmax
+	lbHasPivot := r.PivotFairIb || r.PivotInLmax
+	lbHasWitness := r.WitnessFairIb || r.WitnessInLmax
+	r.Incomparable = ltHasPivot && !lbHasPivot && lbHasWitness && !ltHasWitness
+	return r, nil
+}
+
+// Holds reports whether every proof step checked out.
+func (r *Theorem49Report) Holds() bool {
+	return r.ItEnsuresSafety && r.IbEnsuresSafety &&
+		r.PivotFairIt && !r.PivotFairIb && !r.PivotInLmax &&
+		r.WitnessFairIb && !r.WitnessHistoryIt && !r.WitnessInLmax &&
+		r.Incomparable
+}
+
+// String renders the report.
+func (r *Theorem49Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "I_t ensures S: %v; I_b ensures S: %v\n", r.ItEnsuresSafety, r.IbEnsuresSafety)
+	fmt.Fprintf(&b, "pivot %s: fair(I_t)=%v fair(I_b)=%v Lmax=%v\n",
+		r.Pivot, r.PivotFairIt, r.PivotFairIb, r.PivotInLmax)
+	fmt.Fprintf(&b, "witness %s: fair(I_b)=%v history(I_t)=%v Lmax=%v\n",
+		r.Witness, r.WitnessFairIb, r.WitnessHistoryIt, r.WitnessInLmax)
+	fmt.Fprintf(&b, "L_t and L_b incomparable: %v\n", r.Incomparable)
+	return b.String()
+}
+
+func allTracesSafe(a *automata.Automaton, depth int, prop safety.Property) bool {
+	for _, tr := range a.Traces(depth) {
+		h, err := automata.TraceToHistory(tr)
+		if err != nil {
+			return false
+		}
+		if !prop.Holds(h) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasFairTrace(a *automata.Automaton, trace []string, depth int) bool {
+	want := strings.Join(trace, "·")
+	for _, tr := range a.FairTraces(depth, automata.IsCrashAction) {
+		if strings.Join(tr, "·") == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+// Package explore performs exhaustive bounded exploration of the
+// simulator: it enumerates every schedule up to a depth (optionally with
+// crash injection) and checks a predicate on every reachable history. This
+// is how the repository certifies the positive (implementability) side of
+// the paper's claims: the commit-adopt consensus satisfies
+// agreement+validity on all interleavings at small depth, and both TM
+// implementations satisfy opacity (and I12 property S) likewise.
+//
+// Because processes are goroutines, configurations cannot be snapshotted;
+// exploration re-executes each schedule prefix from scratch. Runs are
+// deterministic, so re-execution reaches the identical configuration.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Config describes an exhaustive exploration.
+type Config struct {
+	// Procs is the number of processes.
+	Procs int
+	// NewObject creates a fresh implementation instance (called once per
+	// explored prefix).
+	NewObject func() sim.Object
+	// NewEnv creates a fresh environment instance (environments may carry
+	// per-run state).
+	NewEnv func() sim.Environment
+	// Depth bounds the schedule length.
+	Depth int
+	// Crashes additionally branches on crashing each live process, at most
+	// this many times per schedule. 0 disables crash injection.
+	Crashes int
+	// Check is invoked on the history of every explored prefix together
+	// with the schedule that produced it. Returning an error aborts the
+	// exploration; the error and witness schedule are reported. When
+	// Workers > 1, Check must be safe for concurrent use.
+	Check func(h history.History, schedule []sim.Decision) error
+	// Workers > 1 explores the first-level subtrees concurrently, one
+	// goroutine per ready first decision, at most Workers at a time.
+	Workers int
+}
+
+// Stats summarizes an exploration.
+type Stats struct {
+	// Prefixes is the number of schedule prefixes explored (histories
+	// checked).
+	Prefixes int
+	// Steps is the total number of simulator steps executed across all
+	// replays.
+	Steps int
+	// Witness is the schedule on which Check failed, nil if none.
+	Witness []sim.Decision
+}
+
+// Run explores exhaustively. It returns the statistics and the first Check
+// error, if any (with Stats.Witness set).
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("explore: Procs must be >= 1")
+	}
+	if cfg.Check == nil {
+		return nil, fmt.Errorf("explore: Check must be set")
+	}
+	if cfg.Workers > 1 {
+		return runParallel(cfg)
+	}
+	st := &Stats{}
+	err := explore(cfg, nil, 0, st)
+	return st, err
+}
+
+// runParallel splits the exploration at the first level: the root prefix
+// is checked once, then each ready first decision's subtree is explored by
+// its own worker (bounded by cfg.Workers). Statistics are merged; the
+// first error wins.
+func runParallel(cfg Config) (*Stats, error) {
+	total := &Stats{}
+	res, ready := replay(cfg, nil, total)
+	if res.Err != nil {
+		return total, fmt.Errorf("explore: replay failed: %w", res.Err)
+	}
+	total.Prefixes++
+	if err := cfg.Check(res.H, nil); err != nil {
+		total.Witness = []sim.Decision{}
+		return total, err
+	}
+	if cfg.Depth < 1 {
+		return total, nil
+	}
+
+	var roots []sim.Decision
+	for _, p := range ready {
+		roots = append(roots, sim.Decision{Proc: p})
+	}
+	if cfg.Crashes > 0 {
+		for p := 1; p <= cfg.Procs; p++ {
+			roots = append(roots, sim.Decision{Proc: p, Crash: true})
+		}
+	}
+
+	type outcome struct {
+		st  *Stats
+		err error
+	}
+	results := make(chan outcome, len(roots))
+	sem := make(chan struct{}, cfg.Workers)
+	for _, root := range roots {
+		root := root
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			st := &Stats{}
+			crashes := 0
+			if root.Crash {
+				crashes = 1
+			}
+			err := explore(cfg, []sim.Decision{root}, crashes, st)
+			results <- outcome{st: st, err: err}
+		}()
+	}
+	var firstErr error
+	for range roots {
+		o := <-results
+		total.Prefixes += o.st.Prefixes
+		total.Steps += o.st.Steps
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+			total.Witness = o.st.Witness
+		}
+	}
+	return total, firstErr
+}
+
+// replay executes the schedule prefix and returns the run result plus the
+// set of processes ready afterwards.
+func replay(cfg Config, prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
+	var ready []int
+	captured := false
+	sched := sim.Seq(
+		sim.Fixed(prefix),
+		sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
+			if !captured {
+				ready = append([]int(nil), v.Ready...)
+				captured = true
+			}
+			return sim.Decision{}, false
+		}),
+	)
+	res := sim.Run(sim.Config{
+		Procs:     cfg.Procs,
+		Object:    cfg.NewObject(),
+		Env:       cfg.NewEnv(),
+		Scheduler: sched,
+		MaxSteps:  len(prefix) + 1,
+	})
+	st.Steps += res.Steps
+	return res, ready
+}
+
+func explore(cfg Config, prefix []sim.Decision, crashes int, st *Stats) error {
+	res, ready := replay(cfg, prefix, st)
+	if res.Err != nil {
+		return fmt.Errorf("explore: replay failed: %w", res.Err)
+	}
+	st.Prefixes++
+	if err := cfg.Check(res.H, prefix); err != nil {
+		st.Witness = append([]sim.Decision(nil), prefix...)
+		return err
+	}
+	steps := 0
+	for _, d := range prefix {
+		if !d.Crash {
+			steps++
+		}
+	}
+	if steps >= cfg.Depth {
+		return nil
+	}
+	for _, p := range ready {
+		if err := explore(cfg, append(prefix, sim.Decision{Proc: p}), crashes, st); err != nil {
+			return err
+		}
+	}
+	if crashes < cfg.Crashes {
+		crashed := make(map[int]bool)
+		for _, d := range prefix {
+			if d.Crash {
+				crashed[d.Proc] = true
+			}
+		}
+		for p := 1; p <= cfg.Procs; p++ {
+			if crashed[p] {
+				continue
+			}
+			next := append(prefix, sim.Decision{Proc: p, Crash: true})
+			if err := explore(cfg, next, crashes+1, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSafety adapts a history predicate to a Check function with a
+// descriptive error.
+func CheckSafety(name string, holds func(h history.History) bool) func(history.History, []sim.Decision) error {
+	return func(h history.History, schedule []sim.Decision) error {
+		if !holds(h) {
+			return fmt.Errorf("explore: %s violated by schedule %v on history %s", name, schedule, h)
+		}
+		return nil
+	}
+}

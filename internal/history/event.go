@@ -1,0 +1,144 @@
+// Package history implements the event and history formalism of Section 2
+// of "Safety-Liveness Exclusion in Distributed Computing" (Bushkov &
+// Guerraoui, PODC 2015).
+//
+// A history is the externally visible part of an execution of an I/O
+// automaton modeling a shared-object implementation: a sequence of
+// invocation events, response events and crash events, each tagged with a
+// process identifier. The package provides well-formedness checking,
+// per-process projection (h|p_i in the paper), prefix enumeration,
+// equivalence, and operation matching, which the safety and liveness
+// checkers build upon.
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the three external action classes of the paper's model:
+// invocations, responses and the special crash_i input actions.
+type Kind int
+
+// Event kinds. They start at one so the zero Kind is invalid and cannot be
+// confused with a real event.
+const (
+	KindInvoke Kind = iota + 1
+	KindResponse
+	KindCrash
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvoke:
+		return "invoke"
+	case KindResponse:
+		return "response"
+	case KindCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a datum carried by an invocation or response. Values must be
+// comparable with == (ints, strings, bools, small comparable structs);
+// histories are compared structurally.
+type Value any
+
+// Distinguished transactional-memory response values, matching the paper's
+// notation: ok for successful non-committing operations, A for abort events
+// and C for commit events.
+const (
+	OK     = "ok"
+	Abort  = "A"
+	Commit = "C"
+)
+
+// Event is a single external action of an implementation automaton.
+type Event struct {
+	// Kind says whether this is an invocation, a response, or a crash.
+	Kind Kind
+	// Proc is the 1-based identifier of the process performing the event.
+	Proc int
+	// Op names the operation, e.g. "propose", "start", "read", "write",
+	// "tryC". Empty for crash events.
+	Op string
+	// Obj optionally names the object or transactional variable the
+	// operation addresses (e.g. "x1"). Empty when the object is implicit.
+	Obj string
+	// Arg is the invocation argument; nil when the operation takes none or
+	// for responses and crashes.
+	Arg Value
+	// Val is the response value; nil for invocations and crashes.
+	Val Value
+}
+
+// Invoke constructs an invocation event.
+func Invoke(proc int, op string, arg Value) Event {
+	return Event{Kind: KindInvoke, Proc: proc, Op: op, Arg: arg}
+}
+
+// InvokeObj constructs an invocation event on a named object (a
+// transactional variable in the TM context).
+func InvokeObj(proc int, op, obj string, arg Value) Event {
+	return Event{Kind: KindInvoke, Proc: proc, Op: op, Obj: obj, Arg: arg}
+}
+
+// Response constructs a response event.
+func Response(proc int, op string, val Value) Event {
+	return Event{Kind: KindResponse, Proc: proc, Op: op, Val: val}
+}
+
+// ResponseObj constructs a response event on a named object.
+func ResponseObj(proc int, op, obj string, val Value) Event {
+	return Event{Kind: KindResponse, Proc: proc, Op: op, Obj: obj, Val: val}
+}
+
+// Crash constructs a crash_i event for the given process.
+func Crash(proc int) Event {
+	return Event{Kind: KindCrash, Proc: proc}
+}
+
+// String renders the event in a compact notation close to the paper's:
+// propose_1(0) for invocations, ret_1[propose]=0 for responses, crash_1 for
+// crashes.
+func (e Event) String() string {
+	var b strings.Builder
+	switch e.Kind {
+	case KindInvoke:
+		b.WriteString(e.Op)
+		if e.Obj != "" {
+			b.WriteString("@")
+			b.WriteString(e.Obj)
+		}
+		fmt.Fprintf(&b, "_%d", e.Proc)
+		if e.Arg != nil {
+			fmt.Fprintf(&b, "(%v)", e.Arg)
+		} else {
+			b.WriteString("()")
+		}
+	case KindResponse:
+		b.WriteString("ret")
+		if e.Obj != "" {
+			b.WriteString("@")
+			b.WriteString(e.Obj)
+		}
+		fmt.Fprintf(&b, "_%d[%s]", e.Proc, e.Op)
+		if e.Val != nil {
+			fmt.Fprintf(&b, "=%v", e.Val)
+		}
+	case KindCrash:
+		fmt.Fprintf(&b, "crash_%d", e.Proc)
+	default:
+		fmt.Fprintf(&b, "invalid_%d", e.Proc)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality of two events.
+func (e Event) Equal(o Event) bool {
+	return e.Kind == o.Kind && e.Proc == o.Proc && e.Op == o.Op &&
+		e.Obj == o.Obj && e.Arg == o.Arg && e.Val == o.Val
+}

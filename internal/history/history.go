@@ -1,0 +1,282 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// History is a finite sequence of external events, the object the paper's
+// safety and liveness properties are defined over.
+type History []Event
+
+// Clone returns a deep copy of the history (events are value types, so a
+// slice copy suffices).
+func (h History) Clone() History {
+	out := make(History, len(h))
+	copy(out, h)
+	return out
+}
+
+// Append returns a new history with the events appended; the receiver is not
+// modified. It is the · concatenation operator of the paper.
+func (h History) Append(events ...Event) History {
+	out := make(History, 0, len(h)+len(events))
+	out = append(out, h...)
+	out = append(out, events...)
+	return out
+}
+
+// Project returns h|p_i: the longest subsequence of h consisting only of the
+// events of process proc.
+func (h History) Project(proc int) History {
+	var out History
+	for _, e := range h {
+		if e.Proc == proc {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Procs returns the sorted set of process identifiers appearing in h.
+func (h History) Procs() []int {
+	seen := make(map[int]bool)
+	for _, e := range h {
+		seen[e.Proc] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WellFormed reports whether h is well-formed per Section 2: for every
+// process, the projection is an alternating sequence of invocations and
+// responses starting with an invocation, with at most one crash event after
+// which the process takes no further events.
+func (h History) WellFormed() bool {
+	type procState struct {
+		pending bool
+		crashed bool
+	}
+	states := make(map[int]*procState)
+	for _, e := range h {
+		st := states[e.Proc]
+		if st == nil {
+			st = &procState{}
+			states[e.Proc] = st
+		}
+		if st.crashed {
+			return false
+		}
+		switch e.Kind {
+		case KindInvoke:
+			if st.pending {
+				return false
+			}
+			st.pending = true
+		case KindResponse:
+			if !st.pending {
+				return false
+			}
+			st.pending = false
+		case KindCrash:
+			st.crashed = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Pending reports whether process proc has an invocation without a matching
+// response in h (the paper's "pending in h").
+func (h History) Pending(proc int) bool {
+	pending := false
+	for _, e := range h {
+		if e.Proc != proc {
+			continue
+		}
+		switch e.Kind {
+		case KindInvoke:
+			pending = true
+		case KindResponse:
+			pending = false
+		}
+	}
+	return pending
+}
+
+// PendingProcs returns the sorted list of processes pending in h.
+func (h History) PendingProcs() []int {
+	var out []int
+	for _, p := range h.Procs() {
+		if h.Pending(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Crashed reports whether process proc crashes in h.
+func (h History) Crashed(proc int) bool {
+	for _, e := range h {
+		if e.Proc == proc && e.Kind == KindCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// Correct reports whether process proc is correct in h, i.e. does not crash.
+func (h History) Correct(proc int) bool { return !h.Crashed(proc) }
+
+// Prefix returns the prefix of h of length n. n is clamped to [0, len(h)].
+func (h History) Prefix(n int) History {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(h) {
+		n = len(h)
+	}
+	return h[:n:n]
+}
+
+// IsPrefixOf reports whether h is a prefix of other.
+func (h History) IsPrefixOf(other History) bool {
+	if len(h) > len(other) {
+		return false
+	}
+	for i, e := range h {
+		if !e.Equal(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports event-wise equality.
+func (h History) Equal(other History) bool {
+	if len(h) != len(other) {
+		return false
+	}
+	for i, e := range h {
+		if !e.Equal(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether h and other are equivalent in the paper's
+// sense: for every process p, h|p = other|p.
+func (h History) Equivalent(other History) bool {
+	procs := make(map[int]bool)
+	for _, p := range h.Procs() {
+		procs[p] = true
+	}
+	for _, p := range other.Procs() {
+		procs[p] = true
+	}
+	for p := range procs {
+		if !h.Project(p).Equal(other.Project(p)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the history as events joined by the paper's · separator.
+func (h History) String() string {
+	if len(h) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(h))
+	for i, e := range h {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " · ")
+}
+
+// Key returns a canonical string usable as a map key for set membership of
+// histories (adversary sets are sets of histories).
+func (h History) Key() string {
+	var b strings.Builder
+	for _, e := range h {
+		fmt.Fprintf(&b, "%d|%d|%s|%s|%v|%v;", e.Kind, e.Proc, e.Op, e.Obj, e.Arg, e.Val)
+	}
+	return b.String()
+}
+
+// ResponseCount returns the number of responses by proc whose value is in
+// the good set (nil good means every response is good). This realizes the
+// paper's G_Tp-based notion of progress.
+func (h History) ResponseCount(proc int, good map[Value]bool) int {
+	n := 0
+	for _, e := range h {
+		if e.Kind != KindResponse || e.Proc != proc {
+			continue
+		}
+		if good == nil || good[e.Val] {
+			n++
+		}
+	}
+	return n
+}
+
+// Op is a matched invocation/response pair (or a pending invocation) in a
+// history.
+type Op struct {
+	// Proc is the process that performed the operation.
+	Proc int
+	// Name is the operation name from the invocation.
+	Name string
+	// Obj is the object/variable name, if any.
+	Obj string
+	// Arg is the invocation argument.
+	Arg Value
+	// Val is the response value; only meaningful if Done.
+	Val Value
+	// Done reports whether the operation received a response.
+	Done bool
+	// InvIndex and ResIndex are positions of the events in the history;
+	// ResIndex is -1 for pending operations.
+	InvIndex int
+	ResIndex int
+}
+
+// Operations pairs invocations with their responses in program order per
+// process and returns all operations in invocation order. The history must
+// be well-formed; otherwise the pairing of the malformed process is
+// best-effort.
+func (h History) Operations() []Op {
+	var ops []Op
+	open := make(map[int]int) // proc -> index into ops of pending op
+	for i, e := range h {
+		switch e.Kind {
+		case KindInvoke:
+			ops = append(ops, Op{
+				Proc: e.Proc, Name: e.Op, Obj: e.Obj, Arg: e.Arg,
+				InvIndex: i, ResIndex: -1,
+			})
+			open[e.Proc] = len(ops) - 1
+		case KindResponse:
+			if j, ok := open[e.Proc]; ok {
+				ops[j].Val = e.Val
+				ops[j].Done = true
+				ops[j].ResIndex = i
+				delete(open, e.Proc)
+			}
+		}
+	}
+	return ops
+}
+
+// PrecedesRealTime reports whether operation a completes before operation b
+// begins in h (the real-time order used by linearizability and opacity).
+func PrecedesRealTime(a, b Op) bool {
+	return a.Done && a.ResIndex < b.InvIndex
+}

@@ -1,0 +1,176 @@
+package history
+
+// Transactional-memory operation names used across the repository, matching
+// the paper's TM object type: start, x.read, x.write(v), tryC.
+const (
+	TMStart = "start"
+	TMRead  = "read"
+	TMWrite = "write"
+	TMTryC  = "tryC"
+)
+
+// TxStatus is the completion status of a transaction in a history.
+type TxStatus int
+
+// Transaction statuses. A transaction is Live while it has neither committed
+// nor aborted, Committed once a tryC returned C, and Aborted once any of its
+// operations returned A.
+const (
+	TxLive TxStatus = iota + 1
+	TxCommitted
+	TxAborted
+)
+
+// String returns the status name.
+func (s TxStatus) String() string {
+	switch s {
+	case TxLive:
+		return "live"
+	case TxCommitted:
+		return "committed"
+	case TxAborted:
+		return "aborted"
+	default:
+		return "invalid"
+	}
+}
+
+// Tx is one transaction of a TM history: the operations of one process from
+// a start invocation up to (and including) the first commit or abort
+// response.
+type Tx struct {
+	// Proc is the executing process.
+	Proc int
+	// Seq is the 1-based index of this transaction within h|proc (the
+	// paper's "t-th transaction of p_i").
+	Seq int
+	// Ops are the matched operations of the transaction in program order.
+	Ops []Op
+	// Status is the completion status.
+	Status TxStatus
+	// FirstIndex is the history index of the start invocation; LastIndex is
+	// the history index of the final (commit/abort) response, or the last
+	// event index of the transaction if it is live.
+	FirstIndex int
+	LastIndex  int
+}
+
+// Reads returns the (variable, value) pairs read by committed read
+// operations of the transaction (those that returned a value rather than A).
+func (t *Tx) Reads() []VarVal {
+	var out []VarVal
+	for _, op := range t.Ops {
+		if op.Name == TMRead && op.Done && op.Val != Abort {
+			out = append(out, VarVal{Var: op.Obj, Val: op.Val})
+		}
+	}
+	return out
+}
+
+// Writes returns the final value written to each variable by the
+// transaction's successful write operations, in first-write order of the
+// variables.
+func (t *Tx) Writes() []VarVal {
+	idx := make(map[string]int)
+	var out []VarVal
+	for _, op := range t.Ops {
+		if op.Name != TMWrite || !op.Done || op.Val == Abort {
+			continue
+		}
+		if j, ok := idx[op.Obj]; ok {
+			out[j].Val = op.Arg
+			continue
+		}
+		idx[op.Obj] = len(out)
+		out = append(out, VarVal{Var: op.Obj, Val: op.Arg})
+	}
+	return out
+}
+
+// VarVal is a (transactional variable, value) pair.
+type VarVal struct {
+	Var string
+	Val Value
+}
+
+// Transactions groups a TM history into transactions. Operations of each
+// process are split at start invocations; a transaction completes at the
+// first response equal to C (commit) or A (abort). The returned slice is
+// ordered by the history index of the start invocation.
+func Transactions(h History) []*Tx {
+	perProc := make(map[int][]*Tx)
+	current := make(map[int]*Tx)
+	openOp := make(map[int]*Op) // proc -> pending op inside its current tx
+	var all []*Tx
+
+	for i, e := range h {
+		switch e.Kind {
+		case KindInvoke:
+			if e.Op == TMStart {
+				tx := &Tx{
+					Proc:       e.Proc,
+					Seq:        len(perProc[e.Proc]) + 1,
+					Status:     TxLive,
+					FirstIndex: i,
+					LastIndex:  i,
+				}
+				perProc[e.Proc] = append(perProc[e.Proc], tx)
+				current[e.Proc] = tx
+				all = append(all, tx)
+			}
+			tx := current[e.Proc]
+			if tx == nil || tx.Status != TxLive {
+				// Invocation outside any live transaction (malformed TM
+				// usage); ignore for grouping purposes.
+				openOp[e.Proc] = nil
+				continue
+			}
+			tx.Ops = append(tx.Ops, Op{
+				Proc: e.Proc, Name: e.Op, Obj: e.Obj, Arg: e.Arg,
+				InvIndex: i, ResIndex: -1,
+			})
+			tx.LastIndex = i
+			openOp[e.Proc] = &tx.Ops[len(tx.Ops)-1]
+		case KindResponse:
+			op := openOp[e.Proc]
+			tx := current[e.Proc]
+			if op != nil {
+				op.Val = e.Val
+				op.Done = true
+				op.ResIndex = i
+				openOp[e.Proc] = nil
+			}
+			if tx == nil || tx.Status != TxLive {
+				continue
+			}
+			tx.LastIndex = i
+			if e.Val == Abort {
+				tx.Status = TxAborted
+			} else if e.Op == TMTryC && e.Val == Commit {
+				tx.Status = TxCommitted
+			}
+		case KindCrash:
+			// A crash leaves the current transaction live forever; nothing
+			// to update beyond what is already recorded.
+		}
+	}
+	return all
+}
+
+// Concurrent reports whether two transactions overlap in real time in the
+// history they came from: neither completes before the other starts.
+func Concurrent(a, b *Tx) bool {
+	if a.Status != TxLive && a.LastIndex < b.FirstIndex {
+		return false
+	}
+	if b.Status != TxLive && b.LastIndex < a.FirstIndex {
+		return false
+	}
+	return true
+}
+
+// TxPrecedes reports whether transaction a completes before transaction b
+// starts (the real-time order on transactions used by opacity).
+func TxPrecedes(a, b *Tx) bool {
+	return a.Status != TxLive && a.LastIndex < b.FirstIndex
+}

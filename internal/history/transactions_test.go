@@ -1,0 +1,152 @@
+package history
+
+import "testing"
+
+// tmHistory builds the canonical two-process TM history used in several
+// tests: p1 starts and reads x=0; p2 starts, reads, writes x=1 and commits;
+// p1 writes and aborts.
+func tmHistory() History {
+	return History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		InvokeObj(1, TMRead, "x", nil), ResponseObj(1, TMRead, "x", 0),
+		Invoke(2, TMStart, nil), Response(2, TMStart, OK),
+		InvokeObj(2, TMRead, "x", nil), ResponseObj(2, TMRead, "x", 0),
+		InvokeObj(2, TMWrite, "x", 1), ResponseObj(2, TMWrite, "x", OK),
+		Invoke(2, TMTryC, nil), Response(2, TMTryC, Commit),
+		InvokeObj(1, TMWrite, "x", 1), ResponseObj(1, TMWrite, "x", OK),
+		Invoke(1, TMTryC, nil), Response(1, TMTryC, Abort),
+	}
+}
+
+func TestTransactionsGrouping(t *testing.T) {
+	txs := Transactions(tmHistory())
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txs))
+	}
+	t1, t2 := txs[0], txs[1]
+	if t1.Proc != 1 || t1.Seq != 1 || t1.Status != TxAborted {
+		t.Errorf("t1 = proc %d seq %d status %v", t1.Proc, t1.Seq, t1.Status)
+	}
+	if t2.Proc != 2 || t2.Status != TxCommitted {
+		t.Errorf("t2 = proc %d status %v", t2.Proc, t2.Status)
+	}
+	if len(t1.Ops) != 4 {
+		t.Errorf("t1 has %d ops, want 4 (start, read, write, tryC)", len(t1.Ops))
+	}
+	reads := t1.Reads()
+	if len(reads) != 1 || reads[0].Var != "x" || reads[0].Val != 0 {
+		t.Errorf("t1 reads = %v", reads)
+	}
+	writes := t2.Writes()
+	if len(writes) != 1 || writes[0].Var != "x" || writes[0].Val != 1 {
+		t.Errorf("t2 writes = %v", writes)
+	}
+}
+
+func TestTransactionsSequencing(t *testing.T) {
+	// Two sequential transactions by the same process.
+	h := History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		Invoke(1, TMTryC, nil), Response(1, TMTryC, Abort),
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		Invoke(1, TMTryC, nil), Response(1, TMTryC, Commit),
+	}
+	txs := Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txs))
+	}
+	if txs[0].Seq != 1 || txs[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d; want 1, 2", txs[0].Seq, txs[1].Seq)
+	}
+	if txs[0].Status != TxAborted || txs[1].Status != TxCommitted {
+		t.Errorf("statuses = %v, %v", txs[0].Status, txs[1].Status)
+	}
+	if !TxPrecedes(txs[0], txs[1]) {
+		t.Error("first transaction precedes the second in real time")
+	}
+	if Concurrent(txs[0], txs[1]) {
+		t.Error("sequential transactions are not concurrent")
+	}
+}
+
+func TestTransactionsLiveAndConcurrent(t *testing.T) {
+	h := History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		Invoke(2, TMStart, nil), Response(2, TMStart, OK),
+		InvokeObj(1, TMRead, "x", nil),
+	}
+	txs := Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txs))
+	}
+	if txs[0].Status != TxLive || txs[1].Status != TxLive {
+		t.Error("both transactions should be live")
+	}
+	if !Concurrent(txs[0], txs[1]) {
+		t.Error("overlapping live transactions are concurrent")
+	}
+	if TxPrecedes(txs[0], txs[1]) {
+		t.Error("a live transaction precedes nothing")
+	}
+	// The pending read is recorded as an undone op.
+	last := txs[0].Ops[len(txs[0].Ops)-1]
+	if last.Name != TMRead || last.Done {
+		t.Errorf("pending read not recorded: %+v", last)
+	}
+}
+
+func TestTransactionAbortMidOperation(t *testing.T) {
+	// A write that returns A aborts the transaction; subsequent events of
+	// the process belong to the next transaction only after a new start.
+	h := History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		InvokeObj(1, TMWrite, "x", 5), ResponseObj(1, TMWrite, "x", Abort),
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+	}
+	txs := Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txs))
+	}
+	if txs[0].Status != TxAborted {
+		t.Errorf("t1 status = %v, want aborted", txs[0].Status)
+	}
+	if len(txs[0].Writes()) != 0 {
+		t.Error("aborted write must not count as a successful write")
+	}
+}
+
+func TestTransactionStartAbort(t *testing.T) {
+	// start itself may return A (the paper's start returns ok or A).
+	h := History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, Abort),
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+	}
+	txs := Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txs))
+	}
+	if txs[0].Status != TxAborted || txs[1].Status != TxLive {
+		t.Errorf("statuses = %v, %v", txs[0].Status, txs[1].Status)
+	}
+}
+
+func TestWritesLastValueWins(t *testing.T) {
+	h := History{
+		Invoke(1, TMStart, nil), Response(1, TMStart, OK),
+		InvokeObj(1, TMWrite, "x", 1), ResponseObj(1, TMWrite, "x", OK),
+		InvokeObj(1, TMWrite, "y", 9), ResponseObj(1, TMWrite, "y", OK),
+		InvokeObj(1, TMWrite, "x", 2), ResponseObj(1, TMWrite, "x", OK),
+		Invoke(1, TMTryC, nil), Response(1, TMTryC, Commit),
+	}
+	txs := Transactions(h)
+	writes := txs[0].Writes()
+	if len(writes) != 2 {
+		t.Fatalf("writes = %v, want two variables", writes)
+	}
+	if writes[0].Var != "x" || writes[0].Val != 2 {
+		t.Errorf("x write = %v, want final value 2", writes[0])
+	}
+	if writes[1].Var != "y" || writes[1].Val != 9 {
+		t.Errorf("y write = %v", writes[1])
+	}
+}

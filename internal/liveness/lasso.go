@@ -1,0 +1,100 @@
+package liveness
+
+import "repro/internal/history"
+
+// Lasso repetition certificates. The paper's impossibility adversaries are
+// periodic strategies: each starvation cycle repeats the same schedule
+// pattern forever. On a bounded run, detecting that the schedule's tail is
+// many exact repetitions of a period — and that a victim receives zero
+// good responses per repetition — certifies the infinite violation the
+// same way the paper's proofs do ("the adversary repeats Step 1").
+
+// Certificate describes a detected periodic tail of an execution.
+type Certificate struct {
+	// Period is the repetition length in steps.
+	Period int
+	// Reps is the number of complete repetitions detected.
+	Reps int
+	// From is the step index at which the certified repetitions begin.
+	From int
+}
+
+// FindLasso searches for a period p such that the execution's step
+// sequence ends with at least minReps complete repetitions of its final p
+// steps, returning the certificate covering the most steps (ties broken
+// toward the smaller period, so a full strategy cycle beats both trivial
+// tail patterns and multiples of itself). maxPeriod bounds the search
+// (0 means Steps/minReps).
+func FindLasso(e *Execution, minReps, maxPeriod int) (*Certificate, bool) {
+	n := len(e.StepProcs)
+	if maxPeriod <= 0 {
+		maxPeriod = n / minReps
+	}
+	var best *Certificate
+	for p := 1; p <= maxPeriod; p++ {
+		reps := 0
+		// Count how many trailing windows of length p are equal to the
+		// final window.
+		for start := n - p; start >= 0; start -= p {
+			if !equalWindows(e.StepProcs, start, n-p, p) {
+				break
+			}
+			reps++
+		}
+		if reps < minReps {
+			continue
+		}
+		cand := &Certificate{Period: p, Reps: reps, From: n - reps*p}
+		if best == nil || cand.Reps*cand.Period > best.Reps*best.Period {
+			best = cand
+		}
+	}
+	return best, best != nil
+}
+
+func equalWindows(xs []int, a, b, p int) bool {
+	for i := 0; i < p; i++ {
+		if xs[a+i] != xs[b+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GoodPerRep returns, for each complete repetition of the certificate, the
+// number of good responses process proc received during it (a slice of
+// length c.Reps, oldest first). A victim with all-zero entries is starved
+// in every cycle — the repetition evidence for a liveness violation.
+func (c *Certificate) GoodPerRep(e *Execution, good Good, proc int) []int {
+	out := make([]int, c.Reps)
+	for i, ev := range e.H {
+		if ev.Kind != history.KindResponse || ev.Proc != proc {
+			continue
+		}
+		// EventSteps holds step counts: an event recorded at count s
+		// happened during the window of StepProcs[s-1].
+		step := e.EventSteps[i]
+		if step <= c.From {
+			continue
+		}
+		rep := (step - 1 - c.From) / c.Period
+		if rep >= c.Reps {
+			rep = c.Reps - 1
+		}
+		if good == nil || good[ev.Val] {
+			out[rep]++
+		}
+	}
+	return out
+}
+
+// Starved reports whether proc receives zero good responses in every
+// complete repetition.
+func (c *Certificate) Starved(e *Execution, good Good, proc int) bool {
+	for _, n := range c.GoodPerRep(e, good, proc) {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}

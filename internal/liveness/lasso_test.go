@@ -1,0 +1,59 @@
+package liveness
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+func TestFindLassoSynthetic(t *testing.T) {
+	// Steps: a prefix then five repetitions of [1 2 2].
+	steps := []int{1, 1, 1}
+	for i := 0; i < 5; i++ {
+		steps = append(steps, 1, 2, 2)
+	}
+	e := exec(2, steps, len(steps))
+	c, ok := FindLasso(e, 3, 0)
+	if !ok {
+		t.Fatal("lasso must be found")
+	}
+	if c.Period != 3 || c.Reps < 4 {
+		t.Errorf("certificate = %+v, want period 3 with >=4 reps", c)
+	}
+}
+
+func TestFindLassoAbsent(t *testing.T) {
+	// An aperiodic tail.
+	steps := []int{1, 2, 1, 1, 2, 2, 1, 2, 2, 2, 1}
+	e := exec(2, steps, len(steps))
+	if _, ok := FindLasso(e, 3, 3); ok {
+		t.Error("no lasso should be certified on an aperiodic tail")
+	}
+}
+
+func TestLassoStarvation(t *testing.T) {
+	// Two repetitions-of-4 cycles: p2 commits once per cycle, p1 never.
+	steps := []int{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+	}
+	e := exec(2, steps, len(steps),
+		stampedEvent{resp(1, history.Abort), 2},
+		stampedEvent{resp(2, history.Commit), 4},
+		stampedEvent{resp(1, history.Abort), 6},
+		stampedEvent{resp(2, history.Commit), 8},
+		stampedEvent{resp(1, history.Abort), 10},
+		stampedEvent{resp(2, history.Commit), 12},
+	)
+	c, ok := FindLasso(e, 3, 8)
+	if !ok {
+		t.Fatal("lasso must be found")
+	}
+	if !c.Starved(e, TMGood(), 1) {
+		t.Errorf("p1 is starved per cycle: %v", c.GoodPerRep(e, TMGood(), 1))
+	}
+	if c.Starved(e, TMGood(), 2) {
+		t.Errorf("p2 commits every cycle: %v", c.GoodPerRep(e, TMGood(), 2))
+	}
+}

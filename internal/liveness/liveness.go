@@ -1,0 +1,368 @@
+// Package liveness implements the liveness properties of the paper
+// (Sections 3.2 and 5.1) over bounded executions produced by the simulator.
+//
+// The paper defines liveness on infinite fair executions. Our bounded
+// semantics interprets the two "infinitely often" notions over a tail
+// window of a long run:
+//
+//   - a process "takes infinitely many steps" iff it is granted at least
+//     one step inside the tail window;
+//   - a process "makes progress" iff it receives at least one good response
+//     (an element of G_Tp, Section 5.1) inside the tail window.
+//
+// These proxies are exact for the periodic executions the paper's
+// adversaries generate (every loop iteration repeats the same step and
+// response pattern) and are used together with repetition certificates from
+// the adversary package. Liveness verdicts are only meaningful on fair
+// runs: the experiment drivers use fair schedulers (round-robin, alternate,
+// or the adversaries themselves, all of which step every live process
+// infinitely often).
+package liveness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Good is a good-response set G_Tp: the responses that constitute progress.
+// A nil Good means every response is good (consensus, registers).
+type Good map[history.Value]bool
+
+// TMGood is the TM good-response set: only commit events are progress.
+func TMGood() Good { return Good{history.Commit: true} }
+
+// Execution is the bounded view of a (finite prefix of a) fair execution.
+type Execution struct {
+	// H is the external history.
+	H history.History
+	// N is the number of processes.
+	N int
+	// Steps is the total number of granted steps.
+	Steps int
+	// StepProcs[i] is the process granted step i (crashes excluded).
+	StepProcs []int
+	// EventSteps[i] is the step index at which H[i] was recorded.
+	EventSteps []int
+	// Window is the tail-window length in steps used to interpret
+	// "infinitely often". It is clamped to [1, Steps] (a zero window
+	// defaults to half the run).
+	Window int
+	// Parked lists processes permanently out of the scheduling game at the
+	// end of the run: idle (no more work) or blocked forever by the
+	// implementation. Fairness does not require steps from them.
+	Parked []int
+}
+
+// Fair reports whether the bounded execution is fair in the windowed
+// sense of Section 3.2: every process that is correct and not permanently
+// parked takes at least one step inside the tail window. Liveness verdicts
+// are only meaningful on fair executions; batteries assert this.
+func (e *Execution) Fair() bool {
+	steppers := toSet(e.Steppers())
+	parked := toSet(e.Parked)
+	for _, p := range e.Correct() {
+		if !parked[p] && !steppers[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromResult builds an Execution from a simulation result. window <= 0
+// defaults to half of the run's steps.
+func FromResult(res *sim.Result, window int) *Execution {
+	stepProcs := make([]int, 0, res.Steps)
+	for _, d := range res.Schedule {
+		if !d.Crash {
+			stepProcs = append(stepProcs, d.Proc)
+		}
+	}
+	if window <= 0 {
+		window = res.Steps / 2
+	}
+	parked := make([]int, 0, len(res.Idle)+len(res.Blocked))
+	parked = append(parked, res.Idle...)
+	parked = append(parked, res.Blocked...)
+	return &Execution{
+		H:          res.H,
+		N:          len(res.StepsBy) - 1,
+		Steps:      res.Steps,
+		StepProcs:  stepProcs,
+		EventSteps: res.EventSteps,
+		Window:     window,
+		Parked:     parked,
+	}
+}
+
+// windowStart returns the first step index inside the tail window.
+func (e *Execution) windowStart() int {
+	w := e.Window
+	if w <= 0 || w > e.Steps {
+		w = e.Steps
+	}
+	return e.Steps - w
+}
+
+// Steppers returns the sorted processes that take at least one step inside
+// the tail window (the bounded reading of "takes infinitely many steps").
+func (e *Execution) Steppers() []int {
+	from := e.windowStart()
+	seen := make(map[int]bool)
+	for i := from; i < len(e.StepProcs); i++ {
+		seen[e.StepProcs[i]] = true
+	}
+	return sortedKeys(seen)
+}
+
+// Progressing returns the sorted processes that receive at least one good
+// response inside the tail window (the bounded reading of "makes
+// progress").
+func (e *Execution) Progressing(good Good) []int {
+	from := e.windowStart()
+	seen := make(map[int]bool)
+	for i, ev := range e.H {
+		if ev.Kind != history.KindResponse || e.EventSteps[i] < from {
+			continue
+		}
+		if good == nil || good[ev.Val] {
+			seen[ev.Proc] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// Correct returns the sorted processes that never crash in the execution.
+func (e *Execution) Correct() []int {
+	var out []int
+	for p := 1; p <= e.N; p++ {
+		if !e.H.Crashed(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Property is a liveness property evaluated on bounded executions.
+type Property interface {
+	// Name identifies the property in reports (e.g. "(1,2)-freedom").
+	Name() string
+	// Holds reports whether the execution ensures the property.
+	Holds(e *Execution) bool
+}
+
+// PropertyFunc adapts a function to Property.
+type PropertyFunc struct {
+	PropName string
+	F        func(e *Execution) bool
+}
+
+// Name implements Property.
+func (p PropertyFunc) Name() string { return p.PropName }
+
+// Holds implements Property.
+func (p PropertyFunc) Holds(e *Execution) bool { return p.F(e) }
+
+// LLockFreedom is the paper's l-lock-freedom: at least l processes make
+// progress if at least l processes are correct; otherwise all correct
+// processes make progress. It is an independent (scheduler-oblivious)
+// progress guarantee.
+type LLockFreedom struct {
+	L    int
+	Good Good
+}
+
+// Name implements Property.
+func (p LLockFreedom) Name() string { return fmt.Sprintf("%d-lock-freedom", p.L) }
+
+// Holds implements Property.
+func (p LLockFreedom) Holds(e *Execution) bool {
+	correct := e.Correct()
+	prog := e.Progressing(p.Good)
+	if len(correct) >= p.L {
+		return len(prog) >= p.L
+	}
+	return containsAll(prog, correct)
+}
+
+// KObstructionFreedom is Taubenfeld's k-obstruction-freedom: if at most k
+// processes take infinitely many steps, then every process that does must
+// make progress. It is a dependent (scheduler-sensitive) guarantee.
+type KObstructionFreedom struct {
+	K    int
+	Good Good
+}
+
+// Name implements Property.
+func (p KObstructionFreedom) Name() string {
+	return fmt.Sprintf("%d-obstruction-freedom", p.K)
+}
+
+// Holds implements Property.
+func (p KObstructionFreedom) Holds(e *Execution) bool {
+	steppers := e.Steppers()
+	if len(steppers) > p.K {
+		return true // gate open: nothing required
+	}
+	return containsAll(e.Progressing(p.Good), steppers)
+}
+
+// LK is the paper's (l,k)-freedom (Definition 5.1), realized as the union
+// LF_l ∪ OF_k noted right after the definition: an execution ensures
+// (l,k)-freedom iff it ensures l-lock-freedom or k-obstruction-freedom.
+// Requires L <= K.
+type LK struct {
+	L, K int
+	Good Good
+}
+
+// Name implements Property.
+func (p LK) Name() string { return fmt.Sprintf("(%d,%d)-freedom", p.L, p.K) }
+
+// Holds implements Property.
+func (p LK) Holds(e *Execution) bool {
+	return (LLockFreedom{L: p.L, Good: p.Good}).Holds(e) ||
+		(KObstructionFreedom{K: p.K, Good: p.Good}).Holds(e)
+}
+
+// LKLiteral is the literal implication form of Definition 5.1: if at most K
+// processes take infinitely many steps, then at least L processes make
+// progress when at least L are correct (all correct ones otherwise). It
+// differs from the union form on executions where fewer than L processes
+// take steps at all; the repository's tests exhibit the difference, and the
+// union form is the one used for Figure 1 (it is the one the paper reasons
+// with).
+type LKLiteral struct {
+	L, K int
+	Good Good
+}
+
+// Name implements Property.
+func (p LKLiteral) Name() string {
+	return fmt.Sprintf("(%d,%d)-freedom-literal", p.L, p.K)
+}
+
+// Holds implements Property.
+func (p LKLiteral) Holds(e *Execution) bool {
+	if len(e.Steppers()) > p.K {
+		return true
+	}
+	correct := e.Correct()
+	prog := e.Progressing(p.Good)
+	if len(correct) >= p.L {
+		return len(prog) >= p.L
+	}
+	return containsAll(prog, correct)
+}
+
+// WaitFreedom requires every correct process to make progress; it is the
+// strongest liveness requirement L_max for object types whose every
+// response is good (consensus, registers).
+type WaitFreedom struct {
+	Good Good
+}
+
+// Name implements Property.
+func (WaitFreedom) Name() string { return "wait-freedom" }
+
+// Holds implements Property.
+func (p WaitFreedom) Holds(e *Execution) bool {
+	return containsAll(e.Progressing(p.Good), e.Correct())
+}
+
+// LocalProgress is the TM L_max (Bushkov-Guerraoui-Kapalka): every correct
+// process eventually commits, i.e. makes commit-progress.
+type LocalProgress struct{}
+
+// Name implements Property.
+func (LocalProgress) Name() string { return "local-progress" }
+
+// Holds implements Property.
+func (LocalProgress) Holds(e *Execution) bool {
+	return containsAll(e.Progressing(TMGood()), e.Correct())
+}
+
+// SFreedom is Taubenfeld's S-freedom (Section 6): for every set P of
+// processes with |P| in Sizes, if exactly the processes of P take
+// infinitely many steps (no step contention with outside processes), every
+// process in P makes progress.
+type SFreedom struct {
+	Sizes map[int]bool
+	Good  Good
+}
+
+// Name implements Property.
+func (p SFreedom) Name() string {
+	sizes := sortedKeys(p.Sizes)
+	return fmt.Sprintf("S-freedom%v", sizes)
+}
+
+// Holds implements Property.
+func (p SFreedom) Holds(e *Execution) bool {
+	steppers := e.Steppers()
+	if !p.Sizes[len(steppers)] {
+		return true
+	}
+	return containsAll(e.Progressing(p.Good), steppers)
+}
+
+// NXLiveness is the (n,x)-liveness of Imbs-Raynal-Taubenfeld (Section 6):
+// the processes in WaitFree (x of them) must always make progress when
+// correct; the remaining n-x processes must make progress when they run
+// without step contention (obstruction-freedom).
+type NXLiveness struct {
+	WaitFree []int
+	Good     Good
+}
+
+// Name implements Property.
+func (p NXLiveness) Name() string {
+	return fmt.Sprintf("(n,%d)-liveness%v", len(p.WaitFree), p.WaitFree)
+}
+
+// Holds implements Property.
+func (p NXLiveness) Holds(e *Execution) bool {
+	prog := toSet(e.Progressing(p.Good))
+	wf := toSet(p.WaitFree)
+	for _, w := range p.WaitFree {
+		if w <= e.N && !e.H.Crashed(w) && !prog[w] {
+			return false
+		}
+	}
+	steppers := e.Steppers()
+	if len(steppers) == 1 && !wf[steppers[0]] && !prog[steppers[0]] {
+		return false
+	}
+	return true
+}
+
+// containsAll reports whether sorted set super contains every element of
+// sorted set sub.
+func containsAll(super, sub []int) bool {
+	m := toSet(super)
+	for _, s := range sub {
+		if !m[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func toSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,78 @@
+package mutex
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Bakery is Lamport's bakery lock for n processes from registers only:
+// first-come-first-served and hence starvation-free. Tickets grow without
+// bound, which is fine in simulation (the paper's registers hold arbitrary
+// values).
+type Bakery struct {
+	n        int
+	choosing []*base.Register
+	number   []*base.Register
+}
+
+// NewBakery creates the lock for n processes.
+func NewBakery(n int) *Bakery {
+	b := &Bakery{
+		n:        n,
+		choosing: make([]*base.Register, n),
+		number:   make([]*base.Register, n),
+	}
+	for i := 0; i < n; i++ {
+		b.choosing[i] = base.NewRegister("choosing", false)
+		b.number[i] = base.NewRegister("number", 0)
+	}
+	return b
+}
+
+// Acquire takes the lock for p, waiting first-come-first-served.
+func (b *Bakery) Acquire(p *sim.Proc) {
+	me := p.ID() - 1
+	b.choosing[me].Write(p, true)
+	max := 0
+	for j := 0; j < b.n; j++ {
+		if n := b.number[j].Read(p).(int); n > max {
+			max = n
+		}
+	}
+	myNum := max + 1
+	b.number[me].Write(p, myNum)
+	b.choosing[me].Write(p, false)
+	for j := 0; j < b.n; j++ {
+		if j == me {
+			continue
+		}
+		for b.choosing[j].Read(p).(bool) {
+		}
+		for {
+			nj := b.number[j].Read(p).(int)
+			if nj == 0 || nj > myNum || (nj == myNum && j > me) {
+				break
+			}
+		}
+	}
+}
+
+// Release releases the lock.
+func (b *Bakery) Release(p *sim.Proc) {
+	b.number[p.ID()-1].Write(p, 0)
+}
+
+// Apply implements sim.Object.
+func (b *Bakery) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	switch inv.Op {
+	case OpAcquire:
+		b.Acquire(p)
+		return Locked
+	case OpRelease:
+		b.Release(p)
+		return Unlocked
+	default:
+		return nil
+	}
+}

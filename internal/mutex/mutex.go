@@ -1,0 +1,294 @@
+// Package mutex implements the lock shared-object type the paper's
+// Section 3.2 cites as the home of starvation-freedom ("the strongest
+// liveness requirement for lock-based implementations"), with three
+// implementations from base objects:
+//
+//   - Peterson: the classic two-process starvation-free lock from
+//     registers;
+//   - Tournament: the n-process tournament of Peterson locks
+//     (starvation-free, registers only);
+//   - TASLock: a test-and-set spinlock — deadlock-free but NOT
+//     starvation-free, which the StarveTAS adversary demonstrates with a
+//     fair schedule on which one process never acquires.
+//
+// The object type has operations "acquire" (response Locked) and
+// "release" (response Unlocked); the good-response set for lock liveness
+// is {Locked}, so starvation-freedom is exactly wait-freedom over
+// acquisitions and deadlock-freedom is 1-lock-freedom.
+package mutex
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// Lock operation names (aliases of the safety package's) and responses.
+const (
+	OpAcquire = safety.LockAcquire
+	OpRelease = safety.LockRelease
+	Locked    = "locked"
+	Unlocked  = "unlocked"
+)
+
+// Good is the lock good-response set: only acquisitions are progress.
+func Good() liveness.Good { return liveness.Good{Locked: true} }
+
+// StarvationFreedom is the lock L_max: every correct process that keeps
+// requesting the lock acquires it infinitely often.
+func StarvationFreedom() liveness.Property {
+	return liveness.WaitFreedom{Good: Good()}
+}
+
+// DeadlockFreedom requires that some process keeps acquiring.
+func DeadlockFreedom() liveness.Property {
+	return liveness.LLockFreedom{L: 1, Good: Good()}
+}
+
+// Peterson is the two-process Peterson lock from registers. Process ids
+// must be 1 and 2.
+type Peterson struct {
+	flag [2]*base.Register
+	turn *base.Register
+}
+
+// NewPeterson creates the lock.
+func NewPeterson() *Peterson {
+	return &Peterson{
+		flag: [2]*base.Register{
+			base.NewRegister("flag1", false),
+			base.NewRegister("flag2", false),
+		},
+		turn: base.NewRegister("turn", 1),
+	}
+}
+
+// Acquire blocks (spinning on register reads) until the lock is held by p.
+// Process ids must be 1 or 2.
+func (l *Peterson) Acquire(p *sim.Proc) {
+	me := p.ID() - 1
+	other := 1 - me
+	l.flag[me].Write(p, true)
+	l.turn.Write(p, other+1)
+	for {
+		if !l.flag[other].Read(p).(bool) {
+			return
+		}
+		if l.turn.Read(p) != other+1 {
+			return
+		}
+	}
+}
+
+// Release releases the lock held by p.
+func (l *Peterson) Release(p *sim.Proc) {
+	l.flag[p.ID()-1].Write(p, false)
+}
+
+// Apply implements sim.Object.
+func (l *Peterson) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	switch inv.Op {
+	case OpAcquire:
+		l.Acquire(p)
+		return Locked
+	case OpRelease:
+		l.Release(p)
+		return Unlocked
+	default:
+		return nil
+	}
+}
+
+// TASLock is a test-and-set spinlock: deadlock-free, not starvation-free.
+type TASLock struct {
+	t *base.TAS
+}
+
+// NewTASLock creates the lock.
+func NewTASLock() *TASLock {
+	return &TASLock{t: base.NewTAS("lock")}
+}
+
+// Acquire spins on test-and-set until the lock is held by p.
+func (l *TASLock) Acquire(p *sim.Proc) {
+	for !l.t.TestAndSet(p) {
+	}
+}
+
+// Release releases the lock.
+func (l *TASLock) Release(p *sim.Proc) {
+	l.t.Reset(p)
+}
+
+// Apply implements sim.Object.
+func (l *TASLock) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	switch inv.Op {
+	case OpAcquire:
+		l.Acquire(p)
+		return Locked
+	case OpRelease:
+		l.Release(p)
+		return Unlocked
+	default:
+		return nil
+	}
+}
+
+// Tournament is the n-process tournament lock: a binary tree of Peterson
+// locks; a process climbs from its leaf to the root, playing the side its
+// subtree lies on at each node, and releases top-down in reverse. n is
+// rounded up to a power of two.
+type Tournament struct {
+	n      int
+	levels int
+	// node flags/turn per internal node: node index 1..(leafBase-1),
+	// heap-style (children of i are 2i and 2i+1).
+	flag map[int][2]*base.Register
+	turn map[int]*base.Register
+	leaf int // first leaf index = number of internal nodes + 1
+}
+
+// NewTournament creates the lock for n processes (n >= 1).
+func NewTournament(n int) *Tournament {
+	size := 1
+	levels := 0
+	for size < n {
+		size *= 2
+		levels++
+	}
+	t := &Tournament{
+		n:      n,
+		levels: levels,
+		flag:   make(map[int][2]*base.Register),
+		turn:   make(map[int]*base.Register),
+		leaf:   size,
+	}
+	for node := 1; node < size; node++ {
+		t.flag[node] = [2]*base.Register{
+			base.NewRegister("flagL", false),
+			base.NewRegister("flagR", false),
+		}
+		t.turn[node] = base.NewRegister("turn", 0)
+	}
+	return t
+}
+
+// Apply implements sim.Object.
+func (t *Tournament) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	switch inv.Op {
+	case OpAcquire:
+		pos := t.leaf + p.ID() - 1
+		for pos > 1 {
+			side := pos % 2 // 0 = left child, 1 = right child
+			node := pos / 2
+			t.petersonAcquire(p, node, side)
+			pos = node
+		}
+		return Locked
+	case OpRelease:
+		// Release top-down: recompute the path and release in root-to-leaf
+		// order.
+		var path []int // node indices with sides encoded in the climb
+		pos := t.leaf + p.ID() - 1
+		for pos > 1 {
+			path = append(path, pos)
+			pos /= 2
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			node := path[i] / 2
+			side := path[i] % 2
+			t.flagReg(node, side).Write(p, false)
+		}
+		return Unlocked
+	default:
+		return nil
+	}
+}
+
+func (t *Tournament) flagReg(node, side int) *base.Register {
+	return t.flag[node][side]
+}
+
+func (t *Tournament) petersonAcquire(p *sim.Proc, node, side int) {
+	other := 1 - side
+	t.flagReg(node, side).Write(p, true)
+	t.turn[node].Write(p, other)
+	for {
+		if !t.flagReg(node, other).Read(p).(bool) {
+			return
+		}
+		if t.turn[node].Read(p) != other {
+			return
+		}
+	}
+}
+
+// AcquireReleaseLoop is the lock liveness environment: every process
+// alternates acquire and release forever. The next operation is derived
+// purely from the process's own last response.
+func AcquireReleaseLoop(procs int) sim.Environment {
+	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
+		if proc > procs {
+			return sim.Invocation{}, false
+		}
+		proj := v.H.Project(proc)
+		for i := len(proj) - 1; i >= 0; i-- {
+			if proj[i].Kind == history.KindResponse {
+				if proj[i].Val == Locked {
+					return sim.Invocation{Op: OpRelease}, true
+				}
+				return sim.Invocation{Op: OpAcquire}, true
+			}
+		}
+		return sim.Invocation{Op: OpAcquire}, true
+	})
+}
+
+// StarveTAS is the adversary scheduler that starves process victim on a
+// TAS lock while staying fair (both processes take infinitely many steps):
+// the victim is granted steps only while the other process holds the lock,
+// so each of its test-and-set attempts fails; the owner cycles
+// acquire/release forever. Derived purely from the history, so it works
+// against any lock implementation — against starvation-free locks (e.g.
+// Peterson) the run it produces simply stops being constructible (the
+// owner blocks), which tests demonstrate.
+func StarveTAS(victim, owner int) sim.Scheduler {
+	last := 0
+	return sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
+		// While the owner holds the lock, alternate the two processes so
+		// the owner still advances toward its release (fairness); while the
+		// lock is free, run only the owner so it re-acquires before the
+		// victim can attempt a test-and-set.
+		if holder(v.H) == owner && last != victim && v.ReadyContains(victim) {
+			last = victim
+			return sim.Decision{Proc: victim}, true
+		}
+		if v.ReadyContains(owner) {
+			last = owner
+			return sim.Decision{Proc: owner}, true
+		}
+		if v.ReadyContains(victim) {
+			last = victim
+			return sim.Decision{Proc: victim}, true
+		}
+		return sim.Decision{}, false
+	})
+}
+
+// holder returns the process currently holding the lock per the history (0
+// if none): the last acquire response not yet followed by its release
+// invocation.
+func holder(h history.History) int {
+	cur := 0
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindResponse && e.Op == OpAcquire && e.Val == Locked:
+			cur = e.Proc
+		case e.Kind == history.KindInvoke && e.Op == OpRelease && e.Proc == cur:
+			cur = 0
+		}
+	}
+	return cur
+}

@@ -1,0 +1,112 @@
+// Package queue implements FIFO queues from base objects, the "high-level
+// object implementations from registers" context the paper's Section 1
+// applies its results to. Two implementations contrast the blocking and
+// non-blocking worlds:
+//
+//   - Locked: a register-held queue guarded by a two-process Peterson lock
+//     — linearizable, starvation-free under fair schedules, but *blocking*:
+//     a process crashing inside the critical section wedges everyone else
+//     forever (the failure mode motivating the paper's non-blocking
+//     systems).
+//   - CASQueue: a Treiber-style queue on a single compare-and-swap object
+//     — linearizable and lock-free: crashes between steps never block the
+//     others, and a failed CAS implies another operation committed.
+//
+// Operations: "enq" (argument, responds OK) and "deq" (responds the head
+// value or safety.EmptyResp).
+package queue
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/mutex"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// qstate is the immutable queue content stored in the central object.
+type qstate struct {
+	items []history.Value
+}
+
+func (q *qstate) enq(v history.Value) *qstate {
+	items := make([]history.Value, len(q.items)+1)
+	copy(items, q.items)
+	items[len(q.items)] = v
+	return &qstate{items: items}
+}
+
+func (q *qstate) deq() (*qstate, history.Value) {
+	if len(q.items) == 0 {
+		return q, safety.EmptyResp
+	}
+	items := make([]history.Value, len(q.items)-1)
+	copy(items, q.items[1:])
+	return &qstate{items: items}, q.items[0]
+}
+
+// Locked is the lock-based queue (two processes, Peterson lock).
+type Locked struct {
+	lock  *mutex.Peterson
+	state *base.Register
+}
+
+// NewLocked creates the queue.
+func NewLocked() *Locked {
+	return &Locked{
+		lock:  mutex.NewPeterson(),
+		state: base.NewRegister("queue", &qstate{}),
+	}
+}
+
+// Apply implements sim.Object.
+func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	q.lock.Acquire(p)
+	st := q.state.Read(p).(*qstate)
+	var resp history.Value
+	switch inv.Op {
+	case "enq":
+		q.state.Write(p, st.enq(inv.Arg))
+		resp = history.OK
+	case "deq":
+		next, v := st.deq()
+		q.state.Write(p, next)
+		resp = v
+	}
+	q.lock.Release(p)
+	return resp
+}
+
+// CASQueue is the lock-free queue on one CAS object.
+type CASQueue struct {
+	state *base.CAS
+}
+
+// NewCASQueue creates the queue.
+func NewCASQueue() *CASQueue {
+	return &CASQueue{state: base.NewCAS("queue", &qstate{})}
+}
+
+// Apply implements sim.Object.
+func (q *CASQueue) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	for {
+		st := q.state.Read(p).(*qstate)
+		switch inv.Op {
+		case "enq":
+			if q.state.CompareAndSwap(p, st, st.enq(inv.Arg)) {
+				return history.OK
+			}
+		case "deq":
+			next, v := st.deq()
+			if len(st.items) == 0 {
+				// An empty dequeue linearizes at the read; no CAS needed.
+				return v
+			}
+			if q.state.CompareAndSwap(p, st, next) {
+				return v
+			}
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package safety
+
+import "repro/internal/history"
+
+// ConsensusPropose is the operation name of the consensus object type.
+const ConsensusPropose = "propose"
+
+// AgreementValidity is the consensus safety property of the paper's
+// corollaries: agreement (all processes decide the same value) and validity
+// (every decided value was proposed by some process before the decision).
+// It is prefix-closed: both violations are irrevocable.
+type AgreementValidity struct{}
+
+// Name implements Property.
+func (AgreementValidity) Name() string { return "agreement+validity" }
+
+// Holds implements Property.
+func (AgreementValidity) Holds(h history.History) bool {
+	proposed := make(map[history.Value]bool)
+	var decided history.Value
+	haveDecision := false
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindInvoke && e.Op == ConsensusPropose:
+			proposed[e.Arg] = true
+		case e.Kind == history.KindResponse && e.Op == ConsensusPropose:
+			if !proposed[e.Val] {
+				return false // validity: value never proposed so far
+			}
+			if haveDecision && decided != e.Val {
+				return false // agreement
+			}
+			decided = e.Val
+			haveDecision = true
+		}
+	}
+	return true
+}
+
+// Decisions returns the multiset of decided values per process in h.
+func Decisions(h history.History) map[int]history.Value {
+	out := make(map[int]history.Value)
+	for _, e := range h {
+		if e.Kind == history.KindResponse && e.Op == ConsensusPropose {
+			out[e.Proc] = e.Val
+		}
+	}
+	return out
+}

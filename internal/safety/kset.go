@@ -1,0 +1,44 @@
+package safety
+
+import (
+	"strconv"
+
+	"repro/internal/history"
+)
+
+// KSetAgreement is the k-set agreement safety property (the paper's
+// Section 1 application context, via Borowsky-Gafni [3]): processes decide
+// at most k distinct values, and every decided value was proposed by some
+// process before the decision. k = 1 is consensus agreement+validity.
+type KSetAgreement struct {
+	K int
+}
+
+// Name implements Property.
+func (p KSetAgreement) Name() string {
+	if p.K == 1 {
+		return "agreement+validity"
+	}
+	return "k-set-agreement(k=" + strconv.Itoa(p.K) + ")"
+}
+
+// Holds implements Property.
+func (p KSetAgreement) Holds(h history.History) bool {
+	proposed := make(map[history.Value]bool)
+	decided := make(map[history.Value]bool)
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindInvoke && e.Op == ConsensusPropose:
+			proposed[e.Arg] = true
+		case e.Kind == history.KindResponse && e.Op == ConsensusPropose:
+			if !proposed[e.Val] {
+				return false // validity
+			}
+			decided[e.Val] = true
+			if len(decided) > p.K {
+				return false // k-agreement
+			}
+		}
+	}
+	return true
+}

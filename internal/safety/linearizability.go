@@ -1,0 +1,182 @@
+package safety
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// State is a sequential-specification state. States must be comparable with
+// == (used as memoization keys).
+type State any
+
+// Transition is one allowed (state, response) outcome of applying an
+// invocation at a state, an element of the paper's Seq ⊆ Inv×St×St×Res.
+type Transition struct {
+	Next State
+	Resp history.Value
+}
+
+// SeqSpec is a sequential specification of a shared object type Tp =
+// (St, Inv, Res, Seq), presented operationally: Init gives the initial
+// state, Apply enumerates the transitions allowed for an invocation at a
+// state (possibly several, for nondeterministic specifications).
+type SeqSpec interface {
+	Name() string
+	Init() State
+	Apply(st State, proc int, op, obj string, arg history.Value) []Transition
+}
+
+// maxLinOps bounds the operation count of the memoized search (operations
+// are indexed in a 64-bit mask).
+const maxLinOps = 63
+
+// Linearizable reports whether the well-formed history h is linearizable
+// with respect to spec: there is a sequential ordering of its operations,
+// containing every completed operation and any subset of pending ones,
+// that respects real-time order and the specification, with matching
+// responses. Pending operations may take effect or not (crashed processes'
+// operations are simply pending).
+//
+// The search is a memoized Wing–Gong style DFS over (linearized set,
+// specification state). Histories with more than 63 operations are
+// rejected with false (the exclusion experiments never approach this; use
+// streams of smaller windows for longer histories).
+func Linearizable(spec SeqSpec, h history.History) bool {
+	ops := h.Operations()
+	if len(ops) > maxLinOps {
+		return false
+	}
+	// mustPrecede[i] is the mask of operations that must be linearized
+	// before operation i (those completing before i's invocation).
+	mustPrecede := make([]uint64, len(ops))
+	for i := range ops {
+		for j := range ops {
+			if i != j && history.PrecedesRealTime(ops[j], ops[i]) {
+				mustPrecede[i] |= 1 << uint(j)
+			}
+		}
+	}
+	completedMask := uint64(0)
+	for i, op := range ops {
+		if op.Done {
+			completedMask |= 1 << uint(i)
+		}
+	}
+
+	type key struct {
+		mask  uint64
+		state State
+	}
+	memo := make(map[key]bool)
+
+	var dfs func(mask uint64, st State) bool
+	dfs = func(mask uint64, st State) bool {
+		if mask&completedMask == completedMask {
+			return true
+		}
+		k := key{mask, st}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		res := false
+		for i := range ops {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || mask&mustPrecede[i] != mustPrecede[i] {
+				continue
+			}
+			op := ops[i]
+			for _, tr := range spec.Apply(st, op.Proc, op.Name, op.Obj, op.Arg) {
+				if op.Done && tr.Resp != op.Val {
+					continue
+				}
+				if dfs(mask|bit, tr.Next) {
+					res = true
+					break
+				}
+			}
+			if res {
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return dfs(0, spec.Init())
+}
+
+// LinearizabilityProperty wraps a sequential specification as a safety
+// Property: a history is in the property iff it is linearizable w.r.t.
+// spec. Linearizability is prefix-closed (a linearization of h induces one
+// of every prefix), so this satisfies Definition 3.1.
+func LinearizabilityProperty(spec SeqSpec) Property {
+	return PropertyFunc{
+		PropName: fmt.Sprintf("linearizability(%s)", spec.Name()),
+		F:        func(h history.History) bool { return Linearizable(spec, h) },
+	}
+}
+
+// RegisterSpec is the sequential specification of a read/write register
+// holding values, with operations "read" (no argument) and "write" (value
+// argument, responds OK).
+type RegisterSpec struct {
+	// Initial is the register's initial value.
+	Initial history.Value
+}
+
+// Name implements SeqSpec.
+func (RegisterSpec) Name() string { return "register" }
+
+// Init implements SeqSpec.
+func (r RegisterSpec) Init() State { return r.Initial }
+
+// Apply implements SeqSpec.
+func (RegisterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	switch op {
+	case "read":
+		return []Transition{{Next: st, Resp: st}}
+	case "write":
+		return []Transition{{Next: arg, Resp: history.OK}}
+	default:
+		return nil
+	}
+}
+
+// CASSpec is the sequential specification of a compare-and-swap object with
+// operations "read", "write", and "cas" (argument CASArg, responds true or
+// false).
+type CASSpec struct {
+	Initial history.Value
+}
+
+// CASArg is the argument of a "cas" invocation.
+type CASArg struct {
+	Old, New history.Value
+}
+
+// Name implements SeqSpec.
+func (CASSpec) Name() string { return "cas" }
+
+// Init implements SeqSpec.
+func (c CASSpec) Init() State { return c.Initial }
+
+// Apply implements SeqSpec.
+func (CASSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	switch op {
+	case "read":
+		return []Transition{{Next: st, Resp: st}}
+	case "write":
+		return []Transition{{Next: arg, Resp: history.OK}}
+	case "cas":
+		a, ok := arg.(CASArg)
+		if !ok {
+			return nil
+		}
+		if st == a.Old {
+			return []Transition{{Next: a.New, Resp: true}}
+		}
+		return []Transition{{Next: st, Resp: false}}
+	default:
+		return nil
+	}
+}

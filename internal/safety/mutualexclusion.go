@@ -1,0 +1,39 @@
+package safety
+
+import "repro/internal/history"
+
+// Lock object type operation names (shared with internal/mutex).
+const (
+	LockAcquire = "acquire"
+	LockRelease = "release"
+)
+
+// MutualExclusion is the lock safety property: no two processes are in the
+// critical section simultaneously, where the critical section spans from
+// an acquire response to the following release invocation, and only the
+// holder may release. Both violations are irrevocable, so the property is
+// prefix-closed.
+type MutualExclusion struct{}
+
+// Name implements Property.
+func (MutualExclusion) Name() string { return "mutual-exclusion" }
+
+// Holds implements Property.
+func (MutualExclusion) Holds(h history.History) bool {
+	holder := 0
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindResponse && e.Op == LockAcquire:
+			if holder != 0 {
+				return false // two processes in the critical section
+			}
+			holder = e.Proc
+		case e.Kind == history.KindInvoke && e.Op == LockRelease:
+			if holder != e.Proc {
+				return false // release by a non-holder
+			}
+			holder = 0
+		}
+	}
+	return true
+}

@@ -1,0 +1,325 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// TMInitial is the initial value of every transactional variable, matching
+// Algorithm 1's initialization C = (1,(0,0,...)).
+const TMInitial = 0
+
+// role is how a transaction is placed in a candidate serialization.
+type role int
+
+const (
+	roleCommitted role = iota + 1
+	roleAborted
+)
+
+// txRecord precomputes the data the serialization search needs about one
+// transaction.
+type txRecord struct {
+	tx *history.Tx
+	// steps is the program-order sequence of successful reads and writes.
+	steps []txStep
+	// roles are the allowed placement roles, derived from the completion
+	// rules of opacity (Section 4.1): committed transactions must commit,
+	// aborted must abort, live with a pending tryC may do either, live
+	// without a pending tryC abort.
+	roles []role
+	// precede is the set of transactions that must be serialized before
+	// this one (real-time order).
+	precede bitset
+}
+
+// bitset is a dynamic bit mask over transaction indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) test(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// withBit returns a copy of b with bit i set.
+func (b bitset) withBit(i int) bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	out[i/64] |= 1 << uint(i%64)
+	return out
+}
+
+func (b bitset) setBit(i int) { b[i/64] |= 1 << uint(i%64) }
+
+func (b bitset) clearBit(i int) { b[i/64] &^= 1 << uint(i%64) }
+
+// containsAll reports whether every bit of other is set in b.
+func (b bitset) containsAll(other bitset) bool {
+	for w := range other {
+		if other[w]&^b[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) key() string {
+	buf := make([]byte, 0, len(b)*8)
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}
+
+type txStep struct {
+	isRead bool
+	v      string
+	val    history.Value // value read, or value written
+}
+
+// maxOpacityTxs is a sanity cap on the number of transactions the memoized
+// search handles (the dynamic bitset supports arbitrary counts; the cap
+// guards against accidental quadratic blowups on absurd inputs).
+const maxOpacityTxs = 4096
+
+// buildRecords analyses a TM history into search records. ok=false when the
+// history has too many transactions.
+func buildRecords(h history.History) ([]*txRecord, bool) {
+	txs := history.Transactions(h)
+	if len(txs) > maxOpacityTxs {
+		return nil, false
+	}
+	recs := make([]*txRecord, len(txs))
+	for i, tx := range txs {
+		r := &txRecord{tx: tx}
+		for _, op := range tx.Ops {
+			switch {
+			case op.Name == history.TMRead && op.Done && op.Val != history.Abort:
+				r.steps = append(r.steps, txStep{isRead: true, v: op.Obj, val: op.Val})
+			case op.Name == history.TMWrite && op.Done && op.Val != history.Abort:
+				r.steps = append(r.steps, txStep{isRead: false, v: op.Obj, val: op.Arg})
+			}
+		}
+		switch tx.Status {
+		case history.TxCommitted:
+			r.roles = []role{roleCommitted}
+		case history.TxAborted:
+			r.roles = []role{roleAborted}
+		case history.TxLive:
+			if pendingTryC(tx) {
+				r.roles = []role{roleCommitted, roleAborted}
+			} else {
+				r.roles = []role{roleAborted}
+			}
+		}
+		recs[i] = r
+	}
+	for i, a := range recs {
+		a.precede = newBitset(len(recs))
+		for j, b := range recs {
+			if i != j && history.TxPrecedes(b.tx, a.tx) {
+				a.precede.setBit(j)
+			}
+		}
+	}
+	return recs, true
+}
+
+// pendingTryC reports whether the transaction's last operation is a tryC
+// invocation without a response.
+func pendingTryC(tx *history.Tx) bool {
+	if len(tx.Ops) == 0 {
+		return false
+	}
+	last := tx.Ops[len(tx.Ops)-1]
+	return last.Name == history.TMTryC && !last.Done
+}
+
+// varState is the committed store during serialization, encoded canonically
+// for memoization.
+type varState map[string]history.Value
+
+func (s varState) key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v;", k, s[k])
+	}
+	return b.String()
+}
+
+// legal reports whether the transaction's reads are consistent with the
+// committed store st at its serialization point (reading its own earlier
+// writes first, then st, then the initial value).
+func legal(r *txRecord, st varState) bool {
+	local := make(map[string]history.Value)
+	for _, step := range r.steps {
+		if step.isRead {
+			want, ok := local[step.v]
+			if !ok {
+				want, ok = st[step.v]
+				if !ok {
+					want = TMInitial
+				}
+			}
+			if step.val != want {
+				return false
+			}
+			continue
+		}
+		local[step.v] = step.val
+	}
+	return true
+}
+
+// applyWrites returns st extended with the transaction's writes (copy on
+// write).
+func applyWrites(r *txRecord, st varState) varState {
+	wrote := false
+	for _, step := range r.steps {
+		if !step.isRead {
+			wrote = true
+			break
+		}
+	}
+	if !wrote {
+		return st
+	}
+	out := make(varState, len(st)+2)
+	for k, v := range st {
+		out[k] = v
+	}
+	for _, step := range r.steps {
+		if !step.isRead {
+			out[step.v] = step.val
+		}
+	}
+	return out
+}
+
+// serializable runs the memoized DFS: is there an order of all transactions
+// (with allowed roles) respecting real-time order in which every placed
+// transaction's reads are legal? When strict is true, aborted transactions
+// impose no read constraints (strict serializability); otherwise even
+// aborted transactions must observe a consistent state (opacity).
+func serializable(recs []*txRecord, strict bool) bool {
+	n := len(recs)
+
+	type key struct {
+		mask  string
+		state string
+	}
+	memo := make(map[key]bool)
+
+	var dfs func(mask bitset, placed int, st varState) bool
+	dfs = func(mask bitset, placed int, st varState) bool {
+		if placed == n {
+			return true
+		}
+		k := key{mask.key(), st.key()}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		res := false
+	candidates:
+		for i, r := range recs {
+			if mask.test(i) || !mask.containsAll(r.precede) {
+				continue
+			}
+			for _, ro := range r.roles {
+				switch ro {
+				case roleCommitted:
+					if !legal(r, st) {
+						continue
+					}
+					if dfs(mask.withBit(i), placed+1, applyWrites(r, st)) {
+						res = true
+						break candidates
+					}
+				case roleAborted:
+					if !strict && !legal(r, st) {
+						continue
+					}
+					if dfs(mask.withBit(i), placed+1, st) {
+						res = true
+						break candidates
+					}
+				}
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return dfs(newBitset(n), 0, varState{})
+}
+
+// OpaquePrefix reports whether the single finite history h admits a
+// completion and an equivalent legal sequential history preserving
+// real-time order (the per-prefix condition of opacity).
+func OpaquePrefix(h history.History) bool {
+	recs, ok := buildRecords(h)
+	if !ok {
+		return false
+	}
+	return serializable(recs, false)
+}
+
+// Opaque reports whether h ensures opacity: every finite prefix satisfies
+// OpaquePrefix. Prefixes are checked after every response event (adding
+// invocations cannot invalidate opacity: a new or extended live
+// transaction completes as aborted with no additional successful reads, and
+// real-time constraints only shrink).
+func Opaque(h history.History) bool {
+	for i, e := range h {
+		if e.Kind == history.KindResponse && !OpaquePrefix(h.Prefix(i+1)) {
+			return false
+		}
+	}
+	return OpaquePrefix(h)
+}
+
+// Opacity is the opacity safety property as a Property value.
+type Opacity struct{}
+
+// Name implements Property.
+func (Opacity) Name() string { return "opacity" }
+
+// Holds implements Property.
+func (Opacity) Holds(h history.History) bool { return Opaque(h) }
+
+// StrictSerializability requires the committed transactions (plus possibly
+// some commit-pending ones) to form a legal sequential history preserving
+// real-time order; aborted transactions are invisible and unconstrained.
+type StrictSerializability struct{}
+
+// Name implements Property.
+func (StrictSerializability) Name() string { return "strict-serializability" }
+
+// Holds implements Property.
+func (StrictSerializability) Holds(h history.History) bool {
+	for i, e := range h {
+		if e.Kind == history.KindResponse && !strictPrefix(h.Prefix(i+1)) {
+			return false
+		}
+	}
+	return strictPrefix(h)
+}
+
+func strictPrefix(h history.History) bool {
+	recs, ok := buildRecords(h)
+	if !ok {
+		return false
+	}
+	return serializable(recs, true)
+}

@@ -1,0 +1,54 @@
+// Package safety implements the safety properties of the paper (Section
+// 3.1): prefix-closed, limit-closed sets of well-formed histories. It
+// provides a generic linearizability checker over sequential
+// specifications, the consensus agreement+validity property, transactional
+// memory opacity and strict serializability, and the Section 5.3 property S
+// (opacity plus a timestamp-based abort rule).
+//
+// Limit closure is automatic for checkers of the form "every finite prefix
+// satisfies X", which is how all checkers here are structured.
+package safety
+
+import "repro/internal/history"
+
+// Property is a safety property: membership of finite histories in a
+// prefix-closed set. Holds must be monotone under prefixes: if Holds(h) is
+// false for some prefix of h', then Holds(h') is false.
+type Property interface {
+	// Name identifies the property in reports.
+	Name() string
+	// Holds reports whether the finite history h is in the property.
+	Holds(h history.History) bool
+}
+
+// PropertyFunc adapts a function to Property.
+type PropertyFunc struct {
+	// PropName is returned by Name.
+	PropName string
+	// F implements Holds.
+	F func(h history.History) bool
+}
+
+// Name implements Property.
+func (p PropertyFunc) Name() string { return p.PropName }
+
+// Holds implements Property.
+func (p PropertyFunc) Holds(h history.History) bool { return p.F(h) }
+
+// PrefixClosed verifies on a concrete history that a property checker is
+// prefix-closed along h: once it fails at some prefix it fails at all
+// extensions, and if it holds at h it holds at every prefix. Used by tests
+// to validate checker implementations against Definition 3.1.
+func PrefixClosed(p Property, h history.History) bool {
+	failed := false
+	for n := 0; n <= len(h); n++ {
+		ok := p.Holds(h.Prefix(n))
+		if failed && ok {
+			return false
+		}
+		if !ok {
+			failed = true
+		}
+	}
+	return true
+}

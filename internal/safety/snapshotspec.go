@@ -1,0 +1,63 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// SnapshotSpec is the sequential specification of an n-component snapshot
+// object over integer values: "update" writes the invoking process's own
+// component (single-writer, component = proc-1), "scan" returns the whole
+// vector encoded with EncodeVector. Used to check linearizability of the
+// software snapshot construction.
+type SnapshotSpec struct {
+	// N is the number of components.
+	N int
+	// Initial is the initial value of every component.
+	Initial int
+}
+
+// Name implements SeqSpec.
+func (SnapshotSpec) Name() string { return "snapshot" }
+
+// Init implements SeqSpec.
+func (s SnapshotSpec) Init() State {
+	vec := make([]history.Value, s.N)
+	for i := range vec {
+		vec[i] = s.Initial
+	}
+	return EncodeVector(vec)
+}
+
+// Apply implements SeqSpec.
+func (s SnapshotSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	enc, ok := st.(string)
+	if !ok {
+		return nil
+	}
+	switch op {
+	case "update":
+		parts := strings.Split(enc, ",")
+		if proc < 1 || proc > len(parts) {
+			return nil
+		}
+		parts[proc-1] = fmt.Sprintf("%v", arg)
+		return []Transition{{Next: strings.Join(parts, ","), Resp: history.OK}}
+	case "scan":
+		return []Transition{{Next: st, Resp: enc}}
+	default:
+		return nil
+	}
+}
+
+// EncodeVector encodes a snapshot vector as a comparable string, the
+// response format of SnapshotSpec scans.
+func EncodeVector(vec []history.Value) string {
+	parts := make([]string, len(vec))
+	for i, v := range vec {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return strings.Join(parts, ",")
+}

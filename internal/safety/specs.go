@@ -1,0 +1,119 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Sequential specifications of classic high-level objects (the paper's
+// Section 1 context "high-level object implementations from registers
+// [19]"), used by the linearizability checker. States are encoded as
+// comparable strings via %v formatting, so dequeue/pop responses come back
+// as the formatted values: use string payloads (or any values whose %v
+// form is the value itself) when checking histories against these specs.
+
+// EmptyResp is the response of a dequeue/pop on an empty container.
+const EmptyResp = "empty"
+
+// QueueSpec is a FIFO queue with operations "enq" (argument, responds OK)
+// and "deq" (responds the head value or EmptyResp).
+type QueueSpec struct{}
+
+// Name implements SeqSpec.
+func (QueueSpec) Name() string { return "queue" }
+
+// Init implements SeqSpec.
+func (QueueSpec) Init() State { return "" }
+
+// Apply implements SeqSpec.
+func (QueueSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	enc, ok := st.(string)
+	if !ok {
+		return nil
+	}
+	switch op {
+	case "enq":
+		next := fmt.Sprintf("%v", arg)
+		if enc != "" {
+			next = enc + "," + next
+		}
+		return []Transition{{Next: next, Resp: history.OK}}
+	case "deq":
+		if enc == "" {
+			return []Transition{{Next: "", Resp: EmptyResp}}
+		}
+		parts := strings.SplitN(enc, ",", 2)
+		rest := ""
+		if len(parts) == 2 {
+			rest = parts[1]
+		}
+		return []Transition{{Next: rest, Resp: parts[0]}}
+	default:
+		return nil
+	}
+}
+
+// StackSpec is a LIFO stack with operations "push" and "pop".
+type StackSpec struct{}
+
+// Name implements SeqSpec.
+func (StackSpec) Name() string { return "stack" }
+
+// Init implements SeqSpec.
+func (StackSpec) Init() State { return "" }
+
+// Apply implements SeqSpec.
+func (StackSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	enc, ok := st.(string)
+	if !ok {
+		return nil
+	}
+	switch op {
+	case "push":
+		next := fmt.Sprintf("%v", arg)
+		if enc != "" {
+			next = next + "," + enc
+		}
+		return []Transition{{Next: next, Resp: history.OK}}
+	case "pop":
+		if enc == "" {
+			return []Transition{{Next: "", Resp: EmptyResp}}
+		}
+		parts := strings.SplitN(enc, ",", 2)
+		rest := ""
+		if len(parts) == 2 {
+			rest = parts[1]
+		}
+		return []Transition{{Next: rest, Resp: parts[0]}}
+	default:
+		return nil
+	}
+}
+
+// CounterSpec is a fetch-and-increment counter: "inc" responds with the
+// pre-increment value, "get" with the current value.
+type CounterSpec struct{}
+
+// Name implements SeqSpec.
+func (CounterSpec) Name() string { return "counter" }
+
+// Init implements SeqSpec.
+func (CounterSpec) Init() State { return 0 }
+
+// Apply implements SeqSpec.
+func (CounterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	n, ok := st.(int)
+	if !ok {
+		return nil
+	}
+	switch op {
+	case "inc":
+		return []Transition{{Next: n + 1, Resp: n}}
+	case "get":
+		return []Transition{{Next: n, Resp: n}}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+// EnvironmentFunc adapts a function to the Environment interface.
+type EnvironmentFunc func(proc int, v *View) (Invocation, bool)
+
+// Next implements Environment.
+func (f EnvironmentFunc) Next(proc int, v *View) (Invocation, bool) {
+	return f(proc, v)
+}
+
+// OneShot gives each process exactly one invocation (from invs, keyed by
+// process id) and then parks it. Processes without an entry are parked
+// immediately. It models one-shot objects such as consensus.
+func OneShot(invs map[int]Invocation) Environment {
+	done := make(map[int]bool)
+	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
+		inv, ok := invs[proc]
+		if !ok || done[proc] {
+			return Invocation{}, false
+		}
+		done[proc] = true
+		return inv, true
+	})
+}
+
+// Script gives each process a fixed sequence of invocations, then parks it.
+func Script(script map[int][]Invocation) Environment {
+	next := make(map[int]int)
+	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
+		seq := script[proc]
+		i := next[proc]
+		if i >= len(seq) {
+			return Invocation{}, false
+		}
+		next[proc] = i + 1
+		return seq[i], true
+	})
+}
+
+// Repeat makes every process invoke the same invocation forever (useful
+// with step budgets).
+func Repeat(inv Invocation) Environment {
+	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
+		return inv, true
+	})
+}
+
+// RepeatPerProc makes each process invoke its own invocation forever.
+// Processes without an entry are parked immediately. This is the standard
+// environment for liveness evaluation: progress is "infinitely many good
+// responses", so processes must keep invoking.
+func RepeatPerProc(invs map[int]Invocation) Environment {
+	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
+		inv, ok := invs[proc]
+		return inv, ok
+	})
+}

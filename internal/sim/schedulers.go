@@ -1,0 +1,152 @@
+package sim
+
+import "math/rand"
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(v *View) (Decision, bool)
+
+// Next implements Scheduler.
+func (f SchedulerFunc) Next(v *View) (Decision, bool) { return f(v) }
+
+// RoundRobin schedules ready processes cyclically by id, giving each
+// process fair turns. The zero value is ready to use.
+type RoundRobin struct {
+	last int
+}
+
+// Next implements Scheduler.
+func (rr *RoundRobin) Next(v *View) (Decision, bool) {
+	if len(v.Ready) == 0 {
+		return Decision{}, false
+	}
+	// Pick the smallest ready id strictly greater than last, wrapping.
+	for _, p := range v.Ready {
+		if p > rr.last {
+			rr.last = p
+			return Decision{Proc: p}, true
+		}
+	}
+	rr.last = v.Ready[0]
+	return Decision{Proc: v.Ready[0]}, true
+}
+
+// Solo schedules only the given process; the run ends when it is no longer
+// ready. It realizes the "running alone" (step-contention-free) schedules
+// of obstruction-freedom.
+func Solo(proc int) Scheduler {
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if v.ReadyContains(proc) {
+			return Decision{Proc: proc}, true
+		}
+		return Decision{}, false
+	})
+}
+
+// Fixed replays an explicit decision sequence, then stops. Decisions naming
+// non-ready processes are skipped (this lets prefixes recorded from runs
+// with different continuations replay robustly).
+func Fixed(schedule []Decision) Scheduler {
+	i := 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		for i < len(schedule) {
+			d := schedule[i]
+			i++
+			if d.Crash || v.ReadyContains(d.Proc) {
+				return d, true
+			}
+		}
+		return Decision{}, false
+	})
+}
+
+// FixedProcs replays an explicit sequence of process ids (no crashes), then
+// stops.
+func FixedProcs(procs []int) Scheduler {
+	ds := make([]Decision, len(procs))
+	for i, p := range procs {
+		ds[i] = Decision{Proc: p}
+	}
+	return Fixed(ds)
+}
+
+// Seq runs each scheduler in turn: when one returns ok=false, the next
+// takes over. The run ends when the last one stops.
+func Seq(scheds ...Scheduler) Scheduler {
+	i := 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		for i < len(scheds) {
+			if d, ok := scheds[i].Next(v); ok {
+				return d, true
+			}
+			i++
+		}
+		return Decision{}, false
+	})
+}
+
+// Random schedules uniformly among ready processes using a seeded source,
+// so runs are reproducible per seed.
+func Random(seed int64) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if len(v.Ready) == 0 {
+			return Decision{}, false
+		}
+		return Decision{Proc: v.Ready[rng.Intn(len(v.Ready))]}, true
+	})
+}
+
+// RandomCrashy is Random plus a per-decision crash probability (in
+// [0,1]), crashing a uniformly chosen live process. At most maxCrashes
+// crashes are injected.
+func RandomCrashy(seed int64, crashProb float64, maxCrashes int) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	crashes := 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if crashes < maxCrashes && rng.Float64() < crashProb {
+			live := make([]int, 0, len(v.Ready)+len(v.Idle)+len(v.Blocked))
+			live = append(live, v.Ready...)
+			live = append(live, v.Idle...)
+			live = append(live, v.Blocked...)
+			if len(live) > 0 {
+				crashes++
+				return Decision{Proc: live[rng.Intn(len(live))], Crash: true}, true
+			}
+		}
+		if len(v.Ready) == 0 {
+			return Decision{}, false
+		}
+		return Decision{Proc: v.Ready[rng.Intn(len(v.Ready))]}, true
+	})
+}
+
+// Limit wraps a scheduler and stops after at most n of its decisions.
+func Limit(s Scheduler, n int) Scheduler {
+	taken := 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if taken >= n {
+			return Decision{}, false
+		}
+		d, ok := s.Next(v)
+		if ok {
+			taken++
+		}
+		return d, ok
+	})
+}
+
+// Alternate steps the given processes in strict rotation, skipping entries
+// that are not ready. It stops when none of them is ready.
+func Alternate(procs ...int) Scheduler {
+	i := 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		for tries := 0; tries < len(procs); tries++ {
+			p := procs[i%len(procs)]
+			i++
+			if v.ReadyContains(p) {
+				return Decision{Proc: p}, true
+			}
+		}
+		return Decision{}, false
+	})
+}

@@ -1,0 +1,441 @@
+// Package sim implements the asynchronous shared-memory system of the
+// paper's Section 2 as a deterministic, scheduler-driven simulator.
+//
+// Each of the n processes runs as a goroutine. Before every atomic step —
+// an invocation or a base-object operation — the process blocks until the
+// scheduler grants it a step; the scheduler therefore plays exactly the
+// role of the paper's external scheduler ("an external entity ... over
+// which processes have no control"). Because grants are serialized by the
+// runtime, a run is fully determined by the schedule (the sequence of
+// scheduler decisions) for deterministic algorithms and environments, which
+// makes replay and adversarial probing possible: a configuration is
+// represented by the schedule prefix that produced it.
+//
+// The runtime records the external history (invocations, responses, crash
+// events) exactly as defined in internal/history, along with per-event step
+// indices used by the bounded liveness checkers.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+)
+
+// DefaultMaxSteps bounds a run when Config.MaxSteps is zero.
+const DefaultMaxSteps = 10000
+
+// Sentinel panics used internally to unwind process goroutines. They are
+// recovered by the runtime; algorithm code must never recover them.
+var (
+	errHalted  = errors.New("sim: process halted (run ended or crashed)")
+	errBlocked = errors.New("sim: process blocked forever by implementation")
+)
+
+// Invocation describes an operation a process invokes on the object under
+// test.
+type Invocation struct {
+	// Op is the operation name (e.g. "propose", "start", "read").
+	Op string
+	// Obj optionally names the addressed object/variable.
+	Obj string
+	// Arg is the invocation argument, nil if none. It may be a LazyArg.
+	Arg history.Value
+}
+
+// LazyArg is an invocation argument resolved at the moment the invocation
+// is scheduled (not when the environment chooses the operation). The
+// paper's TM adversary needs this: process p1's Step-3 write argument is
+// v”+1, where v” is a value p2 reads after p1's operation was chosen.
+type LazyArg func(v *View) history.Value
+
+// Object is a shared-object implementation under test (the paper's
+// implementation I = {I_1, ..., I_n}).
+//
+// Apply executes one operation on behalf of process p, performing every
+// atomic shared-memory access through p (one call to p.Exec per base-object
+// step), and returns the response value. Apply must not block on anything
+// other than p.Exec, and must not spawn goroutines that touch shared state.
+type Object interface {
+	Apply(p *Proc, inv Invocation) history.Value
+}
+
+// ObjectFunc adapts a function to Object.
+type ObjectFunc func(p *Proc, inv Invocation) history.Value
+
+// Apply implements Object.
+func (f ObjectFunc) Apply(p *Proc, inv Invocation) history.Value { return f(p, inv) }
+
+// Environment decides which operations processes invoke, playing the
+// adversary's role of choosing inputs. Next is called within the granted
+// step of the invoking process and must be deterministic for replay.
+// Returning ok=false parks the process forever (it has no further work).
+type Environment interface {
+	Next(proc int, v *View) (inv Invocation, ok bool)
+}
+
+// Decision is one scheduler choice: grant a step to Proc, or crash it.
+type Decision struct {
+	Proc  int
+	Crash bool
+}
+
+// String renders the decision compactly ("3" or "crash(3)").
+func (d Decision) String() string {
+	if d.Crash {
+		return fmt.Sprintf("crash(%d)", d.Proc)
+	}
+	return fmt.Sprintf("%d", d.Proc)
+}
+
+// Scheduler picks the next decision given the current view. Returning
+// ok=false ends the run. Next must only name processes in v.Ready (for
+// steps) or non-crashed processes (for crashes).
+type Scheduler interface {
+	Next(v *View) (d Decision, ok bool)
+}
+
+// View is a read-only snapshot of the run passed to schedulers and
+// environments. Callers must not mutate any field.
+type View struct {
+	// H is the external history so far.
+	H history.History
+	// Steps is the number of granted steps so far.
+	Steps int
+	// Ready lists processes currently waiting for a step grant, sorted.
+	Ready []int
+	// Idle lists processes that finished all their work, sorted.
+	Idle []int
+	// Blocked lists processes parked forever by the implementation, sorted.
+	Blocked []int
+	// Crashed lists crashed processes, sorted.
+	Crashed []int
+	// StepsBy[i] is the number of steps granted to process i; index 0 is
+	// unused (processes are 1-based).
+	StepsBy []int
+}
+
+// ReadyContains reports whether proc is ready.
+func (v *View) ReadyContains(proc int) bool {
+	for _, p := range v.Ready {
+		if p == proc {
+			return true
+		}
+	}
+	return false
+}
+
+// StopReason says why a run ended.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopBudget: the step budget was exhausted.
+	StopBudget StopReason = iota + 1
+	// StopScheduler: the scheduler returned ok=false.
+	StopScheduler
+	// StopQuiescent: no process is ready (all idle, blocked or crashed).
+	StopQuiescent
+	// StopError: the scheduler made an invalid decision.
+	StopError
+)
+
+// String names the stop reason.
+func (s StopReason) String() string {
+	switch s {
+	case StopBudget:
+		return "budget"
+	case StopScheduler:
+		return "scheduler"
+	case StopQuiescent:
+		return "quiescent"
+	case StopError:
+		return "error"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// H is the recorded external history.
+	H history.History
+	// EventSteps[i] is the step index (value of Steps) at which H[i] was
+	// recorded.
+	EventSteps []int
+	// Schedule is the full sequence of decisions taken, enabling replay.
+	Schedule []Decision
+	// Steps is the total number of granted steps.
+	Steps int
+	// StepsBy[i] counts steps granted to process i (index 0 unused).
+	StepsBy []int
+	// Reason says why the run stopped.
+	Reason StopReason
+	// Err is non-nil when Reason is StopError.
+	Err error
+	// Idle lists processes that ran out of work; Blocked lists processes
+	// parked forever by the implementation; Crashed lists crashed
+	// processes (all as of the end of the run, sorted). Processes in none
+	// of the three were still ready.
+	Idle, Blocked, Crashed []int
+}
+
+// Config describes a run.
+type Config struct {
+	// Procs is the number of processes n (1-based ids 1..n).
+	Procs int
+	// Object is the implementation under test. It must be fresh (runs
+	// mutate it).
+	Object Object
+	// Env decides invocations.
+	Env Environment
+	// Scheduler decides the interleaving.
+	Scheduler Scheduler
+	// MaxSteps bounds the run; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+type procStatus int
+
+const (
+	statusReady procStatus = iota + 1
+	statusIdle
+	statusBlocked
+	statusCrashed
+)
+
+// Proc is the per-process handle passed to Object.Apply. It implements
+// base.Stepper.
+type Proc struct {
+	id int
+	n  int
+	rt *runtime
+
+	grant chan struct{}
+	sync  chan procStatus
+	dead  chan struct{}
+}
+
+// ID returns the 1-based process identifier.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the total number of processes in the system.
+func (p *Proc) N() int { return p.n }
+
+// Exec performs op as one atomic step: it blocks until the scheduler grants
+// this process a step, then runs op. desc describes the step for tracing.
+func (p *Proc) Exec(desc string, op func()) {
+	_ = desc
+	p.yield(statusReady)
+	p.awaitGrant()
+	op()
+}
+
+// Block parks the process forever: the current operation never completes
+// and the process never takes another step. It models implementations whose
+// automata stop enabling actions (e.g. the trivial implementation I_t in
+// the proof of Theorem 4.9). Block does not return.
+func (p *Proc) Block() {
+	panic(errBlocked)
+}
+
+func (p *Proc) yield(st procStatus) {
+	p.sync <- st
+}
+
+func (p *Proc) awaitGrant() {
+	select {
+	case <-p.grant:
+	case <-p.rt.halt:
+		panic(errHalted)
+	}
+}
+
+type runtime struct {
+	cfg   Config
+	procs []*Proc // index 0 unused
+	halt  chan struct{}
+
+	h          history.History
+	eventSteps []int
+	steps      int
+	stepsBy    []int
+	schedule   []Decision
+	status     []procStatus // index 0 unused
+}
+
+// record appends an external event to the history. It is called from
+// process goroutines strictly within their granted windows, so accesses are
+// serialized with the runtime loop by the grant/sync channel handshake.
+func (r *runtime) record(e history.Event) {
+	r.h = append(r.h, e)
+	r.eventSteps = append(r.eventSteps, r.steps)
+}
+
+func (r *runtime) view() *View {
+	v := &View{
+		H:       r.h[:len(r.h):len(r.h)],
+		Steps:   r.steps,
+		StepsBy: append([]int(nil), r.stepsBy...),
+	}
+	for id := 1; id <= r.cfg.Procs; id++ {
+		switch r.status[id] {
+		case statusReady:
+			v.Ready = append(v.Ready, id)
+		case statusIdle:
+			v.Idle = append(v.Idle, id)
+		case statusBlocked:
+			v.Blocked = append(v.Blocked, id)
+		case statusCrashed:
+			v.Crashed = append(v.Crashed, id)
+		}
+	}
+	sort.Ints(v.Ready)
+	return v
+}
+
+func (r *runtime) procLoop(p *Proc) {
+	normal := false
+	defer func() {
+		v := recover()
+		switch {
+		case v == nil && normal:
+			// Idle exit: the final yield already happened.
+		case v == errHalted: //nolint:errorlint // sentinel identity is intended
+			// Shutdown while blocked; the runtime is not waiting on sync.
+		case v == errBlocked: //nolint:errorlint // sentinel identity is intended
+			p.yield(statusBlocked)
+		default:
+			// Real panic from algorithm code: surface it.
+			close(p.dead)
+			panic(v)
+		}
+		close(p.dead)
+	}()
+
+	for {
+		// Consult the environment at the end of the previous window (or at
+		// startup, before the initial yield): a process with no further
+		// work is idle, not ready, matching the paper's fairness notion
+		// that only enabled actions demand turns.
+		inv, ok := r.cfg.Env.Next(p.id, r.view())
+		if !ok {
+			p.yield(statusIdle)
+			normal = true
+			return
+		}
+		// The grant of this step is what schedules the invocation event.
+		// Lazy arguments resolve here, against the view at scheduling time.
+		p.Exec("invoke", func() {
+			if la, lazy := inv.Arg.(LazyArg); lazy {
+				inv.Arg = la(r.view())
+			}
+			r.record(history.Event{
+				Kind: history.KindInvoke, Proc: p.id,
+				Op: inv.Op, Obj: inv.Obj, Arg: inv.Arg,
+			})
+		})
+		val := r.cfg.Object.Apply(p, inv)
+		r.record(history.Event{
+			Kind: history.KindResponse, Proc: p.id,
+			Op: inv.Op, Obj: inv.Obj, Val: val,
+		})
+	}
+}
+
+// Run executes a configured simulation to completion and returns its
+// result. It is safe to call concurrently with other Runs on distinct
+// Config values.
+func Run(cfg Config) *Result {
+	if cfg.Procs < 1 {
+		return &Result{Reason: StopError, Err: errors.New("sim: Procs must be >= 1")}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	r := &runtime{
+		cfg:     cfg,
+		procs:   make([]*Proc, cfg.Procs+1),
+		halt:    make(chan struct{}),
+		stepsBy: make([]int, cfg.Procs+1),
+		status:  make([]procStatus, cfg.Procs+1),
+	}
+
+	// Start processes one at a time so initial readiness is deterministic.
+	for id := 1; id <= cfg.Procs; id++ {
+		p := &Proc{
+			id: id, n: cfg.Procs, rt: r,
+			grant: make(chan struct{}),
+			sync:  make(chan procStatus),
+			dead:  make(chan struct{}),
+		}
+		r.procs[id] = p
+		go r.procLoop(p)
+		r.status[id] = <-p.sync // initial yield before first invocation
+	}
+
+	res := &Result{}
+	for {
+		if r.steps >= cfg.MaxSteps {
+			res.Reason = StopBudget
+			break
+		}
+		v := r.view()
+		if len(v.Ready) == 0 {
+			res.Reason = StopQuiescent
+			break
+		}
+		d, ok := cfg.Scheduler.Next(v)
+		if !ok {
+			res.Reason = StopScheduler
+			break
+		}
+		if d.Proc < 1 || d.Proc > cfg.Procs {
+			res.Reason = StopError
+			res.Err = fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
+			break
+		}
+		if d.Crash {
+			if r.status[d.Proc] == statusCrashed {
+				res.Reason = StopError
+				res.Err = fmt.Errorf("sim: scheduler crashed process %d twice", d.Proc)
+				break
+			}
+			r.schedule = append(r.schedule, d)
+			r.record(history.Crash(d.Proc))
+			r.status[d.Proc] = statusCrashed
+			continue
+		}
+		if r.status[d.Proc] != statusReady {
+			res.Reason = StopError
+			res.Err = fmt.Errorf("sim: scheduler stepped non-ready process %d", d.Proc)
+			break
+		}
+		r.steps++
+		r.stepsBy[d.Proc]++
+		r.schedule = append(r.schedule, d)
+		p := r.procs[d.Proc]
+		p.grant <- struct{}{}
+		r.status[d.Proc] = <-p.sync
+	}
+
+	// Shut down: wake every process still blocked on a grant, then wait for
+	// all goroutines to exit (no fire-and-forget goroutines).
+	close(r.halt)
+	for id := 1; id <= cfg.Procs; id++ {
+		<-r.procs[id].dead
+	}
+
+	res.H = r.h
+	res.EventSteps = r.eventSteps
+	res.Schedule = r.schedule
+	res.Steps = r.steps
+	res.StepsBy = r.stepsBy
+	final := r.view()
+	res.Idle = final.Idle
+	res.Blocked = final.Blocked
+	res.Crashed = final.Crashed
+	return res
+}

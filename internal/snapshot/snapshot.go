@@ -1,0 +1,129 @@
+// Package snapshot implements a wait-free atomic snapshot object from
+// single-writer multi-reader registers, following Afek, Attiya, Dolev,
+// Gafni, Merritt and Shavit (JACM 1993).
+//
+// The paper's Algorithm 1 uses a snapshot object R[1..n] with an atomic
+// scan. internal/base provides it as a hardware primitive (one-step scan);
+// this package provides the classic software construction so that the TM
+// can be built from registers and a single compare-and-swap only — every
+// register access is one simulator step, and scans are genuinely
+// concurrent with updates.
+//
+// Update_i embeds a full scan ("view") into the written cell; Scan double
+// collects until either two collects agree (a clean snapshot) or some
+// updater is seen to move twice, in which case its embedded view — taken
+// entirely within our scan's window — is borrowed. Both operations are
+// wait-free: a scan performs O(n) double collects.
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+)
+
+// Value is the component datum.
+type Value = base.Value
+
+// cell is the immutable record stored in each component register.
+type cell struct {
+	val Value
+	seq int
+	// view is the scan embedded by the update that wrote this cell; nil
+	// for the initial cell.
+	view []Value
+}
+
+// SW is the software snapshot object. Component i must only be updated by
+// process i+1 (single-writer), which is how the paper's Algorithm 1 uses
+// R[1..n].
+type SW struct {
+	name string
+	regs []*base.Register
+
+	// borrows counts scans that returned an embedded view rather than a
+	// clean double collect (observability for tests and benchmarks). It is
+	// only mutated inside granted steps' windows, so reads after a run are
+	// race-free.
+	borrows int
+}
+
+// Borrows returns how many scans returned a borrowed embedded view.
+func (s *SW) Borrows() int { return s.borrows }
+
+// New creates a software snapshot with n components initialized to
+// initial.
+func New(name string, n int, initial Value) *SW {
+	s := &SW{name: name, regs: make([]*base.Register, n)}
+	for i := range s.regs {
+		s.regs[i] = base.NewRegister(
+			fmt.Sprintf("%s[%d]", name, i),
+			&cell{val: initial},
+		)
+	}
+	return s
+}
+
+// Len returns the number of components.
+func (s *SW) Len() int { return len(s.regs) }
+
+// collect reads every component register once (n steps).
+func (s *SW) collect(p base.Stepper) []*cell {
+	out := make([]*cell, len(s.regs))
+	for i, r := range s.regs {
+		out[i] = r.Read(p).(*cell)
+	}
+	return out
+}
+
+func values(cells []*cell) []Value {
+	out := make([]Value, len(cells))
+	for i, c := range cells {
+		out[i] = c.val
+	}
+	return out
+}
+
+// Scan returns an atomic snapshot of all components. It is wait-free: each
+// double collect either agrees (the snapshot is the second collect, which
+// was valid at every point between the two) or some component moved; a
+// component that moves twice embeds a view scanned entirely inside our
+// window, which is returned instead.
+func (s *SW) Scan(p base.Stepper) []Value {
+	n := len(s.regs)
+	moved := make([]int, n)
+	prev := s.collect(p)
+	for {
+		cur := s.collect(p)
+		agree := true
+		for i := range cur {
+			if cur[i].seq != prev[i].seq {
+				agree = false
+				moved[i]++
+				if moved[i] >= 2 {
+					// cur[i]'s update began after our scan did (it is the
+					// second move we observed), so its embedded view was
+					// taken within our window.
+					s.borrows++
+					view := make([]Value, n)
+					copy(view, cur[i].view)
+					return view
+				}
+			}
+		}
+		if agree {
+			return values(cur)
+		}
+		prev = cur
+	}
+}
+
+// Update atomically sets component i (0-based) to v. Per the single-writer
+// discipline, only one process may ever update a given component. The
+// update embeds a fresh scan, making it linearizable with concurrent
+// scans.
+func (s *SW) Update(p base.Stepper, i int, v Value) {
+	view := s.Scan(p)
+	old := s.regs[i].Read(p).(*cell)
+	s.regs[i].Write(p, &cell{val: v, seq: old.seq + 1, view: view})
+}

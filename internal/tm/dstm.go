@@ -1,0 +1,182 @@
+package tm
+
+import (
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Transaction statuses for the DSTM descriptor.
+const (
+	txActive    = "active"
+	txCommitted = "committed"
+	txAborted   = "aborted"
+)
+
+// txDesc is a DSTM transaction descriptor: its status word is the
+// transaction's single linearization point.
+type txDesc struct {
+	status *base.CAS
+}
+
+// orec is a per-variable ownership record: the variable's value is
+// rec.newVal if the owner committed, rec.oldVal otherwise.
+type orec struct {
+	owner  *txDesc
+	oldVal history.Value
+	newVal history.Value
+}
+
+// DSTM is a simplified obstruction-free TM in the style of Herlihy,
+// Luchangco, Moir and Scherer (the paper's reference [21]): per-variable
+// ownership records, visible reads, and abort-the-other conflict
+// resolution. A transaction running without step contention steals every
+// ownership record it needs and commits ((1,1)-freedom); two contenders
+// can abort each other forever, so unlike GlobalCAS it is not lock-free —
+// the deterministic lockstep test exhibits the mutual-abort livelock.
+//
+// Opacity: acquiring a variable first aborts any active owner, so between
+// two of a transaction's operations no other transaction can have touched
+// its variables without aborting it first; every operation begins by
+// checking the own status and returns A once aborted. Values resolve
+// through the previous owner's status, one level deep, because each
+// acquisition snapshots the resolved current value into oldVal.
+type DSTM struct {
+	orecs map[string]*base.CAS
+	local []dstmLocal
+}
+
+type dstmLocal struct {
+	desc *txDesc
+}
+
+// NewDSTM creates the implementation for n processes.
+func NewDSTM(n int) *DSTM {
+	return &DSTM{
+		orecs: make(map[string]*base.CAS),
+		local: make([]dstmLocal, n+1),
+	}
+}
+
+// Apply implements sim.Object.
+func (t *DSTM) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	return tmApply(t, p, inv)
+}
+
+func (t *DSTM) orecFor(v string) *base.CAS {
+	c, ok := t.orecs[v]
+	if !ok {
+		c = base.NewCAS("orec:"+v, (*orec)(nil))
+		t.orecs[v] = c
+	}
+	return c
+}
+
+func (t *DSTM) start(p *sim.Proc) history.Value {
+	t.local[p.ID()].desc = &txDesc{
+		status: base.NewCAS("tx", txActive),
+	}
+	return history.OK
+}
+
+// active reports whether p's current transaction is still active (one
+// status read = one step).
+func (t *DSTM) active(p *sim.Proc) bool {
+	d := t.local[p.ID()].desc
+	return d != nil && d.status.Read(p) == txActive
+}
+
+// resolve returns the current committed value of the record (nil record =
+// initial value 0). It reads the previous owner's status (one step).
+func (t *DSTM) resolve(p *sim.Proc, rec *orec) history.Value {
+	if rec == nil {
+		return 0
+	}
+	if rec.owner.status.Read(p) == txCommitted {
+		return rec.newVal
+	}
+	return rec.oldVal
+}
+
+// acquire takes ownership of v for p's transaction and returns the value
+// the transaction observes. For writes, newVal becomes val; for reads the
+// record keeps the current value. Returns ok=false when the transaction
+// was aborted by a competitor.
+func (t *DSTM) acquire(p *sim.Proc, v string, write bool, val history.Value) (history.Value, bool) {
+	mine := t.local[p.ID()].desc
+	oc := t.orecFor(v)
+	for {
+		if !t.active(p) {
+			return nil, false
+		}
+		cur, _ := oc.Read(p).(*orec)
+		if cur != nil && cur.owner == mine {
+			// Re-access of an owned variable. Validate the own status
+			// before exposing the value: if a competitor aborted us, the
+			// value would join an inconsistent read set (opacity for
+			// aborted transactions).
+			if !write {
+				if !t.active(p) {
+					return nil, false
+				}
+				return cur.newVal, true
+			}
+			next := &orec{owner: mine, oldVal: cur.oldVal, newVal: val}
+			if oc.CompareAndSwap(p, cur, next) {
+				if !t.active(p) {
+					return nil, false
+				}
+				return val, true
+			}
+			continue
+		}
+		if cur != nil && cur.owner.status.Read(p) == txActive {
+			// Obstruction-free conflict resolution: abort the owner.
+			cur.owner.status.CompareAndSwap(p, txActive, txAborted)
+			continue
+		}
+		resolved := t.resolve(p, cur)
+		newVal := resolved
+		if write {
+			newVal = val
+		}
+		next := &orec{owner: mine, oldVal: resolved, newVal: newVal}
+		if oc.CompareAndSwap(p, cur, next) {
+			// Post-acquire validation: if our status still reads active
+			// here, no competitor has stolen any of our records up to this
+			// instant (stealing aborts first), so every value we have
+			// returned is simultaneously current — a consistent snapshot.
+			if !t.active(p) {
+				return nil, false
+			}
+			return resolved, true
+		}
+	}
+}
+
+func (t *DSTM) read(p *sim.Proc, v string) history.Value {
+	got, ok := t.acquire(p, v, false, nil)
+	if !ok {
+		return history.Abort
+	}
+	return got
+}
+
+func (t *DSTM) write(p *sim.Proc, v string, val history.Value) history.Value {
+	if _, ok := t.acquire(p, v, true, val); !ok {
+		return history.Abort
+	}
+	return history.OK
+}
+
+func (t *DSTM) tryC(p *sim.Proc) history.Value {
+	d := t.local[p.ID()].desc
+	if d == nil {
+		return history.Abort
+	}
+	t.local[p.ID()].desc = nil
+	if d.status.CompareAndSwap(p, txActive, txCommitted) {
+		return history.Commit
+	}
+	return history.Abort
+}

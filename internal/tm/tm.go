@@ -1,0 +1,344 @@
+// Package tm implements the transactional-memory shared object type of the
+// paper with four implementations:
+//
+//   - I12: the paper's Algorithm 1 verbatim — a single compare-and-swap
+//     object C holding (version, values), a snapshot object R[1..n] of
+//     per-process timestamps, and the count>=3 timestamp abort rule. Lemma
+//     5.4: I12 ensures opacity, the Section 5.3 property S, and
+//     (1,2)-freedom. The snapshot can be the hardware primitive or the
+//     software construction from registers (NewI12WithSnapshot).
+//   - GlobalCAS: Algorithm 1 without the timestamp rule, i.e. the
+//     AGP-style TM of the paper's reference [16]. It ensures opacity and
+//     1-lock-freedom (a failed commit CAS means another transaction
+//     committed), hence (1,n)-freedom — the white column of Figure 1(b).
+//     It stands in for Fraser's OSTM [9]; see DESIGN.md for why the
+//     substitution is faithful.
+//   - DSTM (dstm.go): a simplified obstruction-free TM in the style of the
+//     paper's reference [21] — opaque, (1,1)-free, and demonstrably not
+//     lock-free.
+//   - Aborter: aborts everything; trivially opaque, zero progress. It
+//     motivates restricting TM good responses to commit events.
+//
+// The TM operations are "start", "read" (Obj = variable name), "write"
+// (Obj + Arg) and "tryC", with responses ok / value / C / A exactly as in
+// the paper's Section 4.1.
+package tm
+
+import (
+	"math/rand"
+
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// memState is the immutable record stored in the central CAS object C:
+// a version number plus the committed values of all transactional
+// variables. CAS compares pointer identities, the standard technique for
+// CAS-based STM.
+type memState struct {
+	version int
+	vals    map[string]history.Value
+}
+
+// procTx is the process-local transaction context (the paper's
+// process-local variables: version, values, timestamp).
+type procTx struct {
+	snapshot  *memState                // (version, oldval) read by start
+	values    map[string]history.Value // local read/write buffer
+	written   bool
+	active    bool
+	timestamp int
+}
+
+// SnapshotObject is the snapshot interface Algorithm 1 needs: per-process
+// timestamp announcement plus an atomic scan. It is satisfied by the
+// hardware base.Snapshot (one-step scan) and by the software
+// snapshot.SW built from single-writer registers.
+type SnapshotObject interface {
+	Update(s base.Stepper, i int, v history.Value)
+	Scan(s base.Stepper) []history.Value
+}
+
+// I12 is the paper's Algorithm 1, implementing a TM that ensures S and
+// (1,2)-freedom.
+type I12 struct {
+	c     *base.CAS
+	r     SnapshotObject
+	local []procTx // index 0 unused
+}
+
+// NewI12 creates the implementation for n processes using the hardware
+// snapshot primitive.
+func NewI12(n int) *I12 {
+	return &I12{
+		c:     base.NewCAS("C", &memState{version: 1}),
+		r:     base.NewSnapshot("R", n, 0),
+		local: make([]procTx, n+1),
+	}
+}
+
+// NewI12WithSnapshot creates the implementation with a caller-provided
+// snapshot object (e.g. the software snapshot from registers), so the TM
+// is built from registers plus a single CAS.
+func NewI12WithSnapshot(n int, snap SnapshotObject) *I12 {
+	return &I12{
+		c:     base.NewCAS("C", &memState{version: 1}),
+		r:     snap,
+		local: make([]procTx, n+1),
+	}
+}
+
+// Apply implements sim.Object.
+func (t *I12) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	return tmApply(t, p, inv)
+}
+
+func (t *I12) start(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	l.timestamp++
+	t.r.Update(p, p.ID()-1, l.timestamp)
+	st := t.c.Read(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.written = false
+	l.active = true
+	return history.OK
+}
+
+func (t *I12) read(p *sim.Proc, v string) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	if val, ok := l.values[v]; ok {
+		return val
+	}
+	return 0
+}
+
+func (t *I12) write(p *sim.Proc, v string, val history.Value) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	l.values[v] = val
+	l.written = true
+	return history.OK
+}
+
+func (t *I12) tryC(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	l.active = false
+	// The timestamp abort rule: count processes whose announced timestamp
+	// is at least ours (including ourselves, as in the paper's loop); three
+	// or more means at least two concurrent same-timestamp transactions
+	// observed our start, so abort.
+	snap := t.r.Scan(p)
+	count := 0
+	for _, ts := range snap {
+		if ts.(int) >= l.timestamp {
+			count++
+		}
+	}
+	if count >= 3 {
+		return history.Abort
+	}
+	next := &memState{version: l.snapshot.version + 1, vals: l.values}
+	if t.c.CompareAndSwap(p, l.snapshot, next) {
+		return history.Commit
+	}
+	return history.Abort
+}
+
+// GlobalCAS is Algorithm 1 without the timestamp rule: an opaque,
+// 1-lock-free TM (the paper's reference [16] AGP algorithm).
+type GlobalCAS struct {
+	c     *base.CAS
+	local []procTx
+}
+
+// NewGlobalCAS creates the implementation for n processes.
+func NewGlobalCAS(n int) *GlobalCAS {
+	return &GlobalCAS{
+		c:     base.NewCAS("C", &memState{version: 1}),
+		local: make([]procTx, n+1),
+	}
+}
+
+// Apply implements sim.Object.
+func (t *GlobalCAS) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	return tmApply(t, p, inv)
+}
+
+func (t *GlobalCAS) start(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	st := t.c.Read(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.active = true
+	return history.OK
+}
+
+func (t *GlobalCAS) read(p *sim.Proc, v string) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	if val, ok := l.values[v]; ok {
+		return val
+	}
+	return 0
+}
+
+func (t *GlobalCAS) write(p *sim.Proc, v string, val history.Value) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	l.values[v] = val
+	return history.OK
+}
+
+func (t *GlobalCAS) tryC(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	l.active = false
+	next := &memState{version: l.snapshot.version + 1, vals: l.values}
+	if t.c.CompareAndSwap(p, l.snapshot, next) {
+		return history.Commit
+	}
+	return history.Abort
+}
+
+// Aborter responds A to every operation. It is trivially opaque and makes
+// no progress whatsoever — requiring only "every operation returns" is
+// vacuous for TM, which is why G_Tp is restricted to commits.
+type Aborter struct{}
+
+// Apply implements sim.Object.
+func (Aborter) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	return history.Abort
+}
+
+// tmImpl is the internal operation set shared by I12 and GlobalCAS.
+type tmImpl interface {
+	start(p *sim.Proc) history.Value
+	read(p *sim.Proc, v string) history.Value
+	write(p *sim.Proc, v string, val history.Value) history.Value
+	tryC(p *sim.Proc) history.Value
+}
+
+func tmApply(t tmImpl, p *sim.Proc, inv sim.Invocation) history.Value {
+	switch inv.Op {
+	case history.TMStart:
+		return t.start(p)
+	case history.TMRead:
+		return t.read(p, inv.Obj)
+	case history.TMWrite:
+		return t.write(p, inv.Obj, inv.Arg)
+	case history.TMTryC:
+		return t.tryC(p)
+	default:
+		return history.Abort
+	}
+}
+
+// Txn is a transaction template for workload environments: a sequence of
+// read/write accesses followed by a commit request.
+type Txn struct {
+	// Accesses are performed in order after start.
+	Accesses []Access
+}
+
+// Access is one read or write of a transaction template.
+type Access struct {
+	// Write says whether this is a write (otherwise a read).
+	Write bool
+	// Var is the transactional variable name.
+	Var string
+	// Val is the written value (writes only).
+	Val history.Value
+}
+
+// TxnLoop is an environment in which each process executes its transaction
+// template over and over: start, the accesses, tryC, repeat. If a process
+// has no template it is parked. Aborted operations end the transaction
+// early (the next invocation is a fresh start).
+func TxnLoop(templates map[int]Txn) sim.Environment {
+	type state struct {
+		step int // 0 = start, 1..len = accesses, len+1 = tryC
+	}
+	states := make(map[int]*state)
+	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
+		tpl, ok := templates[proc]
+		if !ok {
+			return sim.Invocation{}, false
+		}
+		st := states[proc]
+		if st == nil {
+			st = &state{}
+			states[proc] = st
+		}
+		// If our previous operation aborted, restart the transaction.
+		if st.step > 0 {
+			proj := v.H.Project(proc)
+			if len(proj) > 0 {
+				last := proj[len(proj)-1]
+				if last.Kind == history.KindResponse && last.Val == history.Abort {
+					st.step = 0
+				}
+			}
+		}
+		defer func() { st.step = (st.step + 1) % (len(tpl.Accesses) + 2) }()
+		switch {
+		case st.step == 0:
+			return sim.Invocation{Op: history.TMStart}, true
+		case st.step <= len(tpl.Accesses):
+			a := tpl.Accesses[st.step-1]
+			if a.Write {
+				return sim.Invocation{Op: history.TMWrite, Obj: a.Var, Arg: a.Val}, true
+			}
+			return sim.Invocation{Op: history.TMRead, Obj: a.Var}, true
+		default:
+			return sim.Invocation{Op: history.TMTryC}, true
+		}
+	})
+}
+
+// RandomWorkload builds per-process transaction templates with opsPerTx
+// accesses over vars variables, deterministically from seed. Written
+// values are tagged with the writing process to make histories
+// discriminating.
+func RandomWorkload(seed int64, procs, vars, opsPerTx int) map[int]Txn {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, vars)
+	for i := range names {
+		names[i] = string(rune('x'+i%3)) + string(rune('0'+i/3))
+	}
+	out := make(map[int]Txn, procs)
+	for p := 1; p <= procs; p++ {
+		var t Txn
+		for i := 0; i < opsPerTx; i++ {
+			a := Access{Var: names[rng.Intn(len(names))]}
+			if rng.Intn(2) == 0 {
+				a.Write = true
+				a.Val = p*100 + i
+			}
+			t.Accesses = append(t.Accesses, a)
+		}
+		out[p] = t
+	}
+	return out
+}

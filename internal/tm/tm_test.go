@@ -1,0 +1,304 @@
+package tm
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/liveness"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+func run(t *testing.T, obj sim.Object, procs int, env sim.Environment, sched sim.Scheduler, maxSteps int) *sim.Result {
+	t.Helper()
+	res := sim.Run(sim.Config{
+		Procs: procs, Object: obj, Env: env, Scheduler: sched, MaxSteps: maxSteps,
+	})
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if !res.H.WellFormed() {
+		t.Fatalf("history not well-formed: %s", res.H)
+	}
+	return res
+}
+
+// commits counts commit responses per process.
+func commits(h history.History) map[int]int {
+	out := make(map[int]int)
+	for _, e := range h {
+		if e.Kind == history.KindResponse && e.Val == history.Commit {
+			out[e.Proc]++
+		}
+	}
+	return out
+}
+
+func TestI12SequentialSemantics(t *testing.T) {
+	// One process: write then read back in the next transaction.
+	env := sim.Script(map[int][]sim.Invocation{
+		1: {
+			{Op: history.TMStart},
+			{Op: history.TMWrite, Obj: "x", Arg: 42},
+			{Op: history.TMTryC},
+			{Op: history.TMStart},
+			{Op: history.TMRead, Obj: "x"},
+			{Op: history.TMTryC},
+		},
+	})
+	res := run(t, NewI12(1), 1, env, &sim.RoundRobin{}, 0)
+	txs := history.Transactions(res.H)
+	if len(txs) != 2 {
+		t.Fatalf("got %d transactions", len(txs))
+	}
+	if txs[0].Status != history.TxCommitted || txs[1].Status != history.TxCommitted {
+		t.Fatalf("both transactions should commit: %v %v", txs[0].Status, txs[1].Status)
+	}
+	reads := txs[1].Reads()
+	if len(reads) != 1 || reads[0].Val != 42 {
+		t.Errorf("second transaction read %v, want 42", reads)
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("history must be opaque")
+	}
+}
+
+func TestI12ReadOwnWrite(t *testing.T) {
+	env := sim.Script(map[int][]sim.Invocation{
+		1: {
+			{Op: history.TMStart},
+			{Op: history.TMWrite, Obj: "x", Arg: 5},
+			{Op: history.TMRead, Obj: "x"},
+			{Op: history.TMTryC},
+		},
+	})
+	res := run(t, NewI12(1), 1, env, &sim.RoundRobin{}, 0)
+	for _, op := range res.H.Operations() {
+		if op.Name == history.TMRead && op.Done && op.Val != 5 {
+			t.Errorf("read own write returned %v, want 5", op.Val)
+		}
+	}
+}
+
+func TestI12ConflictAborts(t *testing.T) {
+	// p1 starts and snapshots; p2 runs a full committing transaction; p1
+	// then tries to commit and must abort (version moved).
+	tpl := map[int]Txn{
+		1: {Accesses: []Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	// p1: start(3 steps: invoke+update+read) + write(1) ... then p2 full
+	// tx: start(3) write(1) tryC(3: invoke+scan+cas), then p1 tryC(3).
+	sched := sim.FixedProcs([]int{
+		1, 1, 1, 1, // p1 start + write
+		2, 2, 2, 2, 2, 2, 2, // p2 start + write + tryC
+		1, 1, 1, // p1 tryC
+	})
+	res := run(t, NewI12(2), 2, TxnLoop(tpl), sched, 0)
+	cs := commits(res.H)
+	if cs[2] != 1 {
+		t.Fatalf("p2 should commit exactly once, got %v; history %s", cs, res.H)
+	}
+	if cs[1] != 0 {
+		t.Fatalf("p1 must abort (stale snapshot), got %v commits", cs[1])
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("history must be opaque")
+	}
+}
+
+func TestI12OpacityAndSUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		tpl := RandomWorkload(seed, 3, 4, 3)
+		res := run(t, NewI12(3), 3, TxnLoop(tpl), sim.Random(seed), 160)
+		if !safety.Opaque(res.H) {
+			t.Fatalf("seed %d: opacity violated: %s", seed, res.H)
+		}
+		if !(safety.PropertyS{}).Holds(res.H) {
+			t.Fatalf("seed %d: property S violated: %s", seed, res.H)
+		}
+	}
+}
+
+func TestI12CrashResilience(t *testing.T) {
+	// Crash p1 at assorted points; p2 must still commit and opacity hold.
+	tpl := map[int]Txn{
+		1: {Accesses: []Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	for crashAt := 1; crashAt <= 8; crashAt++ {
+		var pre []sim.Decision
+		for i := 0; i < crashAt; i++ {
+			pre = append(pre, sim.Decision{Proc: 1})
+		}
+		pre = append(pre, sim.Decision{Proc: 1, Crash: true})
+		res := run(t, NewI12(2), 2, TxnLoop(tpl),
+			sim.Seq(sim.Fixed(pre), sim.Limit(sim.Solo(2), 40)), 200)
+		if !safety.Opaque(res.H) {
+			t.Fatalf("crashAt %d: opacity violated: %s", crashAt, res.H)
+		}
+		if commits(res.H)[2] == 0 {
+			t.Fatalf("crashAt %d: p2 must commit despite p1's crash", crashAt)
+		}
+	}
+}
+
+func TestI12TwoProcessesProgress(t *testing.T) {
+	// Lemma 5.4's liveness half: with two processes taking steps, the
+	// timestamp rule never fires (count <= 2) and commits keep happening.
+	tpl := map[int]Txn{
+		1: {Accesses: []Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	res := run(t, NewI12(2), 2, TxnLoop(tpl),
+		sim.Limit(sim.Alternate(1, 2), 400), 400)
+	e := liveness.FromResult(res, 0)
+	if !(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(e) {
+		t.Errorf("(1,2)-freedom must hold for I12 with two steppers; commits=%v", commits(res.H))
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("opacity must hold")
+	}
+}
+
+func TestI12ThreeLockstepAllAbortForever(t *testing.T) {
+	// The Section 5.3 adversary in schedule form: three processes run
+	// empty transactions in lockstep. Every tryC scan sees three equal
+	// timestamps, count reaches 3, and everything aborts forever —
+	// (1,3)-freedom is violated (the price of property S).
+	tpl := map[int]Txn{1: {}, 2: {}, 3: {}}
+	res := run(t, NewI12(3), 3, TxnLoop(tpl),
+		sim.Limit(sim.Alternate(1, 2, 3), 600), 600)
+	if cs := commits(res.H); len(cs) != 0 {
+		t.Fatalf("lockstep transactions must all abort, got commits %v", cs)
+	}
+	e := liveness.FromResult(res, 0)
+	if (liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e) {
+		t.Error("(1,3)-freedom must be violated")
+	}
+	if !(safety.PropertyS{}).Holds(res.H) {
+		t.Error("property S holds (everything aborted)")
+	}
+}
+
+func TestI12StaleThirdTimestampRecovery(t *testing.T) {
+	// p3 runs several transactions, then parks. p1 and p2 begin at low
+	// timestamps: the rule fires at first (three announced timestamps >=
+	// theirs) but their timestamps eventually pass p3's stale one, and
+	// commits resume — (1,2)-freedom survives parked processes.
+	tpl := map[int]Txn{1: {}, 2: {}, 3: {}}
+	res := run(t, NewI12(3), 3, TxnLoop(tpl),
+		sim.Seq(
+			sim.Limit(sim.Solo(3), 30), // p3 commits a few, timestamp grows
+			sim.Limit(sim.Alternate(1, 2), 500),
+		), 600)
+	e := liveness.FromResult(res, 100)
+	if !(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(e) {
+		t.Errorf("commits must resume once timestamps pass the stale one; commits=%v", commits(res.H))
+	}
+}
+
+func TestGlobalCASLockFreedom(t *testing.T) {
+	// Under heavy same-variable contention, some process always commits.
+	tpl := map[int]Txn{
+		1: {Accesses: []Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	res := run(t, NewGlobalCAS(2), 2, TxnLoop(tpl),
+		sim.Limit(sim.Alternate(1, 2), 400), 400)
+	e := liveness.FromResult(res, 0)
+	if !(liveness.LLockFreedom{L: 1, Good: liveness.TMGood()}).Holds(e) {
+		t.Errorf("1-lock-freedom must hold; commits=%v", commits(res.H))
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("opacity must hold")
+	}
+}
+
+func TestGlobalCASOpacityUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		tpl := RandomWorkload(seed+1000, 3, 4, 3)
+		res := run(t, NewGlobalCAS(3), 3, TxnLoop(tpl), sim.Random(seed), 160)
+		if !safety.Opaque(res.H) {
+			t.Fatalf("seed %d: opacity violated: %s", seed, res.H)
+		}
+	}
+}
+
+func TestGlobalCASDoesNotEnsureS(t *testing.T) {
+	// Without the timestamp rule, the Section 5.3 group can commit: three
+	// processes start concurrently, then commit one after another — the
+	// first tryC succeeds, violating S's abort rule.
+	tpl := map[int]Txn{1: {}, 2: {}, 3: {}}
+	// All three start (start = invoke + C.read = 2 steps), then p1
+	// commits.
+	sched := sim.FixedProcs([]int{
+		1, 1, 2, 2, 3, 3, // three starts
+		1, 1, 1, // p1 tryC: invoke + cas (+ slack)
+		2, 2, 2,
+		3, 3, 3,
+	})
+	res := run(t, NewGlobalCAS(3), 3, TxnLoop(tpl), sched, 0)
+	if cs := commits(res.H); len(cs) == 0 {
+		t.Fatal("someone must commit without the rule")
+	}
+	if (safety.PropertyS{}).Holds(res.H) {
+		t.Error("GlobalCAS must violate property S on this schedule")
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("opacity itself still holds")
+	}
+}
+
+func TestAborter(t *testing.T) {
+	tpl := map[int]Txn{1: {Accesses: []Access{{Var: "x"}}}}
+	res := run(t, Aborter{}, 1, TxnLoop(tpl), sim.Limit(&sim.RoundRobin{}, 40), 40)
+	if len(commits(res.H)) != 0 {
+		t.Error("Aborter never commits")
+	}
+	if !safety.Opaque(res.H) {
+		t.Error("aborting everything is trivially opaque")
+	}
+	e := liveness.FromResult(res, 0)
+	if (liveness.LocalProgress{}).Holds(e) {
+		t.Error("local progress must fail for the Aborter")
+	}
+	// Every operation does return a response, though: with nil Good the
+	// process "progresses" — the motivation for restricting G_Tp.
+	if got := e.Progressing(nil); len(got) != 1 {
+		t.Errorf("responses keep flowing: %v", got)
+	}
+}
+
+func TestTxnLoopRestartsAfterAbort(t *testing.T) {
+	tpl := map[int]Txn{1: {Accesses: []Access{{Var: "x"}}}}
+	res := run(t, Aborter{}, 1, TxnLoop(tpl), sim.Limit(&sim.RoundRobin{}, 20), 20)
+	// Every transaction is a lone aborted start.
+	txs := history.Transactions(res.H)
+	if len(txs) < 2 {
+		t.Fatalf("expected several restarted transactions, got %d", len(txs))
+	}
+	for _, tx := range txs[:len(txs)-1] {
+		if tx.Status != history.TxAborted {
+			t.Errorf("tx %d status %v, want aborted", tx.Seq, tx.Status)
+		}
+		if len(tx.Ops) != 1 {
+			t.Errorf("aborted start must restart immediately, ops=%d", len(tx.Ops))
+		}
+	}
+}
+
+func TestRandomWorkloadDeterminism(t *testing.T) {
+	a := RandomWorkload(5, 3, 4, 3)
+	b := RandomWorkload(5, 3, 4, 3)
+	for p := 1; p <= 3; p++ {
+		if len(a[p].Accesses) != len(b[p].Accesses) {
+			t.Fatalf("workload not deterministic for proc %d", p)
+		}
+		for i := range a[p].Accesses {
+			if a[p].Accesses[i] != b[p].Accesses[i] {
+				t.Fatalf("workload not deterministic: %+v vs %+v", a[p].Accesses[i], b[p].Accesses[i])
+			}
+		}
+	}
+}
