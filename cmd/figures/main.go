@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/slx/plane"
 )
 
 func main() {
@@ -31,7 +31,7 @@ func run() error {
 		return fmt.Errorf("n must be in [2,8], got %d", *n)
 	}
 
-	printPanel := func(name string, pc *core.PlaneClassification) {
+	printPanel := func(name string, pc *plane.PlaneClassification) {
 		fmt.Printf("=== Figure 1(%s) ===\n%s", name, pc.Render())
 		if s, ok := pc.StrongestImplementable(); ok {
 			fmt.Printf("strongest (l,k)-freedom that does not exclude S: %v\n", s)
@@ -47,17 +47,17 @@ func run() error {
 	}
 
 	if *panel == "a" || *panel == "all" {
-		pc, err := core.Figure1a(*n)
+		pc, err := plane.Figure1a(*n)
 		if err != nil {
 			return err
 		}
 		printPanel("a", pc)
 	}
 	if *panel == "b" || *panel == "all" {
-		printPanel("b", core.Figure1b(*n))
+		printPanel("b", plane.Figure1b(*n))
 	}
 	if *panel == "s" || *panel == "all" {
-		pc := core.Section53Plane(*n)
+		pc := plane.Section53Plane(*n)
 		fmt.Printf("=== Section 5.3 counterexample ===\n%s", pc.Render())
 		fmt.Printf("maximal whites: %v\n", pc.MaximalWhites())
 		fmt.Printf("minimal blacks: %v — ", pc.MinimalBlacks())

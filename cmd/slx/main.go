@@ -1,5 +1,5 @@
 // Command slx (Safety-Liveness eXclusion) runs the individual experiments
-// of the reproduction.
+// of the reproduction through the public slx API.
 //
 // Usage:
 //
@@ -10,55 +10,74 @@
 //	slx theorem44                        Theorem 4.4 on finite models
 //	slx theorem49                        Theorem 4.9 over I_t / I_b automata
 //	slx explore   [-target consensus] [-depth 12]  exhaustive safety check
+//	slx report                           full paper-versus-measured summary
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/adversary"
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/history"
-	"repro/internal/liveness"
-	"repro/internal/safety"
-	"repro/internal/sim"
-	"repro/internal/tm"
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/plane"
+	"repro/slx/run"
+	"repro/slx/tm"
 )
 
+// command is one slx subcommand. The usage message is generated from
+// this table, so dispatch and documentation cannot drift apart.
+type command struct {
+	name     string
+	synopsis string // flags summary, empty when the command takes none
+	about    string
+	run      func(args []string) error
+}
+
+// commands is the subcommand table; dispatch and usage both read it.
+var commands = []command{
+	{"bivalence", "[-steps 140]", "FLP/CIL adversary vs register consensus", cmdBivalence},
+	{"tmstarve", "[-impl i12] [-steps 600]", "Section 4.1 TM adversary", cmdTMStarve},
+	{"s3", "[-steps 900]", "Section 5.3 three-process adversary", cmdS3},
+	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
+	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
+	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
+	{"explore", "[-target consensus] [-depth 12]", "exhaustive safety check", cmdExplore},
+	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
+}
+
+// usage renders the one-line and per-command usage from the table.
+func usage() string {
+	names := make([]string, len(commands))
+	var b strings.Builder
+	for i, c := range commands {
+		names[i] = c.name
+		fmt.Fprintf(&b, "\n  slx %-10s %-28s %s", c.name, c.synopsis, c.about)
+	}
+	return fmt.Sprintf("usage: slx <%s> [flags]%s", strings.Join(names, "|"), b.String())
+}
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := dispatch(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "slx:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func dispatch(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: slx <bivalence|tmstarve|s3|gmax|theorem44|theorem49|explore> [flags]")
+		return fmt.Errorf("%s", usage())
 	}
-	switch args[0] {
-	case "bivalence":
-		return cmdBivalence(args[1:])
-	case "tmstarve":
-		return cmdTMStarve(args[1:])
-	case "s3":
-		return cmdS3(args[1:])
-	case "gmax":
-		return cmdGmax()
-	case "theorem44":
-		return cmdTheorem44()
-	case "theorem49":
-		return cmdTheorem49()
-	case "explore":
-		return cmdExplore(args[1:])
-	case "report":
-		return cmdReport()
-	default:
-		return fmt.Errorf("unknown subcommand %q", args[0])
+	for _, c := range commands {
+		if c.name == args[0] {
+			return c.run(args[1:])
+		}
 	}
+	return fmt.Errorf("unknown subcommand %q\n%s", args[0], usage())
 }
 
 func cmdBivalence(args []string) error {
@@ -67,22 +86,30 @@ func cmdBivalence(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	adv := &adversary.Bivalence{
-		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
-		V1:        0,
-		V2:        1,
-	}
-	res, err := adv.Run(*steps)
+	strat := adversary.NewBivalenceStrategy(0, 1)
+	c := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(*steps),
+	)
+	rep, err := c.Adversary(strat,
+		check.LK(1, 2, nil),
+		check.LK(1, 1, nil),
+		check.AgreementValidity(),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("constructed a fair %d-step schedule with %d solo probes\n", len(res.Schedule), res.Probes)
-	fmt.Printf("steps: p1=%d p2=%d\n", res.Run.StepsBy[1], res.Run.StepsBy[2])
-	fmt.Printf("external history: %s\n", res.Run.H)
-	e := liveness.FromResult(res.Run, 0)
-	fmt.Printf("(1,2)-freedom holds: %v (expected false)\n", (liveness.LK{L: 1, K: 2}).Holds(e))
-	fmt.Printf("(1,1)-freedom holds: %v (vacuously true)\n", (liveness.LK{L: 1, K: 1}).Holds(e))
-	fmt.Printf("agreement+validity holds: %v\n", (safety.AgreementValidity{}).Holds(res.Run.H))
+	e := rep.Execution
+	fmt.Printf("constructed a fair %d-step schedule with %d solo probes\n", len(rep.Schedule), strat.Probes())
+	fmt.Printf("steps: p1=%d p2=%d\n", e.StepsBy[1], e.StepsBy[2])
+	fmt.Printf("external history: %s\n", e.H)
+	lk12, _ := rep.Verdict("(1,2)-freedom")
+	lk11, _ := rep.Verdict("(1,1)-freedom")
+	av, _ := rep.Verdict("agreement+validity")
+	fmt.Printf("(1,2)-freedom holds: %v (expected false)\n", lk12.Holds)
+	fmt.Printf("(1,1)-freedom holds: %v (vacuously true)\n", lk11.Holds)
+	fmt.Printf("agreement+validity holds: %v\n", av.Holds)
 	return nil
 }
 
@@ -93,34 +120,44 @@ func cmdTMStarve(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var obj sim.Object
+	var newObj func() run.Object
 	switch *impl {
 	case "i12":
-		obj = tm.NewI12(2)
+		newObj = func() run.Object { return tm.NewI12(2) }
 	case "globalcas":
-		obj = tm.NewGlobalCAS(2)
+		newObj = func() run.Object { return tm.NewGlobalCAS(2) }
 	default:
 		return fmt.Errorf("unknown impl %q", *impl)
 	}
-	adv := adversary.NewTMStarve(1, 2)
-	res := adv.Attack(obj, 2, *steps)
-	if res.Err != nil {
-		return res.Err
+	strat := adversary.NewTMStarveStrategy(1, 2)
+	c := slx.New(
+		slx.WithObject(newObj),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(*steps),
+	)
+	rep, err := c.Adversary(strat,
+		check.LocalProgress(),
+		check.LK(2, 2, check.TMGood()),
+		check.Opacity(),
+	)
+	if err != nil {
+		return err
 	}
 	commits := map[int]int{}
-	for _, e := range res.H {
-		if e.Kind == history.KindResponse && e.Val == history.Commit {
-			commits[e.Proc]++
+	for _, ev := range rep.Execution.H {
+		if ev.Kind == hist.KindResponse && ev.Val == hist.Commit {
+			commits[ev.Proc]++
 		}
 	}
-	fmt.Printf("starvation cycles completed: %d\n", adv.Loops())
+	fmt.Printf("starvation cycles completed: %d\n", strat.Loops())
 	fmt.Printf("victim committed: %v; commits per process: p1=%d p2=%d\n",
-		adv.VictimCommitted(), commits[1], commits[2])
-	e := liveness.FromResult(res, 0)
-	fmt.Printf("local progress holds: %v (expected false)\n", (liveness.LocalProgress{}).Holds(e))
-	fmt.Printf("(2,2)-freedom holds: %v (expected false)\n",
-		(liveness.LK{L: 2, K: 2, Good: liveness.TMGood()}).Holds(e))
-	fmt.Printf("opacity holds: %v (the adversary wins on liveness, not safety)\n", safety.Opaque(res.H))
+		strat.VictimCommitted(), commits[1], commits[2])
+	lp, _ := rep.Verdict("local-progress")
+	lk22, _ := rep.Verdict("(2,2)-freedom")
+	op, _ := rep.Verdict("opacity")
+	fmt.Printf("local progress holds: %v (expected false)\n", lp.Holds)
+	fmt.Printf("(2,2)-freedom holds: %v (expected false)\n", lk22.Holds)
+	fmt.Printf("opacity holds: %v (the adversary wins on liveness, not safety)\n", op.Holds)
 	return nil
 }
 
@@ -130,30 +167,38 @@ func cmdS3(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	adv := adversary.NewS3(3)
-	res := adv.Attack(tm.NewI12(3), *steps)
-	if res.Err != nil {
-		return res.Err
+	strat := adversary.NewS3Strategy()
+	c := slx.New(
+		slx.WithObject(func() run.Object { return tm.NewI12(3) }),
+		slx.WithProcs(3),
+		slx.WithMaxSteps(*steps),
+	)
+	rep, err := c.Adversary(strat,
+		check.LK(1, 3, check.TMGood()),
+		check.PropertyS(),
+	)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("all-aborted rounds: %d; anyone committed: %v\n", adv.Rounds(), adv.Committed())
-	e := liveness.FromResult(res, 0)
-	fmt.Printf("(1,3)-freedom holds: %v (expected false)\n",
-		(liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e))
-	fmt.Printf("property S holds: %v\n", (safety.PropertyS{}).Holds(res.H))
+	fmt.Printf("all-aborted rounds: %d; anyone committed: %v\n", strat.Rounds(), strat.Committed())
+	lk13, _ := rep.Verdict("(1,3)-freedom")
+	ps, _ := rep.Verdict("S(opacity+timestamp-abort)")
+	fmt.Printf("(1,3)-freedom holds: %v (expected false)\n", lk13.Holds)
+	fmt.Printf("property S holds: %v\n", ps.Holds)
 	return nil
 }
 
 func cmdGmax() error {
-	f1 := core.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
-	f2 := core.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
+	f1 := plane.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
+	f2 := plane.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
 	fmt.Printf("consensus: |F1|=%d |F2|=%d |F1∩F2|=%d → G_max empty: %v (Corollary 4.5)\n",
-		f1.Len(), f2.Len(), core.Intersect(f1, f2).Len(), core.Gmax(f1, f2).Empty())
+		f1.Len(), f2.Len(), plane.Intersect(f1, f2).Len(), plane.Gmax(f1, f2).Empty())
 
 	a1 := adversary.NewTMStarve(1, 2)
 	h1 := a1.Attack(tm.NewI12(2), 2, 200).H
 	a2 := adversary.NewTMStarve(2, 1)
 	h2 := a2.Attack(tm.NewI12(2), 2, 200).H
-	g := core.Gmax(core.NewHistorySet("TM-F1", h1), core.NewHistorySet("TM-F2", h2))
+	g := plane.Gmax(plane.NewHistorySet("TM-F1", h1), plane.NewHistorySet("TM-F2", h2))
 	fmt.Printf("TM: first events %s vs %s → G_max empty: %v (Corollary 4.6)\n",
 		h1[0], h2[0], g.Empty())
 	return nil
@@ -162,10 +207,10 @@ func cmdGmax() error {
 func cmdTheorem44() error {
 	for _, tc := range []struct {
 		name string
-		m    *core.FiniteModel
+		m    *plane.FiniteModel
 	}{
-		{"model with weakest", core.ModelWithWeakest()},
-		{"model without weakest (corollary shape)", core.ModelWithoutWeakest()},
+		{"model with weakest", plane.ModelWithWeakest()},
+		{"model without weakest (corollary shape)", plane.ModelWithoutWeakest()},
 	} {
 		r, err := tc.m.CheckTheorem44()
 		if err != nil {
@@ -178,7 +223,7 @@ func cmdTheorem44() error {
 }
 
 func cmdTheorem49() error {
-	r, err := core.CheckTheorem49(5)
+	r, err := plane.CheckTheorem49(5)
 	if err != nil {
 		return err
 	}
@@ -194,37 +239,40 @@ func cmdExplore(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := explore.Config{Procs: 2, Depth: *depth}
+	opts := []slx.Option{slx.WithProcs(2), slx.WithDepth(*depth)}
+	var prop slx.Property
 	switch *target {
 	case "consensus":
-		prop := safety.AgreementValidity{}
-		cfg.NewObject = func() sim.Object { return consensus.NewCommitAdoptOF(2) }
-		cfg.NewEnv = func() sim.Environment {
-			return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
-		}
-		cfg.Check = explore.CheckSafety("agreement+validity", prop.Holds)
+		prop = check.AgreementValidity()
+		opts = append(opts,
+			slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+			slx.WithEnv(func() run.Environment {
+				return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+			}))
 	case "i12", "globalcas":
 		tpl := map[int]tm.Txn{
 			1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
 			2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
 		}
-		cfg.NewEnv = func() sim.Environment { return tm.TxnLoop(tpl) }
+		opts = append(opts, slx.WithEnv(func() run.Environment { return tm.TxnLoop(tpl) }))
 		if *target == "i12" {
-			propS := safety.PropertyS{}
-			cfg.NewObject = func() sim.Object { return tm.NewI12(2) }
-			cfg.Check = explore.CheckSafety("opacity+S", propS.Holds)
+			prop = check.PropertyS()
+			opts = append(opts, slx.WithObject(func() run.Object { return tm.NewI12(2) }))
 		} else {
-			cfg.NewObject = func() sim.Object { return tm.NewGlobalCAS(2) }
-			cfg.Check = explore.CheckSafety("opacity", safety.Opaque)
+			prop = check.Opacity()
+			opts = append(opts, slx.WithObject(func() run.Object { return tm.NewGlobalCAS(2) }))
 		}
 	default:
 		return fmt.Errorf("unknown target %q", *target)
 	}
-	st, err := explore.Run(cfg)
+	rep, err := slx.New(opts...).Explore(prop)
 	if err != nil {
-		return fmt.Errorf("violation found: %w (witness %v)", err, st.Witness)
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("violation found: %s (witness %v)", rep.Failures()[0], rep.Witness())
 	}
 	fmt.Printf("explored %d schedule prefixes (%d simulator steps): no violation up to depth %d\n",
-		st.Prefixes, st.Steps, *depth)
+		rep.Prefixes, rep.SimSteps, *depth)
 	return nil
 }

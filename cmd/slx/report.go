@@ -3,14 +3,14 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/adversary"
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/history"
-	"repro/internal/safety"
-	"repro/internal/sim"
-	"repro/internal/tm"
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/plane"
+	"repro/slx/run"
+	"repro/slx/tm"
 )
 
 // cmdReport runs every experiment of EXPERIMENTS.md and prints a one-page
@@ -20,7 +20,7 @@ func cmdReport() error {
 	fmt.Println("============================================================")
 
 	fmt.Println("\nE1/E6 — Figure 1(a), Theorem 5.2 (consensus from registers)")
-	pa, err := core.Figure1a(4)
+	pa, err := plane.Figure1a(4)
 	if err != nil {
 		return err
 	}
@@ -30,7 +30,7 @@ func cmdReport() error {
 	fmt.Printf("strongest implementable %v (paper: (1,1)), weakest non-implementable %v (paper: (1,2))\n", sa, wa)
 
 	fmt.Println("\nE2/E7 — Figure 1(b), Theorem 5.3 (TM + opacity)")
-	pb := core.Figure1b(4)
+	pb := plane.Figure1b(4)
 	fmt.Print(pb.Render())
 	sb, _ := pb.StrongestImplementable()
 	wb, _ := pb.WeakestNonImplementable()
@@ -38,10 +38,10 @@ func cmdReport() error {
 		sb, wb, !sb.Comparable(wb))
 
 	fmt.Println("\nE3 — Corollary 4.5 (consensus G_max)")
-	f1 := core.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
-	f2 := core.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
+	f1 := plane.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
+	f2 := plane.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
 	fmt.Printf("|F1|=%d |F2|=%d, F1∩F2=∅: %v → no weakest excluding liveness\n",
-		f1.Len(), f2.Len(), core.Gmax(f1, f2).Empty())
+		f1.Len(), f2.Len(), plane.Gmax(f1, f2).Empty())
 
 	fmt.Println("\nE4 — Corollary 4.6 (TM G_max)")
 	a1 := adversary.NewTMStarve(1, 2)
@@ -49,10 +49,10 @@ func cmdReport() error {
 	a2 := adversary.NewTMStarve(2, 1)
 	h2 := a2.Attack(tm.NewI12(2), 2, 200).H
 	fmt.Printf("strategy histories start with %s vs %s; disjoint: %v\n",
-		h1[0], h2[0], core.Gmax(core.NewHistorySet("F1", h1), core.NewHistorySet("F2", h2)).Empty())
+		h1[0], h2[0], plane.Gmax(plane.NewHistorySet("F1", h1), plane.NewHistorySet("F2", h2)).Empty())
 
 	fmt.Println("\nE5 — Theorem 4.9 (trivial implementations I_t, I_b)")
-	t49, err := core.CheckTheorem49(5)
+	t49, err := plane.CheckTheorem49(5)
 	if err != nil {
 		return err
 	}
@@ -63,32 +63,33 @@ func cmdReport() error {
 		1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
 		2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
 	}
-	propS := safety.PropertyS{}
-	st, err := explore.Run(explore.Config{
-		Procs:     2,
-		NewObject: func() sim.Object { return tm.NewI12(2) },
-		NewEnv:    func() sim.Environment { return tm.TxnLoop(tpl) },
-		Depth:     12,
-		Workers:   4,
-		Check:     explore.CheckSafety("opacity+S", propS.Holds),
-	})
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return tm.NewI12(2) }),
+		slx.WithEnv(func() run.Environment { return tm.TxnLoop(tpl) }),
+		slx.WithProcs(2),
+		slx.WithDepth(12),
+		slx.WithWorkers(4),
+	).Explore(check.PropertyS())
 	if err != nil {
-		return fmt.Errorf("I12 safety violated: %w", err)
+		return err
 	}
-	fmt.Printf("opacity+S model-checked on %d schedule prefixes to depth 12: clean\n", st.Prefixes)
+	if !rep.OK() {
+		return fmt.Errorf("I12 safety violated: %s", rep.Failures()[0])
+	}
+	fmt.Printf("opacity+S model-checked on %d schedule prefixes to depth 12: clean\n", rep.Prefixes)
 
 	fmt.Println("\nE9 — Section 5.3 counterexample")
-	ps := core.Section53Plane(4)
+	ps := plane.Section53Plane(4)
 	fmt.Printf("maximal whites %v, minimal blacks %v → no weakest (l,k) point excludes S\n",
 		ps.MaximalWhites(), ps.MinimalBlacks())
 
 	fmt.Println("\nE10 — Theorem 4.4 on finite models")
 	for _, tc := range []struct {
 		name string
-		m    *core.FiniteModel
+		m    *plane.FiniteModel
 	}{
-		{"positive instance", core.ModelWithWeakest()},
-		{"corollary-shaped instance", core.ModelWithoutWeakest()},
+		{"positive instance", plane.ModelWithWeakest()},
+		{"corollary-shaped instance", plane.ModelWithoutWeakest()},
 	} {
 		r, err := tc.m.CheckTheorem44()
 		if err != nil {
@@ -99,7 +100,7 @@ func cmdReport() error {
 	}
 
 	fmt.Println("\nE11 — Section 6: (n,x)-liveness (totally ordered family)")
-	nx, err := core.NXConsensus(2)
+	nx, err := plane.NXConsensus(2)
 	if err != nil {
 		return err
 	}
@@ -108,28 +109,30 @@ func cmdReport() error {
 	fmt.Printf("strongest implementable (n,%d) (paper: (n,0)), weakest non-implementable (n,%d) (paper: (n,1))\n", sx, wx)
 
 	fmt.Println("\nE12 — k-set agreement (paper's 'other contexts')")
-	values := []history.Value{10, 20, 30}
-	kf1 := core.NewHistorySet("kF1", adversary.KSetF1(2, values)...)
-	kf2 := core.NewHistorySet("kF2", adversary.KSetF2(2, values)...)
+	values := []hist.Value{10, 20, 30}
+	kf1 := plane.NewHistorySet("kF1", adversary.KSetF1(2, values)...)
+	kf2 := plane.NewHistorySet("kF2", adversary.KSetF2(2, values)...)
 	fmt.Printf("2-set adversary sets disjoint: %v → no weakest excluding liveness for 2-set agreement\n",
-		core.Gmax(kf1, kf2).Empty())
+		plane.Gmax(kf1, kf2).Empty())
 
 	fmt.Println("\nBivalence adversary sanity (register consensus vs CAS)")
-	biv := &adversary.Bivalence{
-		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
-		V1:        0, V2: 1,
-	}
-	bres, err := biv.Run(100)
+	biv := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(100),
+	)
+	brep, err := biv.Adversary(adversary.NewBivalenceStrategy(0, 1))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("registers: %d-step fair non-deciding schedule (history %s)\n",
-		len(bres.Schedule), bres.Run.H)
-	casBiv := &adversary.Bivalence{
-		NewObject: func() sim.Object { return consensus.NewCASBased() },
-		V1:        0, V2: 1,
-	}
-	if _, err := casBiv.Run(40); err != nil {
+		len(brep.Schedule), brep.Execution.H)
+	casBiv := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCASBased() }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(40),
+	)
+	if _, err := casBiv.Adversary(adversary.NewBivalenceStrategy(0, 1)); err != nil {
 		fmt.Printf("CAS: adversary stuck as expected (%v)\n", err)
 	} else {
 		fmt.Println("CAS: UNEXPECTED adversary success")

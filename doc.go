@@ -1,6 +1,13 @@
 // Package repro is a from-scratch Go reproduction of "Safety-Liveness
 // Exclusion in Distributed Computing" (Bushkov & Guerraoui, PODC 2015).
 //
+// The public API lives in the slx package tree: slx (the unified
+// Property/Checker surface — safety and liveness judged through one
+// Check(Execution) Verdict interface, with replayable witness
+// schedules), slx/hist, slx/run, slx/check, slx/consensus, slx/tm,
+// slx/mutex, slx/adversary and slx/plane. Import those; see README.md
+// for a quickstart.
+//
 // The repository mechanizes the paper's framework — histories, I/O
 // automata, safety and liveness properties, adversary sets, the
 // (l,k)-freedom lattice — and executes every argument of the paper against

@@ -1,56 +1,61 @@
 // Consensusgame: watch the FLP/Chor-Israeli-Li bivalence adversary defeat
 // a real register-based consensus implementation — and fail against a
 // CAS-based one. This is the executable content of the paper's Section 4.1
-// consensus corollary.
+// consensus corollary, driven through the public slx Checker.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/adversary"
-	"repro/internal/consensus"
-	"repro/internal/liveness"
-	"repro/internal/safety"
-	"repro/internal/sim"
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/run"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := play(); err != nil {
 		fmt.Fprintln(os.Stderr, "consensusgame:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func play() error {
 	fmt.Println("== round 1: adversary vs commit-adopt consensus (registers only) ==")
-	adv := &adversary.Bivalence{
-		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
-		V1:        0,
-		V2:        1,
-	}
-	res, err := adv.Run(160)
+	strat := adversary.NewBivalenceStrategy(0, 1)
+	c := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(160),
+	)
+	rep, err := c.Adversary(strat,
+		check.LK(1, 2, nil),
+		check.AgreementValidity(),
+	)
 	if err != nil {
 		return err
 	}
+	e := rep.Execution
 	fmt.Printf("adversary built a fair %d-step schedule using %d replay probes\n",
-		len(res.Schedule), res.Probes)
+		len(rep.Schedule), strat.Probes())
 	fmt.Printf("step counts: p1=%d p2=%d (both run forever: the schedule is fair)\n",
-		res.Run.StepsBy[1], res.Run.StepsBy[2])
-	fmt.Printf("external history: %s  ← nobody ever decides\n", res.Run.H)
-	e := liveness.FromResult(res.Run, 0)
-	fmt.Printf("(1,2)-freedom: %v — the weakest (l,k) point excluded by consensus safety\n",
-		(liveness.LK{L: 1, K: 2}).Holds(e))
-	fmt.Printf("safety intact: %v — the adversary wins on liveness alone\n\n",
-		(safety.AgreementValidity{}).Holds(res.Run.H))
+		e.StepsBy[1], e.StepsBy[2])
+	fmt.Printf("external history: %s  ← nobody ever decides\n", e.H)
+	lk, _ := rep.Verdict("(1,2)-freedom")
+	av, _ := rep.Verdict("agreement+validity")
+	fmt.Printf("(1,2)-freedom: %v — the weakest (l,k) point excluded by consensus safety\n", lk.Holds)
+	fmt.Printf("safety intact: %v — the adversary wins on liveness alone\n", av.Holds)
+	fmt.Printf("the failing verdict carries a replayable witness of %d decisions\n\n", len(lk.Witness))
 
 	fmt.Println("== round 2: same adversary vs CAS-based consensus ==")
-	casAdv := &adversary.Bivalence{
-		NewObject: func() sim.Object { return consensus.NewCASBased() },
-		V1:        0,
-		V2:        1,
-	}
-	if _, err := casAdv.Run(60); err != nil {
+	casChecker := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCASBased() }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(60),
+	)
+	if _, err := casChecker.Adversary(adversary.NewBivalenceStrategy(0, 1)); err != nil {
 		fmt.Printf("adversary got stuck: %v\n", err)
 		fmt.Println("(with CAS the critical configuration resolves: consensus number > 1)")
 		return nil

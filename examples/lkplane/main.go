@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/slx/plane"
 )
 
 func main() {
@@ -20,7 +20,7 @@ func main() {
 func run() error {
 	const n = 4
 
-	pa, err := core.Figure1a(n)
+	pa, err := plane.Figure1a(n)
 	if err != nil {
 		return err
 	}
@@ -29,14 +29,14 @@ func run() error {
 	wa, _ := pa.WeakestNonImplementable()
 	fmt.Printf("Theorem 5.2: strongest implementable %v, weakest non-implementable %v\n\n", sa, wa)
 
-	pb := core.Figure1b(n)
+	pb := plane.Figure1b(n)
 	fmt.Printf("%s\n", pb.Render())
 	sb, _ := pb.StrongestImplementable()
 	wb, _ := pb.WeakestNonImplementable()
 	fmt.Printf("Theorem 5.3: strongest implementable %v, weakest non-implementable %v (incomparable: %v)\n\n",
 		sb, wb, !sb.Comparable(wb))
 
-	ps := core.Section53Plane(n)
+	ps := plane.Section53Plane(n)
 	fmt.Printf("%s\n", ps.Render())
 	fmt.Printf("Section 5.3: minimal blacks %v — no weakest (l,k)-freedom excludes S\n",
 		ps.MinimalBlacks())

@@ -2,77 +2,87 @@
 // Section 3.2 references — starvation-freedom is L_max for lock-based
 // implementations. Peterson (registers) is starvation-free; the
 // test-and-set spinlock is only deadlock-free, and a fair adversary
-// schedule starves one process forever.
+// schedule starves one process forever. Each scenario is one configured
+// Checker judging mutual exclusion and lock liveness on the same run.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/history"
-	"repro/internal/liveness"
-	"repro/internal/mutex"
-	"repro/internal/safety"
-	"repro/internal/sim"
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/mutex"
+	"repro/slx/run"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := play(); err != nil {
 		fmt.Fprintln(os.Stderr, "lockgame:", err)
 		os.Exit(1)
 	}
 }
 
-func acquisitions(h history.History) map[int]int {
+func acquisitions(h hist.History) map[int]int {
 	out := make(map[int]int)
 	for _, e := range h {
-		if e.Kind == history.KindResponse && e.Val == mutex.Locked {
+		if e.Kind == hist.KindResponse && e.Val == mutex.Locked {
 			out[e.Proc]++
 		}
 	}
 	return out
 }
 
-func run() error {
+func play() error {
 	fmt.Println("== Peterson lock under fair round-robin ==")
-	pet := sim.Run(sim.Config{
-		Procs:     2,
-		Object:    mutex.NewPeterson(),
-		Env:       mutex.AcquireReleaseLoop(2),
-		Scheduler: sim.Limit(&sim.RoundRobin{}, 600),
-		MaxSteps:  600,
-	})
-	e := liveness.FromResult(pet, 0)
+	pet, err := slx.New(
+		slx.WithObject(func() run.Object { return mutex.NewPeterson() }),
+		slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(600),
+	).Check(check.MutualExclusion(), mutex.StarvationFreedom())
+	if err != nil {
+		return err
+	}
+	me, _ := pet.Verdict("mutual-exclusion")
+	sf, _ := pet.Verdict("wait-freedom")
 	fmt.Printf("acquisitions: %v; mutual exclusion: %v; starvation-freedom: %v\n\n",
-		acquisitions(pet.H),
-		(safety.MutualExclusion{}).Holds(pet.H),
-		mutex.StarvationFreedom().Holds(e))
+		acquisitions(pet.Execution.H), me.Holds, sf.Holds)
 
 	fmt.Println("== TAS spinlock under the starvation adversary (fair!) ==")
-	tas := sim.Run(sim.Config{
-		Procs:     2,
-		Object:    mutex.NewTASLock(),
-		Env:       mutex.AcquireReleaseLoop(2),
-		Scheduler: sim.Limit(mutex.StarveTAS(2, 1), 800),
-		MaxSteps:  800,
-	})
-	et := liveness.FromResult(tas, 0)
-	fmt.Printf("acquisitions: %v (victim p2 starves while stepping forever)\n", acquisitions(tas.H))
-	fmt.Printf("fair: %v; deadlock-freedom: %v; starvation-freedom: %v\n\n",
-		et.Fair(),
-		mutex.DeadlockFreedom().Holds(et),
-		mutex.StarvationFreedom().Holds(et))
+	tas, err := slx.New(
+		slx.WithObject(func() run.Object { return mutex.NewTASLock() }),
+		slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(2) }),
+		slx.WithProcs(2),
+		slx.WithScheduler(func() run.Scheduler { return mutex.StarveTAS(2, 1) }),
+		slx.WithMaxSteps(800),
+	).Check(check.Fair(), mutex.DeadlockFreedom(), mutex.StarvationFreedom())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acquisitions: %v (victim p2 starves while stepping forever)\n",
+		acquisitions(tas.Execution.H))
+	fair, _ := tas.Verdict("fair")
+	df, _ := tas.Verdict("1-lock-freedom")
+	sf, _ = tas.Verdict("wait-freedom")
+	fmt.Printf("fair: %v; deadlock-freedom: %v; starvation-freedom: %v\n", fair.Holds, df.Holds, sf.Holds)
+	if w := tas.Witness(); w != nil {
+		fmt.Printf("starvation witness: %d replayable decisions\n\n", len(w))
+	}
 
 	fmt.Println("== Bakery lock, three processes, first-come-first-served ==")
-	bak := sim.Run(sim.Config{
-		Procs:     3,
-		Object:    mutex.NewBakery(3),
-		Env:       mutex.AcquireReleaseLoop(3),
-		Scheduler: sim.Limit(&sim.RoundRobin{}, 2000),
-		MaxSteps:  2000,
-	})
-	eb := liveness.FromResult(bak, 0)
+	bak, err := slx.New(
+		slx.WithObject(func() run.Object { return mutex.NewBakery(3) }),
+		slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(3) }),
+		slx.WithProcs(3),
+		slx.WithMaxSteps(2000),
+	).Check(mutex.StarvationFreedom())
+	if err != nil {
+		return err
+	}
+	sf, _ = bak.Verdict("wait-freedom")
 	fmt.Printf("acquisitions: %v; starvation-freedom: %v\n",
-		acquisitions(bak.H), mutex.StarvationFreedom().Holds(eb))
+		acquisitions(bak.Execution.H), sf.Holds)
 	return nil
 }

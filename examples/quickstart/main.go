@@ -1,52 +1,58 @@
 // Quickstart: run a consensus implementation on the deterministic
-// shared-memory simulator, check its safety, and evaluate liveness
-// verdicts — the repository's end-to-end loop in thirty lines.
+// shared-memory simulator and judge safety and liveness through one
+// unified Checker — the public slx API's end-to-end loop in thirty
+// lines.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/consensus"
-	"repro/internal/history"
-	"repro/internal/liveness"
-	"repro/internal/safety"
-	"repro/internal/sim"
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := play(); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func play() error {
 	// Three processes propose different values to the obstruction-free
 	// register-based consensus and keep re-proposing (the liveness
 	// environment); a seeded random scheduler interleaves them fairly.
-	res := sim.Run(sim.Config{
-		Procs:     3,
-		Object:    consensus.NewCommitAdoptOF(3),
-		Env:       consensus.ProposeForever(map[int]history.Value{1: 10, 2: 20, 3: 30}),
-		Scheduler: sim.Limit(sim.Random(42), 600),
-		MaxSteps:  600,
-	})
-	if res.Err != nil {
-		return res.Err
+	c := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(3) }),
+		slx.WithEnv(func() run.Environment {
+			return consensus.ProposeForever(map[int]hist.Value{1: 10, 2: 20, 3: 30})
+		}),
+		slx.WithProcs(3),
+		slx.WithScheduler(func() run.Scheduler { return run.Random(42) }),
+		slx.WithMaxSteps(600),
+	)
+
+	// One Check call judges a safety property and liveness properties on
+	// the same execution, returning one unified Verdict per property.
+	rep, err := c.Check(
+		check.AgreementValidity(),
+		check.WaitFreedom(nil),
+		check.LK(1, 1, nil),
+		check.LK(1, 3, nil),
+	)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("ran %d steps; history has %d events\n", res.Steps, len(res.H))
-	fmt.Printf("decisions: %v\n", safety.Decisions(res.H))
-	fmt.Printf("agreement+validity: %v\n", (safety.AgreementValidity{}).Holds(res.H))
-
-	e := liveness.FromResult(res, 0)
-	for _, p := range []liveness.Property{
-		liveness.WaitFreedom{},
-		liveness.LK{L: 1, K: 1},
-		liveness.LK{L: 1, K: 3},
-	} {
-		fmt.Printf("%-14s: %v\n", p.Name(), p.Holds(e))
+	e := rep.Execution
+	fmt.Printf("ran %d steps; history has %d events\n", e.Steps, len(e.H))
+	fmt.Printf("decisions: %v\n", check.Decisions(e.H))
+	for _, v := range rep.Verdicts {
+		fmt.Printf("%-18s: %v\n", v.Property, v.Holds)
 	}
 	return nil
 }

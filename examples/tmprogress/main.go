@@ -1,90 +1,106 @@
 // Tmprogress: the paper's Section 4.1 TM adversary starves process p1
 // against both opaque TMs (local progress is impossible with opacity), and
 // the Section 5.3 adversary aborts everything against I(1,2) — while
-// two-process schedules still make commit progress (Lemma 5.4).
+// two-process schedules still make commit progress (Lemma 5.4). Every
+// attack runs through the public slx Checker.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/adversary"
-	"repro/internal/history"
-	"repro/internal/liveness"
-	"repro/internal/safety"
-	"repro/internal/sim"
-	"repro/internal/tm"
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/run"
+	"repro/slx/tm"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := play(); err != nil {
 		fmt.Fprintln(os.Stderr, "tmprogress:", err)
 		os.Exit(1)
 	}
 }
 
-func commits(h history.History) map[int]int {
+func commits(h hist.History) map[int]int {
 	out := make(map[int]int)
 	for _, e := range h {
-		if e.Kind == history.KindResponse && e.Val == history.Commit {
+		if e.Kind == hist.KindResponse && e.Val == hist.Commit {
 			out[e.Proc]++
 		}
 	}
 	return out
 }
 
-func run() error {
+func play() error {
 	for _, impl := range []struct {
 		name string
-		mk   func() sim.Object
+		mk   func() run.Object
 	}{
-		{"I(1,2) — the paper's Algorithm 1", func() sim.Object { return tm.NewI12(2) }},
-		{"global-CAS (AGP)", func() sim.Object { return tm.NewGlobalCAS(2) }},
+		{"I(1,2) — the paper's Algorithm 1", func() run.Object { return tm.NewI12(2) }},
+		{"global-CAS (AGP)", func() run.Object { return tm.NewGlobalCAS(2) }},
 	} {
 		fmt.Printf("== starvation adversary vs %s ==\n", impl.name)
-		adv := adversary.NewTMStarve(1, 2)
-		res := adv.Attack(impl.mk(), 2, 600)
-		if res.Err != nil {
-			return res.Err
+		strat := adversary.NewTMStarveStrategy(1, 2)
+		rep, err := slx.New(
+			slx.WithObject(impl.mk),
+			slx.WithProcs(2),
+			slx.WithMaxSteps(600),
+		).Adversary(strat,
+			check.Opacity(),
+			check.LocalProgress(),
+			check.LK(2, 2, check.TMGood()),
+			check.LK(1, 2, check.TMGood()),
+		)
+		if err != nil {
+			return err
 		}
-		cs := commits(res.H)
+		cs := commits(rep.Execution.H)
+		op, _ := rep.Verdict("opacity")
 		fmt.Printf("cycles=%d commits: p1=%d p2=%d; opacity=%v\n",
-			adv.Loops(), cs[1], cs[2], safety.Opaque(res.H))
-		e := liveness.FromResult(res, 0)
+			strat.Loops(), cs[1], cs[2], op.Holds)
+		lp, _ := rep.Verdict("local-progress")
+		lk22, _ := rep.Verdict("(2,2)-freedom")
+		lk12, _ := rep.Verdict("(1,2)-freedom")
 		fmt.Printf("local progress=%v (2,2)-freedom=%v (1,2)-freedom=%v\n\n",
-			(liveness.LocalProgress{}).Holds(e),
-			(liveness.LK{L: 2, K: 2, Good: liveness.TMGood()}).Holds(e),
-			(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(e))
+			lp.Holds, lk22.Holds, lk12.Holds)
 	}
 
 	fmt.Println("== Section 5.3 adversary vs I(1,2): three lockstep processes ==")
-	s3 := adversary.NewS3(3)
-	res := s3.Attack(tm.NewI12(3), 900)
-	if res.Err != nil {
-		return res.Err
+	s3 := adversary.NewS3Strategy()
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return tm.NewI12(3) }),
+		slx.WithProcs(3),
+		slx.WithMaxSteps(900),
+	).Adversary(s3, check.LK(1, 3, check.TMGood()))
+	if err != nil {
+		return err
 	}
 	fmt.Printf("all-aborted rounds=%d committed=%v\n", s3.Rounds(), s3.Committed())
-	e := liveness.FromResult(res, 0)
-	fmt.Printf("(1,3)-freedom=%v — the price of property S\n\n",
-		(liveness.LK{L: 1, K: 3, Good: liveness.TMGood()}).Holds(e))
+	lk13, _ := rep.Verdict("(1,3)-freedom")
+	fmt.Printf("(1,3)-freedom=%v — the price of property S\n\n", lk13.Holds)
 
 	fmt.Println("== Lemma 5.4 liveness half: I(1,2) with two processes ==")
 	tpl := map[int]tm.Txn{
 		1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
 		2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
 	}
-	lock := sim.Run(sim.Config{
-		Procs:     2,
-		Object:    tm.NewI12(2),
-		Env:       tm.TxnLoop(tpl),
-		Scheduler: sim.Limit(sim.Alternate(1, 2), 400),
-		MaxSteps:  400,
-	})
-	cs := commits(lock.H)
-	el := liveness.FromResult(lock, 0)
+	lock, err := slx.New(
+		slx.WithObject(func() run.Object { return tm.NewI12(2) }),
+		slx.WithEnv(func() run.Environment { return tm.TxnLoop(tpl) }),
+		slx.WithProcs(2),
+		slx.WithScheduler(func() run.Scheduler { return run.Alternate(1, 2) }),
+		slx.WithMaxSteps(400),
+	).Check(check.LK(1, 2, check.TMGood()), check.PropertyS())
+	if err != nil {
+		return err
+	}
+	cs := commits(lock.Execution.H)
+	lk12, _ := lock.Verdict("(1,2)-freedom")
+	ps, _ := lock.Verdict("S(opacity+timestamp-abort)")
 	fmt.Printf("lockstep contention: commits p1=%d p2=%d; (1,2)-freedom=%v; S=%v\n",
-		cs[1], cs[2],
-		(liveness.LK{L: 1, K: 2, Good: liveness.TMGood()}).Holds(el),
-		(safety.PropertyS{}).Holds(lock.H))
+		cs[1], cs[2], lk12.Holds, ps.Holds)
 	return nil
 }

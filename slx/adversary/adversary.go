@@ -1,0 +1,187 @@
+// Package adversary is the public facade over the paper's attack
+// strategies (internal/adversary), exposed two ways: the raw strategy
+// types with their full APIs (probe counts, loop counters), and
+// slx.Adversary wrappers (BivalenceStrategy, TMStarveStrategy,
+// S3Strategy) that plug directly into Checker.Adversary and record the
+// last attack for inspection.
+package adversary
+
+import (
+	"fmt"
+
+	iadv "repro/internal/adversary"
+	"repro/slx"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// Raw strategy types.
+
+// Bivalence is the FLP/Chor-Israeli-Li adversary: it maintains a
+// bivalent schedule prefix by deterministic solo-probe replay, producing
+// an arbitrarily long fair schedule on which nobody decides.
+type Bivalence = iadv.Bivalence
+
+// BivalenceResult is the outcome of a Bivalence attack.
+type BivalenceResult = iadv.Result
+
+// TMStarve is the Section 4.1 strategy against opaque TMs: the victim is
+// forever aborted by the helper's interfering commits.
+type TMStarve = iadv.TMStarve
+
+// NewTMStarve creates the strategy with the given victim and helper.
+func NewTMStarve(victim, helper int) *TMStarve { return iadv.NewTMStarve(victim, helper) }
+
+// S3 is the Section 5.3 adversary: n processes repeatedly start
+// concurrently then request commits concurrently; against property S
+// every transaction aborts.
+type S3 = iadv.S3
+
+// NewS3 creates the strategy for n processes.
+func NewS3(n int) *S3 { return iadv.NewS3(n) }
+
+// Finite adversary sets for the G_max corollaries.
+
+// ConsensusF1 is the paper's F1: finite fair histories in which p1 is
+// starved while p2 decides.
+func ConsensusF1(v, vPrime hist.Value) []hist.History { return iadv.ConsensusF1(v, vPrime) }
+
+// ConsensusF2 is F1 with the process roles swapped.
+func ConsensusF2(v, vPrime hist.Value) []hist.History { return iadv.ConsensusF2(v, vPrime) }
+
+// KSetF1 is the k-set agreement analogue of ConsensusF1.
+func KSetF1(k int, values []hist.Value) []hist.History { return iadv.KSetF1(k, values) }
+
+// KSetF2 is the k-set agreement analogue of ConsensusF2.
+func KSetF2(k int, values []hist.Value) []hist.History { return iadv.KSetF2(k, values) }
+
+// SwapProcs exchanges the roles of processes a and b throughout h.
+func SwapProcs(h hist.History, a, b int) hist.History { return iadv.SwapProcs(h, a, b) }
+
+// Checker strategies (slx.Adversary implementations).
+
+// BivalenceStrategy adapts Bivalence to slx.Adversary. The checker's
+// MaxSteps is the target schedule length; Procs must be 2. The strategy
+// scripts its own proposal environment (v1 and v2 must differ).
+type BivalenceStrategy struct {
+	// V1, V2 are the proposals of p1 and p2.
+	V1, V2 hist.Value
+	// ProbeSlack bounds each solo probe (0 means the Bivalence default).
+	ProbeSlack int
+
+	last *BivalenceResult
+}
+
+// NewBivalenceStrategy creates the strategy.
+func NewBivalenceStrategy(v1, v2 hist.Value) *BivalenceStrategy {
+	return &BivalenceStrategy{V1: v1, V2: v2}
+}
+
+// Name implements slx.Adversary.
+func (b *BivalenceStrategy) Name() string { return "bivalence" }
+
+// Attack implements slx.Adversary.
+func (b *BivalenceStrategy) Attack(cfg slx.AttackConfig) (*run.Result, error) {
+	if cfg.Procs != 2 {
+		return nil, fmt.Errorf("bivalence strategy needs exactly 2 processes, checker has %d", cfg.Procs)
+	}
+	adv := &Bivalence{NewObject: cfg.NewObject, V1: b.V1, V2: b.V2, ProbeSlack: b.ProbeSlack}
+	res, err := adv.Run(cfg.MaxSteps)
+	if err != nil {
+		return nil, err
+	}
+	b.last = res
+	return res.Run, nil
+}
+
+// Probes returns the solo-probe replays of the last attack.
+func (b *BivalenceStrategy) Probes() int {
+	if b.last == nil {
+		return 0
+	}
+	return b.last.Probes
+}
+
+// ScriptedEnv implements slx.EnvScripter: both processes re-propose
+// their values forever, exactly the environment the attack runs under.
+// Configure a checker with it (WithEnv) to Replay this strategy's
+// witness schedules.
+func (b *BivalenceStrategy) ScriptedEnv() func() run.Environment {
+	v1, v2 := b.V1, b.V2
+	return func() run.Environment {
+		return run.RepeatPerProc(map[int]run.Invocation{
+			1: {Op: consensus.Propose, Arg: v1},
+			2: {Op: consensus.Propose, Arg: v2},
+		})
+	}
+}
+
+// TMStarveStrategy adapts TMStarve to slx.Adversary.
+type TMStarveStrategy struct {
+	// Victim and Helper are the starved and interfering process ids.
+	Victim, Helper int
+
+	last *TMStarve
+}
+
+// NewTMStarveStrategy creates the strategy.
+func NewTMStarveStrategy(victim, helper int) *TMStarveStrategy {
+	return &TMStarveStrategy{Victim: victim, Helper: helper}
+}
+
+// Name implements slx.Adversary.
+func (t *TMStarveStrategy) Name() string { return "tm-starve" }
+
+// Attack implements slx.Adversary.
+func (t *TMStarveStrategy) Attack(cfg slx.AttackConfig) (*run.Result, error) {
+	adv := iadv.NewTMStarve(t.Victim, t.Helper)
+	res := adv.Attack(cfg.NewObject(), cfg.Procs, cfg.MaxSteps)
+	t.last = adv
+	return res, nil
+}
+
+// Loops returns the starvation cycles completed in the last attack.
+func (t *TMStarveStrategy) Loops() int {
+	if t.last == nil {
+		return 0
+	}
+	return t.last.Loops()
+}
+
+// VictimCommitted reports whether the victim ever committed in the last
+// attack (it must not, for the strategy to win).
+func (t *TMStarveStrategy) VictimCommitted() bool {
+	return t.last != nil && t.last.VictimCommitted()
+}
+
+// S3Strategy adapts S3 to slx.Adversary; the checker's Procs sets n.
+type S3Strategy struct {
+	last *S3
+}
+
+// NewS3Strategy creates the strategy.
+func NewS3Strategy() *S3Strategy { return &S3Strategy{} }
+
+// Name implements slx.Adversary.
+func (s *S3Strategy) Name() string { return "s3-lockstep" }
+
+// Attack implements slx.Adversary.
+func (s *S3Strategy) Attack(cfg slx.AttackConfig) (*run.Result, error) {
+	adv := iadv.NewS3(cfg.Procs)
+	res := adv.Attack(cfg.NewObject(), cfg.MaxSteps)
+	s.last = adv
+	return res, nil
+}
+
+// Rounds returns the all-aborted rounds of the last attack.
+func (s *S3Strategy) Rounds() int {
+	if s.last == nil {
+		return 0
+	}
+	return s.last.Rounds()
+}
+
+// Committed reports whether any transaction committed in the last
+// attack.
+func (s *S3Strategy) Committed() bool { return s.last != nil && s.last.Committed() }

@@ -1,0 +1,295 @@
+package slx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// Checker is the single public entry point over the simulation and
+// exploration engine: configure it once with functional options, then
+// drive one scheduled run (Check), replay a recorded schedule (Replay),
+// run an attack strategy (Adversary), or exhaustively explore every
+// schedule to a depth (Explore). All four return the same Report type.
+type Checker struct {
+	newObject func() run.Object
+	newEnv    func() run.Environment
+	newSched  func() run.Scheduler
+	procs     int
+	maxSteps  int
+	depth     int
+	crashes   int
+	workers   int
+	window    int
+	ctx       context.Context
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithObject sets the factory for the implementation under test. Each
+// run gets a fresh instance (runs mutate objects). Required.
+func WithObject(f func() run.Object) Option { return func(c *Checker) { c.newObject = f } }
+
+// WithEnv sets the factory for the environment deciding invocations.
+// Required by Check, Replay and Explore; adversaries bring their own.
+func WithEnv(f func() run.Environment) Option { return func(c *Checker) { c.newEnv = f } }
+
+// WithScheduler sets the factory for the scheduler driving Check runs
+// (schedulers are stateful, hence a factory). Default: fair round-robin.
+func WithScheduler(f func() run.Scheduler) Option { return func(c *Checker) { c.newSched = f } }
+
+// WithProcs sets the number of processes n. Default: 2.
+func WithProcs(n int) Option { return func(c *Checker) { c.procs = n } }
+
+// WithMaxSteps bounds each run's granted steps (and an adversary's
+// budget). Default: run.DefaultMaxSteps.
+func WithMaxSteps(n int) Option { return func(c *Checker) { c.maxSteps = n } }
+
+// WithDepth bounds the schedule length of Explore. Default: 8.
+func WithDepth(n int) Option { return func(c *Checker) { c.depth = n } }
+
+// WithCrashes lets Explore additionally branch on crashing each live
+// process, at most n times per schedule. Default: 0 (no crash
+// injection).
+func WithCrashes(n int) Option { return func(c *Checker) { c.crashes = n } }
+
+// WithWorkers explores first-level subtrees concurrently, at most n at a
+// time. Properties are then checked from multiple goroutines. Default: 1.
+func WithWorkers(n int) Option { return func(c *Checker) { c.workers = n } }
+
+// WithWindow sets the liveness tail-window length in steps; 0 means half
+// the run. Default: 0.
+func WithWindow(n int) Option { return func(c *Checker) { c.window = n } }
+
+// WithContext attaches a context: cancellation stops runs and
+// explorations early, and the driving method returns ctx.Err().
+func WithContext(ctx context.Context) Option { return func(c *Checker) { c.ctx = ctx } }
+
+// New builds a Checker. At minimum WithObject is required; Check,
+// Replay and Explore also need WithEnv.
+func New(opts ...Option) *Checker {
+	c := &Checker{
+		procs:    2,
+		maxSteps: run.DefaultMaxSteps,
+		depth:    8,
+		workers:  1,
+		ctx:      context.Background(),
+		newSched: func() run.Scheduler { return &run.RoundRobin{} },
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// need validates the configuration for an entry point.
+func (c *Checker) need(method string, env bool) error {
+	if c.newObject == nil {
+		return fmt.Errorf("slx: %s requires WithObject", method)
+	}
+	if env && c.newEnv == nil {
+		return fmt.Errorf("slx: %s requires WithEnv", method)
+	}
+	if c.procs < 1 {
+		return fmt.Errorf("slx: %s requires WithProcs >= 1", method)
+	}
+	return nil
+}
+
+// cancellable wraps a scheduler so context cancellation ends the run.
+func (c *Checker) cancellable(s run.Scheduler) run.Scheduler {
+	return run.SchedulerFunc(func(v *run.View) (run.Decision, bool) {
+		if c.ctx.Err() != nil {
+			return run.Decision{}, false
+		}
+		return s.Next(v)
+	})
+}
+
+// finish converts a finished run into a Report, evaluating every
+// property on the unified execution.
+func (c *Checker) finish(mode Mode, advName string, res *run.Result, props []Property) (*Report, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("slx: run failed: %w", res.Err)
+	}
+	e := NewExecution(res, c.window)
+	rep := &Report{Mode: mode, Adversary: advName, Execution: e, Schedule: res.Schedule}
+	for _, p := range props {
+		rep.Verdicts = append(rep.Verdicts, p.Check(e))
+	}
+	return rep, nil
+}
+
+// Check executes one scheduled run and judges every property on it.
+func (c *Checker) Check(props ...Property) (*Report, error) {
+	if err := c.need("Check", true); err != nil {
+		return nil, err
+	}
+	res := run.Run(run.Config{
+		Procs:     c.procs,
+		Object:    c.newObject(),
+		Env:       c.newEnv(),
+		Scheduler: c.cancellable(c.newSched()),
+		MaxSteps:  c.maxSteps,
+	})
+	return c.finish(ModeCheck, "", res, props)
+}
+
+// Replay re-executes a recorded schedule — typically a Verdict.Witness —
+// against a fresh object instance and judges every property on the
+// reproduced execution. Replay is deterministic: the same schedule and
+// environment yield the same history and verdicts. The environment must
+// match the one that produced the schedule (for an adversary witness,
+// configure WithEnv from the strategy's EnvScripter).
+func (c *Checker) Replay(schedule []run.Decision, props ...Property) (*Report, error) {
+	if err := c.need("Replay", true); err != nil {
+		return nil, err
+	}
+	res := run.Run(run.Config{
+		Procs:     c.procs,
+		Object:    c.newObject(),
+		Env:       c.newEnv(),
+		Scheduler: c.cancellable(run.Fixed(schedule)),
+		MaxSteps:  len(schedule) + 1,
+	})
+	return c.finish(ModeReplay, "", res, props)
+}
+
+// AttackConfig is what a Checker hands an Adversary: the object factory
+// and budgets the strategy must attack within.
+type AttackConfig struct {
+	// NewObject creates a fresh instance of the implementation under
+	// attack (adversaries may replay many probe runs).
+	NewObject func() run.Object
+	// NewEnv is the checker's environment factory; nil when unset.
+	// Strategies that script their own inputs ignore it.
+	NewEnv func() run.Environment
+	// Procs is the number of processes.
+	Procs int
+	// MaxSteps is the step budget (for the bivalence adversary: the
+	// target schedule length).
+	MaxSteps int
+	// Ctx cancels long-running strategies.
+	Ctx context.Context
+}
+
+// Adversary is an attack strategy: an entity that "decides on the
+// schedule and inputs of processes" (Section 2) trying to defeat a
+// liveness property while respecting safety. slx/adversary implements
+// the paper's strategies.
+type Adversary interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Attack drives the implementation and returns the resulting run.
+	Attack(cfg AttackConfig) (*run.Result, error)
+}
+
+// EnvScripter is optionally implemented by adversaries that script their
+// own process inputs instead of using the checker's environment. The
+// returned factory rebuilds that environment, which is what a checker
+// needs under WithEnv to Replay the strategy's witness schedules.
+type EnvScripter interface {
+	ScriptedEnv() func() run.Environment
+}
+
+// Adversary runs an attack strategy against the configured object and
+// judges every property on the execution it produces. Strategies whose
+// runs depend on strategy state beyond the schedule are still
+// reproducible by re-running the strategy itself (attacks are
+// deterministic).
+func (c *Checker) Adversary(adv Adversary, props ...Property) (*Report, error) {
+	if err := c.need("Adversary", false); err != nil {
+		return nil, err
+	}
+	res, err := adv.Attack(AttackConfig{
+		NewObject: c.newObject,
+		NewEnv:    c.newEnv,
+		Procs:     c.procs,
+		MaxSteps:  c.maxSteps,
+		Ctx:       c.ctx,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slx: adversary %s: %w", adv.Name(), err)
+	}
+	return c.finish(ModeAdversary, adv.Name(), res, props)
+}
+
+// violation transports a failing verdict out of the exploration.
+type violation struct {
+	v Verdict
+	e *Execution
+}
+
+// Error implements error.
+func (v *violation) Error() string { return v.v.String() }
+
+// Explore enumerates every schedule up to the configured depth
+// (optionally with crash injection) and checks each property on every
+// reachable history prefix. Only safety properties are admissible:
+// liveness is a statement about full fair executions, not prefixes. A
+// clean exploration yields one passing Verdict per property; a violation
+// yields the failing Verdict with the witness schedule (and no verdicts
+// for the other properties, since exploration stops at the first
+// violation).
+func (c *Checker) Explore(props ...Property) (*Report, error) {
+	if err := c.need("Explore", true); err != nil {
+		return nil, err
+	}
+	for _, p := range props {
+		if p.Kind() != Safety {
+			return nil, fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
+		}
+	}
+	check := func(h hist.History, schedule []run.Decision) error {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		e := &Execution{H: h, N: c.procs, Schedule: schedule, Window: c.window}
+		for _, p := range props {
+			if v := p.Check(e); !v.Holds {
+				return &violation{v: v, e: e}
+			}
+		}
+		return nil
+	}
+	st, err := explore.Run(explore.Config{
+		Procs:     c.procs,
+		NewObject: c.newObject,
+		NewEnv:    c.newEnv,
+		Depth:     c.depth,
+		Crashes:   c.crashes,
+		Workers:   c.workers,
+		Check:     check,
+	})
+	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps}
+	if err != nil {
+		var vio *violation
+		if errors.As(err, &vio) {
+			rep.Execution = vio.e
+			rep.Schedule = vio.v.Witness
+			rep.Verdicts = []Verdict{vio.v}
+			return rep, nil
+		}
+		if cerr := c.ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("slx: exploration failed: %w", err)
+	}
+	for _, p := range props {
+		rep.Verdicts = append(rep.Verdicts, Verdict{
+			Property: p.Name(),
+			Kind:     p.Kind(),
+			Holds:    true,
+			Reason:   fmt.Sprintf("no violation on %d schedule prefixes up to depth %d", st.Prefixes, c.depth),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+// Package consensus is the public facade over the consensus and k-set
+// agreement implementations under test (internal/consensus): the
+// commit-adopt obstruction-free consensus from registers, the CAS-based
+// wait-free consensus, and the k-set agreement objects.
+package consensus
+
+import (
+	iconsensus "repro/internal/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// Propose is the consensus operation name.
+const Propose = iconsensus.Propose
+
+// CommitAdoptOF is the obstruction-free register-based consensus built
+// from rounds of commit-adopt (the paper's Section 4.1 positive side).
+type CommitAdoptOF = iconsensus.CommitAdoptOF
+
+// NewCommitAdoptOF creates the implementation for n processes.
+func NewCommitAdoptOF(n int) *CommitAdoptOF { return iconsensus.NewCommitAdoptOF(n) }
+
+// CASBased is wait-free consensus from a single compare-and-swap object.
+type CASBased = iconsensus.CASBased
+
+// NewCASBased creates the implementation.
+func NewCASBased() *CASBased { return iconsensus.NewCASBased() }
+
+// Trivial never responds: the I_t of Theorem 4.9 (safe, zero progress).
+type Trivial = iconsensus.Trivial
+
+// RespondOnce responds to exactly one invocation system-wide, then
+// blocks everyone (the I_b of Theorem 4.9).
+type RespondOnce = iconsensus.RespondOnce
+
+// DecideOwn decides each process's own proposal — legal for n-set
+// agreement, illegal for consensus.
+type DecideOwn = iconsensus.DecideOwn
+
+// NewDecideOwn creates the implementation for n processes.
+func NewDecideOwn(n int) *DecideOwn { return iconsensus.NewDecideOwn(n) }
+
+// FirstAnnounced decides the first announced proposal via registers.
+type FirstAnnounced = iconsensus.FirstAnnounced
+
+// NewFirstAnnounced creates the implementation for n processes.
+func NewFirstAnnounced(n int) *FirstAnnounced { return iconsensus.NewFirstAnnounced(n) }
+
+// ProposeForever has each process re-propose its value forever (the
+// liveness environment).
+func ProposeForever(values map[int]hist.Value) run.Environment {
+	return iconsensus.ProposeForever(values)
+}
+
+// ProposeOnce has each process propose its value once, then idle (the
+// safety/exploration environment).
+func ProposeOnce(values map[int]hist.Value) run.Environment {
+	return iconsensus.ProposeOnce(values)
+}

@@ -1,0 +1,44 @@
+// Package slx is the public API of the safety–liveness exclusion engine:
+// a Go reproduction of "Safety-Liveness Exclusion in Distributed
+// Computing" (Bushkov & Guerraoui, PODC 2015) grown into a reusable
+// property-checking harness.
+//
+// The package unifies the paper's two property classes — safety
+// (prefix-closed sets of histories, Section 3.1) and liveness (guarantees
+// over fair executions, Section 3.2) — behind one interface:
+//
+//	type Property interface {
+//		Name() string
+//		Kind() PropertyKind
+//		Check(e *Execution) Verdict
+//	}
+//
+// A Verdict carries pass/fail, a human-readable reason, and a replayable
+// witness schedule: because the simulator is deterministic, feeding
+// Verdict.Witness back to Checker.Replay reproduces the exact violating
+// execution.
+//
+// The Checker is the single entry point over the engine. Configure it
+// with functional options and drive it four ways, all returning the same
+// Report type:
+//
+//	c := slx.New(
+//		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+//		slx.WithEnv(func() run.Environment { return consensus.ProposeOnce(...) }),
+//		slx.WithProcs(2),
+//		slx.WithMaxSteps(200),
+//	)
+//	rep, err := c.Check(props...)            // one scheduled run
+//	rep, err := c.Replay(witness, props...)  // replay a recorded schedule
+//	rep, err := c.Adversary(adv, props...)   // drive an attack strategy
+//	rep, err := c.Explore(props...)          // exhaustive bounded exploration
+//
+// The sibling packages are thin facades over the implementation layer in
+// internal/: slx/hist (events and histories), slx/run (the deterministic
+// scheduler-driven simulator), slx/check (the concrete safety and
+// liveness properties of the paper), slx/consensus, slx/tm and slx/mutex
+// (the shared-object implementations under test), slx/adversary (the
+// paper's attack strategies), and slx/plane (the (l,k)-freedom lattice
+// classification behind Figure 1). Because the facades use type aliases,
+// values flow between all of them with no conversion.
+package slx

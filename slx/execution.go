@@ -1,0 +1,120 @@
+package slx
+
+import (
+	"repro/internal/liveness"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// Good is a good-response set G_Tp (Section 5.1): the response values
+// that constitute progress for a process. A nil Good means every response
+// is good (consensus, registers).
+type Good = liveness.Good
+
+// TMGood is the transactional-memory good-response set: only commit
+// events are progress.
+func TMGood() Good { return liveness.TMGood() }
+
+// Execution is the unified input to property checks: one finished run of
+// the simulator, carrying both the external history (what safety
+// properties judge) and the scheduling metadata (what liveness properties
+// judge under the bounded "infinitely often" semantics of
+// internal/liveness).
+type Execution struct {
+	// H is the external history.
+	H hist.History
+	// N is the number of processes.
+	N int
+	// Steps is the total number of granted steps.
+	Steps int
+	// StepsBy[i] counts steps granted to process i (index 0 unused).
+	StepsBy []int
+	// Schedule is the full decision sequence that produced the run. It is
+	// the replayable identity of the execution.
+	Schedule []run.Decision
+	// EventSteps[i] is the step index at which H[i] was recorded.
+	EventSteps []int
+	// Idle, Blocked and Crashed partition the processes that were
+	// permanently out of the scheduling game at the end of the run.
+	Idle, Blocked, Crashed []int
+	// Reason says why the run stopped.
+	Reason run.StopReason
+	// Window is the liveness tail-window length in steps; 0 means half
+	// the run.
+	Window int
+}
+
+// NewExecution builds an Execution from a simulation result. window <= 0
+// defaults to half of the run's steps.
+func NewExecution(res *run.Result, window int) *Execution {
+	n := len(res.StepsBy) - 1
+	if n < 0 {
+		n = 0
+	}
+	return &Execution{
+		H:          res.H,
+		N:          n,
+		Steps:      res.Steps,
+		StepsBy:    res.StepsBy,
+		Schedule:   res.Schedule,
+		EventSteps: res.EventSteps,
+		Idle:       res.Idle,
+		Blocked:    res.Blocked,
+		Crashed:    res.Crashed,
+		Reason:     res.Reason,
+		Window:     window,
+	}
+}
+
+// LivenessView materializes the bounded-liveness view of the execution
+// for the internal checkers; it is the bridge the slx/check facade
+// judges liveness properties through. The view is rebuilt per call
+// (construction is a cheap field copy), which keeps Execution safe for
+// concurrent property checks.
+func (e *Execution) LivenessView() *liveness.Execution {
+	stepProcs := make([]int, 0, len(e.Schedule))
+	for _, d := range e.Schedule {
+		if !d.Crash {
+			stepProcs = append(stepProcs, d.Proc)
+		}
+	}
+	window := e.Window
+	if window <= 0 {
+		window = e.Steps / 2
+	}
+	eventSteps := e.EventSteps
+	if eventSteps == nil && len(e.H) > 0 {
+		eventSteps = make([]int, len(e.H))
+	}
+	parked := make([]int, 0, len(e.Idle)+len(e.Blocked))
+	parked = append(parked, e.Idle...)
+	parked = append(parked, e.Blocked...)
+	return &liveness.Execution{
+		H:          e.H,
+		N:          e.N,
+		Steps:      e.Steps,
+		StepProcs:  stepProcs,
+		EventSteps: eventSteps,
+		Window:     window,
+		Parked:     parked,
+	}
+}
+
+// Fair reports whether the execution is fair in the windowed sense of
+// Section 3.2: every correct, non-parked process takes at least one step
+// inside the tail window. Liveness verdicts are only meaningful on fair
+// executions.
+func (e *Execution) Fair() bool { return e.LivenessView().Fair() }
+
+// Correct returns the sorted processes that never crash.
+func (e *Execution) Correct() []int { return e.LivenessView().Correct() }
+
+// Steppers returns the sorted processes that take at least one step
+// inside the tail window (the bounded reading of "takes infinitely many
+// steps").
+func (e *Execution) Steppers() []int { return e.LivenessView().Steppers() }
+
+// Progressing returns the sorted processes that receive at least one
+// good response inside the tail window (the bounded reading of "makes
+// progress").
+func (e *Execution) Progressing(good Good) []int { return e.LivenessView().Progressing(good) }

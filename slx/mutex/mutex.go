@@ -1,0 +1,63 @@
+// Package mutex is the public facade over the lock implementations under
+// test (internal/mutex): Peterson, the n-process tournament, the bakery,
+// and the test-and-set spinlock with its starvation adversary — the
+// Section 3.2 world where starvation-freedom is L_max.
+package mutex
+
+import (
+	imutex "repro/internal/mutex"
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/run"
+)
+
+// Lock operation names and responses.
+const (
+	OpAcquire = imutex.OpAcquire
+	OpRelease = imutex.OpRelease
+	Locked    = imutex.Locked
+	Unlocked  = imutex.Unlocked
+)
+
+// Good is the lock good-response set: only acquisitions are progress.
+func Good() slx.Good { return imutex.Good() }
+
+// StarvationFreedom is the lock L_max: every correct process that keeps
+// requesting the lock acquires it infinitely often.
+func StarvationFreedom() slx.Property { return check.WaitFreedom(Good()) }
+
+// DeadlockFreedom requires that some process keeps acquiring.
+func DeadlockFreedom() slx.Property { return check.LLockFreedom(1, Good()) }
+
+// Peterson is the two-process starvation-free lock from registers.
+type Peterson = imutex.Peterson
+
+// NewPeterson creates the lock (process ids 1 and 2).
+func NewPeterson() *Peterson { return imutex.NewPeterson() }
+
+// Tournament is the n-process tournament of Peterson locks.
+type Tournament = imutex.Tournament
+
+// NewTournament creates the lock for n processes.
+func NewTournament(n int) *Tournament { return imutex.NewTournament(n) }
+
+// Bakery is Lamport's bakery lock (first-come-first-served).
+type Bakery = imutex.Bakery
+
+// NewBakery creates the lock for n processes.
+func NewBakery(n int) *Bakery { return imutex.NewBakery(n) }
+
+// TASLock is a test-and-set spinlock: deadlock-free but not
+// starvation-free.
+type TASLock = imutex.TASLock
+
+// NewTASLock creates the lock.
+func NewTASLock() *TASLock { return imutex.NewTASLock() }
+
+// AcquireReleaseLoop has each of the procs processes acquire and release
+// forever.
+func AcquireReleaseLoop(procs int) run.Environment { return imutex.AcquireReleaseLoop(procs) }
+
+// StarveTAS is the fair schedule on which the TAS spinlock starves
+// victim while owner acquires forever.
+func StarveTAS(victim, owner int) run.Scheduler { return imutex.StarveTAS(victim, owner) }

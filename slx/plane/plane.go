@@ -1,0 +1,119 @@
+// Package plane is the public facade over the exclusion engine
+// (internal/core): the (l,k)-freedom lattice and its classification
+// against running implementations (Figure 1), adversary history sets and
+// G_max, the finite-model verification of Theorem 4.4, Theorem 4.9 over
+// the trivial implementations, and the Section 6 families.
+package plane
+
+import (
+	"repro/internal/core"
+	"repro/slx"
+	"repro/slx/hist"
+)
+
+// LKPoint is a point (l,k) of the (l,k)-freedom lattice, 1 <= l <= k.
+type LKPoint = core.LKPoint
+
+// PointClass classifies a lattice point: White (implementable alongside
+// the safety property) or Black (excluded).
+type PointClass = core.PointClass
+
+// Point classes.
+const (
+	White = core.White
+	Black = core.Black
+)
+
+// PointInfo carries a classified point and its evidence.
+type PointInfo = core.PointInfo
+
+// PlaneClassification is a fully classified (l,k) plane.
+type PlaneClassification = core.PlaneClassification
+
+// Battery is a suite of executions used as classification evidence.
+type Battery = core.Battery
+
+// BatteryRun is one labelled execution of a battery.
+type BatteryRun = core.BatteryRun
+
+// Plane enumerates the valid (l,k) points for n processes.
+func Plane(n int) []LKPoint { return core.Plane(n) }
+
+// ClassifyPlane classifies every point against the batteries.
+func ClassifyPlane(n int, safetyName string, good slx.Good, batteries []*Battery) *PlaneClassification {
+	return core.ClassifyPlane(n, safetyName, good, batteries)
+}
+
+// ConsensusBattery builds the consensus evidence battery for n
+// processes.
+func ConsensusBattery(n int) (*Battery, error) { return core.ConsensusBattery(n) }
+
+// TMOpacityBatteries builds the TM opacity evidence batteries.
+func TMOpacityBatteries(n int) []*Battery { return core.TMOpacityBatteries(n) }
+
+// TMPropertySBattery builds the Section 5.3 property-S battery.
+func TMPropertySBattery(n int) *Battery { return core.TMPropertySBattery(n) }
+
+// Figure1a reproduces Figure 1(a): the plane for consensus from
+// registers (Theorem 5.2).
+func Figure1a(n int) (*PlaneClassification, error) { return core.Figure1a(n) }
+
+// Figure1b reproduces Figure 1(b): the plane for TM with opacity
+// (Theorem 5.3).
+func Figure1b(n int) *PlaneClassification { return core.Figure1b(n) }
+
+// Section53Plane reproduces the Section 5.3 counterexample plane for
+// property S.
+func Section53Plane(n int) *PlaneClassification { return core.Section53Plane(n) }
+
+// HistorySet is a finite set of histories keyed structurally (the
+// paper's adversary sets F).
+type HistorySet = core.HistorySet
+
+// NewHistorySet builds a named set from histories.
+func NewHistorySet(name string, hs ...hist.History) *HistorySet {
+	return core.NewHistorySet(name, hs...)
+}
+
+// Intersect intersects two history sets.
+func Intersect(a, b *HistorySet) *HistorySet { return core.Intersect(a, b) }
+
+// Gmax computes the paper's G_max candidate from adversary sets.
+func Gmax(sets ...*HistorySet) *HistorySet { return core.Gmax(sets...) }
+
+// FiniteModel is a brute-force-checkable instance of the Section 4
+// framework for verifying Theorem 4.4.
+type FiniteModel = core.FiniteModel
+
+// Theorem44Report is the outcome of checking Theorem 4.4 on a model.
+type Theorem44Report = core.Theorem44Report
+
+// ModelWithWeakest is a finite model in which a weakest excluding
+// liveness property exists.
+func ModelWithWeakest() *FiniteModel { return core.ModelWithWeakest() }
+
+// ModelWithoutWeakest is a corollary-shaped model with no weakest
+// excluding liveness property.
+func ModelWithoutWeakest() *FiniteModel { return core.ModelWithoutWeakest() }
+
+// Theorem49Report is the outcome of verifying Theorem 4.9 over the
+// trivial implementations I_t and I_b.
+type Theorem49Report = core.Theorem49Report
+
+// CheckTheorem49 verifies Theorem 4.9 on the composed automata to the
+// given depth.
+func CheckTheorem49(depth int) (*Theorem49Report, error) { return core.CheckTheorem49(depth) }
+
+// NXClassification classifies the totally ordered (n,x)-liveness family
+// of Section 6.
+type NXClassification = core.NXClassification
+
+// NXConsensus classifies (n,x)-liveness against consensus safety.
+func NXConsensus(n int) (*NXClassification, error) { return core.NXConsensus(n) }
+
+// PopCount counts the members of a finite-model liveness property.
+func PopCount(set uint32) int { return core.PopCount(set) }
+
+// LmaxFiniteOneShot is the L_max predicate of the Theorem 4.9 setting on
+// finite one-shot histories.
+func LmaxFiniteOneShot(h hist.History) bool { return core.LmaxFiniteOneShot(h) }

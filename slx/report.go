@@ -1,0 +1,119 @@
+package slx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/slx/run"
+)
+
+// Mode says which Checker entry point produced a Report.
+type Mode int
+
+// Modes.
+const (
+	// ModeCheck: one scheduled run (Checker.Check).
+	ModeCheck Mode = iota + 1
+	// ModeReplay: a replayed schedule (Checker.Replay).
+	ModeReplay
+	// ModeAdversary: an attack strategy's run (Checker.Adversary).
+	ModeAdversary
+	// ModeExplore: exhaustive bounded exploration (Checker.Explore).
+	ModeExplore
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCheck:
+		return "check"
+	case ModeReplay:
+		return "replay"
+	case ModeAdversary:
+		return "adversary"
+	case ModeExplore:
+		return "explore"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Report is the unified outcome of every Checker entry point.
+type Report struct {
+	// Mode says how the report was produced.
+	Mode Mode
+	// Adversary names the strategy when Mode is ModeAdversary.
+	Adversary string
+	// Execution is the judged execution. For a clean exploration it is
+	// nil (no single run is distinguished); for a violated exploration it
+	// is the violating prefix's execution.
+	Execution *Execution
+	// Schedule is the replayable schedule of Execution, nil when
+	// Execution is.
+	Schedule []run.Decision
+	// Verdicts holds one entry per checked property (exploration stops
+	// at the first violation and reports only it).
+	Verdicts []Verdict
+	// Prefixes and SimSteps are exploration statistics: histories checked
+	// and total simulator steps across all replays.
+	Prefixes, SimSteps int
+}
+
+// OK reports whether every verdict holds.
+func (r *Report) OK() bool {
+	for _, v := range r.Verdicts {
+		if !v.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the verdicts that do not hold.
+func (r *Report) Failures() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if !v.Holds {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Verdict returns the verdict for the named property.
+func (r *Report) Verdict(name string) (Verdict, bool) {
+	for _, v := range r.Verdicts {
+		if v.Property == name {
+			return v, true
+		}
+	}
+	return Verdict{}, false
+}
+
+// Witness returns the witness schedule of the first failing verdict, nil
+// when every verdict holds.
+func (r *Report) Witness() []run.Decision {
+	for _, v := range r.Verdicts {
+		if !v.Holds {
+			return v.Witness
+		}
+	}
+	return nil
+}
+
+// String renders a one-paragraph human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	switch r.Mode {
+	case ModeExplore:
+		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps\n", r.Prefixes, r.SimSteps)
+	case ModeAdversary:
+		fmt.Fprintf(&b, "adversary %s: %d-step run, %d events\n", r.Adversary, r.Execution.Steps, len(r.Execution.H))
+	default:
+		fmt.Fprintf(&b, "%s: %d-step run, %d events\n", r.Mode, r.Execution.Steps, len(r.Execution.H))
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+// Package run is the public facade over the deterministic scheduler-driven
+// simulator (internal/sim): the asynchronous shared-memory system of the
+// paper's Section 2, in which an external scheduler grants every atomic
+// step. All types are aliases of the implementation types, so schedules,
+// results and objects flow freely between the public API and the engine.
+//
+// A run is fully determined by its schedule (the sequence of Decision
+// values), which is what makes witness schedules replayable: feed a
+// recorded schedule to Fixed and the identical history is reproduced.
+package run
+
+import "repro/internal/sim"
+
+// DefaultMaxSteps bounds a run when Config.MaxSteps is zero.
+const DefaultMaxSteps = sim.DefaultMaxSteps
+
+// Invocation describes an operation a process invokes on the object under
+// test.
+type Invocation = sim.Invocation
+
+// LazyArg is an invocation argument resolved at scheduling time.
+type LazyArg = sim.LazyArg
+
+// Object is a shared-object implementation under test.
+type Object = sim.Object
+
+// ObjectFunc adapts a function to Object.
+type ObjectFunc = sim.ObjectFunc
+
+// Proc is the per-process handle passed to Object.Apply.
+type Proc = sim.Proc
+
+// Environment decides which operations processes invoke.
+type Environment = sim.Environment
+
+// EnvironmentFunc adapts a function to Environment.
+type EnvironmentFunc = sim.EnvironmentFunc
+
+// Decision is one scheduler choice: grant a step, or crash a process.
+type Decision = sim.Decision
+
+// Scheduler picks the next decision given the current view.
+type Scheduler = sim.Scheduler
+
+// SchedulerFunc adapts a function to Scheduler.
+type SchedulerFunc = sim.SchedulerFunc
+
+// View is a read-only snapshot of the run passed to schedulers and
+// environments.
+type View = sim.View
+
+// StopReason says why a run ended.
+type StopReason = sim.StopReason
+
+// Stop reasons.
+const (
+	StopBudget    = sim.StopBudget
+	StopScheduler = sim.StopScheduler
+	StopQuiescent = sim.StopQuiescent
+	StopError     = sim.StopError
+)
+
+// Result is the outcome of a run.
+type Result = sim.Result
+
+// Config describes a run.
+type Config = sim.Config
+
+// Run executes a configured simulation to completion.
+func Run(cfg Config) *Result { return sim.Run(cfg) }
+
+// Schedulers.
+
+// RoundRobin schedules ready processes cyclically by id (fair).
+type RoundRobin = sim.RoundRobin
+
+// Solo schedules only the given process (step-contention-free runs).
+func Solo(proc int) Scheduler { return sim.Solo(proc) }
+
+// Fixed replays an explicit decision sequence, then stops.
+func Fixed(schedule []Decision) Scheduler { return sim.Fixed(schedule) }
+
+// FixedProcs replays an explicit sequence of process ids, then stops.
+func FixedProcs(procs []int) Scheduler { return sim.FixedProcs(procs) }
+
+// Seq runs each scheduler in turn as the previous one stops.
+func Seq(scheds ...Scheduler) Scheduler { return sim.Seq(scheds...) }
+
+// Random schedules uniformly among ready processes, seeded for replay.
+func Random(seed int64) Scheduler { return sim.Random(seed) }
+
+// RandomCrashy is Random plus a bounded per-decision crash probability.
+func RandomCrashy(seed int64, crashProb float64, maxCrashes int) Scheduler {
+	return sim.RandomCrashy(seed, crashProb, maxCrashes)
+}
+
+// Limit wraps a scheduler and stops after at most n of its decisions.
+func Limit(s Scheduler, n int) Scheduler { return sim.Limit(s, n) }
+
+// Alternate steps the given processes in strict rotation.
+func Alternate(procs ...int) Scheduler { return sim.Alternate(procs...) }
+
+// Environments.
+
+// OneShot has each process perform its single invocation, then idle.
+func OneShot(invs map[int]Invocation) Environment { return sim.OneShot(invs) }
+
+// Script has each process perform its listed invocations in order.
+func Script(script map[int][]Invocation) Environment { return sim.Script(script) }
+
+// Repeat has every process perform the same invocation forever.
+func Repeat(inv Invocation) Environment { return sim.Repeat(inv) }
+
+// RepeatPerProc has each process repeat its own invocation forever.
+func RepeatPerProc(invs map[int]Invocation) Environment { return sim.RepeatPerProc(invs) }

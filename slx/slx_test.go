@@ -1,0 +1,233 @@
+package slx_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// commitAdoptChecker configures the canonical two-process commit-adopt
+// consensus under the given options, with an environment that
+// re-proposes 0 and 1 forever.
+func commitAdoptChecker(opts ...slx.Option) *slx.Checker {
+	base := []slx.Option{
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithEnv(func() run.Environment {
+			return consensus.ProposeForever(map[int]hist.Value{1: 0, 2: 1})
+		}),
+		slx.WithProcs(2),
+	}
+	return slx.New(append(base, opts...)...)
+}
+
+// TestCheckRoundRobinUnifiedVerdicts runs commit-adopt consensus under
+// fair round-robin and judges one safety and one liveness property
+// through the same Checker.Check call: the lock-step livelock keeps
+// agreement+validity intact while violating (1,2)-freedom.
+func TestCheckRoundRobinUnifiedVerdicts(t *testing.T) {
+	c := commitAdoptChecker(slx.WithMaxSteps(600))
+	rep, err := c.Check(
+		check.AgreementValidity(),
+		check.LK(1, 2, nil),
+		check.LK(1, 1, nil),
+		check.Fair(),
+	)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Mode != slx.ModeCheck {
+		t.Fatalf("mode = %v, want check", rep.Mode)
+	}
+
+	av, ok := rep.Verdict("agreement+validity")
+	if !ok || !av.Holds || av.Kind != slx.Safety {
+		t.Fatalf("agreement+validity verdict = %+v, want holding safety verdict", av)
+	}
+	lk12, ok := rep.Verdict("(1,2)-freedom")
+	if !ok || lk12.Holds || lk12.Kind != slx.Liveness {
+		t.Fatalf("(1,2)-freedom verdict = %+v, want failing liveness verdict", lk12)
+	}
+	if lk12.Reason == "" {
+		t.Error("failing verdict must carry a reason")
+	}
+	if len(lk12.Witness) != 600 {
+		t.Errorf("witness length = %d, want the full 600-decision schedule", len(lk12.Witness))
+	}
+	if lk11, _ := rep.Verdict("(1,1)-freedom"); !lk11.Holds {
+		t.Error("(1,1)-freedom should hold vacuously (two steppers)")
+	}
+	if fair, _ := rep.Verdict("fair"); !fair.Holds {
+		t.Error("round-robin schedule must be fair")
+	}
+
+	// The witness replays deterministically: identical history, identical
+	// verdicts, run after run.
+	first, err := c.Replay(lk12.Witness, check.AgreementValidity(), check.LK(1, 2, nil))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	second, err := c.Replay(lk12.Witness, check.AgreementValidity(), check.LK(1, 2, nil))
+	if err != nil {
+		t.Fatalf("Replay (second): %v", err)
+	}
+	for _, replayed := range []*slx.Report{first, second} {
+		if replayed.Mode != slx.ModeReplay {
+			t.Fatalf("mode = %v, want replay", replayed.Mode)
+		}
+		if !replayed.Execution.H.Equal(rep.Execution.H) {
+			t.Errorf("replayed history %s differs from original %s", replayed.Execution.H, rep.Execution.H)
+		}
+		if v, _ := replayed.Verdict("(1,2)-freedom"); v.Holds {
+			t.Error("replay must reproduce the (1,2)-freedom violation")
+		}
+		if v, _ := replayed.Verdict("agreement+validity"); !v.Holds {
+			t.Error("replay must reproduce intact safety")
+		}
+	}
+	if !first.Execution.H.Equal(second.Execution.H) {
+		t.Error("two replays of the same witness must produce identical histories")
+	}
+}
+
+// TestAdversaryBivalenceThroughChecker drives the bivalence adversary
+// through Checker.Adversary and verifies the unified verdicts plus
+// witness-schedule replay determinism, using the strategy's scripted
+// environment (slx.EnvScripter) for the replay.
+func TestAdversaryBivalenceThroughChecker(t *testing.T) {
+	strat := adversary.NewBivalenceStrategy(0, 1)
+	var _ slx.EnvScripter = strat
+	c := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithEnv(strat.ScriptedEnv()),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(80),
+	)
+	rep, err := c.Adversary(strat,
+		check.AgreementValidity(),
+		check.LK(1, 2, nil),
+	)
+	if err != nil {
+		t.Fatalf("Adversary: %v", err)
+	}
+	if rep.Mode != slx.ModeAdversary || rep.Adversary != "bivalence" {
+		t.Fatalf("mode/adversary = %v/%q", rep.Mode, rep.Adversary)
+	}
+	if strat.Probes() == 0 {
+		t.Error("the adversary must have probed solo continuations")
+	}
+	if av, _ := rep.Verdict("agreement+validity"); !av.Holds {
+		t.Error("the adversary must win on liveness, not safety")
+	}
+	lk12, _ := rep.Verdict("(1,2)-freedom")
+	if lk12.Holds {
+		t.Fatal("the fair non-deciding schedule must violate (1,2)-freedom")
+	}
+	if len(lk12.Witness) != 80 {
+		t.Fatalf("witness length = %d, want 80", len(lk12.Witness))
+	}
+	if !rep.Execution.Fair() {
+		t.Error("the adversary's schedule must be fair")
+	}
+
+	// Replaying the witness through the checker reproduces the attack
+	// without the adversary: same history, same verdicts.
+	replayed, err := c.Replay(lk12.Witness, check.AgreementValidity(), check.LK(1, 2, nil))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !replayed.Execution.H.Equal(rep.Execution.H) {
+		t.Errorf("replayed history %s differs from the adversary's %s",
+			replayed.Execution.H, rep.Execution.H)
+	}
+	if v, _ := replayed.Verdict("(1,2)-freedom"); v.Holds {
+		t.Error("witness replay must reproduce the liveness violation")
+	}
+}
+
+// TestExploreCleanAndViolating exercises Checker.Explore both ways: a
+// correct implementation is clean to depth, and an agreement-violating
+// one yields a failing verdict whose witness replays to the violation.
+func TestExploreCleanAndViolating(t *testing.T) {
+	proposeOnce := func() run.Environment {
+		return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+	}
+	clean, err := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithEnv(proposeOnce),
+		slx.WithProcs(2),
+		slx.WithDepth(7),
+	).Explore(check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if !clean.OK() || clean.Prefixes == 0 {
+		t.Fatalf("clean exploration: OK=%v prefixes=%d", clean.OK(), clean.Prefixes)
+	}
+
+	bad := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewDecideOwn(2) }),
+		slx.WithEnv(proposeOnce),
+		slx.WithProcs(2),
+		slx.WithDepth(8),
+	)
+	rep, err := bad.Explore(check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("decide-own must violate agreement on some schedule")
+	}
+	vio := rep.Failures()[0]
+	if vio.Witness == nil {
+		t.Fatal("exploration violation must carry a witness schedule")
+	}
+	replayed, err := bad.Replay(vio.Witness, check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if v, _ := replayed.Verdict("agreement+validity"); v.Holds {
+		t.Errorf("witness %v must replay to the agreement violation (history %s)",
+			vio.Witness, replayed.Execution.H)
+	}
+}
+
+// TestExploreRejectsLiveness: liveness is a statement about full fair
+// executions, so exhaustive prefix exploration must refuse it.
+func TestExploreRejectsLiveness(t *testing.T) {
+	c := commitAdoptChecker(slx.WithDepth(3))
+	if _, err := c.Explore(check.LK(1, 2, nil)); err == nil {
+		t.Fatal("Explore must reject liveness properties")
+	}
+}
+
+// TestWithContextCancellation: a cancelled context stops the run and
+// surfaces ctx.Err().
+func TestWithContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := commitAdoptChecker(slx.WithMaxSteps(600), slx.WithContext(ctx))
+	if _, err := c.Check(check.AgreementValidity()); err != context.Canceled {
+		t.Fatalf("Check under cancelled context: err = %v, want context.Canceled", err)
+	}
+	if _, err := c.Explore(check.AgreementValidity()); err != context.Canceled {
+		t.Fatalf("Explore under cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestConfigurationErrors: the checker names the missing option.
+func TestConfigurationErrors(t *testing.T) {
+	if _, err := slx.New().Check(); err == nil {
+		t.Error("Check without WithObject must fail")
+	}
+	if _, err := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+	).Check(); err == nil {
+		t.Error("Check without WithEnv must fail")
+	}
+}

@@ -1,0 +1,58 @@
+// Package tm is the public facade over the transactional-memory
+// implementations under test (internal/tm): the paper's Algorithm 1
+// (I12), the AGP-style global-CAS TM, a simplified obstruction-free DSTM
+// and the trivial Aborter.
+package tm
+
+import (
+	itm "repro/internal/tm"
+	"repro/slx/run"
+)
+
+// I12 is the paper's Algorithm 1: a central CAS of versioned values, a
+// snapshot of per-process timestamps and the count>=3 abort rule
+// (ensures opacity, property S and (1,2)-freedom — Lemma 5.4).
+type I12 = itm.I12
+
+// NewI12 creates I12 for n processes with the hardware snapshot.
+func NewI12(n int) *I12 { return itm.NewI12(n) }
+
+// SnapshotObject abstracts the timestamp snapshot used by I12.
+type SnapshotObject = itm.SnapshotObject
+
+// NewI12WithSnapshot creates I12 over a custom snapshot implementation
+// (e.g. the software construction from registers).
+func NewI12WithSnapshot(n int, snap SnapshotObject) *I12 { return itm.NewI12WithSnapshot(n, snap) }
+
+// GlobalCAS is Algorithm 1 without the timestamp rule — the AGP-style TM
+// (opaque, lock-free, the white column of Figure 1(b)).
+type GlobalCAS = itm.GlobalCAS
+
+// NewGlobalCAS creates the implementation for n processes.
+func NewGlobalCAS(n int) *GlobalCAS { return itm.NewGlobalCAS(n) }
+
+// DSTM is a simplified obstruction-free TM in the style of the paper's
+// reference [21].
+type DSTM = itm.DSTM
+
+// NewDSTM creates the implementation for n processes.
+func NewDSTM(n int) *DSTM { return itm.NewDSTM(n) }
+
+// Aborter aborts everything: trivially opaque, zero progress.
+type Aborter = itm.Aborter
+
+// Txn is a transaction template for the TxnLoop environment.
+type Txn = itm.Txn
+
+// Access is one read or write access of a transaction template.
+type Access = itm.Access
+
+// TxnLoop has each process run its transaction template in an endless
+// loop (start, accesses, tryC).
+func TxnLoop(templates map[int]Txn) run.Environment { return itm.TxnLoop(templates) }
+
+// RandomWorkload generates seeded per-process transaction templates over
+// vars variables with opsPerTx accesses each.
+func RandomWorkload(seed int64, procs, vars, opsPerTx int) map[int]Txn {
+	return itm.RandomWorkload(seed, procs, vars, opsPerTx)
+}
