@@ -1,0 +1,116 @@
+package repro_test
+
+// Exploration-throughput benchmarks for the incremental monitor redesign:
+// a depth-7, 3-process linearizability exploration through the public slx
+// API, on the default monitor path and on the legacy batch path
+// (slx.WithBatchExplore). The first monitor iteration asserts the
+// redesign's acceptance bar — at least 2× fewer property-event scans than
+// batch — so a regression fails the benchmark smoke run, not just a
+// human reading EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// benchRegister is a linearizable read/write register: every access is a
+// single atomic step through the scheduler handshake.
+type benchRegister struct{ v hist.Value }
+
+func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() { out = r.v })
+	case "write":
+		p.Exec("write", func() { r.v = inv.Arg; out = hist.OK })
+	}
+	return out
+}
+
+// linExploreChecker is the depth-7, 3-process register workload: each
+// process writes its id, then reads.
+func linExploreChecker(extra ...slx.Option) *slx.Checker {
+	opts := []slx.Option{
+		slx.WithObject(func() run.Object { return &benchRegister{v: 0} }),
+		slx.WithEnv(func() run.Environment {
+			return run.Script(map[int][]run.Invocation{
+				1: {{Op: "write", Arg: 1}, {Op: "read"}},
+				2: {{Op: "write", Arg: 2}, {Op: "read"}},
+				3: {{Op: "write", Arg: 3}, {Op: "read"}},
+			})
+		}),
+		slx.WithProcs(3),
+		slx.WithDepth(7),
+	}
+	return slx.New(append(opts, extra...)...)
+}
+
+func linProp() slx.Property { return check.Linearizability(check.RegisterSpec{Initial: 0}) }
+
+// TestExploreLinearizabilityScanReduction is the acceptance check of the
+// monitor redesign: on the depth-7, 3-process linearizability
+// exploration, the monitor path must judge the same tree with at least
+// 2× fewer property-event scans than the batch path.
+func TestExploreLinearizabilityScanReduction(t *testing.T) {
+	mon, err := linExploreChecker().Explore(linProp())
+	if err != nil {
+		t.Fatalf("monitor explore: %v", err)
+	}
+	batch, err := linExploreChecker(slx.WithBatchExplore()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("batch explore: %v", err)
+	}
+	if !mon.OK() || !batch.OK() {
+		t.Fatalf("register must be linearizable on every prefix (monitor OK=%v, batch OK=%v)", mon.OK(), batch.OK())
+	}
+	if mon.Prefixes != batch.Prefixes || mon.SimSteps != batch.SimSteps {
+		t.Fatalf("paths explored different trees: monitor %d/%d, batch %d/%d",
+			mon.Prefixes, mon.SimSteps, batch.Prefixes, batch.SimSteps)
+	}
+	if mon.EventScans*2 > batch.EventScans {
+		t.Fatalf("monitor path scanned %d property events, want ≤ half of batch's %d",
+			mon.EventScans, batch.EventScans)
+	}
+	t.Logf("depth-7 3-proc linearizability: prefixes=%d simSteps=%d scans monitor=%d batch=%d (%.1fx fewer)",
+		mon.Prefixes, mon.SimSteps, mon.EventScans, batch.EventScans,
+		float64(batch.EventScans)/float64(mon.EventScans))
+}
+
+// BenchmarkExploreLinearizabilityMonitor measures the default
+// incremental path.
+func BenchmarkExploreLinearizabilityMonitor(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker())
+}
+
+// BenchmarkExploreLinearizabilityBatch measures the legacy batch path
+// for comparison.
+func BenchmarkExploreLinearizabilityBatch(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithBatchExplore()))
+}
+
+func benchExploreLinearizability(b *testing.B, c *slx.Checker) {
+	prefixes := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := c.Explore(linProp())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("violation: %s", rep.Failures()[0])
+		}
+		if i == 0 {
+			prefixes = rep.Prefixes
+			b.ReportMetric(float64(rep.Prefixes), "prefixes")
+			b.ReportMetric(float64(rep.SimSteps), "simSteps")
+			b.ReportMetric(float64(rep.EventScans), "eventScans")
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*prefixes)/sec, "prefixes/sec")
+	}
+}

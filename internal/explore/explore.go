@@ -1,22 +1,64 @@
 // Package explore performs exhaustive bounded exploration of the
 // simulator: it enumerates every schedule up to a depth (optionally with
-// crash injection) and checks a predicate on every reachable history. This
-// is how the repository certifies the positive (implementability) side of
-// the paper's claims: the commit-adopt consensus satisfies
+// crash injection) and checks every reachable history. This is how the
+// repository certifies the positive (implementability) side of the
+// paper's claims: the commit-adopt consensus satisfies
 // agreement+validity on all interleavings at small depth, and both TM
 // implementations satisfy opacity (and I12 property S) likewise.
 //
 // Because processes are goroutines, configurations cannot be snapshotted;
 // exploration re-executes each schedule prefix from scratch. Runs are
 // deterministic, so re-execution reaches the identical configuration.
+//
+// Checking comes in two flavors. The batch path (Config.Check) re-judges
+// the entire history of every explored prefix. The incremental path
+// (Config.NewMonitors) threads a MonitorSet down the DFS: the set is
+// forked at every branch point and fed only the delta events the new
+// schedule edge produced (Result.EventsSince), so each event is judged
+// once per path instead of once per descendant prefix.
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/history"
 	"repro/internal/sim"
 )
+
+// MonitorSet judges one DFS path incrementally: exploration feeds it
+// each new event exactly once and forks it at schedule branch points.
+type MonitorSet interface {
+	// Step consumes one new event of the path. A non-nil error is the
+	// violation (exploration stops and reports it with the witness).
+	Step(e history.Event) error
+	// Fork returns an independent copy for a sibling branch; stepping
+	// either copy must not affect the other.
+	Fork() MonitorSet
+}
+
+// Violation wraps a MonitorSet violation with its location: the witness
+// schedule (always non-nil), the full history of the violating prefix,
+// and the index of the event on which Step failed. Unwrap exposes the
+// monitor's error.
+type Violation struct {
+	// Schedule is the witness prefix (non-nil, possibly empty).
+	Schedule []sim.Decision
+	// H is the history of the violating prefix.
+	H history.History
+	// EventIndex is the index in H of the event Step rejected.
+	EventIndex int
+	// Cause is the error Step returned.
+	Cause error
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("explore: violation at event %d of schedule %v: %v", v.EventIndex, v.Schedule, v.Cause)
+}
+
+// Unwrap exposes the monitor's error.
+func (v *Violation) Unwrap() error { return v.Cause }
 
 // Config describes an exhaustive exploration.
 type Config struct {
@@ -36,11 +78,20 @@ type Config struct {
 	// Check is invoked on the history of every explored prefix together
 	// with the schedule that produced it. Returning an error aborts the
 	// exploration; the error and witness schedule are reported. When
-	// Workers > 1, Check must be safe for concurrent use.
+	// Workers > 1, Check must be safe for concurrent use. Ignored when
+	// NewMonitors is set.
 	Check func(h history.History, schedule []sim.Decision) error
+	// NewMonitors, when set, selects the incremental path: it creates the
+	// root monitor set once per exploration (and once per worker subtree
+	// fork under Workers > 1). A Step error aborts the exploration and is
+	// reported wrapped in a *Violation.
+	NewMonitors func() MonitorSet
 	// Workers > 1 explores the first-level subtrees concurrently, one
 	// goroutine per ready first decision, at most Workers at a time.
 	Workers int
+	// Ctx optionally cancels the exploration; it is polled once per
+	// explored prefix and its error returned as-is.
+	Ctx context.Context
 }
 
 // Stats summarizes an exploration.
@@ -51,24 +102,37 @@ type Stats struct {
 	// Steps is the total number of simulator steps executed across all
 	// replays.
 	Steps int
-	// Witness is the schedule on which Check failed, nil if none.
+	// Witness is the schedule on which the check failed: nil when no
+	// violation was found, non-nil (and empty for the root prefix)
+	// otherwise.
 	Witness []sim.Decision
 }
 
-// Run explores exhaustively. It returns the statistics and the first Check
-// error, if any (with Stats.Witness set).
+// witness copies a prefix into a witness schedule, normalizing the empty
+// (root) prefix to a non-nil empty slice so a violation always carries a
+// non-nil witness.
+func witness(prefix []sim.Decision) []sim.Decision {
+	return append([]sim.Decision{}, prefix...)
+}
+
+// Run explores exhaustively. It returns the statistics and the first
+// check or monitor error, if any (with Stats.Witness set).
 func Run(cfg Config) (*Stats, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("explore: Procs must be >= 1")
 	}
-	if cfg.Check == nil {
-		return nil, fmt.Errorf("explore: Check must be set")
+	if cfg.Check == nil && cfg.NewMonitors == nil {
+		return nil, fmt.Errorf("explore: Check or NewMonitors must be set")
 	}
 	if cfg.Workers > 1 {
 		return runParallel(cfg)
 	}
 	st := &Stats{}
-	err := explore(cfg, nil, 0, st)
+	var ms MonitorSet
+	if cfg.NewMonitors != nil {
+		ms = cfg.NewMonitors()
+	}
+	err := explore(cfg, nil, 0, 0, ms, st)
 	return st, err
 }
 
@@ -83,8 +147,17 @@ func runParallel(cfg Config) (*Stats, error) {
 		return total, fmt.Errorf("explore: replay failed: %w", res.Err)
 	}
 	total.Prefixes++
-	if err := cfg.Check(res.H, nil); err != nil {
-		total.Witness = []sim.Decision{}
+	if err := ctxErr(cfg); err != nil {
+		return total, err
+	}
+	var root MonitorSet
+	if cfg.NewMonitors != nil {
+		root = cfg.NewMonitors()
+		if err := stepDelta(root, res, 0, nil, total); err != nil {
+			return total, err
+		}
+	} else if err := cfg.Check(res.H, nil); err != nil {
+		total.Witness = witness(nil)
 		return total, err
 	}
 	if cfg.Depth < 1 {
@@ -107,17 +180,21 @@ func runParallel(cfg Config) (*Stats, error) {
 	}
 	results := make(chan outcome, len(roots))
 	sem := make(chan struct{}, cfg.Workers)
-	for _, root := range roots {
-		root := root
+	for _, rootDec := range roots {
+		rootDec := rootDec
+		var ms MonitorSet
+		if root != nil {
+			ms = root.Fork()
+		}
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem }()
 			st := &Stats{}
 			crashes := 0
-			if root.Crash {
+			if rootDec.Crash {
 				crashes = 1
 			}
-			err := explore(cfg, []sim.Decision{root}, crashes, st)
+			err := explore(cfg, []sim.Decision{rootDec}, crashes, len(res.H), ms, st)
 			results <- outcome{st: st, err: err}
 		}()
 	}
@@ -160,14 +237,47 @@ func replay(cfg Config, prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 	return res, ready
 }
 
-func explore(cfg Config, prefix []sim.Decision, crashes int, st *Stats) error {
+// ctxErr polls the optional context.
+func ctxErr(cfg Config) error {
+	if cfg.Ctx != nil {
+		return cfg.Ctx.Err()
+	}
+	return nil
+}
+
+// stepDelta feeds the prefix's new events (those at index parentEvents or
+// later) into the monitor set; a violation is wrapped with its location
+// and recorded in the stats.
+func stepDelta(ms MonitorSet, res *sim.Result, parentEvents int, prefix []sim.Decision, st *Stats) error {
+	delta := res.EventsSince(parentEvents)
+	for k := range delta {
+		if err := ms.Step(delta[k]); err != nil {
+			w := witness(prefix)
+			st.Witness = w
+			return &Violation{Schedule: w, H: res.H, EventIndex: parentEvents + k, Cause: err}
+		}
+	}
+	return nil
+}
+
+// explore visits the prefix and recurses into its children. parentEvents
+// is the number of history events the parent prefix recorded; ms is the
+// monitor set as of the parent (nil on the batch path).
+func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms MonitorSet, st *Stats) error {
 	res, ready := replay(cfg, prefix, st)
 	if res.Err != nil {
 		return fmt.Errorf("explore: replay failed: %w", res.Err)
 	}
 	st.Prefixes++
-	if err := cfg.Check(res.H, prefix); err != nil {
-		st.Witness = append([]sim.Decision(nil), prefix...)
+	if err := ctxErr(cfg); err != nil {
+		return err
+	}
+	if ms != nil {
+		if err := stepDelta(ms, res, parentEvents, prefix, st); err != nil {
+			return err
+		}
+	} else if err := cfg.Check(res.H, prefix); err != nil {
+		st.Witness = witness(prefix)
 		return err
 	}
 	steps := 0
@@ -179,10 +289,9 @@ func explore(cfg Config, prefix []sim.Decision, crashes int, st *Stats) error {
 	if steps >= cfg.Depth {
 		return nil
 	}
+	var children []sim.Decision
 	for _, p := range ready {
-		if err := explore(cfg, append(prefix, sim.Decision{Proc: p}), crashes, st); err != nil {
-			return err
-		}
+		children = append(children, sim.Decision{Proc: p})
 	}
 	if crashes < cfg.Crashes {
 		crashed := make(map[int]bool)
@@ -192,13 +301,22 @@ func explore(cfg Config, prefix []sim.Decision, crashes int, st *Stats) error {
 			}
 		}
 		for p := 1; p <= cfg.Procs; p++ {
-			if crashed[p] {
-				continue
+			if !crashed[p] {
+				children = append(children, sim.Decision{Proc: p, Crash: true})
 			}
-			next := append(prefix, sim.Decision{Proc: p, Crash: true})
-			if err := explore(cfg, next, crashes+1, st); err != nil {
-				return err
-			}
+		}
+	}
+	for i, d := range children {
+		cms := ms
+		if ms != nil && i < len(children)-1 {
+			cms = ms.Fork() // the last child inherits the set without a copy
+		}
+		nextCrashes := crashes
+		if d.Crash {
+			nextCrashes++
+		}
+		if err := explore(cfg, append(prefix, d), nextCrashes, len(res.H), cms, st); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,204 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/consensus"
+	"repro/internal/history"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// recordingSet adapts a safety.Monitor to MonitorSet, counting steps and
+// forks (atomically, so the parallel path can share the counters).
+type recordingSet struct {
+	m            safety.Monitor
+	steps, forks *atomic.Int64
+}
+
+func (s *recordingSet) Step(e history.Event) error {
+	s.steps.Add(1)
+	if !s.m.Step(e) {
+		return fmt.Errorf("monitor violation")
+	}
+	return nil
+}
+
+func (s *recordingSet) Fork() MonitorSet {
+	s.forks.Add(1)
+	return &recordingSet{m: s.m.Fork(), steps: s.steps, forks: s.forks}
+}
+
+func proposeOnce01() func() sim.Environment {
+	return func() sim.Environment {
+		return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
+	}
+}
+
+// TestMonitorPathMatchesBatch explores the same tree through the batch
+// Check and through monitors and requires identical prefix counts, plus
+// strictly fewer monitor event steps than batch event scans.
+func TestMonitorPathMatchesBatch(t *testing.T) {
+	prop := safety.AgreementValidity{}
+	batchScans := 0
+	batch, err := Run(Config{
+		Procs:     2,
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		NewEnv:    proposeOnce01(),
+		Depth:     9,
+		Check: func(h history.History, schedule []sim.Decision) error {
+			batchScans += len(h)
+			if !prop.Holds(h) {
+				return fmt.Errorf("violated")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("batch explore: %v", err)
+	}
+	var steps, forks atomic.Int64
+	mon, err := Run(Config{
+		Procs:     2,
+		NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+		NewEnv:    proposeOnce01(),
+		Depth:     9,
+		NewMonitors: func() MonitorSet {
+			return &recordingSet{m: prop.Spawn(), steps: &steps, forks: &forks}
+		},
+	})
+	if err != nil {
+		t.Fatalf("monitor explore: %v", err)
+	}
+	if mon.Prefixes != batch.Prefixes || mon.Steps != batch.Steps {
+		t.Fatalf("monitor path explored %d prefixes/%d steps, batch %d/%d",
+			mon.Prefixes, mon.Steps, batch.Prefixes, batch.Steps)
+	}
+	if forks.Load() == 0 {
+		t.Fatal("the monitor set must have been forked at branch points")
+	}
+	if int(steps.Load())*2 > batchScans {
+		t.Fatalf("monitor path stepped %d events, want ≤ half of the batch path's %d scans", steps.Load(), batchScans)
+	}
+	t.Logf("prefixes=%d monitor events=%d batch scans=%d forks=%d", mon.Prefixes, steps.Load(), batchScans, forks.Load())
+}
+
+// TestMonitorPathFindsViolationWithWitness: the monitor path reports the
+// violation wrapped in a *Violation carrying a non-nil witness that
+// replays to a violating history.
+func TestMonitorPathFindsViolationWithWitness(t *testing.T) {
+	prop := safety.AgreementValidity{}
+	newObj := func() sim.Object { return &brokenConsensus{r: base.NewRegister("r", nil)} }
+	var steps, forks atomic.Int64
+	st, err := Run(Config{
+		Procs:     2,
+		NewObject: newObj,
+		NewEnv:    proposeOnce01(),
+		Depth:     6,
+		NewMonitors: func() MonitorSet {
+			return &recordingSet{m: prop.Spawn(), steps: &steps, forks: &forks}
+		},
+	})
+	if err == nil {
+		t.Fatal("monitor path must find the agreement violation")
+	}
+	var vio *Violation
+	if !errors.As(err, &vio) {
+		t.Fatalf("error must be a *Violation, got %T: %v", err, err)
+	}
+	if vio.Schedule == nil || st.Witness == nil {
+		t.Fatal("witness must be non-nil on failure")
+	}
+	if vio.EventIndex < 0 || vio.EventIndex >= len(vio.H) {
+		t.Fatalf("event index %d out of range of %d-event history", vio.EventIndex, len(vio.H))
+	}
+	res := sim.Run(sim.Config{
+		Procs:     2,
+		Object:    newObj(),
+		Env:       proposeOnce01()(),
+		Scheduler: sim.Fixed(vio.Schedule),
+		MaxSteps:  len(vio.Schedule) + 1,
+	})
+	if prop.Holds(res.H) {
+		t.Error("witness schedule must reproduce the violation")
+	}
+}
+
+// TestRootViolationWitnessNonNil: a property violated on the empty
+// prefix must still yield a non-nil (empty) witness, on the serial and
+// the parallel path, batch and monitor mode alike.
+func TestRootViolationWitnessNonNil(t *testing.T) {
+	alwaysBad := func(h history.History, schedule []sim.Decision) error {
+		return fmt.Errorf("always violated")
+	}
+	for _, workers := range []int{1, 4} {
+		st, err := Run(Config{
+			Procs:     2,
+			NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+			NewEnv:    proposeOnce01(),
+			Depth:     3,
+			Workers:   workers,
+			Check:     alwaysBad,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: violation expected", workers)
+		}
+		if st.Witness == nil || len(st.Witness) != 0 {
+			t.Errorf("workers=%d: root witness = %#v, want non-nil empty schedule", workers, st.Witness)
+		}
+	}
+}
+
+// failFirstSet violates on the very first event it sees.
+type failFirstSet struct{}
+
+func (failFirstSet) Step(e history.Event) error { return fmt.Errorf("first event rejected") }
+func (f failFirstSet) Fork() MonitorSet         { return f }
+
+// TestMonitorParallelMatchesSequential: the monitor path explores the
+// same tree under Workers > 1, and violations found by workers carry
+// their witnesses.
+func TestMonitorParallelMatchesSequential(t *testing.T) {
+	prop := safety.AgreementValidity{}
+	mk := func(workers int) *Stats {
+		var steps, forks atomic.Int64
+		st, err := Run(Config{
+			Procs:     2,
+			NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+			NewEnv:    proposeOnce01(),
+			Depth:     9,
+			Workers:   workers,
+			NewMonitors: func() MonitorSet {
+				return &recordingSet{m: prop.Spawn(), steps: &steps, forks: &forks}
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return st
+	}
+	if seq, par := mk(1), mk(4); seq.Prefixes != par.Prefixes {
+		t.Errorf("parallel explored %d prefixes, sequential %d", par.Prefixes, seq.Prefixes)
+	}
+
+	// A violation below the root, found by a worker, surfaces with its witness.
+	st, err := Run(Config{
+		Procs:       2,
+		NewObject:   func() sim.Object { return &brokenConsensus{r: base.NewRegister("r", nil)} },
+		NewEnv:      proposeOnce01(),
+		Depth:       6,
+		Workers:     4,
+		NewMonitors: func() MonitorSet { return failFirstSet{} },
+	})
+	if err == nil {
+		t.Fatal("violation expected")
+	}
+	var vio *Violation
+	if !errors.As(err, &vio) || st.Witness == nil {
+		t.Fatalf("want *Violation with witness, got %T (witness %#v)", err, st.Witness)
+	}
+}

@@ -1,0 +1,246 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// LinMonitor is the incremental linearizability checker: a just-in-time
+// Wing–Gong search that carries its partial-order state along the history
+// instead of re-solving the whole prefix at every extension.
+//
+// The state is a set of configurations. Each configuration witnesses one
+// way the operations seen so far can be linearized: a mask of linearized
+// operations, the sequential-specification state they produce, and the
+// promised responses of operations linearized speculatively before their
+// response arrived. Two invariants are maintained after every consumed
+// event:
+//
+//  1. every configuration's mask contains every completed operation
+//     (completed operations linearize no later than their response —
+//     the real-time order of linearizability), and
+//  2. the configuration set is exactly the set of distinct
+//     (mask, state, promises) values witnessed by some legal sequential
+//     order of the mask's operations that respects real-time order and
+//     matches every completed operation's response.
+//
+// Pending operations are linearized lazily: only when a response forces
+// operations before it. Any linearization placing a pending operation
+// later is reachable from a smaller configuration, so laziness loses no
+// witnesses; the history is linearizable iff the set is non-empty. An
+// invocation is O(1) — the configuration set is untouched — and a
+// response closes the set over the currently pending operations, which
+// on the short prefixes of bounded exploration is far cheaper than the
+// from-scratch memoized search.
+//
+// Configurations are immutable once created, so Fork shares them and
+// copies only the slices and maps that index them — the fork cost is
+// O(ops + configurations), independent of the specification.
+type LinMonitor struct {
+	spec    SeqSpec
+	ops     []monOp     // all operations seen, in invocation order
+	pending map[int]int // proc → index in ops of its pending operation
+	configs []*linCfg
+	failed  bool
+}
+
+// monOp is one observed operation.
+type monOp struct {
+	proc      int
+	name, obj string
+	arg       history.Value
+	val       history.Value
+	done      bool
+}
+
+// linCfg is one immutable configuration.
+type linCfg struct {
+	mask uint64
+	st   State
+	// promises maps speculatively linearized pending operations to the
+	// response the chosen transition committed them to. Immutable.
+	promises map[int]history.Value
+}
+
+// cfgKey canonically identifies a configuration for deduplication.
+type cfgKey struct {
+	mask uint64
+	st   State
+	prom string
+}
+
+func (c *linCfg) key() cfgKey {
+	k := cfgKey{mask: c.mask, st: c.st}
+	if len(c.promises) > 0 {
+		idx := make([]int, 0, len(c.promises))
+		for i := range c.promises {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		var b strings.Builder
+		for _, i := range idx {
+			fmt.Fprintf(&b, "%d=%v;", i, c.promises[i])
+		}
+		k.prom = b.String()
+	}
+	return k
+}
+
+// NewLinMonitor creates the incremental linearizability monitor for spec
+// at the empty history.
+func NewLinMonitor(spec SeqSpec) *LinMonitor {
+	return &LinMonitor{
+		spec:    spec,
+		pending: make(map[int]int),
+		configs: []*linCfg{{mask: 0, st: spec.Init()}},
+	}
+}
+
+// Spawn implements the monitor side of the linearizability property.
+func (m *LinMonitor) Spawn() Monitor { return NewLinMonitor(m.spec) }
+
+// Step implements Monitor.
+func (m *LinMonitor) Step(e history.Event) bool {
+	if m.failed {
+		return false
+	}
+	switch e.Kind {
+	case history.KindInvoke:
+		if len(m.ops) >= maxLinOps {
+			// Match the batch checker's cap: histories beyond the mask
+			// width are rejected.
+			m.failed = true
+			return false
+		}
+		m.pending[e.Proc] = len(m.ops)
+		m.ops = append(m.ops, monOp{proc: e.Proc, name: e.Op, obj: e.Obj, arg: e.Arg})
+	case history.KindResponse:
+		idx, ok := m.pending[e.Proc]
+		if !ok {
+			return true // stray response; well-formed histories never produce one
+		}
+		delete(m.pending, e.Proc)
+		m.ops[idx].done = true
+		m.ops[idx].val = e.Val
+		m.advance(idx, e.Val)
+		if len(m.configs) == 0 {
+			m.failed = true
+			return false
+		}
+	case history.KindCrash:
+		// A crashed process's operation stays pending: it may take effect
+		// or not, which is exactly how pending operations are treated.
+	}
+	return true
+}
+
+// advance consumes the response of operation idx: configurations that
+// already linearized it keep only if they promised this response;
+// configurations that did not must linearize it now, possibly after
+// speculatively linearizing other pending operations.
+func (m *LinMonitor) advance(idx int, val history.Value) {
+	bit := uint64(1) << uint(idx)
+	next := make(map[cfgKey]*linCfg)
+	for _, c := range m.configs {
+		if c.mask&bit != 0 {
+			// Speculatively linearized earlier: the promise must match.
+			if pv, ok := c.promises[idx]; ok && pv == val {
+				nc := &linCfg{mask: c.mask, st: c.st, promises: withoutPromise(c.promises, idx)}
+				next[nc.key()] = nc
+			}
+			continue
+		}
+		m.closeOver(c, idx, val, next)
+	}
+	m.configs = m.configs[:0]
+	for _, c := range next {
+		m.configs = append(m.configs, c)
+	}
+}
+
+// closeOver explores every way to reach a configuration containing idx
+// from c by linearizing currently pending operations, with idx last.
+// Orders placing further pending operations after idx are not explored:
+// they remain reachable lazily from the produced configurations.
+func (m *LinMonitor) closeOver(c *linCfg, idx int, val history.Value, out map[cfgKey]*linCfg) {
+	stack := []*linCfg{c}
+	seen := map[cfgKey]bool{c.key(): true}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Linearize idx now, closing this branch.
+		op := m.ops[idx]
+		for _, tr := range m.spec.Apply(cur.st, op.proc, op.name, op.obj, op.arg) {
+			if tr.Resp != val {
+				continue
+			}
+			nc := &linCfg{mask: cur.mask | 1<<uint(idx), st: tr.Next, promises: cur.promises}
+			out[nc.key()] = nc
+		}
+		// Or speculatively linearize another pending operation first.
+		for j := range m.ops {
+			if j == idx || m.ops[j].done || cur.mask&(1<<uint(j)) != 0 {
+				continue
+			}
+			opj := m.ops[j]
+			for _, tr := range m.spec.Apply(cur.st, opj.proc, opj.name, opj.obj, opj.arg) {
+				nc := &linCfg{
+					mask:     cur.mask | 1<<uint(j),
+					st:       tr.Next,
+					promises: withPromise(cur.promises, j, tr.Resp),
+				}
+				k := nc.key()
+				if !seen[k] {
+					seen[k] = true
+					stack = append(stack, nc)
+				}
+			}
+		}
+	}
+}
+
+// withPromise returns promises extended with idx→val (copy; promise maps
+// are immutable once attached to a configuration).
+func withPromise(promises map[int]history.Value, idx int, val history.Value) map[int]history.Value {
+	out := make(map[int]history.Value, len(promises)+1)
+	for k, v := range promises {
+		out[k] = v
+	}
+	out[idx] = val
+	return out
+}
+
+// withoutPromise returns promises with idx removed (copy, nil when empty).
+func withoutPromise(promises map[int]history.Value, idx int) map[int]history.Value {
+	if len(promises) <= 1 {
+		return nil
+	}
+	out := make(map[int]history.Value, len(promises)-1)
+	for k, v := range promises {
+		if k != idx {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// OK implements Monitor.
+func (m *LinMonitor) OK() bool { return !m.failed }
+
+// Fork implements Monitor.
+func (m *LinMonitor) Fork() Monitor {
+	pending := make(map[int]int, len(m.pending))
+	for p, i := range m.pending {
+		pending[p] = i
+	}
+	return &LinMonitor{
+		spec:    m.spec,
+		ops:     append([]monOp(nil), m.ops...),
+		pending: pending,
+		configs: append([]*linCfg(nil), m.configs...),
+		failed:  m.failed,
+	}
+}

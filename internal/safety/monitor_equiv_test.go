@@ -1,0 +1,395 @@
+package safety
+
+// Monitor-equivalence harness: every incremental checker is cross-checked
+// against its batch counterpart on randomized histories — synthetic
+// random interleavings (which violate the properties often) and histories
+// produced by real implementations under randomized schedules (which do
+// not). The batch path is the oracle: at every prefix the monitor's
+// verdict must equal the batch verdict, before and after forking, and
+// forks must be independent of their parents.
+//
+// For the three scan checkers (agreement+validity, k-set, mutual
+// exclusion) whose batch Holds is itself derived from the monitor via
+// BatchAdapter, the oracles below are independent re-implementations of
+// the original one-pass scans, so the cross-check is not circular.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// oracleAgreementValidity is the original one-pass agreement+validity
+// scan, kept as an independent oracle.
+func oracleAgreementValidity(h history.History) bool {
+	proposed := make(map[history.Value]bool)
+	var decided history.Value
+	haveDecision := false
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindInvoke && e.Op == ConsensusPropose:
+			proposed[e.Arg] = true
+		case e.Kind == history.KindResponse && e.Op == ConsensusPropose:
+			if !proposed[e.Val] {
+				return false
+			}
+			if haveDecision && decided != e.Val {
+				return false
+			}
+			decided = e.Val
+			haveDecision = true
+		}
+	}
+	return true
+}
+
+// oracleKSet is the original one-pass k-set agreement scan.
+func oracleKSet(k int) func(history.History) bool {
+	return func(h history.History) bool {
+		proposed := make(map[history.Value]bool)
+		decided := make(map[history.Value]bool)
+		for _, e := range h {
+			switch {
+			case e.Kind == history.KindInvoke && e.Op == ConsensusPropose:
+				proposed[e.Arg] = true
+			case e.Kind == history.KindResponse && e.Op == ConsensusPropose:
+				if !proposed[e.Val] {
+					return false
+				}
+				decided[e.Val] = true
+				if len(decided) > k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// oracleMutex is the original one-pass mutual-exclusion scan.
+func oracleMutex(h history.History) bool {
+	holder := 0
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindResponse && e.Op == LockAcquire:
+			if holder != 0 {
+				return false
+			}
+			holder = e.Proc
+		case e.Kind == history.KindInvoke && e.Op == LockRelease:
+			if holder != e.Proc {
+				return false
+			}
+			holder = 0
+		}
+	}
+	return true
+}
+
+// stickyOracle wraps a prefix-monotone batch predicate so that, like a
+// monitor, it stays false after the first violating prefix. The
+// properties under test are prefix-closed, so the wrapper only papers
+// over floating differences it would itself expose via the monotonicity
+// check below.
+type stickyOracle struct {
+	holds  func(history.History) bool
+	failed bool
+}
+
+func (o *stickyOracle) at(t *testing.T, h history.History) bool {
+	ok := o.holds(h)
+	if o.failed && ok {
+		t.Fatalf("oracle is not prefix-monotone: holds again at %d events on %s", len(h), h)
+	}
+	if !ok {
+		o.failed = true
+	}
+	return !o.failed
+}
+
+// crossCheck drives one monitor through h, comparing with the oracle at
+// every prefix; midway it forks a child and checks (a) the child agrees
+// with the oracle on the remaining events, and (b) feeding the child does
+// not disturb the parent.
+func crossCheck(t *testing.T, name string, spawn func() Monitor, oracle func(history.History) bool, h history.History, forkAt int) {
+	t.Helper()
+	m := spawn()
+	ora := &stickyOracle{holds: oracle}
+	var fork Monitor
+	forkOra := &stickyOracle{}
+	for i, e := range h {
+		if i == forkAt {
+			fork = m.Fork()
+			*forkOra = *ora
+			forkOra.holds = ora.holds
+		}
+		ok := m.Step(e)
+		want := ora.at(t, h[:i+1])
+		if ok != want || m.OK() != want {
+			t.Fatalf("%s: monitor=%v/%v oracle=%v at event %d (%s) of %s", name, ok, m.OK(), want, i+1, e, h)
+		}
+		if fork != nil {
+			fok := fork.Step(e)
+			fwant := forkOra.at(t, h[:i+1])
+			if fok != fwant || fork.OK() != fwant {
+				t.Fatalf("%s: fork=%v/%v oracle=%v at event %d of %s", name, fok, fork.OK(), fwant, i+1, h)
+			}
+		}
+	}
+	// Fork independence: a fresh fork fed a divergent suffix must not
+	// disturb the parent's verdict.
+	parentVerdict := m.OK()
+	div := m.Fork()
+	for i := len(h) - 1; i >= 0 && i >= len(h)-4; i-- {
+		div.Step(h[i])
+	}
+	if m.OK() != parentVerdict {
+		t.Fatalf("%s: stepping a fork changed the parent's verdict on %s", name, h)
+	}
+}
+
+// randConsensusHistory interleaves propose invocations and randomly
+// chosen (often invalid) decisions for n processes.
+func randConsensusHistory(r *rand.Rand, n, events int) history.History {
+	var h history.History
+	pending := make(map[int]bool)
+	for len(h) < events {
+		p := 1 + r.Intn(n)
+		if pending[p] {
+			h = append(h, history.Response(p, ConsensusPropose, r.Intn(3)))
+			pending[p] = false
+		} else {
+			h = append(h, history.Invoke(p, ConsensusPropose, r.Intn(3)))
+			pending[p] = true
+		}
+	}
+	return h
+}
+
+// randMutexHistory interleaves acquire/release cycles with responses
+// granted blindly, so overlapping critical sections appear often.
+func randMutexHistory(r *rand.Rand, n, events int) history.History {
+	type st int // 0 idle, 1 acquiring, 2 holding, 3 releasing
+	state := make(map[int]st)
+	var h history.History
+	for len(h) < events {
+		p := 1 + r.Intn(n)
+		switch state[p] {
+		case 0:
+			h = append(h, history.Invoke(p, LockAcquire, nil))
+			state[p] = 1
+		case 1:
+			h = append(h, history.Response(p, LockAcquire, "locked"))
+			state[p] = 2
+		case 2:
+			// Sometimes a non-holder "releases" on behalf of another
+			// process id to exercise the release-by-non-holder branch.
+			q := p
+			if r.Intn(8) == 0 {
+				q = 1 + r.Intn(n)
+			}
+			h = append(h, history.Invoke(q, LockRelease, nil))
+			state[p] = 3
+		case 3:
+			h = append(h, history.Response(p, LockRelease, "unlocked"))
+			state[p] = 0
+		}
+	}
+	return h
+}
+
+// randRegisterHistory generates overlapping reads and writes with read
+// responses drawn randomly from the small value domain, yielding a mix
+// of linearizable and non-linearizable histories.
+func randRegisterHistory(r *rand.Rand, n, events int) history.History {
+	var h history.History
+	type pend struct {
+		op  string
+		arg history.Value
+	}
+	pending := make(map[int]*pend)
+	for len(h) < events {
+		p := 1 + r.Intn(n)
+		if pd := pending[p]; pd != nil {
+			if r.Intn(3) == 0 {
+				continue // leave it pending a while longer
+			}
+			if pd.op == "read" {
+				h = append(h, history.Response(p, "read", r.Intn(3)))
+			} else {
+				h = append(h, history.Response(p, "write", history.OK))
+			}
+			pending[p] = nil
+			continue
+		}
+		if r.Intn(2) == 0 {
+			h = append(h, history.Invoke(p, "read", nil))
+			pending[p] = &pend{op: "read"}
+		} else {
+			v := r.Intn(3)
+			h = append(h, history.Invoke(p, "write", v))
+			pending[p] = &pend{op: "write", arg: v}
+		}
+	}
+	return h
+}
+
+// randTMHistory generates small random transactions (start, reads and
+// writes on two variables, tryC) with randomly invented read values and
+// commit/abort outcomes — opacity violations are frequent.
+func randTMHistory(r *rand.Rand, n, events int) history.History {
+	vars := []string{"x", "y"}
+	type st struct{ phase, ops int }
+	state := make(map[int]*st)
+	var h history.History
+	for len(h) < events {
+		p := 1 + r.Intn(n)
+		s := state[p]
+		if s == nil {
+			s = &st{}
+			state[p] = s
+		}
+		switch s.phase {
+		case 0:
+			h = append(h, history.Invoke(p, history.TMStart, nil))
+			s.phase = 1
+		case 1:
+			h = append(h, history.Response(p, history.TMStart, history.OK))
+			s.phase = 2
+			s.ops = 1 + r.Intn(2)
+		case 2:
+			v := vars[r.Intn(len(vars))]
+			if r.Intn(2) == 0 {
+				h = append(h,
+					history.InvokeObj(p, history.TMRead, v, nil),
+					history.ResponseObj(p, history.TMRead, v, r.Intn(2)))
+			} else {
+				h = append(h,
+					history.InvokeObj(p, history.TMWrite, v, r.Intn(2)+1),
+					history.ResponseObj(p, history.TMWrite, v, history.OK))
+			}
+			s.ops--
+			if s.ops <= 0 {
+				s.phase = 3
+			}
+		case 3:
+			h = append(h, history.Invoke(p, history.TMTryC, nil))
+			s.phase = 4
+		case 4:
+			out := history.Value(history.Commit)
+			if r.Intn(3) == 0 {
+				out = history.Abort
+			}
+			h = append(h, history.Response(p, history.TMTryC, out))
+			s.phase = 0
+		}
+	}
+	return h
+}
+
+func TestMonitorEquivalenceAgreementValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		h := randConsensusHistory(r, 3, 4+r.Intn(20))
+		crossCheck(t, "agreement+validity", AgreementValidity{}.Spawn, oracleAgreementValidity, h, r.Intn(len(h)))
+	}
+}
+
+func TestMonitorEquivalenceKSet(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, k := range []int{1, 2} {
+		p := KSetAgreement{K: k}
+		for i := 0; i < 300; i++ {
+			h := randConsensusHistory(r, 3, 4+r.Intn(20))
+			crossCheck(t, p.Name(), p.Spawn, oracleKSet(k), h, r.Intn(len(h)))
+		}
+	}
+}
+
+func TestMonitorEquivalenceMutex(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		h := randMutexHistory(r, 3, 4+r.Intn(20))
+		crossCheck(t, "mutual-exclusion", MutualExclusion{}.Spawn, oracleMutex, h, r.Intn(len(h)))
+	}
+}
+
+func TestMonitorEquivalenceLinearizability(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	spec := RegisterSpec{Initial: 0}
+	spawn := func() Monitor { return NewLinMonitor(spec) }
+	oracle := func(h history.History) bool { return Linearizable(spec, h) }
+	for i := 0; i < 300; i++ {
+		h := randRegisterHistory(r, 3, 4+r.Intn(16))
+		crossCheck(t, "linearizability(register)", spawn, oracle, h, r.Intn(len(h)))
+	}
+	// Also against the CAS specification, whose responses depend on state.
+	cas := CASSpec{Initial: 0}
+	spawnCAS := func() Monitor { return NewLinMonitor(cas) }
+	oracleCAS := func(h history.History) bool { return Linearizable(cas, h) }
+	for i := 0; i < 200; i++ {
+		h := randCASHistory(r, 3, 4+r.Intn(14))
+		crossCheck(t, "linearizability(cas)", spawnCAS, oracleCAS, h, r.Intn(len(h)))
+	}
+}
+
+// randCASHistory mixes read/write/cas operations with random responses.
+func randCASHistory(r *rand.Rand, n, events int) history.History {
+	var h history.History
+	type pend struct{ op string }
+	pending := make(map[int]*pend)
+	for len(h) < events {
+		p := 1 + r.Intn(n)
+		if pd := pending[p]; pd != nil {
+			switch pd.op {
+			case "read":
+				h = append(h, history.Response(p, "read", r.Intn(3)))
+			case "write":
+				h = append(h, history.Response(p, "write", history.OK))
+			case "cas":
+				h = append(h, history.Response(p, "cas", r.Intn(2) == 0))
+			}
+			pending[p] = nil
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			h = append(h, history.Invoke(p, "read", nil))
+			pending[p] = &pend{op: "read"}
+		case 1:
+			h = append(h, history.Invoke(p, "write", r.Intn(3)))
+			pending[p] = &pend{op: "write"}
+		default:
+			h = append(h, history.Invoke(p, "cas", CASArg{Old: r.Intn(3), New: r.Intn(3)}))
+			pending[p] = &pend{op: "cas"}
+		}
+	}
+	return h
+}
+
+func TestMonitorEquivalenceOpacity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 150; i++ {
+		h := randTMHistory(r, 2, 6+r.Intn(24))
+		crossCheck(t, "opacity", Opacity{}.Spawn, Opaque, h, r.Intn(len(h)))
+	}
+}
+
+func TestMonitorEquivalenceStrictSerializability(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	p := StrictSerializability{}
+	for i := 0; i < 150; i++ {
+		h := randTMHistory(r, 2, 6+r.Intn(24))
+		crossCheck(t, p.Name(), p.Spawn, p.Holds, h, r.Intn(len(h)))
+	}
+}
+
+func TestMonitorEquivalencePropertyS(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := PropertyS{}
+	for i := 0; i < 120; i++ {
+		h := randTMHistory(r, 3, 6+r.Intn(24))
+		crossCheck(t, p.Name(), p.Spawn, p.Holds, h, r.Intn(len(h)))
+	}
+}

@@ -39,44 +39,50 @@ func fromLiveness(p liveness.Property, good Good) slx.Property {
 		})
 }
 
-// Safety properties.
+// Safety properties. Every safety constructor pairs the batch checker
+// with its native incremental monitor (slx.Property.Spawn), so
+// Checker.Explore feeds each event once per DFS edge instead of
+// re-judging whole prefixes.
 
 // AgreementValidity is the consensus safety property: no two processes
 // decide differently, and every decision was proposed.
 func AgreementValidity() slx.Property {
-	return slx.SafetyFunc((safety.AgreementValidity{}).Name(), (safety.AgreementValidity{}).Holds)
+	p := safety.AgreementValidity{}
+	return monitored(p.Name(), p.Holds, p.Spawn)
 }
 
 // KSetAgreement is k-set agreement safety: at most k distinct decisions,
 // each of them proposed.
 func KSetAgreement(k int) slx.Property {
 	p := safety.KSetAgreement{K: k}
-	return slx.SafetyFunc(p.Name(), p.Holds)
+	return monitored(p.Name(), p.Holds, p.Spawn)
 }
 
 // MutualExclusion is the lock safety property: no two processes hold the
 // critical section simultaneously, and only the holder releases.
 func MutualExclusion() slx.Property {
-	return slx.SafetyFunc((safety.MutualExclusion{}).Name(), (safety.MutualExclusion{}).Holds)
+	p := safety.MutualExclusion{}
+	return monitored(p.Name(), p.Holds, p.Spawn)
 }
 
 // Opacity is TM opacity: a global serialization legal at every prefix,
 // aborted and live transactions included.
 func Opacity() slx.Property {
-	return slx.SafetyFunc((safety.Opacity{}).Name(), safety.Opaque)
+	p := safety.Opacity{}
+	return monitored(p.Name(), safety.Opaque, p.Spawn)
 }
 
 // StrictSerializability relaxes opacity to committed transactions.
 func StrictSerializability() slx.Property {
 	p := safety.StrictSerializability{}
-	return slx.SafetyFunc(p.Name(), p.Holds)
+	return monitored(p.Name(), p.Holds, p.Spawn)
 }
 
 // PropertyS is the Section 5.3 property: opacity plus the
 // timestamp-based abort rule of Algorithm 1.
 func PropertyS() slx.Property {
 	p := safety.PropertyS{}
-	return slx.SafetyFunc(p.Name(), p.Holds)
+	return monitored(p.Name(), p.Holds, p.Spawn)
 }
 
 // Sequential specifications for the generic linearizability checker.
@@ -96,10 +102,13 @@ type (
 )
 
 // Linearizability is linearizability with respect to the sequential
-// specification spec.
+// specification spec. The incremental monitor carries a persistent set
+// of partial linearizations along the history (safety.LinMonitor); the
+// batch check is the independent memoized Wing–Gong search.
 func Linearizability(spec SeqSpec) slx.Property {
-	return slx.SafetyFunc(fmt.Sprintf("linearizability(%s)", spec.Name()),
-		func(h hist.History) bool { return safety.Linearizable(spec, h) })
+	return monitored(fmt.Sprintf("linearizability(%s)", spec.Name()),
+		func(h hist.History) bool { return safety.Linearizable(spec, h) },
+		func() safety.Monitor { return safety.NewLinMonitor(spec) })
 }
 
 // Opaque reports TM opacity of a single history (the raw predicate

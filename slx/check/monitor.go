@@ -1,0 +1,61 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/safety"
+	"repro/slx"
+	"repro/slx/hist"
+)
+
+// safetyMonitor adapts a native internal/safety.Monitor to slx.Monitor,
+// tracking the event position so failing verdicts pinpoint the violating
+// event.
+type safetyMonitor struct {
+	name   string
+	inner  safety.Monitor
+	events int
+	failAt int // 1-based event index of the violation, 0 while holding
+	failEv hist.Event
+}
+
+// wrapMonitor wraps a native monitor under the property name.
+func wrapMonitor(name string, inner safety.Monitor) slx.Monitor {
+	return &safetyMonitor{name: name, inner: inner}
+}
+
+// Step implements slx.Monitor.
+func (m *safetyMonitor) Step(e hist.Event) bool {
+	if m.failAt > 0 {
+		return false
+	}
+	m.events++
+	if !m.inner.Step(e) {
+		m.failAt = m.events
+		m.failEv = e
+		return false
+	}
+	return true
+}
+
+// Verdict implements slx.Monitor.
+func (m *safetyMonitor) Verdict() slx.Verdict {
+	v := slx.Verdict{Property: m.name, Kind: slx.Safety, Holds: m.failAt == 0}
+	if v.Holds {
+		v.Reason = fmt.Sprintf("holds after %d events", m.events)
+	} else {
+		v.Reason = fmt.Sprintf("violated at event %d: %s", m.failAt, m.failEv)
+	}
+	return v
+}
+
+// Fork implements slx.Monitor.
+func (m *safetyMonitor) Fork() slx.Monitor {
+	return &safetyMonitor{name: m.name, inner: m.inner.Fork(), events: m.events, failAt: m.failAt, failEv: m.failEv}
+}
+
+// monitored builds the standard slx.Property for a native incremental
+// checker: batch Check through holds, exploration through spawn.
+func monitored(name string, holds func(h hist.History) bool, spawn func() safety.Monitor) slx.Property {
+	return slx.MonitoredSafety(name, holds, func() slx.Monitor { return wrapMonitor(name, spawn()) })
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/explore"
 	"repro/slx/hist"
@@ -25,6 +26,7 @@ type Checker struct {
 	crashes   int
 	workers   int
 	window    int
+	batch     bool
 	ctx       context.Context
 }
 
@@ -69,6 +71,13 @@ func WithWindow(n int) Option { return func(c *Checker) { c.window = n } }
 // WithContext attaches a context: cancellation stops runs and
 // explorations early, and the driving method returns ctx.Err().
 func WithContext(ctx context.Context) Option { return func(c *Checker) { c.ctx = ctx } }
+
+// WithBatchExplore forces Explore onto the legacy batch path: every
+// property re-judges the entire history of every explored prefix instead
+// of consuming delta events through incremental monitors. Kept for
+// cross-checking the two paths and for before/after benchmarking; the
+// monitor path is the default and is strictly cheaper.
+func WithBatchExplore() Option { return func(c *Checker) { c.batch = true } }
 
 // New builds a Checker. At minimum WithObject is required; Check,
 // Replay and Explore also need WithEnv.
@@ -225,57 +234,121 @@ func (c *Checker) Adversary(adv Adversary, props ...Property) (*Report, error) {
 // violation transports a failing verdict out of the exploration.
 type violation struct {
 	v Verdict
-	e *Execution
+	e *Execution // nil on the monitor path (the location comes from explore.Violation)
 }
 
 // Error implements error.
 func (v *violation) Error() string { return v.v.String() }
+
+// monitorSet adapts the property monitors to explore.MonitorSet,
+// counting every event fed to every monitor.
+type monitorSet struct {
+	mons  []Monitor
+	scans *atomic.Int64
+}
+
+// Step implements explore.MonitorSet.
+func (s *monitorSet) Step(e hist.Event) error {
+	for _, m := range s.mons {
+		s.scans.Add(1)
+		if !m.Step(e) {
+			return &violation{v: m.Verdict()}
+		}
+	}
+	return nil
+}
+
+// Fork implements explore.MonitorSet.
+func (s *monitorSet) Fork() explore.MonitorSet {
+	mons := make([]Monitor, len(s.mons))
+	for i, m := range s.mons {
+		mons[i] = m.Fork()
+	}
+	return &monitorSet{mons: mons, scans: s.scans}
+}
 
 // Explore enumerates every schedule up to the configured depth
 // (optionally with crash injection) and checks each property on every
 // reachable history prefix. Only safety properties are admissible:
 // liveness is a statement about full fair executions, not prefixes. A
 // clean exploration yields one passing Verdict per property; a violation
-// yields the failing Verdict with the witness schedule (and no verdicts
-// for the other properties, since exploration stops at the first
-// violation).
+// yields the failing Verdict with the (non-nil) witness schedule and
+// Report.Schedule set (and no verdicts for the other properties, since
+// exploration stops at the first violation).
+//
+// By default properties are judged incrementally: Explore spawns one
+// Monitor per property, feeds each new event exactly once per DFS edge,
+// and forks the monitor set at schedule branch points, so a prefix's
+// events are never replayed into a fresh checker. Report.EventScans
+// counts the events fed to the property layer under either path;
+// WithBatchExplore restores the legacy re-judge-every-prefix behavior.
+// A safety property whose Spawn returns nil (a custom batch-only
+// implementation) sends the whole exploration to the batch path too —
+// monitors judge the history alone, while such a property's Check may
+// consult the full Execution (schedule, step counts), which only the
+// batch path supplies.
 func (c *Checker) Explore(props ...Property) (*Report, error) {
 	if err := c.need("Explore", true); err != nil {
 		return nil, err
 	}
+	batch := c.batch
 	for _, p := range props {
 		if p.Kind() != Safety {
 			return nil, fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
 		}
-	}
-	check := func(h hist.History, schedule []run.Decision) error {
-		if err := c.ctx.Err(); err != nil {
-			return err
+		if p.Spawn() == nil {
+			batch = true
 		}
-		e := &Execution{H: h, N: c.procs, Schedule: schedule, Window: c.window}
-		for _, p := range props {
-			if v := p.Check(e); !v.Holds {
-				return &violation{v: v, e: e}
-			}
-		}
-		return nil
 	}
-	st, err := explore.Run(explore.Config{
+	var scans atomic.Int64
+	ecfg := explore.Config{
 		Procs:     c.procs,
 		NewObject: c.newObject,
 		NewEnv:    c.newEnv,
 		Depth:     c.depth,
 		Crashes:   c.crashes,
 		Workers:   c.workers,
-		Check:     check,
-	})
-	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps}
+		Ctx:       c.ctx,
+	}
+	if batch {
+		ecfg.Check = func(h hist.History, schedule []run.Decision) error {
+			scans.Add(int64(len(h) * len(props)))
+			e := &Execution{H: h, N: c.procs, Schedule: schedule, Window: c.window}
+			for _, p := range props {
+				if v := p.Check(e); !v.Holds {
+					return &violation{v: v, e: e}
+				}
+			}
+			return nil
+		}
+	} else {
+		ecfg.NewMonitors = func() explore.MonitorSet {
+			mons := make([]Monitor, len(props))
+			for i, p := range props {
+				mons[i] = p.Spawn()
+			}
+			return &monitorSet{mons: mons, scans: &scans}
+		}
+	}
+	st, err := explore.Run(ecfg)
+	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps, EventScans: int(scans.Load())}
 	if err != nil {
 		var vio *violation
 		if errors.As(err, &vio) {
-			rep.Execution = vio.e
-			rep.Schedule = vio.v.Witness
-			rep.Verdicts = []Verdict{vio.v}
+			v, e := vio.v, vio.e
+			var ev *explore.Violation
+			if errors.As(err, &ev) {
+				// Monitor path: attach the witness and rebuild the
+				// violating prefix's execution from the location.
+				v.Witness = ev.Schedule
+				e = &Execution{H: ev.H, N: c.procs, Schedule: ev.Schedule, Window: c.window}
+			}
+			if v.Witness == nil {
+				v.Witness = []run.Decision{}
+			}
+			rep.Execution = e
+			rep.Schedule = v.Witness
+			rep.Verdicts = []Verdict{v}
 			return rep, nil
 		}
 		if cerr := c.ctx.Err(); cerr != nil {

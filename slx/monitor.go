@@ -1,0 +1,90 @@
+package slx
+
+import (
+	"fmt"
+
+	"repro/slx/hist"
+)
+
+// Monitor is the incremental, forkable judge of a safety property: it
+// consumes a history one event at a time, reports a Verdict on demand,
+// and forks at schedule branch points so exhaustive exploration never
+// replays a prefix's events into a fresh checker.
+//
+// The contract mirrors prefix closure (Definition 3.1): once Step
+// observes a violation the verdict is sticky — every further Step
+// returns false. Fork must return an independent monitor: stepping
+// either copy never affects the other. Monitors judge the history alone;
+// the caller (Checker.Explore) attaches the witness schedule to failing
+// verdicts.
+type Monitor interface {
+	// Step consumes the next history event and reports whether the
+	// property still holds on the consumed prefix. A false return is
+	// permanent.
+	Step(e hist.Event) bool
+	// Verdict reports the current verdict. Witness is left for the
+	// caller to fill in (a monitor sees events, not schedules).
+	Verdict() Verdict
+	// Fork returns an independent monitor with this monitor's state.
+	Fork() Monitor
+}
+
+// BatchMonitor adapts a prefix-monotone history predicate into a Monitor
+// by accumulating the history and re-judging it on every step. It is the
+// fallback Explore uses for safety properties without a native
+// incremental monitor (SafetyFunc closures, custom Property values whose
+// Spawn returns nil); native monitors avoid the per-step re-scan.
+func BatchMonitor(name string, holds func(h hist.History) bool) Monitor {
+	return &batchMonitor{name: name, holds: holds}
+}
+
+// batchMonitor re-runs the batch predicate on the accumulated history.
+type batchMonitor struct {
+	name  string
+	holds func(h hist.History) bool
+	h     hist.History
+	// failedAt is the 1-based length of the first violating prefix, 0
+	// while the property holds.
+	failedAt int
+}
+
+// Step implements Monitor.
+func (m *batchMonitor) Step(e hist.Event) bool {
+	if m.failedAt > 0 {
+		return false
+	}
+	m.h = append(m.h, e)
+	if !m.holds(m.h) {
+		m.failedAt = len(m.h)
+		return false
+	}
+	return true
+}
+
+// Verdict implements Monitor.
+func (m *batchMonitor) Verdict() Verdict {
+	v := Verdict{Property: m.name, Kind: Safety, Holds: m.failedAt == 0}
+	if v.Holds {
+		v.Reason = fmt.Sprintf("holds after %d events", len(m.h))
+	} else {
+		v.Reason = fmt.Sprintf("violated at event %d/%d: %s", m.failedAt, len(m.h), m.h[m.failedAt-1])
+	}
+	return v
+}
+
+// Fork implements Monitor.
+func (m *batchMonitor) Fork() Monitor {
+	m.h = m.h[:len(m.h):len(m.h)] // clip: a later append by either copy reallocates
+	return &batchMonitor{name: m.name, holds: m.holds, h: m.h, failedAt: m.failedAt}
+}
+
+// MonitoredSafety builds a safety Property with a native incremental
+// monitor: Check judges batch executions through holds exactly like
+// SafetyFunc (holds must be prefix-monotone), while Explore spawns
+// monitors from spawn and feeds them events once per DFS edge. The
+// catalog in slx/check builds every safety property this way.
+func MonitoredSafety(name string, holds func(h hist.History) bool, spawn func() Monitor) Property {
+	p := SafetyFunc(name, holds).(*funcProperty)
+	p.spawn = spawn
+	return p
+}

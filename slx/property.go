@@ -74,6 +74,13 @@ type Property interface {
 	Kind() PropertyKind
 	// Check judges the execution and returns the verdict.
 	Check(e *Execution) Verdict
+	// Spawn returns a fresh incremental Monitor at the empty history, or
+	// nil when the property is batch-only. Liveness properties return
+	// nil — liveness is a statement about full fair executions, not
+	// prefixes, so there is no event-incremental verdict to maintain.
+	// Explore falls back to a BatchMonitor over Check for safety
+	// properties that return nil.
+	Spawn() Monitor
 }
 
 // funcProperty implements Property over closures.
@@ -82,6 +89,7 @@ type funcProperty struct {
 	kind    PropertyKind
 	holds   func(e *Execution) bool
 	explain func(e *Execution) string // optional; used on failure
+	spawn   func() Monitor            // optional; nil for batch-only properties
 }
 
 // Name implements Property.
@@ -89,6 +97,14 @@ func (p *funcProperty) Name() string { return p.name }
 
 // Kind implements Property.
 func (p *funcProperty) Kind() PropertyKind { return p.kind }
+
+// Spawn implements Property.
+func (p *funcProperty) Spawn() Monitor {
+	if p.spawn == nil {
+		return nil
+	}
+	return p.spawn()
+}
 
 // Check implements Property.
 func (p *funcProperty) Check(e *Execution) Verdict {
@@ -123,6 +139,7 @@ func SafetyFunc(name string, holds func(h hist.History) bool) Property {
 			}
 			return fmt.Sprintf("violated at event %d/%d: %s", n, len(e.H), e.H[n-1])
 		},
+		spawn: func() Monitor { return BatchMonitor(name, holds) },
 	}
 }
 

@@ -57,6 +57,11 @@ type Report struct {
 	// Prefixes and SimSteps are exploration statistics: histories checked
 	// and total simulator steps across all replays.
 	Prefixes, SimSteps int
+	// EventScans counts the events fed to the property layer during an
+	// exploration: one per (event, monitor) pair on the incremental path,
+	// len(history)·len(properties) per prefix on the batch path. It is
+	// the before/after measure of the monitor redesign.
+	EventScans int
 }
 
 // OK reports whether every verdict holds.
@@ -106,7 +111,7 @@ func (r *Report) String() string {
 	var b strings.Builder
 	switch r.Mode {
 	case ModeExplore:
-		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps\n", r.Prefixes, r.SimSteps)
+		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans\n", r.Prefixes, r.SimSteps, r.EventScans)
 	case ModeAdversary:
 		fmt.Fprintf(&b, "adversary %s: %d-step run, %d events\n", r.Adversary, r.Execution.Steps, len(r.Execution.H))
 	default:
