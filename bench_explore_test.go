@@ -1,12 +1,15 @@
 package repro_test
 
-// Exploration-throughput benchmarks for the incremental monitor redesign:
-// a depth-7, 3-process linearizability exploration through the public slx
-// API, on the default monitor path and on the legacy batch path
-// (slx.WithBatchExplore). The first monitor iteration asserts the
-// redesign's acceptance bar — at least 2× fewer property-event scans than
-// batch — so a regression fails the benchmark smoke run, not just a
-// human reading EXPERIMENTS.md.
+// Exploration-throughput benchmarks for the incremental monitor redesign
+// and for sleep-set partial-order reduction: a depth-7, 3-process
+// linearizability exploration through the public slx API, on the default
+// monitor path, on the legacy batch path (slx.WithBatchExplore), and
+// with POR (slx.WithPOR). The first monitor iteration asserts the
+// monitor redesign's acceptance bar — at least 2× fewer property-event
+// scans than batch — and TestExplorePORPrefixReduction asserts POR's: at
+// least 2× fewer explored prefixes than full exploration, with identical
+// verdicts. Regressions therefore fail the benchmark smoke run, not
+// just a human reading EXPERIMENTS.md.
 
 import (
 	"testing"
@@ -18,19 +21,24 @@ import (
 )
 
 // benchRegister is a linearizable read/write register: every access is a
-// single atomic step through the scheduler handshake.
+// single atomic step through the scheduler handshake, declared to the
+// footprint tracker so POR can commute independent steps.
 type benchRegister struct{ v hist.Value }
 
 func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { out = r.v })
+		p.Exec("read", func() { p.Access("r", false); out = r.v })
 	case "write":
-		p.Exec("write", func() { r.v = inv.Arg; out = hist.OK })
+		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
 	}
 	return out
 }
+
+// Footprints implements run.Footprinted: the register is the only shared
+// state and both operations declare their access.
+func (r *benchRegister) Footprints() bool { return true }
 
 // linExploreChecker is the depth-7, 3-process register workload: each
 // process writes its id, then reads.
@@ -81,6 +89,36 @@ func TestExploreLinearizabilityScanReduction(t *testing.T) {
 		float64(batch.EventScans)/float64(mon.EventScans))
 }
 
+// TestExplorePORPrefixReduction is the acceptance check of sleep-set
+// partial-order reduction: on the depth-7, 3-process linearizability
+// exploration, POR must explore at most half the prefixes of the full
+// tree, reach the same verdict, and account for every skipped subtree in
+// Report.Pruned.
+func TestExplorePORPrefixReduction(t *testing.T) {
+	full, err := linExploreChecker().Explore(linProp())
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	por, err := linExploreChecker(slx.WithPOR()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("POR explore: %v", err)
+	}
+	if !full.OK() || !por.OK() {
+		t.Fatalf("register must be linearizable on every prefix (full OK=%v, POR OK=%v)", full.OK(), por.OK())
+	}
+	if full.Pruned != 0 {
+		t.Fatalf("full exploration must not prune, pruned %d subtrees", full.Pruned)
+	}
+	if por.Pruned == 0 {
+		t.Fatal("POR pruned nothing on a workload with independent steps")
+	}
+	if por.Prefixes*2 > full.Prefixes {
+		t.Fatalf("POR explored %d prefixes, want ≤ half of full exploration's %d", por.Prefixes, full.Prefixes)
+	}
+	t.Logf("depth-7 3-proc linearizability: prefixes full=%d por=%d (%.1fx fewer), pruned=%d, simSteps full=%d por=%d",
+		full.Prefixes, por.Prefixes, float64(full.Prefixes)/float64(por.Prefixes), por.Pruned, full.SimSteps, por.SimSteps)
+}
+
 // BenchmarkExploreLinearizabilityMonitor measures the default
 // incremental path.
 func BenchmarkExploreLinearizabilityMonitor(b *testing.B) {
@@ -91,6 +129,12 @@ func BenchmarkExploreLinearizabilityMonitor(b *testing.B) {
 // for comparison.
 func BenchmarkExploreLinearizabilityBatch(b *testing.B) {
 	benchExploreLinearizability(b, linExploreChecker(slx.WithBatchExplore()))
+}
+
+// BenchmarkExploreLinearizabilityPOR measures the monitor path with
+// sleep-set partial-order reduction.
+func BenchmarkExploreLinearizabilityPOR(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithPOR()))
 }
 
 func benchExploreLinearizability(b *testing.B, c *slx.Checker) {

@@ -46,7 +46,7 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch]", "exhaustive safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-batch] [-por]", "exhaustive safety check", cmdExplore},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
 }
 
@@ -237,12 +237,16 @@ func cmdExplore(args []string) error {
 	target := fs.String("target", "consensus", "consensus, i12, or globalcas")
 	depth := fs.Int("depth", 12, "schedule depth")
 	batch := fs.Bool("batch", false, "legacy batch checking (re-judge every prefix) instead of incremental monitors")
+	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := []slx.Option{slx.WithProcs(2), slx.WithDepth(*depth)}
 	if *batch {
 		opts = append(opts, slx.WithBatchExplore())
+	}
+	if *por {
+		opts = append(opts, slx.WithPOR())
 	}
 	var prop slx.Property
 	switch *target {
@@ -280,7 +284,13 @@ func cmdExplore(args []string) error {
 	if *batch {
 		mode = "batch re-checking"
 	}
+	if *por {
+		mode += ", POR"
+	}
 	fmt.Printf("explored %d schedule prefixes (%d simulator steps, %d property-event scans via %s): no violation up to depth %d\n",
 		rep.Prefixes, rep.SimSteps, rep.EventScans, mode, *depth)
+	if *por {
+		fmt.Printf("partial-order reduction pruned %d subtrees\n", rep.Pruned)
+	}
 	return nil
 }

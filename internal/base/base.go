@@ -27,6 +27,23 @@ type Stepper interface {
 	Exec(desc string, op func())
 }
 
+// accessDeclarer is the optional footprint hook of the simulation
+// runtime (sim.Proc implements it): a stepper that records, per granted
+// step, which base object was accessed and whether it was written.
+// Exploration uses the recorded access log for partial-order reduction.
+type accessDeclarer interface {
+	Access(obj string, write bool)
+}
+
+// declare reports the footprint of the step currently executing through
+// s, when the stepper tracks footprints. Every base-object operation
+// calls it from within its atomic step.
+func declare(s Stepper, obj string, write bool) {
+	if d, ok := s.(accessDeclarer); ok {
+		d.Access(obj, write)
+	}
+}
+
 // Register is an atomic read/write register.
 type Register struct {
 	name string
@@ -44,13 +61,13 @@ func (r *Register) Name() string { return r.name }
 // Read atomically reads the register.
 func (r *Register) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+r.name, func() { v = r.val })
+	s.Exec("read "+r.name, func() { declare(s, r.name, false); v = r.val })
 	return v
 }
 
 // Write atomically writes v to the register.
 func (r *Register) Write(s Stepper, v Value) {
-	s.Exec("write "+r.name, func() { r.val = v })
+	s.Exec("write "+r.name, func() { declare(s, r.name, true); r.val = v })
 }
 
 // CAS is an atomic compare-and-swap object. Comparison uses ==, so
@@ -72,7 +89,7 @@ func (c *CAS) Name() string { return c.name }
 // Read atomically reads the current value.
 func (c *CAS) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+c.name, func() { v = c.val })
+	s.Exec("read "+c.name, func() { declare(s, c.name, false); v = c.val })
 	return v
 }
 
@@ -81,6 +98,12 @@ func (c *CAS) Read(s Stepper) Value {
 func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
 	var ok bool
 	s.Exec("cas "+c.name, func() {
+		// A failed compare-and-swap mutates nothing: declaring it a read
+		// is sound (while a sleep entry holding this footprint is alive,
+		// any write to the object is dependent and evicts it, so the
+		// compare outcome cannot change) and lets exploration commute
+		// failed CAS steps of different processes.
+		declare(s, c.name, c.val == old)
 		if c.val == old {
 			c.val = new
 			ok = true
@@ -99,6 +122,7 @@ func (c *CAS) Peek() Value { return c.val }
 func (c *CAS) Swap(s Stepper, new Value) Value {
 	var prev Value
 	s.Exec("swap "+c.name, func() {
+		declare(s, c.name, true)
 		prev = c.val
 		c.val = new
 	})
@@ -124,6 +148,9 @@ func (t *TAS) Name() string { return t.name }
 func (t *TAS) TestAndSet(s Stepper) bool {
 	var won bool
 	s.Exec("tas "+t.name, func() {
+		// A losing test-and-set leaves the bit set: a read footprint,
+		// by the same argument as CompareAndSwap.
+		declare(s, t.name, !t.set)
 		won = !t.set
 		t.set = true
 	})
@@ -133,14 +160,14 @@ func (t *TAS) TestAndSet(s Stepper) bool {
 // Read atomically reads the bit.
 func (t *TAS) Read(s Stepper) bool {
 	var v bool
-	s.Exec("read "+t.name, func() { v = t.set })
+	s.Exec("read "+t.name, func() { declare(s, t.name, false); v = t.set })
 	return v
 }
 
 // Reset atomically clears the bit (the release half of a test-and-set
 // spinlock).
 func (t *TAS) Reset(s Stepper) {
-	s.Exec("reset "+t.name, func() { t.set = false })
+	s.Exec("reset "+t.name, func() { declare(s, t.name, true); t.set = false })
 }
 
 // FetchAdd is an atomic fetch-and-add counter.
@@ -161,6 +188,7 @@ func (f *FetchAdd) Name() string { return f.name }
 func (f *FetchAdd) Add(s Stepper, delta int) int {
 	var prev int
 	s.Exec("faa "+f.name, func() {
+		declare(s, f.name, true)
 		prev = f.val
 		f.val += delta
 	})
@@ -170,7 +198,7 @@ func (f *FetchAdd) Add(s Stepper, delta int) int {
 // Read atomically reads the counter.
 func (f *FetchAdd) Read(s Stepper) int {
 	var v int
-	s.Exec("read "+f.name, func() { v = f.val })
+	s.Exec("read "+f.name, func() { declare(s, f.name, false); v = f.val })
 	return v
 }
 
@@ -201,13 +229,14 @@ func (sn *Snapshot) Len() int { return len(sn.slots) }
 
 // Update atomically writes v to component i (0-based).
 func (sn *Snapshot) Update(s Stepper, i int, v Value) {
-	s.Exec("update "+sn.name, func() { sn.slots[i] = v })
+	s.Exec("update "+sn.name, func() { declare(s, sn.name, true); sn.slots[i] = v })
 }
 
 // Scan atomically returns a copy of all components.
 func (sn *Snapshot) Scan(s Stepper) []Value {
 	var out []Value
 	s.Exec("scan "+sn.name, func() {
+		declare(s, sn.name, false)
 		out = make([]Value, len(sn.slots))
 		copy(out, sn.slots)
 	})

@@ -22,6 +22,8 @@
 package consensus
 
 import (
+	"fmt"
+
 	"repro/internal/base"
 	"repro/internal/history"
 	"repro/internal/sim"
@@ -42,14 +44,18 @@ type caRound struct {
 	b []*base.Register
 }
 
-func newCARound(n int) *caRound {
+// newCARound builds round number rnd. Register names carry the round and
+// component indices so distinct registers never share a name: footprint
+// tracking (sim.Footprinted) identifies base objects by name, and a
+// shared name would make independent accesses look conflicting.
+func newCARound(rnd, n int) *caRound {
 	r := &caRound{
 		a: make([]*base.Register, n),
 		b: make([]*base.Register, n),
 	}
 	for i := 0; i < n; i++ {
-		r.a[i] = base.NewRegister("A", nil)
-		r.b[i] = base.NewRegister("B", nil)
+		r.a[i] = base.NewRegister(fmt.Sprintf("A%d[%d]", rnd, i), nil)
+		r.b[i] = base.NewRegister(fmt.Sprintf("B%d[%d]", rnd, i), nil)
 	}
 	return r
 }
@@ -102,13 +108,21 @@ func NewCommitAdoptOF(n int) *CommitAdoptOF {
 }
 
 // round returns the r-th commit-adopt object (0-based), allocating lazily.
-// Allocation is serialized by the simulator's step discipline.
+// Allocation is serialized by the simulator's step discipline, and is
+// footprint-neutral: whichever process extends the slice appends the
+// identical fresh rounds, so commuting independent steps cannot change
+// what any process observes.
 func (c *CommitAdoptOF) round(r int) *caRound {
 	for len(c.rounds) <= r {
-		c.rounds = append(c.rounds, newCARound(c.n))
+		c.rounds = append(c.rounds, newCARound(len(c.rounds), c.n))
 	}
 	return c.rounds[r]
 }
+
+// Footprints implements sim.Footprinted: all shared state is in named
+// base registers, so the per-step access log is trustworthy and
+// exploration may use it for partial-order reduction.
+func (c *CommitAdoptOF) Footprints() bool { return true }
 
 // Apply implements sim.Object.
 func (c *CommitAdoptOF) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
@@ -144,6 +158,10 @@ func (c *CASBased) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	c.c.CompareAndSwap(p, nil, inv.Arg)
 	return c.c.Read(p)
 }
+
+// Footprints implements sim.Footprinted: the only shared state is the
+// single CAS object.
+func (c *CASBased) Footprints() bool { return true }
 
 // Trivial is the implementation I_t from the proof of Theorem 4.9: it never
 // responds to any invocation (every process blocks forever). It vacuously

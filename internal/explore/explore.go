@@ -16,6 +16,13 @@
 // forked at every branch point and fed only the delta events the new
 // schedule edge produced (Result.EventsSince), so each event is judged
 // once per path instead of once per descendant prefix.
+//
+// Config.POR additionally enables sleep-set partial-order reduction:
+// when the object under test reports per-step footprints
+// (sim.Footprinted), subtrees that only commute independent steps of an
+// already-explored sibling are skipped. See the package's dependence
+// relation in dependent for what "independent" means here and DESIGN.md
+// for the soundness argument.
 package explore
 
 import (
@@ -72,8 +79,10 @@ type Config struct {
 	NewEnv func() sim.Environment
 	// Depth bounds the schedule length.
 	Depth int
-	// Crashes additionally branches on crashing each live process, at most
-	// this many times per schedule. 0 disables crash injection.
+	// Crashes additionally branches on crashing each ready process, at
+	// most this many times per schedule. 0 disables crash injection.
+	// (Idle and blocked processes take no further steps, so crashing them
+	// would only duplicate their sibling subtrees modulo a crash event.)
 	Crashes int
 	// Check is invoked on the history of every explored prefix together
 	// with the schedule that produced it. Returning an error aborts the
@@ -89,6 +98,18 @@ type Config struct {
 	// Workers > 1 explores the first-level subtrees concurrently, one
 	// goroutine per ready first decision, at most Workers at a time.
 	Workers int
+	// POR enables sleep-set partial-order reduction: subtrees whose first
+	// step is asleep (covered, up to commuting independent steps, by an
+	// already-explored sibling) are skipped and counted in Stats.Pruned.
+	// Pruning requires the object to report per-step footprints
+	// (sim.Footprinted); without them every step conflicts with every
+	// other and the exploration is exhaustive as before. POR assumes the
+	// checked properties are invariant under swapping adjacent
+	// invocations (or adjacent responses) of different processes, and
+	// environments that decide invocations per process, independent of
+	// the view — both hold for the repository's environments and
+	// properties. Crash decisions are never pruned or slept.
+	POR bool
 	// Ctx optionally cancels the exploration; it is polled once per
 	// explored prefix and its error returned as-is.
 	Ctx context.Context
@@ -100,8 +121,13 @@ type Stats struct {
 	// checked).
 	Prefixes int
 	// Steps is the total number of simulator steps executed across all
-	// replays.
+	// replays. (The first-level footprint probes that POR with Workers >
+	// 1 performs are excluded, so parallel and sequential statistics stay
+	// comparable; they cost at most two steps per first-level child.)
 	Steps int
+	// Pruned is the number of subtrees skipped by partial-order
+	// reduction (0 unless Config.POR).
+	Pruned int
 	// Witness is the schedule on which the check failed: nil when no
 	// violation was found, non-nil (and empty for the root prefix)
 	// otherwise.
@@ -113,6 +139,69 @@ type Stats struct {
 // non-nil witness.
 func witness(prefix []sim.Decision) []sim.Decision {
 	return append([]sim.Decision{}, prefix...)
+}
+
+// sleepEntry is one member of a sleep set: a decision that an earlier
+// sibling branch already explored, together with the footprint its step
+// had when it entered the set. The footprint stays valid while the entry
+// stays asleep: an entry is dropped as soon as a dependent step is
+// taken, and commuting with independent steps cannot change what the
+// step reads or writes.
+type sleepEntry struct {
+	d sim.Decision
+	a sim.Access
+}
+
+// dependent reports whether the two decisions (with their footprints)
+// must not be commuted. Steps of one process are ordered; crash
+// decisions are visible to every property and change enabledness;
+// unknown footprints conflict with everything; an invocation and a
+// response of different processes must keep their order (it is the
+// real-time precedence properties observe); and two base-object accesses
+// conflict when they touch the same object and either writes.
+func dependent(d1 sim.Decision, a1 sim.Access, d2 sim.Decision, a2 sim.Access) bool {
+	if d1.Proc == d2.Proc || d1.Crash || d2.Crash || a1.Crash || a2.Crash {
+		return true
+	}
+	if !a1.Known || !a2.Known {
+		return true
+	}
+	if (a1.Invoked && a2.Responded) || (a1.Responded && a2.Invoked) {
+		return true
+	}
+	return a1.Conflicts(a2)
+}
+
+// accessAt returns the access-log entry for schedule position i, or an
+// unknown (conflicts-with-everything) access when the run recorded no
+// log (object without footprints) or stopped short.
+func accessAt(res *sim.Result, i int) sim.Access {
+	if i < 0 || i >= len(res.Accesses) {
+		return sim.Access{}
+	}
+	return res.Accesses[i]
+}
+
+// filterSleep keeps the entries independent of the step (d, a) just
+// taken. It always allocates, so the parent's set is never mutated.
+func filterSleep(sleep []sleepEntry, d sim.Decision, a sim.Access) []sleepEntry {
+	var out []sleepEntry
+	for _, z := range sleep {
+		if !dependent(z.d, z.a, d, a) {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// inSleep reports whether decision d is asleep.
+func inSleep(sleep []sleepEntry, d sim.Decision) bool {
+	for _, z := range sleep {
+		if z.d == d {
+			return true
+		}
+	}
+	return false
 }
 
 // Run explores exhaustively. It returns the statistics and the first
@@ -132,14 +221,16 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.NewMonitors != nil {
 		ms = cfg.NewMonitors()
 	}
-	err := explore(cfg, nil, 0, 0, ms, st)
+	_, err := explore(cfg, nil, 0, 0, ms, nil, st)
 	return st, err
 }
 
 // runParallel splits the exploration at the first level: the root prefix
-// is checked once, then each ready first decision's subtree is explored by
-// its own worker (bounded by cfg.Workers). Statistics are merged; the
-// first error wins.
+// is checked once, then each first decision's subtree is explored by its
+// own worker (bounded by cfg.Workers). Statistics are merged. When
+// several subtrees fail, the failure of the lexicographically least root
+// decision — the one sequential exploration would reach first — is
+// reported, so witnesses are deterministic regardless of worker timing.
 func runParallel(cfg Config) (*Stats, error) {
 	total := &Stats{}
 	res, ready := replay(cfg, nil, total)
@@ -168,23 +259,43 @@ func runParallel(cfg Config) (*Stats, error) {
 	for _, p := range ready {
 		roots = append(roots, sim.Decision{Proc: p})
 	}
+	steps := len(roots)
 	if cfg.Crashes > 0 {
-		for p := 1; p <= cfg.Procs; p++ {
+		// Crash only ready processes, mirroring the sequential path.
+		for _, p := range ready {
 			roots = append(roots, sim.Decision{Proc: p, Crash: true})
 		}
 	}
 
+	// Under POR the sleep set of the i-th first-level subtree holds its
+	// earlier step siblings with their footprints; probe each step root
+	// once to learn them before the workers start. The probes re-execute
+	// at most two steps each and are not counted in the statistics.
+	var entries []sleepEntry
+	if cfg.POR {
+		probe := &Stats{}
+		for _, d := range roots[:steps] {
+			pres, _ := replay(cfg, []sim.Decision{d}, probe)
+			entries = append(entries, sleepEntry{d: d, a: accessAt(pres, 0)})
+		}
+	}
+
 	type outcome struct {
+		idx int
 		st  *Stats
 		err error
 	}
 	results := make(chan outcome, len(roots))
 	sem := make(chan struct{}, cfg.Workers)
-	for _, rootDec := range roots {
-		rootDec := rootDec
+	for i, rootDec := range roots {
+		i, rootDec := i, rootDec
 		var ms MonitorSet
 		if root != nil {
 			ms = root.Fork()
+		}
+		var sleep []sleepEntry
+		if cfg.POR && !rootDec.Crash {
+			sleep = entries[:i]
 		}
 		sem <- struct{}{}
 		go func() {
@@ -194,19 +305,26 @@ func runParallel(cfg Config) (*Stats, error) {
 			if rootDec.Crash {
 				crashes = 1
 			}
-			err := explore(cfg, []sim.Decision{rootDec}, crashes, len(res.H), ms, st)
-			results <- outcome{st: st, err: err}
+			_, err := explore(cfg, []sim.Decision{rootDec}, crashes, len(res.H), ms, sleep, st)
+			results <- outcome{idx: i, st: st, err: err}
 		}()
 	}
+	firstIdx := -1
 	var firstErr error
+	var firstWitness []sim.Decision
 	for range roots {
 		o := <-results
 		total.Prefixes += o.st.Prefixes
 		total.Steps += o.st.Steps
-		if o.err != nil && firstErr == nil {
+		total.Pruned += o.st.Pruned
+		if o.err != nil && (firstIdx == -1 || o.idx < firstIdx) {
+			firstIdx = o.idx
 			firstErr = o.err
-			total.Witness = o.st.Witness
+			firstWitness = o.st.Witness
 		}
+	}
+	if firstErr != nil {
+		total.Witness = firstWitness
 	}
 	return total, firstErr
 }
@@ -262,23 +380,30 @@ func stepDelta(ms MonitorSet, res *sim.Result, parentEvents int, prefix []sim.De
 
 // explore visits the prefix and recurses into its children. parentEvents
 // is the number of history events the parent prefix recorded; ms is the
-// monitor set as of the parent (nil on the batch path).
-func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms MonitorSet, st *Stats) error {
+// monitor set as of the parent (nil on the batch path); sleep is the
+// sleep set inherited from the parent, not yet filtered by this prefix's
+// own last step. It returns the footprint of that last step so the
+// parent can put this child to sleep for later siblings.
+func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms MonitorSet, sleep []sleepEntry, st *Stats) (sim.Access, error) {
 	res, ready := replay(cfg, prefix, st)
+	var my sim.Access
+	if len(prefix) > 0 {
+		my = accessAt(res, len(prefix)-1)
+	}
 	if res.Err != nil {
-		return fmt.Errorf("explore: replay failed: %w", res.Err)
+		return my, fmt.Errorf("explore: replay failed: %w", res.Err)
 	}
 	st.Prefixes++
 	if err := ctxErr(cfg); err != nil {
-		return err
+		return my, err
 	}
 	if ms != nil {
 		if err := stepDelta(ms, res, parentEvents, prefix, st); err != nil {
-			return err
+			return my, err
 		}
 	} else if err := cfg.Check(res.H, prefix); err != nil {
 		st.Witness = witness(prefix)
-		return err
+		return my, err
 	}
 	steps := 0
 	for _, d := range prefix {
@@ -287,39 +412,56 @@ func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms Mo
 		}
 	}
 	if steps >= cfg.Depth {
-		return nil
+		return my, nil
 	}
 	var children []sim.Decision
 	for _, p := range ready {
 		children = append(children, sim.Decision{Proc: p})
 	}
 	if crashes < cfg.Crashes {
-		crashed := make(map[int]bool)
-		for _, d := range prefix {
-			if d.Crash {
-				crashed[d.Proc] = true
-			}
+		// Crash only ready processes: idle and blocked processes take no
+		// further steps, so crashing them duplicates sibling subtrees.
+		for _, p := range ready {
+			children = append(children, sim.Decision{Proc: p, Crash: true})
 		}
-		for p := 1; p <= cfg.Procs; p++ {
-			if !crashed[p] {
-				children = append(children, sim.Decision{Proc: p, Crash: true})
-			}
+	}
+	var z []sleepEntry
+	if cfg.POR && len(prefix) > 0 {
+		z = filterSleep(sleep, prefix[len(prefix)-1], my)
+	}
+	// Whether a child is asleep depends only on the inherited set z:
+	// entries appended for explored siblings are those siblings'
+	// decisions, which never equal a later child's. So the last child
+	// that will actually be explored — the one that may inherit the
+	// monitor set without a copy — is known up front.
+	lastLive := -1
+	for i, d := range children {
+		if !cfg.POR || !inSleep(z, d) {
+			lastLive = i
 		}
 	}
 	for i, d := range children {
+		if cfg.POR && inSleep(z, d) {
+			st.Pruned++
+			continue
+		}
 		cms := ms
-		if ms != nil && i < len(children)-1 {
-			cms = ms.Fork() // the last child inherits the set without a copy
+		if ms != nil && i < lastLive {
+			cms = ms.Fork() // the last explored child inherits the set without a copy
 		}
 		nextCrashes := crashes
 		if d.Crash {
 			nextCrashes++
 		}
-		if err := explore(cfg, append(prefix, d), nextCrashes, len(res.H), cms, st); err != nil {
-			return err
+		a, err := explore(cfg, append(prefix, d), nextCrashes, len(res.H), cms, z, st)
+		if err != nil {
+			return my, err
+		}
+		if cfg.POR && !d.Crash {
+			z = append(z, sleepEntry{d: d, a: a})
 		}
 	}
-	return nil
+	return my, nil
 }
 
 // CheckSafety adapts a history predicate to a Check function with a

@@ -1,0 +1,222 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/consensus"
+	"repro/internal/history"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// brokenCfg explores the seeded agreement violation: many subtrees
+// contain violations, so a parallel exploration that reported whichever
+// worker finished first would return a different witness run to run.
+func brokenCfg(workers int) Config {
+	prop := safety.AgreementValidity{}
+	return Config{
+		Procs: 2,
+		NewObject: func() sim.Object {
+			return &brokenConsensus{r: base.NewRegister("r", nil)}
+		},
+		NewEnv: func() sim.Environment {
+			return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
+		},
+		Depth:   6,
+		Workers: workers,
+		Check:   CheckSafety("agreement+validity", prop.Holds),
+	}
+}
+
+// TestParallelWitnessDeterministic checks that a multi-violation object
+// yields the identical witness at Workers=1 and Workers=8: the parallel
+// path must report the failure of the lexicographically least root
+// decision — the one sequential DFS reaches first — not whichever
+// worker's failure arrives first.
+func TestParallelWitnessDeterministic(t *testing.T) {
+	seqSt, seqErr := Run(brokenCfg(1))
+	if seqErr == nil {
+		t.Fatal("sequential exploration must find the violation")
+	}
+	for i := 0; i < 20; i++ {
+		parSt, parErr := Run(brokenCfg(8))
+		if parErr == nil {
+			t.Fatal("parallel exploration must find the violation")
+		}
+		if !reflect.DeepEqual(parSt.Witness, seqSt.Witness) {
+			t.Fatalf("run %d: parallel witness %v != sequential witness %v",
+				i, parSt.Witness, seqSt.Witness)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("run %d: parallel error %q != sequential error %q", i, parErr, seqErr)
+		}
+	}
+}
+
+// TestCrashBranchingOnlyReadyProcs pins the crash-branch fix: crash
+// children are generated only for processes that can still take steps.
+// One process, one two-step operation, depth 4, one crash budget: the
+// tree is exactly {[], [1], [c1], [1 1], [1 c1]} — after the operation
+// completes the process is idle and no crash-only subtrees (which would
+// duplicate their siblings modulo the crash event) are enumerated.
+func TestCrashBranchingOnlyReadyProcs(t *testing.T) {
+	cfg := Config{
+		Procs: 1,
+		NewObject: func() sim.Object {
+			return sim.ObjectFunc(func(p *sim.Proc, inv sim.Invocation) history.Value {
+				p.Exec("work", func() {})
+				return history.OK
+			})
+		},
+		NewEnv: func() sim.Environment {
+			return sim.OneShot(map[int]sim.Invocation{1: {Op: "op"}})
+		},
+		Depth:   4,
+		Crashes: 1,
+		Check:   func(h history.History, s []sim.Decision) error { return nil },
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if st.Prefixes != 5 {
+		t.Errorf("explored %d prefixes, want exactly 5 (no crash branches for idle processes)", st.Prefixes)
+	}
+}
+
+// TestCrashParitySequentialParallel checks the two paths enumerate the
+// identical crash-injected tree: same prefixes, same steps, same
+// verdict. (The parallel path previously built crash roots for every
+// process 1..n without consulting the captured ready set.)
+func TestCrashParitySequentialParallel(t *testing.T) {
+	prop := safety.AgreementValidity{}
+	mk := func(workers int) Config {
+		return Config{
+			Procs:     2,
+			NewObject: func() sim.Object { return consensus.NewCommitAdoptOF(2) },
+			NewEnv: func() sim.Environment {
+				return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
+			},
+			Depth:   8,
+			Crashes: 2,
+			Workers: workers,
+			Check:   CheckSafety("agreement+validity", prop.Holds),
+		}
+	}
+	seq, err := Run(mk(1))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := Run(mk(4))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Prefixes != par.Prefixes || seq.Steps != par.Steps {
+		t.Errorf("parallel %d prefixes / %d steps != sequential %d prefixes / %d steps",
+			par.Prefixes, par.Steps, seq.Prefixes, seq.Steps)
+	}
+}
+
+// TestRootViolationStatsParity checks the boundary error case both paths
+// share: a property rejecting the empty history fails on the root
+// prefix, and sequential and parallel explorations must report identical
+// statistics (one prefix, a non-nil empty witness) and the same error.
+func TestRootViolationStatsParity(t *testing.T) {
+	rootErr := errors.New("empty history rejected")
+	mk := func(workers int) Config {
+		return Config{
+			Procs: 2,
+			NewObject: func() sim.Object {
+				return &brokenConsensus{r: base.NewRegister("r", nil)}
+			},
+			NewEnv: func() sim.Environment {
+				return consensus.ProposeOnce(map[int]history.Value{1: 0, 2: 1})
+			},
+			Depth:   4,
+			Workers: workers,
+			Check: func(h history.History, s []sim.Decision) error {
+				if len(h) == 0 {
+					return rootErr
+				}
+				return nil
+			},
+		}
+	}
+	seq, seqErr := Run(mk(1))
+	par, parErr := Run(mk(4))
+	if !errors.Is(seqErr, rootErr) || !errors.Is(parErr, rootErr) {
+		t.Fatalf("both paths must fail on the root prefix (seq %v, par %v)", seqErr, parErr)
+	}
+	if seq.Prefixes != 1 || par.Prefixes != 1 {
+		t.Errorf("root failure must count exactly the root prefix: seq %d, par %d", seq.Prefixes, par.Prefixes)
+	}
+	if seq.Witness == nil || len(seq.Witness) != 0 || !reflect.DeepEqual(seq.Witness, par.Witness) {
+		t.Errorf("root witnesses must be non-nil and empty on both paths: seq %v, par %v", seq.Witness, par.Witness)
+	}
+	if seq.Steps != par.Steps {
+		t.Errorf("root failure steps differ: seq %d, par %d", seq.Steps, par.Steps)
+	}
+}
+
+// TestReplayFailureStats pins the stats contract of a failed replay,
+// shared by the sequential recursion and the parallel workers (both run
+// the same explore function): the failing prefix is not counted, its
+// executed steps are, no witness is fabricated, and the error names the
+// replay.
+func TestReplayFailureStats(t *testing.T) {
+	cfg := brokenCfg(1)
+	// A prefix that crashes process 1 twice is invalid: the simulator
+	// reports StopError and the replay fails.
+	bad := []sim.Decision{{Proc: 2}, {Proc: 1, Crash: true}, {Proc: 1, Crash: true}}
+	st := &Stats{}
+	_, err := explore(cfg, bad, 2, 0, nil, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "replay failed") {
+		t.Fatalf("invalid prefix must fail its replay, got %v", err)
+	}
+	if st.Prefixes != 0 {
+		t.Errorf("failed replay counted %d prefixes, want 0", st.Prefixes)
+	}
+	if st.Steps == 0 {
+		t.Error("steps executed before the failure must be counted")
+	}
+	if st.Witness != nil {
+		t.Errorf("failed replay fabricated witness %v", st.Witness)
+	}
+}
+
+// TestParallelReplayErrorDeterministic checks that when several workers
+// fail, the reported error is that of the least root decision even when
+// the failures are replay errors rather than violations.
+func TestParallelReplayErrorDeterministic(t *testing.T) {
+	// Every child check fails with an error naming its schedule: with 2
+	// ready processes both workers fail, and the parallel path must
+	// always report the proc-1 subtree's error.
+	mk := func(workers int) Config {
+		cfg := brokenCfg(workers)
+		cfg.Check = func(h history.History, s []sim.Decision) error {
+			if len(s) == 0 {
+				return nil
+			}
+			return fmt.Errorf("fail at %v", s)
+		}
+		return cfg
+	}
+	seq, seqErr := Run(mk(1))
+	for i := 0; i < 20; i++ {
+		par, parErr := Run(mk(8))
+		if parErr == nil || seqErr == nil {
+			t.Fatal("both paths must fail")
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("run %d: parallel error %q != sequential %q", i, parErr, seqErr)
+		}
+		if !reflect.DeepEqual(par.Witness, seq.Witness) {
+			t.Fatalf("run %d: parallel witness %v != sequential %v", i, par.Witness, seq.Witness)
+		}
+	}
+}

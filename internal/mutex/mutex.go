@@ -87,6 +87,10 @@ func (l *Peterson) Release(p *sim.Proc) {
 	l.flag[p.ID()-1].Write(p, false)
 }
 
+// Footprints implements sim.Footprinted: all shared state is in the
+// three named registers.
+func (l *Peterson) Footprints() bool { return true }
+
 // Apply implements sim.Object.
 func (l *Peterson) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	switch inv.Op {
@@ -121,6 +125,10 @@ func (l *TASLock) Acquire(p *sim.Proc) {
 func (l *TASLock) Release(p *sim.Proc) {
 	l.t.Reset(p)
 }
+
+// Footprints implements sim.Footprinted: all shared state is the single
+// test-and-set bit.
+func (l *TASLock) Footprints() bool { return true }
 
 // Apply implements sim.Object.
 func (l *TASLock) Apply(p *sim.Proc, inv sim.Invocation) history.Value {

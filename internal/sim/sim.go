@@ -68,6 +68,59 @@ type ObjectFunc func(p *Proc, inv Invocation) history.Value
 // Apply implements Object.
 func (f ObjectFunc) Apply(p *Proc, inv Invocation) history.Value { return f(p, inv) }
 
+// Footprinted is the opt-in footprint hook for partial-order reduction:
+// an Object implementing it (with Footprints returning true) promises
+// that every access Apply makes to state shared between processes is
+// performed through base objects that declare the access to the
+// executing process (internal/base objects do this automatically via
+// Proc.Access), and that any other cross-process state it keeps is
+// footprint-neutral (e.g. deterministic lazy allocation whose outcome
+// does not depend on which process performs it). The runtime then
+// records a per-decision access log in Result.Accesses, which
+// exploration uses to commute independent steps. Objects without the
+// hook degrade to an unknown footprint on every step: every step
+// conflicts with every other and exploration prunes nothing.
+type Footprinted interface {
+	Object
+	// Footprints reports whether the access log should be trusted.
+	Footprints() bool
+}
+
+// Access is the recorded footprint of one scheduler decision: which base
+// object the granted step touched and how, plus the step's visibility
+// (which history events it recorded). Exploration derives step
+// independence from it.
+type Access struct {
+	// Obj names the base object the step accessed; "" when the step
+	// performed no base-object access. Two base objects of one
+	// implementation instance must not share a name if they are to be
+	// treated as independent (a shared name is sound — it only makes the
+	// steps conflict).
+	Obj string
+	// Write reports whether the access mutated the object.
+	Write bool
+	// Known reports whether the footprint is trustworthy. False means the
+	// step's effect is unknown and it must be treated as conflicting with
+	// everything (undeclared accesses, conflicting declarations, lazy
+	// arguments resolved against the scheduling-time view).
+	Known bool
+	// Invoked and Responded report whether the step recorded an
+	// invocation / response event (crash decisions record crash events
+	// and are marked with Crash instead).
+	Invoked, Responded bool
+	// Crash marks the access-log entry of a crash decision.
+	Crash bool
+}
+
+// Conflicts reports whether two accesses touch the same base object with
+// at least one write, or either footprint is unknown.
+func (a Access) Conflicts(b Access) bool {
+	if !a.Known || !b.Known {
+		return true
+	}
+	return a.Obj != "" && a.Obj == b.Obj && (a.Write || b.Write)
+}
+
 // Environment decides which operations processes invoke, playing the
 // adversary's role of choosing inputs. Next is called within the granted
 // step of the invoking process and must be deterministic for replay.
@@ -180,6 +233,10 @@ type Result struct {
 	// processes (all as of the end of the run, sorted). Processes in none
 	// of the three were still ready.
 	Idle, Blocked, Crashed []int
+	// Accesses is the per-decision access log, aligned with Schedule. It
+	// is recorded only when the Object implements Footprinted and opts
+	// in; nil otherwise.
+	Accesses []Access
 }
 
 // EventsSince returns the events recorded at history index n or later —
@@ -250,6 +307,27 @@ func (p *Proc) Exec(desc string, op func()) {
 	op()
 }
 
+// Access declares the base-object footprint of the current granted step:
+// the step read (write=false) or mutated (write=true) the base object
+// named obj. Base objects (internal/base) call it on behalf of their
+// operations; an implementation whose Apply touches shared state through
+// its own steps must declare them itself to participate in footprint
+// tracking (see Footprinted). Access must only be called within a
+// granted step's window; it is a no-op when the run's object has not
+// opted into tracking.
+func (p *Proc) Access(obj string, write bool) {
+	r := p.rt
+	if !r.track {
+		return
+	}
+	if r.declCount > 0 && r.declObj != obj {
+		r.declMixed = true
+	}
+	r.declObj = obj
+	r.declWrite = r.declWrite || write
+	r.declCount++
+}
+
 // Block parks the process forever: the current operation never completes
 // and the process never takes another step. It models implementations whose
 // automata stop enabling actions (e.g. the trivial implementation I_t in
@@ -281,6 +359,46 @@ type runtime struct {
 	stepsBy    []int
 	schedule   []Decision
 	status     []procStatus // index 0 unused
+
+	// Footprint tracking (only when the object opts in via Footprinted).
+	// The decl* fields accumulate the declarations of the current granted
+	// window; lazyStep poisons a window that resolved a LazyArg, whose
+	// effect depends on the scheduling-time view.
+	track     bool
+	accesses  []Access
+	declObj   string
+	declWrite bool
+	declCount int
+	declMixed bool
+	lazyStep  bool
+}
+
+// beginWindow resets the per-window footprint accumulators.
+func (r *runtime) beginWindow() {
+	r.declObj = ""
+	r.declWrite = false
+	r.declCount = 0
+	r.declMixed = false
+	r.lazyStep = false
+}
+
+// endWindow converts the window's declarations and the events it
+// recorded (those at history index evBefore or later) into an Access.
+func (r *runtime) endWindow(evBefore int) Access {
+	a := Access{Known: !r.declMixed && !r.lazyStep}
+	if r.declCount > 0 {
+		a.Obj = r.declObj
+		a.Write = r.declWrite
+	}
+	for _, e := range r.h[evBefore:] {
+		switch e.Kind {
+		case history.KindInvoke:
+			a.Invoked = true
+		case history.KindResponse:
+			a.Responded = true
+		}
+	}
+	return a
 }
 
 // record appends an external event to the history. It is called from
@@ -348,6 +466,7 @@ func (r *runtime) procLoop(p *Proc) {
 		p.Exec("invoke", func() {
 			if la, lazy := inv.Arg.(LazyArg); lazy {
 				inv.Arg = la(r.view())
+				r.lazyStep = true
 			}
 			r.record(history.Event{
 				Kind: history.KindInvoke, Proc: p.id,
@@ -378,6 +497,9 @@ func Run(cfg Config) *Result {
 		halt:    make(chan struct{}),
 		stepsBy: make([]int, cfg.Procs+1),
 		status:  make([]procStatus, cfg.Procs+1),
+	}
+	if f, ok := cfg.Object.(Footprinted); ok && f.Footprints() {
+		r.track = true
 	}
 
 	// Start processes one at a time so initial readiness is deterministic.
@@ -423,6 +545,9 @@ func Run(cfg Config) *Result {
 			r.schedule = append(r.schedule, d)
 			r.record(history.Crash(d.Proc))
 			r.status[d.Proc] = statusCrashed
+			if r.track {
+				r.accesses = append(r.accesses, Access{Known: true, Crash: true})
+			}
 			continue
 		}
 		if r.status[d.Proc] != statusReady {
@@ -434,8 +559,13 @@ func Run(cfg Config) *Result {
 		r.stepsBy[d.Proc]++
 		r.schedule = append(r.schedule, d)
 		p := r.procs[d.Proc]
+		evBefore := len(r.h)
+		r.beginWindow()
 		p.grant <- struct{}{}
 		r.status[d.Proc] = <-p.sync
+		if r.track {
+			r.accesses = append(r.accesses, r.endWindow(evBefore))
+		}
 	}
 
 	// Shut down: wake every process still blocked on a grant, then wait for
@@ -454,5 +584,6 @@ func Run(cfg Config) *Result {
 	res.Idle = final.Idle
 	res.Blocked = final.Blocked
 	res.Crashed = final.Crashed
+	res.Accesses = r.accesses
 	return res
 }

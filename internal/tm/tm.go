@@ -94,6 +94,13 @@ func (t *I12) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	return tmApply(t, p, inv)
 }
 
+// Footprints implements sim.Footprinted: cross-process state is the
+// central CAS C and the snapshot R (both declaring base objects when the
+// hardware primitives are used); the local contexts are per-process.
+// With a software snapshot (NewI12WithSnapshot) the component registers
+// declare themselves instead, which is equally sound.
+func (t *I12) Footprints() bool { return true }
+
 func (t *I12) start(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
 	l.timestamp++
@@ -176,6 +183,10 @@ func NewGlobalCAS(n int) *GlobalCAS {
 func (t *GlobalCAS) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	return tmApply(t, p, inv)
 }
+
+// Footprints implements sim.Footprinted: the only cross-process state is
+// the central CAS C; the transaction contexts are per-process.
+func (t *GlobalCAS) Footprints() bool { return true }
 
 func (t *GlobalCAS) start(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]

@@ -1,0 +1,74 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/slx"
+	"repro/slx/adversary"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/run"
+)
+
+// TestConsensusAdversarySets checks the finite F1/F2 sets of Corollary
+// 4.5 through the facade: starvation with the roles swapped, disjoint.
+func TestConsensusAdversarySets(t *testing.T) {
+	f1 := adversary.ConsensusF1(0, 1)
+	f2 := adversary.ConsensusF2(0, 1)
+	if len(f1) == 0 || len(f2) == 0 {
+		t.Fatalf("empty adversary sets: |F1|=%d |F2|=%d", len(f1), len(f2))
+	}
+	if len(f1) != len(f2) {
+		t.Errorf("|F1|=%d != |F2|=%d (role swap must preserve size)", len(f1), len(f2))
+	}
+	// SwapProcs maps each F1 history to its F2 counterpart.
+	swapped := adversary.SwapProcs(f1[0], 1, 2)
+	found := false
+	for _, h := range f2 {
+		if h.String() == swapped.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("swapped F1 history %s not in F2", swapped)
+	}
+}
+
+// TestBivalenceStrategyDefeatsRegisterConsensus runs the FLP/CIL
+// adversary through Checker.Adversary: it constructs a fair non-deciding
+// schedule, so (1,2)-freedom fails while safety holds.
+func TestBivalenceStrategyDefeatsRegisterConsensus(t *testing.T) {
+	strat := adversary.NewBivalenceStrategy(0, 1)
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(40),
+	).Adversary(strat, check.LK(1, 2, nil), check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("adversary: %v", err)
+	}
+	if strat.Probes() == 0 {
+		t.Error("bivalence adversary made no solo probes")
+	}
+	lk, ok := rep.Verdict("(1,2)-freedom")
+	if !ok || lk.Holds {
+		t.Errorf("(1,2)-freedom must fail on the non-deciding schedule (found=%v holds=%v)", ok, lk.Holds)
+	}
+	av, ok := rep.Verdict("agreement+validity")
+	if !ok || !av.Holds {
+		t.Errorf("safety must hold on the adversarial run (found=%v holds=%v)", ok, av.Holds)
+	}
+	// The scripted environment replays the witness deterministically.
+	replayer := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		slx.WithProcs(2),
+		slx.WithEnv(strat.ScriptedEnv()),
+	)
+	rep2, err := replayer.Replay(rep.Schedule, check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep2.Execution.H.String() != rep.Execution.H.String() {
+		t.Error("replaying the attack schedule produced a different history")
+	}
+}

@@ -27,6 +27,7 @@ type Checker struct {
 	workers   int
 	window    int
 	batch     bool
+	por       bool
 	ctx       context.Context
 }
 
@@ -55,9 +56,10 @@ func WithMaxSteps(n int) Option { return func(c *Checker) { c.maxSteps = n } }
 // WithDepth bounds the schedule length of Explore. Default: 8.
 func WithDepth(n int) Option { return func(c *Checker) { c.depth = n } }
 
-// WithCrashes lets Explore additionally branch on crashing each live
-// process, at most n times per schedule. Default: 0 (no crash
-// injection).
+// WithCrashes lets Explore additionally branch on crashing each ready
+// process, at most n times per schedule (idle and blocked processes
+// take no further steps, so crashing them would only duplicate sibling
+// subtrees). Default: 0 (no crash injection).
 func WithCrashes(n int) Option { return func(c *Checker) { c.crashes = n } }
 
 // WithWorkers explores first-level subtrees concurrently, at most n at a
@@ -71,6 +73,19 @@ func WithWindow(n int) Option { return func(c *Checker) { c.window = n } }
 // WithContext attaches a context: cancellation stops runs and
 // explorations early, and the driving method returns ctx.Err().
 func WithContext(ctx context.Context) Option { return func(c *Checker) { c.ctx = ctx } }
+
+// WithPOR enables sleep-set partial-order reduction in Explore: subtrees
+// that only commute independent steps of an already-explored sibling are
+// skipped and counted in Report.Pruned. Pruning needs the object under
+// test to report per-step footprints (run.Footprinted; the repository's
+// register/CAS/TM/lock implementations do) — objects without footprints
+// explore the full tree exactly as before. POR preserves every verdict
+// for properties that are invariant under swapping adjacent invocations
+// (or adjacent responses) of different processes — true of every
+// property in slx/check — but the witness of a violation may be a
+// different (equivalent) schedule than full exploration reports.
+// Default: off.
+func WithPOR() Option { return func(c *Checker) { c.por = true } }
 
 // WithBatchExplore forces Explore onto the legacy batch path: every
 // property re-judges the entire history of every explored prefix instead
@@ -308,6 +323,7 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		Depth:     c.depth,
 		Crashes:   c.crashes,
 		Workers:   c.workers,
+		POR:       c.por,
 		Ctx:       c.ctx,
 	}
 	if batch {
@@ -331,7 +347,7 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		}
 	}
 	st, err := explore.Run(ecfg)
-	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps, EventScans: int(scans.Load())}
+	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps, Pruned: st.Pruned, EventScans: int(scans.Load())}
 	if err != nil {
 		var vio *violation
 		if errors.As(err, &vio) {

@@ -1,0 +1,71 @@
+package consensus_test
+
+import (
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// TestCommitAdoptSoloDecides checks the obstruction-free guarantee
+// through the facade: a process running alone decides its own value.
+func TestCommitAdoptSoloDecides(t *testing.T) {
+	res := run.Run(run.Config{
+		Procs:     2,
+		Object:    consensus.NewCommitAdoptOF(2),
+		Env:       consensus.ProposeOnce(map[int]hist.Value{1: 7}),
+		Scheduler: run.Solo(1),
+		MaxSteps:  200,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	decisions := check.Decisions(res.H)
+	if decisions[1] != 7 {
+		t.Errorf("solo proposer decided %v, want its own value 7", decisions[1])
+	}
+}
+
+// TestCASBasedAgreement checks the CAS consensus satisfies
+// agreement+validity on a contended run.
+func TestCASBasedAgreement(t *testing.T) {
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return consensus.NewCASBased() }),
+		slx.WithEnv(func() run.Environment {
+			return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+		}),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(50),
+	).Check(check.AgreementValidity())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("CAS consensus violated agreement+validity:\n%s", rep)
+	}
+}
+
+// TestTrivialNeverResponds checks I_t blocks every process.
+func TestTrivialNeverResponds(t *testing.T) {
+	res := run.Run(run.Config{
+		Procs:     2,
+		Object:    consensus.Trivial{},
+		Env:       consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1}),
+		Scheduler: &run.RoundRobin{},
+		MaxSteps:  50,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	for _, e := range res.H {
+		if e.Kind == hist.KindResponse {
+			t.Fatalf("trivial implementation responded: %s", e)
+		}
+	}
+	if len(res.Blocked) != 2 {
+		t.Errorf("blocked %v, want both processes", res.Blocked)
+	}
+}

@@ -1,0 +1,57 @@
+package hist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/slx/hist"
+)
+
+// TestBuildAndParseRoundTrip checks the constructors and that Parse
+// inverts String.
+func TestBuildAndParseRoundTrip(t *testing.T) {
+	h := hist.History{
+		hist.Invoke(1, "propose", 0),
+		hist.Invoke(2, "propose", 1),
+		hist.Response(1, "propose", 0),
+		hist.Crash(2),
+	}
+	parsed, err := hist.Parse(h.String())
+	if err != nil {
+		t.Fatalf("parse %q: %v", h.String(), err)
+	}
+	if !reflect.DeepEqual(parsed, h) {
+		t.Errorf("round trip changed the history:\n in: %s\nout: %s", h, parsed)
+	}
+	if hist.MustParse(h.String()).String() != h.String() {
+		t.Error("MustParse/String not stable")
+	}
+}
+
+// TestTransactionsAndPrecedence checks the transactional view and
+// real-time precedence helpers on a two-transaction TM history.
+func TestTransactionsAndPrecedence(t *testing.T) {
+	h := hist.History{
+		hist.Invoke(1, hist.TMStart, nil),
+		hist.Response(1, hist.TMStart, hist.OK),
+		hist.Invoke(1, hist.TMTryC, nil),
+		hist.Response(1, hist.TMTryC, hist.Commit),
+		hist.Invoke(2, hist.TMStart, nil),
+		hist.Response(2, hist.TMStart, hist.OK),
+		hist.Invoke(2, hist.TMTryC, nil),
+		hist.Response(2, hist.TMTryC, hist.Abort),
+	}
+	txs := hist.Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("extracted %d transactions, want 2", len(txs))
+	}
+	if txs[0].Status != hist.TxCommitted || txs[1].Status != hist.TxAborted {
+		t.Errorf("statuses %v/%v, want committed/aborted", txs[0].Status, txs[1].Status)
+	}
+	if !hist.TxPrecedes(txs[0], txs[1]) {
+		t.Error("t1 completes before t2 starts, TxPrecedes must hold")
+	}
+	if hist.Concurrent(txs[0], txs[1]) {
+		t.Error("sequential transactions reported concurrent")
+	}
+}

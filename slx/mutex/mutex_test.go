@@ -1,0 +1,64 @@
+package mutex_test
+
+import (
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/mutex"
+	"repro/slx/run"
+)
+
+// TestPetersonMutualExclusion checks the Peterson lock keeps mutual
+// exclusion on a contended scheduled run through the facade.
+func TestPetersonMutualExclusion(t *testing.T) {
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return mutex.NewPeterson() }),
+		slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(2) }),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(120),
+	).Check(check.MutualExclusion())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("Peterson violated mutual exclusion:\n%s", rep)
+	}
+	locked := 0
+	for _, e := range rep.Execution.H {
+		if e.Kind == hist.KindResponse && e.Val == mutex.Locked {
+			locked++
+		}
+	}
+	if locked == 0 {
+		t.Error("nobody ever acquired the lock")
+	}
+}
+
+// TestStarveTASSchedule checks the starvation schedule: the TAS lock is
+// deadlock-free (the owner keeps acquiring) but the victim never does.
+func TestStarveTASSchedule(t *testing.T) {
+	res := run.Run(run.Config{
+		Procs:     2,
+		Object:    mutex.NewTASLock(),
+		Env:       mutex.AcquireReleaseLoop(2),
+		Scheduler: run.Limit(mutex.StarveTAS(1, 2), 100),
+		MaxSteps:  100,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	acquired := map[int]int{}
+	for _, e := range res.H {
+		if e.Kind == hist.KindResponse && e.Val == mutex.Locked {
+			acquired[e.Proc]++
+		}
+	}
+	if acquired[1] != 0 {
+		t.Errorf("victim acquired %d times on the starvation schedule", acquired[1])
+	}
+	if acquired[2] < 2 {
+		t.Errorf("owner acquired only %d times", acquired[2])
+	}
+}

@@ -1,0 +1,39 @@
+package plane_test
+
+import (
+	"testing"
+
+	"repro/slx/adversary"
+	"repro/slx/plane"
+)
+
+// TestPlaneLattice checks the (l,k) lattice enumeration: 1 <= l <= k <= n.
+func TestPlaneLattice(t *testing.T) {
+	pts := plane.Plane(3)
+	want := 6 // (1,1) (1,2) (1,3) (2,2) (2,3) (3,3)
+	if len(pts) != want {
+		t.Fatalf("Plane(3) has %d points, want %d: %v", len(pts), want, pts)
+	}
+	for _, p := range pts {
+		if p.L < 1 || p.L > p.K || p.K > 3 {
+			t.Errorf("invalid lattice point %v", p)
+		}
+	}
+}
+
+// TestGmaxEmptyForConsensus checks Corollary 4.5 through the facade:
+// the adversary sets F1 and F2 are disjoint, so G_max is empty — no
+// weakest liveness property is excluded by consensus safety.
+func TestGmaxEmptyForConsensus(t *testing.T) {
+	f1 := plane.NewHistorySet("F1", adversary.ConsensusF1(0, 1)...)
+	f2 := plane.NewHistorySet("F2", adversary.ConsensusF2(0, 1)...)
+	if f1.Len() == 0 || f2.Len() == 0 {
+		t.Fatalf("empty history sets: |F1|=%d |F2|=%d", f1.Len(), f2.Len())
+	}
+	if n := plane.Intersect(f1, f2).Len(); n != 0 {
+		t.Errorf("F1∩F2 has %d histories, want 0", n)
+	}
+	if g := plane.Gmax(f1, f2); !g.Empty() {
+		t.Errorf("G_max has %d histories, want empty", g.Len())
+	}
+}

@@ -1,0 +1,266 @@
+package slx_test
+
+// Cross-checks of sleep-set partial-order reduction through the public
+// API: for every example object, Explore with WithPOR must return the
+// identical verdict as full exploration — on clean objects and on
+// seeded-bug objects alike — and a POR witness must replay to a real
+// violation.
+
+import (
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/mutex"
+	"repro/slx/run"
+	"repro/slx/tm"
+)
+
+// porRegister is a linearizable register with declared footprints.
+type porRegister struct{ v hist.Value }
+
+func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() { p.Access("r", false); out = r.v })
+	case "write":
+		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
+	}
+	return out
+}
+
+func (r *porRegister) Footprints() bool { return true }
+
+// lossyRegister is a seeded bug: process 2's writes acknowledge without
+// taking effect, so its write-then-read is not linearizable.
+type lossyRegister struct{ v hist.Value }
+
+func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() { p.Access("r", false); out = r.v })
+	case "write":
+		p.Exec("write", func() {
+			p.Access("r", true)
+			if p.ID() != 2 {
+				r.v = inv.Arg
+			}
+			out = hist.OK
+		})
+	}
+	return out
+}
+
+func (r *lossyRegister) Footprints() bool { return true }
+
+// racyLock is a seeded deep bug: test and set are separate register
+// steps, so mutual exclusion breaks only on the interleavings where both
+// processes read the lock free before either takes it — violations that
+// live exclusively in racy branches a wrong reduction might prune.
+type racyLock struct{ held bool }
+
+func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	switch inv.Op {
+	case mutex.OpAcquire:
+		for {
+			var free bool
+			p.Exec("test", func() { p.Access("lock", false); free = !l.held })
+			if free {
+				p.Exec("set", func() { p.Access("lock", true); l.held = true })
+				return mutex.Locked
+			}
+		}
+	case mutex.OpRelease:
+		p.Exec("clear", func() { p.Access("lock", true); l.held = false })
+		return mutex.Unlocked
+	}
+	return nil
+}
+
+func (l *racyLock) Footprints() bool { return true }
+
+// regEnv writes a distinct value per process, then reads.
+func regEnv(procs int) func() run.Environment {
+	return func() run.Environment {
+		script := map[int][]run.Invocation{}
+		for p := 1; p <= procs; p++ {
+			script[p] = []run.Invocation{{Op: "write", Arg: p}, {Op: "read"}}
+		}
+		return run.Script(script)
+	}
+}
+
+// porCases is the example-object table of the cross-check.
+func porCases() map[string]struct {
+	opts  []slx.Option
+	props []slx.Property
+} {
+	return map[string]struct {
+		opts  []slx.Option
+		props []slx.Property
+	}{
+		"register/linearizability": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return &porRegister{v: 0} }),
+				slx.WithEnv(regEnv(3)),
+				slx.WithProcs(3),
+				slx.WithDepth(7),
+			},
+			props: []slx.Property{check.Linearizability(check.RegisterSpec{Initial: 0})},
+		},
+		"lossy-register/violation": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return &lossyRegister{v: 0} }),
+				slx.WithEnv(regEnv(2)),
+				slx.WithProcs(2),
+				slx.WithDepth(8),
+			},
+			props: []slx.Property{check.Linearizability(check.RegisterSpec{Initial: 0})},
+		},
+		"racy-lock/violation": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return &racyLock{} }),
+				slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(2) }),
+				slx.WithProcs(2),
+				slx.WithDepth(9),
+			},
+			props: []slx.Property{check.MutualExclusion()},
+		},
+		"commit-adopt/agreement": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+				slx.WithEnv(func() run.Environment {
+					return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+				}),
+				slx.WithProcs(2),
+				slx.WithDepth(9),
+			},
+			props: []slx.Property{check.AgreementValidity()},
+		},
+		"commit-adopt/crashes+workers": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+				slx.WithEnv(func() run.Environment {
+					return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+				}),
+				slx.WithProcs(2),
+				slx.WithDepth(7),
+				slx.WithCrashes(1),
+				slx.WithWorkers(4),
+			},
+			props: []slx.Property{check.AgreementValidity()},
+		},
+		"cas-consensus/agreement": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return consensus.NewCASBased() }),
+				slx.WithEnv(func() run.Environment {
+					return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+				}),
+				slx.WithProcs(2),
+				slx.WithDepth(8),
+			},
+			props: []slx.Property{check.AgreementValidity()},
+		},
+		"peterson/mutual-exclusion": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return mutex.NewPeterson() }),
+				slx.WithEnv(func() run.Environment { return mutex.AcquireReleaseLoop(2) }),
+				slx.WithProcs(2),
+				slx.WithDepth(8),
+			},
+			props: []slx.Property{check.MutualExclusion()},
+		},
+		"i12/property-s": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return tm.NewI12(2) }),
+				slx.WithEnv(func() run.Environment {
+					return tm.TxnLoop(map[int]tm.Txn{
+						1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+						2: {Accesses: []tm.Access{{Var: "x"}}},
+					})
+				}),
+				slx.WithProcs(2),
+				slx.WithDepth(9),
+			},
+			props: []slx.Property{check.PropertyS()},
+		},
+		"globalcas/opacity": {
+			opts: []slx.Option{
+				slx.WithObject(func() run.Object { return tm.NewGlobalCAS(2) }),
+				slx.WithEnv(func() run.Environment {
+					return tm.TxnLoop(map[int]tm.Txn{
+						1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+						2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
+					})
+				}),
+				slx.WithProcs(2),
+				slx.WithDepth(9),
+			},
+			props: []slx.Property{check.Opacity()},
+		},
+	}
+}
+
+// TestExplorePORVerdictsMatch is the public-API acceptance gate: for
+// every example object the Explore verdicts with and without WithPOR are
+// identical, per property, violating objects included.
+func TestExplorePORVerdictsMatch(t *testing.T) {
+	for name, tc := range porCases() {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			full, err := slx.New(tc.opts...).Explore(tc.props...)
+			if err != nil {
+				t.Fatalf("full explore: %v", err)
+			}
+			por, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)], slx.WithPOR())...).Explore(tc.props...)
+			if err != nil {
+				t.Fatalf("POR explore: %v", err)
+			}
+			if full.OK() != por.OK() {
+				t.Fatalf("verdicts differ: full OK=%v, POR OK=%v\nfull: %s\npor: %s",
+					full.OK(), por.OK(), full, por)
+			}
+			if !full.OK() {
+				fv, pv := full.Failures()[0], por.Failures()[0]
+				if fv.Property != pv.Property {
+					t.Errorf("different properties failed: full %q, POR %q", fv.Property, pv.Property)
+				}
+				if pv.Witness == nil {
+					t.Error("POR failure carries no witness")
+				}
+			}
+			if full.Pruned != 0 {
+				t.Errorf("full exploration pruned %d subtrees, want 0", full.Pruned)
+			}
+			if por.Prefixes > full.Prefixes {
+				t.Errorf("POR explored more prefixes (%d) than full exploration (%d)", por.Prefixes, full.Prefixes)
+			}
+			t.Logf("prefixes full=%d por=%d pruned=%d ok=%v", full.Prefixes, por.Prefixes, por.Pruned, full.OK())
+		})
+	}
+}
+
+// TestExplorePORWitnessReplays checks a POR witness reproduces its
+// violation through Checker.Replay.
+func TestExplorePORWitnessReplays(t *testing.T) {
+	tc := porCases()["racy-lock/violation"]
+	prop := tc.props[0]
+	rep, err := slx.New(append(tc.opts, slx.WithPOR())...).Explore(prop)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("racy lock must violate mutual exclusion")
+	}
+	replay, err := slx.New(tc.opts...).Replay(rep.Witness(), prop)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replay.OK() {
+		t.Errorf("witness %v replayed clean:\n%s", rep.Witness(), replay)
+	}
+}

@@ -57,6 +57,9 @@ type Report struct {
 	// Prefixes and SimSteps are exploration statistics: histories checked
 	// and total simulator steps across all replays.
 	Prefixes, SimSteps int
+	// Pruned counts the subtrees partial-order reduction skipped during
+	// an exploration (0 unless WithPOR).
+	Pruned int
 	// EventScans counts the events fed to the property layer during an
 	// exploration: one per (event, monitor) pair on the incremental path,
 	// len(history)·len(properties) per prefix on the batch path. It is
@@ -111,7 +114,11 @@ func (r *Report) String() string {
 	var b strings.Builder
 	switch r.Mode {
 	case ModeExplore:
-		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans\n", r.Prefixes, r.SimSteps, r.EventScans)
+		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans", r.Prefixes, r.SimSteps, r.EventScans)
+		if r.Pruned > 0 {
+			fmt.Fprintf(&b, ", %d subtrees pruned", r.Pruned)
+		}
+		b.WriteString("\n")
 	case ModeAdversary:
 		fmt.Fprintf(&b, "adversary %s: %d-step run, %d events\n", r.Adversary, r.Execution.Steps, len(r.Execution.H))
 	default:

@@ -30,6 +30,15 @@ type ObjectFunc = sim.ObjectFunc
 // Proc is the per-process handle passed to Object.Apply.
 type Proc = sim.Proc
 
+// Footprinted is the opt-in footprint hook for partial-order reduction:
+// Objects implementing it promise that every cross-process access of
+// Apply is declared to the executing Proc (repository base objects
+// declare automatically; custom single-step objects call Proc.Access).
+type Footprinted = sim.Footprinted
+
+// Access is the recorded footprint of one scheduler decision.
+type Access = sim.Access
+
 // Environment decides which operations processes invoke.
 type Environment = sim.Environment
 

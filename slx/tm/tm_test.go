@@ -1,0 +1,80 @@
+package tm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/run"
+	"repro/slx/tm"
+)
+
+// TestGlobalCASOpacityUnderContention checks the AGP-style TM commits
+// under contention and stays opaque, through the facade.
+func TestGlobalCASOpacityUnderContention(t *testing.T) {
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return tm.NewGlobalCAS(2) }),
+		slx.WithEnv(func() run.Environment {
+			return tm.TxnLoop(map[int]tm.Txn{
+				1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+				2: {Accesses: []tm.Access{{Var: "x"}}},
+			})
+		}),
+		slx.WithProcs(2),
+		slx.WithMaxSteps(120),
+	).Check(check.Opacity())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("GlobalCAS violated opacity:\n%s", rep)
+	}
+	commits := 0
+	for _, e := range rep.Execution.H {
+		if e.Kind == hist.KindResponse && e.Val == hist.Commit {
+			commits++
+		}
+	}
+	if commits == 0 {
+		t.Error("no transaction ever committed")
+	}
+}
+
+// TestAborterIsOpaqueAndUseless checks the trivial Aborter: everything
+// aborts, vacuously opaque.
+func TestAborterIsOpaqueAndUseless(t *testing.T) {
+	rep, err := slx.New(
+		slx.WithObject(func() run.Object { return tm.Aborter{} }),
+		slx.WithEnv(func() run.Environment {
+			return tm.TxnLoop(map[int]tm.Txn{1: {Accesses: []tm.Access{{Var: "x"}}}})
+		}),
+		slx.WithProcs(1),
+		slx.WithMaxSteps(40),
+	).Check(check.Opacity())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("Aborter must be (vacuously) opaque:\n%s", rep)
+	}
+	for _, e := range rep.Execution.H {
+		if e.Kind == hist.KindResponse && e.Val == hist.Commit {
+			t.Fatalf("Aborter committed: %s", e)
+		}
+	}
+}
+
+// TestRandomWorkloadDeterministic checks the seeded workload generator
+// is reproducible.
+func TestRandomWorkloadDeterministic(t *testing.T) {
+	a := tm.RandomWorkload(42, 3, 2, 3)
+	b := tm.RandomWorkload(42, 3, 2, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different workloads")
+	}
+	if len(a) != 3 {
+		t.Errorf("workload has %d processes, want 3", len(a))
+	}
+}
