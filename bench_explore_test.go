@@ -22,14 +22,15 @@ import (
 
 // benchRegister is a linearizable read/write register: every access is a
 // single atomic step through the scheduler handshake, declared to the
-// footprint tracker so POR can commute independent steps.
+// footprint tracker so POR can commute independent steps and observed
+// and fingerprinted so the state cache can deduplicate configurations.
 type benchRegister struct{ v hist.Value }
 
 func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v })
+		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
 	case "write":
 		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
 	}
@@ -39,6 +40,13 @@ func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 // Footprints implements run.Footprinted: the register is the only shared
 // state and both operations declare their access.
 func (r *benchRegister) Footprints() bool { return true }
+
+// Fingerprint implements run.Fingerprintable: the single value, compared
+// only by content, is the whole shared state.
+func (r *benchRegister) Fingerprint(f *run.Fingerprinter) {
+	f.Str("r")
+	f.Val(r.v)
+}
 
 // linExploreChecker is the depth-7, 3-process register workload: each
 // process writes its id, then reads.
@@ -119,6 +127,56 @@ func TestExplorePORPrefixReduction(t *testing.T) {
 		full.Prefixes, por.Prefixes, float64(full.Prefixes)/float64(por.Prefixes), por.Pruned, full.SimSteps, por.SimSteps)
 }
 
+// TestExploreCacheReduction is the acceptance check of the state cache:
+// on the depth-7, 3-process linearizability exploration, caching must
+// explore at most half the prefixes of the full tree, reach the same
+// verdict, and account for every skipped subtree in Report.CacheHits —
+// and it must still compound with POR (strictly fewer prefixes than POR
+// alone; the margin is smaller there because POR already removes many
+// of the convergent interleavings the cache would merge, and a cache
+// hit under POR additionally requires the stored sleep set to be
+// covered by the current one).
+func TestExploreCacheReduction(t *testing.T) {
+	full, err := linExploreChecker().Explore(linProp())
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	cached, err := linExploreChecker(slx.WithStateCache()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("cached explore: %v", err)
+	}
+	if !full.OK() || !cached.OK() {
+		t.Fatalf("register must be linearizable on every prefix (full OK=%v, cached OK=%v)", full.OK(), cached.OK())
+	}
+	if full.CacheHits != 0 {
+		t.Fatalf("cache off must not hit, got %d", full.CacheHits)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("cache hit nothing on a workload full of convergent interleavings")
+	}
+	if cached.Prefixes*2 > full.Prefixes {
+		t.Fatalf("cached exploration explored %d prefixes, want ≤ half of full exploration's %d", cached.Prefixes, full.Prefixes)
+	}
+	por, err := linExploreChecker(slx.WithPOR()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("POR explore: %v", err)
+	}
+	both, err := linExploreChecker(slx.WithPOR(), slx.WithStateCache()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("POR+cache explore: %v", err)
+	}
+	if !por.OK() || !both.OK() {
+		t.Fatalf("register must be linearizable on every prefix (por OK=%v, por+cache OK=%v)", por.OK(), both.OK())
+	}
+	if both.CacheHits == 0 || both.Prefixes >= por.Prefixes {
+		t.Fatalf("POR+cache must still deduplicate on top of POR: explored %d prefixes (POR-only %d), %d hits",
+			both.Prefixes, por.Prefixes, both.CacheHits)
+	}
+	t.Logf("depth-7 3-proc linearizability: prefixes full=%d cache=%d (%.1fx fewer, %d hits), por=%d por+cache=%d (%.1fx fewer, %d hits)",
+		full.Prefixes, cached.Prefixes, float64(full.Prefixes)/float64(cached.Prefixes), cached.CacheHits,
+		por.Prefixes, both.Prefixes, float64(por.Prefixes)/float64(both.Prefixes), both.CacheHits)
+}
+
 // BenchmarkExploreLinearizabilityMonitor measures the default
 // incremental path.
 func BenchmarkExploreLinearizabilityMonitor(b *testing.B) {
@@ -135,6 +193,26 @@ func BenchmarkExploreLinearizabilityBatch(b *testing.B) {
 // sleep-set partial-order reduction.
 func BenchmarkExploreLinearizabilityPOR(b *testing.B) {
 	benchExploreLinearizability(b, linExploreChecker(slx.WithPOR()))
+}
+
+// BenchmarkExploreLinearizabilityCache measures the monitor path with
+// state-fingerprint deduplication.
+func BenchmarkExploreLinearizabilityCache(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithStateCache()))
+}
+
+// BenchmarkExploreLinearizabilityCachePOR measures the composition of
+// the state cache with partial-order reduction.
+func BenchmarkExploreLinearizabilityCachePOR(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithPOR(), slx.WithStateCache()))
+}
+
+// BenchmarkExploreLinearizabilityWorkers4 measures the work-stealing
+// scheduler at 4 workers on the plain monitor path (its wall-clock is
+// compared against the retired first-level-split scheduler's committed
+// numbers in BENCH_explore.json).
+func BenchmarkExploreLinearizabilityWorkers4(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithWorkers(4)))
 }
 
 func benchExploreLinearizability(b *testing.B, c *slx.Checker) {

@@ -1,0 +1,222 @@
+// Command benchtrend turns `go test -bench` output into a
+// machine-readable JSON report and gates it against the committed
+// baseline (BENCH_explore.json). CI pipes the Explore benchmark run
+// through it: the JSON is uploaded as a build artifact (the perf
+// trajectory of the exploration engine, one point per commit), and the
+// process exits non-zero when a tracked metric regresses.
+//
+// Gates, per section present in both the run and the baseline:
+//
+//   - prefixes/sec must not drop below baseline/ratio (wall-clock
+//     throughput regression; ratio defaults to 2× to absorb runner
+//     noise),
+//   - the prefixes and eventScans counts must not exceed baseline×ratio
+//     (these are deterministic, so growth means a reduction — monitors,
+//     POR, the state cache — actually regressed).
+//
+// Usage:
+//
+//	go test -bench Explore -benchtime 1x -run '^$' . | benchtrend -baseline BENCH_explore.json -out bench-trend.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sections maps benchmark names to baseline section keys. Baseline
+// sections without a live benchmark (e.g. the retired first-level-split
+// scheduler, kept for the historical comparison) are simply not gated.
+var sections = map[string]string{
+	"BenchmarkExploreLinearizabilityMonitor":  "monitor",
+	"BenchmarkExploreLinearizabilityBatch":    "batch",
+	"BenchmarkExploreLinearizabilityPOR":      "por",
+	"BenchmarkExploreLinearizabilityCache":    "cache",
+	"BenchmarkExploreLinearizabilityCachePOR": "cache_por",
+	"BenchmarkExploreLinearizabilityWorkers4": "parallel_work_stealing",
+}
+
+// metrics is one section's measurements, in the baseline's JSON shape.
+type metrics struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	Prefixes       float64 `json:"prefixes"`
+	SimSteps       float64 `json:"sim_steps"`
+	EventScans     float64 `json:"event_scans"`
+	PrefixesPerSec float64 `json:"prefixes_per_sec"`
+}
+
+// comparison is one gate evaluation.
+type comparison struct {
+	Section  string  `json:"section"`
+	Metric   string  `json:"metric"`
+	Measured float64 `json:"measured"`
+	Baseline float64 `json:"baseline"`
+	Ratio    float64 `json:"ratio"`
+	OK       bool    `json:"ok"`
+}
+
+// report is the uploaded artifact.
+type report struct {
+	Timestamp   string              `json:"timestamp"`
+	Ratio       float64             `json:"max_regression_ratio"`
+	Sections    map[string]*metrics `json:"sections"`
+	Comparisons []comparison        `json:"comparisons"`
+	Pass        bool                `json:"pass"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_explore.json", "committed baseline JSON")
+	outPath := flag.String("out", "bench-trend.json", "where to write the trend report")
+	ratio := flag.Float64("ratio", 2.0, "maximum tolerated regression factor")
+	flag.Parse()
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+	if len(measured) == 0 {
+		fatal("no Explore benchmark lines found on stdin")
+	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal("load baseline: %v", err)
+	}
+
+	rep := &report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Ratio:     *ratio,
+		Sections:  measured,
+		Pass:      true,
+	}
+	for _, key := range sortedKeys(measured) {
+		m := measured[key]
+		b, ok := baseline[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtrend: note: no baseline section %q (new benchmark?)\n", key)
+			continue
+		}
+		rep.check(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
+		rep.check(key, "prefixes", m.Prefixes, b.Prefixes, m.Prefixes <= b.Prefixes**ratio)
+		rep.check(key, "event_scans", m.EventScans, b.EventScans, m.EventScans <= b.EventScans**ratio)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal report: %v", err)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		fatal("write report: %v", err)
+	}
+	for _, c := range rep.Comparisons {
+		status := "ok"
+		if !c.OK {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-22s %-16s measured %12.0f baseline %12.0f  %s\n", c.Section, c.Metric, c.Measured, c.Baseline, status)
+	}
+	if !rep.Pass {
+		fatal("benchmark trend regressed beyond %.1fx (see %s)", *ratio, *outPath)
+	}
+	fmt.Printf("bench trend ok: %d sections gated against %s\n", len(measured), *baselinePath)
+}
+
+func (r *report) check(section, metric string, measured, baseline float64, ok bool) {
+	if baseline == 0 {
+		return // metric not tracked for this section
+	}
+	r.Comparisons = append(r.Comparisons, comparison{
+		Section: section, Metric: metric, Measured: measured, Baseline: baseline, Ratio: r.Ratio, OK: ok,
+	})
+	if !ok {
+		r.Pass = false
+	}
+}
+
+// parseBench extracts the per-benchmark metrics from `go test -bench`
+// output lines ("BenchmarkName[-P] N ns/op k metric ...").
+func parseBench(f *os.File) (map[string]*metrics, error) {
+	out := make(map[string]*metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		key, tracked := sections[name]
+		if !tracked {
+			continue
+		}
+		m := &metrics{}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "prefixes":
+				m.Prefixes = v
+			case "simSteps":
+				m.SimSteps = v
+			case "eventScans":
+				m.EventScans = v
+			case "prefixes/sec":
+				m.PrefixesPerSec = v
+			}
+		}
+		out[key] = m
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline reads the committed baseline's sections. The file's
+// top-level keys mix metadata strings with section objects; anything
+// that unmarshals into metrics counts as a section.
+func loadBaseline(path string) (map[string]*metrics, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*metrics)
+	for key, msg := range raw {
+		var m metrics
+		if err := json.Unmarshal(msg, &m); err != nil {
+			continue // metadata (strings, numbers), not a section
+		}
+		if m.NsPerOp > 0 || m.Prefixes > 0 {
+			out[key] = &m
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]*metrics) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(1)
+}

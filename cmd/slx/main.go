@@ -46,7 +46,7 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch] [-por]", "exhaustive safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n]", "exhaustive safety check", cmdExplore},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
 }
 
@@ -238,15 +238,20 @@ func cmdExplore(args []string) error {
 	depth := fs.Int("depth", 12, "schedule depth")
 	batch := fs.Bool("batch", false, "legacy batch checking (re-judge every prefix) instead of incremental monitors")
 	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
+	cache := fs.Bool("cache", false, "state-fingerprint cache (prune subtrees rooted at already-explored states)")
+	workers := fs.Int("workers", 1, "explore with n work-stealing workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := []slx.Option{slx.WithProcs(2), slx.WithDepth(*depth)}
+	opts := []slx.Option{slx.WithProcs(2), slx.WithDepth(*depth), slx.WithWorkers(*workers)}
 	if *batch {
 		opts = append(opts, slx.WithBatchExplore())
 	}
 	if *por {
 		opts = append(opts, slx.WithPOR())
+	}
+	if *cache {
+		opts = append(opts, slx.WithStateCache())
 	}
 	var prop slx.Property
 	switch *target {
@@ -287,10 +292,19 @@ func cmdExplore(args []string) error {
 	if *por {
 		mode += ", POR"
 	}
+	if *cache {
+		mode += ", state cache"
+	}
+	if rep.Workers > 1 {
+		mode += fmt.Sprintf(", %d workers", rep.Workers)
+	}
 	fmt.Printf("explored %d schedule prefixes (%d simulator steps, %d property-event scans via %s): no violation up to depth %d\n",
 		rep.Prefixes, rep.SimSteps, rep.EventScans, mode, *depth)
 	if *por {
 		fmt.Printf("partial-order reduction pruned %d subtrees\n", rep.Pruned)
+	}
+	if *cache {
+		fmt.Printf("state cache pruned %d subtrees rooted at already-explored states\n", rep.CacheHits)
 	}
 	return nil
 }

@@ -44,6 +44,39 @@ func declare(s Stepper, obj string, write bool) {
 	}
 }
 
+// valueObserver is the optional local-state hook of the simulation
+// runtime (sim.Proc implements it): a stepper that folds every value a
+// step reads from shared state into the executing process's state
+// fingerprint. Exploration's state cache needs it — a process's future
+// behavior mid-operation depends on what it has read so far.
+type valueObserver interface {
+	Observe(v Value)
+}
+
+// observe reports a value the current step read, when the stepper
+// fingerprints. Every base-object operation that returns shared state to
+// the caller calls it from within its atomic step.
+func observe(s Stepper, v Value) {
+	if o, ok := s.(valueObserver); ok {
+		o.Observe(v)
+	}
+}
+
+// StateSink receives the canonical state encoding of a base object.
+// sim.Fingerprinter implements it; implementations composing base
+// objects forward the sink to each base object's Fingerprint method in
+// a fixed order to build their sim.Fingerprintable hook.
+type StateSink interface {
+	// Str folds a string component (names, tags).
+	Str(s string)
+	// Val folds a stored value by dynamic type and content.
+	Val(v Value)
+	// Int folds an integer component.
+	Int(v int)
+	// Bool folds a boolean component.
+	Bool(b bool)
+}
+
 // Register is an atomic read/write register.
 type Register struct {
 	name string
@@ -61,8 +94,14 @@ func (r *Register) Name() string { return r.name }
 // Read atomically reads the register.
 func (r *Register) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+r.name, func() { declare(s, r.name, false); v = r.val })
+	s.Exec("read "+r.name, func() { declare(s, r.name, false); v = r.val; observe(s, v) })
 	return v
+}
+
+// Fingerprint writes the register's canonical state (name and value).
+func (r *Register) Fingerprint(f StateSink) {
+	f.Str(r.name)
+	f.Val(r.val)
 }
 
 // Write atomically writes v to the register.
@@ -89,8 +128,17 @@ func (c *CAS) Name() string { return c.name }
 // Read atomically reads the current value.
 func (c *CAS) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+c.name, func() { declare(s, c.name, false); v = c.val })
+	s.Exec("read "+c.name, func() { declare(s, c.name, false); v = c.val; observe(s, v) })
 	return v
+}
+
+// Fingerprint writes the object's canonical state (name and value). The
+// encoding is by content, so implementations whose correctness rides on
+// the identity of stored allocations (fresh-record CAS idioms) must not
+// expose it through a sim.Fingerprintable hook — see that interface.
+func (c *CAS) Fingerprint(f StateSink) {
+	f.Str(c.name)
+	f.Val(c.val)
 }
 
 // CompareAndSwap atomically replaces the current value with new if it
@@ -108,6 +156,7 @@ func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
 			c.val = new
 			ok = true
 		}
+		observe(s, ok)
 	})
 	return ok
 }
@@ -125,6 +174,7 @@ func (c *CAS) Swap(s Stepper, new Value) Value {
 		declare(s, c.name, true)
 		prev = c.val
 		c.val = new
+		observe(s, prev)
 	})
 	return prev
 }
@@ -153,6 +203,7 @@ func (t *TAS) TestAndSet(s Stepper) bool {
 		declare(s, t.name, !t.set)
 		won = !t.set
 		t.set = true
+		observe(s, won)
 	})
 	return won
 }
@@ -160,8 +211,14 @@ func (t *TAS) TestAndSet(s Stepper) bool {
 // Read atomically reads the bit.
 func (t *TAS) Read(s Stepper) bool {
 	var v bool
-	s.Exec("read "+t.name, func() { declare(s, t.name, false); v = t.set })
+	s.Exec("read "+t.name, func() { declare(s, t.name, false); v = t.set; observe(s, v) })
 	return v
+}
+
+// Fingerprint writes the bit's canonical state (name and value).
+func (t *TAS) Fingerprint(f StateSink) {
+	f.Str(t.name)
+	f.Bool(t.set)
 }
 
 // Reset atomically clears the bit (the release half of a test-and-set
@@ -191,6 +248,7 @@ func (f *FetchAdd) Add(s Stepper, delta int) int {
 		declare(s, f.name, true)
 		prev = f.val
 		f.val += delta
+		observe(s, prev)
 	})
 	return prev
 }
@@ -198,8 +256,14 @@ func (f *FetchAdd) Add(s Stepper, delta int) int {
 // Read atomically reads the counter.
 func (f *FetchAdd) Read(s Stepper) int {
 	var v int
-	s.Exec("read "+f.name, func() { declare(s, f.name, false); v = f.val })
+	s.Exec("read "+f.name, func() { declare(s, f.name, false); v = f.val; observe(s, v) })
 	return v
+}
+
+// Fingerprint writes the counter's canonical state (name and value).
+func (f *FetchAdd) Fingerprint(sink StateSink) {
+	sink.Str(f.name)
+	sink.Int(f.val)
 }
 
 // Snapshot is an atomic snapshot object of n single-writer registers with
@@ -239,6 +303,19 @@ func (sn *Snapshot) Scan(s Stepper) []Value {
 		declare(s, sn.name, false)
 		out = make([]Value, len(sn.slots))
 		copy(out, sn.slots)
+		for _, v := range out {
+			observe(s, v)
+		}
 	})
 	return out
+}
+
+// Fingerprint writes the snapshot object's canonical state (name and
+// every component in index order).
+func (sn *Snapshot) Fingerprint(f StateSink) {
+	f.Str(sn.name)
+	f.Int(len(sn.slots))
+	for _, v := range sn.slots {
+		f.Val(v)
+	}
 }

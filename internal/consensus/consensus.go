@@ -124,6 +124,24 @@ func (c *CommitAdoptOF) round(r int) *caRound {
 // exploration may use it for partial-order reduction.
 func (c *CommitAdoptOF) Footprints() bool { return true }
 
+// Fingerprint implements sim.Fingerprintable: all shared state is in
+// the decision register and the round registers (whose names carry the
+// round index, so layouts cannot collide), and every value the rounds
+// compare is compared by content, never by pointer identity. Lazily
+// allocated rounds are included as written: an all-nil allocated round
+// fingerprints differently from an unallocated one, which only splits
+// states and never merges distinct ones.
+func (c *CommitAdoptOF) Fingerprint(f *sim.Fingerprinter) {
+	c.decision.Fingerprint(f)
+	f.Int(len(c.rounds))
+	for _, r := range c.rounds {
+		for i := range r.a {
+			r.a[i].Fingerprint(f)
+			r.b[i].Fingerprint(f)
+		}
+	}
+}
+
 // Apply implements sim.Object.
 func (c *CommitAdoptOF) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	if d := c.decision.Read(p); d != nil {
@@ -162,6 +180,13 @@ func (c *CASBased) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 // Footprints implements sim.Footprinted: the only shared state is the
 // single CAS object.
 func (c *CASBased) Footprints() bool { return true }
+
+// Fingerprint implements sim.Fingerprintable: the single CAS object
+// holds proposal values compared by ==, i.e. by content, so the
+// content encoding is canonical.
+func (c *CASBased) Fingerprint(f *sim.Fingerprinter) {
+	c.c.Fingerprint(f)
+}
 
 // Trivial is the implementation I_t from the proof of Theorem 4.9: it never
 // responds to any invocation (every process blocks forever). It vacuously

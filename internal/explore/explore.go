@@ -23,6 +23,13 @@
 // already-explored sibling are skipped. See the package's dependence
 // relation in dependent for what "independent" means here and DESIGN.md
 // for the soundness argument.
+//
+// Config.Cache enables state-fingerprint deduplication: prefixes whose
+// reached configuration (sim.Result.Fingerprint) and monitor residual
+// state (Digester) match an already fully explored state are pruned,
+// cutting the subtrees rooted at states that many inequivalent
+// schedules reach. Config.Workers > 1 explores the tree with a bounded
+// work-stealing scheduler; all workers share the visited set.
 package explore
 
 import (
@@ -42,6 +49,18 @@ type MonitorSet interface {
 	// Fork returns an independent copy for a sibling branch; stepping
 	// either copy must not affect the other.
 	Fork() MonitorSet
+}
+
+// Digester is the optional hook a MonitorSet implements to make states
+// cacheable under Config.Cache: StateDigest returns a canonical digest
+// of the set's residual state — everything its future Step verdicts can
+// depend on — such that equal digests imply identical verdicts on every
+// event suffix. ok=false marks the current state undigestable; the
+// prefix is then neither looked up nor stored. Without the hook (or
+// with ok=false throughout) the cache never hits and the exploration is
+// exhaustive as before.
+type Digester interface {
+	StateDigest() (uint64, bool)
 }
 
 // Violation wraps a MonitorSet violation with its location: the witness
@@ -91,12 +110,15 @@ type Config struct {
 	// NewMonitors is set.
 	Check func(h history.History, schedule []sim.Decision) error
 	// NewMonitors, when set, selects the incremental path: it creates the
-	// root monitor set once per exploration (and once per worker subtree
-	// fork under Workers > 1). A Step error aborts the exploration and is
-	// reported wrapped in a *Violation.
+	// root monitor set once per exploration. A Step error aborts the
+	// exploration and is reported wrapped in a *Violation.
 	NewMonitors func() MonitorSet
-	// Workers > 1 explores the first-level subtrees concurrently, one
-	// goroutine per ready first decision, at most Workers at a time.
+	// Workers > 1 explores the tree concurrently with a bounded
+	// work-stealing scheduler: each worker runs the same DFS and splits
+	// sibling subtrees into stealable tasks while its deque has room.
+	// Violations are still reported deterministically — the failure at
+	// the preorder-least (lexicographically least) schedule prefix, the
+	// one sequential DFS reaches first — regardless of worker timing.
 	Workers int
 	// POR enables sleep-set partial-order reduction: subtrees whose first
 	// step is asleep (covered, up to commuting independent steps, by an
@@ -110,6 +132,19 @@ type Config struct {
 	// the view — both hold for the repository's environments and
 	// properties. Crash decisions are never pruned or slept.
 	POR bool
+	// Cache enables the state-fingerprint visited set: a prefix whose
+	// reached configuration and monitor digest match a state whose
+	// subtree was already fully explored (with at least as much depth
+	// and crash budget remaining, and under a sleep set no larger than
+	// the current one) is pruned and counted in Stats.CacheHits. It
+	// requires the monitor path (NewMonitors) — cache-hit soundness
+	// rests on the monitor digest — and objects that opt into
+	// sim.Fingerprintable; prefixes without a valid fingerprint are
+	// explored as usual. Like POR it assumes view-independent
+	// environments. Witnesses remain deterministic at Workers == 1;
+	// with Workers > 1 the shared visited set makes WHICH equivalent
+	// witness is found timing-dependent (verdicts are unaffected).
+	Cache bool
 	// Ctx optionally cancels the exploration; it is polled once per
 	// explored prefix and its error returned as-is.
 	Ctx context.Context
@@ -121,13 +156,19 @@ type Stats struct {
 	// checked).
 	Prefixes int
 	// Steps is the total number of simulator steps executed across all
-	// replays. (The first-level footprint probes that POR with Workers >
-	// 1 performs are excluded, so parallel and sequential statistics stay
-	// comparable; they cost at most two steps per first-level child.)
+	// replays. (The footprint probes that POR with Workers > 1 performs
+	// at split points are excluded, so parallel and sequential
+	// statistics stay comparable.)
 	Steps int
 	// Pruned is the number of subtrees skipped by partial-order
 	// reduction (0 unless Config.POR).
 	Pruned int
+	// CacheHits is the number of subtrees skipped because the reached
+	// state was already fully explored (0 unless Config.Cache).
+	CacheHits int
+	// Workers is the number of workers the exploration actually used
+	// (Config.Workers clamped to at least 1).
+	Workers int
 	// Witness is the schedule on which the check failed: nil when no
 	// violation was found, non-nil (and empty for the root prefix)
 	// otherwise.
@@ -204,6 +245,14 @@ func inSleep(sleep []sleepEntry, d sim.Decision) bool {
 	return false
 }
 
+// engine carries the state one exploration shares across its recursion
+// (and, at Workers > 1, across its workers).
+type engine struct {
+	cfg     Config
+	visited *visitedSet // non-nil iff cfg.Cache
+	pool    *wsPool     // non-nil iff parallel
+}
+
 // Run explores exhaustively. It returns the statistics and the first
 // check or monitor error, if any (with Stats.Witness set).
 func Run(cfg Config) (*Stats, error) {
@@ -213,125 +262,32 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.Check == nil && cfg.NewMonitors == nil {
 		return nil, fmt.Errorf("explore: Check or NewMonitors must be set")
 	}
-	if cfg.Workers > 1 {
-		return runParallel(cfg)
+	if cfg.Cache && cfg.NewMonitors == nil {
+		return nil, fmt.Errorf("explore: Cache requires the incremental monitor path (NewMonitors): cache-hit soundness rests on the monitor state digest")
 	}
-	st := &Stats{}
+	g := &engine{cfg: cfg}
+	if cfg.Cache {
+		g.visited = newVisitedSet()
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		return g.runParallel(workers)
+	}
+	st := &Stats{Workers: 1}
 	var ms MonitorSet
 	if cfg.NewMonitors != nil {
 		ms = cfg.NewMonitors()
 	}
-	_, err := explore(cfg, nil, 0, 0, ms, nil, st)
+	_, _, err := g.explore(nil, nil, nil, 0, 0, ms, nil, st)
 	return st, err
-}
-
-// runParallel splits the exploration at the first level: the root prefix
-// is checked once, then each first decision's subtree is explored by its
-// own worker (bounded by cfg.Workers). Statistics are merged. When
-// several subtrees fail, the failure of the lexicographically least root
-// decision — the one sequential exploration would reach first — is
-// reported, so witnesses are deterministic regardless of worker timing.
-func runParallel(cfg Config) (*Stats, error) {
-	total := &Stats{}
-	res, ready := replay(cfg, nil, total)
-	if res.Err != nil {
-		return total, fmt.Errorf("explore: replay failed: %w", res.Err)
-	}
-	total.Prefixes++
-	if err := ctxErr(cfg); err != nil {
-		return total, err
-	}
-	var root MonitorSet
-	if cfg.NewMonitors != nil {
-		root = cfg.NewMonitors()
-		if err := stepDelta(root, res, 0, nil, total); err != nil {
-			return total, err
-		}
-	} else if err := cfg.Check(res.H, nil); err != nil {
-		total.Witness = witness(nil)
-		return total, err
-	}
-	if cfg.Depth < 1 {
-		return total, nil
-	}
-
-	var roots []sim.Decision
-	for _, p := range ready {
-		roots = append(roots, sim.Decision{Proc: p})
-	}
-	steps := len(roots)
-	if cfg.Crashes > 0 {
-		// Crash only ready processes, mirroring the sequential path.
-		for _, p := range ready {
-			roots = append(roots, sim.Decision{Proc: p, Crash: true})
-		}
-	}
-
-	// Under POR the sleep set of the i-th first-level subtree holds its
-	// earlier step siblings with their footprints; probe each step root
-	// once to learn them before the workers start. The probes re-execute
-	// at most two steps each and are not counted in the statistics.
-	var entries []sleepEntry
-	if cfg.POR {
-		probe := &Stats{}
-		for _, d := range roots[:steps] {
-			pres, _ := replay(cfg, []sim.Decision{d}, probe)
-			entries = append(entries, sleepEntry{d: d, a: accessAt(pres, 0)})
-		}
-	}
-
-	type outcome struct {
-		idx int
-		st  *Stats
-		err error
-	}
-	results := make(chan outcome, len(roots))
-	sem := make(chan struct{}, cfg.Workers)
-	for i, rootDec := range roots {
-		i, rootDec := i, rootDec
-		var ms MonitorSet
-		if root != nil {
-			ms = root.Fork()
-		}
-		var sleep []sleepEntry
-		if cfg.POR && !rootDec.Crash {
-			sleep = entries[:i]
-		}
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem }()
-			st := &Stats{}
-			crashes := 0
-			if rootDec.Crash {
-				crashes = 1
-			}
-			_, err := explore(cfg, []sim.Decision{rootDec}, crashes, len(res.H), ms, sleep, st)
-			results <- outcome{idx: i, st: st, err: err}
-		}()
-	}
-	firstIdx := -1
-	var firstErr error
-	var firstWitness []sim.Decision
-	for range roots {
-		o := <-results
-		total.Prefixes += o.st.Prefixes
-		total.Steps += o.st.Steps
-		total.Pruned += o.st.Pruned
-		if o.err != nil && (firstIdx == -1 || o.idx < firstIdx) {
-			firstIdx = o.idx
-			firstErr = o.err
-			firstWitness = o.st.Witness
-		}
-	}
-	if firstErr != nil {
-		total.Witness = firstWitness
-	}
-	return total, firstErr
 }
 
 // replay executes the schedule prefix and returns the run result plus the
 // set of processes ready afterwards.
-func replay(cfg Config, prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
+func (g *engine) replay(prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 	var ready []int
 	captured := false
 	sched := sim.Seq(
@@ -345,20 +301,23 @@ func replay(cfg Config, prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 		}),
 	)
 	res := sim.Run(sim.Config{
-		Procs:     cfg.Procs,
-		Object:    cfg.NewObject(),
-		Env:       cfg.NewEnv(),
-		Scheduler: sched,
-		MaxSteps:  len(prefix) + 1,
+		Procs:       g.cfg.Procs,
+		Object:      g.cfg.NewObject(),
+		Env:         g.cfg.NewEnv(),
+		Scheduler:   sched,
+		MaxSteps:    len(prefix) + 1,
+		Fingerprint: g.cfg.Cache,
 	})
-	st.Steps += res.Steps
+	if st != nil {
+		st.Steps += res.Steps
+	}
 	return res, ready
 }
 
 // ctxErr polls the optional context.
-func ctxErr(cfg Config) error {
-	if cfg.Ctx != nil {
-		return cfg.Ctx.Err()
+func (g *engine) ctxErr() error {
+	if g.cfg.Ctx != nil {
+		return g.cfg.Ctx.Err()
 	}
 	return nil
 }
@@ -378,32 +337,50 @@ func stepDelta(ms MonitorSet, res *sim.Result, parentEvents int, prefix []sim.De
 	return nil
 }
 
-// explore visits the prefix and recurses into its children. parentEvents
-// is the number of history events the parent prefix recorded; ms is the
-// monitor set as of the parent (nil on the batch path); sleep is the
-// sleep set inherited from the parent, not yet filtered by this prefix's
-// own last step. It returns the footprint of that last step so the
-// parent can put this child to sleep for later siblings.
-func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms MonitorSet, sleep []sleepEntry, st *Stats) (sim.Access, error) {
-	res, ready := replay(cfg, prefix, st)
+// combineKey mixes the configuration fingerprint with the monitor
+// digest into one cache key.
+func combineKey(fp, digest uint64) uint64 {
+	const prime = 1099511628211
+	h := fp
+	for i := 0; i < 8; i++ {
+		h = (h ^ (digest >> (8 * i) & 0xff)) * prime
+	}
+	return h
+}
+
+// explore visits the prefix and recurses into its children. w is the
+// executing worker (nil on the sequential path); path is the node's
+// child-ordinal path from the root, used for preorder comparisons under
+// parallelism. parentEvents is the number of history events the parent
+// prefix recorded; ms is the monitor set as of the parent (nil on the
+// batch path); sleep is the sleep set inherited from the parent, not
+// yet filtered by this prefix's own last step. It returns the footprint
+// of that last step so the parent can put this child to sleep for later
+// siblings, and whether the subtree was explored to completion: a
+// parallel cutoff anywhere beneath this node makes it incomplete, and
+// an incomplete subtree must never be published to the visited set —
+// even when the node's own child loop never re-checked the cutoff
+// (e.g. the abandoned child was its last).
+func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes, parentEvents int, ms MonitorSet, sleep []sleepEntry, st *Stats) (sim.Access, bool, error) {
+	res, ready := g.replay(prefix, st)
 	var my sim.Access
 	if len(prefix) > 0 {
 		my = accessAt(res, len(prefix)-1)
 	}
 	if res.Err != nil {
-		return my, fmt.Errorf("explore: replay failed: %w", res.Err)
+		return my, false, g.fail(w, path, fmt.Errorf("explore: replay failed: %w", res.Err))
 	}
 	st.Prefixes++
-	if err := ctxErr(cfg); err != nil {
-		return my, err
+	if err := g.ctxErr(); err != nil {
+		return my, false, g.fatal(w, err)
 	}
 	if ms != nil {
 		if err := stepDelta(ms, res, parentEvents, prefix, st); err != nil {
-			return my, err
+			return my, false, g.fail(w, path, err)
 		}
-	} else if err := cfg.Check(res.H, prefix); err != nil {
+	} else if err := g.cfg.Check(res.H, prefix); err != nil {
 		st.Witness = witness(prefix)
-		return my, err
+		return my, false, g.fail(w, path, err)
 	}
 	steps := 0
 	for _, d := range prefix {
@@ -411,14 +388,14 @@ func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms Mo
 			steps++
 		}
 	}
-	if steps >= cfg.Depth {
-		return my, nil
+	if steps >= g.cfg.Depth {
+		return my, true, nil
 	}
 	var children []sim.Decision
 	for _, p := range ready {
 		children = append(children, sim.Decision{Proc: p})
 	}
-	if crashes < cfg.Crashes {
+	if crashes < g.cfg.Crashes {
 		// Crash only ready processes: idle and blocked processes take no
 		// further steps, so crashing them duplicates sibling subtrees.
 		for _, p := range ready {
@@ -426,42 +403,127 @@ func explore(cfg Config, prefix []sim.Decision, crashes, parentEvents int, ms Mo
 		}
 	}
 	var z []sleepEntry
-	if cfg.POR && len(prefix) > 0 {
+	if g.cfg.POR && len(prefix) > 0 {
 		z = filterSleep(sleep, prefix[len(prefix)-1], my)
 	}
 	// Whether a child is asleep depends only on the inherited set z:
 	// entries appended for explored siblings are those siblings'
-	// decisions, which never equal a later child's. So the last child
-	// that will actually be explored — the one that may inherit the
-	// monitor set without a copy — is known up front.
-	lastLive := -1
+	// decisions, which never equal a later child's. So the children that
+	// will actually be explored are known up front.
+	var live []int
 	for i, d := range children {
-		if !cfg.POR || !inSleep(z, d) {
-			lastLive = i
+		if !g.cfg.POR || !inSleep(z, d) {
+			live = append(live, i)
 		}
 	}
+	st.Pruned += len(children) - len(live)
+	if len(live) == 0 {
+		return my, true, nil
+	}
+
+	// State cache: if an equivalent configuration — same fingerprint,
+	// same monitor residual state — was already fully explored with at
+	// least this much depth and crash budget remaining and under a sleep
+	// set no larger than z, this subtree adds nothing. Otherwise explore
+	// it and, if it completes cleanly, publish it. zStart is clipped so
+	// the loop's appends below cannot mutate the stored set.
+	var ckey uint64
+	var zStart []sleepEntry
+	remDepth, remCrashes := g.cfg.Depth-steps, g.cfg.Crashes-crashes
+	cacheable := false
+	if g.visited != nil && res.Fingerprinted {
+		if dg, ok := monitorDigest(ms); ok {
+			ckey = combineKey(res.Fingerprint, dg)
+			zStart = z[:len(z):len(z)]
+			if g.visited.hit(ckey, remDepth, remCrashes, zStart) {
+				st.CacheHits++
+				return my, true, nil
+			}
+			cacheable = true
+		}
+	}
+
+	// Under parallelism, split the later live children off as stealable
+	// tasks when the worker's deque has room (and the subtrees are worth
+	// the task overhead), exploring only the first live child inline.
+	spawned := 0
+	if w != nil && len(live) > 1 && remDepth >= minSplitDepth {
+		spawned = g.trySplit(w, prefix, path, crashes, res, ms, z, children, live)
+	}
+
+	lastLive := live[len(live)-1]
+	complete := true
 	for i, d := range children {
-		if cfg.POR && inSleep(z, d) {
-			st.Pruned++
-			continue
+		if g.cfg.POR && inSleep(z, d) {
+			continue // already counted in Pruned above
+		}
+		if spawned > 0 && i > live[0] {
+			break // later live children were handed to the pool
+		}
+		cpath := path
+		if w != nil {
+			cpath = append(path[:len(path):len(path)], i)
+			if w.pool.cutoff(cpath) {
+				// Everything from here on is preorder-after a failure
+				// already found; the subtree is abandoned, so neither it
+				// nor any ancestor may be published as fully explored.
+				complete = false
+				break
+			}
 		}
 		cms := ms
-		if ms != nil && i < lastLive {
+		if ms != nil && i < lastLive && spawned == 0 {
 			cms = ms.Fork() // the last explored child inherits the set without a copy
 		}
 		nextCrashes := crashes
 		if d.Crash {
 			nextCrashes++
 		}
-		a, err := explore(cfg, append(prefix, d), nextCrashes, len(res.H), cms, z, st)
+		a, cc, err := g.explore(w, append(prefix, d), cpath, nextCrashes, len(res.H), cms, z, st)
 		if err != nil {
-			return my, err
+			return my, false, err
 		}
-		if cfg.POR && !d.Crash {
+		if !cc {
+			// The child's subtree was abandoned by a cutoff below it; this
+			// node's subtree is incomplete even if its own loop never
+			// re-checks the cutoff (the abandoned child may be its last).
+			complete = false
+		}
+		if g.cfg.POR && !d.Crash {
 			z = append(z, sleepEntry{d: d, a: a})
 		}
 	}
-	return my, nil
+	if cacheable && complete && spawned == 0 {
+		g.visited.store(ckey, remDepth, remCrashes, zStart)
+	}
+	return my, complete, nil
+}
+
+// fail wraps a node failure with its preorder position under
+// parallelism; sequential exploration returns the error unchanged.
+func (g *engine) fail(w *wsWorker, path []int, err error) error {
+	if w == nil {
+		return err
+	}
+	return &nodeError{path: append([]int(nil), path...), err: err}
+}
+
+// fatal marks an exploration-wide abort (context cancellation).
+func (g *engine) fatal(w *wsWorker, err error) error {
+	if w == nil {
+		return err
+	}
+	return &fatalError{err: err}
+}
+
+// monitorDigest extracts the canonical residual-state digest of the
+// monitor set, when it provides one.
+func monitorDigest(ms MonitorSet) (uint64, bool) {
+	d, ok := ms.(Digester)
+	if !ok {
+		return 0, false
+	}
+	return d.StateDigest()
 }
 
 // CheckSafety adapts a history predicate to a Check function with a

@@ -174,7 +174,8 @@ func TestReplayFailureStats(t *testing.T) {
 	// reports StopError and the replay fails.
 	bad := []sim.Decision{{Proc: 2}, {Proc: 1, Crash: true}, {Proc: 1, Crash: true}}
 	st := &Stats{}
-	_, err := explore(cfg, bad, 2, 0, nil, nil, st)
+	g := &engine{cfg: cfg}
+	_, _, err := g.explore(nil, bad, nil, 2, 0, nil, nil, st)
 	if err == nil || !strings.Contains(err.Error(), "replay failed") {
 		t.Fatalf("invalid prefix must fail its replay, got %v", err)
 	}

@@ -1,0 +1,101 @@
+package explore
+
+import "sync"
+
+// visitedSet is the concurrent state cache: it maps cache keys
+// (configuration fingerprint combined with monitor digest) to the
+// budgets and sleep sets their subtrees were fully explored under. The
+// map is sharded by key so parallel workers rarely contend.
+//
+// An entry means: from a configuration with this key, every schedule of
+// at most remDepth further steps and remCrashes further crashes — except
+// those whose first decision was asleep in the stored sleep set — was
+// explored without a violation. A lookup may therefore prune its subtree
+// only if it has at most that much budget left and its own sleep set
+// covers the stored one (a larger stored sleep set could have skipped
+// branches the current node still needs; Godefroid's classic condition
+// for composing state caching with sleep sets).
+type visitedSet struct {
+	shards [visitedShards]visitedShard
+}
+
+const visitedShards = 64
+
+type visitedShard struct {
+	mu sync.Mutex
+	m  map[uint64][]visitedEntry
+}
+
+type visitedEntry struct {
+	remDepth, remCrashes int
+	sleep                []sleepEntry
+}
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[uint64][]visitedEntry)
+	}
+	return v
+}
+
+func (v *visitedSet) shard(key uint64) *visitedShard {
+	return &v.shards[key%visitedShards]
+}
+
+// sleepCovered reports whether every stored sleep entry is also asleep
+// now: then the stored exploration explored at least every branch the
+// current node would.
+func sleepCovered(stored, now []sleepEntry) bool {
+	for _, e := range stored {
+		found := false
+		for _, n := range now {
+			if e == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// hit reports whether an already explored state dominates the current
+// one: at least as much remaining budget, and a sleep set the current
+// one covers.
+func (v *visitedSet) hit(key uint64, remDepth, remCrashes int, sleep []sleepEntry) bool {
+	s := v.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m[key] {
+		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && sleepCovered(e.sleep, sleep) {
+			return true
+		}
+	}
+	return false
+}
+
+// store publishes a fully explored state. Entries dominated by the new
+// one are dropped; the store is skipped if an existing entry dominates
+// it (a racing worker may have published a stronger one meanwhile).
+func (v *visitedSet) store(key uint64, remDepth, remCrashes int, sleep []sleepEntry) {
+	s := v.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.m[key]
+	for _, e := range entries {
+		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && sleepCovered(e.sleep, sleep) {
+			return // dominated: nothing new to publish
+		}
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if remDepth >= e.remDepth && remCrashes >= e.remCrashes && sleepCovered(sleep, e.sleep) {
+			continue // the new entry dominates this one
+		}
+		kept = append(kept, e)
+	}
+	s.m[key] = append(kept, visitedEntry{remDepth: remDepth, remCrashes: remCrashes, sleep: sleep})
+}

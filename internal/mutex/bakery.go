@@ -30,6 +30,17 @@ func NewBakery(n int) *Bakery {
 	return b
 }
 
+// Fingerprint implements sim.Fingerprintable: tickets and choosing
+// flags, in process order. (The registers share the names "choosing"
+// and "number" across processes, which is fine here: the fixed write
+// order keys each component by position.)
+func (b *Bakery) Fingerprint(f *sim.Fingerprinter) {
+	for i := 0; i < b.n; i++ {
+		b.choosing[i].Fingerprint(f)
+		b.number[i].Fingerprint(f)
+	}
+}
+
 // Acquire takes the lock for p, waiting first-come-first-served.
 func (b *Bakery) Acquire(p *sim.Proc) {
 	me := p.ID() - 1

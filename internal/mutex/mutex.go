@@ -91,6 +91,14 @@ func (l *Peterson) Release(p *sim.Proc) {
 // three named registers.
 func (l *Peterson) Footprints() bool { return true }
 
+// Fingerprint implements sim.Fingerprintable: the three registers hold
+// booleans and process ids, compared by value.
+func (l *Peterson) Fingerprint(f *sim.Fingerprinter) {
+	l.flag[0].Fingerprint(f)
+	l.flag[1].Fingerprint(f)
+	l.turn.Fingerprint(f)
+}
+
 // Apply implements sim.Object.
 func (l *Peterson) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	switch inv.Op {
@@ -129,6 +137,12 @@ func (l *TASLock) Release(p *sim.Proc) {
 // Footprints implements sim.Footprinted: all shared state is the single
 // test-and-set bit.
 func (l *TASLock) Footprints() bool { return true }
+
+// Fingerprint implements sim.Fingerprintable: the single bit is the
+// whole shared state.
+func (l *TASLock) Fingerprint(f *sim.Fingerprinter) {
+	l.t.Fingerprint(f)
+}
 
 // Apply implements sim.Object.
 func (l *TASLock) Apply(p *sim.Proc, inv sim.Invocation) history.Value {

@@ -59,6 +59,19 @@ func NewLocked() *Locked {
 	}
 }
 
+// Footprints implements sim.Footprinted: all shared state is in the
+// Peterson lock's registers and the queue register.
+func (q *Locked) Footprints() bool { return true }
+
+// Fingerprint implements sim.Fingerprintable: the lock registers plus
+// the queue register, whose *qstate content is only ever read and
+// replaced — never compared by pointer — so the content encoding is
+// canonical.
+func (q *Locked) Fingerprint(f *sim.Fingerprinter) {
+	q.lock.Fingerprint(f)
+	q.state.Fingerprint(f)
+}
+
 // Apply implements sim.Object.
 func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	q.lock.Acquire(p)
@@ -78,6 +91,14 @@ func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 }
 
 // CASQueue is the lock-free queue on one CAS object.
+//
+// CASQueue deliberately does NOT implement sim.Fingerprintable: its CAS
+// compares *qstate pointers, so two content-equal states can still
+// behave differently — after a deq(x);enq(x) pair the queue content is
+// restored but a process holding the old pointer will fail its CAS
+// (the classic ABA distinction). A content fingerprint would equate
+// those states and let the exploration cache prune subtrees with
+// genuinely different futures.
 type CASQueue struct {
 	state *base.CAS
 }

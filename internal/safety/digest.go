@@ -1,0 +1,169 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Digester is the optional canonical-state hook of a Monitor, required
+// by exploration's state cache. StateDigest returns a 64-bit digest of
+// the monitor's residual state — everything its future Step verdicts
+// can depend on — such that two monitors with equal digests accept and
+// reject exactly the same event suffixes. ok=false means the monitor
+// cannot digest its current state; the exploration then treats the
+// prefix as uncacheable.
+//
+// A digest must abstract away representation accidents (internal
+// indices, the order state was accumulated in) but never semantic
+// distinctions: equal digests with divergent future verdicts would let
+// the cache prune a subtree containing a violation.
+type Digester interface {
+	StateDigest() (uint64, bool)
+}
+
+// digestStrings hashes a canonical sequence of strings (FNV-1a,
+// length-delimited so concatenation cannot collide).
+func digestStrings(parts ...string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, s := range parts {
+		n := len(s)
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(n>>(8*i)))) * prime
+		}
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+	}
+	return h
+}
+
+// digestValueSet canonically encodes a set of values: each rendered
+// with its dynamic type, then sorted.
+func digestValueSet(set map[history.Value]bool) string {
+	keys := make([]string, 0, len(set))
+	for v := range set {
+		keys = append(keys, fmt.Sprintf("%T=%v", v, v))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// StateDigest implements Digester: the agreement+validity verdict
+// depends only on the proposed-value set and the decided value.
+func (m *avMonitor) StateDigest() (uint64, bool) {
+	return digestStrings("av",
+		digestValueSet(m.proposed),
+		fmt.Sprintf("%v/%T=%v/%v", m.have, m.decided, m.decided, m.failed),
+	), true
+}
+
+// StateDigest implements Digester: the k-set verdict depends only on
+// the proposed and decided value sets (and k).
+func (m *ksetMonitor) StateDigest() (uint64, bool) {
+	return digestStrings("kset",
+		fmt.Sprintf("%d/%v", m.k, m.failed),
+		digestValueSet(m.proposed),
+		digestValueSet(m.decided),
+	), true
+}
+
+// StateDigest implements Digester: the mutual-exclusion verdict depends
+// only on the current critical-section holder.
+func (m *mutexMonitor) StateDigest() (uint64, bool) {
+	return digestStrings("mutex", fmt.Sprintf("%d/%v", m.holder, m.failed)), true
+}
+
+// StateDigest implements Digester. The TM serialization searches
+// re-examine the entire accumulated history on every response, so the
+// monitor's residual state IS the history: the digest is a canonical
+// encoding of the event sequence. Exploration therefore deduplicates TM
+// states only across schedules that produced the identical external
+// history (interleavings that reorder only internal steps), which is
+// sound by construction.
+func (m *TMMonitor) StateDigest() (uint64, bool) {
+	parts := make([]string, 0, len(m.h)+1)
+	parts = append(parts, fmt.Sprintf("tm/%v/%v/%v", m.strict, m.rule, m.failed))
+	for _, e := range m.h {
+		parts = append(parts, digestEvent(e))
+	}
+	return digestStrings(parts...), true
+}
+
+// digestEvent canonically encodes one history event.
+func digestEvent(e history.Event) string {
+	return fmt.Sprintf("%d/%d/%s/%s/%T=%v/%T=%v", e.Kind, e.Proc, e.Op, e.Obj, e.Arg, e.Arg, e.Val, e.Val)
+}
+
+// DigestHistory canonically digests an event sequence. It is the
+// residual-state digest of any monitor that re-judges its accumulated
+// history from scratch (the slx batch-monitor fallback uses it).
+func DigestHistory(tag string, h history.History) uint64 {
+	parts := make([]string, 0, len(h)+1)
+	parts = append(parts, tag)
+	for _, e := range h {
+		parts = append(parts, digestEvent(e))
+	}
+	return digestStrings(parts...)
+}
+
+// StateDigest implements Digester. The linearizability monitor's future
+// verdicts depend on its configuration set and the pending operations;
+// completed operations are frozen inside every configuration's
+// sequential state and never revisited. Configurations are canonically
+// encoded as (spec state, promised responses keyed by process) — the
+// internal operation indices, which depend on the invocation order the
+// history happened to arrive in, are translated to process ids (one
+// pending operation per process) so equivalent states reached through
+// different interleavings digest identically. The pending operations
+// themselves are encoded by (process, op, object, argument).
+//
+// The one residual dependence on history length is the maxLinOps
+// capacity cut-off, which is a function of the per-process operation
+// counts; those are part of the simulator's state fingerprint, so equal
+// cache keys imply equal capacity too.
+func (m *LinMonitor) StateDigest() (uint64, bool) {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("lin/%v/%d", m.failed, len(m.ops)))
+
+	procs := make([]int, 0, len(m.pending))
+	for p := range m.pending {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		op := m.ops[m.pending[p]]
+		parts = append(parts, fmt.Sprintf("pend:%d/%s/%s/%T=%v", p, op.name, op.obj, op.arg, op.arg))
+	}
+
+	cfgs := make([]string, 0, len(m.configs))
+	for _, c := range m.configs {
+		var b strings.Builder
+		fmt.Fprintf(&b, "st:%T=%v", c.st, c.st)
+		if len(c.promises) > 0 {
+			idx := make([]int, 0, len(c.promises))
+			for i := range c.promises {
+				idx = append(idx, i)
+			}
+			// Sort by the promised operation's process: index order is an
+			// accident of invocation arrival.
+			sort.Slice(idx, func(a, b int) bool { return m.ops[idx[a]].proc < m.ops[idx[b]].proc })
+			for _, i := range idx {
+				fmt.Fprintf(&b, ";p%d=%T=%v", m.ops[i].proc, c.promises[i], c.promises[i])
+			}
+		}
+		cfgs = append(cfgs, b.String())
+	}
+	sort.Strings(cfgs)
+	seen := ""
+	for _, c := range cfgs {
+		if c != seen {
+			parts = append(parts, c)
+			seen = c
+		}
+	}
+	return digestStrings(parts...), true
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// Fingerprinter accumulates a canonical 64-bit digest (FNV-1a) of
+// simulation state. Writers must feed state components in a fixed,
+// deterministic order; every component is written with a type tag so
+// adjacent components of different kinds cannot collide by
+// concatenation. The digest is deterministic across runs and processes,
+// which is what lets exploration deduplicate states across replays and
+// lets tests assert "same state, same fingerprint" across schedules.
+type Fingerprinter struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewFingerprinter returns an empty fingerprinter.
+func NewFingerprinter() *Fingerprinter {
+	return &Fingerprinter{h: fnvOffset64}
+}
+
+func (f *Fingerprinter) byteIn(b byte) {
+	f.h = (f.h ^ uint64(b)) * fnvPrime64
+}
+
+func (f *Fingerprinter) tag(t byte) { f.byteIn(t) }
+
+// Str folds a string component into the digest, length-delimited.
+func (f *Fingerprinter) Str(s string) {
+	f.tag('s')
+	f.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		f.byteIn(s[i])
+	}
+}
+
+// Int folds an integer component into the digest.
+func (f *Fingerprinter) Int(v int) {
+	f.tag('i')
+	f.Uint64(uint64(v))
+}
+
+// Bool folds a boolean component into the digest.
+func (f *Fingerprinter) Bool(b bool) {
+	f.tag('b')
+	if b {
+		f.byteIn(1)
+	} else {
+		f.byteIn(0)
+	}
+}
+
+// Uint64 folds a 64-bit word into the digest.
+func (f *Fingerprinter) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.byteIn(byte(v >> (8 * i)))
+	}
+}
+
+// Val folds an arbitrary history value into the digest by its dynamic
+// type and printed content. The encoding is canonical for the value
+// kinds stored in base objects (scalars, comparable structs, pointers to
+// immutable records — fmt prints the pointed-to content): two values
+// that are == or deep-equal by content encode identically, and two
+// values of different dynamic types never collide with each other's
+// content. It is NOT identity-aware: two distinct allocations with equal
+// content encode the same, which is exactly why implementations that
+// compare pointers (CAS over fresh allocations) must not opt into
+// fingerprinting — see Fingerprintable.
+func (f *Fingerprinter) Val(v history.Value) {
+	f.tag('v')
+	if v == nil {
+		f.Str("<nil>")
+		return
+	}
+	f.Str(fmt.Sprintf("%T=%v", v, v))
+}
+
+// Sum returns the digest of everything folded in so far.
+func (f *Fingerprinter) Sum() uint64 { return f.h }
+
+// Fingerprintable is the opt-in state-fingerprint hook: an Object
+// implementing it promises that
+//
+//  1. Fingerprint writes a canonical encoding of ALL state shared
+//     between processes (for implementations built from internal/base
+//     objects: each base object's Fingerprint method, in a fixed
+//     order), such that two instances with equal encodings behave
+//     identically under identical future schedules, and
+//  2. every value Apply reads from shared state into process-local
+//     variables is declared to the executing process via Proc.Observe
+//     (base-object read operations do this automatically), so the
+//     runtime can fold mid-operation local state into the fingerprint.
+//
+// Implementations whose behavior depends on pointer identity — e.g. a
+// compare-and-swap over freshly allocated records, where two
+// content-equal states can still differ on which allocation the CAS
+// will accept — must NOT implement the hook: content encodings cannot
+// distinguish such states, and a fingerprint that equates them would
+// let exploration prune subtrees with genuinely different futures.
+// Objects without the hook simply yield no Result.Fingerprint and
+// exploration's state cache skips them.
+type Fingerprintable interface {
+	Object
+	// Fingerprint writes the object's canonical shared state into f.
+	Fingerprint(f *Fingerprinter)
+}
+
+// fingerprint computes the canonical state fingerprint of the current
+// configuration: the object's declared state, plus each process's
+// control state — status (ready/idle/blocked/crashed, which also
+// encodes the crash set), completed-operation count (its position in a
+// view-independent environment's script), pending invocation, steps
+// taken within the pending operation (its program counter), and the
+// running digest of values it observed within the pending operation
+// (its mid-operation local state). It is called between step windows,
+// when no process is executing.
+func (r *runtime) fingerprint() uint64 {
+	f := NewFingerprinter()
+	r.cfg.Object.(Fingerprintable).Fingerprint(f)
+	for id := 1; id <= r.cfg.Procs; id++ {
+		f.Int(int(r.status[id]))
+		f.Int(r.fpCompleted[id])
+		f.Int(r.fpOpSteps[id])
+		f.Uint64(r.fpObs[id])
+		if p := r.fpPending[id]; p != nil {
+			f.Bool(true)
+			f.Str(p.Op)
+			f.Str(p.Obj)
+			f.Val(p.Arg)
+		} else {
+			f.Bool(false)
+		}
+	}
+	return f.Sum()
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/history"
+)
+
+// fpObject is a two-register object with the fingerprint hook: each
+// process writes its own register, so different schedules can reach the
+// identical state.
+type fpObject struct {
+	a, b *base.Register
+}
+
+func newFPObject() *fpObject {
+	return &fpObject{a: base.NewRegister("a", 0), b: base.NewRegister("b", 0)}
+}
+
+func (o *fpObject) Apply(p *Proc, inv Invocation) history.Value {
+	switch inv.Op {
+	case "write":
+		if p.ID() == 1 {
+			o.a.Write(p, inv.Arg)
+		} else {
+			o.b.Write(p, inv.Arg)
+		}
+		return history.OK
+	case "read":
+		if p.ID() == 1 {
+			return o.a.Read(p)
+		}
+		return o.b.Read(p)
+	}
+	return nil
+}
+
+func (o *fpObject) Fingerprint(f *Fingerprinter) {
+	o.a.Fingerprint(f)
+	o.b.Fingerprint(f)
+}
+
+// fpRun replays the process sequence against a fresh fpObject with
+// fingerprinting on.
+func fpRun(t *testing.T, procs []int, script map[int][]Invocation) *Result {
+	t.Helper()
+	res := Run(Config{
+		Procs:       2,
+		Object:      newFPObject(),
+		Env:         Script(script),
+		Scheduler:   FixedProcs(procs),
+		Fingerprint: true,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if !res.Fingerprinted {
+		t.Fatal("run did not fingerprint despite Config.Fingerprint and the object hook")
+	}
+	return res
+}
+
+// TestFingerprintSameStateAcrossSchedules: two different interleavings
+// that reach the identical configuration — same register contents, both
+// processes done — must produce the identical fingerprint.
+func TestFingerprintSameStateAcrossSchedules(t *testing.T) {
+	script := map[int][]Invocation{
+		1: {{Op: "write", Arg: 7}},
+		2: {{Op: "write", Arg: 9}},
+	}
+	// p1 fully, then p2 — versus interleaved — versus p2 first.
+	orders := [][]int{
+		{1, 1, 2, 2},
+		{1, 2, 1, 2},
+		{2, 2, 1, 1},
+		{2, 1, 2, 1},
+	}
+	want := fpRun(t, orders[0], script).Fingerprint
+	for _, o := range orders[1:] {
+		if got := fpRun(t, o, script).Fingerprint; got != want {
+			t.Errorf("order %v: fingerprint %#x != %#x (same final state must fingerprint equal)", o, got, want)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesState: different register contents, a
+// different pending invocation, or a crash must all change the
+// fingerprint.
+func TestFingerprintDistinguishesState(t *testing.T) {
+	base := fpRun(t, []int{1, 1, 2, 2}, map[int][]Invocation{
+		1: {{Op: "write", Arg: 7}},
+		2: {{Op: "write", Arg: 9}},
+	})
+	differentValue := fpRun(t, []int{1, 1, 2, 2}, map[int][]Invocation{
+		1: {{Op: "write", Arg: 8}},
+		2: {{Op: "write", Arg: 9}},
+	})
+	if base.Fingerprint == differentValue.Fingerprint {
+		t.Error("different register contents fingerprint equal")
+	}
+	midOperation := fpRun(t, []int{1, 1, 2}, map[int][]Invocation{
+		1: {{Op: "write", Arg: 7}},
+		2: {{Op: "write", Arg: 9}},
+	})
+	if base.Fingerprint == midOperation.Fingerprint {
+		t.Error("pending invocation fingerprints equal to completed one")
+	}
+	differentArg := fpRun(t, []int{1, 1, 2}, map[int][]Invocation{
+		1: {{Op: "write", Arg: 7}},
+		2: {{Op: "write", Arg: 10}},
+	})
+	if midOperation.Fingerprint == differentArg.Fingerprint {
+		t.Error("different pending arguments fingerprint equal")
+	}
+}
+
+// TestFingerprintObservations: two configurations that agree on object
+// state, program counters, pending invocations and crash set but
+// differ in what a process READ mid-operation must fingerprint
+// differently — the read value is live local state that determines the
+// process's next move (the stale-test-and-set distinction DESIGN.md's
+// soundness argument leans on).
+func TestFingerprintObservations(t *testing.T) {
+	obsOf := func(procs []int) uint64 {
+		res := Run(Config{
+			Procs:       2,
+			Object:      &sharedRegObject{r: base.NewRegister("s", 0)},
+			Env:         Script(map[int][]Invocation{1: {{Op: "read"}}, 2: {{Op: "write", Arg: 5}, {Op: "write", Arg: 0}}}),
+			Scheduler:   FixedProcs(procs),
+			Fingerprint: true,
+		})
+		if res.Err != nil || !res.Fingerprinted {
+			t.Fatalf("run failed: %v (fingerprinted=%v)", res.Err, res.Fingerprinted)
+		}
+		return res.Fingerprint
+	}
+	// p1's read step runs while the register is 0 (before p2's writes)
+	// versus while it is 5 (between them); p2 then restores 0, so both
+	// runs end with the identical object state, statuses and counters.
+	before := obsOf([]int{1, 1, 2, 2, 2, 2})
+	during := obsOf([]int{2, 2, 1, 1, 2, 2})
+	if before == during {
+		t.Error("different mid-operation observations fingerprint equal")
+	}
+}
+
+// sharedRegObject reads/writes one shared register; "read" performs a
+// probe step (the observation) and then parks the process, keeping the
+// operation pending so the observed value stays live local state.
+type sharedRegObject struct {
+	r *base.Register
+}
+
+func (o *sharedRegObject) Apply(p *Proc, inv Invocation) history.Value {
+	switch inv.Op {
+	case "read":
+		v := o.r.Read(p)
+		p.Block()
+		return v
+	case "write":
+		o.r.Write(p, inv.Arg)
+		return history.OK
+	}
+	return nil
+}
+
+func (o *sharedRegObject) Fingerprint(f *Fingerprinter) { o.r.Fingerprint(f) }
+
+// TestFingerprintOffByDefault: without Config.Fingerprint the result
+// carries no fingerprint even when the object has the hook.
+func TestFingerprintOffByDefault(t *testing.T) {
+	res := Run(Config{
+		Procs:     2,
+		Object:    newFPObject(),
+		Env:       Script(map[int][]Invocation{1: {{Op: "write", Arg: 1}}}),
+		Scheduler: FixedProcs([]int{1, 1}),
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if res.Fingerprinted {
+		t.Error("Fingerprinted set without Config.Fingerprint")
+	}
+}
+
+// TestFingerprintLazyArgPoisons: a LazyArg resolves against the
+// scheduling-time view, so no configuration fingerprint can stand in
+// for the process's local state; the run must refuse to fingerprint.
+func TestFingerprintLazyArgPoisons(t *testing.T) {
+	res := Run(Config{
+		Procs:  2,
+		Object: newFPObject(),
+		Env: Script(map[int][]Invocation{
+			1: {{Op: "write", Arg: LazyArg(func(v *View) history.Value { return len(v.H) })}},
+		}),
+		Scheduler:   FixedProcs([]int{1, 1}),
+		Fingerprint: true,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if res.Fingerprinted {
+		t.Error("LazyArg run still fingerprinted; lazy resolution must poison the fingerprint")
+	}
+}
+
+// TestFingerprintCrashSet: crashing a process changes the fingerprint
+// even when object state and everyone's progress are unchanged.
+func TestFingerprintCrashSet(t *testing.T) {
+	clean := fpRun(t, []int{1, 1}, map[int][]Invocation{
+		1: {{Op: "write", Arg: 7}},
+		2: {{Op: "write", Arg: 9}},
+	})
+	crashed := Run(Config{
+		Procs:  2,
+		Object: newFPObject(),
+		Env: Script(map[int][]Invocation{
+			1: {{Op: "write", Arg: 7}},
+			2: {{Op: "write", Arg: 9}},
+		}),
+		Scheduler:   Seq(FixedProcs([]int{1, 1}), Fixed([]Decision{{Proc: 2, Crash: true}})),
+		Fingerprint: true,
+	})
+	if crashed.Err != nil || !crashed.Fingerprinted {
+		t.Fatalf("crash run failed: %v (fingerprinted=%v)", crashed.Err, crashed.Fingerprinted)
+	}
+	if clean.Fingerprint == crashed.Fingerprint {
+		t.Error("crashing a process left the fingerprint unchanged")
+	}
+}

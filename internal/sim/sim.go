@@ -237,6 +237,17 @@ type Result struct {
 	// is recorded only when the Object implements Footprinted and opts
 	// in; nil otherwise.
 	Accesses []Access
+	// Fingerprint is the canonical digest of the configuration the run
+	// stopped in: object state (via the Fingerprintable hook), process
+	// program counters and observations, pending invocations, and the
+	// crash set. Valid only when Fingerprinted is true — the run was
+	// configured with Config.Fingerprint, the object implements
+	// Fingerprintable, and no lazy argument poisoned the run (a LazyArg
+	// resolves against the scheduling-time view, making local state
+	// depend on more than the reached configuration).
+	Fingerprint uint64
+	// Fingerprinted reports whether Fingerprint is valid.
+	Fingerprinted bool
 }
 
 // EventsSince returns the events recorded at history index n or later —
@@ -269,6 +280,11 @@ type Config struct {
 	Scheduler Scheduler
 	// MaxSteps bounds the run; 0 means DefaultMaxSteps.
 	MaxSteps int
+	// Fingerprint asks the run to compute Result.Fingerprint when the
+	// Object implements Fingerprintable. Off by default: fingerprinting
+	// costs a full state walk per run, which exploration only wants when
+	// its state cache is enabled.
+	Fingerprint bool
 }
 
 type procStatus int
@@ -328,6 +344,23 @@ func (p *Proc) Access(obj string, write bool) {
 	r.declCount++
 }
 
+// Observe folds v — a value the current granted step read from shared
+// state — into the executing process's local-state fingerprint. Base
+// objects (internal/base) call it on behalf of their read operations;
+// an implementation opting into Fingerprintable whose Apply reads
+// shared state through its own steps must declare the values itself
+// (see Fingerprintable). Observe must only be called within a granted
+// step's window; it is a no-op when the run is not fingerprinting.
+func (p *Proc) Observe(v history.Value) {
+	r := p.rt
+	if !r.fpTrack {
+		return
+	}
+	f := Fingerprinter{h: r.fpObs[p.id]}
+	f.Val(v)
+	r.fpObs[p.id] = f.Sum()
+}
+
 // Block parks the process forever: the current operation never completes
 // and the process never takes another step. It models implementations whose
 // automata stop enabling actions (e.g. the trivial implementation I_t in
@@ -371,6 +404,20 @@ type runtime struct {
 	declCount int
 	declMixed bool
 	lazyStep  bool
+
+	// State-fingerprint tracking (only when Config.Fingerprint is set and
+	// the object opts in via Fingerprintable). Per-process, index 0
+	// unused: the running observation digest of the pending operation,
+	// the pending invocation, steps taken within the pending operation,
+	// and completed-operation count. fpPoisoned marks a run whose local
+	// state depends on a scheduling-time view (LazyArg), which no
+	// configuration fingerprint can capture.
+	fpTrack     bool
+	fpObs       []uint64
+	fpPending   []*Invocation
+	fpOpSteps   []int
+	fpCompleted []int
+	fpPoisoned  bool
 }
 
 // beginWindow resets the per-window footprint accumulators.
@@ -407,6 +454,19 @@ func (r *runtime) endWindow(evBefore int) Access {
 func (r *runtime) record(e history.Event) {
 	r.h = append(r.h, e)
 	r.eventSteps = append(r.eventSteps, r.steps)
+	if r.fpTrack {
+		switch e.Kind {
+		case history.KindInvoke:
+			r.fpPending[e.Proc] = &Invocation{Op: e.Op, Obj: e.Obj, Arg: e.Arg}
+		case history.KindResponse:
+			// The operation is over: its local variables are dead, so the
+			// observation digest and in-operation step counter reset.
+			r.fpPending[e.Proc] = nil
+			r.fpCompleted[e.Proc]++
+			r.fpOpSteps[e.Proc] = 0
+			r.fpObs[e.Proc] = fnvOffset64
+		}
+	}
 }
 
 func (r *runtime) view() *View {
@@ -467,6 +527,7 @@ func (r *runtime) procLoop(p *Proc) {
 			if la, lazy := inv.Arg.(LazyArg); lazy {
 				inv.Arg = la(r.view())
 				r.lazyStep = true
+				r.fpPoisoned = true
 			}
 			r.record(history.Event{
 				Kind: history.KindInvoke, Proc: p.id,
@@ -500,6 +561,16 @@ func Run(cfg Config) *Result {
 	}
 	if f, ok := cfg.Object.(Footprinted); ok && f.Footprints() {
 		r.track = true
+	}
+	if _, ok := cfg.Object.(Fingerprintable); ok && cfg.Fingerprint {
+		r.fpTrack = true
+		r.fpObs = make([]uint64, cfg.Procs+1)
+		for i := range r.fpObs {
+			r.fpObs[i] = fnvOffset64
+		}
+		r.fpPending = make([]*Invocation, cfg.Procs+1)
+		r.fpOpSteps = make([]int, cfg.Procs+1)
+		r.fpCompleted = make([]int, cfg.Procs+1)
 	}
 
 	// Start processes one at a time so initial readiness is deterministic.
@@ -557,6 +628,11 @@ func Run(cfg Config) *Result {
 		}
 		r.steps++
 		r.stepsBy[d.Proc]++
+		if r.fpTrack {
+			// Incremented before the window so a response recorded within
+			// it (which ends the operation) resets the counter to zero.
+			r.fpOpSteps[d.Proc]++
+		}
 		r.schedule = append(r.schedule, d)
 		p := r.procs[d.Proc]
 		evBefore := len(r.h)
@@ -585,5 +661,9 @@ func Run(cfg Config) *Result {
 	res.Blocked = final.Blocked
 	res.Crashed = final.Crashed
 	res.Accesses = r.accesses
+	if r.fpTrack && !r.fpPoisoned {
+		res.Fingerprint = r.fingerprint()
+		res.Fingerprinted = true
+	}
 	return res
 }

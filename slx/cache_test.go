@@ -1,0 +1,178 @@
+package slx_test
+
+// Cross-checks of the state-fingerprint cache through the public API:
+// for every example object, Explore with WithStateCache must return the
+// identical verdict as exploration without it — with POR off and on, on
+// clean objects and on seeded-bug objects alike — and a cached witness
+// must replay to a real violation. This is the acceptance gate of the
+// cache's soundness story (see DESIGN.md "State caching"): the cache key
+// combines the simulator's configuration fingerprint with the property
+// monitors' canonical residual-state digests, so a hit implies the
+// already-explored subtree judged the same futures the pruned one would.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/slx"
+)
+
+// TestExploreCacheVerdictsMatch is the public-API acceptance gate: for
+// every example object the Explore verdicts with and without
+// WithStateCache are identical — per property, with POR off and on —
+// violating objects included.
+func TestExploreCacheVerdictsMatch(t *testing.T) {
+	for name, tc := range porCases() {
+		tc := tc
+		for _, por := range []bool{false, true} {
+			sub := name + "/por=off"
+			if por {
+				sub = name + "/por=on"
+			}
+			t.Run(sub, func(t *testing.T) {
+				base := tc.opts[:len(tc.opts):len(tc.opts)]
+				if por {
+					base = append(base, slx.WithPOR())
+					base = base[:len(base):len(base)]
+				}
+				plain, err := slx.New(base...).Explore(tc.props...)
+				if err != nil {
+					t.Fatalf("explore: %v", err)
+				}
+				cached, err := slx.New(append(base, slx.WithStateCache())...).Explore(tc.props...)
+				if err != nil {
+					t.Fatalf("cached explore: %v", err)
+				}
+				if plain.OK() != cached.OK() {
+					t.Fatalf("verdicts differ: plain OK=%v, cached OK=%v\nplain: %s\ncached: %s",
+						plain.OK(), cached.OK(), plain, cached)
+				}
+				if !plain.OK() {
+					pv, cv := plain.Failures()[0], cached.Failures()[0]
+					if pv.Property != cv.Property {
+						t.Errorf("different properties failed: plain %q, cached %q", pv.Property, cv.Property)
+					}
+					if cv.Witness == nil {
+						t.Error("cached failure carries no witness")
+					}
+				}
+				if plain.CacheHits != 0 {
+					t.Errorf("cache off reported %d hits, want 0", plain.CacheHits)
+				}
+				if cached.Prefixes > plain.Prefixes {
+					t.Errorf("cached exploration explored more prefixes (%d) than plain (%d)", cached.Prefixes, plain.Prefixes)
+				}
+				t.Logf("prefixes plain=%d cached=%d hits=%d ok=%v", plain.Prefixes, cached.Prefixes, cached.CacheHits, plain.OK())
+			})
+		}
+	}
+}
+
+// TestExploreCacheWitnessReplays checks a violation witness found with
+// the cache on reproduces its violation through Checker.Replay.
+func TestExploreCacheWitnessReplays(t *testing.T) {
+	tc := porCases()["racy-lock/violation"]
+	prop := tc.props[0]
+	rep, err := slx.New(append(tc.opts, slx.WithStateCache())...).Explore(prop)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("racy lock must violate mutual exclusion")
+	}
+	replay, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Replay(rep.Witness(), prop)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replay.OK() {
+		t.Errorf("witness %v replayed clean:\n%s", rep.Witness(), replay)
+	}
+}
+
+// TestExploreCacheRequiresMonitors pins the soundness guard: the cache
+// keys on monitor state digests, so the batch path rejects it.
+func TestExploreCacheRequiresMonitors(t *testing.T) {
+	tc := porCases()["register/linearizability"]
+	_, err := slx.New(append(tc.opts, slx.WithStateCache(), slx.WithBatchExplore())...).Explore(tc.props...)
+	if err == nil || !strings.Contains(err.Error(), "WithStateCache") {
+		t.Fatalf("WithStateCache+WithBatchExplore must be rejected, got %v", err)
+	}
+}
+
+// TestWorkersClamped pins the WithWorkers contract: values below 1 are
+// clamped to 1 and Report.Workers records the count actually used.
+func TestWorkersClamped(t *testing.T) {
+	tc := porCases()["register/linearizability"]
+	for _, n := range []int{-3, 0, 1, 4} {
+		rep, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)], slx.WithWorkers(n))...).Explore(tc.props...)
+		if err != nil {
+			t.Fatalf("explore with %d workers: %v", n, err)
+		}
+		want := n
+		if want < 1 {
+			want = 1
+		}
+		if rep.Workers != want {
+			t.Errorf("WithWorkers(%d): Report.Workers = %d, want %d", n, rep.Workers, want)
+		}
+		if !rep.OK() {
+			t.Errorf("WithWorkers(%d): unexpected violation: %s", n, rep)
+		}
+	}
+}
+
+// TestExploreCacheParallelVerdictsMatch checks verdicts stay identical
+// when the cache, POR and the work-stealing scheduler compose, on a
+// clean and on a violating object.
+func TestExploreCacheParallelVerdictsMatch(t *testing.T) {
+	for _, name := range []string{"register/linearizability", "racy-lock/violation", "commit-adopt/crashes+workers"} {
+		tc := porCases()[name]
+		t.Run(name, func(t *testing.T) {
+			seq, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Explore(tc.props...)
+			if err != nil {
+				t.Fatalf("sequential explore: %v", err)
+			}
+			par, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)],
+				slx.WithStateCache(), slx.WithPOR(), slx.WithWorkers(4))...).Explore(tc.props...)
+			if err != nil {
+				t.Fatalf("parallel cached explore: %v", err)
+			}
+			if seq.OK() != par.OK() {
+				t.Fatalf("verdicts differ: sequential OK=%v, parallel+cache+por OK=%v", seq.OK(), par.OK())
+			}
+			if !seq.OK() {
+				// The parallel witness must reproduce the violation, even if
+				// the shared cache made a different equivalent witness win.
+				replay, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Replay(par.Witness(), tc.props...)
+				if err != nil {
+					t.Fatalf("replay: %v", err)
+				}
+				if replay.OK() {
+					t.Errorf("parallel witness %v replayed clean", par.Witness())
+				}
+			}
+		})
+	}
+}
+
+// TestExploreCacheSkipsUnfingerprintedObjects double-checks graceful
+// degradation: an object without the fingerprint hook explores the
+// identical tree under WithStateCache, with zero hits.
+func TestExploreCacheSkipsUnfingerprintedObjects(t *testing.T) {
+	tc := porCases()["i12/property-s"] // TM objects deliberately have no hook (pointer-identity CAS)
+	plain, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Explore(tc.props...)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	cached, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)], slx.WithStateCache())...).Explore(tc.props...)
+	if err != nil {
+		t.Fatalf("cached explore: %v", err)
+	}
+	if cached.CacheHits != 0 {
+		t.Errorf("unfingerprintable object produced %d cache hits, want 0", cached.CacheHits)
+	}
+	if cached.Prefixes != plain.Prefixes || cached.SimSteps != plain.SimSteps {
+		t.Errorf("cache changed the explored tree on an unfingerprintable object: %d/%d vs %d/%d",
+			cached.Prefixes, cached.SimSteps, plain.Prefixes, plain.SimSteps)
+	}
+}

@@ -54,6 +54,19 @@ func (m *safetyMonitor) Fork() slx.Monitor {
 	return &safetyMonitor{name: m.name, inner: m.inner.Fork(), events: m.events, failAt: m.failAt, failEv: m.failEv}
 }
 
+// StateDigest implements slx.Digester by delegating to the native
+// monitor's safety.Digester hook. The wrapper's own event counter needs
+// no digesting: it equals the total event count, which the simulator
+// state fingerprint pins (per-process completed and pending operations
+// and the crash set determine it).
+func (m *safetyMonitor) StateDigest() (uint64, bool) {
+	d, ok := m.inner.(safety.Digester)
+	if !ok {
+		return 0, false
+	}
+	return d.StateDigest()
+}
+
 // monitored builds the standard slx.Property for a native incremental
 // checker: batch Check through holds, exploration through spawn.
 func monitored(name string, holds func(h hist.History) bool, spawn func() safety.Monitor) slx.Property {

@@ -28,6 +28,7 @@ type Checker struct {
 	window    int
 	batch     bool
 	por       bool
+	cache     bool
 	ctx       context.Context
 }
 
@@ -62,8 +63,15 @@ func WithDepth(n int) Option { return func(c *Checker) { c.depth = n } }
 // subtrees). Default: 0 (no crash injection).
 func WithCrashes(n int) Option { return func(c *Checker) { c.crashes = n } }
 
-// WithWorkers explores first-level subtrees concurrently, at most n at a
-// time. Properties are then checked from multiple goroutines. Default: 1.
+// WithWorkers explores with n concurrent workers under a bounded
+// work-stealing scheduler: workers split sibling subtrees into
+// stealable tasks and share the sleep-set precomputation and the
+// WithStateCache visited set, while violations stay deterministic (the
+// failure at the lexicographically least schedule prefix — the one
+// sequential exploration reports — wins regardless of worker timing).
+// Properties are then checked from multiple goroutines. Values below 1
+// are clamped to 1; Report.Workers records the count actually used.
+// Default: 1.
 func WithWorkers(n int) Option { return func(c *Checker) { c.workers = n } }
 
 // WithWindow sets the liveness tail-window length in steps; 0 means half
@@ -86,6 +94,24 @@ func WithContext(ctx context.Context) Option { return func(c *Checker) { c.ctx =
 // different (equivalent) schedule than full exploration reports.
 // Default: off.
 func WithPOR() Option { return func(c *Checker) { c.por = true } }
+
+// WithStateCache enables state-fingerprint deduplication in Explore:
+// prefixes that reach a configuration already fully explored — same
+// object state (via the run.Fingerprintable hook), same process program
+// counters, pending invocations, observations and crash set, and the
+// same property-monitor residual state — are pruned and counted in
+// Report.CacheHits. Objects without the fingerprint hook (or whose
+// correctness depends on pointer identity, which the hook's contract
+// excludes) explore the full tree exactly as before. The cache requires
+// the incremental monitor path: combining it with WithBatchExplore (or
+// a property whose Spawn returns nil) is an error, because cache-hit
+// soundness rests on the monitors' canonical state digests. Like
+// WithPOR it assumes environments that decide invocations per process,
+// independently of the view — true of every environment in this
+// repository. Composes with WithPOR and WithWorkers; under WithWorkers
+// the shared cache makes which equivalent witness is reported
+// timing-dependent (verdicts are unaffected). Default: off.
+func WithStateCache() Option { return func(c *Checker) { c.cache = true } }
 
 // WithBatchExplore forces Explore onto the legacy batch path: every
 // property re-judges the entire history of every explored prefix instead
@@ -282,6 +308,29 @@ func (s *monitorSet) Fork() explore.MonitorSet {
 	return &monitorSet{mons: mons, scans: s.scans}
 }
 
+// StateDigest implements explore.Digester by chaining the property
+// monitors' digests in property order. The set is digestable only when
+// every monitor is (see Digester); one undigestable monitor makes the
+// prefix uncacheable, never unsound.
+func (s *monitorSet) StateDigest() (uint64, bool) {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for _, m := range s.mons {
+		dg, ok := m.(Digester)
+		if !ok {
+			return 0, false
+		}
+		d, ok := dg.StateDigest()
+		if !ok {
+			return 0, false
+		}
+		for i := 0; i < 8; i++ {
+			h = (h ^ (d >> (8 * i) & 0xff)) * prime
+		}
+	}
+	return h, true
+}
+
 // Explore enumerates every schedule up to the configured depth
 // (optionally with crash injection) and checks each property on every
 // reachable history prefix. Only safety properties are admissible:
@@ -315,6 +364,13 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 			batch = true
 		}
 	}
+	if batch && c.cache {
+		return nil, fmt.Errorf("slx: WithStateCache requires the incremental monitor path (cache-hit soundness rests on monitor state digests); drop WithBatchExplore and use properties with native monitors")
+	}
+	workers := c.workers
+	if workers < 1 {
+		workers = 1
+	}
 	var scans atomic.Int64
 	ecfg := explore.Config{
 		Procs:     c.procs,
@@ -322,8 +378,9 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		NewEnv:    c.newEnv,
 		Depth:     c.depth,
 		Crashes:   c.crashes,
-		Workers:   c.workers,
+		Workers:   workers,
 		POR:       c.por,
+		Cache:     c.cache,
 		Ctx:       c.ctx,
 	}
 	if batch {
@@ -347,7 +404,14 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		}
 	}
 	st, err := explore.Run(ecfg)
-	rep := &Report{Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps, Pruned: st.Pruned, EventScans: int(scans.Load())}
+	if st == nil {
+		return nil, fmt.Errorf("slx: exploration failed: %w", err)
+	}
+	rep := &Report{
+		Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps,
+		Pruned: st.Pruned, CacheHits: st.CacheHits, Workers: st.Workers,
+		EventScans: int(scans.Load()),
+	}
 	if err != nil {
 		var vio *violation
 		if errors.As(err, &vio) {

@@ -3,6 +3,7 @@ package slx
 import (
 	"fmt"
 
+	"repro/internal/safety"
 	"repro/slx/hist"
 )
 
@@ -27,6 +28,19 @@ type Monitor interface {
 	Verdict() Verdict
 	// Fork returns an independent monitor with this monitor's state.
 	Fork() Monitor
+}
+
+// Digester is the optional hook a Monitor implements to make explored
+// states cacheable under WithStateCache: StateDigest returns a
+// canonical 64-bit digest of the monitor's residual state — everything
+// its future Step verdicts can depend on — such that two monitors with
+// equal digests accept and reject exactly the same event suffixes.
+// ok=false marks the current state undigestable; the surrounding prefix
+// is then neither looked up in nor stored to the state cache. Every
+// property in slx/check digests; a custom Monitor without the hook
+// simply makes explorations over it uncacheable, never unsound.
+type Digester interface {
+	StateDigest() (uint64, bool)
 }
 
 // BatchMonitor adapts a prefix-monotone history predicate into a Monitor
@@ -76,6 +90,16 @@ func (m *batchMonitor) Verdict() Verdict {
 func (m *batchMonitor) Fork() Monitor {
 	m.h = m.h[:len(m.h):len(m.h)] // clip: a later append by either copy reallocates
 	return &batchMonitor{name: m.name, holds: m.holds, h: m.h, failedAt: m.failedAt}
+}
+
+// StateDigest implements Digester. The batch monitor re-judges its
+// whole accumulated history on every step, so its residual state IS the
+// history: the digest is a canonical encoding of the event sequence,
+// and the state cache deduplicates only across schedules that produced
+// the identical external history — sound for any prefix-monotone
+// predicate, however history-dependent.
+func (m *batchMonitor) StateDigest() (uint64, bool) {
+	return safety.DigestHistory("batch:"+m.name, m.h), true
 }
 
 // MonitoredSafety builds a safety Property with a native incremental

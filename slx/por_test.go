@@ -18,14 +18,15 @@ import (
 	"repro/slx/tm"
 )
 
-// porRegister is a linearizable register with declared footprints.
+// porRegister is a linearizable register with declared footprints,
+// observations and a state fingerprint.
 type porRegister struct{ v hist.Value }
 
 func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v })
+		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
 	case "write":
 		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
 	}
@@ -33,6 +34,8 @@ func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 }
 
 func (r *porRegister) Footprints() bool { return true }
+
+func (r *porRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
 
 // lossyRegister is a seeded bug: process 2's writes acknowledge without
 // taking effect, so its write-then-read is not linearizable.
@@ -42,7 +45,7 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v })
+		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
 	case "write":
 		p.Exec("write", func() {
 			p.Access("r", true)
@@ -57,6 +60,8 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 
 func (r *lossyRegister) Footprints() bool { return true }
 
+func (r *lossyRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
+
 // racyLock is a seeded deep bug: test and set are separate register
 // steps, so mutual exclusion breaks only on the interleavings where both
 // processes read the lock free before either takes it — violations that
@@ -68,7 +73,7 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case mutex.OpAcquire:
 		for {
 			var free bool
-			p.Exec("test", func() { p.Access("lock", false); free = !l.held })
+			p.Exec("test", func() { p.Access("lock", false); free = !l.held; p.Observe(free) })
 			if free {
 				p.Exec("set", func() { p.Access("lock", true); l.held = true })
 				return mutex.Locked
@@ -82,6 +87,8 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 }
 
 func (l *racyLock) Footprints() bool { return true }
+
+func (l *racyLock) Fingerprint(f *run.Fingerprinter) { f.Str("lock"); f.Bool(l.held) }
 
 // regEnv writes a distinct value per process, then reads.
 func regEnv(procs int) func() run.Environment {

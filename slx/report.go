@@ -60,6 +60,13 @@ type Report struct {
 	// Pruned counts the subtrees partial-order reduction skipped during
 	// an exploration (0 unless WithPOR).
 	Pruned int
+	// CacheHits counts the subtrees skipped because their root's
+	// configuration was already fully explored (0 unless
+	// WithStateCache).
+	CacheHits int
+	// Workers is the number of exploration workers actually used:
+	// WithWorkers clamped to at least 1. Zero outside ModeExplore.
+	Workers int
 	// EventScans counts the events fed to the property layer during an
 	// exploration: one per (event, monitor) pair on the incremental path,
 	// len(history)·len(properties) per prefix on the batch path. It is
@@ -117,6 +124,12 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans", r.Prefixes, r.SimSteps, r.EventScans)
 		if r.Pruned > 0 {
 			fmt.Fprintf(&b, ", %d subtrees pruned", r.Pruned)
+		}
+		if r.CacheHits > 0 {
+			fmt.Fprintf(&b, ", %d state-cache hits", r.CacheHits)
+		}
+		if r.Workers > 1 {
+			fmt.Fprintf(&b, ", %d workers", r.Workers)
 		}
 		b.WriteString("\n")
 	case ModeAdversary:

@@ -39,6 +39,17 @@ type Footprinted = sim.Footprinted
 // Access is the recorded footprint of one scheduler decision.
 type Access = sim.Access
 
+// Fingerprintable is the opt-in state-fingerprint hook for exploration's
+// state cache: Objects implementing it promise a canonical content
+// encoding of all shared state (never pointer-identity-sensitive) and
+// that every value Apply reads from shared state is declared via
+// Proc.Observe (repository base objects declare automatically).
+type Fingerprintable = sim.Fingerprintable
+
+// Fingerprinter accumulates the canonical state digest an Object's
+// Fingerprint hook writes into.
+type Fingerprinter = sim.Fingerprinter
+
 // Environment decides which operations processes invoke.
 type Environment = sim.Environment
 
