@@ -7,12 +7,13 @@
 //
 // Gates, per section present in both the run and the baseline:
 //
-//   - prefixes/sec must not drop below baseline/ratio (wall-clock
-//     throughput regression; ratio defaults to 2× to absorb runner
-//     noise),
 //   - the prefixes and eventScans counts must not exceed baseline×ratio
 //     (these are deterministic, so growth means a reduction — monitors,
-//     POR, the state cache — actually regressed).
+//     POR, the state cache — actually regressed);
+//   - prefixes/sec below baseline/ratio is reported in the artifact and
+//     the log but is ADVISORY only: wall-clock throughput depends on
+//     the host, and a contended shared CI runner must not fail a build
+//     the deterministic counters prove clean.
 //
 // Usage:
 //
@@ -52,7 +53,8 @@ type metrics struct {
 	PrefixesPerSec float64 `json:"prefixes_per_sec"`
 }
 
-// comparison is one gate evaluation.
+// comparison is one gate evaluation. Advisory comparisons (wall-clock
+// throughput) are recorded but never fail the run.
 type comparison struct {
 	Section  string  `json:"section"`
 	Metric   string  `json:"metric"`
@@ -60,6 +62,7 @@ type comparison struct {
 	Baseline float64 `json:"baseline"`
 	Ratio    float64 `json:"ratio"`
 	OK       bool    `json:"ok"`
+	Advisory bool    `json:"advisory,omitempty"`
 }
 
 // report is the uploaded artifact.
@@ -102,7 +105,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtrend: note: no baseline section %q (new benchmark?)\n", key)
 			continue
 		}
-		rep.check(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
+		rep.checkAdvisory(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
 		rep.check(key, "prefixes", m.Prefixes, b.Prefixes, m.Prefixes <= b.Prefixes**ratio)
 		rep.check(key, "event_scans", m.EventScans, b.EventScans, m.EventScans <= b.EventScans**ratio)
 	}
@@ -116,7 +119,10 @@ func main() {
 	}
 	for _, c := range rep.Comparisons {
 		status := "ok"
-		if !c.OK {
+		switch {
+		case !c.OK && c.Advisory:
+			status = "SLOW (advisory, host-dependent — not gating)"
+		case !c.OK:
 			status = "REGRESSION"
 		}
 		fmt.Printf("%-22s %-16s measured %12.0f baseline %12.0f  %s\n", c.Section, c.Metric, c.Measured, c.Baseline, status)
@@ -137,6 +143,16 @@ func (r *report) check(section, metric string, measured, baseline float64, ok bo
 	if !ok {
 		r.Pass = false
 	}
+}
+
+// checkAdvisory records a comparison that informs but never gates.
+func (r *report) checkAdvisory(section, metric string, measured, baseline float64, ok bool) {
+	if baseline == 0 {
+		return
+	}
+	r.Comparisons = append(r.Comparisons, comparison{
+		Section: section, Metric: metric, Measured: measured, Baseline: baseline, Ratio: r.Ratio, OK: ok, Advisory: true,
+	})
 }
 
 // parseBench extracts the per-benchmark metrics from `go test -bench`

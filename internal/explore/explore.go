@@ -250,7 +250,6 @@ func inSleep(sleep []sleepEntry, d sim.Decision) bool {
 type engine struct {
 	cfg     Config
 	visited *visitedSet // non-nil iff cfg.Cache
-	pool    *wsPool     // non-nil iff parallel
 }
 
 // Run explores exhaustively. It returns the statistics and the first
@@ -340,12 +339,7 @@ func stepDelta(ms MonitorSet, res *sim.Result, parentEvents int, prefix []sim.De
 // combineKey mixes the configuration fingerprint with the monitor
 // digest into one cache key.
 func combineKey(fp, digest uint64) uint64 {
-	const prime = 1099511628211
-	h := fp
-	for i := 0; i < 8; i++ {
-		h = (h ^ (digest >> (8 * i) & 0xff)) * prime
-	}
-	return h
+	return history.DigestWord(fp, digest)
 }
 
 // explore visits the prefix and recurses into its children. w is the
@@ -493,7 +487,17 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 			z = append(z, sleepEntry{d: d, a: a})
 		}
 	}
-	if cacheable && complete && spawned == 0 {
+	if spawned > 0 {
+		// Later live children were handed to the pool and may not have
+		// run yet, so neither this node nor any ancestor has seen its
+		// whole subtree: report it incomplete so no one on this path
+		// publishes a visited-set entry covering pending tasks. (A stored
+		// entry for a subtree with unexplored descendants could prune the
+		// very task meant to explore them — two such entries can even
+		// cross-prune each other — losing violations.)
+		complete = false
+	}
+	if cacheable && complete {
 		g.visited.store(ckey, remDepth, remCrashes, zStart)
 	}
 	return my, complete, nil

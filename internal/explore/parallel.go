@@ -3,6 +3,7 @@ package explore
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -112,6 +113,13 @@ type wsPool struct {
 	best        *wsFailure
 	fatalErr    error
 	total       *Stats
+
+	// Lock-free snapshots of best.path and the abort flag for cutoff,
+	// which runs on every explored node: a stale read only delays a
+	// cutoff (extra work, never a wrong skip), so the hot path need not
+	// contend on mu with the deque operations.
+	bestPath atomic.Pointer[[]int]
+	aborted  atomic.Bool
 }
 
 // runParallel explores the tree with the work-stealing pool.
@@ -119,7 +127,6 @@ func (g *engine) runParallel(workers int) (*Stats, error) {
 	total := &Stats{Workers: workers}
 	p := &wsPool{g: g, deques: make([][]*wsTask, workers), total: total}
 	p.cond = sync.NewCond(&p.mu)
-	g.pool = p
 	var ms MonitorSet
 	if g.cfg.NewMonitors != nil {
 		ms = g.cfg.NewMonitors()
@@ -215,11 +222,14 @@ func (p *wsPool) skipLocked(t *wsTask) bool {
 
 // cutoff reports whether a node at path should not be explored: the
 // pool is aborting, or a failure preorder-before (or at) it is already
-// known.
+// known. It reads the atomic snapshots, not mu — see their field
+// comment for why staleness is harmless.
 func (p *wsPool) cutoff(path []int) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.fatalErr != nil || (p.best != nil && cmpPath(path, p.best.path) >= 0)
+	if p.aborted.Load() {
+		return true
+	}
+	best := p.bestPath.Load()
+	return best != nil && cmpPath(path, *best) >= 0
 }
 
 // room reports whether worker id's deque can take n more tasks. Only
@@ -261,14 +271,17 @@ func (p *wsPool) finish(st *Stats, err error) {
 		case errors.As(err, &fe):
 			if p.fatalErr == nil {
 				p.fatalErr = fe.err
+				p.aborted.Store(true)
 			}
 		case errors.As(err, &ne):
 			if p.best == nil || cmpPath(ne.path, p.best.path) < 0 {
 				p.best = &wsFailure{path: ne.path, err: ne.err, witness: st.Witness}
+				p.bestPath.Store(&p.best.path)
 			}
 		default:
 			if p.fatalErr == nil {
 				p.fatalErr = err
+				p.aborted.Store(true)
 			}
 		}
 	}

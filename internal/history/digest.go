@@ -1,0 +1,172 @@
+package history
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// FNV-1a primitives shared by every canonical digest in the tree — the
+// simulator's state fingerprints, the safety monitors' residual-state
+// digests, and exploration's cache keys. One home for the offset/prime
+// constants and the byte fold keeps the mixings from silently
+// diverging.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// DigestSeed returns the FNV-1a offset basis, the initial value of
+// every digest.
+func DigestSeed() uint64 { return fnvOffset64 }
+
+// DigestByte folds one byte into an FNV-1a digest.
+func DigestByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// DigestWord folds a 64-bit word into an FNV-1a digest, little-endian.
+func DigestWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = DigestByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// AppendCanonical appends a canonical encoding of v to dst and reports
+// whether v could be encoded. The encoding is injective on encodable
+// values: every node carries its kind and dynamic type, and every
+// variable-size component is length-delimited, so two values encode
+// equal iff they are structurally equal by content — unlike fmt's %v,
+// which space-joins composite elements ([]string{"x y"} and
+// []string{"x","y"} both print "[x y]"). Map entries are sorted by
+// their encodings, so insertion order cannot leak in.
+//
+// ok=false (the returned slice may hold a partial encoding — discard
+// it) when v contains a component whose content cannot be canonically
+// encoded:
+//
+//   - a non-nil pointer below the top level (content encodings equate
+//     distinct allocations, which is exactly what pointer-identity
+//     state must not allow — see sim.Fingerprintable — and following
+//     them could cycle); a nil pointer is content (it encodes as nil),
+//     and the one top-level pointer to a composite is dereferenced;
+//   - channels, functions, uintptrs, unsafe pointers;
+//   - types implementing fmt.Formatter, fmt.Stringer, or error, whose
+//     methods take over their fmt rendering — callers that mix encoded
+//     values with fmt output could otherwise be fooled by a method
+//     that formats an address.
+func AppendCanonical(dst []byte, v Value) ([]byte, bool) {
+	if v == nil {
+		return append(dst, 'z'), true
+	}
+	return appendCanonical(dst, reflect.ValueOf(v), true)
+}
+
+var (
+	formatterType = reflect.TypeOf((*fmt.Formatter)(nil)).Elem()
+	stringerType  = reflect.TypeOf((*fmt.Stringer)(nil)).Elem()
+	errorType     = reflect.TypeOf((*error)(nil)).Elem()
+)
+
+// appendLen appends a length or word as 8 little-endian bytes.
+func appendLen(dst []byte, n int) []byte { return appendWord(dst, uint64(n)) }
+
+func appendWord(dst []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+// appendCanonical encodes one node: kind byte, length-delimited type
+// name, then kind-specific content. top marks the root, the only
+// position where a non-nil pointer is followed. Cycles would need a
+// non-nil nested pointer, which fails before recursing, so the walk
+// terminates.
+func appendCanonical(dst []byte, v reflect.Value, top bool) ([]byte, bool) {
+	t := v.Type()
+	if t.Implements(formatterType) || t.Implements(stringerType) || t.Implements(errorType) {
+		return dst, false
+	}
+	name := t.String()
+	dst = append(dst, byte(t.Kind()))
+	dst = appendLen(dst, len(name))
+	dst = append(dst, name...)
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return append(dst, 1), true
+		}
+		return append(dst, 0), true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return appendWord(dst, uint64(v.Int())), true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return appendWord(dst, v.Uint()), true
+	case reflect.Float32, reflect.Float64:
+		return appendWord(dst, math.Float64bits(v.Float())), true
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		dst = appendWord(dst, math.Float64bits(real(c)))
+		return appendWord(dst, math.Float64bits(imag(c))), true
+	case reflect.String:
+		dst = appendLen(dst, v.Len())
+		return append(dst, v.String()...), true
+	case reflect.Pointer:
+		if v.IsNil() {
+			return append(dst, 0), true
+		}
+		if !top {
+			return dst, false
+		}
+		switch v.Elem().Kind() {
+		case reflect.Struct, reflect.Array, reflect.Slice, reflect.Map:
+			return appendCanonical(append(dst, 1), v.Elem(), false)
+		default:
+			return dst, false
+		}
+	case reflect.Interface:
+		if v.IsNil() {
+			return append(dst, 0), true
+		}
+		return appendCanonical(append(dst, 1), v.Elem(), false)
+	case reflect.Struct:
+		ok := true
+		for i := 0; i < t.NumField() && ok; i++ {
+			dst, ok = appendCanonical(dst, v.Field(i), false)
+		}
+		return dst, ok
+	case reflect.Array, reflect.Slice:
+		dst = appendLen(dst, v.Len())
+		ok := true
+		for i := 0; i < v.Len() && ok; i++ {
+			dst, ok = appendCanonical(dst, v.Index(i), false)
+		}
+		return dst, ok
+	case reflect.Map:
+		dst = appendLen(dst, v.Len())
+		pairs := make([][]byte, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			p, ok := appendCanonical(nil, iter.Key(), false)
+			if !ok {
+				return dst, false
+			}
+			p, ok = appendCanonical(p, iter.Value(), false)
+			if !ok {
+				return dst, false
+			}
+			pairs = append(pairs, p)
+		}
+		sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i], pairs[j]) < 0 })
+		for _, p := range pairs {
+			dst = appendLen(dst, len(p))
+			dst = append(dst, p...)
+		}
+		return dst, true
+	default:
+		// Chan, func, uintptr, unsafe.Pointer, invalid.
+		return dst, false
+	}
+}

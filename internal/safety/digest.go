@@ -3,6 +3,7 @@ package safety
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/history"
@@ -24,51 +25,90 @@ type Digester interface {
 	StateDigest() (uint64, bool)
 }
 
-// digestStrings hashes a canonical sequence of strings (FNV-1a,
-// length-delimited so concatenation cannot collide).
-func digestStrings(parts ...string) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for _, s := range parts {
-		n := len(s)
-		for i := 0; i < 8; i++ {
-			h = (h ^ uint64(byte(n>>(8*i)))) * prime
-		}
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint64(s[i])) * prime
-		}
+// digestPart folds one length-delimited string into a running digest;
+// the length prefix keeps concatenated parts from colliding.
+func digestPart(h uint64, s string) uint64 {
+	h = history.DigestWord(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = history.DigestByte(h, s[i])
 	}
 	return h
 }
 
+// digestStrings hashes a canonical sequence of strings (FNV-1a,
+// length-delimited so concatenation cannot collide).
+func digestStrings(parts ...string) uint64 {
+	h := history.DigestSeed()
+	for _, s := range parts {
+		h = digestPart(h, s)
+	}
+	return h
+}
+
+// field length-prefixes a rendered component so that, within one
+// digest part built from several components, variable content cannot
+// shift component boundaries ("a"+"b,c" versus "a,b"+"c").
+func field(s string) string { return strconv.Itoa(len(s)) + ":" + s }
+
+// valField canonically encodes a value as a length-prefixed component
+// (history.AppendCanonical — injective on encodable values, unlike %v,
+// whose space-joined composites collide: []string{"x y"} vs
+// []string{"x","y"}). ok=false when the value cannot be canonically
+// encoded (nested non-nil pointers, channels, functions, fmt-method
+// implementers — renderings that could embed allocator addresses,
+// nondeterministic across runs and collidable across semantically
+// different states): the monitor must then report itself undigestable
+// (the prefix becomes uncacheable, never unsound). The simulator-side
+// Fingerprinter.Val applies the same guard to object state.
+func valField(v history.Value) (string, bool) {
+	b, ok := history.AppendCanonical(nil, v)
+	if !ok {
+		return "", false
+	}
+	return field(string(b)), true
+}
+
 // digestValueSet canonically encodes a set of values: each rendered
-// with its dynamic type, then sorted.
-func digestValueSet(set map[history.Value]bool) string {
+// with its dynamic type and length-prefixed, then sorted.
+func digestValueSet(set map[history.Value]bool) (string, bool) {
 	keys := make([]string, 0, len(set))
 	for v := range set {
-		keys = append(keys, fmt.Sprintf("%T=%v", v, v))
+		k, ok := valField(v)
+		if !ok {
+			return "", false
+		}
+		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(keys, ",")
+	return strings.Join(keys, ""), true
 }
 
 // StateDigest implements Digester: the agreement+validity verdict
 // depends only on the proposed-value set and the decided value.
 func (m *avMonitor) StateDigest() (uint64, bool) {
-	return digestStrings("av",
-		digestValueSet(m.proposed),
-		fmt.Sprintf("%v/%T=%v/%v", m.have, m.decided, m.decided, m.failed),
-	), true
+	proposed, ok := digestValueSet(m.proposed)
+	if !ok {
+		return 0, false
+	}
+	decided, ok := valField(m.decided)
+	if !ok {
+		return 0, false
+	}
+	return digestStrings("av", proposed, fmt.Sprintf("%v/%v", m.have, m.failed), decided), true
 }
 
 // StateDigest implements Digester: the k-set verdict depends only on
 // the proposed and decided value sets (and k).
 func (m *ksetMonitor) StateDigest() (uint64, bool) {
-	return digestStrings("kset",
-		fmt.Sprintf("%d/%v", m.k, m.failed),
-		digestValueSet(m.proposed),
-		digestValueSet(m.decided),
-	), true
+	proposed, ok := digestValueSet(m.proposed)
+	if !ok {
+		return 0, false
+	}
+	decided, ok := digestValueSet(m.decided)
+	if !ok {
+		return 0, false
+	}
+	return digestStrings("kset", fmt.Sprintf("%d/%v", m.k, m.failed), proposed, decided), true
 }
 
 // StateDigest implements Digester: the mutual-exclusion verdict depends
@@ -85,29 +125,73 @@ func (m *mutexMonitor) StateDigest() (uint64, bool) {
 // history (interleavings that reorder only internal steps), which is
 // sound by construction.
 func (m *TMMonitor) StateDigest() (uint64, bool) {
-	parts := make([]string, 0, len(m.h)+1)
-	parts = append(parts, fmt.Sprintf("tm/%v/%v/%v", m.strict, m.rule, m.failed))
-	for _, e := range m.h {
-		parts = append(parts, digestEvent(e))
+	return m.dig.Sum(fmt.Sprintf("tm/%v/%v/%v", m.strict, m.rule, m.failed))
+}
+
+// HistoryDigest is a running canonical digest of an event sequence,
+// maintained in O(1) per appended event — the residual-state digest of
+// monitors whose state IS their history (TMMonitor, the slx batch
+// fallback), which would otherwise re-encode the whole history on
+// every explored prefix (O(depth²) along a DFS path). The zero value
+// digests the empty sequence; copies are independent, so forked
+// monitors just copy the struct.
+type HistoryDigest struct {
+	h   uint64
+	bad bool
+}
+
+// Append folds one event in. A value digestEvent refuses marks the
+// whole digest undigestable, permanently (matching the from-scratch
+// encoding, which would refuse the same event every time).
+func (d *HistoryDigest) Append(e history.Event) {
+	if d.bad {
+		return
 	}
-	return digestStrings(parts...), true
+	de, ok := digestEvent(e)
+	if !ok {
+		d.bad = true
+		return
+	}
+	if d.h == 0 {
+		d.h = history.DigestSeed()
+	}
+	d.h = digestPart(d.h, de)
 }
 
-// digestEvent canonically encodes one history event.
-func digestEvent(e history.Event) string {
-	return fmt.Sprintf("%d/%d/%s/%s/%T=%v/%T=%v", e.Kind, e.Proc, e.Op, e.Obj, e.Arg, e.Arg, e.Val, e.Val)
+// Sum combines a caller tag (the monitor's residual non-history state —
+// it may change between calls, which is why it is not folded in
+// Append) with the appended events' digest.
+func (d *HistoryDigest) Sum(tag string) (uint64, bool) {
+	if d.bad {
+		return 0, false
+	}
+	return history.DigestWord(digestPart(history.DigestSeed(), tag), d.h), true
 }
 
-// DigestHistory canonically digests an event sequence. It is the
-// residual-state digest of any monitor that re-judges its accumulated
-// history from scratch (the slx batch-monitor fallback uses it).
-func DigestHistory(tag string, h history.History) uint64 {
-	parts := make([]string, 0, len(h)+1)
-	parts = append(parts, tag)
+// digestEvent canonically encodes one history event, every
+// variable-content component length-prefixed.
+func digestEvent(e history.Event) (string, bool) {
+	arg, ok := valField(e.Arg)
+	if !ok {
+		return "", false
+	}
+	val, ok := valField(e.Val)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%d/%d/", e.Kind, e.Proc) + field(e.Op) + field(e.Obj) + arg + val, true
+}
+
+// DigestHistory canonically digests an event sequence from scratch;
+// ok=false when some event's values defeat canonical rendering.
+// Monitors that digest per explored prefix should maintain a
+// HistoryDigest instead of calling this O(len(h)) form every time.
+func DigestHistory(tag string, h history.History) (uint64, bool) {
+	var d HistoryDigest
 	for _, e := range h {
-		parts = append(parts, digestEvent(e))
+		d.Append(e)
 	}
-	return digestStrings(parts...)
+	return d.Sum(tag)
 }
 
 // StateDigest implements Digester. The linearizability monitor's future
@@ -136,13 +220,22 @@ func (m *LinMonitor) StateDigest() (uint64, bool) {
 	sort.Ints(procs)
 	for _, p := range procs {
 		op := m.ops[m.pending[p]]
-		parts = append(parts, fmt.Sprintf("pend:%d/%s/%s/%T=%v", p, op.name, op.obj, op.arg, op.arg))
+		arg, ok := valField(op.arg)
+		if !ok {
+			return 0, false
+		}
+		parts = append(parts, fmt.Sprintf("pend:%d/", p)+field(op.name)+field(op.obj)+arg)
 	}
 
 	cfgs := make([]string, 0, len(m.configs))
 	for _, c := range m.configs {
 		var b strings.Builder
-		fmt.Fprintf(&b, "st:%T=%v", c.st, c.st)
+		st, ok := valField(c.st)
+		if !ok {
+			return 0, false
+		}
+		b.WriteString("st:")
+		b.WriteString(st)
 		if len(c.promises) > 0 {
 			idx := make([]int, 0, len(c.promises))
 			for i := range c.promises {
@@ -152,7 +245,12 @@ func (m *LinMonitor) StateDigest() (uint64, bool) {
 			// accident of invocation arrival.
 			sort.Slice(idx, func(a, b int) bool { return m.ops[idx[a]].proc < m.ops[idx[b]].proc })
 			for _, i := range idx {
-				fmt.Fprintf(&b, ";p%d=%T=%v", m.ops[i].proc, c.promises[i], c.promises[i])
+				promise, ok := valField(c.promises[i])
+				if !ok {
+					return 0, false
+				}
+				b.WriteString("p" + strconv.Itoa(m.ops[i].proc) + "=")
+				b.WriteString(promise)
 			}
 		}
 		cfgs = append(cfgs, b.String())

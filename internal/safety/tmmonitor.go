@@ -18,8 +18,9 @@ import "repro/internal/history"
 // clobbering the shared backing array.
 type TMMonitor struct {
 	h      history.History
-	strict bool // strict serializability instead of opacity
-	rule   bool // additionally enforce the Section 5.3 timestamp rule
+	dig    HistoryDigest // running digest of h, for StateDigest
+	strict bool          // strict serializability instead of opacity
+	rule   bool          // additionally enforce the Section 5.3 timestamp rule
 	failed bool
 }
 
@@ -40,6 +41,7 @@ func (m *TMMonitor) Step(e history.Event) bool {
 		return false
 	}
 	m.h = append(m.h, e)
+	m.dig.Append(e)
 	if e.Kind == history.KindResponse {
 		recs, ok := buildRecords(m.h)
 		if !ok || !serializable(recs, m.strict) {
@@ -73,7 +75,7 @@ func (m *TMMonitor) OK() bool { return !m.failed }
 // Fork implements Monitor.
 func (m *TMMonitor) Fork() Monitor {
 	m.h = m.h[:len(m.h):len(m.h)]
-	return &TMMonitor{h: m.h, strict: m.strict, rule: m.rule, failed: m.failed}
+	return &TMMonitor{h: m.h, dig: m.dig, strict: m.strict, rule: m.rule, failed: m.failed}
 }
 
 // Spawn returns the incremental opacity monitor.

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"repro/internal/history"
 )
 
@@ -14,21 +12,18 @@ import (
 // which is what lets exploration deduplicate states across replays and
 // lets tests assert "same state, same fingerprint" across schedules.
 type Fingerprinter struct {
-	h uint64
+	h        uint64
+	poisoned bool
+	scratch  []byte // reused encoding buffer for Val
 }
-
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
 
 // NewFingerprinter returns an empty fingerprinter.
 func NewFingerprinter() *Fingerprinter {
-	return &Fingerprinter{h: fnvOffset64}
+	return &Fingerprinter{h: history.DigestSeed()}
 }
 
 func (f *Fingerprinter) byteIn(b byte) {
-	f.h = (f.h ^ uint64(b)) * fnvPrime64
+	f.h = history.DigestByte(f.h, b)
 }
 
 func (f *Fingerprinter) tag(t byte) { f.byteIn(t) }
@@ -60,32 +55,51 @@ func (f *Fingerprinter) Bool(b bool) {
 
 // Uint64 folds a 64-bit word into the digest.
 func (f *Fingerprinter) Uint64(v uint64) {
-	for i := 0; i < 8; i++ {
-		f.byteIn(byte(v >> (8 * i)))
-	}
+	f.h = history.DigestWord(f.h, v)
 }
 
 // Val folds an arbitrary history value into the digest by its dynamic
-// type and printed content. The encoding is canonical for the value
-// kinds stored in base objects (scalars, comparable structs, pointers to
-// immutable records — fmt prints the pointed-to content): two values
-// that are == or deep-equal by content encode identically, and two
-// values of different dynamic types never collide with each other's
-// content. It is NOT identity-aware: two distinct allocations with equal
-// content encode the same, which is exactly why implementations that
-// compare pointers (CAS over fresh allocations) must not opt into
-// fingerprinting — see Fingerprintable.
+// type and content (history.AppendCanonical: every node kind- and
+// type-tagged, every variable-size component length-delimited, map
+// entries sorted). Two values encode identically iff they are
+// structurally equal by content, and two values of different dynamic
+// types never collide with each other's content. It is NOT
+// identity-aware: two distinct allocations with equal content encode
+// the same, which is exactly why implementations that compare pointers
+// (CAS over fresh allocations) must not opt into fingerprinting — see
+// Fingerprintable.
+//
+// A value the encoder refuses — a non-nil pointer below the top level
+// (identity, not content, and possibly cyclic), a channel or function,
+// or a type whose fmt.Stringer/Formatter/error methods take over its
+// rendering — poisons the fingerprint instead: the run yields no
+// Result.Fingerprint and the state cache skips it, like a LazyArg run.
 func (f *Fingerprinter) Val(v history.Value) {
 	f.tag('v')
 	if v == nil {
 		f.Str("<nil>")
 		return
 	}
-	f.Str(fmt.Sprintf("%T=%v", v, v))
+	b, ok := history.AppendCanonical(f.scratch[:0], v)
+	f.scratch = b // keep the grown buffer for the next value
+	if !ok {
+		f.poisoned = true
+		return
+	}
+	f.tag('s')
+	f.Int(len(b))
+	for i := 0; i < len(b); i++ {
+		f.byteIn(b[i])
+	}
 }
 
 // Sum returns the digest of everything folded in so far.
 func (f *Fingerprinter) Sum() uint64 { return f.h }
+
+// Poisoned reports whether some folded value could not be canonically
+// encoded (see Val); a poisoned digest must not be used as a state
+// fingerprint.
+func (f *Fingerprinter) Poisoned() bool { return f.poisoned }
 
 // Fingerprintable is the opt-in state-fingerprint hook: an Object
 // implementing it promises that
@@ -106,8 +120,18 @@ func (f *Fingerprinter) Sum() uint64 { return f.h }
 // will accept — must NOT implement the hook: content encodings cannot
 // distinguish such states, and a fingerprint that equates them would
 // let exploration prune subtrees with genuinely different futures.
-// Objects without the hook simply yield no Result.Fingerprint and
-// exploration's state cache skips them.
+// Values passed to Fingerprinter.Val must be encodable by content:
+// scalars and strings, composed through structs, arrays, slices, maps,
+// and interfaces, with at most one top-level pointer to a composite
+// (which is dereferenced). Everything else — a nested non-nil pointer
+// (identity, not content), a top-level pointer to a scalar, channels,
+// functions, and types implementing fmt.Stringer, fmt.Formatter, or
+// error — poisons the fingerprint: the run then yields no
+// Result.Fingerprint, same as a non-fingerprintable object, rather
+// than producing a nondeterministic or colliding one (the symptom is
+// WithStateCache reporting zero hits). Objects without the hook simply
+// yield no Result.Fingerprint and exploration's state cache skips
+// them.
 type Fingerprintable interface {
 	Object
 	// Fingerprint writes the object's canonical shared state into f.
@@ -122,8 +146,9 @@ type Fingerprintable interface {
 // taken within the pending operation (its program counter), and the
 // running digest of values it observed within the pending operation
 // (its mid-operation local state). It is called between step windows,
-// when no process is executing.
-func (r *runtime) fingerprint() uint64 {
+// when no process is executing. ok is false when some folded value
+// poisoned the digest (see Fingerprinter.Val).
+func (r *runtime) fingerprint() (fp uint64, ok bool) {
 	f := NewFingerprinter()
 	r.cfg.Object.(Fingerprintable).Fingerprint(f)
 	for id := 1; id <= r.cfg.Procs; id++ {
@@ -140,5 +165,5 @@ func (r *runtime) fingerprint() uint64 {
 			f.Bool(false)
 		}
 	}
-	return f.Sum()
+	return f.Sum(), !f.Poisoned()
 }

@@ -205,6 +205,106 @@ func TestFingerprintLazyArgPoisons(t *testing.T) {
 	}
 }
 
+// TestFingerprintNestedPointerPoisons: fmt only dereferences a pointer
+// at the top level, so a value carrying a pointer below the top level
+// would encode raw addresses — nondeterministic across runs and, with
+// allocator reuse, collidable across distinct states. Val must detect
+// such values and poison the fingerprint instead of encoding them.
+func TestFingerprintNestedPointerPoisons(t *testing.T) {
+	type inner struct{ n int }
+	type nested struct{ p *inner }
+	type record struct{ a, b int }
+
+	cases := []struct {
+		name   string
+		v      history.Value
+		poison bool
+	}{
+		{"int", 7, false},
+		{"string", "x", false},
+		{"comparable struct", record{1, 2}, false},
+		{"top-level pointer to struct", &record{1, 2}, false},
+		{"slice of scalars", []int{1, 2}, false},
+		{"map of scalars", map[string]int{"a": 1}, false},
+		{"slice of interface-wrapped scalars", []history.Value{1, "x"}, false},
+		{"struct with nil pointer field", nested{}, false},
+		{"top-level pointer to scalar", new(int), true},
+		{"struct with pointer field", nested{p: &inner{n: 3}}, true},
+		{"pointer to struct with pointer field", &nested{p: &inner{n: 4}}, true},
+		{"slice of pointers", []*inner{{n: 1}}, true},
+		{"struct with interface holding pointer", struct{ v any }{v: new(int)}, true},
+		{"func", func() {}, true},
+		{"stringer", fpStringer{n: 1}, true},
+	}
+	for _, tc := range cases {
+		f := NewFingerprinter()
+		f.Val(tc.v)
+		if f.Poisoned() != tc.poison {
+			t.Errorf("%s: Poisoned() = %v, want %v", tc.name, f.Poisoned(), tc.poison)
+		}
+	}
+}
+
+// TestFingerprintValInjective: Val's canonical encoding must separate
+// values that fmt's %v renders identically — %v space-joins composite
+// elements, so []string{"x y"} and []string{"x", "y"} both print
+// "[x y]"; a fingerprint built on %v would equate the two states and
+// let the cache prune a subtree with genuinely different futures.
+func TestFingerprintValInjective(t *testing.T) {
+	type pair struct{ A, B string }
+	cases := []struct {
+		name string
+		a, b history.Value
+	}{
+		{"slice element split", []string{"x y"}, []string{"x", "y"}},
+		{"struct field boundary", pair{"a b", "c"}, pair{"a", "b c"}},
+		{"map key/value boundary", map[string]string{"a:b": "c"}, map[string]string{"a": "b:c"}},
+		{"dynamic type", int32(1), int64(1)},
+	}
+	for _, tc := range cases {
+		fa, fb := NewFingerprinter(), NewFingerprinter()
+		fa.Val(tc.a)
+		fb.Val(tc.b)
+		if fa.Poisoned() || fb.Poisoned() {
+			t.Errorf("%s: values unexpectedly poisoned", tc.name)
+			continue
+		}
+		if fa.Sum() == fb.Sum() {
+			t.Errorf("%s: %#v and %#v fingerprint equal", tc.name, tc.a, tc.b)
+		}
+	}
+}
+
+// fpStringer exercises the %v method-dispatch escape hatch: String()
+// bypasses structural printing, so the walk must refuse the type even
+// though its fields are scalars.
+type fpStringer struct{ n int }
+
+func (fpStringer) String() string { return "s" }
+
+// TestFingerprintNestedPointerValuePoisonsRun: a run whose script feeds
+// a nested-pointer value through the object must refuse to fingerprint,
+// same as a LazyArg run, rather than produce an address-dependent one.
+func TestFingerprintNestedPointerValuePoisonsRun(t *testing.T) {
+	type inner struct{ n int }
+	type nested struct{ p *inner }
+	res := Run(Config{
+		Procs:  2,
+		Object: newFPObject(),
+		Env: Script(map[int][]Invocation{
+			1: {{Op: "write", Arg: nested{p: &inner{n: 3}}}},
+		}),
+		Scheduler:   FixedProcs([]int{1, 1}),
+		Fingerprint: true,
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if res.Fingerprinted {
+		t.Error("nested-pointer value run still fingerprinted; it must poison the fingerprint")
+	}
+}
+
 // TestFingerprintCrashSet: crashing a process changes the fingerprint
 // even when object state and everyone's progress are unchanged.
 func TestFingerprintCrashSet(t *testing.T) {

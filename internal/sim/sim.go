@@ -242,9 +242,11 @@ type Result struct {
 	// program counters and observations, pending invocations, and the
 	// crash set. Valid only when Fingerprinted is true — the run was
 	// configured with Config.Fingerprint, the object implements
-	// Fingerprintable, and no lazy argument poisoned the run (a LazyArg
-	// resolves against the scheduling-time view, making local state
-	// depend on more than the reached configuration).
+	// Fingerprintable, and nothing poisoned the run: no lazy argument (a
+	// LazyArg resolves against the scheduling-time view, making local
+	// state depend on more than the reached configuration) and no folded
+	// value whose printed form could contain an address (see
+	// Fingerprinter.Val).
 	Fingerprint uint64
 	// Fingerprinted reports whether Fingerprint is valid.
 	Fingerprinted bool
@@ -356,9 +358,16 @@ func (p *Proc) Observe(v history.Value) {
 	if !r.fpTrack {
 		return
 	}
-	f := Fingerprinter{h: r.fpObs[p.id]}
-	f.Val(v)
-	r.fpObs[p.id] = f.Sum()
+	// r.fpEnc is reused across calls (windows are serialized, so no two
+	// Observes race) to keep its encoding buffer warm on this hot path.
+	r.fpEnc.h = r.fpObs[p.id]
+	r.fpEnc.poisoned = false
+	r.fpEnc.Val(v)
+	if r.fpEnc.Poisoned() {
+		r.fpPoisoned = true
+		return
+	}
+	r.fpObs[p.id] = r.fpEnc.Sum()
 }
 
 // Block parks the process forever: the current operation never completes
@@ -418,6 +427,7 @@ type runtime struct {
 	fpOpSteps   []int
 	fpCompleted []int
 	fpPoisoned  bool
+	fpEnc       Fingerprinter // reused by Observe for its encoding buffer
 }
 
 // beginWindow resets the per-window footprint accumulators.
@@ -464,7 +474,7 @@ func (r *runtime) record(e history.Event) {
 			r.fpPending[e.Proc] = nil
 			r.fpCompleted[e.Proc]++
 			r.fpOpSteps[e.Proc] = 0
-			r.fpObs[e.Proc] = fnvOffset64
+			r.fpObs[e.Proc] = history.DigestSeed()
 		}
 	}
 }
@@ -566,7 +576,7 @@ func Run(cfg Config) *Result {
 		r.fpTrack = true
 		r.fpObs = make([]uint64, cfg.Procs+1)
 		for i := range r.fpObs {
-			r.fpObs[i] = fnvOffset64
+			r.fpObs[i] = history.DigestSeed()
 		}
 		r.fpPending = make([]*Invocation, cfg.Procs+1)
 		r.fpOpSteps = make([]int, cfg.Procs+1)
@@ -662,8 +672,10 @@ func Run(cfg Config) *Result {
 	res.Crashed = final.Crashed
 	res.Accesses = r.accesses
 	if r.fpTrack && !r.fpPoisoned {
-		res.Fingerprint = r.fingerprint()
-		res.Fingerprinted = true
+		if fp, ok := r.fingerprint(); ok {
+			res.Fingerprint = fp
+			res.Fingerprinted = true
+		}
 	}
 	return res
 }

@@ -155,6 +155,34 @@ func TestExploreCacheParallelVerdictsMatch(t *testing.T) {
 	}
 }
 
+// TestExploreCacheParallelStress hammers the cache + POR + work-stealing
+// composition on the seeded-bug objects: across repetitions, a violation
+// must never be missed. This pins the visited-set completeness invariant
+// under work-stealing — a node that hands child subtrees to the pool must
+// not let any ancestor publish a cache entry while those tasks are still
+// pending, or two premature entries can cross-prune each other's
+// unexplored subtrees and lose the violation. Run with -race in CI.
+func TestExploreCacheParallelStress(t *testing.T) {
+	for _, name := range []string{"racy-lock/violation", "commit-adopt/crashes+workers"} {
+		tc := porCases()[name]
+		seq, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Explore(tc.props...)
+		if err != nil {
+			t.Fatalf("%s: sequential explore: %v", name, err)
+		}
+		for i := 0; i < 15; i++ {
+			par, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)],
+				slx.WithStateCache(), slx.WithPOR(), slx.WithWorkers(4))...).Explore(tc.props...)
+			if err != nil {
+				t.Fatalf("%s run %d: parallel cached explore: %v", name, i, err)
+			}
+			if seq.OK() != par.OK() {
+				t.Fatalf("%s run %d: verdicts differ: sequential OK=%v, parallel+cache+por OK=%v",
+					name, i, seq.OK(), par.OK())
+			}
+		}
+	}
+}
+
 // TestExploreCacheSkipsUnfingerprintedObjects double-checks graceful
 // degradation: an object without the fingerprint hook explores the
 // identical tree under WithStateCache, with zero hits.

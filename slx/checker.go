@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/explore"
+	"repro/internal/history"
 	"repro/slx/hist"
 	"repro/slx/run"
 )
@@ -313,8 +314,7 @@ func (s *monitorSet) Fork() explore.MonitorSet {
 // every monitor is (see Digester); one undigestable monitor makes the
 // prefix uncacheable, never unsound.
 func (s *monitorSet) StateDigest() (uint64, bool) {
-	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
-	h := offset
+	h := history.DigestSeed()
 	for _, m := range s.mons {
 		dg, ok := m.(Digester)
 		if !ok {
@@ -324,9 +324,7 @@ func (s *monitorSet) StateDigest() (uint64, bool) {
 		if !ok {
 			return 0, false
 		}
-		for i := 0; i < 8; i++ {
-			h = (h ^ (d >> (8 * i) & 0xff)) * prime
-		}
+		h = history.DigestWord(h, d)
 	}
 	return h, true
 }

@@ -57,6 +57,7 @@ type batchMonitor struct {
 	name  string
 	holds func(h hist.History) bool
 	h     hist.History
+	dig   safety.HistoryDigest // running digest of h, for StateDigest
 	// failedAt is the 1-based length of the first violating prefix, 0
 	// while the property holds.
 	failedAt int
@@ -68,6 +69,7 @@ func (m *batchMonitor) Step(e hist.Event) bool {
 		return false
 	}
 	m.h = append(m.h, e)
+	m.dig.Append(e)
 	if !m.holds(m.h) {
 		m.failedAt = len(m.h)
 		return false
@@ -89,17 +91,17 @@ func (m *batchMonitor) Verdict() Verdict {
 // Fork implements Monitor.
 func (m *batchMonitor) Fork() Monitor {
 	m.h = m.h[:len(m.h):len(m.h)] // clip: a later append by either copy reallocates
-	return &batchMonitor{name: m.name, holds: m.holds, h: m.h, failedAt: m.failedAt}
+	return &batchMonitor{name: m.name, holds: m.holds, h: m.h, dig: m.dig, failedAt: m.failedAt}
 }
 
 // StateDigest implements Digester. The batch monitor re-judges its
 // whole accumulated history on every step, so its residual state IS the
-// history: the digest is a canonical encoding of the event sequence,
-// and the state cache deduplicates only across schedules that produced
-// the identical external history — sound for any prefix-monotone
-// predicate, however history-dependent.
+// history: the digest is a running canonical encoding of the event
+// sequence (O(1) per explored prefix), and the state cache deduplicates
+// only across schedules that produced the identical external history —
+// sound for any prefix-monotone predicate, however history-dependent.
 func (m *batchMonitor) StateDigest() (uint64, bool) {
-	return safety.DigestHistory("batch:"+m.name, m.h), true
+	return m.dig.Sum("batch:" + m.name)
 }
 
 // MonitoredSafety builds a safety Property with a native incremental
