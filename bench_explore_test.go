@@ -1,15 +1,20 @@
 package repro_test
 
-// Exploration-throughput benchmarks for the incremental monitor redesign
-// and for sleep-set partial-order reduction: a depth-7, 3-process
-// linearizability exploration through the public slx API, on the default
-// monitor path, on the legacy batch path (slx.WithBatchExplore), and
-// with POR (slx.WithPOR). The first monitor iteration asserts the
-// monitor redesign's acceptance bar — at least 2× fewer property-event
-// scans than batch — and TestExplorePORPrefixReduction asserts POR's: at
-// least 2× fewer explored prefixes than full exploration, with identical
-// verdicts. Regressions therefore fail the benchmark smoke run, not
-// just a human reading EXPERIMENTS.md.
+// Exploration-throughput benchmarks for the incremental execution
+// engine, the incremental monitor redesign and sleep-set partial-order
+// reduction: a depth-7, 3-process linearizability exploration through
+// the public slx API — on the default path (incremental sessions +
+// incremental monitors), on the retired from-root replay engine
+// (slx.WithReplayExecution), on the legacy batch property path
+// (slx.WithBatchExplore), and with POR/cache/workers. Each acceptance
+// bar is asserted by a deterministic test, so regressions fail the
+// benchmark smoke run, not just a human reading EXPERIMENTS.md:
+// TestExploreIncrementalStepRatio gates the session engine's
+// steps-per-prefix, TestExploreLinearizabilityScanReduction the
+// monitor redesign's event scans, TestExplorePORPrefixReduction and
+// TestExploreCacheReduction the prefix reductions. All benchmarks
+// report -benchmem allocation figures (the committed numbers live in
+// BENCH_explore.json's allocs_per_op/bytes_per_op fields).
 
 import (
 	"testing"
@@ -22,17 +27,34 @@ import (
 
 // benchRegister is a linearizable read/write register: every access is a
 // single atomic step through the scheduler handshake, declared to the
-// footprint tracker so POR can commute independent steps and observed
-// and fingerprinted so the state cache can deduplicate configurations.
+// footprint tracker so POR can commute independent steps, observed and
+// fingerprinted so the state cache can deduplicate configurations, and
+// snapshottable (with rebuild-aware step closures) so exploration runs
+// on the incremental session engine.
 type benchRegister struct{ v hist.Value }
 
 func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
+		p.Exec("read", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("r", false)
+			out = r.v
+			p.Observe(out)
+		})
 	case "write":
-		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
+		p.Exec("write", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
+			p.Access("r", true)
+			r.v = inv.Arg
+		})
 	}
 	return out
 }
@@ -47,6 +69,12 @@ func (r *benchRegister) Fingerprint(f *run.Fingerprinter) {
 	f.Str("r")
 	f.Val(r.v)
 }
+
+// Snapshot implements run.Snapshottable.
+func (r *benchRegister) Snapshot() any { return r.v }
+
+// Restore implements run.Snapshottable.
+func (r *benchRegister) Restore(s any) { r.v = s }
 
 // linExploreChecker is the depth-7, 3-process register workload: each
 // process writes its id, then reads.
@@ -127,6 +155,44 @@ func TestExplorePORPrefixReduction(t *testing.T) {
 		full.Prefixes, por.Prefixes, float64(full.Prefixes)/float64(por.Prefixes), por.Pruned, full.SimSteps, por.SimSteps)
 }
 
+// TestExploreIncrementalStepRatio is the acceptance gate of the
+// incremental execution engine: on the depth-7, 3-process
+// linearizability exploration, the total simulator work per explored
+// prefix — fresh steps plus re-simulation (snapshot-restore rebuilds) —
+// must stay at or below 2.0, against 6.46 steps per prefix for the
+// retired from-root replay engine (BENCH_explore.json). Both counters
+// are deterministic at one worker, so this gates in CI without
+// wall-clock noise. The replay engine is also re-measured for the
+// identical tree, pinning the before/after relationship itself.
+func TestExploreIncrementalStepRatio(t *testing.T) {
+	inc, err := linExploreChecker().Explore(linProp())
+	if err != nil {
+		t.Fatalf("incremental explore: %v", err)
+	}
+	rep, err := linExploreChecker(slx.WithReplayExecution()).Explore(linProp())
+	if err != nil {
+		t.Fatalf("replay explore: %v", err)
+	}
+	if !inc.OK() || !rep.OK() {
+		t.Fatalf("register must be linearizable on every prefix (incremental OK=%v, replay OK=%v)", inc.OK(), rep.OK())
+	}
+	if inc.Prefixes != rep.Prefixes {
+		t.Fatalf("engines explored different trees: incremental %d prefixes, replay %d", inc.Prefixes, rep.Prefixes)
+	}
+	ratio := float64(inc.SimSteps+inc.Resims) / float64(inc.Prefixes)
+	if ratio > 2.0 {
+		t.Fatalf("incremental execution spent %.2f simulator steps per prefix (%d sim + %d resim over %d prefixes), want <= 2.0",
+			ratio, inc.SimSteps, inc.Resims, inc.Prefixes)
+	}
+	repRatio := float64(rep.SimSteps) / float64(rep.Prefixes)
+	if repRatio < 2*ratio {
+		t.Fatalf("replay engine's %.2f steps per prefix no longer dominates incremental's %.2f: the benchmark stopped measuring what it claims",
+			repRatio, ratio)
+	}
+	t.Logf("depth-7 3-proc linearizability: steps/prefix incremental=%.2f (sim %d + resim %d) vs replay=%.2f (sim %d), %d prefixes",
+		ratio, inc.SimSteps, inc.Resims, repRatio, rep.SimSteps, inc.Prefixes)
+}
+
 // TestExploreCacheReduction is the acceptance check of the state cache:
 // on the depth-7, 3-process linearizability exploration, caching must
 // explore at most half the prefixes of the full tree, reach the same
@@ -177,10 +243,16 @@ func TestExploreCacheReduction(t *testing.T) {
 		por.Prefixes, both.Prefixes, float64(por.Prefixes)/float64(both.Prefixes), both.CacheHits)
 }
 
-// BenchmarkExploreLinearizabilityMonitor measures the default
-// incremental path.
+// BenchmarkExploreLinearizabilityMonitor measures the default path:
+// incremental monitors on the incremental execution engine.
 func BenchmarkExploreLinearizabilityMonitor(b *testing.B) {
 	benchExploreLinearizability(b, linExploreChecker())
+}
+
+// BenchmarkExploreLinearizabilityReplay measures the retired from-root
+// replay engine (the pre-session baseline) for comparison.
+func BenchmarkExploreLinearizabilityReplay(b *testing.B) {
+	benchExploreLinearizability(b, linExploreChecker(slx.WithReplayExecution()))
 }
 
 // BenchmarkExploreLinearizabilityBatch measures the legacy batch path
@@ -216,6 +288,7 @@ func BenchmarkExploreLinearizabilityWorkers4(b *testing.B) {
 }
 
 func benchExploreLinearizability(b *testing.B, c *slx.Checker) {
+	b.ReportAllocs()
 	prefixes := 0
 	for i := 0; i < b.N; i++ {
 		rep, err := c.Explore(linProp())
@@ -229,6 +302,7 @@ func benchExploreLinearizability(b *testing.B, c *slx.Checker) {
 			prefixes = rep.Prefixes
 			b.ReportMetric(float64(rep.Prefixes), "prefixes")
 			b.ReportMetric(float64(rep.SimSteps), "simSteps")
+			b.ReportMetric(float64(rep.Resims), "resimSteps")
 			b.ReportMetric(float64(rep.EventScans), "eventScans")
 		}
 	}

@@ -10,14 +10,21 @@
 //   - the prefixes and eventScans counts must not exceed baseline×ratio
 //     (these are deterministic, so growth means a reduction — monitors,
 //     POR, the state cache — actually regressed);
+//   - the monitor section's simulator work per prefix — (sim_steps +
+//     resim_steps) / prefixes, both deterministic at one worker — must
+//     not exceed -stepratio (default 2.0): the incremental execution
+//     engine's acceptance bar (from-root replay measured 6.46 at the
+//     same depth);
 //   - prefixes/sec below baseline/ratio is reported in the artifact and
 //     the log but is ADVISORY only: wall-clock throughput depends on
 //     the host, and a contended shared CI runner must not fail a build
-//     the deterministic counters prove clean.
+//     the deterministic counters prove clean. Allocation counts
+//     (allocs/op, B/op, from -benchmem) are recorded in the artifact as
+//     trend data, not gated.
 //
 // Usage:
 //
-//	go test -bench Explore -benchtime 1x -run '^$' . | benchtrend -baseline BENCH_explore.json -out bench-trend.json
+//	go test -bench Explore -benchmem -benchtime 1x -run '^$' . | benchtrend -baseline BENCH_explore.json -out bench-trend.json
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 // scheduler, kept for the historical comparison) are simply not gated.
 var sections = map[string]string{
 	"BenchmarkExploreLinearizabilityMonitor":  "monitor",
+	"BenchmarkExploreLinearizabilityReplay":   "replay_monitor",
 	"BenchmarkExploreLinearizabilityBatch":    "batch",
 	"BenchmarkExploreLinearizabilityPOR":      "por",
 	"BenchmarkExploreLinearizabilityCache":    "cache",
@@ -49,8 +57,11 @@ type metrics struct {
 	NsPerOp        float64 `json:"ns_per_op"`
 	Prefixes       float64 `json:"prefixes"`
 	SimSteps       float64 `json:"sim_steps"`
+	ResimSteps     float64 `json:"resim_steps,omitempty"`
 	EventScans     float64 `json:"event_scans"`
 	PrefixesPerSec float64 `json:"prefixes_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp     float64 `json:"bytes_per_op,omitempty"`
 }
 
 // comparison is one gate evaluation. Advisory comparisons (wall-clock
@@ -78,6 +89,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_explore.json", "committed baseline JSON")
 	outPath := flag.String("out", "bench-trend.json", "where to write the trend report")
 	ratio := flag.Float64("ratio", 2.0, "maximum tolerated regression factor")
+	stepRatio := flag.Float64("stepratio", 2.0, "maximum (sim_steps+resim_steps)/prefixes of the incremental monitor section")
 	flag.Parse()
 
 	measured, err := parseBench(os.Stdin)
@@ -108,6 +120,14 @@ func main() {
 		rep.checkAdvisory(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
 		rep.check(key, "prefixes", m.Prefixes, b.Prefixes, m.Prefixes <= b.Prefixes**ratio)
 		rep.check(key, "event_scans", m.EventScans, b.EventScans, m.EventScans <= b.EventScans**ratio)
+	}
+	// The incremental-execution acceptance gate: the default monitor
+	// section's deterministic simulator work per explored prefix. The
+	// replay_monitor section (the retired engine, kept live for the
+	// before/after trend) is exempt by construction.
+	if m, ok := measured["monitor"]; ok && m.Prefixes > 0 {
+		perPrefix := (m.SimSteps + m.ResimSteps) / m.Prefixes
+		rep.check("monitor", "steps_per_prefix", perPrefix, *stepRatio, perPrefix <= *stepRatio)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -187,10 +207,16 @@ func parseBench(f *os.File) (map[string]*metrics, error) {
 				m.Prefixes = v
 			case "simSteps":
 				m.SimSteps = v
+			case "resimSteps":
+				m.ResimSteps = v
 			case "eventScans":
 				m.EventScans = v
 			case "prefixes/sec":
 				m.PrefixesPerSec = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
 			}
 		}
 		out[key] = m

@@ -46,7 +46,7 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n]", "exhaustive safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay]", "exhaustive safety check", cmdExplore},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
 }
 
@@ -240,6 +240,7 @@ func cmdExplore(args []string) error {
 	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
 	cache := fs.Bool("cache", false, "state-fingerprint cache (prune subtrees rooted at already-explored states)")
 	workers := fs.Int("workers", 1, "explore with n work-stealing workers")
+	replay := fs.Bool("replay", false, "force from-root replay execution (disable incremental sessions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -252,6 +253,9 @@ func cmdExplore(args []string) error {
 	}
 	if *cache {
 		opts = append(opts, slx.WithStateCache())
+	}
+	if *replay {
+		opts = append(opts, slx.WithReplayExecution())
 	}
 	var prop slx.Property
 	switch *target {
@@ -289,6 +293,11 @@ func cmdExplore(args []string) error {
 	if *batch {
 		mode = "batch re-checking"
 	}
+	if *replay {
+		mode += ", replay execution"
+	} else {
+		mode += ", incremental execution"
+	}
 	if *por {
 		mode += ", POR"
 	}
@@ -298,8 +307,8 @@ func cmdExplore(args []string) error {
 	if rep.Workers > 1 {
 		mode += fmt.Sprintf(", %d workers", rep.Workers)
 	}
-	fmt.Printf("explored %d schedule prefixes (%d simulator steps, %d property-event scans via %s): no violation up to depth %d\n",
-		rep.Prefixes, rep.SimSteps, rep.EventScans, mode, *depth)
+	fmt.Printf("explored %d schedule prefixes (%d simulator steps + %d resim steps, %d property-event scans via %s): no violation up to depth %d\n",
+		rep.Prefixes, rep.SimSteps, rep.Resims, rep.EventScans, mode, *depth)
 	if *por {
 		fmt.Printf("partial-order reduction pruned %d subtrees\n", rep.Pruned)
 	}

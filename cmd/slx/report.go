@@ -76,7 +76,8 @@ func cmdReport() error {
 	if !rep.OK() {
 		return fmt.Errorf("I12 safety violated: %s", rep.Failures()[0])
 	}
-	fmt.Printf("opacity+S model-checked on %d schedule prefixes to depth 12: clean\n", rep.Prefixes)
+	fmt.Printf("opacity+S model-checked on %d schedule prefixes to depth 12: clean (%d sim steps + %d resim steps, incremental execution)\n",
+		rep.Prefixes, rep.SimSteps, rep.Resims)
 
 	fmt.Println("\nE9 — Section 5.3 counterexample")
 	ps := plane.Section53Plane(4)

@@ -47,19 +47,44 @@ func declare(s Stepper, obj string, write bool) {
 // valueObserver is the optional local-state hook of the simulation
 // runtime (sim.Proc implements it): a stepper that folds every value a
 // step reads from shared state into the executing process's state
-// fingerprint. Exploration's state cache needs it — a process's future
+// fingerprint and, under an incremental session, records it in the
+// process's pending-operation read log. Exploration's state cache and
+// the session's snapshot restore both need it — a process's future
 // behavior mid-operation depends on what it has read so far.
 type valueObserver interface {
 	Observe(v Value)
 }
 
 // observe reports a value the current step read, when the stepper
-// fingerprints. Every base-object operation that returns shared state to
-// the caller calls it from within its atomic step.
+// fingerprints or records. Every base-object operation that returns
+// shared state to the caller calls it from within its atomic step.
 func observe(s Stepper, v Value) {
 	if o, ok := s.(valueObserver); ok {
 		o.Observe(v)
 	}
+}
+
+// stepReplayer is the optional session-rebuild hook of the simulation
+// runtime (sim.Proc implements it). While a session restore rebuilds a
+// process's pending operation, Replaying reports true and base objects
+// answer their reads from Replayed — the values the operation observed
+// live — and skip their mutations entirely, so rebuilt local frames
+// match history without touching shared state.
+type stepReplayer interface {
+	Replaying() bool
+	Replayed() Value
+}
+
+// replaying reports whether the current step is a session rebuild step.
+func replaying(s Stepper) bool {
+	r, ok := s.(stepReplayer)
+	return ok && r.Replaying()
+}
+
+// replayed returns the next recorded read value of the operation being
+// rebuilt; only meaningful when replaying(s) is true.
+func replayed(s Stepper) Value {
+	return s.(stepReplayer).Replayed()
 }
 
 // StateSink receives the canonical state encoding of a base object.
@@ -94,7 +119,15 @@ func (r *Register) Name() string { return r.name }
 // Read atomically reads the register.
 func (r *Register) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+r.name, func() { declare(s, r.name, false); v = r.val; observe(s, v) })
+	s.Exec("read "+r.name, func() {
+		if replaying(s) {
+			v = replayed(s)
+			return
+		}
+		declare(s, r.name, false)
+		v = r.val
+		observe(s, v)
+	})
 	return v
 }
 
@@ -104,9 +137,23 @@ func (r *Register) Fingerprint(f StateSink) {
 	f.Val(r.val)
 }
 
+// Snapshot captures the register's state. Stored values follow the
+// immutable-record idiom (they are replaced, never mutated in place),
+// so the shallow value is the state.
+func (r *Register) Snapshot() any { return r.val }
+
+// Restore reinstates a state captured by Snapshot.
+func (r *Register) Restore(s any) { r.val = s }
+
 // Write atomically writes v to the register.
 func (r *Register) Write(s Stepper, v Value) {
-	s.Exec("write "+r.name, func() { declare(s, r.name, true); r.val = v })
+	s.Exec("write "+r.name, func() {
+		if replaying(s) {
+			return
+		}
+		declare(s, r.name, true)
+		r.val = v
+	})
 }
 
 // CAS is an atomic compare-and-swap object. Comparison uses ==, so
@@ -128,7 +175,15 @@ func (c *CAS) Name() string { return c.name }
 // Read atomically reads the current value.
 func (c *CAS) Read(s Stepper) Value {
 	var v Value
-	s.Exec("read "+c.name, func() { declare(s, c.name, false); v = c.val; observe(s, v) })
+	s.Exec("read "+c.name, func() {
+		if replaying(s) {
+			v = replayed(s)
+			return
+		}
+		declare(s, c.name, false)
+		v = c.val
+		observe(s, v)
+	})
 	return v
 }
 
@@ -141,11 +196,23 @@ func (c *CAS) Fingerprint(f StateSink) {
 	f.Val(c.val)
 }
 
+// Snapshot captures the object's state: the exact stored value,
+// pointer identity included, which is what the CAS idiom (fresh
+// immutable records compared by pointer) requires of a restore.
+func (c *CAS) Snapshot() any { return c.val }
+
+// Restore reinstates a state captured by Snapshot.
+func (c *CAS) Restore(s any) { c.val = s }
+
 // CompareAndSwap atomically replaces the current value with new if it
 // equals old, reporting whether the swap happened.
 func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
 	var ok bool
 	s.Exec("cas "+c.name, func() {
+		if replaying(s) {
+			ok = replayed(s).(bool)
+			return
+		}
 		// A failed compare-and-swap mutates nothing: declaring it a read
 		// is sound (while a sleep entry holding this footprint is alive,
 		// any write to the object is dependent and evicts it, so the
@@ -171,6 +238,10 @@ func (c *CAS) Peek() Value { return c.val }
 func (c *CAS) Swap(s Stepper, new Value) Value {
 	var prev Value
 	s.Exec("swap "+c.name, func() {
+		if replaying(s) {
+			prev = replayed(s)
+			return
+		}
 		declare(s, c.name, true)
 		prev = c.val
 		c.val = new
@@ -198,6 +269,10 @@ func (t *TAS) Name() string { return t.name }
 func (t *TAS) TestAndSet(s Stepper) bool {
 	var won bool
 	s.Exec("tas "+t.name, func() {
+		if replaying(s) {
+			won = replayed(s).(bool)
+			return
+		}
 		// A losing test-and-set leaves the bit set: a read footprint,
 		// by the same argument as CompareAndSwap.
 		declare(s, t.name, !t.set)
@@ -211,7 +286,15 @@ func (t *TAS) TestAndSet(s Stepper) bool {
 // Read atomically reads the bit.
 func (t *TAS) Read(s Stepper) bool {
 	var v bool
-	s.Exec("read "+t.name, func() { declare(s, t.name, false); v = t.set; observe(s, v) })
+	s.Exec("read "+t.name, func() {
+		if replaying(s) {
+			v = replayed(s).(bool)
+			return
+		}
+		declare(s, t.name, false)
+		v = t.set
+		observe(s, v)
+	})
 	return v
 }
 
@@ -221,10 +304,22 @@ func (t *TAS) Fingerprint(f StateSink) {
 	f.Bool(t.set)
 }
 
+// Snapshot captures the bit.
+func (t *TAS) Snapshot() any { return t.set }
+
+// Restore reinstates a state captured by Snapshot.
+func (t *TAS) Restore(s any) { t.set = s.(bool) }
+
 // Reset atomically clears the bit (the release half of a test-and-set
 // spinlock).
 func (t *TAS) Reset(s Stepper) {
-	s.Exec("reset "+t.name, func() { declare(s, t.name, true); t.set = false })
+	s.Exec("reset "+t.name, func() {
+		if replaying(s) {
+			return
+		}
+		declare(s, t.name, true)
+		t.set = false
+	})
 }
 
 // FetchAdd is an atomic fetch-and-add counter.
@@ -245,6 +340,10 @@ func (f *FetchAdd) Name() string { return f.name }
 func (f *FetchAdd) Add(s Stepper, delta int) int {
 	var prev int
 	s.Exec("faa "+f.name, func() {
+		if replaying(s) {
+			prev = replayed(s).(int)
+			return
+		}
 		declare(s, f.name, true)
 		prev = f.val
 		f.val += delta
@@ -256,7 +355,15 @@ func (f *FetchAdd) Add(s Stepper, delta int) int {
 // Read atomically reads the counter.
 func (f *FetchAdd) Read(s Stepper) int {
 	var v int
-	s.Exec("read "+f.name, func() { declare(s, f.name, false); v = f.val; observe(s, v) })
+	s.Exec("read "+f.name, func() {
+		if replaying(s) {
+			v = replayed(s).(int)
+			return
+		}
+		declare(s, f.name, false)
+		v = f.val
+		observe(s, v)
+	})
 	return v
 }
 
@@ -265,6 +372,12 @@ func (f *FetchAdd) Fingerprint(sink StateSink) {
 	sink.Str(f.name)
 	sink.Int(f.val)
 }
+
+// Snapshot captures the counter.
+func (f *FetchAdd) Snapshot() any { return f.val }
+
+// Restore reinstates a state captured by Snapshot.
+func (f *FetchAdd) Restore(s any) { f.val = s.(int) }
 
 // Snapshot is an atomic snapshot object of n single-writer registers with
 // an atomic scan, as used by the paper's Algorithm 1 (R[1..n] with
@@ -293,15 +406,27 @@ func (sn *Snapshot) Len() int { return len(sn.slots) }
 
 // Update atomically writes v to component i (0-based).
 func (sn *Snapshot) Update(s Stepper, i int, v Value) {
-	s.Exec("update "+sn.name, func() { declare(s, sn.name, true); sn.slots[i] = v })
+	s.Exec("update "+sn.name, func() {
+		if replaying(s) {
+			return
+		}
+		declare(s, sn.name, true)
+		sn.slots[i] = v
+	})
 }
 
 // Scan atomically returns a copy of all components.
 func (sn *Snapshot) Scan(s Stepper) []Value {
 	var out []Value
 	s.Exec("scan "+sn.name, func() {
-		declare(s, sn.name, false)
 		out = make([]Value, len(sn.slots))
+		if replaying(s) {
+			for i := range out {
+				out[i] = replayed(s)
+			}
+			return
+		}
+		declare(s, sn.name, false)
 		copy(out, sn.slots)
 		for _, v := range out {
 			observe(s, v)
@@ -318,4 +443,17 @@ func (sn *Snapshot) Fingerprint(f StateSink) {
 	for _, v := range sn.slots {
 		f.Val(v)
 	}
+}
+
+// Snapshot captures all components (copied: Update mutates the slot
+// array in place).
+func (sn *Snapshot) Snapshot() any {
+	out := make([]Value, len(sn.slots))
+	copy(out, sn.slots)
+	return out
+}
+
+// Restore reinstates a state captured by Snapshot.
+func (sn *Snapshot) Restore(s any) {
+	copy(sn.slots, s.([]Value))
 }

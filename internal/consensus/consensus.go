@@ -142,6 +142,47 @@ func (c *CommitAdoptOF) Fingerprint(f *sim.Fingerprinter) {
 	}
 }
 
+// caState is a captured CommitAdoptOF configuration: the decision
+// register plus every allocated round's registers, in allocation order.
+type caState struct {
+	decision any
+	rounds   int
+	regs     []any // a[i], b[i] pairs, round-major
+}
+
+// Snapshot implements sim.Snapshottable.
+func (c *CommitAdoptOF) Snapshot() any {
+	st := &caState{decision: c.decision.Snapshot(), rounds: len(c.rounds)}
+	st.regs = make([]any, 0, 2*c.n*len(c.rounds))
+	for _, r := range c.rounds {
+		for i := range r.a {
+			st.regs = append(st.regs, r.a[i].Snapshot(), r.b[i].Snapshot())
+		}
+	}
+	return st
+}
+
+// Restore implements sim.Snapshottable. Rounds allocated after the
+// snapshot are dropped (re-extension re-allocates them identically);
+// rounds the snapshot saw keep their identity, so register pointers
+// held by in-flight operations stay valid.
+func (c *CommitAdoptOF) Restore(v any) {
+	st := v.(*caState)
+	c.decision.Restore(st.decision)
+	for len(c.rounds) < st.rounds {
+		c.rounds = append(c.rounds, newCARound(len(c.rounds), c.n))
+	}
+	c.rounds = c.rounds[:st.rounds]
+	k := 0
+	for _, r := range c.rounds {
+		for i := range r.a {
+			r.a[i].Restore(st.regs[k])
+			r.b[i].Restore(st.regs[k+1])
+			k += 2
+		}
+	}
+}
+
 // Apply implements sim.Object.
 func (c *CommitAdoptOF) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	if d := c.decision.Read(p); d != nil {
@@ -187,6 +228,13 @@ func (c *CASBased) Footprints() bool { return true }
 func (c *CASBased) Fingerprint(f *sim.Fingerprinter) {
 	c.c.Fingerprint(f)
 }
+
+// Snapshot implements sim.Snapshottable: the single CAS object is the
+// whole state.
+func (c *CASBased) Snapshot() any { return c.c.Snapshot() }
+
+// Restore implements sim.Snapshottable.
+func (c *CASBased) Restore(v any) { c.c.Restore(v) }
 
 // Trivial is the implementation I_t from the proof of Theorem 4.9: it never
 // responds to any invocation (every process blocks forever). It vacuously

@@ -6,9 +6,18 @@
 // agreement+validity on all interleavings at small depth, and both TM
 // implementations satisfy opacity (and I12 property S) likewise.
 //
-// Because processes are goroutines, configurations cannot be snapshotted;
-// exploration re-executes each schedule prefix from scratch. Runs are
-// deterministic, so re-execution reaches the identical configuration.
+// Execution comes in two flavors. When the object under test implements
+// sim.Snapshottable, exploration runs incrementally: one persistent
+// sim.Session per worker descends the tree by extending the live
+// configuration one decision at a time and backtracks by restoring
+// snapshots, so each tree edge costs amortized O(1) simulator steps
+// (plus bounded pending-operation rebuilds, reported in Stats.Resims)
+// instead of a from-root replay quadratic in depth. Objects without the
+// hook — and explorations forced by Config.ForceReplay — fall back
+// transparently to the historical engine: every prefix is re-executed
+// from the initial configuration (runs are deterministic, so
+// re-execution reaches the identical configuration). Both engines
+// enumerate the identical tree, verdicts and witnesses.
 //
 // Checking comes in two flavors. The batch path (Config.Check) re-judges
 // the entire history of every explored prefix. The incremental path
@@ -132,6 +141,11 @@ type Config struct {
 	// the view — both hold for the repository's environments and
 	// properties. Crash decisions are never pruned or slept.
 	POR bool
+	// ForceReplay forces from-root replay execution even when the
+	// object supports snapshots (sim.Snapshottable): the escape hatch
+	// for cross-checking the incremental engine and for environments
+	// outside the session contract (see sim.SessionConfig.NewEnv).
+	ForceReplay bool
 	// Cache enables the state-fingerprint visited set: a prefix whose
 	// reached configuration and monitor digest match a state whose
 	// subtree was already fully explored (with at least as much depth
@@ -155,11 +169,24 @@ type Stats struct {
 	// Prefixes is the number of schedule prefixes explored (histories
 	// checked).
 	Prefixes int
-	// Steps is the total number of simulator steps executed across all
-	// replays. (The footprint probes that POR with Workers > 1 performs
+	// Steps counts the simulator steps that advanced exploration into
+	// counted prefixes. Under incremental execution that is one step
+	// per explored non-crash edge, identical for sequential and
+	// parallel runs; under replay execution it is the total steps
+	// across all from-root replays (the historical, depth-quadratic
+	// number). The footprint probes that POR with Workers > 1 performs
 	// at split points are excluded, so parallel and sequential
-	// statistics stay comparable.)
+	// statistics stay comparable.
 	Steps int
+	// Resims counts simulator steps spent re-establishing already
+	// visited configurations rather than exploring new ones: under
+	// incremental execution the pending-operation rebuild steps of
+	// snapshot restores, the seed replays of stolen subtrees and the
+	// POR split probes; under replay execution the re-executed prefix
+	// portion of every from-root replay (there also included in Steps,
+	// which keeps its historical meaning). Timing-dependent at
+	// Workers > 1 (stealing decides how much re-seeding happens).
+	Resims int
 	// Pruned is the number of subtrees skipped by partial-order
 	// reduction (0 unless Config.POR).
 	Pruned int
@@ -248,8 +275,9 @@ func inSleep(sleep []sleepEntry, d sim.Decision) bool {
 // engine carries the state one exploration shares across its recursion
 // (and, at Workers > 1, across its workers).
 type engine struct {
-	cfg     Config
-	visited *visitedSet // non-nil iff cfg.Cache
+	cfg         Config
+	visited     *visitedSet // non-nil iff cfg.Cache
+	incremental bool        // session execution available for this object
 }
 
 // Run explores exhaustively. It returns the statistics and the first
@@ -261,10 +289,16 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.Check == nil && cfg.NewMonitors == nil {
 		return nil, fmt.Errorf("explore: Check or NewMonitors must be set")
 	}
+	if cfg.NewObject == nil || cfg.NewEnv == nil {
+		return nil, fmt.Errorf("explore: NewObject and NewEnv must be set")
+	}
 	if cfg.Cache && cfg.NewMonitors == nil {
 		return nil, fmt.Errorf("explore: Cache requires the incremental monitor path (NewMonitors): cache-hit soundness rests on the monitor state digest")
 	}
 	g := &engine{cfg: cfg}
+	if !cfg.ForceReplay {
+		g.incremental = sim.CanSnapshot(cfg.NewObject())
+	}
 	if cfg.Cache {
 		g.visited = newVisitedSet()
 	}
@@ -280,25 +314,34 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.NewMonitors != nil {
 		ms = cfg.NewMonitors()
 	}
-	_, _, err := g.explore(nil, nil, nil, 0, 0, ms, nil, st)
+	ex, err := g.newExec(st)
+	if err != nil {
+		return st, err
+	}
+	defer ex.close()
+	err = g.runTask(nil, ex, &wsTask{ms: ms}, st)
 	return st, err
 }
 
-// replay executes the schedule prefix and returns the run result plus the
-// set of processes ready afterwards.
+// replay executes the schedule prefix from the initial configuration
+// and returns the run result plus the set of processes ready afterwards
+// (the replay-fallback primitive; sessions never call it).
 func (g *engine) replay(prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 	var ready []int
-	captured := false
-	sched := sim.Seq(
-		sim.Fixed(prefix),
-		sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
-			if !captured {
-				ready = append([]int(nil), v.Ready...)
-				captured = true
-			}
-			return sim.Decision{}, false
-		}),
-	)
+	i := 0
+	// One scheduler closure: feed the prefix by index, then capture the
+	// ready set of the reached configuration and stop. (Replaced the
+	// earlier Seq(Fixed, SchedulerFunc) composition, which burned an
+	// extra scheduler dispatch and a decision-slice copy per node.)
+	sched := sim.SchedulerFunc(func(v *sim.View) (sim.Decision, bool) {
+		if i < len(prefix) {
+			d := prefix[i]
+			i++
+			return d, true
+		}
+		ready = append([]int(nil), v.Ready...)
+		return sim.Decision{}, false
+	})
 	res := sim.Run(sim.Config{
 		Procs:       g.cfg.Procs,
 		Object:      g.cfg.NewObject(),
@@ -313,6 +356,36 @@ func (g *engine) replay(prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 	return res, ready
 }
 
+// pathState is one worker's DFS bookkeeping: the decision stack of the
+// current prefix (shared across the recursion — witnesses and task
+// prefixes copy out of it), the preorder path stack (used only under
+// parallelism), and the running non-crash step count.
+type pathState struct {
+	prefix []sim.Decision
+	path   []int
+	steps  int
+}
+
+// runTask explores the subtree rooted at the task's prefix with the
+// given exec. w is nil on the sequential path.
+func (g *engine) runTask(w *wsWorker, ex pathExec, t *wsTask, st *Stats) error {
+	node, err := ex.task(t.prefix, t.parentEvents)
+	if err != nil {
+		return g.fail(w, t.path, fmt.Errorf("explore: replay failed: %w", err))
+	}
+	ps := &pathState{
+		prefix: t.prefix[:len(t.prefix):len(t.prefix)],
+		path:   t.path[:len(t.path):len(t.path)],
+	}
+	for _, d := range t.prefix {
+		if !d.Crash {
+			ps.steps++
+		}
+	}
+	_, err = g.explore(w, ex, node, ps, t.crashes, t.ms, t.sleep, st)
+	return err
+}
+
 // ctxErr polls the optional context.
 func (g *engine) ctxErr() error {
 	if g.cfg.Ctx != nil {
@@ -321,16 +394,16 @@ func (g *engine) ctxErr() error {
 	return nil
 }
 
-// stepDelta feeds the prefix's new events (those at index parentEvents or
-// later) into the monitor set; a violation is wrapped with its location
-// and recorded in the stats.
-func stepDelta(ms MonitorSet, res *sim.Result, parentEvents int, prefix []sim.Decision, st *Stats) error {
-	delta := res.EventsSince(parentEvents)
-	for k := range delta {
-		if err := ms.Step(delta[k]); err != nil {
+// stepDelta feeds the node's new events (its delta since the parent)
+// into the monitor set; a violation is wrapped with its location and
+// recorded in the stats.
+func stepDelta(ms MonitorSet, node *nodeInfo, h history.History, prefix []sim.Decision, st *Stats) error {
+	parentEvents := len(h) - len(node.delta)
+	for k := range node.delta {
+		if err := ms.Step(node.delta[k]); err != nil {
 			w := witness(prefix)
 			st.Witness = w
-			return &Violation{Schedule: w, H: res.H, EventIndex: parentEvents + k, Cause: err}
+			return &Violation{Schedule: w, H: h, EventIndex: parentEvents + k, Cause: err}
 		}
 	}
 	return nil
@@ -342,63 +415,47 @@ func combineKey(fp, digest uint64) uint64 {
 	return history.DigestWord(fp, digest)
 }
 
-// explore visits the prefix and recurses into its children. w is the
-// executing worker (nil on the sequential path); path is the node's
-// child-ordinal path from the root, used for preorder comparisons under
-// parallelism. parentEvents is the number of history events the parent
-// prefix recorded; ms is the monitor set as of the parent (nil on the
-// batch path); sleep is the sleep set inherited from the parent, not
-// yet filtered by this prefix's own last step. It returns the footprint
-// of that last step so the parent can put this child to sleep for later
-// siblings, and whether the subtree was explored to completion: a
-// parallel cutoff anywhere beneath this node makes it incomplete, and
-// an incomplete subtree must never be published to the visited set —
-// even when the node's own child loop never re-checked the cutoff
-// (e.g. the abandoned child was its last).
-func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes, parentEvents int, ms MonitorSet, sleep []sleepEntry, st *Stats) (sim.Access, bool, error) {
-	res, ready := g.replay(prefix, st)
-	var my sim.Access
-	if len(prefix) > 0 {
-		my = accessAt(res, len(prefix)-1)
-	}
-	if res.Err != nil {
-		return my, false, g.fail(w, path, fmt.Errorf("explore: replay failed: %w", res.Err))
-	}
+// explore visits the exec's current node and recurses into its
+// children (descending by enter, backtracking by leave). w is the
+// executing worker (nil on the sequential path); node is the info the
+// exec reported on arrival; ps carries the shared prefix/path stacks;
+// ms is the monitor set as of the parent (nil on the batch path); sleep
+// is the sleep set inherited from the parent, not yet filtered by this
+// node's own last step. It reports whether the subtree was explored to
+// completion: a parallel cutoff anywhere beneath this node makes it
+// incomplete, and an incomplete subtree must never be published to the
+// visited set — even when the node's own child loop never re-checked
+// the cutoff (e.g. the abandoned child was its last).
+func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState, crashes int, ms MonitorSet, sleep []sleepEntry, st *Stats) (bool, error) {
 	st.Prefixes++
 	if err := g.ctxErr(); err != nil {
-		return my, false, g.fatal(w, err)
+		return false, g.fatal(w, err)
 	}
 	if ms != nil {
-		if err := stepDelta(ms, res, parentEvents, prefix, st); err != nil {
-			return my, false, g.fail(w, path, err)
+		if err := stepDelta(ms, node, ex.history(), ps.prefix, st); err != nil {
+			return false, g.fail(w, ps.path, err)
 		}
-	} else if err := g.cfg.Check(res.H, prefix); err != nil {
-		st.Witness = witness(prefix)
-		return my, false, g.fail(w, path, err)
+	} else if err := g.cfg.Check(ex.history(), ps.prefix[:len(ps.prefix):len(ps.prefix)]); err != nil {
+		st.Witness = witness(ps.prefix)
+		return false, g.fail(w, ps.path, err)
 	}
-	steps := 0
-	for _, d := range prefix {
-		if !d.Crash {
-			steps++
-		}
-	}
-	if steps >= g.cfg.Depth {
-		return my, true, nil
+	if ps.steps >= g.cfg.Depth {
+		return true, nil
 	}
 	var children []sim.Decision
-	for _, p := range ready {
+	for _, p := range node.ready {
 		children = append(children, sim.Decision{Proc: p})
 	}
 	if crashes < g.cfg.Crashes {
 		// Crash only ready processes: idle and blocked processes take no
 		// further steps, so crashing them duplicates sibling subtrees.
-		for _, p := range ready {
+		for _, p := range node.ready {
 			children = append(children, sim.Decision{Proc: p, Crash: true})
 		}
 	}
 	var z []sleepEntry
-	if g.cfg.POR && len(prefix) > 0 {
-		z = filterSleep(sleep, prefix[len(prefix)-1], my)
+	if g.cfg.POR && len(ps.prefix) > 0 {
+		z = filterSleep(sleep, ps.prefix[len(ps.prefix)-1], node.access)
 	}
 	// Whether a child is asleep depends only on the inherited set z:
 	// entries appended for explored siblings are those siblings'
@@ -412,7 +469,7 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 	}
 	st.Pruned += len(children) - len(live)
 	if len(live) == 0 {
-		return my, true, nil
+		return true, nil
 	}
 
 	// State cache: if an equivalent configuration — same fingerprint,
@@ -423,18 +480,26 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 	// the loop's appends below cannot mutate the stored set.
 	var ckey uint64
 	var zStart []sleepEntry
-	remDepth, remCrashes := g.cfg.Depth-steps, g.cfg.Crashes-crashes
+	remDepth, remCrashes := g.cfg.Depth-ps.steps, g.cfg.Crashes-crashes
 	cacheable := false
-	if g.visited != nil && res.Fingerprinted {
+	if g.visited != nil && node.fped {
 		if dg, ok := monitorDigest(ms); ok {
-			ckey = combineKey(res.Fingerprint, dg)
+			ckey = combineKey(node.fp, dg)
 			zStart = z[:len(z):len(z)]
 			if g.visited.hit(ckey, remDepth, remCrashes, zStart) {
 				st.CacheHits++
-				return my, true, nil
+				return true, nil
 			}
 			cacheable = true
 		}
+	}
+
+	// A mark is only needed when more than one child will be explored
+	// (or probed) from this node: a single live child is entered
+	// directly from the current position and never returned to.
+	var mark execMark
+	if len(live) > 1 {
+		mark = ex.mark()
 	}
 
 	// Under parallelism, split the later live children off as stealable
@@ -442,7 +507,7 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 	// the task overhead), exploring only the first live child inline.
 	spawned := 0
 	if w != nil && len(live) > 1 && remDepth >= minSplitDepth {
-		spawned = g.trySplit(w, prefix, path, crashes, res, ms, z, children, live)
+		spawned = g.trySplit(w, ex, mark, ps, crashes, ms, z, children, live)
 	}
 
 	lastLive := live[len(live)-1]
@@ -454,13 +519,13 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 		if spawned > 0 && i > live[0] {
 			break // later live children were handed to the pool
 		}
-		cpath := path
 		if w != nil {
-			cpath = append(path[:len(path):len(path)], i)
-			if w.pool.cutoff(cpath) {
+			ps.path = append(ps.path, i)
+			if w.pool.cutoff(ps.path) {
 				// Everything from here on is preorder-after a failure
 				// already found; the subtree is abandoned, so neither it
 				// nor any ancestor may be published as fully explored.
+				ps.path = ps.path[:len(ps.path)-1]
 				complete = false
 				break
 			}
@@ -473,9 +538,29 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 		if d.Crash {
 			nextCrashes++
 		}
-		a, cc, err := g.explore(w, append(prefix, d), cpath, nextCrashes, len(res.H), cms, z, st)
+		if mark != nil {
+			if err := ex.leave(mark); err != nil {
+				return false, g.fatal(w, err)
+			}
+		}
+		cn, err := ex.enter(d)
 		if err != nil {
-			return my, false, err
+			return false, g.fail(w, ps.path, fmt.Errorf("explore: replay failed: %w", err))
+		}
+		ps.prefix = append(ps.prefix, d)
+		if !d.Crash {
+			ps.steps++
+		}
+		cc, err := g.explore(w, ex, cn, ps, nextCrashes, cms, z, st)
+		ps.prefix = ps.prefix[:len(ps.prefix)-1]
+		if !d.Crash {
+			ps.steps--
+		}
+		if w != nil {
+			ps.path = ps.path[:len(ps.path)-1]
+		}
+		if err != nil {
+			return false, err
 		}
 		if !cc {
 			// The child's subtree was abandoned by a cutoff below it; this
@@ -484,7 +569,7 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 			complete = false
 		}
 		if g.cfg.POR && !d.Crash {
-			z = append(z, sleepEntry{d: d, a: a})
+			z = append(z, sleepEntry{d: d, a: cn.access})
 		}
 	}
 	if spawned > 0 {
@@ -500,7 +585,7 @@ func (g *engine) explore(w *wsWorker, prefix []sim.Decision, path []int, crashes
 	if cacheable && complete {
 		g.visited.store(ckey, remDepth, remCrashes, zStart)
 	}
-	return my, complete, nil
+	return complete, nil
 }
 
 // fail wraps a node failure with its preorder position under

@@ -154,15 +154,33 @@ func (g *engine) runParallel(workers int) (*Stats, error) {
 }
 
 // run is one worker's loop: take a task, explore its subtree, report.
+// Each worker owns one exec for its lifetime: a stolen task seeds the
+// session by one replay of the split prefix, then the subtree descends
+// incrementally.
 func (p *wsPool) run(id int) {
 	w := &wsWorker{id: id, pool: p}
+	var ex pathExec
+	defer func() {
+		if ex != nil {
+			ex.close()
+		}
+	}()
 	for {
 		t := p.next(id)
 		if t == nil {
 			return
 		}
 		st := &Stats{}
-		_, _, err := p.g.explore(w, t.prefix, t.path, t.crashes, t.parentEvents, t.ms, t.sleep, st)
+		if ex == nil {
+			var err error
+			if ex, err = p.g.newExec(st); err != nil {
+				p.finish(st, &fatalError{err: err})
+				continue
+			}
+		} else {
+			ex.bind(st)
+		}
+		err := p.g.runTask(w, ex, t, st)
 		p.finish(st, err)
 	}
 }
@@ -262,6 +280,7 @@ func (p *wsPool) finish(st *Stats, err error) {
 	defer p.mu.Unlock()
 	p.total.Prefixes += st.Prefixes
 	p.total.Steps += st.Steps
+	p.total.Resims += st.Resims
 	p.total.Pruned += st.Pruned
 	p.total.CacheHits += st.CacheHits
 	if err != nil {
@@ -295,13 +314,16 @@ func (p *wsPool) finish(st *Stats, err error) {
 // tasks, returning how many were spawned (0 when the deque is full).
 // Under POR each spawned child's sleep set needs the first-step
 // footprints of its earlier live siblings — which have not run yet — so
-// they are probed with one short replay each (excluded from the
-// statistics, like PR3's first-level probes).
-func (g *engine) trySplit(w *wsWorker, prefix []sim.Decision, path []int, crashes int, res *sim.Result, ms MonitorSet, z []sleepEntry, children []sim.Decision, live []int) int {
+// they are probed first: the session exec extends and rewinds one step
+// per sibling (counted as re-simulation), the replay exec runs one
+// short replay each (excluded from the statistics, like PR3's
+// first-level probes).
+func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState, crashes int, ms MonitorSet, z []sleepEntry, children []sim.Decision, live []int) int {
 	n := len(live) - 1
 	if !w.pool.room(w.id, n) {
 		return 0
 	}
+	parentEvents := len(ex.history())
 	var probes []sim.Access // aligned with live[:len(live)-1]
 	if g.cfg.POR {
 		probes = make([]sim.Access, len(live)-1)
@@ -309,10 +331,13 @@ func (g *engine) trySplit(w *wsWorker, prefix []sim.Decision, path []int, crashe
 			if children[ci].Crash {
 				continue
 			}
-			pres, _ := g.replay(append(prefix[:len(prefix):len(prefix)], children[ci]), nil)
-			probes[j] = accessAt(pres, len(prefix))
+			// A failed probe leaves the footprint unknown, which only
+			// makes the spawned sibling conservatively dependent.
+			probes[j], _ = ex.probe(mark, children[ci])
 		}
 	}
+	prefix := ps.prefix[:len(ps.prefix):len(ps.prefix)]
+	path := ps.path[:len(ps.path):len(ps.path)]
 	tasks := make([]*wsTask, 0, n)
 	sl := z[:len(z):len(z)]
 	for j := 1; j < len(live); j++ {
@@ -334,10 +359,10 @@ func (g *engine) trySplit(w *wsWorker, prefix []sim.Decision, path []int, crashe
 			cr++
 		}
 		tasks = append(tasks, &wsTask{
-			prefix:       append(prefix[:len(prefix):len(prefix)], d),
-			path:         append(path[:len(path):len(path)], ci),
+			prefix:       append(prefix, d),
+			path:         append(path, ci),
 			crashes:      cr,
-			parentEvents: len(res.H),
+			parentEvents: parentEvents,
 			ms:           tms,
 			sleep:        sl,
 		})

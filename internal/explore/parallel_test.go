@@ -163,11 +163,11 @@ func TestRootViolationStatsParity(t *testing.T) {
 	}
 }
 
-// TestReplayFailureStats pins the stats contract of a failed replay,
-// shared by the sequential recursion and the parallel workers (both run
-// the same explore function): the failing prefix is not counted, its
-// executed steps are, no witness is fabricated, and the error names the
-// replay.
+// TestReplayFailureStats pins the stats contract of a failed task
+// seed, shared by the sequential entry point and the parallel workers
+// (both run the same runTask function): the failing prefix is not
+// counted, its executed steps are, no witness is fabricated, and the
+// error names the replay.
 func TestReplayFailureStats(t *testing.T) {
 	cfg := brokenCfg(1)
 	// A prefix that crashes process 1 twice is invalid: the simulator
@@ -175,7 +175,12 @@ func TestReplayFailureStats(t *testing.T) {
 	bad := []sim.Decision{{Proc: 2}, {Proc: 1, Crash: true}, {Proc: 1, Crash: true}}
 	st := &Stats{}
 	g := &engine{cfg: cfg}
-	_, _, err := g.explore(nil, bad, nil, 2, 0, nil, nil, st)
+	ex, err := g.newExec(st)
+	if err != nil {
+		t.Fatalf("newExec: %v", err)
+	}
+	defer ex.close()
+	err = g.runTask(nil, ex, &wsTask{prefix: bad, crashes: 2}, st)
 	if err == nil || !strings.Contains(err.Error(), "replay failed") {
 		t.Fatalf("invalid prefix must fail its replay, got %v", err)
 	}

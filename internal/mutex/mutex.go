@@ -99,6 +99,23 @@ func (l *Peterson) Fingerprint(f *sim.Fingerprinter) {
 	l.turn.Fingerprint(f)
 }
 
+// petersonState is a captured lock configuration.
+type petersonState struct{ f0, f1, turn any }
+
+// Snapshot implements sim.Snapshottable: the three registers are the
+// whole state.
+func (l *Peterson) Snapshot() any {
+	return &petersonState{f0: l.flag[0].Snapshot(), f1: l.flag[1].Snapshot(), turn: l.turn.Snapshot()}
+}
+
+// Restore implements sim.Snapshottable.
+func (l *Peterson) Restore(v any) {
+	st := v.(*petersonState)
+	l.flag[0].Restore(st.f0)
+	l.flag[1].Restore(st.f1)
+	l.turn.Restore(st.turn)
+}
+
 // Apply implements sim.Object.
 func (l *Peterson) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	switch inv.Op {
@@ -143,6 +160,12 @@ func (l *TASLock) Footprints() bool { return true }
 func (l *TASLock) Fingerprint(f *sim.Fingerprinter) {
 	l.t.Fingerprint(f)
 }
+
+// Snapshot implements sim.Snapshottable: the bit is the whole state.
+func (l *TASLock) Snapshot() any { return l.t.Snapshot() }
+
+// Restore implements sim.Snapshottable.
+func (l *TASLock) Restore(v any) { l.t.Restore(v) }
 
 // Apply implements sim.Object.
 func (l *TASLock) Apply(p *sim.Proc, inv sim.Invocation) history.Value {

@@ -72,6 +72,22 @@ func (q *Locked) Fingerprint(f *sim.Fingerprinter) {
 	q.state.Fingerprint(f)
 }
 
+// lockedState is a captured queue configuration.
+type lockedState struct{ lock, state any }
+
+// Snapshot implements sim.Snapshottable: the Peterson lock plus the
+// queue register (whose *qstate records are immutable).
+func (q *Locked) Snapshot() any {
+	return &lockedState{lock: q.lock.Snapshot(), state: q.state.Snapshot()}
+}
+
+// Restore implements sim.Snapshottable.
+func (q *Locked) Restore(v any) {
+	st := v.(*lockedState)
+	q.lock.Restore(st.lock)
+	q.state.Restore(st.state)
+}
+
 // Apply implements sim.Object.
 func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	q.lock.Acquire(p)
@@ -107,6 +123,15 @@ type CASQueue struct {
 func NewCASQueue() *CASQueue {
 	return &CASQueue{state: base.NewCAS("queue", &qstate{})}
 }
+
+// Snapshot implements sim.Snapshottable. Unlike a fingerprint, a
+// snapshot may capture pointer identity — Restore reinstates the exact
+// *qstate pointer, so the ABA distinction that rules out the content
+// fingerprint is preserved and incremental exploration stays sound.
+func (q *CASQueue) Snapshot() any { return q.state.Snapshot() }
+
+// Restore implements sim.Snapshottable.
+func (q *CASQueue) Restore(v any) { q.state.Restore(v) }
 
 // Apply implements sim.Object.
 func (q *CASQueue) Apply(p *sim.Proc, inv sim.Invocation) history.Value {

@@ -1,0 +1,485 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// Snapshottable is the opt-in snapshot hook of the incremental
+// exploration engine: a Session can rewind an Object implementing it to
+// an earlier configuration instead of re-executing the whole schedule
+// prefix from the initial state. Implementing it promises that
+//
+//  1. Snapshot returns a value capturing ALL state that outlives a
+//     single granted step and is not process-goroutine-local — for
+//     implementations built from internal/base objects, each base
+//     object's Snapshot in a fixed order, plus any composite-level
+//     state (lazy allocations, per-process operation contexts) — such
+//     that Restore(s) brings the object back to behavior
+//     indistinguishable from the moment Snapshot was called.
+//  2. Restore never adopts the snapshot value mutably: the engine
+//     restores the same snapshot many times (including twice around a
+//     single rewind), so Restore must copy what it cannot treat as
+//     immutable, and Snapshot must return data later mutations of the
+//     object cannot reach.
+//  3. Every value Apply reads from shared state into process-local
+//     variables is reported via Proc.Observe, and every step closure
+//     (and every composite-level read of state mutated within an
+//     in-flight operation) consults Proc.Replaying: when true it takes
+//     the value from Proc.Replayed instead of the real access and skips
+//     every mutation. internal/base objects do all of this
+//     automatically; see the slx test objects for the hand-rolled
+//     single-step pattern.
+//  4. Apply is deterministic given the invocation and the observed
+//     values (which the simulator already requires for replay).
+//
+// Unlike Fingerprintable, pointer identity is no obstacle: a snapshot
+// may hold pointers to immutable records (the CAS idiom), since Restore
+// reinstates the exact pointers. Objects without the hook are simply
+// executed by from-root replay; exploration's soundness never depends
+// on Snapshottable being implemented or implementable.
+type Snapshottable interface {
+	Object
+	// Snapshot captures the object's current state.
+	Snapshot() any
+	// Restore reinstates a state previously returned by Snapshot.
+	Restore(any)
+}
+
+// SessionGated is optionally implemented alongside Snapshottable by
+// objects whose snapshot support depends on runtime composition (e.g. a
+// TM with a pluggable snapshot component): Snapshotting() == false
+// vetoes incremental execution and the exploration engine falls back to
+// from-root replay, exactly as if the hook were absent.
+type SessionGated interface {
+	Snapshotting() bool
+}
+
+// CanSnapshot reports whether an object supports session execution: it
+// implements Snapshottable and does not veto it via SessionGated.
+func CanSnapshot(o Object) bool {
+	if _, ok := o.(Snapshottable); !ok {
+		return false
+	}
+	if g, ok := o.(SessionGated); ok && !g.Snapshotting() {
+		return false
+	}
+	return true
+}
+
+// SessionConfig describes a persistent incremental simulation.
+type SessionConfig struct {
+	// Procs is the number of processes n (1-based ids 1..n).
+	Procs int
+	// Object is the implementation under test; it must implement
+	// Snapshottable. The session owns and mutates it.
+	Object Object
+	// NewEnv creates an environment instance. A factory rather than an
+	// instance: every Restore that rebuilds a process replaces the
+	// environment with a fresh one fast-forwarded to the restored
+	// configuration. Incremental execution therefore supports
+	// environments that decide each invocation from the invoking
+	// process's identity, its own invocation count, and its own
+	// projection of the history (all repository environments qualify);
+	// environments inspecting other View fields need replay execution.
+	NewEnv func() Environment
+	// Fingerprint enables configuration fingerprints (Session.Fingerprint)
+	// when the Object also implements Fingerprintable.
+	Fingerprint bool
+}
+
+// Session is a live simulation that supports incremental extension
+// (Extend: grant exactly one more scheduler decision, reusing the
+// running process goroutines) and backtracking (Mark/Restore: rewind to
+// an earlier configuration on the current execution path). Exploration
+// uses it to visit each schedule-tree edge in amortized O(1) simulator
+// steps instead of replaying every prefix from the root.
+//
+// A Restore rewinds three kinds of state: the object (via its
+// Snapshottable hook), the runtime bookkeeping (history, step counts,
+// statuses), and each process's goroutine. Goroutine stacks cannot be
+// copied, so a process that stepped since the mark is rebuilt: its
+// goroutine is unwound and respawned, and its pending operation is
+// re-executed with every shared-state read answered from the read log
+// recorded live (Proc.Observe) — so the rebuilt local frames are exactly
+// the marked ones, without touching (or depending on) shared state.
+//
+// Sessions are not safe for concurrent use; marks may only be restored
+// on the path that created them (a mark is a prefix of the current
+// execution).
+type Session struct {
+	rt     *runtime
+	obj    Snapshottable
+	newEnv func() Environment
+	closed bool
+}
+
+// NewSession starts a session positioned at the initial configuration.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Procs < 1 {
+		return nil, errors.New("sim: session Procs must be >= 1")
+	}
+	if !CanSnapshot(cfg.Object) {
+		return nil, fmt.Errorf("sim: session object %T does not support snapshots", cfg.Object)
+	}
+	obj := cfg.Object.(Snapshottable)
+	if cfg.NewEnv == nil {
+		return nil, errors.New("sim: session requires NewEnv")
+	}
+	r := newRuntime(Config{
+		Procs:       cfg.Procs,
+		Object:      cfg.Object,
+		Fingerprint: cfg.Fingerprint,
+	}, cfg.NewEnv())
+	r.enableCtl()
+	r.sess = true
+	r.sessReads = make([][]history.Value, cfg.Procs+1)
+	s := &Session{rt: r, obj: obj, newEnv: cfg.NewEnv}
+	// Start processes one at a time so initial readiness is deterministic
+	// (mirrors sim.Run).
+	for id := 1; id <= cfg.Procs; id++ {
+		r.spawn(id)
+	}
+	return s, nil
+}
+
+// StepInfo reports what one Extend did.
+type StepInfo struct {
+	// Delta holds the events the decision recorded, capacity-clipped so
+	// appends elsewhere can never overwrite them (monitors may retain
+	// the slice).
+	Delta history.History
+	// Access is the footprint of the decision (zero/unknown when the
+	// object does not track footprints), matching Result.Accesses.
+	Access Access
+	// Steps is the number of simulator steps granted: 0 for a crash
+	// decision, 1 otherwise.
+	Steps int
+}
+
+// Extend applies one scheduler decision to the live configuration. The
+// decision must be valid (a ready process, or a crash of a non-crashed
+// process), exactly as for a sim.Run scheduler.
+func (s *Session) Extend(d Decision) (StepInfo, error) {
+	r := s.rt
+	if err := s.usable(); err != nil {
+		return StepInfo{}, err
+	}
+	evBefore := len(r.h)
+	stepsBefore := r.steps
+	if err := r.applyDecision(d); err != nil {
+		return StepInfo{}, err
+	}
+	info := StepInfo{
+		Delta: r.h[evBefore:len(r.h):len(r.h)],
+		Steps: r.steps - stepsBefore,
+	}
+	if r.track && len(r.accesses) > 0 {
+		info.Access = r.accesses[len(r.accesses)-1]
+	}
+	return info, nil
+}
+
+// Ready returns the sorted ids of processes currently awaiting a step.
+func (s *Session) Ready() []int {
+	r := s.rt
+	var out []int
+	for id := 1; id <= r.cfg.Procs; id++ {
+		if r.status[id] == statusReady {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// History returns the external history of the current configuration,
+// capacity-clipped against later appends.
+func (s *Session) History() history.History {
+	return s.rt.h[:len(s.rt.h):len(s.rt.h)]
+}
+
+// Steps returns the number of simulator steps granted so far (rebuild
+// re-execution excluded).
+func (s *Session) Steps() int { return s.rt.steps }
+
+// Fingerprint computes the canonical configuration fingerprint, exactly
+// as Result.Fingerprint would report it for a from-root replay of the
+// same schedule. ok is false when the session does not fingerprint
+// (SessionConfig.Fingerprint off, object not Fingerprintable) or the
+// execution was poisoned (LazyArg, unencodable value).
+func (s *Session) Fingerprint() (uint64, bool) {
+	r := s.rt
+	if !r.fpTrack || r.fpPoisoned {
+		return 0, false
+	}
+	return r.fingerprint()
+}
+
+// Mark captures the current configuration for a later Restore.
+type Mark struct {
+	obj      any
+	hLen     int
+	schedLen int
+	accLen   int
+	steps    int
+	poisoned bool
+	procs    []procMark // index 0 unused
+}
+
+// procMark is one process's control state at a mark.
+type procMark struct {
+	status    procStatus
+	stepsBy   int
+	completed int
+	opSteps   int
+	obs       uint64
+	pending   *Invocation
+	reads     []history.Value
+}
+
+// Mark snapshots the current configuration. The live buffers are
+// capacity-clipped so later appends reallocate instead of overwriting
+// state the mark still references.
+func (s *Session) Mark() *Mark {
+	r := s.rt
+	m := &Mark{
+		obj:      s.obj.Snapshot(),
+		hLen:     len(r.h),
+		schedLen: len(r.schedule),
+		accLen:   len(r.accesses),
+		steps:    r.steps,
+		poisoned: r.fpPoisoned,
+		procs:    make([]procMark, r.cfg.Procs+1),
+	}
+	r.h = r.h[:len(r.h):len(r.h)]
+	r.eventSteps = r.eventSteps[:len(r.eventSteps):len(r.eventSteps)]
+	r.schedule = r.schedule[:len(r.schedule):len(r.schedule)]
+	r.accesses = r.accesses[:len(r.accesses):len(r.accesses)]
+	for id := 1; id <= r.cfg.Procs; id++ {
+		pm := &m.procs[id]
+		pm.status = r.status[id]
+		pm.stepsBy = r.stepsBy[id]
+		pm.completed = r.fpCompleted[id]
+		pm.opSteps = r.fpOpSteps[id]
+		pm.pending = r.fpPending[id]
+		if r.fpTrack {
+			pm.obs = r.fpObs[id]
+		}
+		reads := r.sessReads[id]
+		pm.reads = reads[:len(reads):len(reads)]
+		r.sessReads[id] = pm.reads
+	}
+	return m
+}
+
+// Restore rewinds the session to a mark taken earlier on the current
+// execution path. It returns the number of rebuild steps re-executed
+// (re-granted pending-operation steps of processes whose goroutines had
+// to be respawned) so callers can account re-simulation work.
+func (s *Session) Restore(m *Mark) (int, error) {
+	r := s.rt
+	if err := s.usable(); err != nil {
+		return 0, err
+	}
+	// Fast path: the configuration has not moved (or only needs status
+	// rewinds after crash decisions, handled below).
+	if r.steps == m.steps && len(r.h) == m.hLen {
+		same := true
+		for id := 1; id <= r.cfg.Procs; id++ {
+			if r.status[id] != m.procs[id].status {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 0, nil
+		}
+	}
+
+	// Rewind runtime bookkeeping. Truncations capacity-clip: property
+	// monitors retain delta slices of the old suffix, which appends past
+	// the truncation point must never overwrite.
+	r.h = r.h[:m.hLen:m.hLen]
+	r.eventSteps = r.eventSteps[:m.hLen:m.hLen]
+	r.schedule = r.schedule[:m.schedLen:m.schedLen]
+	r.accesses = r.accesses[:m.accLen:m.accLen]
+	r.steps = m.steps
+	r.fpPoisoned = m.poisoned
+
+	// A process whose step count moved since the mark has goroutine
+	// frames the mark does not describe: it must be rebuilt. Everyone
+	// else took no granted steps, so their frames (and read logs,
+	// pending invocations, environment positions) are exactly the
+	// mark's; only their status can differ, via crash decisions.
+	rebuilds := false
+	for id := 1; id <= r.cfg.Procs; id++ {
+		if r.stepsBy[id] != m.procs[id].stepsBy {
+			rebuilds = true
+			break
+		}
+	}
+	if !rebuilds {
+		for id := 1; id <= r.cfg.Procs; id++ {
+			r.status[id] = m.procs[id].status
+		}
+		return 0, nil
+	}
+
+	// Restore the object before rebuilding (composite-level reads during
+	// the rebuild observe mark state) and again after (composite-level
+	// side effects of re-executed operation code — local contexts, lazy
+	// allocations — are reverted; base-object accesses are already
+	// suppressed by the injection machinery).
+	s.obj.Restore(m.obj)
+	r.env = s.newEnv()
+	respAfter := r.responseIndices()
+	granted := 0
+	for id := 1; id <= r.cfg.Procs; id++ {
+		pm := &m.procs[id]
+		if r.stepsBy[id] == pm.stepsBy {
+			r.status[id] = pm.status
+			// Keep the parked goroutine, but position the fresh
+			// environment past every invocation this process has
+			// consumed: its completed operations plus the one its loop
+			// already holds (or consumed returning idle).
+			s.fastForward(id, pm.completed+1, respAfter)
+			continue
+		}
+		granted += s.rebuildProc(id, pm, respAfter)
+		if r.desync != nil {
+			return granted, r.desync
+		}
+	}
+	s.obj.Restore(m.obj)
+	return granted, nil
+}
+
+// rebuildProc respawns process id's goroutine in the mark's state: its
+// environment is fast-forwarded, the goroutine restarted, and its
+// pending operation re-executed with reads injected from the mark's
+// read log. Returns the number of re-granted steps.
+func (s *Session) rebuildProc(id int, pm *procMark, respAfter [][]int) int {
+	r := s.rt
+	// Unwind the old goroutine if it is still parked on a grant (ready
+	// or crashed); idle and blocked goroutines have already exited.
+	if p := r.procs[id]; p != nil && (r.status[id] == statusReady || r.status[id] == statusCrashed) {
+		close(p.halt)
+		<-p.dead
+	}
+	r.procs[id] = nil
+	r.stepsBy[id] = pm.stepsBy
+	r.fpCompleted[id] = pm.completed
+	r.fpOpSteps[id] = pm.opSteps
+	r.fpPending[id] = pm.pending
+	if r.fpTrack {
+		r.fpObs[id] = pm.obs
+	}
+	r.sessReads[id] = pm.reads
+	s.fastForward(id, pm.completed, respAfter)
+
+	r.rebuildActive = true
+	r.rebuildProc = id
+	r.rebuildInv = pm.pending
+	r.rebuildReads = pm.reads
+	r.rebuildIdx = 0
+	r.rebuildView = s.histView(id, pm.completed+1, respAfter)
+	defer func() {
+		r.rebuildActive = false
+		r.rebuildInv = nil
+		r.rebuildReads = nil
+		r.rebuildView = nil
+	}()
+
+	r.spawn(id)
+	granted := 0
+	if pm.pending != nil {
+		for j := 0; j < pm.opSteps; j++ {
+			if r.status[id] != statusReady {
+				r.desync = fmt.Errorf("sim: session restore desynchronized: process %d stopped after %d of %d rebuild steps", id, j, pm.opSteps)
+				return granted
+			}
+			p := r.procs[id]
+			p.grant <- struct{}{}
+			r.status[id] = <-p.sync
+			granted++
+		}
+		if r.desync == nil && r.rebuildIdx != len(r.rebuildReads) {
+			r.desync = fmt.Errorf("sim: session restore desynchronized: process %d replayed %d of %d recorded reads", id, r.rebuildIdx, len(r.rebuildReads))
+			return granted
+		}
+	}
+	if r.desync == nil && r.status[id] != pm.status {
+		r.desync = fmt.Errorf("sim: session restore desynchronized: process %d rebuilt into status %d, marked %d", id, r.status[id], pm.status)
+		return granted
+	}
+	r.status[id] = pm.status
+	return granted
+}
+
+// responseIndices returns, per process, the history index just past
+// each of its response events, in order — the points at which the
+// process consulted the environment for its next invocation.
+func (r *runtime) responseIndices() [][]int {
+	out := make([][]int, r.cfg.Procs+1)
+	for i := range r.h {
+		if r.h[i].Kind == history.KindResponse {
+			out[r.h[i].Proc] = append(out[r.h[i].Proc], i+1)
+		}
+	}
+	return out
+}
+
+// histView reconstructs the view process id saw when it made its
+// call-th environment consultation: the history truncated just after
+// its (call-1)-th response (empty for the first call). Only H and Steps
+// are populated; see SessionConfig.NewEnv for the environment contract.
+func (s *Session) histView(id, call int, respAfter [][]int) *View {
+	r := s.rt
+	k := 0
+	if call >= 2 {
+		ra := respAfter[id]
+		i := call - 2
+		if i >= len(ra) {
+			i = len(ra) - 1
+		}
+		if i >= 0 {
+			k = ra[i]
+		}
+	}
+	v := &View{H: r.h[:k:k]}
+	if k > 0 {
+		v.Steps = r.eventSteps[k-1]
+	}
+	return v
+}
+
+// fastForward advances the (fresh) environment past process id's first
+// `calls` consultations, presenting each with its historical view.
+func (s *Session) fastForward(id, calls int, respAfter [][]int) {
+	for j := 1; j <= calls; j++ {
+		s.rt.env.Next(id, s.histView(id, j, respAfter))
+	}
+}
+
+// usable returns the sticky error state of the session.
+func (s *Session) usable() error {
+	if s.closed {
+		return errors.New("sim: session is closed")
+	}
+	if s.rt.desync != nil {
+		return s.rt.desync
+	}
+	return nil
+}
+
+// Close shuts the session down, unwinding every process goroutine. The
+// session's history remains readable; Extend/Restore fail afterwards.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.rt.shutdown()
+}

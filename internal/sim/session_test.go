@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/history"
+)
+
+// snapObject exercises every base object kind with multi-step,
+// branching operations, composing their Snapshot/Restore hooks —
+// the round-trip fixture of the session engine.
+type snapObject struct {
+	reg  *base.Register
+	cas  *base.CAS
+	tas  *base.TAS
+	ctr  *base.FetchAdd
+	snap *base.Snapshot
+}
+
+func newSnapObject(n int) *snapObject {
+	return &snapObject{
+		reg:  base.NewRegister("reg", 0),
+		cas:  base.NewCAS("cas", 0),
+		tas:  base.NewTAS("tas"),
+		ctr:  base.NewFetchAdd("ctr", 0),
+		snap: base.NewSnapshot("snap", n, 0),
+	}
+}
+
+func (o *snapObject) Apply(p *Proc, inv Invocation) history.Value {
+	switch inv.Op {
+	case "mix":
+		o.reg.Write(p, inv.Arg)
+		v := o.ctr.Add(p, 1)
+		if o.tas.TestAndSet(p) {
+			old := o.cas.Read(p)
+			o.cas.CompareAndSwap(p, old, v)
+		} else {
+			o.snap.Update(p, p.ID()-1, v)
+		}
+		sn := o.snap.Scan(p)
+		sum := 0
+		for _, x := range sn {
+			sum += x.(int)
+		}
+		return sum*100 + v
+	case "read":
+		return o.reg.Read(p)
+	}
+	return nil
+}
+
+func (o *snapObject) Fingerprint(f *Fingerprinter) {
+	o.reg.Fingerprint(f)
+	o.cas.Fingerprint(f)
+	o.tas.Fingerprint(f)
+	o.ctr.Fingerprint(f)
+	o.snap.Fingerprint(f)
+}
+
+type snapObjectState struct{ reg, cas, tas, ctr, snap any }
+
+func (o *snapObject) Snapshot() any {
+	return &snapObjectState{
+		reg: o.reg.Snapshot(), cas: o.cas.Snapshot(), tas: o.tas.Snapshot(),
+		ctr: o.ctr.Snapshot(), snap: o.snap.Snapshot(),
+	}
+}
+
+func (o *snapObject) Restore(v any) {
+	st := v.(*snapObjectState)
+	o.reg.Restore(st.reg)
+	o.cas.Restore(st.cas)
+	o.tas.Restore(st.tas)
+	o.ctr.Restore(st.ctr)
+	o.snap.Restore(st.snap)
+}
+
+// sessionCrossCheck walks the full schedule tree to the given depth
+// with one persistent session (descend by Extend, backtrack by
+// Restore) and, at EVERY node, compares the session's history,
+// fingerprint and ready set against an independent from-root replay of
+// the same prefix. Mid-operation marks, pending-operation rebuilds,
+// idle transitions and (optionally) crash decisions are all hit.
+func sessionCrossCheck(t *testing.T, procs, depth, crashes int, newObj func() Object, newEnv func() Environment, fingerprint bool) (nodes int) {
+	t.Helper()
+	sess, err := NewSession(SessionConfig{Procs: procs, Object: newObj(), NewEnv: newEnv, Fingerprint: fingerprint})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+
+	var prefix []Decision
+	var walk func(remDepth, remCrashes int)
+	walk = func(remDepth, remCrashes int) {
+		nodes++
+		// Independent replay of the current prefix.
+		sched := Fixed(append([]Decision(nil), prefix...))
+		res := Run(Config{
+			Procs: procs, Object: newObj(), Env: newEnv(),
+			Scheduler: sched, MaxSteps: len(prefix) + 1, Fingerprint: fingerprint,
+		})
+		if res.Err != nil {
+			t.Fatalf("replay of %v failed: %v", prefix, res.Err)
+		}
+		if !reflect.DeepEqual(res.H, sess.History()) && !(len(res.H) == 0 && len(sess.History()) == 0) {
+			t.Fatalf("history diverged at %v:\nsession: %s\nreplay:  %s", prefix, sess.History(), res.H)
+		}
+		if fingerprint {
+			sfp, sok := sess.Fingerprint()
+			if sok != res.Fingerprinted || (sok && sfp != res.Fingerprint) {
+				t.Fatalf("fingerprint diverged at %v: session (%x,%v), replay (%x,%v)",
+					prefix, sfp, sok, res.Fingerprint, res.Fingerprinted)
+			}
+		}
+		ready := sess.Ready()
+		var replayReady []int
+		notReady := map[int]bool{}
+		for _, id := range res.Idle {
+			notReady[id] = true
+		}
+		for _, id := range res.Blocked {
+			notReady[id] = true
+		}
+		for _, id := range res.Crashed {
+			notReady[id] = true
+		}
+		for id := 1; id <= procs; id++ {
+			if !notReady[id] {
+				replayReady = append(replayReady, id)
+			}
+		}
+		sort.Ints(replayReady)
+		if !reflect.DeepEqual(ready, replayReady) {
+			t.Fatalf("ready diverged at %v: session %v, replay %v", prefix, ready, replayReady)
+		}
+		if remDepth == 0 {
+			return
+		}
+		var children []Decision
+		for _, id := range ready {
+			children = append(children, Decision{Proc: id})
+		}
+		if remCrashes > 0 {
+			for _, id := range ready {
+				children = append(children, Decision{Proc: id, Crash: true})
+			}
+		}
+		if len(children) == 0 {
+			return
+		}
+		mark := sess.Mark()
+		for _, d := range children {
+			if _, err := sess.Restore(mark); err != nil {
+				t.Fatalf("restore at %v: %v", prefix, err)
+			}
+			if _, err := sess.Extend(d); err != nil {
+				t.Fatalf("extend %v at %v: %v", d, prefix, err)
+			}
+			prefix = append(prefix, d)
+			nc := remCrashes
+			if d.Crash {
+				nc--
+			}
+			walk(remDepth-1, nc)
+			prefix = prefix[:len(prefix)-1]
+		}
+		if _, err := sess.Restore(mark); err != nil {
+			t.Fatalf("final restore at %v: %v", prefix, err)
+		}
+	}
+	walk(depth, crashes)
+	return nodes
+}
+
+// TestSessionMatchesReplayEverywhere is the session engine's core
+// soundness check: on a stateful Script environment over an object
+// composing every base object kind, every node of the depth-7
+// two-process tree agrees with a from-root replay.
+func TestSessionMatchesReplayEverywhere(t *testing.T) {
+	script := map[int][]Invocation{
+		1: {{Op: "mix", Arg: 10}, {Op: "read"}},
+		2: {{Op: "mix", Arg: 20}, {Op: "read"}},
+	}
+	newObj := func() Object { return newSnapObject(2) }
+	newEnv := func() Environment { return Script(script) }
+	nodes := sessionCrossCheck(t, 2, 7, 0, newObj, newEnv, true)
+	if nodes < 100 {
+		t.Errorf("cross-check visited only %d nodes; tree unexpectedly small", nodes)
+	}
+	t.Logf("cross-checked %d nodes", nodes)
+}
+
+// TestSessionMatchesReplayWithCrashes repeats the cross-check with
+// crash decisions branching at every level (restores must rewind crash
+// statuses without respawning untouched goroutines).
+func TestSessionMatchesReplayWithCrashes(t *testing.T) {
+	script := map[int][]Invocation{
+		1: {{Op: "mix", Arg: 1}},
+		2: {{Op: "mix", Arg: 2}},
+	}
+	newObj := func() Object { return newSnapObject(2) }
+	newEnv := func() Environment { return Script(script) }
+	nodes := sessionCrossCheck(t, 2, 5, 2, newObj, newEnv, true)
+	t.Logf("cross-checked %d nodes", nodes)
+}
+
+// viewEnv is a stateless, view-dependent environment in the style of
+// mutex.AcquireReleaseLoop: the next operation depends on the process's
+// own last response. Session restores must reproduce its decisions via
+// the historical truncated views.
+func viewEnv() Environment {
+	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
+		proj := v.H.Project(proc)
+		for i := len(proj) - 1; i >= 0; i-- {
+			if proj[i].Kind == history.KindResponse {
+				if proj[i].Val == "won" {
+					return Invocation{Op: "release"}, true
+				}
+				return Invocation{Op: "try"}, true
+			}
+		}
+		return Invocation{Op: "try"}, true
+	})
+}
+
+// tasObject gives viewEnv something to react to: "try" wins or loses a
+// test-and-set, "release" clears it.
+type tasObject struct{ t *base.TAS }
+
+func (o *tasObject) Apply(p *Proc, inv Invocation) history.Value {
+	switch inv.Op {
+	case "try":
+		if o.t.TestAndSet(p) {
+			return "won"
+		}
+		return "lost"
+	case "release":
+		o.t.Reset(p)
+		return "ok"
+	}
+	return nil
+}
+
+func (o *tasObject) Fingerprint(f *Fingerprinter) { o.t.Fingerprint(f) }
+func (o *tasObject) Snapshot() any                { return o.t.Snapshot() }
+func (o *tasObject) Restore(v any)                { o.t.Restore(v) }
+
+// TestSessionViewDependentEnv cross-checks the session against replay
+// under a view-dependent environment (decisions derived from the
+// process's own history projection).
+func TestSessionViewDependentEnv(t *testing.T) {
+	newObj := func() Object { return &tasObject{t: base.NewTAS("t")} }
+	nodes := sessionCrossCheck(t, 2, 7, 0, newObj, viewEnv, true)
+	t.Logf("cross-checked %d nodes", nodes)
+}
+
+// TestSessionLazyArgPoisonRestored pins LazyArg semantics under the
+// session: a lazily resolved argument poisons the fingerprint of the
+// subtree below it, and a restore above the lazy step lifts the poison.
+func TestSessionLazyArgPoisonRestored(t *testing.T) {
+	script := map[int][]Invocation{
+		1: {{Op: "mix", Arg: 1}},
+		2: {{Op: "mix", Arg: LazyArg(func(v *View) history.Value { return v.Steps })}},
+	}
+	sess, err := NewSession(SessionConfig{
+		Procs:       2,
+		Object:      newSnapObject(2),
+		NewEnv:      func() Environment { return Script(script) },
+		Fingerprint: true,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	if _, ok := sess.Fingerprint(); !ok {
+		t.Fatal("root must fingerprint")
+	}
+	mark := sess.Mark()
+	if _, err := sess.Extend(Decision{Proc: 1}); err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+	if _, ok := sess.Fingerprint(); !ok {
+		t.Fatal("proc 1's branch must still fingerprint")
+	}
+	if _, err := sess.Extend(Decision{Proc: 2}); err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+	if _, ok := sess.Fingerprint(); ok {
+		t.Fatal("lazy invocation must poison the fingerprint")
+	}
+	if _, err := sess.Restore(mark); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if _, ok := sess.Fingerprint(); !ok {
+		t.Fatal("restore above the lazy step must lift the poison")
+	}
+}
+
+// gatedObject vetoes snapshots at runtime despite having the methods.
+type gatedObject struct{ snapObject }
+
+func (g *gatedObject) Snapshotting() bool { return false }
+
+// TestNewSessionRejects pins the constructor contract: objects without
+// the hook — or vetoing it via SessionGated — are rejected, as are
+// missing environments.
+func TestNewSessionRejects(t *testing.T) {
+	plain := ObjectFunc(func(p *Proc, inv Invocation) history.Value { return nil })
+	env := func() Environment { return Script(nil) }
+	if _, err := NewSession(SessionConfig{Procs: 1, Object: plain, NewEnv: env}); err == nil {
+		t.Error("object without Snapshottable must be rejected")
+	}
+	if CanSnapshot(plain) {
+		t.Error("CanSnapshot must be false without the hook")
+	}
+	g := &gatedObject{}
+	g.snapObject = *newSnapObject(1)
+	if CanSnapshot(g) {
+		t.Error("CanSnapshot must honor the SessionGated veto")
+	}
+	if _, err := NewSession(SessionConfig{Procs: 1, Object: g, NewEnv: env}); err == nil {
+		t.Error("SessionGated veto must be rejected")
+	}
+	if _, err := NewSession(SessionConfig{Procs: 1, Object: newSnapObject(1)}); err == nil {
+		t.Error("missing NewEnv must be rejected")
+	}
+	if !CanSnapshot(newSnapObject(1)) {
+		t.Error("CanSnapshot must be true for the hook-bearing object")
+	}
+}
+
+// TestSessionExtendValidation pins Extend's decision validation (the
+// sim.Run StopError cases) and that the session survives rejected
+// decisions.
+func TestSessionExtendValidation(t *testing.T) {
+	script := map[int][]Invocation{1: {{Op: "mix", Arg: 1}}}
+	sess, err := NewSession(SessionConfig{
+		Procs:  2,
+		Object: newSnapObject(2),
+		NewEnv: func() Environment { return Script(script) },
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	if _, err := sess.Extend(Decision{Proc: 3}); err == nil {
+		t.Error("out-of-range process must be rejected")
+	}
+	if _, err := sess.Extend(Decision{Proc: 2}); err == nil {
+		t.Error("stepping the idle process must be rejected")
+	}
+	if _, err := sess.Extend(Decision{Proc: 2, Crash: true}); err != nil {
+		t.Errorf("crashing the idle process is allowed by sim.Run, got %v", err)
+	}
+	if _, err := sess.Extend(Decision{Proc: 2, Crash: true}); err == nil {
+		t.Error("double crash must be rejected")
+	}
+	if _, err := sess.Extend(Decision{Proc: 1}); err != nil {
+		t.Errorf("valid step rejected: %v", err)
+	}
+}

@@ -308,6 +308,9 @@ type Proc struct {
 	grant chan struct{}
 	sync  chan procStatus
 	dead  chan struct{}
+	// halt is per-process so a Session.Restore can unwind one process's
+	// goroutine without disturbing the others.
+	halt chan struct{}
 }
 
 // ID returns the 1-based process identifier.
@@ -335,7 +338,7 @@ func (p *Proc) Exec(desc string, op func()) {
 // opted into tracking.
 func (p *Proc) Access(obj string, write bool) {
 	r := p.rt
-	if !r.track {
+	if !r.track || r.rebuildActive {
 		return
 	}
 	if r.declCount > 0 && r.declObj != obj {
@@ -347,14 +350,23 @@ func (p *Proc) Access(obj string, write bool) {
 }
 
 // Observe folds v — a value the current granted step read from shared
-// state — into the executing process's local-state fingerprint. Base
-// objects (internal/base) call it on behalf of their read operations;
-// an implementation opting into Fingerprintable whose Apply reads
-// shared state through its own steps must declare the values itself
-// (see Fingerprintable). Observe must only be called within a granted
-// step's window; it is a no-op when the run is not fingerprinting.
+// state — into the executing process's local-state fingerprint, and, in
+// a Session, into its pending-operation read log (the values a Restore
+// replays to rebuild the process's local frames). Base objects
+// (internal/base) call it on behalf of their read operations; an
+// implementation opting into Fingerprintable or Snapshottable whose
+// Apply reads shared state through its own steps must declare the
+// values itself (see those interfaces). Observe must only be called
+// within a granted step's window; it is a no-op when the run neither
+// fingerprints nor runs as a session.
 func (p *Proc) Observe(v history.Value) {
 	r := p.rt
+	if r.rebuildActive {
+		return
+	}
+	if r.sess {
+		r.sessReads[p.id] = append(r.sessReads[p.id], v)
+	}
 	if !r.fpTrack {
 		return
 	}
@@ -368,6 +380,39 @@ func (p *Proc) Observe(v history.Value) {
 		return
 	}
 	r.fpObs[p.id] = r.fpEnc.Sum()
+}
+
+// Replaying reports whether the current granted step is a rebuild step:
+// the runtime is restoring a session snapshot and re-executing this
+// process's pending operation to rebuild its local frames. A custom
+// Snapshottable object must consult it inside every step closure: when
+// true, take each value the step would read from shared state from
+// Replayed() instead of performing the real access, and skip every
+// mutation of shared state (see Snapshottable). Objects built entirely
+// from internal/base objects get this behavior automatically.
+func (p *Proc) Replaying() bool {
+	r := p.rt
+	return r.rebuildActive && r.rebuildProc == p.id
+}
+
+// Replayed returns the next recorded read value of the pending
+// operation being rebuilt. It must be called exactly once per value the
+// operation Observed live, in the same order; it returns nil (and marks
+// the session desynchronized, which surfaces as a Restore error) when
+// the log runs dry, which indicates the object broke the Snapshottable
+// determinism contract.
+func (p *Proc) Replayed() history.Value {
+	r := p.rt
+	if !p.Replaying() {
+		return nil
+	}
+	if r.rebuildIdx >= len(r.rebuildReads) {
+		r.desync = fmt.Errorf("sim: session restore desynchronized: process %d replayed more reads than its pending operation recorded", p.id)
+		return nil
+	}
+	v := r.rebuildReads[r.rebuildIdx]
+	r.rebuildIdx++
+	return v
 }
 
 // Block parks the process forever: the current operation never completes
@@ -385,15 +430,15 @@ func (p *Proc) yield(st procStatus) {
 func (p *Proc) awaitGrant() {
 	select {
 	case <-p.grant:
-	case <-p.rt.halt:
+	case <-p.halt:
 		panic(errHalted)
 	}
 }
 
 type runtime struct {
 	cfg   Config
-	procs []*Proc // index 0 unused
-	halt  chan struct{}
+	env   Environment // current environment (a Session.Restore swaps in a rebuilt one)
+	procs []*Proc     // index 0 unused
 
 	h          history.History
 	eventSteps []int
@@ -414,20 +459,39 @@ type runtime struct {
 	declMixed bool
 	lazyStep  bool
 
-	// State-fingerprint tracking (only when Config.Fingerprint is set and
-	// the object opts in via Fingerprintable). Per-process, index 0
-	// unused: the running observation digest of the pending operation,
-	// the pending invocation, steps taken within the pending operation,
-	// and completed-operation count. fpPoisoned marks a run whose local
-	// state depends on a scheduling-time view (LazyArg), which no
-	// configuration fingerprint can capture.
-	fpTrack     bool
-	fpObs       []uint64
+	// Control-state tracking (ctl): the per-process pending invocation,
+	// steps taken within the pending operation, and completed-operation
+	// count, index 0 unused. Fingerprinting needs it to encode program
+	// counters; sessions need it to rebuild processes on Restore.
+	ctl         bool
 	fpPending   []*Invocation
 	fpOpSteps   []int
 	fpCompleted []int
-	fpPoisoned  bool
-	fpEnc       Fingerprinter // reused by Observe for its encoding buffer
+
+	// State-fingerprint tracking (only when Config.Fingerprint is set and
+	// the object opts in via Fingerprintable): the running observation
+	// digest of each process's pending operation. fpPoisoned marks a run
+	// whose local state depends on a scheduling-time view (LazyArg),
+	// which no configuration fingerprint can capture.
+	fpTrack    bool
+	fpObs      []uint64
+	fpPoisoned bool
+	fpEnc      Fingerprinter // reused by Observe for its encoding buffer
+
+	// Session state (only under Session, never sim.Run). sessReads holds
+	// each process's pending-operation read log: the values Observe saw,
+	// replayed by Restore to rebuild local frames. The rebuild* fields
+	// are the injection context of the one process currently being
+	// rebuilt; desync records a broken determinism contract.
+	sess          bool
+	sessReads     [][]history.Value
+	rebuildActive bool
+	rebuildProc   int
+	rebuildInv    *Invocation
+	rebuildReads  []history.Value
+	rebuildIdx    int
+	rebuildView   *View
+	desync        error
 }
 
 // beginWindow resets the per-window footprint accumulators.
@@ -461,20 +525,32 @@ func (r *runtime) endWindow(evBefore int) Access {
 // record appends an external event to the history. It is called from
 // process goroutines strictly within their granted windows, so accesses are
 // serialized with the runtime loop by the grant/sync channel handshake.
+// Rebuild steps record nothing: their events are already in the history
+// being restored.
 func (r *runtime) record(e history.Event) {
+	if r.rebuildActive {
+		return
+	}
 	r.h = append(r.h, e)
 	r.eventSteps = append(r.eventSteps, r.steps)
-	if r.fpTrack {
+	if r.ctl {
 		switch e.Kind {
 		case history.KindInvoke:
 			r.fpPending[e.Proc] = &Invocation{Op: e.Op, Obj: e.Obj, Arg: e.Arg}
 		case history.KindResponse:
 			// The operation is over: its local variables are dead, so the
-			// observation digest and in-operation step counter reset.
+			// observation digest, read log and in-operation step counter
+			// reset. The read log is capacity-clipped away rather than
+			// reused: session marks alias the old backing array.
 			r.fpPending[e.Proc] = nil
 			r.fpCompleted[e.Proc]++
 			r.fpOpSteps[e.Proc] = 0
-			r.fpObs[e.Proc] = history.DigestSeed()
+			if r.fpTrack {
+				r.fpObs[e.Proc] = history.DigestSeed()
+			}
+			if r.sess {
+				r.sessReads[e.Proc] = nil
+			}
 		}
 	}
 }
@@ -525,7 +601,7 @@ func (r *runtime) procLoop(p *Proc) {
 		// startup, before the initial yield): a process with no further
 		// work is idle, not ready, matching the paper's fairness notion
 		// that only enabled actions demand turns.
-		inv, ok := r.cfg.Env.Next(p.id, r.view())
+		inv, ok := r.envNext(p)
 		if !ok {
 			p.yield(statusIdle)
 			normal = true
@@ -534,6 +610,15 @@ func (r *runtime) procLoop(p *Proc) {
 		// The grant of this step is what schedules the invocation event.
 		// Lazy arguments resolve here, against the view at scheduling time.
 		p.Exec("invoke", func() {
+			if p.Replaying() {
+				// Rebuild of a pending operation: the invocation was
+				// recorded (with its lazy argument already resolved) when
+				// it was first scheduled; reuse it verbatim.
+				if r.rebuildInv != nil {
+					inv = *r.rebuildInv
+				}
+				return
+			}
 			if la, lazy := inv.Arg.(LazyArg); lazy {
 				inv.Arg = la(r.view())
 				r.lazyStep = true
@@ -552,20 +637,26 @@ func (r *runtime) procLoop(p *Proc) {
 	}
 }
 
-// Run executes a configured simulation to completion and returns its
-// result. It is safe to call concurrently with other Runs on distinct
-// Config values.
-func Run(cfg Config) *Result {
-	if cfg.Procs < 1 {
-		return &Result{Reason: StopError, Err: errors.New("sim: Procs must be >= 1")}
+// envNext consults the environment for a process's next invocation.
+// While a Restore rebuilds a process, the environment sees the
+// historical view of the moment the invocation was originally chosen
+// (the restored history truncated just after the process's last
+// response) instead of the live view, so view-dependent environments
+// reproduce their decisions.
+func (r *runtime) envNext(p *Proc) (Invocation, bool) {
+	v := r.view()
+	if r.rebuildActive && r.rebuildProc == p.id && r.rebuildView != nil {
+		v = r.rebuildView
 	}
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = DefaultMaxSteps
-	}
+	return r.env.Next(p.id, v)
+}
+
+// newRuntime builds the shared runtime core of Run and Session.
+func newRuntime(cfg Config, env Environment) *runtime {
 	r := &runtime{
 		cfg:     cfg,
+		env:     env,
 		procs:   make([]*Proc, cfg.Procs+1),
-		halt:    make(chan struct{}),
 		stepsBy: make([]int, cfg.Procs+1),
 		status:  make([]procStatus, cfg.Procs+1),
 	}
@@ -578,22 +669,104 @@ func Run(cfg Config) *Result {
 		for i := range r.fpObs {
 			r.fpObs[i] = history.DigestSeed()
 		}
-		r.fpPending = make([]*Invocation, cfg.Procs+1)
-		r.fpOpSteps = make([]int, cfg.Procs+1)
-		r.fpCompleted = make([]int, cfg.Procs+1)
+	}
+	return r
+}
+
+// enableCtl switches on control-state tracking (pending invocations,
+// per-operation step counts, completed-operation counts).
+func (r *runtime) enableCtl() {
+	r.ctl = true
+	r.fpPending = make([]*Invocation, r.cfg.Procs+1)
+	r.fpOpSteps = make([]int, r.cfg.Procs+1)
+	r.fpCompleted = make([]int, r.cfg.Procs+1)
+}
+
+// spawn starts (or restarts) process id's goroutine and waits for its
+// initial yield, so readiness transitions stay deterministic.
+func (r *runtime) spawn(id int) {
+	p := &Proc{
+		id: id, n: r.cfg.Procs, rt: r,
+		grant: make(chan struct{}),
+		sync:  make(chan procStatus),
+		dead:  make(chan struct{}),
+		halt:  make(chan struct{}),
+	}
+	r.procs[id] = p
+	go r.procLoop(p)
+	r.status[id] = <-p.sync // initial yield before first invocation
+}
+
+// applyDecision validates and executes one scheduler decision. The
+// returned error corresponds to sim.Run's StopError cases; the caller
+// must have checked its own budget and that some process is ready.
+func (r *runtime) applyDecision(d Decision) error {
+	if d.Proc < 1 || d.Proc > r.cfg.Procs {
+		return fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
+	}
+	if d.Crash {
+		if r.status[d.Proc] == statusCrashed {
+			return fmt.Errorf("sim: scheduler crashed process %d twice", d.Proc)
+		}
+		r.schedule = append(r.schedule, d)
+		r.record(history.Crash(d.Proc))
+		r.status[d.Proc] = statusCrashed
+		if r.track {
+			r.accesses = append(r.accesses, Access{Known: true, Crash: true})
+		}
+		return nil
+	}
+	if r.status[d.Proc] != statusReady {
+		return fmt.Errorf("sim: scheduler stepped non-ready process %d", d.Proc)
+	}
+	r.steps++
+	r.stepsBy[d.Proc]++
+	if r.ctl {
+		// Incremented before the window so a response recorded within
+		// it (which ends the operation) resets the counter to zero.
+		r.fpOpSteps[d.Proc]++
+	}
+	r.schedule = append(r.schedule, d)
+	p := r.procs[d.Proc]
+	evBefore := len(r.h)
+	r.beginWindow()
+	p.grant <- struct{}{}
+	r.status[d.Proc] = <-p.sync
+	if r.track {
+		r.accesses = append(r.accesses, r.endWindow(evBefore))
+	}
+	return nil
+}
+
+// shutdown wakes every process still blocked on a grant and waits for
+// all goroutines to exit (no fire-and-forget goroutines).
+func (r *runtime) shutdown() {
+	for id := 1; id <= r.cfg.Procs; id++ {
+		if p := r.procs[id]; p != nil {
+			close(p.halt)
+			<-p.dead
+		}
+	}
+}
+
+// Run executes a configured simulation to completion and returns its
+// result. It is safe to call concurrently with other Runs on distinct
+// Config values.
+func Run(cfg Config) *Result {
+	if cfg.Procs < 1 {
+		return &Result{Reason: StopError, Err: errors.New("sim: Procs must be >= 1")}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	r := newRuntime(cfg, cfg.Env)
+	if r.fpTrack {
+		r.enableCtl()
 	}
 
 	// Start processes one at a time so initial readiness is deterministic.
 	for id := 1; id <= cfg.Procs; id++ {
-		p := &Proc{
-			id: id, n: cfg.Procs, rt: r,
-			grant: make(chan struct{}),
-			sync:  make(chan procStatus),
-			dead:  make(chan struct{}),
-		}
-		r.procs[id] = p
-		go r.procLoop(p)
-		r.status[id] = <-p.sync // initial yield before first invocation
+		r.spawn(id)
 	}
 
 	res := &Result{}
@@ -612,54 +785,14 @@ func Run(cfg Config) *Result {
 			res.Reason = StopScheduler
 			break
 		}
-		if d.Proc < 1 || d.Proc > cfg.Procs {
+		if err := r.applyDecision(d); err != nil {
 			res.Reason = StopError
-			res.Err = fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
+			res.Err = err
 			break
-		}
-		if d.Crash {
-			if r.status[d.Proc] == statusCrashed {
-				res.Reason = StopError
-				res.Err = fmt.Errorf("sim: scheduler crashed process %d twice", d.Proc)
-				break
-			}
-			r.schedule = append(r.schedule, d)
-			r.record(history.Crash(d.Proc))
-			r.status[d.Proc] = statusCrashed
-			if r.track {
-				r.accesses = append(r.accesses, Access{Known: true, Crash: true})
-			}
-			continue
-		}
-		if r.status[d.Proc] != statusReady {
-			res.Reason = StopError
-			res.Err = fmt.Errorf("sim: scheduler stepped non-ready process %d", d.Proc)
-			break
-		}
-		r.steps++
-		r.stepsBy[d.Proc]++
-		if r.fpTrack {
-			// Incremented before the window so a response recorded within
-			// it (which ends the operation) resets the counter to zero.
-			r.fpOpSteps[d.Proc]++
-		}
-		r.schedule = append(r.schedule, d)
-		p := r.procs[d.Proc]
-		evBefore := len(r.h)
-		r.beginWindow()
-		p.grant <- struct{}{}
-		r.status[d.Proc] = <-p.sync
-		if r.track {
-			r.accesses = append(r.accesses, r.endWindow(evBefore))
 		}
 	}
 
-	// Shut down: wake every process still blocked on a grant, then wait for
-	// all goroutines to exit (no fire-and-forget goroutines).
-	close(r.halt)
-	for id := 1; id <= cfg.Procs; id++ {
-		<-r.procs[id].dead
-	}
+	r.shutdown()
 
 	res.H = r.h
 	res.EventSteps = r.eventSteps

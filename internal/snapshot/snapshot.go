@@ -67,6 +67,32 @@ func New(name string, n int, initial Value) *SW {
 // Len returns the number of components.
 func (s *SW) Len() int { return len(s.regs) }
 
+// swState is a captured SW configuration: the component cells (immutable
+// records, so the pointers are the state) plus the borrow counter.
+type swState struct {
+	cells   []Value
+	borrows int
+}
+
+// Snapshot captures the snapshot object's state for the incremental
+// exploration engine (composed into sim.Snapshottable hooks).
+func (s *SW) Snapshot() any {
+	st := &swState{cells: make([]Value, len(s.regs)), borrows: s.borrows}
+	for i, r := range s.regs {
+		st.cells[i] = r.Snapshot()
+	}
+	return st
+}
+
+// Restore reinstates a state captured by Snapshot.
+func (s *SW) Restore(v any) {
+	st := v.(*swState)
+	for i, r := range s.regs {
+		r.Restore(st.cells[i])
+	}
+	s.borrows = st.borrows
+}
+
 // collect reads every component register once (n steps).
 func (s *SW) collect(p base.Stepper) []*cell {
 	out := make([]*cell, len(s.regs))

@@ -54,10 +54,78 @@ type procTx struct {
 // SnapshotObject is the snapshot interface Algorithm 1 needs: per-process
 // timestamp announcement plus an atomic scan. It is satisfied by the
 // hardware base.Snapshot (one-step scan) and by the software
-// snapshot.SW built from single-writer registers.
+// snapshot.SW built from single-writer registers. Implementations that
+// additionally provide Snapshot() any / Restore(any) (both in-repo ones
+// do) let the TM participate in incremental exploration; without them
+// the TM falls back to replay execution (see I12.Snapshotting).
 type SnapshotObject interface {
 	Update(s base.Stepper, i int, v history.Value)
 	Scan(s base.Stepper) []history.Value
+}
+
+// snapRestorer is the state-capture facet of a SnapshotObject.
+type snapRestorer interface {
+	Snapshot() any
+	Restore(any)
+}
+
+// txSnap is one process's captured transaction context. The read/write
+// buffer is copied both ways: write() mutates it in place, and the same
+// snapshot may be restored many times.
+type txSnap struct {
+	snapshot  *memState
+	values    map[string]history.Value
+	written   bool
+	active    bool
+	timestamp int
+}
+
+func snapLocals(local []procTx) []txSnap {
+	out := make([]txSnap, len(local))
+	for i := range local {
+		l := &local[i]
+		out[i] = txSnap{snapshot: l.snapshot, written: l.written, active: l.active, timestamp: l.timestamp}
+		if l.values != nil {
+			m := make(map[string]history.Value, len(l.values))
+			for k, v := range l.values {
+				m[k] = v
+			}
+			out[i].values = m
+		}
+	}
+	return out
+}
+
+func restoreLocals(local []procTx, snaps []txSnap) {
+	for i := range local {
+		s := &snaps[i]
+		l := &local[i]
+		l.snapshot = s.snapshot
+		l.written = s.written
+		l.active = s.active
+		l.timestamp = s.timestamp
+		if s.values == nil {
+			l.values = nil
+			continue
+		}
+		m := make(map[string]history.Value, len(s.values))
+		for k, v := range s.values {
+			m[k] = v
+		}
+		l.values = m
+	}
+}
+
+// tmActive reads the transaction-active flag rebuild-aware: tryC clears
+// the flag inside its own invocation window, so when a session rebuild
+// re-executes a pending tryC the restored (post-clear) flag would take
+// the wrong branch — the value observed live is replayed instead.
+func tmActive(p *sim.Proc, l *procTx) bool {
+	if p.Replaying() {
+		return p.Replayed().(bool)
+	}
+	p.Observe(l.active)
+	return l.active
 }
 
 // I12 is the paper's Algorithm 1, implementing a TM that ensures S and
@@ -101,6 +169,42 @@ func (t *I12) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 // declare themselves instead, which is equally sound.
 func (t *I12) Footprints() bool { return true }
 
+// tmState is a captured TM configuration.
+type tmState struct {
+	c     any
+	r     any
+	local []txSnap
+}
+
+// Snapshotting reports whether the snapshot object supports state
+// capture; false sends exploration to the replay fallback (see
+// sim.CanSnapshot).
+func (t *I12) Snapshotting() bool {
+	_, ok := t.r.(snapRestorer)
+	return ok
+}
+
+// Snapshot implements sim.Snapshottable: the central CAS (pointer
+// identity preserved — memState records are immutable), the snapshot
+// object, and the per-process transaction contexts.
+func (t *I12) Snapshot() any {
+	st := &tmState{c: t.c.Snapshot(), local: snapLocals(t.local)}
+	if r, ok := t.r.(snapRestorer); ok {
+		st.r = r.Snapshot()
+	}
+	return st
+}
+
+// Restore implements sim.Snapshottable.
+func (t *I12) Restore(v any) {
+	st := v.(*tmState)
+	t.c.Restore(st.c)
+	if r, ok := t.r.(snapRestorer); ok {
+		r.Restore(st.r)
+	}
+	restoreLocals(t.local, st.local)
+}
+
 func (t *I12) start(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
 	l.timestamp++
@@ -139,7 +243,7 @@ func (t *I12) write(p *sim.Proc, v string, val history.Value) history.Value {
 
 func (t *I12) tryC(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
-	if !l.active {
+	if !tmActive(p, l) {
 		return history.Abort
 	}
 	l.active = false
@@ -188,6 +292,18 @@ func (t *GlobalCAS) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 // the central CAS C; the transaction contexts are per-process.
 func (t *GlobalCAS) Footprints() bool { return true }
 
+// Snapshot implements sim.Snapshottable (see I12.Snapshot).
+func (t *GlobalCAS) Snapshot() any {
+	return &tmState{c: t.c.Snapshot(), local: snapLocals(t.local)}
+}
+
+// Restore implements sim.Snapshottable.
+func (t *GlobalCAS) Restore(v any) {
+	st := v.(*tmState)
+	t.c.Restore(st.c)
+	restoreLocals(t.local, st.local)
+}
+
 func (t *GlobalCAS) start(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
 	st := t.c.Read(p).(*memState)
@@ -222,7 +338,7 @@ func (t *GlobalCAS) write(p *sim.Proc, v string, val history.Value) history.Valu
 
 func (t *GlobalCAS) tryC(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
-	if !l.active {
+	if !tmActive(p, l) {
 		return history.Abort
 	}
 	l.active = false

@@ -30,6 +30,7 @@ type Checker struct {
 	batch     bool
 	por       bool
 	cache     bool
+	replay    bool
 	ctx       context.Context
 }
 
@@ -113,6 +114,23 @@ func WithPOR() Option { return func(c *Checker) { c.por = true } }
 // the shared cache makes which equivalent witness is reported
 // timing-dependent (verdicts are unaffected). Default: off.
 func WithStateCache() Option { return func(c *Checker) { c.cache = true } }
+
+// WithReplayExecution forces Explore onto from-root replay execution:
+// every explored prefix re-executes from the initial configuration,
+// even when the object supports incremental execution
+// (run.Snapshottable). By default Explore runs incrementally whenever
+// the object allows it — descending by extending one persistent
+// simulation and backtracking by snapshot restore — which visits the
+// identical tree with amortized O(1) simulator steps per prefix
+// (Report.SimSteps) plus bounded re-simulation (Report.Resims). The
+// escape hatch exists for cross-checking the two engines, for
+// before/after benchmarking, and for environments outside the
+// incremental contract: an environment whose decisions depend on view
+// fields other than the invoking process's own history projection and
+// invocation count must use replay execution. Objects without the
+// snapshot hook use replay automatically; soundness never depends on
+// the hook.
+func WithReplayExecution() Option { return func(c *Checker) { c.replay = true } }
 
 // WithBatchExplore forces Explore onto the legacy batch path: every
 // property re-judges the entire history of every explored prefix instead
@@ -371,15 +389,16 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 	}
 	var scans atomic.Int64
 	ecfg := explore.Config{
-		Procs:     c.procs,
-		NewObject: c.newObject,
-		NewEnv:    c.newEnv,
-		Depth:     c.depth,
-		Crashes:   c.crashes,
-		Workers:   workers,
-		POR:       c.por,
-		Cache:     c.cache,
-		Ctx:       c.ctx,
+		Procs:       c.procs,
+		NewObject:   c.newObject,
+		NewEnv:      c.newEnv,
+		Depth:       c.depth,
+		Crashes:     c.crashes,
+		Workers:     workers,
+		POR:         c.por,
+		Cache:       c.cache,
+		ForceReplay: c.replay,
+		Ctx:         c.ctx,
 	}
 	if batch {
 		ecfg.Check = func(h hist.History, schedule []run.Decision) error {
@@ -406,7 +425,7 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		return nil, fmt.Errorf("slx: exploration failed: %w", err)
 	}
 	rep := &Report{
-		Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps,
+		Mode: ModeExplore, Prefixes: st.Prefixes, SimSteps: st.Steps, Resims: st.Resims,
 		Pruned: st.Pruned, CacheHits: st.CacheHits, Workers: st.Workers,
 		EventScans: int(scans.Load()),
 	}

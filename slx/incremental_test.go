@@ -1,0 +1,162 @@
+package slx_test
+
+// Cross-checks of the incremental execution engine through the public
+// API: for every example object — clean and seeded-bug alike — Explore
+// on the default incremental engine must return the identical verdict,
+// statistics and witness as Explore forced onto from-root replay
+// (WithReplayExecution), composed with POR, the state cache and the
+// work-stealing scheduler. This is the acceptance gate of the session
+// engine's soundness story (see DESIGN.md "Incremental execution"):
+// both engines enumerate the identical tree, so every divergence is an
+// engine bug, never a property change. Run with -race in CI.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// incrementalCombos are the feature compositions each example object is
+// cross-checked under. Workers > 1 is checked on a single composition
+// (witnesses there are compared by replayability, not identity).
+func incrementalCombos() []struct {
+	name string
+	opts []slx.Option
+} {
+	return []struct {
+		name string
+		opts []slx.Option
+	}{
+		{"plain", nil},
+		{"por", []slx.Option{slx.WithPOR()}},
+		{"cache", []slx.Option{slx.WithStateCache()}},
+		{"por+cache", []slx.Option{slx.WithPOR(), slx.WithStateCache()}},
+		{"por+cache+workers4", []slx.Option{slx.WithPOR(), slx.WithStateCache(), slx.WithWorkers(4)}},
+	}
+}
+
+// TestIncrementalVerdictParity is the public-API acceptance gate of the
+// incremental engine: identical verdicts, prefix counts, pruning and
+// cache statistics, and (at one worker) identical witness schedules,
+// against the replay engine, for every example object under every
+// composition.
+func TestIncrementalVerdictParity(t *testing.T) {
+	for name, tc := range porCases() {
+		tc := tc
+		for _, combo := range incrementalCombos() {
+			combo := combo
+			t.Run(name+"/"+combo.name, func(t *testing.T) {
+				base := append(tc.opts[:len(tc.opts):len(tc.opts)], combo.opts...)
+				base = base[:len(base):len(base)]
+				inc, err := slx.New(base...).Explore(tc.props...)
+				if err != nil {
+					t.Fatalf("incremental explore: %v", err)
+				}
+				rep, err := slx.New(append(base, slx.WithReplayExecution())...).Explore(tc.props...)
+				if err != nil {
+					t.Fatalf("replay explore: %v", err)
+				}
+				if inc.OK() != rep.OK() {
+					t.Fatalf("verdicts differ: incremental OK=%v, replay OK=%v\nincremental: %s\nreplay: %s",
+						inc.OK(), rep.OK(), inc, rep)
+				}
+				workers := inc.Workers > 1
+				if !workers {
+					// Sequential exploration is fully deterministic: both
+					// engines must enumerate the identical tree.
+					if inc.Prefixes != rep.Prefixes || inc.Pruned != rep.Pruned || inc.CacheHits != rep.CacheHits {
+						t.Errorf("trees differ: incremental %d prefixes/%d pruned/%d hits, replay %d/%d/%d",
+							inc.Prefixes, inc.Pruned, inc.CacheHits, rep.Prefixes, rep.Pruned, rep.CacheHits)
+					}
+					if inc.EventScans != rep.EventScans {
+						t.Errorf("event scans differ: incremental %d, replay %d", inc.EventScans, rep.EventScans)
+					}
+					if !reflect.DeepEqual(inc.Witness(), rep.Witness()) {
+						t.Errorf("witnesses differ: incremental %v, replay %v", inc.Witness(), rep.Witness())
+					}
+				}
+				if !inc.OK() {
+					iv, rv := inc.Failures()[0], rep.Failures()[0]
+					if iv.Property != rv.Property {
+						t.Errorf("different properties failed: incremental %q, replay %q", iv.Property, rv.Property)
+					}
+					if iv.Witness == nil {
+						t.Error("incremental failure carries no witness")
+					}
+					// The witness must reproduce the violation on a plain
+					// replay regardless of which engine (or worker timing)
+					// found it.
+					replayed, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Replay(iv.Witness, tc.props...)
+					if err != nil {
+						t.Fatalf("witness replay: %v", err)
+					}
+					if replayed.OK() {
+						t.Errorf("incremental witness %v replayed clean", iv.Witness)
+					}
+				}
+				// Every example object carries the snapshot hook, so the
+				// incremental engine must actually engage: strictly fewer
+				// sim steps than the quadratic replay engine.
+				if !workers && inc.Prefixes > 1 && inc.SimSteps >= rep.SimSteps {
+					t.Errorf("incremental engine did not reduce sim steps: %d vs replay %d", inc.SimSteps, rep.SimSteps)
+				}
+			})
+		}
+	}
+}
+
+// noSnapRegister is porRegister without the snapshot hook: exploration
+// must fall back to replay execution transparently.
+type noSnapRegister struct{ v hist.Value }
+
+func (r *noSnapRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
+	case "write":
+		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
+	}
+	return out
+}
+
+func (r *noSnapRegister) Footprints() bool { return true }
+
+// TestIncrementalFallbackTransparent pins the fallback contract: an
+// object without run.Snapshottable explores by from-root replay with or
+// without WithReplayExecution — identical trees, identical (quadratic)
+// step counts — so soundness never depends on the hook.
+func TestIncrementalFallbackTransparent(t *testing.T) {
+	if run.CanSnapshot(&noSnapRegister{}) {
+		t.Fatal("noSnapRegister must not report snapshot support")
+	}
+	mk := func(extra ...slx.Option) *slx.Report {
+		opts := []slx.Option{
+			slx.WithObject(func() run.Object { return &noSnapRegister{v: 0} }),
+			slx.WithEnv(regEnv(2)),
+			slx.WithProcs(2),
+			slx.WithDepth(6),
+		}
+		rep, err := slx.New(append(opts, extra...)...).Explore(check.Linearizability(check.RegisterSpec{Initial: 0}))
+		if err != nil {
+			t.Fatalf("explore: %v", err)
+		}
+		return rep
+	}
+	def := mk()
+	forced := mk(slx.WithReplayExecution())
+	if def.Prefixes != forced.Prefixes || def.SimSteps != forced.SimSteps || def.Resims != forced.Resims {
+		t.Errorf("fallback differs from forced replay: %d/%d/%d vs %d/%d/%d",
+			def.Prefixes, def.SimSteps, def.Resims, forced.Prefixes, forced.SimSteps, forced.Resims)
+	}
+	if !def.OK() || !forced.OK() {
+		t.Errorf("register must be linearizable (default OK=%v, forced OK=%v)", def.OK(), forced.OK())
+	}
+	if def.SimSteps <= def.Prefixes {
+		t.Errorf("replay fallback should show quadratic steps (%d) above prefixes (%d)", def.SimSteps, def.Prefixes)
+	}
+}

@@ -19,16 +19,34 @@ import (
 )
 
 // porRegister is a linearizable register with declared footprints,
-// observations and a state fingerprint.
+// observations, a state fingerprint, and rebuild-aware snapshots (the
+// reference pattern for hand-rolled single-step objects: every step
+// closure consults Proc.Replaying and answers reads from Proc.Replayed
+// during a session rebuild).
 type porRegister struct{ v hist.Value }
 
 func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
+		p.Exec("read", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("r", false)
+			out = r.v
+			p.Observe(out)
+		})
 	case "write":
-		p.Exec("write", func() { p.Access("r", true); r.v = inv.Arg; out = hist.OK })
+		p.Exec("write", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
+			p.Access("r", true)
+			r.v = inv.Arg
+		})
 	}
 	return out
 }
@@ -36,6 +54,10 @@ func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 func (r *porRegister) Footprints() bool { return true }
 
 func (r *porRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
+
+func (r *porRegister) Snapshot() any { return r.v }
+
+func (r *porRegister) Restore(s any) { r.v = s }
 
 // lossyRegister is a seeded bug: process 2's writes acknowledge without
 // taking effect, so its write-then-read is not linearizable.
@@ -45,14 +67,25 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
-		p.Exec("read", func() { p.Access("r", false); out = r.v; p.Observe(out) })
+		p.Exec("read", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("r", false)
+			out = r.v
+			p.Observe(out)
+		})
 	case "write":
 		p.Exec("write", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
 			p.Access("r", true)
 			if p.ID() != 2 {
 				r.v = inv.Arg
 			}
-			out = hist.OK
 		})
 	}
 	return out
@@ -61,6 +94,10 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 func (r *lossyRegister) Footprints() bool { return true }
 
 func (r *lossyRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
+
+func (r *lossyRegister) Snapshot() any { return r.v }
+
+func (r *lossyRegister) Restore(s any) { r.v = s }
 
 // racyLock is a seeded deep bug: test and set are separate register
 // steps, so mutual exclusion breaks only on the interleavings where both
@@ -73,14 +110,34 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case mutex.OpAcquire:
 		for {
 			var free bool
-			p.Exec("test", func() { p.Access("lock", false); free = !l.held; p.Observe(free) })
+			p.Exec("test", func() {
+				if p.Replaying() {
+					free = p.Replayed().(bool)
+					return
+				}
+				p.Access("lock", false)
+				free = !l.held
+				p.Observe(free)
+			})
 			if free {
-				p.Exec("set", func() { p.Access("lock", true); l.held = true })
+				p.Exec("set", func() {
+					if p.Replaying() {
+						return
+					}
+					p.Access("lock", true)
+					l.held = true
+				})
 				return mutex.Locked
 			}
 		}
 	case mutex.OpRelease:
-		p.Exec("clear", func() { p.Access("lock", true); l.held = false })
+		p.Exec("clear", func() {
+			if p.Replaying() {
+				return
+			}
+			p.Access("lock", true)
+			l.held = false
+		})
 		return mutex.Unlocked
 	}
 	return nil
@@ -89,6 +146,10 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 func (l *racyLock) Footprints() bool { return true }
 
 func (l *racyLock) Fingerprint(f *run.Fingerprinter) { f.Str("lock"); f.Bool(l.held) }
+
+func (l *racyLock) Snapshot() any { return l.held }
+
+func (l *racyLock) Restore(s any) { l.held = s.(bool) }
 
 // regEnv writes a distinct value per process, then reads.
 func regEnv(procs int) func() run.Environment {

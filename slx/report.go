@@ -54,9 +54,20 @@ type Report struct {
 	// Verdicts holds one entry per checked property (exploration stops
 	// at the first violation and reports only it).
 	Verdicts []Verdict
-	// Prefixes and SimSteps are exploration statistics: histories checked
-	// and total simulator steps across all replays.
+	// Prefixes and SimSteps are exploration statistics: histories
+	// checked, and the simulator steps that advanced exploration into
+	// them. Under incremental execution (the default for objects with
+	// the run.Snapshottable hook) SimSteps is about one step per
+	// explored prefix; under replay execution (WithReplayExecution, or
+	// objects without the hook) it is the total steps across all
+	// from-root replays.
 	Prefixes, SimSteps int
+	// Resims counts simulator steps spent re-establishing already
+	// visited configurations: snapshot-restore rebuilds and stolen-
+	// subtree seed replays under incremental execution, the re-executed
+	// prefix portion of every replay (also counted in SimSteps) under
+	// replay execution.
+	Resims int
 	// Pruned counts the subtrees partial-order reduction skipped during
 	// an exploration (0 unless WithPOR).
 	Pruned int
@@ -122,6 +133,9 @@ func (r *Report) String() string {
 	switch r.Mode {
 	case ModeExplore:
 		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans", r.Prefixes, r.SimSteps, r.EventScans)
+		if r.Resims > 0 {
+			fmt.Fprintf(&b, ", %d resim steps", r.Resims)
+		}
 		if r.Pruned > 0 {
 			fmt.Fprintf(&b, ", %d subtrees pruned", r.Pruned)
 		}

@@ -50,6 +50,25 @@ type Fingerprintable = sim.Fingerprintable
 // Fingerprint hook writes into.
 type Fingerprinter = sim.Fingerprinter
 
+// Snapshottable is the opt-in snapshot hook of incremental exploration:
+// Objects implementing it can be rewound to earlier configurations, so
+// Explore descends by extending one persistent simulation instead of
+// replaying every prefix from the root. Snapshot/Restore must capture
+// all state that outlives a granted step (repository base objects
+// provide composable Snapshot/Restore methods); custom single-step
+// objects must additionally make every step closure rebuild-aware via
+// Proc.Replaying/Proc.Replayed and report reads via Proc.Observe. See
+// the sim.Snapshottable contract for the details. Objects without the
+// hook are explored by from-root replay, with identical verdicts.
+type Snapshottable = sim.Snapshottable
+
+// SessionGated optionally vetoes snapshot support at runtime (for
+// objects with pluggable components); see sim.SessionGated.
+type SessionGated = sim.SessionGated
+
+// CanSnapshot reports whether an object will be explored incrementally.
+func CanSnapshot(o Object) bool { return sim.CanSnapshot(o) }
+
 // Environment decides which operations processes invoke.
 type Environment = sim.Environment
 
