@@ -15,6 +15,10 @@
 //     not exceed -stepratio (default 2.0): the incremental execution
 //     engine's acceptance bar (from-root replay measured 6.46 at the
 //     same depth);
+//   - the sampling sections' schedules and distinct_states counts must
+//     match the baseline exactly (they are deterministic under the
+//     benchmark's fixed master seed — drift is a behavior change);
+//     their schedules/sec below baseline/-samplethroughput is advisory;
 //   - prefixes/sec below baseline/ratio is reported in the artifact and
 //     the log but is ADVISORY only: wall-clock throughput depends on
 //     the host, and a contended shared CI runner must not fail a build
@@ -24,7 +28,7 @@
 //
 // Usage:
 //
-//	go test -bench Explore -benchmem -benchtime 1x -run '^$' . | benchtrend -baseline BENCH_explore.json -out bench-trend.json
+//	go test -bench 'ExploreLinearizability|SampleThroughput' -benchmem -benchtime 1x -run '^$' . | benchtrend -baseline BENCH_explore.json -out bench-trend.json
 package main
 
 import (
@@ -50,18 +54,23 @@ var sections = map[string]string{
 	"BenchmarkExploreLinearizabilityCache":    "cache",
 	"BenchmarkExploreLinearizabilityCachePOR": "cache_por",
 	"BenchmarkExploreLinearizabilityWorkers4": "parallel_work_stealing",
+	"BenchmarkSampleThroughput":               "sample",
+	"BenchmarkSampleThroughputReplay":         "sample_replay",
 }
 
 // metrics is one section's measurements, in the baseline's JSON shape.
 type metrics struct {
-	NsPerOp        float64 `json:"ns_per_op"`
-	Prefixes       float64 `json:"prefixes"`
-	SimSteps       float64 `json:"sim_steps"`
-	ResimSteps     float64 `json:"resim_steps,omitempty"`
-	EventScans     float64 `json:"event_scans"`
-	PrefixesPerSec float64 `json:"prefixes_per_sec"`
-	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
-	BytesPerOp     float64 `json:"bytes_per_op,omitempty"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Prefixes        float64 `json:"prefixes,omitempty"`
+	SimSteps        float64 `json:"sim_steps,omitempty"`
+	ResimSteps      float64 `json:"resim_steps,omitempty"`
+	EventScans      float64 `json:"event_scans,omitempty"`
+	PrefixesPerSec  float64 `json:"prefixes_per_sec,omitempty"`
+	Schedules       float64 `json:"schedules,omitempty"`
+	DistinctStates  float64 `json:"distinct_states,omitempty"`
+	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp      float64 `json:"bytes_per_op,omitempty"`
 }
 
 // comparison is one gate evaluation. Advisory comparisons (wall-clock
@@ -90,6 +99,7 @@ func main() {
 	outPath := flag.String("out", "bench-trend.json", "where to write the trend report")
 	ratio := flag.Float64("ratio", 2.0, "maximum tolerated regression factor")
 	stepRatio := flag.Float64("stepratio", 2.0, "maximum (sim_steps+resim_steps)/prefixes of the incremental monitor section")
+	sampleRatio := flag.Float64("samplethroughput", 2.0, "advisory tolerated slowdown factor of the sampling sections' schedules/sec")
 	flag.Parse()
 
 	measured, err := parseBench(os.Stdin)
@@ -97,7 +107,7 @@ func main() {
 		fatal("parse bench output: %v", err)
 	}
 	if len(measured) == 0 {
-		fatal("no Explore benchmark lines found on stdin")
+		fatal("no tracked benchmark lines found on stdin")
 	}
 	baseline, err := loadBaseline(*baselinePath)
 	if err != nil {
@@ -120,6 +130,12 @@ func main() {
 		rep.checkAdvisory(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
 		rep.check(key, "prefixes", m.Prefixes, b.Prefixes, m.Prefixes <= b.Prefixes**ratio)
 		rep.check(key, "event_scans", m.EventScans, b.EventScans, m.EventScans <= b.EventScans**ratio)
+		// Sampling sections: schedules and terminal-state coverage are
+		// deterministic under the benchmark's fixed seed, so any drift is a
+		// behavior change, not noise; wall-clock throughput stays advisory.
+		rep.checkAdvisory(key, "schedules_per_sec", m.SchedulesPerSec, b.SchedulesPerSec, m.SchedulesPerSec >= b.SchedulesPerSec / *sampleRatio)
+		rep.check(key, "schedules", m.Schedules, b.Schedules, m.Schedules == b.Schedules)
+		rep.check(key, "distinct_states", m.DistinctStates, b.DistinctStates, m.DistinctStates == b.DistinctStates)
 	}
 	// The incremental-execution acceptance gate: the default monitor
 	// section's deterministic simulator work per explored prefix. The
@@ -213,6 +229,12 @@ func parseBench(f *os.File) (map[string]*metrics, error) {
 				m.EventScans = v
 			case "prefixes/sec":
 				m.PrefixesPerSec = v
+			case "schedules":
+				m.Schedules = v
+			case "distinctStates":
+				m.DistinctStates = v
+			case "schedules/sec":
+				m.SchedulesPerSec = v
 			case "allocs/op":
 				m.AllocsPerOp = v
 			case "B/op":
@@ -242,7 +264,7 @@ func loadBaseline(path string) (map[string]*metrics, error) {
 		if err := json.Unmarshal(msg, &m); err != nil {
 			continue // metadata (strings, numbers), not a section
 		}
-		if m.NsPerOp > 0 || m.Prefixes > 0 {
+		if m.NsPerOp > 0 || m.Prefixes > 0 || m.Schedules > 0 {
 			out[key] = &m
 		}
 	}

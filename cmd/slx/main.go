@@ -10,6 +10,7 @@
 //	slx theorem44                        Theorem 4.4 on finite models
 //	slx theorem49                        Theorem 4.9 over I_t / I_b automata
 //	slx explore   [-target consensus] [-depth 12]  exhaustive safety check
+//	slx explore   -sample [-schedules N] [-d K] [-seed S]  probabilistic (PCT) check
 //	slx report                           full paper-versus-measured summary
 package main
 
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/slx"
 	"repro/slx/adversary"
@@ -46,7 +48,7 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay]", "exhaustive safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay] [-sample] [-schedules n] [-d k] [-seed s] [-walk]", "exhaustive or sampled (PCT) safety check", cmdExplore},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
 }
 
@@ -234,13 +236,18 @@ func cmdTheorem49() error {
 
 func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	target := fs.String("target", "consensus", "consensus, i12, or globalcas")
+	target := fs.String("target", "consensus", "consensus, i12, globalcas, or lossyreg (a seeded bug)")
 	depth := fs.Int("depth", 12, "schedule depth")
 	batch := fs.Bool("batch", false, "legacy batch checking (re-judge every prefix) instead of incremental monitors")
 	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
 	cache := fs.Bool("cache", false, "state-fingerprint cache (prune subtrees rooted at already-explored states)")
 	workers := fs.Int("workers", 1, "explore with n work-stealing workers")
 	replay := fs.Bool("replay", false, "force from-root replay execution (disable incremental sessions)")
+	sampleMode := fs.Bool("sample", false, "probabilistic sampling instead of exhaustive enumeration")
+	schedules := fs.Int("schedules", 10000, "sampled schedules (with -sample)")
+	d := fs.Int("d", 3, "PCT priority-change points per schedule (with -sample)")
+	seed := fs.Int64("seed", 1, "master seed; schedule i uses seed+i (with -sample)")
+	walk := fs.Bool("walk", false, "uniform random walk instead of PCT (with -sample)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,6 +263,12 @@ func cmdExplore(args []string) error {
 	}
 	if *replay {
 		opts = append(opts, slx.WithReplayExecution())
+	}
+	if *sampleMode {
+		opts = append(opts, slx.WithSample(*schedules, *d), slx.WithSeed(*seed))
+		if *walk {
+			opts = append(opts, slx.WithSampleWalk())
+		}
 	}
 	var prop slx.Property
 	switch *target {
@@ -279,15 +292,33 @@ func cmdExplore(args []string) error {
 			prop = check.Opacity()
 			opts = append(opts, slx.WithObject(func() run.Object { return tm.NewGlobalCAS(2) }))
 		}
+	case "lossyreg":
+		prop = check.Linearizability(check.RegisterSpec{Initial: 0})
+		opts = append(opts,
+			slx.WithObject(func() run.Object { return &lossyRegister{v: 0} }),
+			slx.WithEnv(func() run.Environment {
+				return run.Script(map[int][]run.Invocation{
+					1: {{Op: "write", Arg: 1}, {Op: "read"}},
+					2: {{Op: "write", Arg: 2}, {Op: "read"}},
+				})
+			}))
 	default:
 		return fmt.Errorf("unknown target %q", *target)
 	}
+	start := time.Now()
 	rep, err := slx.New(opts...).Explore(prop)
+	elapsed := time.Since(start)
 	if err != nil {
 		return err
 	}
+	if rep.Sampled {
+		printSampleColumns(rep, elapsed)
+	}
 	if !rep.OK() {
 		return fmt.Errorf("violation found: %s (witness %v)", rep.Failures()[0], rep.Witness())
+	}
+	if rep.Sampled {
+		return nil
 	}
 	mode := "incremental monitors"
 	if *batch {
@@ -317,3 +348,67 @@ func cmdExplore(args []string) error {
 	}
 	return nil
 }
+
+// printSampleColumns renders the sampling statistics. It runs before the
+// violation error is returned, so the columns survive a non-zero exit.
+func printSampleColumns(rep *slx.Report, elapsed time.Duration) {
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(rep.Schedules) / s
+	}
+	fmt.Printf("  %-18s %d\n", "schedules run", rep.Schedules)
+	fmt.Printf("  %-18s %d\n", "distinct states", rep.DistinctStates)
+	fmt.Printf("  %-18s %.0f\n", "schedules/sec", rate)
+	if rep.FailingSeed != 0 {
+		fmt.Printf("  %-18s %d  (replay with -sample -schedules 1 -seed %d)\n",
+			"first failing seed", rep.FailingSeed, rep.FailingSeed)
+	}
+	if rep.Interrupted {
+		fmt.Printf("  %-18s %s\n", "interrupted", "context cancelled before the schedule budget")
+	}
+	if rep.OK() && !rep.Interrupted {
+		fmt.Printf("no violation on %d sampled schedules — probabilistic evidence, not exhaustive proof\n", rep.Schedules)
+	}
+}
+
+// lossyRegister is the seeded-bug exploration target: process 2's writes
+// acknowledge without taking effect, so its write-then-read history is
+// not linearizable. Both exhaustive explore (-depth 8) and sampling
+// (-sample) find it, exercising the non-zero exit path.
+type lossyRegister struct{ v hist.Value }
+
+func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("r", false)
+			out = r.v
+			p.Observe(out)
+		})
+	case "write":
+		p.Exec("write", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
+			p.Access("r", true)
+			if p.ID() != 2 {
+				r.v = inv.Arg
+			}
+		})
+	}
+	return out
+}
+
+func (r *lossyRegister) Footprints() bool { return true }
+
+func (r *lossyRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
+
+func (r *lossyRegister) Snapshot() any { return r.v }
+
+func (r *lossyRegister) Restore(s any) { r.v = s }

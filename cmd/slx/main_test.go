@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// TestExploreExitCodes: dispatch returns an error (→ non-zero process
+// exit in main) exactly when a violation is found, in both exhaustive
+// and sampling modes.
+func TestExploreExitCodes(t *testing.T) {
+	cases := map[string]struct {
+		args    []string
+		wantErr bool
+	}{
+		"exhaustive/violation": {
+			args:    []string{"explore", "-target", "lossyreg", "-depth", "8"},
+			wantErr: true,
+		},
+		"exhaustive/clean": {
+			args:    []string{"explore", "-target", "consensus", "-depth", "6"},
+			wantErr: false,
+		},
+		"sample/violation": {
+			args:    []string{"explore", "-target", "lossyreg", "-sample", "-schedules", "500", "-d", "2", "-depth", "10", "-seed", "1"},
+			wantErr: true,
+		},
+		"sample/clean": {
+			args:    []string{"explore", "-target", "consensus", "-sample", "-schedules", "200", "-d", "3", "-depth", "8", "-seed", "5"},
+			wantErr: false,
+		},
+		"sample/walk-violation": {
+			args:    []string{"explore", "-target", "lossyreg", "-sample", "-walk", "-schedules", "500", "-depth", "10", "-seed", "1"},
+			wantErr: true,
+		},
+		"unknown-target": {
+			args:    []string{"explore", "-target", "nosuch"},
+			wantErr: true,
+		},
+	}
+	for name, tc := range cases {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			err := dispatch(tc.args)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("dispatch(%v) err=%v, want error=%v", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

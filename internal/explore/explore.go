@@ -39,6 +39,12 @@
 // cutting the subtrees rooted at states that many inequivalent
 // schedules reach. Config.Workers > 1 explores the tree with a bounded
 // work-stealing scheduler; all workers share the visited set.
+//
+// Package sample is the probabilistic sibling: instead of enumerating
+// the tree it draws seeded PCT (or random-walk) schedules from it,
+// feeding the same MonitorSet and reporting the same Violation — the
+// trade of completeness for depth when exhaustive exploration cannot
+// reach the interesting states.
 package explore
 
 import (

@@ -1,0 +1,128 @@
+package sample
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// strategy draws one seeded schedule's decisions. All randomness of a
+// schedule comes from its seed in a fixed consultation order — setup
+// first (priorities, change points, crash points), then one draw per
+// decision that needs one — so a seed alone reproduces the schedule,
+// on either execution engine. A strategy is reused across schedules via
+// reset (workers keep one each); it is not safe for concurrent use.
+type strategy struct {
+	procs   int
+	steps   int
+	d       int
+	crashes int
+	walk    bool
+
+	src rand.Source
+	rng *rand.Rand
+
+	// prio[p] is process p's current priority (higher steps first;
+	// index 0 unused). Initial priorities are a random permutation of
+	// d+1..d+procs; the j-th change point (0-based) demotes the most
+	// recent mover to d-j, below every initial priority and every
+	// earlier demotion.
+	prio []int
+	// change holds the PCT change points: sorted granted-step counts
+	// after which the most recent mover is demoted. Sampled uniformly
+	// from 1..steps with replacement; coincident points collapse onto
+	// the same mover (the later demotion wins), which only wastes the
+	// duplicate, exactly as in the PCT paper's analysis.
+	change []int
+	next   int
+	// crashAt holds sorted granted-step counts before which one crash
+	// decision is injected (uniform in 1..steps, with replacement;
+	// coincident points crash consecutively).
+	crashAt []int
+	nextCr  int
+	// last is the process granted the most recent step (0 before any).
+	last int
+}
+
+func newStrategy(cfg *Config) *strategy {
+	src := rand.NewSource(0)
+	return &strategy{
+		procs:   cfg.Procs,
+		steps:   cfg.Steps,
+		d:       cfg.ChangePoints,
+		crashes: cfg.Crashes,
+		walk:    cfg.Strategy == Walk,
+		src:     src,
+		rng:     rand.New(src),
+		prio:    make([]int, cfg.Procs+1),
+		change:  make([]int, 0, cfg.ChangePoints),
+		crashAt: make([]int, 0, cfg.Crashes),
+	}
+}
+
+// reset re-seeds the strategy for one schedule.
+func (s *strategy) reset(seed int64) {
+	s.src.Seed(seed)
+	s.next, s.nextCr, s.last = 0, 0, 0
+	if !s.walk {
+		for p := 1; p <= s.procs; p++ {
+			s.prio[p] = s.d + p
+		}
+		for i := s.procs; i > 1; i-- {
+			j := s.rng.Intn(i) + 1
+			s.prio[i], s.prio[j] = s.prio[j], s.prio[i]
+		}
+		s.change = s.change[:0]
+		for j := 0; j < s.d; j++ {
+			s.change = append(s.change, s.rng.Intn(s.steps)+1)
+		}
+		sort.Ints(s.change)
+	}
+	s.crashAt = s.crashAt[:0]
+	for j := 0; j < s.crashes; j++ {
+		s.crashAt = append(s.crashAt, s.rng.Intn(s.steps)+1)
+	}
+	sort.Ints(s.crashAt)
+}
+
+// decide picks the next decision given the sorted ready set and the
+// number of granted (non-crash) steps taken so far. ok=false ends the
+// schedule. Both execution engines call decide with identical argument
+// sequences, so their schedules coincide.
+func (s *strategy) decide(ready []int, step int) (sim.Decision, bool) {
+	if len(ready) == 0 {
+		return sim.Decision{}, false
+	}
+	if !s.walk {
+		for s.next < len(s.change) && s.change[s.next] <= step {
+			if s.last != 0 {
+				s.prio[s.last] = s.d - s.next
+			}
+			s.next++
+		}
+	}
+	if s.nextCr < len(s.crashAt) && s.crashAt[s.nextCr] <= step+1 {
+		s.nextCr++
+		return sim.Decision{Proc: s.pick(ready), Crash: true}, true
+	}
+	p := s.pick(ready)
+	s.last = p
+	return sim.Decision{Proc: p}, true
+}
+
+// pick selects a process from the ready set: uniformly for Walk, the
+// highest-priority one for PCT (also the crash victim — PCT crashes the
+// process that would run).
+func (s *strategy) pick(ready []int) int {
+	if s.walk {
+		return ready[s.rng.Intn(len(ready))]
+	}
+	best := ready[0]
+	for _, p := range ready[1:] {
+		if s.prio[p] > s.prio[best] {
+			best = p
+		}
+	}
+	return best
+}

@@ -184,14 +184,21 @@ func (s *Session) Extend(d Decision) (StepInfo, error) {
 
 // Ready returns the sorted ids of processes currently awaiting a step.
 func (s *Session) Ready() []int {
+	return s.ReadyAppend(nil)
+}
+
+// ReadyAppend appends the sorted ids of processes currently awaiting a
+// step to dst and returns the extended slice. Callers that consult
+// readiness once per simulated step (the sampling engine's schedule
+// loop) reuse one buffer across calls instead of allocating per step.
+func (s *Session) ReadyAppend(dst []int) []int {
 	r := s.rt
-	var out []int
 	for id := 1; id <= r.cfg.Procs; id++ {
 		if r.status[id] == statusReady {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // History returns the external history of the current configuration,

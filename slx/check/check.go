@@ -97,6 +97,9 @@ type (
 	RegisterSpec = safety.RegisterSpec
 	// CASSpec is the compare-and-swap object specification.
 	CASSpec = safety.CASSpec
+	// QueueSpec is the FIFO queue specification ("enq"/"deq" with
+	// string-encoded payloads; see safety.QueueSpec).
+	QueueSpec = safety.QueueSpec
 	// CASArg is the argument struct of a cas invocation.
 	CASArg = safety.CASArg
 )

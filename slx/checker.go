@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/history"
+	"repro/internal/sample"
 	"repro/slx/hist"
 	"repro/slx/run"
 )
@@ -31,6 +32,11 @@ type Checker struct {
 	por       bool
 	cache     bool
 	replay    bool
+	sample    bool
+	schedules int
+	sampleD   int
+	walk      bool
+	seed      int64
 	ctx       context.Context
 }
 
@@ -132,6 +138,43 @@ func WithStateCache() Option { return func(c *Checker) { c.cache = true } }
 // the hook.
 func WithReplayExecution() Option { return func(c *Checker) { c.replay = true } }
 
+// WithSample switches Explore into probabilistic sampling mode: instead
+// of enumerating every schedule, it samples the given number of seeded
+// schedules with the PCT strategy (Probabilistic Concurrency Testing:
+// per-schedule random distinct process priorities plus d priority-change
+// points at uniformly chosen steps — a bug of depth d is found with
+// probability at least 1/(n·kᵈ⁻¹) per schedule). WithDepth bounds each
+// schedule's granted steps (sampling is built for depths far beyond the
+// exhaustive ceiling), WithCrashes injects crash decisions at uniformly
+// chosen steps, and WithWorkers fans schedules across goroutines while
+// keeping the Report — including which failure is surfaced — identical
+// for a fixed WithSeed at any worker count (the least-index failing
+// schedule wins, the sampling analogue of exhaustive exploration's
+// preorder-least rule). Objects with the run.Snapshottable hook execute
+// all schedules on one reused session per worker; others (or
+// WithReplayExecution) rebuild each run from the root, with identical
+// results. The Report gains Sampled, Schedules, DistinctStates and
+// FailingSeed; a clean sampled Report is probabilistic evidence, not
+// exhaustive proof. Sampling requires properties with native monitors
+// and excludes WithBatchExplore, WithPOR and WithStateCache. Under
+// WithContext, cancellation is polled per schedule and Explore returns
+// the partial Report (Interrupted set) together with the context error.
+func WithSample(schedules, d int) Option {
+	return func(c *Checker) { c.sample = true; c.schedules = schedules; c.sampleD = d }
+}
+
+// WithSampleWalk switches sampling mode to the uniform random-walk
+// strategy: each step picks uniformly among the ready processes (the d
+// of WithSample is then ignored). Walk is a baseline against PCT —
+// memoryless, no priority structure.
+func WithSampleWalk() Option { return func(c *Checker) { c.walk = true } }
+
+// WithSeed sets sampling's master seed. Schedule i draws all its
+// randomness from seed+i, so WithSeed(rep.FailingSeed) with
+// WithSample(1, d) replays exactly the failing schedule's strategy.
+// Default: 1.
+func WithSeed(s int64) Option { return func(c *Checker) { c.seed = s } }
+
 // WithBatchExplore forces Explore onto the legacy batch path: every
 // property re-judges the entire history of every explored prefix instead
 // of consuming delta events through incremental monitors. Kept for
@@ -147,6 +190,7 @@ func New(opts ...Option) *Checker {
 		maxSteps: run.DefaultMaxSteps,
 		depth:    8,
 		workers:  1,
+		seed:     1,
 		ctx:      context.Background(),
 		newSched: func() run.Scheduler { return &run.RoundRobin{} },
 	}
@@ -371,6 +415,9 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 	if err := c.need("Explore", true); err != nil {
 		return nil, err
 	}
+	if c.sample {
+		return c.sampleExplore(props)
+	}
 	batch := c.batch
 	for _, p := range props {
 		if p.Kind() != Safety {
@@ -459,6 +506,115 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 			Kind:     p.Kind(),
 			Holds:    true,
 			Reason:   fmt.Sprintf("no violation on %d schedule prefixes up to depth %d", st.Prefixes, c.depth),
+		})
+	}
+	return rep, nil
+}
+
+// sampleExplore is Explore's sampling mode (WithSample): see the option
+// for the contract. The Report's statistics are computed over the
+// deterministic merged prefix of schedules, so a fixed seed yields an
+// identical Report at any worker count.
+func (c *Checker) sampleExplore(props []Property) (*Report, error) {
+	switch {
+	case c.schedules < 1:
+		return nil, fmt.Errorf("slx: WithSample requires at least 1 schedule, got %d", c.schedules)
+	case c.sampleD < 0:
+		return nil, fmt.Errorf("slx: WithSample requires d >= 0, got %d", c.sampleD)
+	case c.batch:
+		return nil, fmt.Errorf("slx: WithSample requires the incremental monitor path; drop WithBatchExplore")
+	case c.por:
+		return nil, fmt.Errorf("slx: WithSample excludes WithPOR (sleep sets prune an enumeration; sampling has none)")
+	case c.cache:
+		return nil, fmt.Errorf("slx: WithSample excludes WithStateCache (sampled schedules are independent; terminal states are already deduplicated into DistinctStates)")
+	}
+	for _, p := range props {
+		if p.Kind() != Safety {
+			return nil, fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
+		}
+		if p.Spawn() == nil {
+			return nil, fmt.Errorf("slx: sampling judges histories through incremental monitors, but %q has none (Spawn returns nil)", p.Name())
+		}
+	}
+	strat := sample.PCT
+	stratName := fmt.Sprintf("PCT d=%d", c.sampleD)
+	if c.walk {
+		strat = sample.Walk
+		stratName = "random walk"
+	}
+	var scans atomic.Int64
+	st, err := sample.Run(sample.Config{
+		Procs:     c.procs,
+		NewObject: c.newObject,
+		NewEnv:    c.newEnv,
+		NewMonitors: func() explore.MonitorSet {
+			mons := make([]Monitor, len(props))
+			for i, p := range props {
+				mons[i] = p.Spawn()
+			}
+			return &monitorSet{mons: mons, scans: &scans}
+		},
+		Schedules:    c.schedules,
+		Steps:        c.depth,
+		Crashes:      c.crashes,
+		Strategy:     strat,
+		ChangePoints: c.sampleD,
+		Seed:         c.seed,
+		Workers:      c.workers,
+		ForceReplay:  c.replay,
+		Fingerprint:  true,
+		Ctx:          c.ctx,
+	})
+	if st == nil {
+		return nil, fmt.Errorf("slx: sampling failed: %w", err)
+	}
+	rep := &Report{
+		Mode: ModeExplore, Sampled: true,
+		Schedules: st.Schedules, DistinctStates: st.DistinctStates,
+		SimSteps: st.Steps, Resims: st.Resims, Workers: st.Workers,
+		// Deterministic merged count, not the racy live counter: every
+		// merged event was judged by every monitor (the violating event
+		// only up to the failing one, corrected below).
+		EventScans:  st.Events * len(props),
+		Interrupted: st.Interrupted,
+	}
+	if err != nil {
+		var vio *violation
+		if errors.As(err, &vio) {
+			v := vio.v
+			var ev *explore.Violation
+			if errors.As(err, &ev) {
+				v.Witness = ev.Schedule
+				rep.Execution = &Execution{H: ev.H, N: c.procs, Schedule: ev.Schedule, Window: c.window}
+			}
+			if v.Witness == nil {
+				v.Witness = []run.Decision{}
+			}
+			for i, p := range props {
+				if p.Name() == v.Property {
+					rep.EventScans -= len(props) - i - 1
+					break
+				}
+			}
+			rep.Schedule = v.Witness
+			rep.Verdicts = []Verdict{v}
+			rep.FailingSeed = st.FailingSeed
+			return rep, nil
+		}
+		if cerr := c.ctx.Err(); cerr != nil {
+			// Satellite contract: an interrupted sampling run returns
+			// the partial Report together with the context error.
+			return rep, cerr
+		}
+		return nil, fmt.Errorf("slx: sampling failed: %w", err)
+	}
+	for _, p := range props {
+		rep.Verdicts = append(rep.Verdicts, Verdict{
+			Property: p.Name(),
+			Kind:     p.Kind(),
+			Holds:    true,
+			Reason: fmt.Sprintf("no violation on %d sampled schedules to depth %d (%s, seed %d) — probabilistic evidence, not exhaustive proof",
+				st.Schedules, c.depth, stratName, c.seed),
 		})
 	}
 	return rep, nil

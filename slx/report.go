@@ -81,8 +81,30 @@ type Report struct {
 	// EventScans counts the events fed to the property layer during an
 	// exploration: one per (event, monitor) pair on the incremental path,
 	// len(history)·len(properties) per prefix on the batch path. It is
-	// the before/after measure of the monitor redesign.
+	// the before/after measure of the monitor redesign. In sampling mode
+	// it is counted over the deterministic merged prefix of schedules
+	// (work discarded past a violation or cancellation is excluded, so
+	// the number is worker-count independent).
 	EventScans int
+	// Sampled marks a sampling-mode exploration (WithSample): Prefixes
+	// is 0 and the three fields below are populated instead.
+	Sampled bool
+	// Schedules counts the sampled schedules merged into the report: on
+	// a violation, the failing schedule and every schedule before it in
+	// index order; on cancellation, the completed prefix.
+	Schedules int
+	// DistinctStates counts the distinct terminal-state fingerprints the
+	// merged schedules reached — the sampling coverage measure (0 when
+	// the object has no run.Fingerprintable hook).
+	DistinctStates int
+	// FailingSeed is the seed of the failing schedule when a sampled
+	// violation was found (0 otherwise): WithSeed(FailingSeed) with
+	// WithSample(1, d) re-derives exactly its schedule.
+	FailingSeed int64
+	// Interrupted marks a sampling report cut short by context
+	// cancellation; the statistics cover the schedules completed and
+	// merged before the cut.
+	Interrupted bool
 }
 
 // OK reports whether every verdict holds.
@@ -132,6 +154,24 @@ func (r *Report) String() string {
 	var b strings.Builder
 	switch r.Mode {
 	case ModeExplore:
+		if r.Sampled {
+			fmt.Fprintf(&b, "explore (sampled): %d schedules, %d distinct states, %d simulator steps, %d property-event scans",
+				r.Schedules, r.DistinctStates, r.SimSteps, r.EventScans)
+			if r.Workers > 1 {
+				fmt.Fprintf(&b, ", %d workers", r.Workers)
+			}
+			if r.FailingSeed != 0 {
+				fmt.Fprintf(&b, ", failing seed %d", r.FailingSeed)
+			}
+			if r.Interrupted {
+				b.WriteString(", interrupted")
+			}
+			b.WriteString("\n")
+			for _, v := range r.Verdicts {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+			return b.String()
+		}
 		fmt.Fprintf(&b, "explore: %d prefixes, %d simulator steps, %d property-event scans", r.Prefixes, r.SimSteps, r.EventScans)
 		if r.Resims > 0 {
 			fmt.Fprintf(&b, ", %d resim steps", r.Resims)
