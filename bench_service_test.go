@@ -1,0 +1,108 @@
+package repro_test
+
+// Service-throughput benchmark for the slxd exploration daemon: small
+// exhaustive check jobs pushed through the full HTTP → queue → worker
+// pool → results store path, with a bounded number in flight so the
+// pool pipeline stays busy. The jobs/sec figure is wall-clock and
+// advisory (committed in BENCH_explore.json's "service" section, graded
+// by cmd/benchtrend without gating); the correctness half of the
+// service — report parity with in-process checkers — is gated by the
+// tests in internal/service.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/slx"
+)
+
+// benchServiceInFlight bounds the submitted-but-unfinished window: deep
+// enough to keep every pool worker busy, shallow enough that the store
+// poll loop stays cheap.
+const benchServiceInFlight = 32
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec for depth-5
+// consensus checks against a 4-worker daemon.
+func BenchmarkServiceThroughput(b *testing.B) {
+	srv, err := service.NewServer(service.Config{Workers: 4, Queue: 2 * benchServiceInFlight})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	spec, err := json.Marshal(service.JobSpec{Target: "consensus", Spec: slx.Spec{Depth: 5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := hs.Client()
+
+	submit := func() string {
+		resp, err := client.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var j service.Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		return j.ID
+	}
+	await := func(id string) {
+		for {
+			resp, err := client.Get(hs.URL + "/v1/jobs/" + id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var j service.Job
+			if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			switch j.State {
+			case service.StateDone:
+				return
+			case service.StateFailed, service.StateCancelled:
+				b.Fatalf("job %s: %s (%s)", id, j.State, j.Error)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	pending := make([]string, 0, benchServiceInFlight)
+	for i := 0; i < b.N; i++ {
+		if len(pending) == benchServiceInFlight {
+			await(pending[0])
+			pending = pending[1:]
+		}
+		pending = append(pending, submit())
+	}
+	for _, id := range pending {
+		await(id)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "jobs/sec")
+	}
+	// The store now holds b.N terminal jobs; sanity-check one count so a
+	// silently dropped job cannot inflate the figure.
+	if done := srv.Metrics().JobsDone.Load(); done != int64(b.N) {
+		b.Fatalf("daemon finished %d jobs, submitted %d", done, b.N)
+	}
+}

@@ -56,6 +56,7 @@ var sections = map[string]string{
 	"BenchmarkExploreLinearizabilityWorkers4": "parallel_work_stealing",
 	"BenchmarkSampleThroughput":               "sample",
 	"BenchmarkSampleThroughputReplay":         "sample_replay",
+	"BenchmarkServiceThroughput":              "service",
 }
 
 // metrics is one section's measurements, in the baseline's JSON shape.
@@ -69,6 +70,7 @@ type metrics struct {
 	Schedules       float64 `json:"schedules,omitempty"`
 	DistinctStates  float64 `json:"distinct_states,omitempty"`
 	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
 	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp      float64 `json:"bytes_per_op,omitempty"`
 }
@@ -134,6 +136,9 @@ func main() {
 		// deterministic under the benchmark's fixed seed, so any drift is a
 		// behavior change, not noise; wall-clock throughput stays advisory.
 		rep.checkAdvisory(key, "schedules_per_sec", m.SchedulesPerSec, b.SchedulesPerSec, m.SchedulesPerSec >= b.SchedulesPerSec / *sampleRatio)
+		// The service section is end-to-end wall clock (HTTP round trips
+		// included), so its jobs/sec is advisory like the other rates.
+		rep.checkAdvisory(key, "jobs_per_sec", m.JobsPerSec, b.JobsPerSec, m.JobsPerSec >= b.JobsPerSec / *sampleRatio)
 		rep.check(key, "schedules", m.Schedules, b.Schedules, m.Schedules == b.Schedules)
 		rep.check(key, "distinct_states", m.DistinctStates, b.DistinctStates, m.DistinctStates == b.DistinctStates)
 	}
@@ -235,6 +240,8 @@ func parseBench(f *os.File) (map[string]*metrics, error) {
 				m.DistinctStates = v
 			case "schedules/sec":
 				m.SchedulesPerSec = v
+			case "jobs/sec":
+				m.JobsPerSec = v
 			case "allocs/op":
 				m.AllocsPerOp = v
 			case "B/op":

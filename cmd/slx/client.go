@@ -1,0 +1,224 @@
+package main
+
+// The slxd client half of the CLI: `slx submit` posts a check job to a
+// running daemon and `slx status` polls it. The flags mirror `slx
+// explore` one-to-one, because a JobSpec is the JSON form of the same
+// checker options: the daemon's report for a spec equals the in-process
+// report `slx explore` would print for the matching flags.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/slx"
+)
+
+const defaultAddr = "http://127.0.0.1:8321"
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	addr := fs.String("addr", defaultAddr, "slxd base URL")
+	wait := fs.Bool("wait", false, "poll until the job is terminal and print its result")
+	interval := fs.Duration("interval", 200*time.Millisecond, "poll interval (with -wait)")
+	target := fs.String("target", "consensus", fmt.Sprintf("check target: %s", strings.Join(service.TargetNames(), ", ")))
+	procs := fs.Int("procs", 0, "override the target's process count")
+	depth := fs.Int("depth", 12, "schedule depth")
+	crashes := fs.Int("crashes", 0, "crash budget")
+	batch := fs.Bool("batch", false, "legacy batch checking")
+	por := fs.Bool("por", false, "sleep-set partial-order reduction")
+	cache := fs.Bool("cache", false, "state-fingerprint cache")
+	sharedCache := fs.Bool("shared-cache", false, "share the daemon's visited tier for this target (needs -cache)")
+	workers := fs.Int("workers", 0, "engine workers (extra lanes are offered to the daemon's pool)")
+	replay := fs.Bool("replay", false, "force from-root replay execution")
+	timeout := fs.Duration("timeout", 0, "per-job wall-clock budget")
+	sampleMode := fs.Bool("sample", false, "probabilistic sampling instead of exhaustive enumeration")
+	schedules := fs.Int("schedules", 0, "sampled schedules (with -sample)")
+	d := fs.Int("d", 0, "PCT priority-change points per schedule (with -sample)")
+	seed := fs.Int64("seed", 0, "master seed; schedule i uses seed+i (with -sample)")
+	walk := fs.Bool("walk", false, "uniform random walk instead of PCT (with -sample)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := service.JobSpec{
+		Target: *target,
+		Spec: slx.Spec{
+			Procs:     *procs,
+			Depth:     *depth,
+			Crashes:   *crashes,
+			Workers:   *workers,
+			POR:       *por,
+			Cache:     *cache,
+			Batch:     *batch,
+			Replay:    *replay,
+			Sample:    *sampleMode,
+			Schedules: *schedules,
+			D:         *d,
+			Walk:      *walk,
+			Seed:      *seed,
+			TimeoutMs: timeout.Milliseconds(),
+		},
+		SharedCache: *sharedCache,
+	}
+	var job service.Job
+	if err := apiCall(http.MethodPost, *addr+"/v1/jobs", spec, &job); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s, %s)\n", job.ID, job.Spec.Target, job.Spec.Mode)
+	if !*wait {
+		fmt.Printf("poll with: slx status -addr %s %s\n", *addr, job.ID)
+		return nil
+	}
+	for !terminalState(job.State) {
+		time.Sleep(*interval)
+		if err := apiCall(http.MethodGet, *addr+"/v1/jobs/"+job.ID, nil, &job); err != nil {
+			return err
+		}
+	}
+	printJob(job)
+	if job.State == service.StateFailed {
+		return fmt.Errorf("job %s failed: %s", job.ID, job.Error)
+	}
+	if job.Result != nil && !job.Result.OK {
+		return fmt.Errorf("violation found by %s", job.ID)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	addr := fs.String("addr", defaultAddr, "slxd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("usage: slx status [-addr url] [job-id]")
+	}
+	if fs.NArg() == 1 {
+		var job service.Job
+		if err := apiCall(http.MethodGet, *addr+"/v1/jobs/"+fs.Arg(0), nil, &job); err != nil {
+			return err
+		}
+		printJob(job)
+		return nil
+	}
+	var jobs []service.Job
+	if err := apiCall(http.MethodGet, *addr+"/v1/jobs", nil, &jobs); err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	fmt.Printf("%-8s %-12s %-10s %-10s %s\n", "id", "target", "mode", "state", "result")
+	for _, j := range jobs {
+		res := ""
+		switch {
+		case j.Error != "" && j.Result == nil:
+			res = j.Error
+		case j.Result != nil && j.Result.OK && !j.Result.Interrupted:
+			res = "ok"
+		case j.Result != nil && j.Result.Interrupted:
+			res = "interrupted (partial)"
+		case j.Result != nil:
+			res = "VIOLATION"
+		}
+		fmt.Printf("%-8s %-12s %-10s %-10s %s\n", j.ID, j.Spec.Target, j.Spec.Mode, j.State, res)
+	}
+	return nil
+}
+
+// printJob renders one job with its result details.
+func printJob(j service.Job) {
+	fmt.Printf("%s: %s (%s, %s)", j.ID, j.State, j.Spec.Target, j.Spec.Mode)
+	if j.DurationMs > 0 {
+		fmt.Printf(", %dms", j.DurationMs)
+	}
+	fmt.Println()
+	if j.Error != "" {
+		fmt.Printf("  error: %s\n", j.Error)
+	}
+	r := j.Result
+	if r == nil {
+		return
+	}
+	if r.Sampled {
+		fmt.Printf("  schedules %d, distinct states %d", r.Schedules, r.DistinctStates)
+		if r.FailingSeed != 0 {
+			fmt.Printf(", failing seed %d", r.FailingSeed)
+		}
+	} else {
+		fmt.Printf("  prefixes %d, sim steps %d", r.Prefixes, r.SimSteps)
+		if r.CacheHits > 0 {
+			fmt.Printf(", cache hits %d", r.CacheHits)
+		}
+	}
+	if r.Interrupted {
+		fmt.Printf(", interrupted")
+	}
+	fmt.Println()
+	for _, v := range r.Verdicts {
+		if v.Holds {
+			fmt.Printf("  %s: PASS\n", v.Property)
+		} else {
+			fmt.Printf("  %s: FAIL (%s)\n", v.Property, v.Reason)
+		}
+	}
+	if len(r.Witness) > 0 {
+		w, _ := json.Marshal(r.Witness)
+		fmt.Printf("  witness: %s\n", w)
+	}
+}
+
+// terminalState mirrors the service's terminal-state set.
+func terminalState(s string) bool {
+	return s == service.StateDone || s == service.StateFailed || s == service.StateCancelled
+}
+
+// apiCall performs one JSON round-trip against the daemon; non-2xx
+// responses surface the daemon's error message.
+func apiCall(method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}

@@ -11,16 +11,22 @@
 //	slx theorem49                        Theorem 4.9 over I_t / I_b automata
 //	slx explore   [-target consensus] [-depth 12]  exhaustive safety check
 //	slx explore   -sample [-schedules N] [-d K] [-seed S]  probabilistic (PCT) check
+//	slx submit    [-addr URL] [-wait] ...        submit a check job to an slxd daemon
+//	slx status    [-addr URL] [job-id]           show one slxd job, or list all
 //	slx report                           full paper-versus-measured summary
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/service"
 	"repro/slx"
 	"repro/slx/adversary"
 	"repro/slx/check"
@@ -48,8 +54,35 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay] [-sample] [-schedules n] [-d k] [-seed s] [-walk]", "exhaustive or sampled (PCT) safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay] [-timeout d] [-sample] [-schedules n] [-d k] [-seed s] [-walk]", "exhaustive or sampled (PCT) safety check", cmdExplore},
+	{"submit", "[-addr url] [-wait] <explore flags>", "submit a check job to an slxd daemon", cmdSubmit},
+	{"status", "[-addr url] [job-id]", "show one slxd job, or list all", cmdStatus},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
+}
+
+// baseContext parents explore's signal context; tests swap it to drive
+// the interrupt path without delivering a real SIGINT to the process.
+var baseContext = context.Background()
+
+// exitCodeError carries a specific process exit code through dispatch:
+// interrupted explorations exit 130 (the shell's SIGINT convention) and
+// timed-out ones 124 (the timeout(1) convention), distinct from the
+// generic 1 of a found violation.
+type exitCodeError struct {
+	code int
+	err  error
+}
+
+func (e *exitCodeError) Error() string { return e.err.Error() }
+func (e *exitCodeError) Unwrap() error { return e.err }
+
+// exitCode maps a dispatch error to the process exit code.
+func exitCode(err error) int {
+	var ec *exitCodeError
+	if errors.As(err, &ec) {
+		return ec.code
+	}
+	return 1
 }
 
 // usage renders the one-line and per-command usage from the table.
@@ -66,7 +99,7 @@ func usage() string {
 func main() {
 	if err := dispatch(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "slx:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -236,13 +269,14 @@ func cmdTheorem49() error {
 
 func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	target := fs.String("target", "consensus", "consensus, i12, globalcas, or lossyreg (a seeded bug)")
+	target := fs.String("target", "consensus", fmt.Sprintf("check target: %s", strings.Join(service.TargetNames(), ", ")))
 	depth := fs.Int("depth", 12, "schedule depth")
 	batch := fs.Bool("batch", false, "legacy batch checking (re-judge every prefix) instead of incremental monitors")
 	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
 	cache := fs.Bool("cache", false, "state-fingerprint cache (prune subtrees rooted at already-explored states)")
 	workers := fs.Int("workers", 1, "explore with n work-stealing workers")
 	replay := fs.Bool("replay", false, "force from-root replay execution (disable incremental sessions)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget; an expired exploration reports partial statistics and exits 124")
 	sampleMode := fs.Bool("sample", false, "probabilistic sampling instead of exhaustive enumeration")
 	schedules := fs.Int("schedules", 10000, "sampled schedules (with -sample)")
 	d := fs.Int("d", 3, "PCT priority-change points per schedule (with -sample)")
@@ -251,7 +285,22 @@ func cmdExplore(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := []slx.Option{slx.WithProcs(2), slx.WithDepth(*depth), slx.WithWorkers(*workers)}
+	tgt, ok := service.LookupTarget(*target)
+	if !ok {
+		return fmt.Errorf("unknown target %q (targets: %s)", *target, strings.Join(service.TargetNames(), ", "))
+	}
+	// Ctrl-C cancels the exploration instead of killing the process:
+	// Explore unwinds with a partial, Interrupted report, which is
+	// printed before exiting 130. A second SIGINT kills hard (stop()
+	// restores default delivery once the context fires).
+	ctx, stop := signal.NotifyContext(baseContext, os.Interrupt)
+	defer stop()
+	prop := tgt.Property()
+	opts := append(tgt.Options(),
+		slx.WithDepth(*depth), slx.WithWorkers(*workers), slx.WithContext(ctx))
+	if *timeout > 0 {
+		opts = append(opts, slx.WithTimeout(*timeout))
+	}
 	if *batch {
 		opts = append(opts, slx.WithBatchExplore())
 	}
@@ -270,45 +319,23 @@ func cmdExplore(args []string) error {
 			opts = append(opts, slx.WithSampleWalk())
 		}
 	}
-	var prop slx.Property
-	switch *target {
-	case "consensus":
-		prop = check.AgreementValidity()
-		opts = append(opts,
-			slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
-			slx.WithEnv(func() run.Environment {
-				return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
-			}))
-	case "i12", "globalcas":
-		tpl := map[int]tm.Txn{
-			1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
-			2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
-		}
-		opts = append(opts, slx.WithEnv(func() run.Environment { return tm.TxnLoop(tpl) }))
-		if *target == "i12" {
-			prop = check.PropertyS()
-			opts = append(opts, slx.WithObject(func() run.Object { return tm.NewI12(2) }))
-		} else {
-			prop = check.Opacity()
-			opts = append(opts, slx.WithObject(func() run.Object { return tm.NewGlobalCAS(2) }))
-		}
-	case "lossyreg":
-		prop = check.Linearizability(check.RegisterSpec{Initial: 0})
-		opts = append(opts,
-			slx.WithObject(func() run.Object { return &lossyRegister{v: 0} }),
-			slx.WithEnv(func() run.Environment {
-				return run.Script(map[int][]run.Invocation{
-					1: {{Op: "write", Arg: 1}, {Op: "read"}},
-					2: {{Op: "write", Arg: 2}, {Op: "read"}},
-				})
-			}))
-	default:
-		return fmt.Errorf("unknown target %q", *target)
-	}
 	start := time.Now()
 	rep, err := slx.New(opts...).Explore(prop)
 	elapsed := time.Since(start)
 	if err != nil {
+		if rep != nil && rep.Interrupted {
+			if rep.Sampled {
+				printSampleColumns(rep, elapsed)
+			} else {
+				fmt.Printf("interrupted after %d prefixes (%d simulator steps) in %.1fs: partial exploration, no verdicts\n",
+					rep.Prefixes, rep.SimSteps, elapsed.Seconds())
+			}
+			code := 130
+			if errors.Is(err, context.DeadlineExceeded) {
+				code = 124
+			}
+			return &exitCodeError{code: code, err: fmt.Errorf("interrupted: %w", err)}
+		}
 		return err
 	}
 	if rep.Sampled {
@@ -370,45 +397,3 @@ func printSampleColumns(rep *slx.Report, elapsed time.Duration) {
 		fmt.Printf("no violation on %d sampled schedules — probabilistic evidence, not exhaustive proof\n", rep.Schedules)
 	}
 }
-
-// lossyRegister is the seeded-bug exploration target: process 2's writes
-// acknowledge without taking effect, so its write-then-read history is
-// not linearizable. Both exhaustive explore (-depth 8) and sampling
-// (-sample) find it, exercising the non-zero exit path.
-type lossyRegister struct{ v hist.Value }
-
-func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
-	var out hist.Value
-	switch inv.Op {
-	case "read":
-		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
-			p.Access("r", false)
-			out = r.v
-			p.Observe(out)
-		})
-	case "write":
-		p.Exec("write", func() {
-			out = hist.OK
-			if p.Replaying() {
-				return
-			}
-			p.Access("r", true)
-			if p.ID() != 2 {
-				r.v = inv.Arg
-			}
-		})
-	}
-	return out
-}
-
-func (r *lossyRegister) Footprints() bool { return true }
-
-func (r *lossyRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
-
-func (r *lossyRegister) Snapshot() any { return r.v }
-
-func (r *lossyRegister) Restore(s any) { r.v = s }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
 
 // TestExploreExitCodes: dispatch returns an error (→ non-zero process
 // exit in main) exactly when a violation is found, in both exhaustive
@@ -43,5 +50,87 @@ func TestExploreExitCodes(t *testing.T) {
 				t.Fatalf("dispatch(%v) err=%v, want error=%v", tc.args, err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestExploreTimeout: -timeout cuts an exhaustive exploration short and
+// maps to exit code 124 (the timeout(1) convention), distinct from the
+// violation exit 1.
+func TestExploreTimeout(t *testing.T) {
+	// Exhaustive queueblast above depth 10 cannot finish in any test
+	// budget, so the run can only end via the deadline.
+	err := dispatch([]string{"explore", "-target", "queueblast", "-depth", "12", "-timeout", "150ms"})
+	if err == nil {
+		t.Fatal("timed-out exploration should report an error")
+	}
+	if code := exitCode(err); code != 124 {
+		t.Fatalf("exit code %d (%v), want 124", code, err)
+	}
+}
+
+// TestExploreInterrupted: cancelling the base context (what a SIGINT
+// does through signal.NotifyContext) unwinds with a partial report and
+// exit code 130, in both exploration modes.
+func TestExploreInterrupted(t *testing.T) {
+	cases := map[string][]string{
+		"exhaustive": {"explore", "-target", "queueblast", "-depth", "12"},
+		"sample":     {"explore", "-target", "consensus", "-sample", "-schedules", "2000000000", "-d", "3", "-depth", "8"},
+	}
+	for name, args := range cases {
+		args := args
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			old := baseContext
+			baseContext = ctx
+			defer func() { baseContext = old }()
+			go func() {
+				time.Sleep(100 * time.Millisecond)
+				cancel()
+			}()
+			err := dispatch(args)
+			if err == nil {
+				t.Fatal("interrupted exploration should report an error")
+			}
+			if code := exitCode(err); code != 130 {
+				t.Fatalf("exit code %d (%v), want 130", code, err)
+			}
+		})
+	}
+}
+
+// TestSubmitStatusRoundTrip drives the client subcommands against an
+// in-process daemon: submit -wait returns the violation exit path and
+// status renders both the listing and a single job.
+func TestSubmitStatusRoundTrip(t *testing.T) {
+	srv, err := service.NewServer(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	if err := dispatch([]string{"submit", "-addr", hs.URL, "-wait", "-target", "consensus", "-depth", "6"}); err != nil {
+		t.Fatalf("clean submit -wait: %v", err)
+	}
+	if err := dispatch([]string{"submit", "-addr", hs.URL, "-wait", "-target", "lossyreg", "-depth", "8"}); err == nil {
+		t.Fatal("violating submit -wait should exit non-zero")
+	}
+	if err := dispatch([]string{"status", "-addr", hs.URL}); err != nil {
+		t.Fatalf("status list: %v", err)
+	}
+	if err := dispatch([]string{"status", "-addr", hs.URL, "job-1"}); err != nil {
+		t.Fatalf("status job-1: %v", err)
+	}
+	if err := dispatch([]string{"status", "-addr", hs.URL, "job-999"}); err == nil {
+		t.Fatal("status for a missing job should fail")
+	}
+	// An invalid spec is rejected at submit time with the daemon's 400.
+	if err := dispatch([]string{"submit", "-addr", hs.URL, "-target", "consensus", "-sample", "-por", "-schedules", "10"}); err == nil {
+		t.Fatal("invalid spec should be rejected")
 	}
 }

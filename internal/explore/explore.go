@@ -135,6 +135,18 @@ type Config struct {
 	// the preorder-least (lexicographically least) schedule prefix, the
 	// one sequential DFS reaches first — regardless of worker timing.
 	Workers int
+	// Spawn optionally offers the extra worker loops of Workers > 1 to
+	// an external executor instead of spawning goroutines: loop 0 always
+	// runs inline on the calling goroutine (so the exploration makes
+	// progress no matter what the executor does), and each remaining
+	// loop is offered once. Spawn returns whether it accepted the loop;
+	// an accepted loop must eventually be run (it exits promptly if the
+	// subtree pool has drained by then), a declined loop is simply not
+	// started. This is how the slxd service pool bounds the total
+	// exploration concurrency across jobs: stolen-subtree sub-tasks run
+	// on whichever pool slots accept a loop. Statistics stay worker-count
+	// independent either way. Nil spawns goroutines as before.
+	Spawn func(loop func()) bool
 	// POR enables sleep-set partial-order reduction: subtrees whose first
 	// step is asleep (covered, up to commuting independent steps, by an
 	// already-explored sibling) are skipped and counted in Stats.Pruned.
@@ -165,6 +177,19 @@ type Config struct {
 	// with Workers > 1 the shared visited set makes WHICH equivalent
 	// witness is found timing-dependent (verdicts are unaffected).
 	Cache bool
+	// Visited optionally supplies the visited-set tier Cache uses, so
+	// the tier outlives one exploration and is shared across several
+	// (the slxd service shares one tier per target). Sharing is sound
+	// only between explorations with identical NewObject, NewEnv and
+	// NewMonitors semantics: entries carry their remaining depth/crash
+	// budgets and sleep sets, so differing Depth, Crashes or POR
+	// settings compose through the usual domination rules, but a
+	// different object or monitor family would make equal digests
+	// meaningless. Pre-populated entries can change WHICH equivalent
+	// witness a violated exploration reports (verdicts are unaffected),
+	// exactly like the Workers > 1 sharing. Nil (or Cache unset) keeps
+	// the cache private to the exploration.
+	Visited *Visited
 	// Ctx optionally cancels the exploration; it is polled once per
 	// explored prefix and its error returned as-is.
 	Ctx context.Context
@@ -306,7 +331,11 @@ func Run(cfg Config) (*Stats, error) {
 		g.incremental = sim.CanSnapshot(cfg.NewObject())
 	}
 	if cfg.Cache {
-		g.visited = newVisitedSet()
+		if cfg.Visited != nil {
+			g.visited = cfg.Visited.set
+		} else {
+			g.visited = newVisitedSet()
+		}
 	}
 	workers := cfg.Workers
 	if workers < 1 {

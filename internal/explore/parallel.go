@@ -134,14 +134,29 @@ func (g *engine) runParallel(workers int) (*Stats, error) {
 	p.deques[0] = append(p.deques[0], &wsTask{ms: ms}) // the root subtree: the whole tree
 	p.outstanding = 1
 
+	// Loop 0 runs inline on the calling goroutine so the exploration
+	// always makes progress; the remaining loops are either spawned as
+	// goroutines or offered to the external executor (Config.Spawn),
+	// which may decline them. A loop that starts after the pool has
+	// drained exits immediately, so late-running accepted offers are
+	// harmless.
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for i := 1; i < workers; i++ {
+		id := i
 		wg.Add(1)
-		go func(id int) {
+		loop := func() {
 			defer wg.Done()
 			p.run(id)
-		}(i)
+		}
+		if g.cfg.Spawn != nil {
+			if !g.cfg.Spawn(loop) {
+				wg.Done()
+			}
+		} else {
+			go loop()
+		}
 	}
+	p.run(0)
 	wg.Wait()
 	if p.fatalErr != nil {
 		return total, p.fatalErr

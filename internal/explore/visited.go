@@ -19,6 +19,31 @@ type visitedSet struct {
 	shards [visitedShards]visitedShard
 }
 
+// Visited is a visited-set cache tier that can be handed to an
+// exploration via Config.Visited and shared across several explorations
+// of the same object/environment/monitor family (see the Config.Visited
+// contract for when sharing is sound). The zero value is not usable;
+// construct with NewVisited.
+type Visited struct {
+	set *visitedSet
+}
+
+// NewVisited creates an empty shareable visited-set tier.
+func NewVisited() *Visited { return &Visited{set: newVisitedSet()} }
+
+// Len reports how many distinct cache keys the tier holds (a coarse
+// size measure for service metrics; entries per key are not counted).
+func (v *Visited) Len() int {
+	n := 0
+	for i := range v.set.shards {
+		s := &v.set.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 const visitedShards = 64
 
 type visitedShard struct {

@@ -81,9 +81,21 @@ type Config struct {
 	// Seed+i, so a schedule is reproduced by re-running with its
 	// recorded seed and Schedules=1.
 	Seed int64
-	// Workers is the number of sampling goroutines (clamped to [1,
+	// Workers is the number of sampling lanes (clamped to [1,
 	// Schedules]). Stats are worker-count independent.
 	Workers int
+	// Spawn optionally offers the extra worker loops of Workers > 1 to
+	// an external executor instead of spawning goroutines: loop 0
+	// always runs inline on the calling goroutine, so the run makes
+	// progress regardless of what the executor does with the offers.
+	// Spawn returns whether it accepted a loop; an accepted loop must
+	// eventually be run (it exits promptly when no chunks remain), a
+	// declined one is simply not started. This is how the slxd service
+	// distributes a job's fixed ChunkSize-index chunks across its
+	// bounded worker pool while keeping the merged Stats — including
+	// which failure is reported — identical to the in-process run. Nil
+	// spawns goroutines as before.
+	Spawn func(loop func()) bool
 	// ForceReplay forces from-root execution even when the object
 	// supports session reuse (for cross-checking and benchmarking).
 	ForceReplay bool
@@ -129,11 +141,14 @@ type Stats struct {
 	Interrupted bool
 }
 
-// chunkSize is the work-claiming granularity: workers claim blocks of
-// consecutive schedule indices, and blocks merge in index order. A pure
-// constant (never derived from timing) so the merge order is
-// reproducible.
-const chunkSize = 64
+// ChunkSize is the work-claiming granularity: workers claim blocks of
+// ChunkSize consecutive schedule indices, and blocks merge in index
+// order. A pure constant (never derived from timing or worker count) so
+// the merge order — and with it every Stats field — is reproducible no
+// matter which worker, goroutine or external pool slot (Config.Spawn)
+// executes which chunk. Exported so the service layer can report and
+// document its sharding granularity without restating the number.
+const ChunkSize = 64
 
 // schedRec is the per-schedule record a worker hands to the merge.
 type schedRec struct {
@@ -173,7 +188,7 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	p := &pool{
 		cfg:        &cfg,
-		chunks:     (cfg.Schedules + chunkSize - 1) / chunkSize,
+		chunks:     (cfg.Schedules + ChunkSize - 1) / ChunkSize,
 		pending:    make(map[int]*chunkResult),
 		maxPending: 4 * workers,
 		distinct:   make(map[uint64]struct{}),
@@ -181,14 +196,27 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.failBound.Store(math.MaxInt64)
+	// Loop 0 runs inline on the calling goroutine so the run always
+	// makes progress; the remaining loops are goroutines, or offers to
+	// the external executor (Config.Spawn), which may decline them. A
+	// loop that starts after every chunk is claimed exits immediately,
+	// so late-running accepted offers are harmless.
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for i := 1; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		loop := func() {
 			defer wg.Done()
 			p.worker()
-		}()
+		}
+		if cfg.Spawn != nil {
+			if !cfg.Spawn(loop) {
+				wg.Done()
+			}
+		} else {
+			go loop()
+		}
 	}
+	p.worker()
 	wg.Wait()
 	p.st.DistinctStates = len(p.distinct)
 	switch {
@@ -281,7 +309,7 @@ func (p *pool) claim() int {
 		if p.nextChunk >= p.chunks {
 			return -1
 		}
-		if int64(p.nextChunk)*chunkSize > p.failBound.Load() {
+		if int64(p.nextChunk)*ChunkSize > p.failBound.Load() {
 			return -1
 		}
 		if p.nextChunk-p.cursor < p.maxPending {
@@ -296,8 +324,8 @@ func (p *pool) claim() int {
 // runChunk samples the chunk's schedules, polling the context and the
 // failure bound before each one.
 func (p *pool) runChunk(r runner, c int) *chunkResult {
-	lo := c * chunkSize
-	hi := lo + chunkSize
+	lo := c * ChunkSize
+	hi := lo + ChunkSize
 	if hi > p.cfg.Schedules {
 		hi = p.cfg.Schedules
 	}
@@ -354,7 +382,7 @@ func (p *pool) submit(c int, res *chunkResult) {
 // whole merge at the first violated or unexecuted record. Callers hold
 // p.mu.
 func (p *pool) merge(c int, res *chunkResult) {
-	lo := c * chunkSize
+	lo := c * ChunkSize
 	for i := range res.recs {
 		rec := &res.recs[i]
 		if !rec.ran {

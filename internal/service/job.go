@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/slx"
+	"repro/slx/run"
+)
+
+// Job states. A job is queued on admission, running once a pool worker
+// picks it up, and ends in exactly one of done (exploration finished,
+// verdicts present — including found violations), failed (the checker
+// returned a non-cancellation error), or cancelled (DELETE, job
+// timeout, or daemon shutdown cut it short; the partial report, marked
+// Interrupted, is still stored).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobSpec is the body of POST /v1/jobs: a target name, the slx.Spec
+// exploration options (flattened into the same JSON object), and the
+// service-level knobs that have no in-process counterpart.
+type JobSpec struct {
+	// Target names a registered check target (GET /v1/targets lists
+	// them).
+	Target string `json:"target"`
+	// Mode optionally restates the exploration mode: "exhaustive" or
+	// "sample". It is redundant with the sample field — "sample" sets
+	// it, "exhaustive" requires it unset — and exists so that a job
+	// file reads unambiguously.
+	Mode string `json:"mode,omitempty"`
+	// Spec carries the one-to-one mapping onto Checker options.
+	slx.Spec
+	// SharedCache opts the job into the daemon's shared visited-set
+	// tier for its target (slx.WithVisitedTier): exhaustive jobs on the
+	// same target then skip subtrees other jobs already explored.
+	// Requires cache (WithStateCache), like the in-process option.
+	SharedCache bool `json:"shared_cache,omitempty"`
+}
+
+// normalize folds the redundant Mode field into the spec, rejecting
+// contradictions. Validation proper happens against a real Checker so
+// the HTTP 400 carries the in-process error message.
+func (s *JobSpec) normalize() error {
+	switch s.Mode {
+	case "":
+		if s.Sample {
+			s.Mode = "sample"
+		} else {
+			s.Mode = "exhaustive"
+		}
+	case "exhaustive":
+		if s.Sample {
+			return fmt.Errorf(`mode "exhaustive" contradicts "sample": true`)
+		}
+	case "sample":
+		s.Sample = true
+	default:
+		return fmt.Errorf(`unknown mode %q (want "exhaustive" or "sample")`, s.Mode)
+	}
+	return nil
+}
+
+// Job is a submitted check job as the API returns it: the spec, the
+// lifecycle state with its timestamps, and — once terminal — the result
+// or the failure message.
+type Job struct {
+	ID        string    `json:"id"`
+	Spec      JobSpec   `json:"spec"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	// DurationMs is Finished-Started for terminal jobs.
+	DurationMs int64 `json:"duration_ms,omitempty"`
+	// Result is the exploration report, present on done and (partial,
+	// interrupted) on cancelled jobs.
+	Result *Result `json:"result,omitempty"`
+	// Error is the failure message on failed jobs and the cancellation
+	// cause on cancelled ones.
+	Error string `json:"error,omitempty"`
+}
+
+// Result is the JSON projection of an slx.Report: every field a client
+// needs to compare against an in-process run — verdicts, the replayable
+// witness schedule, the failing seed, and the deterministic counters.
+type Result struct {
+	OK          bool `json:"ok"`
+	Interrupted bool `json:"interrupted,omitempty"`
+
+	// Exhaustive-mode statistics.
+	Prefixes  int `json:"prefixes,omitempty"`
+	Pruned    int `json:"pruned,omitempty"`
+	CacheHits int `json:"cache_hits,omitempty"`
+
+	// Sampling-mode statistics.
+	Sampled        bool  `json:"sampled,omitempty"`
+	Schedules      int   `json:"schedules,omitempty"`
+	DistinctStates int   `json:"distinct_states,omitempty"`
+	FailingSeed    int64 `json:"failing_seed,omitempty"`
+
+	// Shared statistics.
+	SimSteps   int `json:"sim_steps,omitempty"`
+	Resims     int `json:"resims,omitempty"`
+	EventScans int `json:"event_scans,omitempty"`
+	Workers    int `json:"workers,omitempty"`
+
+	Verdicts []VerdictResult `json:"verdicts,omitempty"`
+	// Witness is the first failing verdict's schedule: feed it to
+	// Checker.Replay (or `slx explore`'s replay path) against the same
+	// target to reproduce the violation deterministically.
+	Witness []run.Decision `json:"witness,omitempty"`
+}
+
+// VerdictResult is the JSON projection of an slx.Verdict.
+type VerdictResult struct {
+	Property string         `json:"property"`
+	Holds    bool           `json:"holds"`
+	Reason   string         `json:"reason,omitempty"`
+	Witness  []run.Decision `json:"witness,omitempty"`
+}
+
+// NewResult projects a report into its JSON form.
+func NewResult(rep *slx.Report) *Result {
+	r := &Result{
+		OK:             rep.OK(),
+		Interrupted:    rep.Interrupted,
+		Prefixes:       rep.Prefixes,
+		Pruned:         rep.Pruned,
+		CacheHits:      rep.CacheHits,
+		Sampled:        rep.Sampled,
+		Schedules:      rep.Schedules,
+		DistinctStates: rep.DistinctStates,
+		FailingSeed:    rep.FailingSeed,
+		SimSteps:       rep.SimSteps,
+		Resims:         rep.Resims,
+		EventScans:     rep.EventScans,
+		Workers:        rep.Workers,
+		Witness:        rep.Witness(),
+	}
+	for _, v := range rep.Verdicts {
+		r.Verdicts = append(r.Verdicts, VerdictResult{
+			Property: v.Property,
+			Holds:    v.Holds,
+			Reason:   v.Reason,
+			Witness:  v.Witness,
+		})
+	}
+	return r
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's dependency-free metrics registry. Counters
+// and gauges are atomics; the one histogram is a fixed-bucket job
+// duration histogram. WriteTo renders the whole registry in the
+// Prometheus text exposition format, so GET /metrics is scrapeable
+// without importing a client library.
+type Metrics struct {
+	start time.Time
+
+	// Job lifecycle. Queued and Running are gauges (current depth of
+	// the queue and the pool); the rest are monotone counters.
+	JobsQueued    atomic.Int64
+	JobsRunning   atomic.Int64
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+
+	// Exploration work, summed over finished jobs: explored prefixes
+	// and state-cache hits (exhaustive), merged schedules (sampling).
+	Prefixes  atomic.Int64
+	CacheHits atomic.Int64
+	Schedules atomic.Int64
+
+	// durations is the per-job wall-clock histogram: bucket[i] counts
+	// jobs with duration <= durationBuckets[i], cumulatively, plus the
+	// +Inf bucket at the end. sum is total nanoseconds.
+	durations [len(durationBuckets) + 1]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+}
+
+// durationBuckets are the histogram's upper bounds, in seconds.
+var durationBuckets = [...]float64{0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// NewMetrics returns a registry; start anchors the schedules/sec rate.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveJob records one finished job's duration.
+func (m *Metrics) ObserveJob(d time.Duration) {
+	s := d.Seconds()
+	for i, le := range durationBuckets {
+		if s <= le {
+			m.durations[i].Add(1)
+		}
+	}
+	m.durations[len(durationBuckets)].Add(1)
+	m.count.Add(1)
+	m.sum.Add(int64(d))
+}
+
+// WriteTo renders the registry in Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("slxd_jobs_queued", "Jobs waiting in the queue.", m.JobsQueued.Load())
+	gauge("slxd_jobs_running", "Jobs currently on a worker.", m.JobsRunning.Load())
+	counter("slxd_jobs_done_total", "Jobs finished with verdicts.", m.JobsDone.Load())
+	counter("slxd_jobs_failed_total", "Jobs failed with an error.", m.JobsFailed.Load())
+	counter("slxd_jobs_cancelled_total", "Jobs cancelled or timed out.", m.JobsCancelled.Load())
+	counter("slxd_prefixes_explored_total", "Schedule prefixes explored by exhaustive jobs.", m.Prefixes.Load())
+	counter("slxd_cache_hits_total", "State-cache subtree hits across jobs.", m.CacheHits.Load())
+	counter("slxd_schedules_total", "Sampled schedules merged across jobs.", m.Schedules.Load())
+
+	rate := 0.0
+	if up := time.Since(m.start).Seconds(); up > 0 {
+		rate = float64(m.Schedules.Load()) / up
+	}
+	fmt.Fprintf(cw, "# HELP slxd_schedules_per_second Sampled schedules per second of daemon uptime.\n# TYPE slxd_schedules_per_second gauge\nslxd_schedules_per_second %g\n", rate)
+
+	fmt.Fprintf(cw, "# HELP slxd_job_duration_seconds Wall-clock duration of finished jobs.\n# TYPE slxd_job_duration_seconds histogram\n")
+	for i, le := range durationBuckets {
+		fmt.Fprintf(cw, "slxd_job_duration_seconds_bucket{le=%q} %d\n", trimFloat(le), m.durations[i].Load())
+	}
+	fmt.Fprintf(cw, "slxd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.durations[len(durationBuckets)].Load())
+	fmt.Fprintf(cw, "slxd_job_duration_seconds_sum %g\n", time.Duration(m.sum.Load()).Seconds())
+	fmt.Fprintf(cw, "slxd_job_duration_seconds_count %d\n", m.count.Load())
+	return cw.n, cw.err
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do:
+// shortest decimal form.
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// countingWriter tracks bytes and the first error for WriteTo's
+// contract.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

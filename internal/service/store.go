@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the results store: an in-memory job table with an optional
+// JSON-file spill directory. Every mutation goes through the store so
+// handlers always observe a consistent job; reads return copies. With a
+// spill directory, terminal jobs are written to job-<id>.json as they
+// finish and loaded back on startup, so a restarted daemon still serves
+// past results (their IDs are skipped by the ID counter).
+type Store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	dir  string // spill directory, "" for memory-only
+	next int    // next job ID ordinal
+}
+
+// NewStore opens a store. dir is the spill directory ("" disables
+// spilling); existing job-*.json files in it are loaded.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{jobs: make(map[string]*Job), dir: dir, next: 1}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: spill dir: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: spill dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("service: spill load: %w", err)
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("service: spill load %s: %w", name, err)
+		}
+		s.jobs[j.ID] = &j
+		if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "job-"), ".json")); err == nil && n >= s.next {
+			s.next = n + 1
+		}
+	}
+	return s, nil
+}
+
+// Add registers a new job under a fresh ID and returns a copy.
+func (s *Store) Add(spec JobSpec) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := fmt.Sprintf("job-%d", s.next)
+	s.next++
+	j := &Job{ID: id, Spec: spec, State: StateQueued, Submitted: time.Now()}
+	s.jobs[id] = j
+	return *j
+}
+
+// Delete removes a job (used to roll back an admission the queue could
+// not take).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}
+
+// Get returns a copy of the job.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns copies of all jobs, ordered by ID ordinal.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return jobOrdinal(out[i].ID) < jobOrdinal(out[k].ID) })
+	return out
+}
+
+// Update applies fn to the job under the store lock and spills it when
+// fn left it in a terminal state. The *Job passed to fn is the stored
+// one; fn must not retain it.
+func (s *Store) Update(id string, fn func(*Job)) (Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, false
+	}
+	fn(j)
+	cp := *j
+	s.mu.Unlock()
+	if s.dir != "" && terminal(cp.State) {
+		s.spill(cp)
+	}
+	return cp, true
+}
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// spill writes one terminal job to its JSON file (write-then-rename so
+// a crashed daemon never leaves a torn file for the next load).
+func (s *Store) spill(j Job) {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.dir, j.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// jobOrdinal extracts the numeric part of a job ID for ordering.
+func jobOrdinal(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}

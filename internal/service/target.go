@@ -1,0 +1,256 @@
+// Package service implements the slxd exploration service: a daemon
+// that accepts check jobs over HTTP/JSON, runs them on a bounded worker
+// pool where each worker drives an ordinary slx.Checker, and keeps the
+// resulting reports in a results store. Sharding happens underneath the
+// public API — engine worker loops are offered to the shared pool via
+// slx.WithExecutor — so a job's report is identical to the in-process
+// report by construction: same verdicts, same witness schedules, same
+// deterministic counters.
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/slx"
+	"repro/slx/check"
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+	"repro/slx/tm"
+)
+
+// Target is one named check target: the object, environment and process
+// count to explore, plus the property to check. A job names a target;
+// the registry supplies the code halves of the checker that the job's
+// Spec cannot carry over JSON.
+type Target struct {
+	// Name is the registry key, as it appears in a JobSpec.
+	Name string
+	// About is the one-line description shown in listings.
+	About string
+	// Options builds the target's object, environment and process-count
+	// options. Spec options are appended after these, so a spec that
+	// sets procs overrides the target default.
+	Options func() []slx.Option
+	// Property builds the property to check. Called per job: monitors
+	// are stateful, so targets must not share property instances.
+	Property func() slx.Property
+}
+
+// targets is the registry. cmd/slx explore and the slxd daemon both
+// resolve target names here, so the CLI and the service cannot drift.
+var targets = map[string]Target{
+	"consensus": {
+		Name:  "consensus",
+		About: "commit-adopt consensus, agreement+validity",
+		Options: func() []slx.Option {
+			return []slx.Option{
+				slx.WithProcs(2),
+				slx.WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+				slx.WithEnv(func() run.Environment {
+					return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+				}),
+			}
+		},
+		Property: func() slx.Property { return check.AgreementValidity() },
+	},
+	"i12": {
+		Name:    "i12",
+		About:   "TM implementation I_12, property S",
+		Options: func() []slx.Option { return tmTarget(func() run.Object { return tm.NewI12(2) }) },
+		Property: func() slx.Property {
+			return check.PropertyS()
+		},
+	},
+	"globalcas": {
+		Name:    "globalcas",
+		About:   "global-CAS TM, opacity",
+		Options: func() []slx.Option { return tmTarget(func() run.Object { return tm.NewGlobalCAS(2) }) },
+		Property: func() slx.Property {
+			return check.Opacity()
+		},
+	},
+	"lossyreg": {
+		Name:  "lossyreg",
+		About: "seeded-bug register (process 2's writes are lost), linearizability",
+		Options: func() []slx.Option {
+			return []slx.Option{
+				slx.WithProcs(2),
+				slx.WithObject(func() run.Object { return &lossyRegister{v: 0} }),
+				slx.WithEnv(func() run.Environment {
+					return run.Script(map[int][]run.Invocation{
+						1: {{Op: "write", Arg: 1}, {Op: "read"}},
+						2: {{Op: "write", Arg: 2}, {Op: "read"}},
+					})
+				}),
+			}
+		},
+		Property: func() slx.Property {
+			return check.Linearizability(check.RegisterSpec{Initial: 0})
+		},
+	},
+	"queueblast": {
+		Name:  "queueblast",
+		About: "seeded deep-bug evicting queue, 8 procs, linearizability",
+		Options: func() []slx.Option {
+			return []slx.Option{
+				slx.WithProcs(8),
+				slx.WithObject(func() run.Object { return &blastQueue{} }),
+				slx.WithEnv(func() run.Environment {
+					script := map[int][]run.Invocation{}
+					for p := 1; p <= 4; p++ {
+						script[p] = []run.Invocation{{Op: "enq", Arg: fmt.Sprintf("v%d", p)}}
+					}
+					for p := 5; p <= 8; p++ {
+						script[p] = []run.Invocation{{Op: "deq"}, {Op: "deq"}}
+					}
+					return run.Script(script)
+				}),
+			}
+		},
+		Property: func() slx.Property {
+			return check.Linearizability(check.QueueSpec{})
+		},
+	},
+}
+
+// tmTarget is the shared environment of the two TM targets: each
+// process loops a single-write transaction on the same variable.
+func tmTarget(newObj func() run.Object) []slx.Option {
+	tpl := map[int]tm.Txn{
+		1: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 1}}},
+		2: {Accesses: []tm.Access{{Write: true, Var: "x", Val: 2}}},
+	}
+	return []slx.Option{
+		slx.WithProcs(2),
+		slx.WithObject(newObj),
+		slx.WithEnv(func() run.Environment { return tm.TxnLoop(tpl) }),
+	}
+}
+
+// LookupTarget resolves a registered target by name.
+func LookupTarget(name string) (Target, bool) {
+	t, ok := targets[name]
+	return t, ok
+}
+
+// TargetNames lists the registered targets in sorted order.
+func TargetNames() []string {
+	names := make([]string, 0, len(targets))
+	for n := range targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lossyRegister is the seeded-bug register target: process 2's writes
+// acknowledge without taking effect, so its write-then-read history is
+// not linearizable. Both exhaustive explore (depth 8) and sampling find
+// it, exercising the violation paths end to end.
+type lossyRegister struct{ v hist.Value }
+
+func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "read":
+		p.Exec("read", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("r", false)
+			out = r.v
+			p.Observe(out)
+		})
+	case "write":
+		p.Exec("write", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
+			p.Access("r", true)
+			if p.ID() != 2 {
+				r.v = inv.Arg
+			}
+		})
+	}
+	return out
+}
+
+func (r *lossyRegister) Footprints() bool { return true }
+
+func (r *lossyRegister) Fingerprint(f *run.Fingerprinter) { f.Str("r"); f.Val(r.v) }
+
+func (r *lossyRegister) Snapshot() any { return r.v }
+
+func (r *lossyRegister) Restore(s any) { r.v = s }
+
+// blastCapacity is the buffer bound past which blastQueue drops its
+// head.
+const blastCapacity = 3
+
+// blastQueue is the deep-bug queue from examples/queueblast: a bounded
+// FIFO whose enqueue silently evicts the oldest element once three
+// items are buffered. Enqueue takes two granted steps (reserve, then
+// publish), so the minimal violating schedule needs four completed
+// enqueues plus an observing dequeue — exhaustive exploration below
+// depth 8 is provably clean while the bug is alive, which makes this
+// the service's sampling showcase target.
+type blastQueue struct{ items []hist.Value }
+
+func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "enq":
+		p.Exec("reserve", func() {
+			if p.Replaying() {
+				return
+			}
+			p.Access("q", true)
+		})
+		p.Exec("publish", func() {
+			out = hist.OK
+			if p.Replaying() {
+				return
+			}
+			p.Access("q", true)
+			q.items = append(q.items, inv.Arg)
+			if len(q.items) > blastCapacity {
+				// The seeded bug: silently evict the oldest element.
+				q.items = q.items[1:]
+			}
+		})
+	case "deq":
+		p.Exec("deq", func() {
+			if p.Replaying() {
+				out = p.Replayed()
+				return
+			}
+			p.Access("q", true)
+			if len(q.items) == 0 {
+				out = "empty"
+			} else {
+				out = q.items[0]
+				q.items = q.items[1:]
+			}
+			p.Observe(out)
+		})
+	}
+	return out
+}
+
+func (q *blastQueue) Footprints() bool { return true }
+
+func (q *blastQueue) Fingerprint(f *run.Fingerprinter) {
+	f.Str("q")
+	f.Int(len(q.items))
+	for _, v := range q.items {
+		f.Val(v)
+	}
+}
+
+func (q *blastQueue) Snapshot() any { return append([]hist.Value(nil), q.items...) }
+
+func (q *blastQueue) Restore(s any) { q.items = append(q.items[:0:0], s.([]hist.Value)...) }

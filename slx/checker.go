@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/history"
@@ -37,6 +38,9 @@ type Checker struct {
 	sampleD   int
 	walk      bool
 	seed      int64
+	timeout   time.Duration
+	spawn     func(loop func()) bool
+	visited   *VisitedTier
 	ctx       context.Context
 }
 
@@ -89,6 +93,54 @@ func WithWindow(n int) Option { return func(c *Checker) { c.window = n } }
 // WithContext attaches a context: cancellation stops runs and
 // explorations early, and the driving method returns ctx.Err().
 func WithContext(ctx context.Context) Option { return func(c *Checker) { c.ctx = ctx } }
+
+// WithTimeout bounds Explore's wall-clock time (both exhaustive and
+// sampling mode): the budget is threaded into the engine as a context
+// deadline, layered on top of any WithContext. When it expires, Explore
+// returns the partial Report — statistics over the work completed
+// before the cut, Interrupted set, no verdicts — together with the
+// context error, exactly like an external cancellation. d <= 0 means no
+// budget. This is the per-job wall-clock budget of slxd daemon jobs and
+// the -timeout flag of one-shot CLI exploration.
+func WithTimeout(d time.Duration) Option { return func(c *Checker) { c.timeout = d } }
+
+// WithExecutor offers the extra worker loops of WithWorkers to an
+// external executor instead of spawning goroutines: under exhaustive
+// exploration the work-stealing scheduler's loops 1..n-1, under
+// sampling the extra chunk-claiming lanes. The first loop always runs
+// inline on the calling goroutine, so the exploration completes no
+// matter what the executor does with the offers. offer returns whether
+// it accepted the task; an accepted task must eventually be run (it
+// exits promptly if no work remains by then), a declined one is simply
+// never started, leaving the exploration correct but less parallel.
+// This is how the slxd service shares one bounded worker pool across
+// every job's sub-tasks — stolen subtrees and sample chunks run on
+// whichever pool slots accept an offer — while reports stay identical
+// to the in-process run. Default: nil (plain goroutines).
+func WithExecutor(offer func(task func()) bool) Option {
+	return func(c *Checker) { c.spawn = offer }
+}
+
+// VisitedTier is a state-cache tier that outlives one exploration: see
+// WithVisitedTier.
+type VisitedTier = explore.Visited
+
+// NewVisitedTier creates an empty shareable visited-set tier.
+func NewVisitedTier() *VisitedTier { return explore.NewVisited() }
+
+// WithVisitedTier makes WithStateCache use the given shared tier
+// instead of a private per-exploration visited set, so the states one
+// exploration proves fully explored prune later explorations too (the
+// slxd service keeps one tier per target). Sharing is sound only
+// between checkers with identical object, environment and property
+// configurations: entries carry their remaining depth/crash budgets and
+// sleep sets, so differing WithDepth, WithCrashes or WithPOR settings
+// compose through the cache's usual domination rules, but a different
+// object or property family would make equal digests meaningless.
+// Pre-populated entries can change WHICH equivalent witness a violated
+// exploration reports, exactly as WithWorkers sharing does (verdicts
+// are unaffected). Requires WithStateCache.
+func WithVisitedTier(t *VisitedTier) Option { return func(c *Checker) { c.visited = t } }
 
 // WithPOR enables sleep-set partial-order reduction in Explore: subtrees
 // that only commute independent steps of an already-explored sibling are
@@ -412,23 +464,19 @@ func (s *monitorSet) StateDigest() (uint64, bool) {
 // consult the full Execution (schedule, step counts), which only the
 // batch path supplies.
 func (c *Checker) Explore(props ...Property) (*Report, error) {
-	if err := c.need("Explore", true); err != nil {
+	if err := c.ValidateExplore(props...); err != nil {
 		return nil, err
 	}
+	ctx, cancel := c.exploreContext()
+	defer cancel()
 	if c.sample {
-		return c.sampleExplore(props)
+		return c.sampleExplore(ctx, props)
 	}
 	batch := c.batch
 	for _, p := range props {
-		if p.Kind() != Safety {
-			return nil, fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
-		}
 		if p.Spawn() == nil {
 			batch = true
 		}
-	}
-	if batch && c.cache {
-		return nil, fmt.Errorf("slx: WithStateCache requires the incremental monitor path (cache-hit soundness rests on monitor state digests); drop WithBatchExplore and use properties with native monitors")
 	}
 	workers := c.workers
 	if workers < 1 {
@@ -442,10 +490,12 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		Depth:       c.depth,
 		Crashes:     c.crashes,
 		Workers:     workers,
+		Spawn:       c.spawn,
 		POR:         c.por,
 		Cache:       c.cache,
+		Visited:     c.visited,
 		ForceReplay: c.replay,
-		Ctx:         c.ctx,
+		Ctx:         ctx,
 	}
 	if batch {
 		ecfg.Check = func(h hist.History, schedule []run.Decision) error {
@@ -495,8 +545,12 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 			rep.Verdicts = []Verdict{v}
 			return rep, nil
 		}
-		if cerr := c.ctx.Err(); cerr != nil {
-			return nil, cerr
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancellation or a WithTimeout expiry: the partial Report —
+			// statistics over the prefixes explored before the cut, no
+			// verdicts — returns alongside the context error.
+			rep.Interrupted = true
+			return rep, cerr
 		}
 		return nil, fmt.Errorf("slx: exploration failed: %w", err)
 	}
@@ -511,31 +565,72 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 	return rep, nil
 }
 
+// ValidateExplore checks the configuration and property set exactly as
+// Explore would, without exploring anything: the admission check a
+// service front end needs so a bad job is rejected synchronously with
+// the same message the in-process call would produce. A nil error
+// means Explore would proceed past validation (it can still fail later
+// on engine errors).
+func (c *Checker) ValidateExplore(props ...Property) error {
+	if err := c.need("Explore", true); err != nil {
+		return err
+	}
+	if c.visited != nil && !c.cache {
+		return fmt.Errorf("slx: WithVisitedTier requires WithStateCache (the tier is the cache's storage)")
+	}
+	if c.sample {
+		switch {
+		case c.schedules < 1:
+			return fmt.Errorf("slx: WithSample requires at least 1 schedule, got %d", c.schedules)
+		case c.sampleD < 0:
+			return fmt.Errorf("slx: WithSample requires d >= 0, got %d", c.sampleD)
+		case c.batch:
+			return fmt.Errorf("slx: WithSample requires the incremental monitor path; drop WithBatchExplore")
+		case c.por:
+			return fmt.Errorf("slx: WithSample excludes WithPOR (sleep sets prune an enumeration; sampling has none)")
+		case c.cache:
+			return fmt.Errorf("slx: WithSample excludes WithStateCache (sampled schedules are independent; terminal states are already deduplicated into DistinctStates)")
+		}
+		for _, p := range props {
+			if p.Kind() != Safety {
+				return fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
+			}
+			if p.Spawn() == nil {
+				return fmt.Errorf("slx: sampling judges histories through incremental monitors, but %q has none (Spawn returns nil)", p.Name())
+			}
+		}
+		return nil
+	}
+	batch := c.batch
+	for _, p := range props {
+		if p.Kind() != Safety {
+			return fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
+		}
+		if p.Spawn() == nil {
+			batch = true
+		}
+	}
+	if batch && c.cache {
+		return fmt.Errorf("slx: WithStateCache requires the incremental monitor path (cache-hit soundness rests on monitor state digests); drop WithBatchExplore and use properties with native monitors")
+	}
+	return nil
+}
+
+// exploreContext derives Explore's working context: the configured one,
+// bounded by the WithTimeout deadline when one is set.
+func (c *Checker) exploreContext() (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(c.ctx, c.timeout)
+	}
+	return c.ctx, func() {}
+}
+
 // sampleExplore is Explore's sampling mode (WithSample): see the option
 // for the contract. The Report's statistics are computed over the
 // deterministic merged prefix of schedules, so a fixed seed yields an
-// identical Report at any worker count.
-func (c *Checker) sampleExplore(props []Property) (*Report, error) {
-	switch {
-	case c.schedules < 1:
-		return nil, fmt.Errorf("slx: WithSample requires at least 1 schedule, got %d", c.schedules)
-	case c.sampleD < 0:
-		return nil, fmt.Errorf("slx: WithSample requires d >= 0, got %d", c.sampleD)
-	case c.batch:
-		return nil, fmt.Errorf("slx: WithSample requires the incremental monitor path; drop WithBatchExplore")
-	case c.por:
-		return nil, fmt.Errorf("slx: WithSample excludes WithPOR (sleep sets prune an enumeration; sampling has none)")
-	case c.cache:
-		return nil, fmt.Errorf("slx: WithSample excludes WithStateCache (sampled schedules are independent; terminal states are already deduplicated into DistinctStates)")
-	}
-	for _, p := range props {
-		if p.Kind() != Safety {
-			return nil, fmt.Errorf("slx: Explore checks prefixes, so it only admits safety properties; %q is %v", p.Name(), p.Kind())
-		}
-		if p.Spawn() == nil {
-			return nil, fmt.Errorf("slx: sampling judges histories through incremental monitors, but %q has none (Spawn returns nil)", p.Name())
-		}
-	}
+// identical Report at any worker count. Validation already ran in
+// Explore.
+func (c *Checker) sampleExplore(ctx context.Context, props []Property) (*Report, error) {
 	strat := sample.PCT
 	stratName := fmt.Sprintf("PCT d=%d", c.sampleD)
 	if c.walk {
@@ -561,9 +656,10 @@ func (c *Checker) sampleExplore(props []Property) (*Report, error) {
 		ChangePoints: c.sampleD,
 		Seed:         c.seed,
 		Workers:      c.workers,
+		Spawn:        c.spawn,
 		ForceReplay:  c.replay,
 		Fingerprint:  true,
-		Ctx:          c.ctx,
+		Ctx:          ctx,
 	})
 	if st == nil {
 		return nil, fmt.Errorf("slx: sampling failed: %w", err)
@@ -601,9 +697,9 @@ func (c *Checker) sampleExplore(props []Property) (*Report, error) {
 			rep.FailingSeed = st.FailingSeed
 			return rep, nil
 		}
-		if cerr := c.ctx.Err(); cerr != nil {
-			// Satellite contract: an interrupted sampling run returns
-			// the partial Report together with the context error.
+		if cerr := ctx.Err(); cerr != nil {
+			// An interrupted sampling run (cancellation or WithTimeout
+			// expiry) returns the partial Report with the context error.
 			return rep, cerr
 		}
 		return nil, fmt.Errorf("slx: sampling failed: %w", err)

@@ -101,9 +101,13 @@ type Report struct {
 	// violation was found (0 otherwise): WithSeed(FailingSeed) with
 	// WithSample(1, d) re-derives exactly its schedule.
 	FailingSeed int64
-	// Interrupted marks a sampling report cut short by context
-	// cancellation; the statistics cover the schedules completed and
-	// merged before the cut.
+	// Interrupted marks a report cut short by context cancellation or a
+	// WithTimeout expiry before the exploration finished: the
+	// statistics cover the work completed before the cut (merged
+	// schedules in sampling mode, explored prefixes in exhaustive
+	// mode), and there are no verdicts — a partial exploration proves
+	// nothing. Explore returns such a partial report together with the
+	// context error.
 	Interrupted bool
 }
 
@@ -184,6 +188,9 @@ func (r *Report) String() string {
 		}
 		if r.Workers > 1 {
 			fmt.Fprintf(&b, ", %d workers", r.Workers)
+		}
+		if r.Interrupted {
+			b.WriteString(", interrupted")
 		}
 		b.WriteString("\n")
 	case ModeAdversary:

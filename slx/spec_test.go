@@ -1,0 +1,178 @@
+package slx
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/slx/consensus"
+	"repro/slx/hist"
+	"repro/slx/run"
+)
+
+// testTargetOptions is a minimal valid explore target for the internal
+// tests (the check package cannot be imported here — it imports slx).
+func testTargetOptions() []Option {
+	return []Option{
+		WithProcs(2),
+		WithObject(func() run.Object { return consensus.NewCommitAdoptOF(2) }),
+		WithEnv(func() run.Environment {
+			return consensus.ProposeOnce(map[int]hist.Value{1: 0, 2: 1})
+		}),
+	}
+}
+
+// testProperty is a trivially-holding safety property.
+func testProperty() Property {
+	return SafetyFunc("always", func(hist.History) bool { return true })
+}
+
+// TestSpecOptionsMapping: every Spec field maps onto exactly the one
+// Checker field its option sets, and a zero Spec maps onto no options
+// at all (Checker defaults untouched).
+func TestSpecOptionsMapping(t *testing.T) {
+	if n := len(Spec{}.Options()); n != 0 {
+		t.Fatalf("zero spec produced %d options, want 0", n)
+	}
+	full := Spec{
+		Procs: 3, Depth: 9, Crashes: 1, Workers: 4,
+		POR: true, Cache: true, Batch: true, Replay: true,
+		Sample: true, Schedules: 500, D: 2, Walk: true,
+		Seed: 42, TimeoutMs: 1500,
+	}
+	c := New(full.Options()...)
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"procs", c.procs, 3},
+		{"depth", c.depth, 9},
+		{"crashes", c.crashes, 1},
+		{"workers", c.workers, 4},
+		{"por", c.por, true},
+		{"cache", c.cache, true},
+		{"batch", c.batch, true},
+		{"replay", c.replay, true},
+		{"sample", c.sample, true},
+		{"schedules", c.schedules, 500},
+		{"d", c.sampleD, 2},
+		{"walk", c.walk, true},
+		{"seed", c.seed, int64(42)},
+		{"timeout", c.timeout, 1500 * time.Millisecond},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s: checker has %v, spec said %v", ch.name, ch.got, ch.want)
+		}
+	}
+
+	// Per-field isolation: setting one field leaves every other Checker
+	// knob at its default, so no spec field can leak into two options.
+	defaults := New()
+	fields := map[string]Spec{
+		"procs":   {Procs: 5},
+		"depth":   {Depth: 11},
+		"crashes": {Crashes: 2},
+		"workers": {Workers: 8},
+		"seed":    {Seed: 7},
+		"timeout": {TimeoutMs: 250},
+	}
+	for name, spec := range fields {
+		c := New(spec.Options()...)
+		touched := 0
+		if c.procs != defaults.procs {
+			touched++
+		}
+		if c.depth != defaults.depth {
+			touched++
+		}
+		if c.crashes != defaults.crashes {
+			touched++
+		}
+		if c.workers != defaults.workers {
+			touched++
+		}
+		if c.seed != defaults.seed {
+			touched++
+		}
+		if c.timeout != defaults.timeout {
+			touched++
+		}
+		if touched != 1 {
+			t.Errorf("spec field %s touched %d checker fields, want exactly 1", name, touched)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: a Spec survives JSON encode/decode unchanged,
+// and its zero fields stay out of the wire form.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := Spec{Depth: 24, Sample: true, Schedules: 2000, D: 3, Seed: 1, Workers: 4}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip changed the spec: %+v -> %s -> %+v", orig, data, back)
+	}
+	for _, absent := range []string{"procs", "crashes", "por", "cache", "batch", "replay", "walk", "timeout_ms"} {
+		if jsonHasKey(t, data, absent) {
+			t.Errorf("zero field %q serialized: %s", absent, data)
+		}
+	}
+	if len(Spec{}.Options()) != 0 {
+		t.Error("decoded zero spec should map to no options")
+	}
+}
+
+func jsonHasKey(t *testing.T, data []byte, key string) bool {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// TestValidateExploreMatchesExplore: ValidateExplore accepts exactly
+// what Explore would start, and rejects with the message Explore itself
+// returns — the contract that lets the service 400 with in-process
+// error text.
+func TestValidateExploreMatchesExplore(t *testing.T) {
+	base := func(extra ...Option) *Checker {
+		return New(append(testTargetOptions(), extra...)...)
+	}
+	bad := map[string]*Checker{
+		"sample+por":      base(WithSample(10, 2), WithPOR()),
+		"sample+batch":    base(WithSample(10, 2), WithBatchExplore()),
+		"sample+cache":    base(WithSample(10, 2), WithStateCache()),
+		"no-schedules":    base(WithSample(0, 2)),
+		"batch+cache":     base(WithBatchExplore(), WithStateCache()),
+		"tier-sans-cache": base(WithVisitedTier(NewVisitedTier())),
+	}
+	for name, c := range bad {
+		verr := c.ValidateExplore(testProperty())
+		if verr == nil {
+			t.Errorf("%s: ValidateExplore accepted an invalid config", name)
+			continue
+		}
+		_, eerr := c.Explore(testProperty())
+		if eerr == nil || eerr.Error() != verr.Error() {
+			t.Errorf("%s: Explore said %q, ValidateExplore said %q", name, eerr, verr)
+		}
+	}
+	good := base(WithDepth(4))
+	if err := good.ValidateExplore(testProperty()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := good.Explore(testProperty()); err != nil {
+		t.Errorf("valid config failed to explore: %v", err)
+	}
+}
