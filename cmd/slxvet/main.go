@@ -1,0 +1,85 @@
+// Command slxvet is the multichecker for the engine's static soundness
+// contracts: it loads the requested packages and runs the four
+// internal/lint analyzers (hookparity, canonenc, detorder, replaypure)
+// over their non-test sources, printing one line per finding and
+// exiting non-zero if any contract is violated.
+//
+// Usage:
+//
+//	go run ./cmd/slxvet [-facts dir] [packages]
+//
+// Packages default to ./... resolved in the current module. -facts
+// names the analysis facts directory (per-package diagnostics keyed by
+// source and dependency hashes); CI caches it across runs, and an
+// empty value disables caching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker; split from main for testing. Exit
+// codes follow go vet: 0 clean, 1 findings, 2 operational failure.
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("slxvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	facts := flags.String("facts", defaultFactsDir(), "analysis facts (cache) directory; empty disables caching")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "slxvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "slxvet:", err)
+		return 2
+	}
+	cache, err := analysis.OpenCache(*facts)
+	if err != nil {
+		fmt.Fprintln(stderr, "slxvet:", err)
+		return 2
+	}
+	diags, err := analysis.RunCached(pkgs, lint.Analyzers(), cache)
+	if err != nil {
+		fmt.Fprintln(stderr, "slxvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// defaultFactsDir places the cache under the user cache directory, or
+// disables caching when none is available.
+func defaultFactsDir() string {
+	if env := os.Getenv("SLXVET_FACTS"); env != "" {
+		return env
+	}
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "slxvet")
+}

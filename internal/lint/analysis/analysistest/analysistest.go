@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest. A fixture line that
+// should trigger N diagnostics carries N quoted regular expressions:
+//
+//	h = h ^ 1099511628211 // want `raw FNV` `second finding`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic; either mismatch fails the test. Fixture
+// packages live under testdata/src/<name> and are loaded through the
+// enclosing module, so they may import standard-library packages.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRE extracts the quoted expectations from a // want comment.
+// Both backquoted and double-quoted forms are accepted.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// want is one expectation: a compiled pattern at a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> relative to the caller's directory,
+// applies the analyzer, and checks diagnostics against the fixture's
+// // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	moduleRoot, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	loaded, err := analysis.LoadDir(moduleRoot, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// TestData returns the caller's testdata directory, mirroring the
+// x/tools helper of the same name.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// collectWants scans the fixture's comments for // want expectations.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutWant strips the comment marker and reports whether the comment is
+// a want expectation.
+func cutWant(comment string) (string, bool) {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(comment); i++ {
+		if comment[i:i+len(marker)] == marker {
+			return comment[i+len(marker):], true
+		}
+	}
+	return "", false
+}
+
+// matchWant marks and reports the first unmatched want on the
+// diagnostic's line whose pattern matches its message.
+func matchWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Filename || w.line != d.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

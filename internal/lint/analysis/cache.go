@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// SuiteVersion participates in every cache key; bump it when an
+// analyzer's behavior changes so stale facts can never mask a new
+// finding.
+const SuiteVersion = "slxvet-1"
+
+// Cache is the analysis facts directory: per-package diagnostic lists
+// keyed by the sha256 of everything a package's findings can depend on
+// — the toolchain version, the analyzer suite, the package's own
+// sources, and the export data of its direct dependencies (interface
+// satisfaction can change when a dependency's method set does). CI
+// persists the directory across runs; a miss costs one re-analysis,
+// a stale entry is impossible because the content is the key.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a facts directory. An empty
+// dir disables caching.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Key computes the facts key for one loaded package under the given
+// analyzer set.
+func (c *Cache) Key(pkg *Package, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", SuiteVersion, runtime.Version(), pkg.PkgPath)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	for _, name := range pkg.Filenames {
+		if err := hashFile(h, "src", name); err != nil {
+			return "", err
+		}
+	}
+	deps := make([]string, 0, len(pkg.DepExports))
+	for path := range pkg.DepExports {
+		deps = append(deps, path)
+	}
+	sort.Strings(deps)
+	for _, path := range deps {
+		if err := hashFile(h, "dep "+path, pkg.DepExports[path]); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hashFile(h io.Writer, tag, name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(h, "%s %s\n", tag, name)
+	_, err = io.Copy(h, f)
+	return err
+}
+
+// Get returns the cached diagnostics for key, if present.
+func (c *Cache) Get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false
+	}
+	return diags, true
+}
+
+// Put stores the diagnostics for key.
+func (c *Cache) Put(key string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path(key), data, 0o644)
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// RunCached is Run with a facts cache: packages whose key is present
+// reuse their stored diagnostics; the rest are analyzed and stored. A
+// nil cache degrades to Run.
+func RunCached(pkgs []*Package, analyzers []*Analyzer, cache *Cache) ([]Diagnostic, error) {
+	if cache == nil {
+		return Run(pkgs, analyzers)
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		key, err := cache.Key(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		if ds, ok := cache.Get(key); ok {
+			diags = append(diags, ds...)
+			continue
+		}
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		sortDiagnostics(ds)
+		if err := cache.Put(key, ds); err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,12 @@
+package canonenc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/canonenc"
+)
+
+func TestCanonEnc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), canonenc.Analyzer, "canonenc")
+}

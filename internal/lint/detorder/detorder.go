@@ -1,0 +1,249 @@
+// Package detorder enforces determinism in the engine packages
+// (internal/explore, internal/sample, internal/sim, internal/service):
+// every exploration statistic, witness, digest, and report must be a
+// pure function of the configuration and seed, because parity tests,
+// the state cache, and the bench-trend gates all compare runs across
+// workers, processes, and machines. Three nondeterminism channels are
+// flagged:
+//
+//   - ranging over a map where the iteration order can reach results:
+//     appending to a slice that outlives the loop without sorting it
+//     afterwards, folding into a digest, or sending on a channel;
+//   - time.Now, the wall clock;
+//   - the package-level math/rand functions, which draw from the
+//     process-global source (seeded rand.New sources are fine).
+//
+// A finding that is provably order-independent or legitimately
+// wall-clock (job timestamps, metrics) carries //slx:nondet with a
+// reason on its line or the line above.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/pragma"
+)
+
+// Analyzer is the detorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "engine packages must not leak map iteration order, wall-clock time, or global math/rand draws into results",
+	Run:  run,
+}
+
+// enginePackages are the import-path base names under the check.
+var enginePackages = map[string]bool{
+	"explore": true, "sample": true, "sim": true, "service": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// backed by the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !enginePackages[path[strings.LastIndex(path, "/")+1:]] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		exempt := pragma.ExemptLines(pass.Fset, file, "nondet")
+		reportf := func(pos token.Pos, format string, args ...any) {
+			if !exempt[pass.Fset.Position(pos).Line] {
+				pass.Reportf(pos, format, args...)
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, reportf)
+		}
+	}
+	return nil
+}
+
+// reportFunc suppresses findings on //slx:nondet-exempted lines.
+type reportFunc func(pos token.Pos, format string, args ...any)
+
+// checkFunc scans one function for the three nondeterminism channels.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, reportf reportFunc) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(pass.TypesInfo, n) {
+				checkMapRange(pass, fn, n, reportf)
+			}
+		case *ast.CallExpr:
+			checkNondetCall(pass, n, reportf)
+		}
+		return true
+	})
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkNondetCall flags time.Now and global math/rand draws.
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr, reportf reportFunc) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			reportf(call.Pos(), "time.Now in engine code: wall-clock values are nondeterministic across runs; derive times from the configuration or annotate //slx:nondet with why this never reaches a result")
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			reportf(call.Pos(), "global math/rand.%s draws from the process-wide source: draw from the run's seeded rand.Source so schedules replay deterministically", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange flags loop bodies whose per-iteration effects are
+// order-sensitive: appends into longer-lived slices (unless the slice
+// is sorted after the loop), digest folds, and channel sends.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, r *ast.RangeStmt, reportf reportFunc) {
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if obj, pos, ok := appendTarget(pass.TypesInfo, n, r); ok && !sortedAfter(pass, fn, r, obj) {
+				reportf(pos, "map iteration order reaches %s through this append with no sort after the loop: sort the collected slice or annotate //slx:nondet with why order cannot surface", obj.Name())
+			}
+		case *ast.CallExpr:
+			if name, ok := digestCallee(n); ok {
+				reportf(n.Pos(), "map iteration order folds into %s: digests must not depend on map order; sort the keys first", name)
+			}
+		case *ast.SendStmt:
+			reportf(n.Pos(), "map iteration order reaches a channel send: consumers observe a nondeterministic sequence; sort the keys first")
+		}
+		return true
+	})
+}
+
+// appendTarget matches `v = append(v, ...)` where v outlives the range
+// statement, returning v's object and the statement position.
+func appendTarget(info *types.Info, as *ast.AssignStmt, r *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return nil, token.NoPos, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil, token.NoPos, false
+	}
+	if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return nil, token.NoPos, false
+	}
+	obj := refObject(info, as.Lhs[0])
+	if obj == nil {
+		return nil, token.NoPos, false
+	}
+	// A variable declared inside the loop body cannot leak iteration
+	// order past the loop.
+	if obj.Pos() >= r.Pos() && obj.Pos() <= r.End() {
+		return nil, token.NoPos, false
+	}
+	return obj, as.Pos(), true
+}
+
+// refObject resolves the variable behind an identifier or field
+// selector.
+func refObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// passes obj to a sort (sort.* or slices.Sort*) — the idiomatic
+// collect-then-sort pattern.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, r *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refObject(pass.TypesInfo, arg) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// digestCallee matches calls whose target names itself a digest fold.
+func digestCallee(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if strings.Contains(strings.ToLower(name), "digest") {
+		return name, true
+	}
+	return "", false
+}

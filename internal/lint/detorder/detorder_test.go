@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detorder.Analyzer, "explore")
+}

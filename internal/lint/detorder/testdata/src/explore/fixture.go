@@ -1,0 +1,60 @@
+// Package explore is the detorder fixture: the package-path base name
+// puts every function in scope, so map iteration and wall-clock /
+// global-rand calls here must be deterministic or annotated.
+package explore
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// leakOrder appends map-range results with no later sort: flagged.
+func leakOrder(seen map[string]int) []string {
+	var names []string
+	for name := range seen {
+		names = append(names, name) // want `map iteration order reaches names through this append`
+	}
+	return names
+}
+
+// sortedOrder collects then sorts: the canonical safe pattern.
+func sortedOrder(seen map[string]int) []string {
+	var names []string
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// foldDigest folds map entries straight into a digest: flagged.
+func foldDigest(seen map[string]int, fold func(uint64, int) uint64) uint64 {
+	var h uint64
+	for _, v := range seen {
+		h = foldIntoDigest(h, v, fold) // want `map iteration order folds into foldIntoDigest`
+	}
+	return h
+}
+
+func foldIntoDigest(h uint64, v int, fold func(uint64, int) uint64) uint64 {
+	return fold(h, v)
+}
+
+// stamp reads the wall clock in engine code: flagged unless annotated.
+func stamp() (time.Time, time.Time) {
+	now := time.Now() // want `time\.Now in engine code`
+	//slx:nondet fixture: metrics only, never reaches a digest
+	observed := time.Now()
+	return now, observed
+}
+
+// pick uses the global math/rand source: flagged. A locally seeded
+// source is the deterministic alternative and stays clean.
+func pick(n int) (int, int) {
+	global := rand.Intn(n) // want `global math/rand\.Intn`
+	local := rand.New(rand.NewSource(1)).Intn(n)
+	return global, local
+}
+
+var _ = []any{leakOrder, sortedOrder, foldDigest, stamp, pick}

@@ -1,0 +1,162 @@
+// Package hookparity enforces the engine's hook-parity contract: a
+// shared-object implementation (a type with an Apply step method) that
+// opts into any of the simulator's optional capability hooks —
+// sim.Footprinted (partial-order reduction), sim.Fingerprintable
+// (state caching), sim.Snapshottable (incremental execution) — must
+// either implement all three or carry an explicit exemption pragma
+// per missing hook:
+//
+//	//slx:nofootprint   POR must treat every step as conflicting
+//	//slx:nofingerprint content fingerprints are unsound (pointer identity)
+//	//slx:nosnapshot    exploration must replay from the root
+//
+// The runtime composes silently: an object missing a hook simply loses
+// the optimization, and the parity tests only cover objects someone
+// remembered to register. This check turns "forgot the hook" from a
+// silent de-optimization (or, for a wrongly-omitted annotation, an
+// undocumented soundness argument) into a compile-time diagnostic.
+//
+// Hook detection is structural (method names and shapes), so the
+// analyzer needs no reference to internal/sim itself and applies
+// equally to objects written against the slx/run facade.
+package hookparity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/pragma"
+)
+
+// Analyzer is the hookparity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hookparity",
+	Doc:  "object types opting into one engine capability hook must implement the rest or carry //slx:no* exemptions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Assign.IsValid() {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gen.Doc
+				}
+				checkType(pass, ts, doc)
+			}
+		}
+	}
+	return nil
+}
+
+// checkType applies the parity rule to one declared type.
+func checkType(pass *analysis.Pass, ts *ast.TypeSpec, doc *ast.CommentGroup) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Interface); ok {
+		return
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+
+	if !hasApply(ms) {
+		return
+	}
+	footprinted := hasFootprints(ms)
+	fingerprintable := hasFingerprint(ms)
+	snapshottable := hasSnapshot(ms) && hasRestore(ms)
+	if !footprinted && !fingerprintable && !snapshottable {
+		// The type opts into nothing: a plain Object, outside the
+		// parity contract.
+		return
+	}
+
+	if !footprinted && !pragma.Has(doc, "nofootprint") {
+		pass.Reportf(ts.Pos(), "%s opts into engine hooks but not sim.Footprinted: add Footprints() bool (accesses declared via Proc.Access) or annotate the type //slx:nofootprint with why POR must treat its steps as conflicting", ts.Name.Name)
+	}
+	if !fingerprintable && !pragma.Has(doc, "nofingerprint") {
+		pass.Reportf(ts.Pos(), "%s opts into engine hooks but not sim.Fingerprintable: add Fingerprint encoding all shared state or annotate the type //slx:nofingerprint with why content fingerprints are unsound for it (e.g. pointer identity)", ts.Name.Name)
+	}
+	if !snapshottable && !pragma.Has(doc, "nosnapshot") {
+		pass.Reportf(ts.Pos(), "%s opts into engine hooks but not sim.Snapshottable: add Snapshot/Restore or annotate the type //slx:nosnapshot with why incremental execution must fall back to from-root replay", ts.Name.Name)
+	}
+}
+
+// signature returns the named method's signature from the method set,
+// or nil.
+func signature(ms *types.MethodSet, name string) *types.Signature {
+	for i := 0; i < ms.Len(); i++ {
+		f := ms.At(i).Obj()
+		if f.Name() == name {
+			if sig, ok := f.Type().(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// hasApply matches the sim.Object step method shape:
+// Apply(p *Proc, inv Invocation) Value.
+func hasApply(ms *types.MethodSet) bool {
+	sig := signature(ms, "Apply")
+	return sig != nil && sig.Params().Len() == 2 && sig.Results().Len() == 1
+}
+
+// hasFootprints matches sim.Footprinted: Footprints() bool.
+func hasFootprints(ms *types.MethodSet) bool {
+	sig := signature(ms, "Footprints")
+	if sig == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// hasFingerprint matches the fingerprint hook shape shared by
+// sim.Fingerprintable (Fingerprint(*sim.Fingerprinter)) and the
+// base.StateSink form: one parameter, no results, parameter type named
+// Fingerprinter or StateSink.
+func hasFingerprint(ms *types.MethodSet) bool {
+	sig := signature(ms, "Fingerprint")
+	if sig == nil || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	t := sig.Params().At(0).Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Fingerprinter" || name == "StateSink"
+}
+
+// hasSnapshot matches Snapshot() any.
+func hasSnapshot(ms *types.MethodSet) bool {
+	sig := signature(ms, "Snapshot")
+	return sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1
+}
+
+// hasRestore matches Restore(any).
+func hasRestore(ms *types.MethodSet) bool {
+	sig := signature(ms, "Restore")
+	return sig != nil && sig.Params().Len() == 1 && sig.Results().Len() == 0
+}

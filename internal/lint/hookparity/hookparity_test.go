@@ -1,0 +1,12 @@
+package hookparity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/hookparity"
+)
+
+func TestHookParity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hookparity.Analyzer, "hookparity")
+}

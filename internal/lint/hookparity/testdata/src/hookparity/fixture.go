@@ -1,0 +1,54 @@
+// Package hookparity is the analyzer fixture: object types in every
+// parity state, self-contained stand-ins for sim.Proc and
+// sim.Fingerprinter included.
+package hookparity
+
+// Proc stands in for sim.Proc.
+type Proc struct{}
+
+// Invocation stands in for sim.Invocation.
+type Invocation struct{}
+
+// Fingerprinter stands in for sim.Fingerprinter.
+type Fingerprinter struct{}
+
+// full implements every hook: clean.
+type full struct{}
+
+func (f *full) Apply(p *Proc, inv Invocation) any { return nil }
+func (f *full) Footprints() bool                  { return true }
+func (f *full) Fingerprint(fp *Fingerprinter)     {}
+func (f *full) Snapshot() any                     { return nil }
+func (f *full) Restore(any)                       {}
+
+// partial opts into footprints only and carries no exemptions.
+type partial struct{} // want `not sim\.Fingerprintable` `not sim\.Snapshottable`
+
+func (q *partial) Apply(p *Proc, inv Invocation) any { return nil }
+func (q *partial) Footprints() bool                  { return true }
+
+// halfSnapshot has Snapshot but no Restore: the snapshot hook is
+// incomplete, so only the fingerprint side of the pair is satisfied.
+type halfSnapshot struct{} // want `not sim\.Footprint` `not sim\.Snapshottable`
+
+func (h *halfSnapshot) Apply(p *Proc, inv Invocation) any { return nil }
+func (h *halfSnapshot) Fingerprint(fp *Fingerprinter)     {}
+func (h *halfSnapshot) Snapshot() any                     { return nil }
+
+// annotated opts into snapshots only, with the missing hooks
+// explicitly exempted: clean.
+//
+//slx:nofootprint fixture: steps must conflict
+//slx:nofingerprint fixture: pointer identity
+type annotated struct{}
+
+func (a *annotated) Apply(p *Proc, inv Invocation) any { return nil }
+func (a *annotated) Snapshot() any                     { return nil }
+func (a *annotated) Restore(any)                       {}
+
+// plain opts into nothing: outside the parity contract, clean.
+type plain struct{}
+
+func (pl *plain) Apply(p *Proc, inv Invocation) any { return nil }
+
+var _ = []any{&full{}, &partial{}, &halfSnapshot{}, &annotated{}, &plain{}}

@@ -1,0 +1,29 @@
+// Package lint assembles the slxvet analyzer suite: the four static
+// checks that move the engine's hand-maintained soundness contracts —
+// hook parity across base objects, canonical digest encoding,
+// engine determinism, and session-rebuild purity — from runtime parity
+// tests to compile time. cmd/slxvet is the multichecker binary; CI
+// runs it next to staticcheck and fails on any diagnostic.
+//
+// The exemption grammar the analyzers share is documented in
+// internal/lint/pragma and in DESIGN.md ("Static soundness
+// contracts").
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/canonenc"
+	"repro/internal/lint/detorder"
+	"repro/internal/lint/hookparity"
+	"repro/internal/lint/replaypure"
+)
+
+// Analyzers returns the slxvet suite in its stable reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		canonenc.Analyzer,
+		detorder.Analyzer,
+		hookparity.Analyzer,
+		replaypure.Analyzer,
+	}
+}

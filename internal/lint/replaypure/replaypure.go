@@ -1,0 +1,234 @@
+// Package replaypure enforces the session-rebuild purity contract
+// (sim.Snapshottable, rule 3): inside a base-object step closure —
+// a function literal passed to Proc.Exec / Stepper.Exec — the real
+// shared-state work must be skipped while a session restore is
+// re-executing the pending operation. The idiom is a leading guard:
+//
+//	p.Exec("read", func() {
+//		if p.Replaying() {
+//			v = p.Replayed()
+//			return
+//		}
+//		p.Access("r", false)
+//		v = r.val
+//		p.Observe(v)
+//	})
+//
+// Two violations are flagged, both anchored on the footprint
+// declaration (Proc.Access, or internal/base's declare helper) because
+// every step closure that touches shared state declares it:
+//
+//   - an Access call with no dominating Replaying guard: the closure
+//     would re-run its real accesses during a rebuild, desynchronizing
+//     the restored state from the recorded history;
+//   - an Access call inside the Replaying branch itself: rebuild steps
+//     must answer reads from Proc.Replayed and mutate nothing.
+//
+// Objects that are never executed under a session may exempt a whole
+// function with //slx:noreplayguard and a reason.
+package replaypure
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/pragma"
+)
+
+// Analyzer is the replaypure check.
+var Analyzer = &analysis.Analyzer{
+	Name: "replaypure",
+	Doc:  "step closures must guard Proc.Access (and real mutations) behind the Proc.Replaying rebuild check",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pragma.Has(fn.Doc, "noreplayguard") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lit := execClosure(call); lit != nil {
+					checkClosure(pass, lit)
+					return false // the closure's own Exec nests are handled recursively
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// execClosure matches `s.Exec(desc, func() { ... })` and returns the
+// step closure, or nil.
+func execClosure(call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Exec" || len(call.Args) != 2 {
+		return nil
+	}
+	lit, ok := call.Args[1].(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	return lit
+}
+
+// checkClosure walks the closure's statements tracking whether
+// execution is dominated by a not-Replaying guard (guarded) or is on
+// the Replaying branch itself (replaying).
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	walkStmts(pass, lit.Body.List, false, false)
+}
+
+// walkStmts scans a statement list. guarded means a Replaying check
+// already diverted rebuild steps away from this path; replaying means
+// this path only runs while a rebuild is active.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, guarded, replaying bool) {
+	for _, stmt := range stmts {
+		guarded = walkStmt(pass, stmt, guarded, replaying)
+	}
+}
+
+// walkStmt scans one statement and returns the guard state for the
+// statements that follow it.
+func walkStmt(pass *analysis.Pass, stmt ast.Stmt, guarded, replaying bool) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		switch replayingCond(s.Cond) {
+		case 1: // if Replaying() { ... }
+			walkStmts(pass, s.Body.List, guarded, true)
+			walkElse(pass, s.Else, true, replaying)
+			if terminates(s.Body) {
+				return true // the rebuild path returned; the rest is live-only
+			}
+			return guarded
+		case -1: // if !Replaying() { ... }
+			walkStmts(pass, s.Body.List, true, replaying)
+			walkElse(pass, s.Else, guarded, true)
+			return guarded
+		default:
+			walkStmts(pass, s.Body.List, guarded, replaying)
+			walkElse(pass, s.Else, guarded, replaying)
+			return guarded
+		}
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, guarded, replaying)
+	case *ast.ForStmt:
+		walkStmts(pass, s.Body.List, guarded, replaying)
+	case *ast.RangeStmt:
+		walkStmts(pass, s.Body.List, guarded, replaying)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, guarded, replaying)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, guarded, replaying)
+			}
+		}
+	default:
+		checkLeaf(pass, stmt, guarded, replaying)
+	}
+	return guarded
+}
+
+// walkElse dispatches an else branch (a block or a chained if).
+func walkElse(pass *analysis.Pass, els ast.Stmt, guarded, replaying bool) {
+	switch e := els.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		walkStmts(pass, e.List, guarded, replaying)
+	case *ast.IfStmt:
+		walkStmt(pass, e, guarded, replaying)
+	}
+}
+
+// checkLeaf reports Access calls inside a non-branching statement.
+func checkLeaf(pass *analysis.Pass, stmt ast.Stmt, guarded, replaying bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isAccessCall(call) {
+			return true
+		}
+		if replaying {
+			pass.Reportf(call.Pos(), "Proc.Access reachable while Proc.Replaying is true: rebuild steps must answer reads from Proc.Replayed and perform no real accesses or mutations")
+		} else if !guarded {
+			pass.Reportf(call.Pos(), "step closure declares an access without a preceding Replaying guard: start the closure with `if replaying { ...; return }` so session rebuilds skip real accesses and mutations (or annotate the function //slx:noreplayguard)")
+		}
+		return true
+	})
+}
+
+// terminates reports whether a block always leaves the closure: its
+// last statement is a return or a panic call.
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// isAccessCall matches the footprint declaration forms: a .Access
+// method call (sim.Proc) or internal/base's declare helper.
+func isAccessCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Access"
+	case *ast.Ident:
+		return fun.Name == "declare"
+	}
+	return false
+}
+
+// replayingCond classifies an if condition: 1 for a Replaying check,
+// -1 for its negation, 0 for anything else.
+func replayingCond(cond ast.Expr) int {
+	switch c := cond.(type) {
+	case *ast.CallExpr:
+		if isReplayingCall(c) {
+			return 1
+		}
+	case *ast.UnaryExpr:
+		if inner, ok := c.X.(*ast.CallExpr); ok && c.Op.String() == "!" && isReplayingCall(inner) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// isReplayingCall matches .Replaying() (sim.Proc) and internal/base's
+// replaying(s) helper.
+func isReplayingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Replaying"
+	case *ast.Ident:
+		return fun.Name == "replaying"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package replaypure_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/replaypure"
+)
+
+func TestReplayPure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), replaypure.Analyzer, "replaypure")
+}

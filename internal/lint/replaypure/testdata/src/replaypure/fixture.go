@@ -1,0 +1,97 @@
+// Package replaypure is the analyzer fixture: step closures in every
+// guard state, with a self-contained stand-in for sim.Proc.
+package replaypure
+
+// Proc stands in for sim.Proc.
+type Proc struct{}
+
+// Exec runs one step closure.
+func (p *Proc) Exec(desc string, step func()) { step() }
+
+// Access declares a footprint entry.
+func (p *Proc) Access(name string, write bool) {}
+
+// Observe records the step's observed value.
+func (p *Proc) Observe(v any) {}
+
+// Replaying reports whether a session rebuild is re-executing steps.
+func (p *Proc) Replaying() bool { return false }
+
+// Replayed answers a rebuild step's read from the recorded history.
+func (p *Proc) Replayed() any { return nil }
+
+type register struct{ val int }
+
+// readGuarded is the canonical idiom: clean.
+func (r *register) readGuarded(p *Proc) int {
+	var v int
+	p.Exec("read", func() {
+		if p.Replaying() {
+			v, _ = p.Replayed().(int)
+			return
+		}
+		p.Access("r", false)
+		v = r.val
+		p.Observe(v)
+	})
+	return v
+}
+
+// readUnguarded declares its access with no Replaying check: flagged.
+func (r *register) readUnguarded(p *Proc) int {
+	var v int
+	p.Exec("read", func() {
+		p.Access("r", false) // want `without a preceding Replaying guard`
+		v = r.val
+		p.Observe(v)
+	})
+	return v
+}
+
+// writeInRebuild touches shared state on the rebuild path: flagged.
+func (r *register) writeInRebuild(p *Proc, v int) {
+	p.Exec("write", func() {
+		if p.Replaying() {
+			p.Access("r", true) // want `reachable while Proc\.Replaying is true`
+			return
+		}
+		p.Access("r", true)
+		r.val = v
+	})
+}
+
+// readInverted guards with the negated form: clean.
+func (r *register) readInverted(p *Proc) int {
+	var v int
+	p.Exec("read", func() {
+		if !p.Replaying() {
+			p.Access("r", false)
+			v = r.val
+			p.Observe(v)
+		} else {
+			v, _ = p.Replayed().(int)
+		}
+	})
+	return v
+}
+
+// readSessionless never runs under a session; the whole function is
+// exempted.
+//
+//slx:noreplayguard fixture: object is never snapshotted
+func (r *register) readSessionless(p *Proc) int {
+	var v int
+	p.Exec("read", func() {
+		p.Access("r", false)
+		v = r.val
+	})
+	return v
+}
+
+var _ = []any{
+	(*register).readGuarded,
+	(*register).readUnguarded,
+	(*register).writeInRebuild,
+	(*register).readInverted,
+	(*register).readSessionless,
+}
