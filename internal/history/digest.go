@@ -14,6 +14,10 @@ import (
 // constants and the byte fold keeps the mixings from silently
 // diverging.
 
+// The one sanctioned home of the raw constants: everything else folds
+// through DigestSeed/DigestByte/DigestWord.
+//
+//slx:rawdigest canonical FNV primitive home
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211

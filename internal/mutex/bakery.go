@@ -10,6 +10,9 @@ import (
 // first-come-first-served and hence starvation-free. Tickets grow without
 // bound, which is fine in simulation (the paper's registers hold arbitrary
 // values).
+//
+//slx:nosnapshot unbounded tickets make restored sessions diverge from recorded history lengths
+//slx:nofootprint acquire scans every process's slots, so steps conflict pairwise anyway
 type Bakery struct {
 	n        int
 	choosing []*base.Register

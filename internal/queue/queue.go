@@ -115,6 +115,9 @@ func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 // (the classic ABA distinction). A content fingerprint would equate
 // those states and let the exploration cache prune subtrees with
 // genuinely different futures.
+//
+//slx:nofingerprint CAS on *qstate pointer identity: content-equal states diverge (ABA)
+//slx:nofootprint every step CASes the one state cell, so all steps conflict anyway
 type CASQueue struct {
 	state *base.CAS
 }

@@ -1,7 +1,6 @@
 package safety
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -80,7 +79,11 @@ func digestValueSet(set map[history.Value]bool) (string, bool) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(keys, ""), true
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String(), true
 }
 
 // StateDigest implements Digester: the agreement+validity verdict
@@ -94,7 +97,7 @@ func (m *avMonitor) StateDigest() (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return digestStrings("av", proposed, fmt.Sprintf("%v/%v", m.have, m.failed), decided), true
+	return digestStrings("av", proposed, strconv.FormatBool(m.have)+"/"+strconv.FormatBool(m.failed), decided), true
 }
 
 // StateDigest implements Digester: the k-set verdict depends only on
@@ -108,13 +111,13 @@ func (m *ksetMonitor) StateDigest() (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return digestStrings("kset", fmt.Sprintf("%d/%v", m.k, m.failed), proposed, decided), true
+	return digestStrings("kset", strconv.Itoa(m.k)+"/"+strconv.FormatBool(m.failed), proposed, decided), true
 }
 
 // StateDigest implements Digester: the mutual-exclusion verdict depends
 // only on the current critical-section holder.
 func (m *mutexMonitor) StateDigest() (uint64, bool) {
-	return digestStrings("mutex", fmt.Sprintf("%d/%v", m.holder, m.failed)), true
+	return digestStrings("mutex", strconv.Itoa(m.holder)+"/"+strconv.FormatBool(m.failed)), true
 }
 
 // StateDigest implements Digester. The TM serialization searches
@@ -125,7 +128,7 @@ func (m *mutexMonitor) StateDigest() (uint64, bool) {
 // history (interleavings that reorder only internal steps), which is
 // sound by construction.
 func (m *TMMonitor) StateDigest() (uint64, bool) {
-	return m.dig.Sum(fmt.Sprintf("tm/%v/%v/%v", m.strict, m.rule, m.failed))
+	return m.dig.Sum("tm/" + strconv.FormatBool(m.strict) + "/" + strconv.FormatBool(m.rule) + "/" + strconv.FormatBool(m.failed))
 }
 
 // HistoryDigest is a running canonical digest of an event sequence,
@@ -179,7 +182,7 @@ func digestEvent(e history.Event) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return fmt.Sprintf("%d/%d/", e.Kind, e.Proc) + field(e.Op) + field(e.Obj) + arg + val, true
+	return strconv.Itoa(int(e.Kind)) + "/" + strconv.Itoa(e.Proc) + "/" + field(e.Op) + field(e.Obj) + arg + val, true
 }
 
 // DigestHistory canonically digests an event sequence from scratch;
@@ -211,7 +214,7 @@ func DigestHistory(tag string, h history.History) (uint64, bool) {
 // cache keys imply equal capacity too.
 func (m *LinMonitor) StateDigest() (uint64, bool) {
 	var parts []string
-	parts = append(parts, fmt.Sprintf("lin/%v/%d", m.failed, len(m.ops)))
+	parts = append(parts, "lin/"+strconv.FormatBool(m.failed)+"/"+strconv.Itoa(len(m.ops)))
 
 	procs := make([]int, 0, len(m.pending))
 	for p := range m.pending {
@@ -224,7 +227,7 @@ func (m *LinMonitor) StateDigest() (uint64, bool) {
 		if !ok {
 			return 0, false
 		}
-		parts = append(parts, fmt.Sprintf("pend:%d/", p)+field(op.name)+field(op.obj)+arg)
+		parts = append(parts, "pend:"+strconv.Itoa(p)+"/"+field(op.name)+field(op.obj)+arg)
 	}
 
 	cfgs := make([]string, 0, len(m.configs))

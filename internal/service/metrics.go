@@ -42,6 +42,7 @@ var durationBuckets = [...]float64{0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
 // NewMetrics returns a registry; start anchors the schedules/sec rate.
 func NewMetrics() *Metrics {
+	//slx:nondet metrics rate anchor: observability only, never reaches exploration results
 	return &Metrics{start: time.Now()}
 }
 

@@ -246,6 +246,7 @@ func (s *Server) Cancel(id string) (Job, bool) {
 		if j.State == StateQueued {
 			j.State = StateCancelled
 			j.Error = "cancelled before start"
+			//slx:nondet job lifecycle timestamp: API metadata, never reaches exploration results
 			j.Finished = time.Now()
 			fromQueue = true
 		}
@@ -270,6 +271,7 @@ func (s *Server) Cancel(id string) (Job, bool) {
 func (s *Server) runJob(id string) {
 	// Claim the job; a queued job cancelled before pickup stays
 	// cancelled and is not run.
+	//slx:nondet job duration measurement: metrics only, never reaches exploration results
 	start := time.Now()
 	claimed := false
 	s.store.Update(id, func(j *Job) {
@@ -311,6 +313,7 @@ func (s *Server) runJob(id string) {
 
 // finishJob classifies a job's outcome, stores it, and records metrics.
 func (s *Server) finishJob(id string, start time.Time, rep *slx.Report, err error) {
+	//slx:nondet job completion timestamp: API metadata, never reaches exploration results
 	end := time.Now()
 	var res *Result
 	if rep != nil {

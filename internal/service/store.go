@@ -66,6 +66,7 @@ func (s *Store) Add(spec JobSpec) Job {
 	defer s.mu.Unlock()
 	id := fmt.Sprintf("job-%d", s.next)
 	s.next++
+	//slx:nondet job submission timestamp: API metadata, never reaches exploration results
 	j := &Job{ID: id, Spec: spec, State: StateQueued, Submitted: time.Now()}
 	s.jobs[id] = j
 	return *j

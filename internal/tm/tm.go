@@ -130,6 +130,8 @@ func tmActive(p *sim.Proc, l *procTx) bool {
 
 // I12 is the paper's Algorithm 1, implementing a TM that ensures S and
 // (1,2)-freedom.
+//
+//slx:nofingerprint CAS compares *memState pointers: content-equal snapshots still differ (ABA)
 type I12 struct {
 	c     *base.CAS
 	r     SnapshotObject
@@ -270,6 +272,8 @@ func (t *I12) tryC(p *sim.Proc) history.Value {
 
 // GlobalCAS is Algorithm 1 without the timestamp rule: an opaque,
 // 1-lock-free TM (the paper's reference [16] AGP algorithm).
+//
+//slx:nofingerprint CAS compares *memState pointers: content-equal snapshots still differ (ABA)
 type GlobalCAS struct {
 	c     *base.CAS
 	local []procTx
