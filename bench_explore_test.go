@@ -9,12 +9,13 @@ package repro_test
 // (slx.WithBatchExplore), and with POR/cache/workers. Each acceptance
 // bar is asserted by a deterministic test, so regressions fail the
 // benchmark smoke run, not just a human reading EXPERIMENTS.md:
-// TestExploreIncrementalStepRatio gates the session engine's
-// steps-per-prefix, TestExploreLinearizabilityScanReduction the
-// monitor redesign's event scans, TestExplorePORPrefixReduction and
+// TestExploreContinuationSteps gates the continuation engine's
+// zero-resimulation contract, TestExploreLinearizabilityScanReduction
+// the monitor redesign's event scans, TestExplorePORPrefixReduction and
 // TestExploreCacheReduction the prefix reductions. All benchmarks
 // report -benchmem allocation figures (the committed numbers live in
-// BENCH_explore.json's allocs_per_op/bytes_per_op fields).
+// BENCH_explore.json's allocs_per_op/bytes_per_op fields, which the
+// bench smoke run enforces as hard gates via tools/benchtrend).
 
 import (
 	"testing"
@@ -26,22 +27,24 @@ import (
 )
 
 // benchRegister is a linearizable read/write register: every access is a
-// single atomic step through the scheduler handshake, declared to the
-// footprint tracker so POR can commute independent steps, observed and
-// fingerprinted so the state cache can deduplicate configurations, and
-// snapshottable (with rebuild-aware step closures) so exploration runs
-// on the incremental session engine.
-type benchRegister struct{ v hist.Value }
+// single atomic step, declared to the footprint tracker so POR can
+// commute independent steps, observed and fingerprinted so the state
+// cache can deduplicate configurations, and snapshottable + stepped so
+// exploration runs on the continuation session engine.
+type benchRegister struct {
+	v hist.Value
+	// frames memoizes the continuation frames by invocation: frames are
+	// immutable (Fork returns the receiver), so one frame per distinct
+	// invocation serves every node of the exploration tree — Begin on
+	// the hot path allocates nothing after warmup.
+	frames map[run.Invocation]*benchRegisterFrame
+}
 
 func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	var out hist.Value
 	switch inv.Op {
 	case "read":
 		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("r", false)
 			out = r.v
 			p.Observe(out)
@@ -49,15 +52,52 @@ func (r *benchRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case "write":
 		p.Exec("write", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("r", true)
 			r.v = inv.Arg
 		})
 	}
 	return out
 }
+
+// benchRegisterFrame is one in-flight operation: a single access window.
+// The frame is immutable, so Fork returns the receiver.
+type benchRegisterFrame struct {
+	r   *benchRegister
+	inv run.Invocation
+}
+
+// Begin implements run.Stepped.
+func (r *benchRegister) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		f := r.frames[inv]
+		if f == nil {
+			if r.frames == nil {
+				r.frames = make(map[run.Invocation]*benchRegisterFrame)
+			}
+			f = &benchRegisterFrame{r: r, inv: inv}
+			r.frames[inv] = f
+		}
+		return f, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *benchRegisterFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	if f.inv.Op == "read" {
+		p.Access("r", false)
+		out := f.r.v
+		p.Observe(out)
+		return out, run.StepDone
+	}
+	p.Access("r", true)
+	f.r.v = f.inv.Arg
+	return hist.OK, run.StepDone
+}
+
+// Fork implements run.Frame.
+func (f *benchRegisterFrame) Fork() run.Frame { return f }
 
 // Footprints implements run.Footprinted: the register is the only shared
 // state and both operations declare their access.
@@ -155,16 +195,18 @@ func TestExplorePORPrefixReduction(t *testing.T) {
 		full.Prefixes, por.Prefixes, float64(full.Prefixes)/float64(por.Prefixes), por.Pruned, full.SimSteps, por.SimSteps)
 }
 
-// TestExploreIncrementalStepRatio is the acceptance gate of the
-// incremental execution engine: on the depth-7, 3-process
-// linearizability exploration, the total simulator work per explored
-// prefix — fresh steps plus re-simulation (snapshot-restore rebuilds) —
-// must stay at or below 2.0, against 6.46 steps per prefix for the
-// retired from-root replay engine (BENCH_explore.json). Both counters
-// are deterministic at one worker, so this gates in CI without
-// wall-clock noise. The replay engine is also re-measured for the
-// identical tree, pinning the before/after relationship itself.
-func TestExploreIncrementalStepRatio(t *testing.T) {
+// TestExploreContinuationSteps is the acceptance gate of the
+// continuation execution engine, superseding the retired step-ratio
+// gate (the old engine rebuilt in-flight operations by re-simulation
+// after every restore and was gated at ≤2.0 total steps per prefix; the
+// continuation engine restores control state by struct copy, so the
+// bound is exact). On the depth-7, 3-process linearizability
+// exploration: zero re-simulation steps, exactly one fresh simulator
+// step per non-root prefix, and the from-root replay engine re-measured
+// on the identical tree must still dominate by ≥2×. All counters are
+// deterministic at one worker, so this gates in CI without wall-clock
+// noise.
+func TestExploreContinuationSteps(t *testing.T) {
 	inc, err := linExploreChecker().Explore(linProp())
 	if err != nil {
 		t.Fatalf("incremental explore: %v", err)
@@ -179,18 +221,21 @@ func TestExploreIncrementalStepRatio(t *testing.T) {
 	if inc.Prefixes != rep.Prefixes {
 		t.Fatalf("engines explored different trees: incremental %d prefixes, replay %d", inc.Prefixes, rep.Prefixes)
 	}
-	ratio := float64(inc.SimSteps+inc.Resims) / float64(inc.Prefixes)
-	if ratio > 2.0 {
-		t.Fatalf("incremental execution spent %.2f simulator steps per prefix (%d sim + %d resim over %d prefixes), want <= 2.0",
-			ratio, inc.SimSteps, inc.Resims, inc.Prefixes)
+	if inc.Resims != 0 {
+		t.Fatalf("continuation engine re-simulated %d steps; restores must be struct copies, never re-execution", inc.Resims)
 	}
+	if inc.SimSteps != inc.Prefixes-1 {
+		t.Fatalf("continuation engine spent %d fresh steps over %d prefixes, want exactly one per non-root prefix (%d)",
+			inc.SimSteps, inc.Prefixes, inc.Prefixes-1)
+	}
+	ratio := float64(inc.SimSteps) / float64(inc.Prefixes)
 	repRatio := float64(rep.SimSteps) / float64(rep.Prefixes)
 	if repRatio < 2*ratio {
 		t.Fatalf("replay engine's %.2f steps per prefix no longer dominates incremental's %.2f: the benchmark stopped measuring what it claims",
 			repRatio, ratio)
 	}
-	t.Logf("depth-7 3-proc linearizability: steps/prefix incremental=%.2f (sim %d + resim %d) vs replay=%.2f (sim %d), %d prefixes",
-		ratio, inc.SimSteps, inc.Resims, repRatio, rep.SimSteps, inc.Prefixes)
+	t.Logf("depth-7 3-proc linearizability: steps/prefix incremental=%.2f (sim %d, resim 0) vs replay=%.2f (sim %d), %d prefixes",
+		ratio, inc.SimSteps, repRatio, rep.SimSteps, inc.Prefixes)
 }
 
 // TestExploreCacheReduction is the acceptance check of the state cache:

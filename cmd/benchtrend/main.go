@@ -10,11 +10,21 @@
 //   - the prefixes and eventScans counts must not exceed baseline×ratio
 //     (these are deterministic, so growth means a reduction — monitors,
 //     POR, the state cache — actually regressed);
-//   - the monitor section's simulator work per prefix — (sim_steps +
-//     resim_steps) / prefixes, both deterministic at one worker — must
-//     not exceed -stepratio (default 2.0): the incremental execution
-//     engine's acceptance bar (from-root replay measured 6.46 at the
-//     same depth);
+//   - the allocation counts (allocs/op and B/op from -benchmem) must
+//     not exceed baseline×-allocratio (default 1.25). Exploration is
+//     deterministic at one worker, so allocation counts are effectively
+//     exact — the continuation runtime's pooling made them the engine's
+//     primary cost signal, and a 25%+ growth means a pool or a reuse
+//     path actually regressed. Sections whose allocation counts depend
+//     on scheduler timing (work stealing, the HTTP service) carry a
+//     looser per-section "alloc_gate_ratio" in the baseline file, which
+//     overrides the flag for that section;
+//   - sections may additionally declare absolute ceilings ("ns_gate",
+//     "allocs_gate"): the monitor section carries the continuation
+//     runtime's acceptance bar — ≥5× ns/op and ≤10% allocs/op vs the
+//     retired goroutine runtime (16,085,683 ns and 156,806 allocs on
+//     the reference host) — so re-baselining after a regression cannot
+//     quietly lower the bar;
 //   - the sampling sections' schedules and distinct_states counts must
 //     match the baseline exactly (they are deterministic under the
 //     benchmark's fixed master seed — drift is a behavior change);
@@ -22,9 +32,13 @@
 //   - prefixes/sec below baseline/ratio is reported in the artifact and
 //     the log but is ADVISORY only: wall-clock throughput depends on
 //     the host, and a contended shared CI runner must not fail a build
-//     the deterministic counters prove clean. Allocation counts
-//     (allocs/op, B/op, from -benchmem) are recorded in the artifact as
-//     trend data, not gated.
+//     the deterministic counters prove clean.
+//
+// The historical -stepratio gate ((sim_steps+resim_steps)/prefixes of
+// the monitor section, the incremental engine's acceptance bar) is
+// retired: the continuation runtime restores control state by struct
+// copy, so the bound is exact — zero resim steps, one sim step per
+// non-root prefix — and TestExploreContinuationSteps pins it directly.
 //
 // Usage:
 //
@@ -73,6 +87,17 @@ type metrics struct {
 	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
 	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp      float64 `json:"bytes_per_op,omitempty"`
+	// AllocRatio, set only in baseline sections, overrides -allocratio
+	// for that section's allocation gates (work stealing and the HTTP
+	// service allocate timing-dependently and need headroom).
+	AllocRatio float64 `json:"alloc_gate_ratio,omitempty"`
+	// NsGate and AllocsGate, set only in baseline sections, are
+	// absolute ceilings: the continuation runtime's acceptance bar
+	// (≥5× ns/op, ≤10% allocs/op vs the retired goroutine runtime)
+	// frozen as numbers so the bar itself can never drift with the
+	// baseline.
+	NsGate     float64 `json:"ns_gate,omitempty"`
+	AllocsGate float64 `json:"allocs_gate,omitempty"`
 }
 
 // comparison is one gate evaluation. Advisory comparisons (wall-clock
@@ -99,8 +124,8 @@ type report struct {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_explore.json", "committed baseline JSON")
 	outPath := flag.String("out", "bench-trend.json", "where to write the trend report")
-	ratio := flag.Float64("ratio", 2.0, "maximum tolerated regression factor")
-	stepRatio := flag.Float64("stepratio", 2.0, "maximum (sim_steps+resim_steps)/prefixes of the incremental monitor section")
+	ratio := flag.Float64("ratio", 2.0, "maximum tolerated regression factor of the deterministic work counts")
+	allocRatio := flag.Float64("allocratio", 1.25, "maximum tolerated regression factor of allocs/op and B/op (per-section alloc_gate_ratio in the baseline overrides)")
 	sampleRatio := flag.Float64("samplethroughput", 2.0, "advisory tolerated slowdown factor of the sampling sections' schedules/sec")
 	flag.Parse()
 
@@ -132,6 +157,17 @@ func main() {
 		rep.checkAdvisory(key, "prefixes_per_sec", m.PrefixesPerSec, b.PrefixesPerSec, m.PrefixesPerSec >= b.PrefixesPerSec / *ratio)
 		rep.check(key, "prefixes", m.Prefixes, b.Prefixes, m.Prefixes <= b.Prefixes**ratio)
 		rep.check(key, "event_scans", m.EventScans, b.EventScans, m.EventScans <= b.EventScans**ratio)
+		// Allocation gates: hard, with the baseline's per-section
+		// alloc_gate_ratio taking precedence over the flag.
+		ar := *allocRatio
+		if b.AllocRatio > 0 {
+			ar = b.AllocRatio
+		}
+		rep.check(key, "allocs_per_op", m.AllocsPerOp, b.AllocsPerOp, m.AllocsPerOp <= b.AllocsPerOp*ar)
+		rep.check(key, "bytes_per_op", m.BytesPerOp, b.BytesPerOp, m.BytesPerOp <= b.BytesPerOp*ar)
+		// Absolute acceptance ceilings, where the baseline declares them.
+		rep.check(key, "ns_per_op_ceiling", m.NsPerOp, b.NsGate, m.NsPerOp <= b.NsGate)
+		rep.check(key, "allocs_per_op_ceiling", m.AllocsPerOp, b.AllocsGate, m.AllocsPerOp <= b.AllocsGate)
 		// Sampling sections: schedules and terminal-state coverage are
 		// deterministic under the benchmark's fixed seed, so any drift is a
 		// behavior change, not noise; wall-clock throughput stays advisory.
@@ -142,15 +178,6 @@ func main() {
 		rep.check(key, "schedules", m.Schedules, b.Schedules, m.Schedules == b.Schedules)
 		rep.check(key, "distinct_states", m.DistinctStates, b.DistinctStates, m.DistinctStates == b.DistinctStates)
 	}
-	// The incremental-execution acceptance gate: the default monitor
-	// section's deterministic simulator work per explored prefix. The
-	// replay_monitor section (the retired engine, kept live for the
-	// before/after trend) is exempt by construction.
-	if m, ok := measured["monitor"]; ok && m.Prefixes > 0 {
-		perPrefix := (m.SimSteps + m.ResimSteps) / m.Prefixes
-		rep.check("monitor", "steps_per_prefix", perPrefix, *stepRatio, perPrefix <= *stepRatio)
-	}
-
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal("marshal report: %v", err)
@@ -169,7 +196,7 @@ func main() {
 		fmt.Printf("%-22s %-16s measured %12.0f baseline %12.0f  %s\n", c.Section, c.Metric, c.Measured, c.Baseline, status)
 	}
 	if !rep.Pass {
-		fatal("benchmark trend regressed beyond %.1fx (see %s)", *ratio, *outPath)
+		fatal("benchmark trend regressed past a gate (see %s)", *outPath)
 	}
 	fmt.Printf("bench trend ok: %d sections gated against %s\n", len(measured), *baselinePath)
 }

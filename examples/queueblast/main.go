@@ -40,16 +40,10 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	switch inv.Op {
 	case "enq":
 		p.Exec("reserve", func() {
-			if p.Replaying() {
-				return
-			}
 			p.Access("q", true)
 		})
 		p.Exec("publish", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("q", true)
 			q.items = append(q.items, inv.Arg)
 			if len(q.items) > capacity {
@@ -59,10 +53,6 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		})
 	case "deq":
 		p.Exec("deq", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("q", true)
 			if len(q.items) == 0 {
 				out = "empty"
@@ -74,6 +64,59 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		})
 	}
 	return out
+}
+
+// blastFrame is one in-flight operation in continuation form:
+// reserve+publish for enq, one window for deq.
+type blastFrame struct {
+	q   *blastQueue
+	inv run.Invocation
+	pc  int
+}
+
+// Begin implements run.Stepped.
+func (q *blastQueue) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "enq", "deq":
+		return &blastFrame{q: q, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *blastFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	q := f.q
+	if f.inv.Op == "enq" {
+		if f.pc == 0 { // reserve
+			p.Access("q", true)
+			f.pc = 1
+			return nil, run.StepPaused
+		}
+		// publish
+		p.Access("q", true)
+		q.items = append(q.items, f.inv.Arg)
+		if len(q.items) > capacity {
+			// The seeded bug: silently evict the oldest element.
+			q.items = q.items[1:]
+		}
+		return hist.OK, run.StepDone
+	}
+	p.Access("q", true)
+	var out hist.Value
+	if len(q.items) == 0 {
+		out = "empty"
+	} else {
+		out = q.items[0]
+		q.items = q.items[1:]
+	}
+	p.Observe(out)
+	return out, run.StepDone
+}
+
+// Fork implements run.Frame.
+func (f *blastFrame) Fork() run.Frame {
+	c := *f
+	return &c
 }
 
 func (q *blastQueue) Footprints() bool { return true }

@@ -5,11 +5,22 @@
 // shared objects (consensus, transactional memory) are implemented.
 //
 // Every operation on a base object is exactly one atomic step of the
-// executing process. The step boundary is expressed through the Stepper
-// interface: an operation first obtains a step grant from the scheduler
-// (blocking inside Stepper.Exec) and performs its effect atomically within
-// that grant. The simulation runtime (internal/sim) provides the Stepper;
-// because it serializes all grants, base-object state needs no locking.
+// executing process, expressed in two equivalent forms:
+//
+//   - The blocking form (Read, Write, ...) takes a Stepper: the
+//     operation obtains a step grant from the scheduler (blocking
+//     inside Stepper.Exec) and performs its effect atomically within
+//     that grant. sim.Run executes objects this way, one goroutine per
+//     process.
+//
+//   - The window form (ReadW, WriteW, ...) takes an Accessor and
+//     performs the effect immediately: the caller — a continuation
+//     state machine's Begin/Step body (see sim.Stepped) — already runs
+//     inside a granted step window, so nothing blocks and no goroutine
+//     exists.
+//
+// The simulation runtime serializes all grants, so base-object state
+// needs no locking.
 package base
 
 import "repro/internal/history"
@@ -25,6 +36,20 @@ type Value = history.Value
 // crashed or the run has ended; algorithm code must not recover it.
 type Stepper interface {
 	Exec(desc string, op func())
+}
+
+// Accessor is the per-step access context of a granted window: it
+// declares the step's footprint and folds observed values into the
+// executing process's local-state fingerprint. sim.Proc implements it;
+// the window methods (ReadW, WriteW, ...) take it directly because
+// their callers already execute inside a granted step.
+type Accessor interface {
+	// Access declares that the step read (write=false) or mutated
+	// (write=true) the named base object.
+	Access(obj string, write bool)
+	// Observe folds a value the step read from shared state into the
+	// process's local-state fingerprint.
+	Observe(v Value)
 }
 
 // accessDeclarer is the optional footprint hook of the simulation
@@ -47,44 +72,19 @@ func declare(s Stepper, obj string, write bool) {
 // valueObserver is the optional local-state hook of the simulation
 // runtime (sim.Proc implements it): a stepper that folds every value a
 // step reads from shared state into the executing process's state
-// fingerprint and, under an incremental session, records it in the
-// process's pending-operation read log. Exploration's state cache and
-// the session's snapshot restore both need it — a process's future
+// fingerprint. Exploration's state cache needs it — a process's future
 // behavior mid-operation depends on what it has read so far.
 type valueObserver interface {
 	Observe(v Value)
 }
 
 // observe reports a value the current step read, when the stepper
-// fingerprints or records. Every base-object operation that returns
-// shared state to the caller calls it from within its atomic step.
+// fingerprints. Every base-object operation that returns shared state
+// to the caller calls it from within its atomic step.
 func observe(s Stepper, v Value) {
 	if o, ok := s.(valueObserver); ok {
 		o.Observe(v)
 	}
-}
-
-// stepReplayer is the optional session-rebuild hook of the simulation
-// runtime (sim.Proc implements it). While a session restore rebuilds a
-// process's pending operation, Replaying reports true and base objects
-// answer their reads from Replayed — the values the operation observed
-// live — and skip their mutations entirely, so rebuilt local frames
-// match history without touching shared state.
-type stepReplayer interface {
-	Replaying() bool
-	Replayed() Value
-}
-
-// replaying reports whether the current step is a session rebuild step.
-func replaying(s Stepper) bool {
-	r, ok := s.(stepReplayer)
-	return ok && r.Replaying()
-}
-
-// replayed returns the next recorded read value of the operation being
-// rebuilt; only meaningful when replaying(s) is true.
-func replayed(s Stepper) Value {
-	return s.(stepReplayer).Replayed()
 }
 
 // StateSink receives the canonical state encoding of a base object.
@@ -116,14 +116,18 @@ func NewRegister(name string, initial Value) *Register {
 // Name returns the register's name.
 func (r *Register) Name() string { return r.name }
 
+// ReadW atomically reads the register within the caller's granted step.
+func (r *Register) ReadW(a Accessor) Value {
+	a.Access(r.name, false)
+	v := r.val
+	a.Observe(v)
+	return v
+}
+
 // Read atomically reads the register.
 func (r *Register) Read(s Stepper) Value {
 	var v Value
 	s.Exec("read "+r.name, func() {
-		if replaying(s) {
-			v = replayed(s)
-			return
-		}
 		declare(s, r.name, false)
 		v = r.val
 		observe(s, v)
@@ -145,12 +149,15 @@ func (r *Register) Snapshot() any { return r.val }
 // Restore reinstates a state captured by Snapshot.
 func (r *Register) Restore(s any) { r.val = s }
 
+// WriteW atomically writes v within the caller's granted step.
+func (r *Register) WriteW(a Accessor, v Value) {
+	a.Access(r.name, true)
+	r.val = v
+}
+
 // Write atomically writes v to the register.
 func (r *Register) Write(s Stepper, v Value) {
 	s.Exec("write "+r.name, func() {
-		if replaying(s) {
-			return
-		}
 		declare(s, r.name, true)
 		r.val = v
 	})
@@ -172,14 +179,19 @@ func NewCAS(name string, initial Value) *CAS {
 // Name returns the object's name.
 func (c *CAS) Name() string { return c.name }
 
+// ReadW atomically reads the current value within the caller's granted
+// step.
+func (c *CAS) ReadW(a Accessor) Value {
+	a.Access(c.name, false)
+	v := c.val
+	a.Observe(v)
+	return v
+}
+
 // Read atomically reads the current value.
 func (c *CAS) Read(s Stepper) Value {
 	var v Value
 	s.Exec("read "+c.name, func() {
-		if replaying(s) {
-			v = replayed(s)
-			return
-		}
 		declare(s, c.name, false)
 		v = c.val
 		observe(s, v)
@@ -204,20 +216,30 @@ func (c *CAS) Snapshot() any { return c.val }
 // Restore reinstates a state captured by Snapshot.
 func (c *CAS) Restore(s any) { c.val = s }
 
+// CompareAndSwapW atomically replaces the current value with new if it
+// equals old, within the caller's granted step.
+func (c *CAS) CompareAndSwapW(a Accessor, old, new Value) bool {
+	// A failed compare-and-swap mutates nothing: declaring it a read
+	// is sound (while a sleep entry holding this footprint is alive,
+	// any write to the object is dependent and evicts it, so the
+	// compare outcome cannot change) and lets exploration commute
+	// failed CAS steps of different processes.
+	a.Access(c.name, c.val == old)
+	ok := false
+	if c.val == old {
+		c.val = new
+		ok = true
+	}
+	a.Observe(ok)
+	return ok
+}
+
 // CompareAndSwap atomically replaces the current value with new if it
 // equals old, reporting whether the swap happened.
 func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
 	var ok bool
 	s.Exec("cas "+c.name, func() {
-		if replaying(s) {
-			ok = replayed(s).(bool)
-			return
-		}
-		// A failed compare-and-swap mutates nothing: declaring it a read
-		// is sound (while a sleep entry holding this footprint is alive,
-		// any write to the object is dependent and evicts it, so the
-		// compare outcome cannot change) and lets exploration commute
-		// failed CAS steps of different processes.
+		// See CompareAndSwapW for the failed-CAS read footprint.
 		declare(s, c.name, c.val == old)
 		if c.val == old {
 			c.val = new
@@ -233,15 +255,21 @@ func (c *CAS) CompareAndSwap(s Stepper, old, new Value) bool {
 // runs strictly between process windows; algorithm code must use Read.
 func (c *CAS) Peek() Value { return c.val }
 
+// SwapW atomically replaces the current value unconditionally within
+// the caller's granted step and returns the previous value.
+func (c *CAS) SwapW(a Accessor, new Value) Value {
+	a.Access(c.name, true)
+	prev := c.val
+	c.val = new
+	a.Observe(prev)
+	return prev
+}
+
 // Swap atomically replaces the current value unconditionally and returns
 // the previous value.
 func (c *CAS) Swap(s Stepper, new Value) Value {
 	var prev Value
 	s.Exec("swap "+c.name, func() {
-		if replaying(s) {
-			prev = replayed(s)
-			return
-		}
 		declare(s, c.name, true)
 		prev = c.val
 		c.val = new
@@ -264,17 +292,24 @@ func NewTAS(name string) *TAS {
 // Name returns the object's name.
 func (t *TAS) Name() string { return t.name }
 
+// TestAndSetW atomically sets the bit within the caller's granted step
+// and reports whether this call was the one that set it (true = won).
+func (t *TAS) TestAndSetW(a Accessor) bool {
+	// A losing test-and-set leaves the bit set: a read footprint, by
+	// the same argument as CompareAndSwapW.
+	a.Access(t.name, !t.set)
+	won := !t.set
+	t.set = true
+	a.Observe(won)
+	return won
+}
+
 // TestAndSet atomically sets the bit and reports whether this call was the
 // one that set it (true = won).
 func (t *TAS) TestAndSet(s Stepper) bool {
 	var won bool
 	s.Exec("tas "+t.name, func() {
-		if replaying(s) {
-			won = replayed(s).(bool)
-			return
-		}
-		// A losing test-and-set leaves the bit set: a read footprint,
-		// by the same argument as CompareAndSwap.
+		// See TestAndSetW for the losing-TAS read footprint.
 		declare(s, t.name, !t.set)
 		won = !t.set
 		t.set = true
@@ -283,14 +318,18 @@ func (t *TAS) TestAndSet(s Stepper) bool {
 	return won
 }
 
+// ReadW atomically reads the bit within the caller's granted step.
+func (t *TAS) ReadW(a Accessor) bool {
+	a.Access(t.name, false)
+	v := t.set
+	a.Observe(v)
+	return v
+}
+
 // Read atomically reads the bit.
 func (t *TAS) Read(s Stepper) bool {
 	var v bool
 	s.Exec("read "+t.name, func() {
-		if replaying(s) {
-			v = replayed(s).(bool)
-			return
-		}
 		declare(s, t.name, false)
 		v = t.set
 		observe(s, v)
@@ -310,13 +349,16 @@ func (t *TAS) Snapshot() any { return t.set }
 // Restore reinstates a state captured by Snapshot.
 func (t *TAS) Restore(s any) { t.set = s.(bool) }
 
+// ResetW atomically clears the bit within the caller's granted step.
+func (t *TAS) ResetW(a Accessor) {
+	a.Access(t.name, true)
+	t.set = false
+}
+
 // Reset atomically clears the bit (the release half of a test-and-set
 // spinlock).
 func (t *TAS) Reset(s Stepper) {
 	s.Exec("reset "+t.name, func() {
-		if replaying(s) {
-			return
-		}
 		declare(s, t.name, true)
 		t.set = false
 	})
@@ -336,14 +378,20 @@ func NewFetchAdd(name string, initial int) *FetchAdd {
 // Name returns the object's name.
 func (f *FetchAdd) Name() string { return f.name }
 
+// AddW atomically adds delta within the caller's granted step and
+// returns the previous value.
+func (f *FetchAdd) AddW(a Accessor, delta int) int {
+	a.Access(f.name, true)
+	prev := f.val
+	f.val += delta
+	a.Observe(prev)
+	return prev
+}
+
 // Add atomically adds delta and returns the previous value.
 func (f *FetchAdd) Add(s Stepper, delta int) int {
 	var prev int
 	s.Exec("faa "+f.name, func() {
-		if replaying(s) {
-			prev = replayed(s).(int)
-			return
-		}
 		declare(s, f.name, true)
 		prev = f.val
 		f.val += delta
@@ -352,14 +400,18 @@ func (f *FetchAdd) Add(s Stepper, delta int) int {
 	return prev
 }
 
+// ReadW atomically reads the counter within the caller's granted step.
+func (f *FetchAdd) ReadW(a Accessor) int {
+	a.Access(f.name, false)
+	v := f.val
+	a.Observe(v)
+	return v
+}
+
 // Read atomically reads the counter.
 func (f *FetchAdd) Read(s Stepper) int {
 	var v int
 	s.Exec("read "+f.name, func() {
-		if replaying(s) {
-			v = replayed(s).(int)
-			return
-		}
 		declare(s, f.name, false)
 		v = f.val
 		observe(s, v)
@@ -404,15 +456,31 @@ func (sn *Snapshot) Name() string { return sn.name }
 // Len returns the number of components.
 func (sn *Snapshot) Len() int { return len(sn.slots) }
 
+// UpdateW atomically writes v to component i (0-based) within the
+// caller's granted step.
+func (sn *Snapshot) UpdateW(a Accessor, i int, v Value) {
+	a.Access(sn.name, true)
+	sn.slots[i] = v
+}
+
 // Update atomically writes v to component i (0-based).
 func (sn *Snapshot) Update(s Stepper, i int, v Value) {
 	s.Exec("update "+sn.name, func() {
-		if replaying(s) {
-			return
-		}
 		declare(s, sn.name, true)
 		sn.slots[i] = v
 	})
+}
+
+// ScanW atomically appends a copy of all components to dst within the
+// caller's granted step and returns the extended slice (pass dst[:0] to
+// reuse a buffer, nil to allocate).
+func (sn *Snapshot) ScanW(a Accessor, dst []Value) []Value {
+	a.Access(sn.name, false)
+	dst = append(dst, sn.slots...)
+	for _, v := range sn.slots {
+		a.Observe(v)
+	}
+	return dst
 }
 
 // Scan atomically returns a copy of all components.
@@ -420,12 +488,6 @@ func (sn *Snapshot) Scan(s Stepper) []Value {
 	var out []Value
 	s.Exec("scan "+sn.name, func() {
 		out = make([]Value, len(sn.slots))
-		if replaying(s) {
-			for i := range out {
-				out[i] = replayed(s)
-			}
-			return
-		}
 		declare(s, sn.name, false)
 		copy(out, sn.slots)
 		for _, v := range out {

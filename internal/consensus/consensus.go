@@ -202,6 +202,117 @@ func (c *CommitAdoptOF) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	}
 }
 
+// Frame phases for commitAdoptFrame.pc. Each constant names the access
+// the NEXT Step call performs.
+const (
+	caReadDecision  = iota // decision.Read (first access of the op)
+	caWriteA               // a[i].Write of the current round
+	caReadA                // a[j].Read, j advancing 0..n-1
+	caWriteB               // b[i].Write
+	caReadB                // b[j].Read, j advancing 0..n-1
+	caWriteDecision        // decision.Write (commit)
+	caCheckDecision        // decision.Read at the end of an uncommitted round
+)
+
+// commitAdoptFrame is one in-flight propose: the explicit continuation of
+// Apply's round loop. Local state (the adopted value, the scan results)
+// lives in the frame; the lazy c.round(r) allocation runs at the end of
+// the Step that decides to enter round r, which is the same window it
+// occupies in the blocking form.
+type commitAdoptFrame struct {
+	c   *CommitAdoptOF
+	v   history.Value // current proposal (adopted value after each round)
+	pc  int
+	rnd *caRound // round being executed (allocated by the preceding step)
+	rix int      // index of rnd
+	j   int      // scan index for caReadA / caReadB
+
+	allSame   bool // phase-1 scan verdict
+	committed history.Value
+	hasCommit bool
+	mixed     bool
+}
+
+// Begin implements sim.Stepped. The first access is the decision read,
+// so the invocation window runs no object code.
+func (c *CommitAdoptOF) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	return &commitAdoptFrame{c: c, v: inv.Arg}, nil, sim.StepPaused
+}
+
+// Step implements sim.Frame.
+func (f *commitAdoptFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	c := f.c
+	i := p.ID() - 1
+	switch f.pc {
+	case caReadDecision:
+		if d := c.decision.ReadW(p); d != nil {
+			return d, sim.StepDone
+		}
+		f.rnd = c.round(f.rix)
+		f.pc = caWriteA
+	case caWriteA:
+		f.rnd.a[i].WriteW(p, f.v)
+		f.allSame = true
+		f.j = 0
+		f.pc = caReadA
+	case caReadA:
+		if av := f.rnd.a[f.j].ReadW(p); av != nil && av != f.v {
+			f.allSame = false
+		}
+		if f.j++; f.j == len(f.rnd.a) {
+			f.pc = caWriteB
+		}
+	case caWriteB:
+		f.rnd.b[i].WriteW(p, bEntry{v: f.v, commit: f.allSame})
+		f.hasCommit = false
+		f.committed = nil
+		f.mixed = false
+		f.j = 0
+		f.pc = caReadB
+	case caReadB:
+		if bv := f.rnd.b[f.j].ReadW(p); bv != nil {
+			e := bv.(bEntry)
+			if e.commit {
+				if !f.hasCommit {
+					f.hasCommit = true
+					f.committed = e.v
+				}
+			} else {
+				f.mixed = true
+			}
+		}
+		if f.j++; f.j == len(f.rnd.b) {
+			// Resolve the round: adopt, and commit iff some entry
+			// committed and none adopted.
+			if f.hasCommit {
+				f.v = f.committed
+				if !f.mixed {
+					f.pc = caWriteDecision
+					break
+				}
+			}
+			f.pc = caCheckDecision
+		}
+	case caWriteDecision:
+		c.decision.WriteW(p, f.v)
+		return f.v, sim.StepDone
+	case caCheckDecision:
+		if d := c.decision.ReadW(p); d != nil {
+			return d, sim.StepDone
+		}
+		f.rix++
+		f.rnd = c.round(f.rix)
+		f.pc = caWriteA
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *commitAdoptFrame) Fork() sim.Frame {
+	c := *f
+	return &c
+}
+
 // CASBased is wait-free consensus from one compare-and-swap object.
 type CASBased struct {
 	c *base.CAS
@@ -216,6 +327,35 @@ func NewCASBased() *CASBased {
 func (c *CASBased) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	c.c.CompareAndSwap(p, nil, inv.Arg)
 	return c.c.Read(p)
+}
+
+// casBasedFrame is one in-flight propose: CAS(nil, arg), then read the
+// winner.
+type casBasedFrame struct {
+	c    *CASBased
+	arg  history.Value
+	cast bool
+}
+
+// Begin implements sim.Stepped.
+func (c *CASBased) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	return &casBasedFrame{c: c, arg: inv.Arg}, nil, sim.StepPaused
+}
+
+// Step implements sim.Frame.
+func (f *casBasedFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	if !f.cast {
+		f.c.c.CompareAndSwapW(p, nil, f.arg)
+		f.cast = true
+		return nil, sim.StepPaused
+	}
+	return f.c.c.ReadW(p), sim.StepDone
+}
+
+// Fork implements sim.Frame.
+func (f *casBasedFrame) Fork() sim.Frame {
+	c := *f
+	return &c
 }
 
 // Footprints implements sim.Footprinted: the only shared state is the

@@ -36,6 +36,13 @@ type pathExec interface {
 	// at an unspecified position (callers leave(m) before the next
 	// enter). Probe work never counts toward Stats.Steps.
 	probe(m execMark, d sim.Decision) (sim.Access, error)
+	// release returns a mark that will never be left to again, letting
+	// the exec pool its resources. Optional — dropping a mark instead
+	// is correct, just garbage.
+	release(m execMark)
+	// recycle returns a node info the DFS is done with for reuse by a
+	// later task/enter. Optional, like release.
+	recycle(ni *nodeInfo)
 	// history returns the full event history of the current node.
 	history() history.History
 	// close releases the exec's resources.
@@ -76,6 +83,10 @@ type sessionExec struct {
 	st   *Stats
 	sess *sim.Session
 	root *sim.Mark
+	// nifree pools nodeInfos recycled by the DFS (live nodeInfos are
+	// bounded by the exploration depth, so the pool stays tiny); each
+	// reuse also reuses the ready-slice backing.
+	nifree []*nodeInfo
 }
 
 func newSessionExec(g *engine, st *Stats) (*sessionExec, error) {
@@ -126,7 +137,16 @@ func (e *sessionExec) enter(d sim.Decision) (*nodeInfo, error) {
 }
 
 func (e *sessionExec) node(delta history.History, a sim.Access) *nodeInfo {
-	ni := &nodeInfo{delta: delta, access: a, ready: e.sess.Ready()}
+	var ni *nodeInfo
+	if n := len(e.nifree); n > 0 {
+		ni = e.nifree[n-1]
+		e.nifree = e.nifree[:n-1]
+		*ni = nodeInfo{ready: ni.ready[:0]}
+	} else {
+		ni = &nodeInfo{}
+	}
+	ni.delta, ni.access = delta, a
+	ni.ready = e.sess.ReadyAppend(ni.ready)
 	if e.g.cfg.Cache {
 		ni.fp, ni.fped = e.sess.Fingerprint()
 	}
@@ -134,6 +154,10 @@ func (e *sessionExec) node(delta history.History, a sim.Access) *nodeInfo {
 }
 
 func (e *sessionExec) mark() execMark { return e.sess.Mark() }
+
+func (e *sessionExec) release(m execMark) { e.sess.Release(m.(*sim.Mark)) }
+
+func (e *sessionExec) recycle(ni *nodeInfo) { e.nifree = append(e.nifree, ni) }
 
 func (e *sessionExec) leave(m execMark) error {
 	n, err := e.sess.Restore(m.(*sim.Mark))
@@ -233,5 +257,9 @@ func (e *replayExec) probe(m execMark, d sim.Decision) (sim.Access, error) {
 }
 
 func (e *replayExec) history() history.History { return e.res.H }
+
+func (e *replayExec) release(execMark) {}
+
+func (e *replayExec) recycle(*nodeInfo) {}
 
 func (e *replayExec) close() {}

@@ -66,6 +66,25 @@ type MonitorSet interface {
 	Fork() MonitorSet
 }
 
+// ReleasableMonitorSet is the optional hook a MonitorSet implements to
+// reclaim forks. The engine calls Release exactly once, when the
+// subtree a fork was made for has been fully explored without error: no
+// Step, Fork, or digest call follows, so the set may recycle its state
+// into later Fork calls. Sets on error paths (a violation's set, or
+// tasks abandoned by a cutoff) are never released — the garbage
+// collector keeps them correct — so implementations need no idempotence.
+type ReleasableMonitorSet interface {
+	MonitorSet
+	Release()
+}
+
+// releaseMonitors hands ms back to its owner when it opts in.
+func releaseMonitors(ms MonitorSet) {
+	if r, ok := ms.(ReleasableMonitorSet); ok {
+		r.Release()
+	}
+}
+
 // Digester is the optional hook a MonitorSet implements to make states
 // cacheable under Config.Cache: StateDigest returns a canonical digest
 // of the set's residual state — everything its future Step verdicts can
@@ -418,6 +437,10 @@ func (g *engine) runTask(w *wsWorker, ex pathExec, t *wsTask, st *Stats) error {
 		}
 	}
 	_, err = g.explore(w, ex, node, ps, t.crashes, t.ms, t.sleep, st)
+	ex.recycle(node)
+	if err == nil && t.ms != nil {
+		releaseMonitors(t.ms)
+	}
 	return err
 }
 
@@ -438,7 +461,11 @@ func stepDelta(ms MonitorSet, node *nodeInfo, h history.History, prefix []sim.De
 		if err := ms.Step(node.delta[k]); err != nil {
 			w := witness(prefix)
 			st.Witness = w
-			return &Violation{Schedule: w, H: h, EventIndex: parentEvents + k, Cause: err}
+			// Copy the history out of the session's live buffer: the
+			// witness outlives this node, and under parallelism the
+			// session keeps truncating and extending the backing while
+			// other workers drain.
+			return &Violation{Schedule: w, H: append(history.History(nil), h...), EventIndex: parentEvents + k, Cause: err}
 		}
 	}
 	return nil
@@ -477,16 +504,21 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 	if ps.steps >= g.cfg.Depth {
 		return true, nil
 	}
-	var children []sim.Decision
-	for _, p := range node.ready {
-		children = append(children, sim.Decision{Proc: p})
-	}
+	// Children are indexed, not materialized (the hot loop allocates no
+	// per-node slices): ready-process steps first, then — crash budget
+	// permitting — crashes of the same processes. Crash only ready
+	// processes: idle and blocked processes take no further steps, so
+	// crashing them duplicates sibling subtrees.
+	nready := len(node.ready)
+	nchildren := nready
 	if crashes < g.cfg.Crashes {
-		// Crash only ready processes: idle and blocked processes take no
-		// further steps, so crashing them duplicates sibling subtrees.
-		for _, p := range node.ready {
-			children = append(children, sim.Decision{Proc: p, Crash: true})
+		nchildren = 2 * nready
+	}
+	childAt := func(i int) sim.Decision {
+		if i < nready {
+			return sim.Decision{Proc: node.ready[i]}
 		}
+		return sim.Decision{Proc: node.ready[i-nready], Crash: true}
 	}
 	var z []sleepEntry
 	if g.cfg.POR && len(ps.prefix) > 0 {
@@ -496,14 +528,18 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 	// entries appended for explored siblings are those siblings'
 	// decisions, which never equal a later child's. So the children that
 	// will actually be explored are known up front.
-	var live []int
-	for i, d := range children {
-		if !g.cfg.POR || !inSleep(z, d) {
-			live = append(live, i)
+	nlive, firstLive, lastLive := 0, -1, -1
+	for i := 0; i < nchildren; i++ {
+		if !g.cfg.POR || !inSleep(z, childAt(i)) {
+			if firstLive < 0 {
+				firstLive = i
+			}
+			lastLive = i
+			nlive++
 		}
 	}
-	st.Pruned += len(children) - len(live)
-	if len(live) == 0 {
+	st.Pruned += nchildren - nlive
+	if nlive == 0 {
 		return true, nil
 	}
 
@@ -533,25 +569,34 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 	// (or probed) from this node: a single live child is entered
 	// directly from the current position and never returned to.
 	var mark execMark
-	if len(live) > 1 {
+	if nlive > 1 {
 		mark = ex.mark()
 	}
 
 	// Under parallelism, split the later live children off as stealable
 	// tasks when the worker's deque has room (and the subtrees are worth
 	// the task overhead), exploring only the first live child inline.
+	// Only this path materializes the child list.
 	spawned := 0
-	if w != nil && len(live) > 1 && remDepth >= minSplitDepth {
+	if w != nil && nlive > 1 && remDepth >= minSplitDepth {
+		children := make([]sim.Decision, nchildren)
+		live := make([]int, 0, nlive)
+		for i := range children {
+			children[i] = childAt(i)
+			if !g.cfg.POR || !inSleep(z, children[i]) {
+				live = append(live, i)
+			}
+		}
 		spawned = g.trySplit(w, ex, mark, ps, crashes, ms, z, children, live)
 	}
 
-	lastLive := live[len(live)-1]
 	complete := true
-	for i, d := range children {
+	for i := 0; i < nchildren; i++ {
+		d := childAt(i)
 		if g.cfg.POR && inSleep(z, d) {
 			continue // already counted in Pruned above
 		}
-		if spawned > 0 && i > live[0] {
+		if spawned > 0 && i > firstLive {
 			break // later live children were handed to the pool
 		}
 		if w != nil {
@@ -587,6 +632,9 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 			ps.steps++
 		}
 		cc, err := g.explore(w, ex, cn, ps, nextCrashes, cms, z, st)
+		if err == nil && cms != ms {
+			releaseMonitors(cms) // forked for this child, now fully explored
+		}
 		ps.prefix = ps.prefix[:len(ps.prefix)-1]
 		if !d.Crash {
 			ps.steps--
@@ -606,6 +654,10 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 		if g.cfg.POR && !d.Crash {
 			z = append(z, sleepEntry{d: d, a: cn.access})
 		}
+		ex.recycle(cn)
+	}
+	if mark != nil {
+		ex.release(mark)
 	}
 	if spawned > 0 {
 		// Later live children were handed to the pool and may not have

@@ -22,8 +22,10 @@
 //	//slx:nondet         detorder: this line (or the next) reads
 //	                     wall-clock time or iterates a map in an order
 //	                     that provably cannot reach engine results.
-//	//slx:noreplayguard  replaypure: this function's step closures are
-//	                     exempt from the Replaying-guard contract.
+//	//slx:nostepwindow   replaypure: this Begin/Step-shaped method is
+//	                     not a sim continuation (or knowingly bends the
+//	                     window contract) and is exempt from the
+//	                     window-purity checks.
 //
 // A reason is not enforced but every annotation in the tree carries
 // one: the exemption is an assertion, and the reason is its proof

@@ -1,31 +1,30 @@
-// Package replaypure enforces the session-rebuild purity contract
-// (sim.Snapshottable, rule 3): inside a base-object step closure —
-// a function literal passed to Proc.Exec / Stepper.Exec — the real
-// shared-state work must be skipped while a session restore is
-// re-executing the pending operation. The idiom is a leading guard:
+// Package replaypure enforces the continuation runtime's window-purity
+// contract (sim.Stepped). Operations of session-capable objects run as
+// resumable frames: Begin executes the invocation window, each
+// Frame.Step call executes one access window, and the engine — not a
+// per-process goroutine — grants the windows. Two structural rules keep
+// a continuation translation faithful to its blocking oracle:
 //
-//	p.Exec("read", func() {
-//		if p.Replaying() {
-//			v = p.Replayed()
-//			return
-//		}
-//		p.Access("r", false)
-//		v = r.val
-//		p.Observe(v)
-//	})
+//   - The invocation window carries no footprint: Begin bodies must not
+//     declare accesses (Proc.Access, internal/base's declare helper, or
+//     any base window method such as ReadW/WriteW/CompareAndSwapW). A
+//     Begin that touched shared state would give the operation an extra
+//     scheduler-visible step the oracle does not have, desynchronizing
+//     schedules, footprints and fingerprints between the two execution
+//     engines. Proc.Observe IS allowed: local state that steers the
+//     operation (e.g. a transaction's active flag) is folded into the
+//     fingerprint in the invocation window by both forms.
 //
-// Two violations are flagged, both anchored on the footprint
-// declaration (Proc.Access, or internal/base's declare helper) because
-// every step closure that touches shared state declares it:
+//   - Continuation code never performs the scheduler handshake: Begin
+//     and Step bodies must not call Proc.Exec / Stepper.Exec. Their
+//     windows are already granted by the dispatch loop; Exec is the
+//     blocking-form handshake and panics under direct dispatch.
 //
-//   - an Access call with no dominating Replaying guard: the closure
-//     would re-run its real accesses during a rebuild, desynchronizing
-//     the restored state from the recorded history;
-//   - an Access call inside the Replaying branch itself: rebuild steps
-//     must answer reads from Proc.Replayed and mutate nothing.
-//
-// Objects that are never executed under a session may exempt a whole
-// function with //slx:noreplayguard and a reason.
+// The analyzer identifies continuation methods by shape: a method named
+// Begin taking (*Proc, Invocation) with three results, or a method
+// named Step taking a single *Proc with two results. Methods that match
+// the shape but are not sim continuations may exempt themselves with
+// //slx:nostepwindow and a reason.
 package replaypure
 
 import (
@@ -38,159 +37,116 @@ import (
 // Analyzer is the replaypure check.
 var Analyzer = &analysis.Analyzer{
 	Name: "replaypure",
-	Doc:  "step closures must guard Proc.Access (and real mutations) behind the Proc.Replaying rebuild check",
+	Doc:  "continuation Begin windows must declare no accesses, and Begin/Step must never call the blocking Exec handshake",
 	Run:  run,
 }
+
+// method kinds recognized by contKind.
+const (
+	notCont = iota
+	beginMethod
+	stepMethod
+)
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+			if !ok || fn.Body == nil || fn.Recv == nil {
 				continue
 			}
-			if pragma.Has(fn.Doc, "noreplayguard") {
+			kind := contKind(fn)
+			if kind == notCont {
 				continue
 			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if lit := execClosure(call); lit != nil {
-					checkClosure(pass, lit)
-					return false // the closure's own Exec nests are handled recursively
-				}
-				return true
-			})
+			if pragma.Has(fn.Doc, "nostepwindow") {
+				continue
+			}
+			checkBody(pass, fn, kind)
 		}
 	}
 	return nil
 }
 
-// execClosure matches `s.Exec(desc, func() { ... })` and returns the
-// step closure, or nil.
-func execClosure(call *ast.CallExpr) *ast.FuncLit {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Exec" || len(call.Args) != 2 {
-		return nil
-	}
-	lit, ok := call.Args[1].(*ast.FuncLit)
-	if !ok {
-		return nil
-	}
-	return lit
-}
-
-// checkClosure walks the closure's statements tracking whether
-// execution is dominated by a not-Replaying guard (guarded) or is on
-// the Replaying branch itself (replaying).
-func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
-	walkStmts(pass, lit.Body.List, false, false)
-}
-
-// walkStmts scans a statement list. guarded means a Replaying check
-// already diverted rebuild steps away from this path; replaying means
-// this path only runs while a rebuild is active.
-func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, guarded, replaying bool) {
-	for _, stmt := range stmts {
-		guarded = walkStmt(pass, stmt, guarded, replaying)
-	}
-}
-
-// walkStmt scans one statement and returns the guard state for the
-// statements that follow it.
-func walkStmt(pass *analysis.Pass, stmt ast.Stmt, guarded, replaying bool) bool {
-	switch s := stmt.(type) {
-	case *ast.IfStmt:
-		switch replayingCond(s.Cond) {
-		case 1: // if Replaying() { ... }
-			walkStmts(pass, s.Body.List, guarded, true)
-			walkElse(pass, s.Else, true, replaying)
-			if terminates(s.Body) {
-				return true // the rebuild path returned; the rest is live-only
-			}
-			return guarded
-		case -1: // if !Replaying() { ... }
-			walkStmts(pass, s.Body.List, true, replaying)
-			walkElse(pass, s.Else, guarded, true)
-			return guarded
-		default:
-			walkStmts(pass, s.Body.List, guarded, replaying)
-			walkElse(pass, s.Else, guarded, replaying)
-			return guarded
-		}
-	case *ast.BlockStmt:
-		walkStmts(pass, s.List, guarded, replaying)
-	case *ast.ForStmt:
-		walkStmts(pass, s.Body.List, guarded, replaying)
-	case *ast.RangeStmt:
-		walkStmts(pass, s.Body.List, guarded, replaying)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				walkStmts(pass, cc.Body, guarded, replaying)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				walkStmts(pass, cc.Body, guarded, replaying)
-			}
-		}
-	default:
-		checkLeaf(pass, stmt, guarded, replaying)
-	}
-	return guarded
-}
-
-// walkElse dispatches an else branch (a block or a chained if).
-func walkElse(pass *analysis.Pass, els ast.Stmt, guarded, replaying bool) {
-	switch e := els.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		walkStmts(pass, e.List, guarded, replaying)
-	case *ast.IfStmt:
-		walkStmt(pass, e, guarded, replaying)
-	}
-}
-
-// checkLeaf reports Access calls inside a non-branching statement.
-func checkLeaf(pass *analysis.Pass, stmt ast.Stmt, guarded, replaying bool) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
+// checkBody scans one continuation method body for contract violations.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, kind int) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if !isAccessCall(call) {
+		if isExecCall(call) {
+			pass.Reportf(call.Pos(), "continuation %s calls Exec: its windows are granted by the dispatch loop, so the blocking handshake would panic; perform the access with a window method (ReadW, WriteW, ...) or Proc.Access instead (or annotate the method //slx:nostepwindow)", fn.Name.Name)
 			return true
 		}
-		if replaying {
-			pass.Reportf(call.Pos(), "Proc.Access reachable while Proc.Replaying is true: rebuild steps must answer reads from Proc.Replayed and perform no real accesses or mutations")
-		} else if !guarded {
-			pass.Reportf(call.Pos(), "step closure declares an access without a preceding Replaying guard: start the closure with `if replaying { ...; return }` so session rebuilds skip real accesses and mutations (or annotate the function //slx:noreplayguard)")
+		if kind != beginMethod {
+			return true
+		}
+		if isAccessCall(call) {
+			pass.Reportf(call.Pos(), "Begin declares a footprint in the invocation window: the oracle's invocation window performs no access, so move this into the frame's first Step (or annotate the method //slx:nostepwindow)")
+		} else if name, ok := windowCall(call); ok {
+			pass.Reportf(call.Pos(), "Begin calls the window method %s in the invocation window: the oracle's invocation window performs no access, so move this into the frame's first Step (or annotate the method //slx:nostepwindow)", name)
 		}
 		return true
 	})
 }
 
-// terminates reports whether a block always leaves the closure: its
-// last statement is a return or a panic call.
-func terminates(block *ast.BlockStmt) bool {
-	if len(block.List) == 0 {
-		return false
-	}
-	switch last := block.List[len(block.List)-1].(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok {
-				return id.Name == "panic"
+// contKind classifies a method declaration: Stepped.Begin-shaped,
+// Frame.Step-shaped, or neither. Shapes are matched structurally —
+// name, arity and a *Proc first parameter — because the analyzer runs
+// without type information.
+func contKind(fn *ast.FuncDecl) int {
+	params := fn.Type.Params.List
+	results := 0
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			if n := len(f.Names); n > 0 {
+				results += n
+			} else {
+				results++
 			}
 		}
 	}
+	args := 0
+	for _, f := range params {
+		if n := len(f.Names); n > 0 {
+			args += n
+		} else {
+			args++
+		}
+	}
+	switch fn.Name.Name {
+	case "Begin":
+		if args == 2 && results == 3 && len(params) > 0 && isProcPtr(params[0].Type) {
+			return beginMethod
+		}
+	case "Step":
+		if args == 1 && results == 2 && len(params) == 1 && isProcPtr(params[0].Type) {
+			return stepMethod
+		}
+	}
+	return notCont
+}
+
+// isProcPtr matches *Proc, *sim.Proc and *run.Proc parameter types.
+func isProcPtr(t ast.Expr) bool {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch x := star.X.(type) {
+	case *ast.Ident:
+		return x.Name == "Proc"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "Proc"
+	}
 	return false
+}
+
+// isExecCall matches the blocking handshake `.Exec(desc, func(){...})`.
+func isExecCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Exec" && len(call.Args) == 2
 }
 
 // isAccessCall matches the footprint declaration forms: a .Access
@@ -205,30 +161,20 @@ func isAccessCall(call *ast.CallExpr) bool {
 	return false
 }
 
-// replayingCond classifies an if condition: 1 for a Replaying check,
-// -1 for its negation, 0 for anything else.
-func replayingCond(cond ast.Expr) int {
-	switch c := cond.(type) {
-	case *ast.CallExpr:
-		if isReplayingCall(c) {
-			return 1
-		}
-	case *ast.UnaryExpr:
-		if inner, ok := c.X.(*ast.CallExpr); ok && c.Op.String() == "!" && isReplayingCall(inner) {
-			return -1
-		}
-	}
-	return 0
+// windowMethods is the base-object window-form vocabulary: every one
+// declares a footprint for the window it runs in.
+var windowMethods = map[string]bool{
+	"ReadW": true, "WriteW": true, "CompareAndSwapW": true, "SwapW": true,
+	"TestAndSetW": true, "ResetW": true, "AddW": true, "UpdateW": true,
+	"ScanW": true,
 }
 
-// isReplayingCall matches .Replaying() (sim.Proc) and internal/base's
-// replaying(s) helper.
-func isReplayingCall(call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		return fun.Sel.Name == "Replaying"
-	case *ast.Ident:
-		return fun.Name == "replaying"
+// windowCall matches calls of base window methods (method name ending
+// in W from the known vocabulary) and returns the method name.
+func windowCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !windowMethods[sel.Sel.Name] {
+		return "", false
 	}
-	return false
+	return sel.Sel.Name, true
 }

@@ -1,97 +1,140 @@
-// Package replaypure is the analyzer fixture: step closures in every
-// guard state, with a self-contained stand-in for sim.Proc.
+// Package replaypure is the analyzer fixture: continuation methods in
+// every contract state, with self-contained stand-ins for sim.Proc,
+// sim.Frame and the base window methods.
 package replaypure
 
 // Proc stands in for sim.Proc.
 type Proc struct{}
 
-// Exec runs one step closure.
+// Exec runs one step closure (the blocking handshake).
 func (p *Proc) Exec(desc string, step func()) { step() }
 
 // Access declares a footprint entry.
 func (p *Proc) Access(name string, write bool) {}
 
-// Observe records the step's observed value.
+// Observe records the window's observed value.
 func (p *Proc) Observe(v any) {}
 
-// Replaying reports whether a session rebuild is re-executing steps.
-func (p *Proc) Replaying() bool { return false }
+// ID returns the process id.
+func (p *Proc) ID() int { return 1 }
 
-// Replayed answers a rebuild step's read from the recorded history.
-func (p *Proc) Replayed() any { return nil }
-
-type register struct{ val int }
-
-// readGuarded is the canonical idiom: clean.
-func (r *register) readGuarded(p *Proc) int {
-	var v int
-	p.Exec("read", func() {
-		if p.Replaying() {
-			v, _ = p.Replayed().(int)
-			return
-		}
-		p.Access("r", false)
-		v = r.val
-		p.Observe(v)
-	})
-	return v
+// Invocation stands in for sim.Invocation.
+type Invocation struct {
+	Op  string
+	Arg any
 }
 
-// readUnguarded declares its access with no Replaying check: flagged.
-func (r *register) readUnguarded(p *Proc) int {
-	var v int
-	p.Exec("read", func() {
-		p.Access("r", false) // want `without a preceding Replaying guard`
-		v = r.val
-		p.Observe(v)
-	})
-	return v
+// Frame stands in for sim.Frame.
+type Frame interface {
+	Step(p *Proc) (any, int)
+	Fork() Frame
 }
 
-// writeInRebuild touches shared state on the rebuild path: flagged.
-func (r *register) writeInRebuild(p *Proc, v int) {
-	p.Exec("write", func() {
-		if p.Replaying() {
-			p.Access("r", true) // want `reachable while Proc\.Replaying is true`
-			return
-		}
-		p.Access("r", true)
-		r.val = v
-	})
+// register is a base-object stand-in with a window method.
+type register struct{ val any }
+
+// ReadW is a window-form read.
+func (r *register) ReadW(p *Proc) any {
+	p.Access("r", false)
+	p.Observe(r.val)
+	return r.val
 }
 
-// readInverted guards with the negated form: clean.
-func (r *register) readInverted(p *Proc) int {
-	var v int
-	p.Exec("read", func() {
-		if !p.Replaying() {
-			p.Access("r", false)
-			v = r.val
-			p.Observe(v)
-		} else {
-			v, _ = p.Replayed().(int)
-		}
-	})
-	return v
+// WriteW is a window-form write.
+func (r *register) WriteW(p *Proc, v any) {
+	p.Access("r", true)
+	r.val = v
 }
 
-// readSessionless never runs under a session; the whole function is
-// exempted.
-//
-//slx:noreplayguard fixture: object is never snapshotted
-func (r *register) readSessionless(p *Proc) int {
-	var v int
-	p.Exec("read", func() {
-		p.Access("r", false)
-		v = r.val
+// cleanObj is the canonical continuation translation: Begin observes
+// steering state but declares nothing; the frame does the accesses.
+type cleanObj struct {
+	r      *register
+	active bool
+}
+
+// Begin is clean: Observe is allowed in the invocation window.
+func (o *cleanObj) Begin(p *Proc, inv Invocation) (Frame, any, int) {
+	p.Observe(o.active)
+	return &cleanFrame{o: o, inv: inv}, nil, 0
+}
+
+type cleanFrame struct {
+	o   *cleanObj
+	inv Invocation
+}
+
+// Step is clean: accesses belong in the granted window.
+func (f *cleanFrame) Step(p *Proc) (any, int) {
+	p.Access("r", true)
+	f.o.r.WriteW(p, f.inv.Arg)
+	return nil, 1
+}
+
+func (f *cleanFrame) Fork() Frame { return f }
+
+// accessInBegin declares a footprint in the invocation window: flagged.
+type accessInBegin struct{ r *register }
+
+func (o *accessInBegin) Begin(p *Proc, inv Invocation) (Frame, any, int) {
+	p.Access("r", true) // want `Begin declares a footprint in the invocation window`
+	return nil, nil, 1
+}
+
+// windowInBegin calls a base window method from Begin: flagged.
+type windowInBegin struct{ r *register }
+
+func (o *windowInBegin) Begin(p *Proc, inv Invocation) (Frame, any, int) {
+	return nil, o.r.ReadW(p), 1 // want `Begin calls the window method ReadW in the invocation window`
+}
+
+// execInBegin performs the blocking handshake from Begin: flagged.
+type execInBegin struct{ r *register }
+
+func (o *execInBegin) Begin(p *Proc, inv Invocation) (Frame, any, int) {
+	var v any
+	p.Exec("read", func() { // want `continuation Begin calls Exec`
+		v = o.r.val
 	})
-	return v
+	return nil, v, 1
+}
+
+// execInStep performs the blocking handshake from Step: flagged.
+type execFrame struct{ o *execInBegin }
+
+func (f *execFrame) Step(p *Proc) (any, int) {
+	p.Exec("write", func() {}) // want `continuation Step calls Exec`
+	return nil, 1
+}
+
+func (f *execFrame) Fork() Frame { return f }
+
+// exempted matches the Begin shape but is not a sim continuation; the
+// pragma waives the contract.
+type exempted struct{ r *register }
+
+//slx:nostepwindow fixture: not a sim continuation method
+func (o *exempted) Begin(p *Proc, inv Invocation) (Frame, any, int) {
+	p.Access("r", true)
+	return nil, nil, 1
+}
+
+// otherShape has the Step name but not the continuation signature:
+// ignored.
+type otherShape struct{}
+
+func (o *otherShape) Step(e any) error {
+	p := &Proc{}
+	p.Exec("x", func() {})
+	return nil
 }
 
 var _ = []any{
-	(*register).readGuarded,
-	(*register).readUnguarded,
-	(*register).writeInRebuild,
-	(*register).readInverted,
-	(*register).readSessionless,
+	(*cleanObj).Begin,
+	(*accessInBegin).Begin,
+	(*windowInBegin).Begin,
+	(*execInBegin).Begin,
+	(*execFrame).Step,
+	(*exempted).Begin,
+	(*otherShape).Step,
 }

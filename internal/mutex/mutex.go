@@ -130,6 +130,64 @@ func (l *Peterson) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	}
 }
 
+// petersonFrame is one in-flight Peterson operation as a continuation
+// state machine; pc tracks the acquire protocol's position (write own
+// flag, write turn, then the two-read spin loop).
+type petersonFrame struct {
+	l       *Peterson
+	me      int // p.ID() - 1
+	acquire bool
+	pc      int
+}
+
+// Begin implements sim.Stepped: both operations start with a base
+// access, so the invocation window runs no object code.
+func (l *Peterson) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case OpAcquire:
+		return &petersonFrame{l: l, me: p.ID() - 1, acquire: true}, nil, sim.StepPaused
+	case OpRelease:
+		return &petersonFrame{l: l, me: p.ID() - 1}, nil, sim.StepPaused
+	default:
+		return nil, nil, sim.StepDone
+	}
+}
+
+// Step implements sim.Frame, mirroring Acquire/Release step for step.
+func (f *petersonFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	l := f.l
+	if !f.acquire {
+		l.flag[f.me].WriteW(p, false)
+		return Unlocked, sim.StepDone
+	}
+	other := 1 - f.me
+	switch f.pc {
+	case 0:
+		l.flag[f.me].WriteW(p, true)
+		f.pc = 1
+	case 1:
+		l.turn.WriteW(p, other+1)
+		f.pc = 2
+	case 2:
+		if !l.flag[other].ReadW(p).(bool) {
+			return Locked, sim.StepDone
+		}
+		f.pc = 3
+	case 3:
+		if l.turn.ReadW(p) != other+1 {
+			return Locked, sim.StepDone
+		}
+		f.pc = 2
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *petersonFrame) Fork() sim.Frame {
+	c := *f
+	return &c
+}
+
 // TASLock is a test-and-set spinlock: deadlock-free, not starvation-free.
 type TASLock struct {
 	t *base.TAS
@@ -180,6 +238,41 @@ func (l *TASLock) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 		return nil
 	}
 }
+
+// tasLockFrame is one in-flight TASLock operation. It carries no
+// mutable state (the spin loop re-runs the same test-and-set step), so
+// Fork returns the frame itself.
+type tasLockFrame struct {
+	l       *TASLock
+	acquire bool
+}
+
+// Begin implements sim.Stepped.
+func (l *TASLock) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case OpAcquire:
+		return &tasLockFrame{l: l, acquire: true}, nil, sim.StepPaused
+	case OpRelease:
+		return &tasLockFrame{l: l}, nil, sim.StepPaused
+	default:
+		return nil, nil, sim.StepDone
+	}
+}
+
+// Step implements sim.Frame.
+func (f *tasLockFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	if !f.acquire {
+		f.l.t.ResetW(p)
+		return Unlocked, sim.StepDone
+	}
+	if f.l.t.TestAndSetW(p) {
+		return Locked, sim.StepDone
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame: the frame is immutable.
+func (f *tasLockFrame) Fork() sim.Frame { return f }
 
 // Tournament is the n-process tournament lock: a binary tree of Peterson
 // locks; a process climbs from its leaf to the root, playing the side its
@@ -270,25 +363,40 @@ func (t *Tournament) petersonAcquire(p *sim.Proc, node, side int) {
 	}
 }
 
+// acquireReleaseEnv alternates acquire/release per process, derived
+// purely from the process's own last response in the view. Stateless,
+// so it implements the sim.RewindableEnv hook with a nil snapshot.
+type acquireReleaseEnv struct{ procs int }
+
+// Next implements sim.Environment.
+func (e *acquireReleaseEnv) Next(proc int, v *sim.View) (sim.Invocation, bool) {
+	if proc > e.procs {
+		return sim.Invocation{}, false
+	}
+	h := v.H
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Proc == proc && h[i].Kind == history.KindResponse {
+			if h[i].Val == Locked {
+				return sim.Invocation{Op: OpRelease}, true
+			}
+			return sim.Invocation{Op: OpAcquire}, true
+		}
+	}
+	return sim.Invocation{Op: OpAcquire}, true
+}
+
+// EnvSnapshot implements sim.RewindableEnv (stateless).
+func (e *acquireReleaseEnv) EnvSnapshot() any { return nil }
+
+// EnvRestore implements sim.RewindableEnv.
+func (e *acquireReleaseEnv) EnvRestore(any) {}
+
 // AcquireReleaseLoop is the lock liveness environment: every process
 // alternates acquire and release forever. The next operation is derived
-// purely from the process's own last response.
+// purely from the process's own last response, so the environment is
+// stateless and rewinds for free under incremental sessions.
 func AcquireReleaseLoop(procs int) sim.Environment {
-	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
-		if proc > procs {
-			return sim.Invocation{}, false
-		}
-		proj := v.H.Project(proc)
-		for i := len(proj) - 1; i >= 0; i-- {
-			if proj[i].Kind == history.KindResponse {
-				if proj[i].Val == Locked {
-					return sim.Invocation{Op: OpRelease}, true
-				}
-				return sim.Invocation{Op: OpAcquire}, true
-			}
-		}
-		return sim.Invocation{Op: OpAcquire}, true
-	})
+	return &acquireReleaseEnv{procs: procs}
 }
 
 // StarveTAS is the adversary scheduler that starves process victim on a

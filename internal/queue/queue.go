@@ -106,6 +106,71 @@ func (q *Locked) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	return resp
 }
 
+// lockedFrame is one in-flight Locked operation: acquire the embedded
+// Peterson lock (delegating to its continuation frame), read the state
+// register, write the new state, release. pc: 0 = acquiring, 1 = read
+// state, 2 = write state, 3 = releasing.
+type lockedFrame struct {
+	q    *Locked
+	inv  sim.Invocation
+	pc   int
+	sub  sim.Frame // in-flight lock acquire/release continuation
+	next *qstate
+	resp history.Value
+}
+
+// Begin implements sim.Stepped: the first access is the lock acquire's
+// opening write, so the invocation window runs no object code.
+func (q *Locked) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	sub, _, _ := q.lock.Begin(p, sim.Invocation{Op: mutex.OpAcquire})
+	return &lockedFrame{q: q, inv: inv, sub: sub}, nil, sim.StepPaused
+}
+
+// Step implements sim.Frame.
+func (f *lockedFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	q := f.q
+	switch f.pc {
+	case 0: // acquiring the lock
+		if _, st := f.sub.Step(p); st == sim.StepDone {
+			f.sub = nil
+			f.pc = 1
+		}
+	case 1: // read the queue state; compute the new content locally
+		st := q.state.ReadW(p).(*qstate)
+		switch f.inv.Op {
+		case "enq":
+			f.next = st.enq(f.inv.Arg)
+			f.resp = history.OK
+			f.pc = 2
+		case "deq":
+			f.next, f.resp = st.deq()
+			f.pc = 2
+		default:
+			// Unknown ops skip the write, matching Apply.
+			f.sub, _, _ = q.lock.Begin(p, sim.Invocation{Op: mutex.OpRelease})
+			f.pc = 3
+		}
+	case 2: // write the new queue state
+		q.state.WriteW(p, f.next)
+		f.sub, _, _ = q.lock.Begin(p, sim.Invocation{Op: mutex.OpRelease})
+		f.pc = 3
+	case 3: // releasing the lock
+		if _, st := f.sub.Step(p); st == sim.StepDone {
+			return f.resp, sim.StepDone
+		}
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *lockedFrame) Fork() sim.Frame {
+	c := *f
+	if c.sub != nil {
+		c.sub = c.sub.Fork()
+	}
+	return &c
+}
+
 // CASQueue is the lock-free queue on one CAS object.
 //
 // CASQueue deliberately does NOT implement sim.Fingerprintable: its CAS
@@ -158,4 +223,59 @@ func (q *CASQueue) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 			return nil
 		}
 	}
+}
+
+// casQueueFrame is one in-flight CASQueue operation: alternating
+// read/CAS steps until a CAS succeeds. st is the pointer read by the
+// previous step (nil when the next step is the read).
+type casQueueFrame struct {
+	q   *CASQueue
+	inv sim.Invocation
+	st  *qstate
+}
+
+// Begin implements sim.Stepped.
+func (q *CASQueue) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	return &casQueueFrame{q: q, inv: inv}, nil, sim.StepPaused
+}
+
+// Step implements sim.Frame.
+func (f *casQueueFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	q := f.q
+	if f.st == nil {
+		st := q.state.ReadW(p).(*qstate)
+		switch f.inv.Op {
+		case "enq":
+		case "deq":
+			if len(st.items) == 0 {
+				// An empty dequeue linearizes at the read; no CAS needed.
+				_, v := st.deq()
+				return v, sim.StepDone
+			}
+		default:
+			return nil, sim.StepDone
+		}
+		f.st = st
+		return nil, sim.StepPaused
+	}
+	st := f.st
+	f.st = nil
+	switch f.inv.Op {
+	case "enq":
+		if q.state.CompareAndSwapW(p, st, st.enq(f.inv.Arg)) {
+			return history.OK, sim.StepDone
+		}
+	case "deq":
+		next, v := st.deq()
+		if q.state.CompareAndSwapW(p, st, next) {
+			return v, sim.StepDone
+		}
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *casQueueFrame) Fork() sim.Frame {
+	c := *f
+	return &c
 }

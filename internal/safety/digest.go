@@ -216,13 +216,11 @@ func (m *LinMonitor) StateDigest() (uint64, bool) {
 	var parts []string
 	parts = append(parts, "lin/"+strconv.FormatBool(m.failed)+"/"+strconv.Itoa(len(m.ops)))
 
-	procs := make([]int, 0, len(m.pending))
-	for p := range m.pending {
-		procs = append(procs, p)
-	}
-	sort.Ints(procs)
-	for _, p := range procs {
-		op := m.ops[m.pending[p]]
+	for p, pi := range m.pending {
+		if pi == 0 {
+			continue
+		}
+		op := m.ops[pi-1]
 		arg, ok := valField(op.arg)
 		if !ok {
 			return 0, false
@@ -240,20 +238,17 @@ func (m *LinMonitor) StateDigest() (uint64, bool) {
 		b.WriteString("st:")
 		b.WriteString(st)
 		if len(c.promises) > 0 {
-			idx := make([]int, 0, len(c.promises))
-			for i := range c.promises {
-				idx = append(idx, i)
-			}
 			// Sort by the promised operation's process: index order is an
 			// accident of invocation arrival.
-			sort.Slice(idx, func(a, b int) bool { return m.ops[idx[a]].proc < m.ops[idx[b]].proc })
-			for _, i := range idx {
-				promise, ok := valField(c.promises[i])
+			byProc := append([]promise(nil), c.promises...)
+			sort.Slice(byProc, func(a, b int) bool { return m.ops[byProc[a].idx].proc < m.ops[byProc[b].idx].proc })
+			for _, pr := range byProc {
+				pv, ok := valField(pr.val)
 				if !ok {
 					return 0, false
 				}
-				b.WriteString("p" + strconv.Itoa(m.ops[i].proc) + "=")
-				b.WriteString(promise)
+				b.WriteString("p" + strconv.Itoa(m.ops[pr.idx].proc) + "=")
+				b.WriteString(pv)
 			}
 		}
 		cfgs = append(cfgs, b.String())

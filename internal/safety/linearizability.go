@@ -27,6 +27,15 @@ type SeqSpec interface {
 	Apply(st State, proc int, op, obj string, arg history.Value) []Transition
 }
 
+// AppendSpec is the allocation-free form of SeqSpec, an optional
+// extension: ApplyAppend appends the transitions to dst and returns it,
+// letting the incremental monitor reuse one scratch buffer across its
+// entire closure search instead of allocating a slice per Apply call.
+// Implementations must behave identically to Apply.
+type AppendSpec interface {
+	ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition
+}
+
 // maxLinOps bounds the operation count of the memoized search (operations
 // are indexed in a 64-bit mask).
 const maxLinOps = 63
@@ -131,14 +140,19 @@ func (RegisterSpec) Name() string { return "register" }
 func (r RegisterSpec) Init() State { return r.Initial }
 
 // Apply implements SeqSpec.
-func (RegisterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+func (r RegisterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	return r.ApplyAppend(nil, st, proc, op, obj, arg)
+}
+
+// ApplyAppend implements AppendSpec.
+func (RegisterSpec) ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition {
 	switch op {
 	case "read":
-		return []Transition{{Next: st, Resp: st}}
+		return append(dst, Transition{Next: st, Resp: st})
 	case "write":
-		return []Transition{{Next: arg, Resp: history.OK}}
+		return append(dst, Transition{Next: arg, Resp: history.OK})
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -161,22 +175,27 @@ func (CASSpec) Name() string { return "cas" }
 func (c CASSpec) Init() State { return c.Initial }
 
 // Apply implements SeqSpec.
-func (CASSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+func (c CASSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	return c.ApplyAppend(nil, st, proc, op, obj, arg)
+}
+
+// ApplyAppend implements AppendSpec.
+func (CASSpec) ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition {
 	switch op {
 	case "read":
-		return []Transition{{Next: st, Resp: st}}
+		return append(dst, Transition{Next: st, Resp: st})
 	case "write":
-		return []Transition{{Next: arg, Resp: history.OK}}
+		return append(dst, Transition{Next: arg, Resp: history.OK})
 	case "cas":
 		a, ok := arg.(CASArg)
 		if !ok {
-			return nil
+			return dst
 		}
 		if st == a.Old {
-			return []Transition{{Next: a.New, Resp: true}}
+			return append(dst, Transition{Next: a.New, Resp: true})
 		}
-		return []Transition{{Next: st, Resp: false}}
+		return append(dst, Transition{Next: st, Resp: false})
 	default:
-		return nil
+		return dst
 	}
 }

@@ -2,8 +2,9 @@ package safety
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
+	"sync"
 
 	"repro/internal/history"
 )
@@ -36,67 +37,334 @@ import (
 // on the short prefixes of bounded exploration is far cheaper than the
 // from-scratch memoized search.
 //
-// Configurations are immutable once created, so Fork shares them and
-// copies only the slices and maps that index them — the fork cost is
-// O(ops + configurations), independent of the specification.
+// The representation is tuned for the exploration hot loop: operations
+// are append-only and immutable, so forks share the ops backing array
+// (copy-on-append via a capacity clip) and completion lives in a bitmask
+// on the monitor; configurations are plain values in a monitor-owned
+// slice (no per-configuration heap object); promises are short sorted
+// slices, deduplicated through a fully comparable key with the promises
+// inlined (no string building); and the search's stack, seen-set and
+// output buffer come from a shared pool, so the constant forking of
+// exploration never re-grows them.
 type LinMonitor struct {
-	spec    SeqSpec
-	ops     []monOp     // all operations seen, in invocation order
-	pending map[int]int // proc → index in ops of its pending operation
-	configs []*linCfg
-	failed  bool
+	spec  SeqSpec
+	aspec AppendSpec // spec's allocation-free form, nil if not provided
+	// ops holds every operation seen, in invocation order. Entries are
+	// immutable once appended, so Fork shares the backing array: both
+	// sides are clipped to length (full slice expression), making any
+	// later append reallocate instead of writing through the share.
+	ops      []monOp
+	doneMask uint64 // bit i set iff ops[i] has responded
+	pending  []int  // proc → index+1 in ops of its pending operation (0 = none)
+	configs  []linCfg
+	failed   bool
+	// Inline backings for pending and configs: exploration forks a
+	// monitor per branch, and with the small process and configuration
+	// counts of bounded exploration both slices fit inline, so Fork
+	// allocates one object instead of three.
+	pendInline [8]int
 }
 
-// monOp is one observed operation.
+// linScratch is the transient state of one advance call: the closure
+// search's stack and seen-set, the rebuilt configuration set, and the
+// spec's transition buffer. Monitors are forked far more often than they
+// are advanced, so scratch is pooled globally rather than carried (and
+// re-grown) per fork; advance holds one scratch for its full duration,
+// which keeps pool use safe under parallel exploration.
+type linScratch struct {
+	// The seen set is an array of configurations scanned linearly,
+	// spilling to a hash map only past seenInline entries: advances see
+	// a handful of configurations, and structural comparison (early-exit
+	// on the mask word, promise slices shared rather than copied) is far
+	// cheaper than building and hashing interface-bearing map keys.
+	keys  []linCfg
+	seen  map[cfgKey]bool // spill for pathological advances
+	spill bool            // seen holds entries from this advance
+	stack []linCfg
+	next  []linCfg
+	trbuf []Transition
+}
+
+// seenInline is how many seen-set entries stay in the linear-scan array
+// before inserts spill into the hash map.
+const seenInline = 32
+
+func (sc *linScratch) reset() {
+	sc.keys = sc.keys[:0]
+	if sc.spill {
+		clear(sc.seen)
+		sc.spill = false
+	}
+}
+
+// markOf reports whether configuration (mask, st, proms) was already
+// seen, recording it if not. The recorded entry shares proms.
+func (sc *linScratch) markOf(mask uint64, st State, proms []promise) bool {
+	for i := range sc.keys {
+		k := &sc.keys[i]
+		if k.mask == mask && len(k.promises) == len(proms) && k.st == st && promEq(k.promises, proms) {
+			return true
+		}
+	}
+	if len(sc.keys) < seenInline {
+		sc.keys = append(sc.keys, linCfg{mask: mask, st: st, promises: proms})
+		return false
+	}
+	return sc.spillMark(cfgKeyOf(mask, st, proms))
+}
+
+// markWith is markOf for (mask, st, proms+{idx→val}) — the extended
+// promise slice is only materialized when the configuration is fresh,
+// and is returned for the caller to attach (nil when already seen).
+func (sc *linScratch) markWith(mask uint64, st State, proms []promise, idx int32, val history.Value) ([]promise, bool) {
+	for i := range sc.keys {
+		k := &sc.keys[i]
+		if k.mask == mask && len(k.promises) == len(proms)+1 && k.st == st && promEqWith(k.promises, proms, idx, val) {
+			return nil, true
+		}
+	}
+	np := insertPromise(proms, idx, val)
+	if len(sc.keys) < seenInline {
+		sc.keys = append(sc.keys, linCfg{mask: mask, st: st, promises: np})
+		return np, false
+	}
+	if sc.spillMark(cfgKeyOf(mask, st, np)) {
+		return nil, true
+	}
+	return np, false
+}
+
+// markWithout is markOf for (mask, st, proms−{idx}), with markWith's
+// materialize-only-when-fresh contract.
+func (sc *linScratch) markWithout(mask uint64, st State, proms []promise, idx int32) ([]promise, bool) {
+	for i := range sc.keys {
+		k := &sc.keys[i]
+		if k.mask == mask && len(k.promises) == len(proms)-1 && k.st == st && promEqWithout(k.promises, proms, idx) {
+			return nil, true
+		}
+	}
+	np := removePromise(proms, idx)
+	if len(sc.keys) < seenInline {
+		sc.keys = append(sc.keys, linCfg{mask: mask, st: st, promises: np})
+		return np, false
+	}
+	if sc.spillMark(cfgKeyOf(mask, st, np)) {
+		return nil, true
+	}
+	return np, false
+}
+
+// spillMark is the over-capacity path: entries past seenInline go into
+// the hash map (array entries are never migrated; lookups scan the array
+// first, so the two stores are consistent).
+func (sc *linScratch) spillMark(k cfgKey) bool {
+	if sc.seen[k] {
+		return true
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[cfgKey]bool)
+	}
+	sc.seen[k] = true
+	sc.spill = true
+	return false
+}
+
+// promEq reports a == b elementwise; both are sorted by idx and equal
+// in length.
+func promEq(a, b []promise) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// promEqWith reports stored == base+{idx→val} (merged in sorted order)
+// without materializing the extension; len(stored) == len(base)+1.
+func promEqWith(stored, base []promise, idx int32, val history.Value) bool {
+	ins := promise{idx: idx, val: val}
+	j, used := 0, false
+	for i := range stored {
+		var want promise
+		if !used && (j >= len(base) || idx < base[j].idx) {
+			want, used = ins, true
+		} else {
+			want = base[j]
+			j++
+		}
+		if stored[i] != want {
+			return false
+		}
+	}
+	return used && j == len(base)
+}
+
+// promEqWithout reports stored == base−{idx}; len(stored) == len(base)−1.
+func promEqWithout(stored, base []promise, idx int32) bool {
+	i := 0
+	for _, p := range base {
+		if p.idx == idx {
+			continue
+		}
+		if i >= len(stored) || stored[i] != p {
+			return false
+		}
+		i++
+	}
+	return i == len(stored)
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &linScratch{}
+}}
+
+// monOp is one observed operation, immutable once appended.
 type monOp struct {
 	proc      int
 	name, obj string
 	arg       history.Value
-	val       history.Value
-	done      bool
 }
 
-// linCfg is one immutable configuration.
+// promise is one speculative linearization: the pending operation's index
+// and the response the chosen transition committed it to.
+type promise struct {
+	idx int32
+	val history.Value
+}
+
+// linCfg is one immutable configuration. promises is sorted by idx and
+// never mutated once attached, so configurations share promise slices.
 type linCfg struct {
-	mask uint64
-	st   State
-	// promises maps speculatively linearized pending operations to the
-	// response the chosen transition committed them to. Immutable.
-	promises map[int]history.Value
+	mask     uint64
+	st       State
+	promises []promise
 }
 
-// cfgKey canonically identifies a configuration for deduplication.
+// inlineProm is how many promises a cfgKey holds inline. Promise counts
+// are bounded by the concurrently pending operations, so with the small
+// process counts of bounded exploration the overflow path is cold. The
+// count is also sized to keep cfgKey within the runtime's 128-byte
+// inline map-key limit — a larger key would make every seen-set insert
+// allocate a copy (see TestCfgKeyStaysInline).
+const inlineProm = 3
+
+// cfgKey canonically identifies a configuration for deduplication. It is
+// a comparable value — no string rendering on the hot path; promises
+// beyond the inline capacity spill into a canonical overflow string.
+// Specification states and responses must be ==-comparable (the State
+// contract, and closeOver already compares responses with !=).
 type cfgKey struct {
 	mask uint64
 	st   State
-	prom string
+	n    uint8
+	prom [inlineProm]promise
+	ext  string
 }
 
-func (c *linCfg) key() cfgKey {
-	k := cfgKey{mask: c.mask, st: c.st}
-	if len(c.promises) > 0 {
-		idx := make([]int, 0, len(c.promises))
-		for i := range c.promises {
-			idx = append(idx, i)
-		}
-		sort.Ints(idx)
-		var b strings.Builder
-		for _, i := range idx {
-			fmt.Fprintf(&b, "%d=%v;", i, c.promises[i])
-		}
-		k.prom = b.String()
+// extProm renders overflow promises (those past the inline capacity)
+// canonically; proms is already sorted by idx.
+func extProm(proms []promise) string {
+	var b strings.Builder
+	for _, p := range proms {
+		fmt.Fprintf(&b, "%d=%v;", p.idx, p.val)
 	}
+	return b.String()
+}
+
+// cfgKeyOf builds the key of (mask, st, proms) without allocating in the
+// inline case.
+func cfgKeyOf(mask uint64, st State, proms []promise) cfgKey {
+	k := cfgKey{mask: mask, st: st, n: uint8(len(proms))}
+	if len(proms) <= inlineProm {
+		copy(k.prom[:], proms)
+		return k
+	}
+	copy(k.prom[:], proms[:inlineProm])
+	k.ext = extProm(proms[inlineProm:])
 	return k
+}
+
+// cfgKeyWith builds the key the configuration (mask, st, proms+{idx→val})
+// would have, without materializing the extended promise slice in the
+// inline case — the slice is only allocated when the key turns out fresh.
+func cfgKeyWith(mask uint64, st State, proms []promise, idx int32, val history.Value) cfgKey {
+	if len(proms)+1 <= inlineProm {
+		k := cfgKey{mask: mask, st: st, n: uint8(len(proms) + 1)}
+		i := 0
+		for ; i < len(proms) && proms[i].idx < idx; i++ {
+			k.prom[i] = proms[i]
+		}
+		k.prom[i] = promise{idx: idx, val: val}
+		for ; i < len(proms); i++ {
+			k.prom[i+1] = proms[i]
+		}
+		return k
+	}
+	return cfgKeyOf(mask, st, insertPromise(proms, idx, val))
+}
+
+// cfgKeyWithout is cfgKeyWith's inverse: the key after removing idx.
+func cfgKeyWithout(mask uint64, st State, proms []promise, idx int32) cfgKey {
+	if len(proms)-1 <= inlineProm {
+		k := cfgKey{mask: mask, st: st, n: uint8(len(proms) - 1)}
+		i := 0
+		for _, p := range proms {
+			if p.idx != idx {
+				k.prom[i] = p
+				i++
+			}
+		}
+		return k
+	}
+	return cfgKeyOf(mask, st, removePromise(proms, idx))
+}
+
+// insertPromise returns proms extended with idx→val, sorted (copy;
+// promise slices are immutable once attached to a configuration).
+func insertPromise(proms []promise, idx int32, val history.Value) []promise {
+	out := make([]promise, 0, len(proms)+1)
+	i := 0
+	for ; i < len(proms) && proms[i].idx < idx; i++ {
+		out = append(out, proms[i])
+	}
+	out = append(out, promise{idx: idx, val: val})
+	return append(out, proms[i:]...)
+}
+
+// removePromise returns proms with idx removed (copy, nil when empty).
+func removePromise(proms []promise, idx int32) []promise {
+	if len(proms) <= 1 {
+		return nil
+	}
+	out := make([]promise, 0, len(proms)-1)
+	for _, p := range proms {
+		if p.idx != idx {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lookupPromise returns the promised response for idx, if any.
+func lookupPromise(proms []promise, idx int32) (history.Value, bool) {
+	for _, p := range proms {
+		if p.idx == idx {
+			return p.val, true
+		}
+	}
+	return nil, false
 }
 
 // NewLinMonitor creates the incremental linearizability monitor for spec
 // at the empty history.
 func NewLinMonitor(spec SeqSpec) *LinMonitor {
-	return &LinMonitor{
+	m := &LinMonitor{
 		spec:    spec,
-		pending: make(map[int]int),
-		configs: []*linCfg{{mask: 0, st: spec.Init()}},
+		configs: []linCfg{{mask: 0, st: spec.Init()}},
 	}
+	m.aspec, _ = spec.(AppendSpec)
+	return m
 }
 
 // Spawn implements the monitor side of the linearizability property.
@@ -115,16 +383,20 @@ func (m *LinMonitor) Step(e history.Event) bool {
 			m.failed = true
 			return false
 		}
-		m.pending[e.Proc] = len(m.ops)
+		if e.Proc >= 0 {
+			for len(m.pending) <= e.Proc {
+				m.pending = append(m.pending, 0)
+			}
+			m.pending[e.Proc] = len(m.ops) + 1
+		}
 		m.ops = append(m.ops, monOp{proc: e.Proc, name: e.Op, obj: e.Obj, arg: e.Arg})
 	case history.KindResponse:
-		idx, ok := m.pending[e.Proc]
-		if !ok {
+		if e.Proc < 0 || e.Proc >= len(m.pending) || m.pending[e.Proc] == 0 {
 			return true // stray response; well-formed histories never produce one
 		}
-		delete(m.pending, e.Proc)
-		m.ops[idx].done = true
-		m.ops[idx].val = e.Val
+		idx := m.pending[e.Proc] - 1
+		m.pending[e.Proc] = 0
+		m.doneMask |= uint64(1) << uint(idx)
 		m.advance(idx, e.Val)
 		if len(m.configs) == 0 {
 			m.failed = true
@@ -137,110 +409,116 @@ func (m *LinMonitor) Step(e history.Event) bool {
 	return true
 }
 
+// apply enumerates spec transitions for op at st, through the spec's
+// append form into pooled scratch when available. The returned slice is
+// invalidated by the next apply call — callers finish iterating before
+// applying again.
+func (m *LinMonitor) apply(sc *linScratch, st State, op *monOp) []Transition {
+	if m.aspec != nil {
+		sc.trbuf = m.aspec.ApplyAppend(sc.trbuf[:0], st, op.proc, op.name, op.obj, op.arg)
+		return sc.trbuf
+	}
+	return m.spec.Apply(st, op.proc, op.name, op.obj, op.arg)
+}
+
 // advance consumes the response of operation idx: configurations that
 // already linearized it keep only if they promised this response;
 // configurations that did not must linearize it now, possibly after
 // speculatively linearizing other pending operations.
+//
+// One seen-set serves the whole response: intermediate configurations
+// (mask without idx) and output configurations (mask with idx) occupy
+// disjoint key spaces, and an intermediate configuration reached from
+// two source configurations closes over identically, so cross-source
+// deduplication is sound and saves repeated work.
 func (m *LinMonitor) advance(idx int, val history.Value) {
 	bit := uint64(1) << uint(idx)
-	next := make(map[cfgKey]*linCfg)
-	for _, c := range m.configs {
+	sc := scratchPool.Get().(*linScratch)
+	sc.reset()
+	sc.next = sc.next[:0]
+	for i := range m.configs {
+		c := &m.configs[i]
 		if c.mask&bit != 0 {
 			// Speculatively linearized earlier: the promise must match.
-			if pv, ok := c.promises[idx]; ok && pv == val {
-				nc := &linCfg{mask: c.mask, st: c.st, promises: withoutPromise(c.promises, idx)}
-				next[nc.key()] = nc
+			pv, ok := lookupPromise(c.promises, int32(idx))
+			if !ok || pv != val {
+				continue
+			}
+			if np, dup := sc.markWithout(c.mask, c.st, c.promises, int32(idx)); !dup {
+				sc.next = append(sc.next, linCfg{mask: c.mask, st: c.st, promises: np})
 			}
 			continue
 		}
-		m.closeOver(c, idx, val, next)
+		m.closeOver(sc, c, idx, val)
 	}
-	m.configs = m.configs[:0]
-	for _, c := range next {
-		m.configs = append(m.configs, c)
-	}
+	m.configs = append(m.configs[:0], sc.next...)
+	scratchPool.Put(sc)
 }
 
 // closeOver explores every way to reach a configuration containing idx
 // from c by linearizing currently pending operations, with idx last.
 // Orders placing further pending operations after idx are not explored:
-// they remain reachable lazily from the produced configurations.
-func (m *LinMonitor) closeOver(c *linCfg, idx int, val history.Value, out map[cfgKey]*linCfg) {
-	stack := []*linCfg{c}
-	seen := map[cfgKey]bool{c.key(): true}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+// they remain reachable lazily from the produced configurations. Fresh
+// output configurations are appended to sc.next.
+func (m *LinMonitor) closeOver(sc *linScratch, c *linCfg, idx int, val history.Value) {
+	if sc.markOf(c.mask, c.st, c.promises) {
+		return // an earlier source configuration already closed over c
+	}
+	bit := uint64(1) << uint(idx)
+	pendMask := (uint64(1)<<uint(len(m.ops)) - 1) &^ m.doneMask
+	sc.stack = append(sc.stack[:0], *c)
+	for len(sc.stack) > 0 {
+		cur := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
 		// Linearize idx now, closing this branch.
-		op := m.ops[idx]
-		for _, tr := range m.spec.Apply(cur.st, op.proc, op.name, op.obj, op.arg) {
+		for _, tr := range m.apply(sc, cur.st, &m.ops[idx]) {
 			if tr.Resp != val {
 				continue
 			}
-			nc := &linCfg{mask: cur.mask | 1<<uint(idx), st: tr.Next, promises: cur.promises}
-			out[nc.key()] = nc
+			if !sc.markOf(cur.mask|bit, tr.Next, cur.promises) {
+				sc.next = append(sc.next, linCfg{mask: cur.mask | bit, st: tr.Next, promises: cur.promises})
+			}
 		}
 		// Or speculatively linearize another pending operation first.
-		for j := range m.ops {
-			if j == idx || m.ops[j].done || cur.mask&(1<<uint(j)) != 0 {
-				continue
-			}
-			opj := m.ops[j]
-			for _, tr := range m.spec.Apply(cur.st, opj.proc, opj.name, opj.obj, opj.arg) {
-				nc := &linCfg{
-					mask:     cur.mask | 1<<uint(j),
-					st:       tr.Next,
-					promises: withPromise(cur.promises, j, tr.Resp),
+		for rest := pendMask &^ cur.mask &^ bit; rest != 0; rest &= rest - 1 {
+			j := bits.TrailingZeros64(rest)
+			jbit := uint64(1) << uint(j)
+			for _, tr := range m.apply(sc, cur.st, &m.ops[j]) {
+				np, dup := sc.markWith(cur.mask|jbit, tr.Next, cur.promises, int32(j), tr.Resp)
+				if dup {
+					continue
 				}
-				k := nc.key()
-				if !seen[k] {
-					seen[k] = true
-					stack = append(stack, nc)
-				}
+				sc.stack = append(sc.stack, linCfg{mask: cur.mask | jbit, st: tr.Next, promises: np})
 			}
 		}
 	}
-}
-
-// withPromise returns promises extended with idx→val (copy; promise maps
-// are immutable once attached to a configuration).
-func withPromise(promises map[int]history.Value, idx int, val history.Value) map[int]history.Value {
-	out := make(map[int]history.Value, len(promises)+1)
-	for k, v := range promises {
-		out[k] = v
-	}
-	out[idx] = val
-	return out
-}
-
-// withoutPromise returns promises with idx removed (copy, nil when empty).
-func withoutPromise(promises map[int]history.Value, idx int) map[int]history.Value {
-	if len(promises) <= 1 {
-		return nil
-	}
-	out := make(map[int]history.Value, len(promises)-1)
-	for k, v := range promises {
-		if k != idx {
-			out[k] = v
-		}
-	}
-	return out
 }
 
 // OK implements Monitor.
 func (m *LinMonitor) OK() bool { return !m.failed }
 
+// linPool recycles released monitors back into Fork: exploration forks
+// one monitor per branch and releases it when the branch's subtree is
+// done, so steady-state forking reuses the pending and configs backings
+// instead of allocating.
+var linPool = sync.Pool{New: func() any { return new(LinMonitor) }}
+
 // Fork implements Monitor.
 func (m *LinMonitor) Fork() Monitor {
-	pending := make(map[int]int, len(m.pending))
-	for p, i := range m.pending {
-		pending[p] = i
+	// Clip ops so both sides copy-on-append instead of copying now:
+	// entries are immutable, only the shared backing's spare capacity
+	// must not be written through.
+	m.ops = m.ops[:len(m.ops):len(m.ops)]
+	f := linPool.Get().(*LinMonitor)
+	f.spec, f.aspec, f.ops, f.doneMask, f.failed = m.spec, m.aspec, m.ops, m.doneMask, m.failed
+	if f.pending == nil {
+		f.pending = f.pendInline[:0]
 	}
-	return &LinMonitor{
-		spec:    m.spec,
-		ops:     append([]monOp(nil), m.ops...),
-		pending: pending,
-		configs: append([]*linCfg(nil), m.configs...),
-		failed:  m.failed,
-	}
+	f.pending = append(f.pending[:0], m.pending...)
+	f.configs = append(f.configs[:0], m.configs...)
+	return f
 }
+
+// Release implements Releaser: the fork's branch is fully explored, so
+// its backings can serve a later Fork.
+func (m *LinMonitor) Release() { linPool.Put(m) }

@@ -1,0 +1,87 @@
+package safety
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/history"
+)
+
+// TestCfgKeyStaysInline pins cfgKey under the Go runtime's 128-byte
+// threshold for inline map keys. Beyond it, maps store keys indirectly
+// and every seen-set insert in the closure search allocates a key copy
+// — the monitor's dominant cost in exploration before inlineProm was
+// sized to fit.
+func TestCfgKeyStaysInline(t *testing.T) {
+	if sz := unsafe.Sizeof(cfgKey{}); sz > 128 {
+		t.Fatalf("cfgKey is %d bytes, over the 128-byte inline map-key limit; shrink inlineProm", sz)
+	}
+}
+
+// TestCfgKeyPromiseOverflow exercises the ext overflow path: monitors
+// whose configurations carry more than inlineProm promises must still
+// deduplicate correctly (same promises → same key, regardless of
+// insertion order) and distinguish differing promise sets.
+func TestCfgKeyPromiseOverflow(t *testing.T) {
+	var proms []promise
+	for i := int32(0); i < inlineProm+2; i++ {
+		proms = insertPromise(proms, i*2, int(i))
+	}
+	// Insert a middle promise last: keys are order-independent.
+	a := insertPromise(proms, 1, "x")
+	b := insertPromise(insertPromise(proms[:2:2], 1, "x"), 4, 1)
+	b = append(b, proms[2:]...)
+	// Rebuild b properly sorted via insertPromise from scratch.
+	var c []promise
+	for _, p := range a {
+		c = insertPromise(c, p.idx, p.val)
+	}
+	ka, kc := cfgKeyOf(7, "st", a), cfgKeyOf(7, "st", c)
+	if ka != kc {
+		t.Fatalf("same promise sets produced different keys:\n%#v\n%#v", ka, kc)
+	}
+	kd := cfgKeyOf(7, "st", insertPromise(proms, 1, "y"))
+	if ka == kd {
+		t.Fatal("different promise values collided in the overflow encoding")
+	}
+	if got := cfgKeyWith(7, "st", proms, 1, "x"); got != ka {
+		t.Fatalf("cfgKeyWith mismatch with materialized key:\n%#v\n%#v", got, ka)
+	}
+	if got := cfgKeyWithout(7, "st", a, 1); got != cfgKeyOf(7, "st", proms) {
+		t.Fatalf("cfgKeyWithout mismatch with materialized key: %#v", got)
+	}
+}
+
+// TestLinMonitorForkSharesOps pins the copy-on-append fork discipline:
+// a fork and its parent share the ops backing until either appends, and
+// appends on one side never become visible on the other.
+func TestLinMonitorForkSharesOps(t *testing.T) {
+	m := NewLinMonitor(RegisterSpec{Initial: 0})
+	step := func(mon Monitor, evs ...history.Event) {
+		for _, e := range evs {
+			if !mon.Step(e) {
+				t.Fatalf("unexpected violation at %+v", e)
+			}
+		}
+	}
+	step(m,
+		history.Invoke(1, "write", 1), history.Response(1, "write", history.OK),
+		history.Invoke(2, "read", nil))
+	f := m.Fork().(*LinMonitor)
+	// Diverge: parent completes the read with 1, the fork with a write
+	// by proc 3 first. Each side appends to ops independently.
+	step(m, history.Response(2, "read", 1))
+	step(f, history.Invoke(3, "write", 5), history.Response(3, "write", history.OK), history.Response(2, "read", 5))
+	if !m.OK() || !f.OK() {
+		t.Fatal("both linearizable branches must stay OK")
+	}
+	// The fork must not have seen the parent's appends or vice versa.
+	if len(m.ops) != 2 || len(f.ops) != 3 {
+		t.Fatalf("ops leaked across the fork: parent %d ops, fork %d ops", len(m.ops), len(f.ops))
+	}
+	// A non-linearizable continuation still fails on the fork.
+	step(f, history.Invoke(1, "read", nil))
+	if f.Step(history.Response(1, "read", 99)) {
+		t.Fatal("fork accepted a read of a never-written value")
+	}
+}

@@ -57,3 +57,14 @@ func (a BatchAdapter) Holds(h history.History) bool {
 
 // Spawn returns a fresh monitor.
 func (a BatchAdapter) Spawn() Monitor { return a.SpawnFn() }
+
+// Releaser is the optional hook a Monitor implements to recycle forks.
+// The caller (ultimately the exploration engine, through the adapter
+// layers) invokes Release exactly once, when no further Step, OK, Fork
+// or digest call will be made on the monitor; the monitor may then
+// reuse its state for later forks. Monitors on error paths are simply
+// dropped instead, so implementations need no idempotence.
+type Releaser interface {
+	Monitor
+	Release()
+}

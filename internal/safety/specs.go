@@ -28,10 +28,15 @@ func (QueueSpec) Name() string { return "queue" }
 func (QueueSpec) Init() State { return "" }
 
 // Apply implements SeqSpec.
-func (QueueSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+func (q QueueSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	return q.ApplyAppend(nil, st, proc, op, obj, arg)
+}
+
+// ApplyAppend implements AppendSpec.
+func (QueueSpec) ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition {
 	enc, ok := st.(string)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch op {
 	case "enq":
@@ -39,19 +44,19 @@ func (QueueSpec) Apply(st State, proc int, op, obj string, arg history.Value) []
 		if enc != "" {
 			next = enc + "," + next
 		}
-		return []Transition{{Next: next, Resp: history.OK}}
+		return append(dst, Transition{Next: next, Resp: history.OK})
 	case "deq":
 		if enc == "" {
-			return []Transition{{Next: "", Resp: EmptyResp}}
+			return append(dst, Transition{Next: "", Resp: EmptyResp})
 		}
 		parts := strings.SplitN(enc, ",", 2)
 		rest := ""
 		if len(parts) == 2 {
 			rest = parts[1]
 		}
-		return []Transition{{Next: rest, Resp: parts[0]}}
+		return append(dst, Transition{Next: rest, Resp: parts[0]})
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -65,10 +70,15 @@ func (StackSpec) Name() string { return "stack" }
 func (StackSpec) Init() State { return "" }
 
 // Apply implements SeqSpec.
-func (StackSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+func (s StackSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	return s.ApplyAppend(nil, st, proc, op, obj, arg)
+}
+
+// ApplyAppend implements AppendSpec.
+func (StackSpec) ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition {
 	enc, ok := st.(string)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch op {
 	case "push":
@@ -76,19 +86,19 @@ func (StackSpec) Apply(st State, proc int, op, obj string, arg history.Value) []
 		if enc != "" {
 			next = next + "," + enc
 		}
-		return []Transition{{Next: next, Resp: history.OK}}
+		return append(dst, Transition{Next: next, Resp: history.OK})
 	case "pop":
 		if enc == "" {
-			return []Transition{{Next: "", Resp: EmptyResp}}
+			return append(dst, Transition{Next: "", Resp: EmptyResp})
 		}
 		parts := strings.SplitN(enc, ",", 2)
 		rest := ""
 		if len(parts) == 2 {
 			rest = parts[1]
 		}
-		return []Transition{{Next: rest, Resp: parts[0]}}
+		return append(dst, Transition{Next: rest, Resp: parts[0]})
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -103,17 +113,22 @@ func (CounterSpec) Name() string { return "counter" }
 func (CounterSpec) Init() State { return 0 }
 
 // Apply implements SeqSpec.
-func (CounterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+func (c CounterSpec) Apply(st State, proc int, op, obj string, arg history.Value) []Transition {
+	return c.ApplyAppend(nil, st, proc, op, obj, arg)
+}
+
+// ApplyAppend implements AppendSpec.
+func (CounterSpec) ApplyAppend(dst []Transition, st State, proc int, op, obj string, arg history.Value) []Transition {
 	n, ok := st.(int)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch op {
 	case "inc":
-		return []Transition{{Next: n + 1, Resp: n}}
+		return append(dst, Transition{Next: n + 1, Resp: n})
 	case "get":
-		return []Transition{{Next: n, Resp: n}}
+		return append(dst, Transition{Next: n, Resp: n})
 	default:
-		return nil
+		return dst
 	}
 }

@@ -90,7 +90,10 @@ func (r *sessionRunner) sample(seed int64, rec *schedRec) (*explore.Violation, e
 			rec.events++
 			if merr := mons.Step(ev); merr != nil {
 				rec.violated = true
-				h := r.sess.History()
+				// Copy the history out of the session's live buffer: the
+				// session is reused for later samples, which truncate and
+				// extend the backing in place.
+				h := append(history.History(nil), r.sess.History()...)
 				return &explore.Violation{
 					Schedule:   append([]sim.Decision{}, r.prefix...),
 					H:          h,

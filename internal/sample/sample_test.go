@@ -51,9 +51,36 @@ func (o *okReg) Fingerprint(f *sim.Fingerprinter) { o.r.Fingerprint(f) }
 func (o *okReg) Snapshot() any                    { return o.r.Snapshot() }
 func (o *okReg) Restore(s any)                    { o.r.Restore(s) }
 
+// okRegFrame is one in-flight okReg operation: a single register access.
+type okRegFrame struct {
+	o   *okReg
+	inv sim.Invocation
+}
+
+// Begin implements sim.Stepped.
+func (o *okReg) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		return &okRegFrame{o: o, inv: inv}, nil, sim.StepPaused
+	}
+	return nil, nil, sim.StepDone
+}
+
+// Step implements sim.Frame.
+func (f *okRegFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	if f.inv.Op == "read" {
+		return f.o.r.ReadW(p), sim.StepDone
+	}
+	f.o.r.WriteW(p, f.inv.Arg)
+	return history.OK, sim.StepDone
+}
+
+// Fork implements sim.Frame: the frame is immutable.
+func (f *okRegFrame) Fork() sim.Frame { return f }
+
 // lossyReg drops process 2's writes while acknowledging them: its
 // write-then-read is not linearizable. Hand-rolled hooks (the reference
-// rebuild-aware pattern).
+// pattern for custom session-capable objects).
 type lossyReg struct{ v history.Value }
 
 func (o *lossyReg) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
@@ -61,10 +88,6 @@ func (o *lossyReg) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	switch inv.Op {
 	case "read":
 		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("r", false)
 			out = o.v
 			p.Observe(out)
@@ -72,9 +95,6 @@ func (o *lossyReg) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
 	case "write":
 		p.Exec("write", func() {
 			out = history.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("r", true)
 			if p.ID() != 2 {
 				o.v = inv.Arg
@@ -88,6 +108,40 @@ func (o *lossyReg) Footprints() bool                 { return true }
 func (o *lossyReg) Fingerprint(f *sim.Fingerprinter) { f.Str("r"); f.Val(o.v) }
 func (o *lossyReg) Snapshot() any                    { return o.v }
 func (o *lossyReg) Restore(s any)                    { o.v = s }
+
+// lossyRegFrame is one in-flight lossyReg operation: a single window.
+type lossyRegFrame struct {
+	o   *lossyReg
+	inv sim.Invocation
+}
+
+// Begin implements sim.Stepped.
+func (o *lossyReg) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		return &lossyRegFrame{o: o, inv: inv}, nil, sim.StepPaused
+	}
+	return nil, nil, sim.StepDone
+}
+
+// Step implements sim.Frame.
+func (f *lossyRegFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	o := f.o
+	if f.inv.Op == "read" {
+		p.Access("r", false)
+		out := o.v
+		p.Observe(out)
+		return out, sim.StepDone
+	}
+	p.Access("r", true)
+	if p.ID() != 2 {
+		o.v = f.inv.Arg
+	}
+	return history.OK, sim.StepDone
+}
+
+// Fork implements sim.Frame: the frame is immutable.
+func (f *lossyRegFrame) Fork() sim.Frame { return f }
 
 func regScript(procs int) func() sim.Environment {
 	return func() sim.Environment {

@@ -310,6 +310,12 @@ func TestValidationParity(t *testing.T) {
 				return inProcessMsg(service.JobSpec{Target: "consensus"}, slx.WithVisitedTier(slx.NewVisitedTier()))
 			},
 		},
+		"negative-workers": {
+			spec: service.JobSpec{Target: "consensus", Spec: slx.Spec{Workers: -2}},
+			want: func() string {
+				return inProcessMsg(service.JobSpec{Target: "consensus", Spec: slx.Spec{Workers: -2}})
+			},
+		},
 		"unknown-target": {
 			spec: service.JobSpec{Target: "nosuch"},
 			want: func() string {

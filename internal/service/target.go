@@ -156,10 +156,6 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	switch inv.Op {
 	case "read":
 		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("r", false)
 			out = r.v
 			p.Observe(out)
@@ -167,9 +163,6 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case "write":
 		p.Exec("write", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("r", true)
 			if p.ID() != 2 {
 				r.v = inv.Arg
@@ -178,6 +171,42 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	}
 	return out
 }
+
+// lossyFrame is one in-flight lossyRegister operation: a single access
+// window. The frame is immutable, so Fork returns the receiver.
+type lossyFrame struct {
+	r   *lossyRegister
+	inv run.Invocation
+}
+
+// Begin implements run.Stepped. Unknown operations perform no access and
+// complete in the invocation window, matching Apply's empty switch arm.
+func (r *lossyRegister) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		return &lossyFrame{r: r, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *lossyFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	r := f.r
+	if f.inv.Op == "read" {
+		p.Access("r", false)
+		out := r.v
+		p.Observe(out)
+		return out, run.StepDone
+	}
+	p.Access("r", true)
+	if p.ID() != 2 {
+		r.v = f.inv.Arg
+	}
+	return hist.OK, run.StepDone
+}
+
+// Fork implements run.Frame.
+func (f *lossyFrame) Fork() run.Frame { return f }
 
 func (r *lossyRegister) Footprints() bool { return true }
 
@@ -205,16 +234,10 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	switch inv.Op {
 	case "enq":
 		p.Exec("reserve", func() {
-			if p.Replaying() {
-				return
-			}
 			p.Access("q", true)
 		})
 		p.Exec("publish", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("q", true)
 			q.items = append(q.items, inv.Arg)
 			if len(q.items) > blastCapacity {
@@ -224,10 +247,6 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		})
 	case "deq":
 		p.Exec("deq", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("q", true)
 			if len(q.items) == 0 {
 				out = "empty"
@@ -239,6 +258,59 @@ func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		})
 	}
 	return out
+}
+
+// blastFrame is one in-flight blastQueue operation: reserve+publish for
+// enq, a single window for deq.
+type blastFrame struct {
+	q   *blastQueue
+	inv run.Invocation
+	pc  int
+}
+
+// Begin implements run.Stepped.
+func (q *blastQueue) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "enq", "deq":
+		return &blastFrame{q: q, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *blastFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	q := f.q
+	if f.inv.Op == "enq" {
+		if f.pc == 0 { // reserve
+			p.Access("q", true)
+			f.pc = 1
+			return nil, run.StepPaused
+		}
+		// publish
+		p.Access("q", true)
+		q.items = append(q.items, f.inv.Arg)
+		if len(q.items) > blastCapacity {
+			// The seeded bug: silently evict the oldest element.
+			q.items = q.items[1:]
+		}
+		return hist.OK, run.StepDone
+	}
+	p.Access("q", true)
+	var out hist.Value
+	if len(q.items) == 0 {
+		out = "empty"
+	} else {
+		out = q.items[0]
+		q.items = q.items[1:]
+	}
+	p.Observe(out)
+	return out, run.StepDone
+}
+
+// Fork implements run.Frame.
+func (f *blastFrame) Fork() run.Frame {
+	c := *f
+	return &c
 }
 
 func (q *blastQueue) Footprints() bool { return true }

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/history"
+
 // EnvironmentFunc adapts a function to the Environment interface.
 type EnvironmentFunc func(proc int, v *View) (Invocation, bool)
 
@@ -8,41 +10,105 @@ func (f EnvironmentFunc) Next(proc int, v *View) (Invocation, bool) {
 	return f(proc, v)
 }
 
+// invokesBy counts the invocation events of proc in h: the number of
+// operations the process has started, which is exactly the number of
+// environment consultations it has consumed (each consultation's chosen
+// operation is invoked before the next consultation). The stock
+// environments derive their position from it instead of keeping mutable
+// counters, which makes them stateless: a Session.Restore needs no
+// environment rewind at all.
+func invokesBy(h history.History, proc int) int {
+	n := 0
+	for i := range h {
+		if h[i].Kind == history.KindInvoke && h[i].Proc == proc {
+			n++
+		}
+	}
+	return n
+}
+
+// statelessEnv implements the RewindableEnv hook for environments whose
+// decisions are pure functions of (proc, view): there is no state to
+// capture.
+type statelessEnv struct{}
+
+// EnvSnapshot implements RewindableEnv; stateless environments have
+// nothing to capture.
+func (statelessEnv) EnvSnapshot() any { return nil }
+
+// EnvRestore implements RewindableEnv.
+func (statelessEnv) EnvRestore(any) {}
+
+// oneShotEnv gives each process exactly one invocation.
+type oneShotEnv struct {
+	statelessEnv
+	invs map[int]Invocation
+}
+
+// Next implements Environment.
+func (e *oneShotEnv) Next(proc int, v *View) (Invocation, bool) {
+	inv, ok := e.invs[proc]
+	if !ok || invokesBy(v.H, proc) > 0 {
+		return Invocation{}, false
+	}
+	return inv, true
+}
+
 // OneShot gives each process exactly one invocation (from invs, keyed by
 // process id) and then parks it. Processes without an entry are parked
 // immediately. It models one-shot objects such as consensus.
 func OneShot(invs map[int]Invocation) Environment {
-	done := make(map[int]bool)
-	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
-		inv, ok := invs[proc]
-		if !ok || done[proc] {
-			return Invocation{}, false
-		}
-		done[proc] = true
-		return inv, true
-	})
+	return &oneShotEnv{invs: invs}
+}
+
+// scriptEnv gives each process a fixed sequence of invocations.
+type scriptEnv struct {
+	statelessEnv
+	script map[int][]Invocation
+}
+
+// Next implements Environment.
+func (e *scriptEnv) Next(proc int, v *View) (Invocation, bool) {
+	seq := e.script[proc]
+	i := invokesBy(v.H, proc)
+	if i >= len(seq) {
+		return Invocation{}, false
+	}
+	return seq[i], true
 }
 
 // Script gives each process a fixed sequence of invocations, then parks it.
 func Script(script map[int][]Invocation) Environment {
-	next := make(map[int]int)
-	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
-		seq := script[proc]
-		i := next[proc]
-		if i >= len(seq) {
-			return Invocation{}, false
-		}
-		next[proc] = i + 1
-		return seq[i], true
-	})
+	return &scriptEnv{script: script}
+}
+
+// repeatEnv makes every process invoke the same invocation forever.
+type repeatEnv struct {
+	statelessEnv
+	inv Invocation
+}
+
+// Next implements Environment.
+func (e *repeatEnv) Next(proc int, v *View) (Invocation, bool) {
+	return e.inv, true
 }
 
 // Repeat makes every process invoke the same invocation forever (useful
 // with step budgets).
 func Repeat(inv Invocation) Environment {
-	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
-		return inv, true
-	})
+	return &repeatEnv{inv: inv}
+}
+
+// repeatPerProcEnv makes each process invoke its own invocation forever.
+type repeatPerProcEnv struct {
+	statelessEnv
+	invs map[int]Invocation
+}
+
+// Next implements Environment.
+func (e *repeatPerProcEnv) Next(proc int, v *View) (Invocation, bool) {
+	inv, ok := e.invs[proc]
+	return inv, ok
 }
 
 // RepeatPerProc makes each process invoke its own invocation forever.
@@ -50,8 +116,5 @@ func Repeat(inv Invocation) Environment {
 // environment for liveness evaluation: progress is "infinitely many good
 // responses", so processes must keep invoking.
 func RepeatPerProc(invs map[int]Invocation) Environment {
-	return EnvironmentFunc(func(proc int, v *View) (Invocation, bool) {
-		inv, ok := invs[proc]
-		return inv, ok
-	})
+	return &repeatPerProcEnv{invs: invs}
 }

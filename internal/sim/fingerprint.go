@@ -156,7 +156,8 @@ func (r *runtime) fingerprint() (fp uint64, ok bool) {
 		f.Int(r.fpCompleted[id])
 		f.Int(r.fpOpSteps[id])
 		f.Uint64(r.fpObs[id])
-		if p := r.fpPending[id]; p != nil {
+		if r.fpHasPend[id] {
+			p := &r.fpPending[id]
 			f.Bool(true)
 			f.Str(p.Op)
 			f.Str(p.Obj)

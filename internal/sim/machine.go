@@ -1,0 +1,83 @@
+package sim
+
+import "repro/internal/history"
+
+// StepStatus is what a continuation frame reports after executing one
+// granted step (or what Begin reports for the invocation window).
+type StepStatus int
+
+const (
+	// StepPaused: the operation has more atomic steps to take; the
+	// process remains ready and the frame will be stepped again.
+	StepPaused StepStatus = iota + 1
+	// StepDone: the operation completed; the accompanying value is its
+	// response, recorded in the history within the same window.
+	StepDone
+	// StepBlocked: the implementation parks the process forever (the
+	// continuation-runtime equivalent of Proc.Block).
+	StepBlocked
+)
+
+// String names the status.
+func (s StepStatus) String() string {
+	switch s {
+	case StepPaused:
+		return "paused"
+	case StepDone:
+		return "done"
+	case StepBlocked:
+		return "blocked"
+	default:
+		return "invalid"
+	}
+}
+
+// Stepped is the continuation hook of the incremental execution engine:
+// an Object that can run each operation as an explicit state machine,
+// one resumable step closure per scheduler grant, instead of blocking a
+// live goroutine inside Apply. Sessions execute exclusively through
+// this hook — a direct dispatch loop with no goroutines, no channel
+// handoffs, and no rebuild-by-replay on Restore.
+//
+// Begin is called within the invocation window (the granted step that
+// records the invocation event). It must run exactly the code Apply
+// would run before its first base-object access: composite-level local
+// setup, including any Proc.Observe calls Apply performs before the
+// first access, but no base-object access (nothing may call Proc.Access
+// — the invocation window has no footprint). It returns
+//
+//   - (frame, _, StepPaused) when the operation has base-object steps
+//     left: each subsequent grant calls frame.Step once;
+//   - (nil, val, StepDone) when the operation performs no base-object
+//     access at all (val is the response, recorded in the same window);
+//   - (nil, _, StepBlocked) when the operation blocks immediately.
+//
+// The Stepped machine and the blocking Apply must describe the same
+// algorithm step for step: sim.Run (and WithReplayExecution above it)
+// executes Apply and serves as the parity oracle for the continuation
+// runtime. The window rule for translating Apply bodies: Begin gets the
+// code before the first access; Step k gets the k-th access plus the
+// local code that follows it up to the next access or the return.
+type Stepped interface {
+	Object
+	Begin(p *Proc, inv Invocation) (Frame, history.Value, StepStatus)
+}
+
+// Frame is one in-flight operation of one process: the explicit
+// continuation of everything Apply would have kept on a goroutine
+// stack. Step executes the operation's next atomic step — exactly one
+// base-object access through the usual Proc hooks (Access/Observe, via
+// the internal/base *W window methods) plus the trailing local code up
+// to the next access — and reports whether the operation paused again,
+// completed (returning its response), or blocked forever.
+//
+// Fork returns a frame equivalent to the receiver for Session.Mark and
+// Session.Restore: stepping the original must not affect the fork and
+// vice versa. A frame whose state never mutates after creation (every
+// single-remaining-step frame qualifies) may return itself; frames with
+// mutable progress state (loop counters, phase indices, collected
+// values) must return a deep copy.
+type Frame interface {
+	Step(p *Proc) (history.Value, StepStatus)
+	Fork() Frame
+}

@@ -7,13 +7,13 @@ import (
 	"repro/internal/history"
 )
 
-// Snapshottable is the opt-in snapshot hook of the incremental
-// exploration engine: a Session can rewind an Object implementing it to
-// an earlier configuration instead of re-executing the whole schedule
-// prefix from the initial state. Implementing it promises that
+// Snapshottable is the state-capture half of the incremental execution
+// engine's object contract: a Session rewinds an Object implementing it
+// to an earlier configuration instead of re-executing the whole
+// schedule prefix from the initial state. Implementing it promises that
 //
 //  1. Snapshot returns a value capturing ALL state that outlives a
-//     single granted step and is not process-goroutine-local — for
+//     single granted step and is not held in continuation frames — for
 //     implementations built from internal/base objects, each base
 //     object's Snapshot in a fixed order, plus any composite-level
 //     state (lazy allocations, per-process operation contexts) — such
@@ -24,16 +24,13 @@ import (
 //     single rewind), so Restore must copy what it cannot treat as
 //     immutable, and Snapshot must return data later mutations of the
 //     object cannot reach.
-//  3. Every value Apply reads from shared state into process-local
-//     variables is reported via Proc.Observe, and every step closure
-//     (and every composite-level read of state mutated within an
-//     in-flight operation) consults Proc.Replaying: when true it takes
-//     the value from Proc.Replayed instead of the real access and skips
-//     every mutation. internal/base objects do all of this
-//     automatically; see the slx test objects for the hand-rolled
-//     single-step pattern.
-//  4. Apply is deterministic given the invocation and the observed
-//     values (which the simulator already requires for replay).
+//  3. State local to one in-flight operation lives in its Frame (see
+//     Stepped), not in the object: the Session forks frames on Mark and
+//     Restore, so anything a frame reaches by pointer must either be
+//     covered by Snapshot/Restore or be deep-copied by Frame.Fork.
+//  4. Apply (and the equivalent Stepped machine) is deterministic given
+//     the invocation and the observed values (which the simulator
+//     already requires for replay).
 //
 // Unlike Fingerprintable, pointer identity is no obstacle: a snapshot
 // may hold pointers to immutable records (the CAS idiom), since Restore
@@ -58,9 +55,14 @@ type SessionGated interface {
 }
 
 // CanSnapshot reports whether an object supports session execution: it
-// implements Snapshottable and does not veto it via SessionGated.
+// implements both Snapshottable and Stepped (the continuation runtime
+// executes exclusively through Stepped frames) and does not veto
+// sessions via SessionGated.
 func CanSnapshot(o Object) bool {
 	if _, ok := o.(Snapshottable); !ok {
+		return false
+	}
+	if _, ok := o.(Stepped); !ok {
 		return false
 	}
 	if g, ok := o.(SessionGated); ok && !g.Snapshotting() {
@@ -69,17 +71,34 @@ func CanSnapshot(o Object) bool {
 	return true
 }
 
+// RewindableEnv is the optional fast-rewind hook for environments used
+// under a Session: EnvSnapshot captures the environment's decision
+// state and EnvRestore reinstates it, making Session.Restore a pure
+// struct copy. The usual Snapshot contract applies (the same snapshot
+// may be restored many times; EnvRestore must not adopt it mutably).
+// Environments without the hook still work: Restore falls back to a
+// fresh NewEnv() fast-forwarded through each process's historical
+// consultations, which supports any environment deciding invocations
+// from the invoking process's identity, its own invocation count, and
+// its own projection of the history.
+type RewindableEnv interface {
+	Environment
+	EnvSnapshot() any
+	EnvRestore(any)
+}
+
 // SessionConfig describes a persistent incremental simulation.
 type SessionConfig struct {
 	// Procs is the number of processes n (1-based ids 1..n).
 	Procs int
 	// Object is the implementation under test; it must implement
-	// Snapshottable. The session owns and mutates it.
+	// Snapshottable and Stepped (see CanSnapshot). The session owns and
+	// mutates it.
 	Object Object
 	// NewEnv creates an environment instance. A factory rather than an
-	// instance: every Restore that rebuilds a process replaces the
-	// environment with a fresh one fast-forwarded to the restored
-	// configuration. Incremental execution therefore supports
+	// instance: when the environment does not implement RewindableEnv,
+	// every Restore replaces it with a fresh one fast-forwarded to the
+	// restored configuration. Incremental execution therefore supports
 	// environments that decide each invocation from the invoking
 	// process's identity, its own invocation count, and its own
 	// projection of the history (all repository environments qualify);
@@ -91,20 +110,17 @@ type SessionConfig struct {
 }
 
 // Session is a live simulation that supports incremental extension
-// (Extend: grant exactly one more scheduler decision, reusing the
-// running process goroutines) and backtracking (Mark/Restore: rewind to
-// an earlier configuration on the current execution path). Exploration
-// uses it to visit each schedule-tree edge in amortized O(1) simulator
-// steps instead of replaying every prefix from the root.
+// (Extend: apply exactly one more scheduler decision) and backtracking
+// (Mark/Restore: rewind to an earlier configuration on the current
+// execution path). Exploration uses it to visit each schedule-tree edge
+// in O(1) simulator steps instead of replaying every prefix from the
+// root.
 //
-// A Restore rewinds three kinds of state: the object (via its
-// Snapshottable hook), the runtime bookkeeping (history, step counts,
-// statuses), and each process's goroutine. Goroutine stacks cannot be
-// copied, so a process that stepped since the mark is rebuilt: its
-// goroutine is unwound and respawned, and its pending operation is
-// re-executed with every shared-state read answered from the read log
-// recorded live (Proc.Observe) — so the rebuilt local frames are exactly
-// the marked ones, without touching (or depending on) shared state.
+// The session runs no goroutines: each process's in-flight operation is
+// an explicit continuation Frame (see Stepped), and a decision is
+// dispatched as a direct call into the object's state machine. Restore
+// is therefore a plain struct copy — object snapshot, per-process
+// control state, forked frames — with zero re-executed steps.
 //
 // Sessions are not safe for concurrent use; marks may only be restored
 // on the path that created them (a mark is a prefix of the current
@@ -113,7 +129,9 @@ type Session struct {
 	rt     *runtime
 	obj    Snapshottable
 	newEnv func() Environment
+	renv   RewindableEnv // non-nil when the env supports fast rewind
 	closed bool
+	free   *Mark // freelist of Released marks, linked through Mark.link
 }
 
 // NewSession starts a session positioned at the initial configuration.
@@ -134,22 +152,76 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		Fingerprint: cfg.Fingerprint,
 	}, cfg.NewEnv())
 	r.enableCtl()
-	r.sess = true
-	r.sessReads = make([][]history.Value, cfg.Procs+1)
+	r.direct = true
+	r.stepped = cfg.Object.(Stepped)
+	r.frames = make([]Frame, cfg.Procs+1)
+	r.next = make([]Invocation, cfg.Procs+1)
+	r.hasNext = make([]bool, cfg.Procs+1)
 	s := &Session{rt: r, obj: obj, newEnv: cfg.NewEnv}
-	// Start processes one at a time so initial readiness is deterministic
-	// (mirrors sim.Run).
+	s.renv, _ = r.env.(RewindableEnv)
 	for id := 1; id <= cfg.Procs; id++ {
-		r.spawn(id)
+		r.procs[id] = &Proc{id: id, n: cfg.Procs, rt: r}
+	}
+	// Consult the environment for each process's first invocation, one
+	// process at a time so initial readiness is deterministic (mirrors
+	// sim.Run's spawn order: process id sees the statuses of 1..id-1).
+	for id := 1; id <= cfg.Procs; id++ {
+		r.consultEnv(id)
 	}
 	return s, nil
 }
 
+// consultEnv asks the environment for process id's next invocation and
+// records the outcome in the per-process control state. The process's
+// own status must still be its pre-consultation value (ready mid-run,
+// unset at startup), matching what the goroutine runtime's view shows.
+func (r *runtime) consultEnv(id int) {
+	r.envCalls++
+	if inv, ok := r.env.Next(id, r.sessionView()); ok {
+		r.next[id] = inv
+		r.hasNext[id] = true
+		r.status[id] = statusReady
+	} else {
+		r.hasNext[id] = false
+		r.status[id] = statusIdle
+	}
+}
+
+// sessionView rebuilds the runtime's reusable view. The view and its
+// slices are valid only until the next session operation; environments
+// and LazyArgs must not retain them.
+func (r *runtime) sessionView() *View {
+	v := &r.vw
+	v.H = r.h[:len(r.h):len(r.h)]
+	v.Steps = r.steps
+	v.StepsBy = append(v.StepsBy[:0], r.stepsBy...)
+	v.Ready = v.Ready[:0]
+	v.Idle = v.Idle[:0]
+	v.Blocked = v.Blocked[:0]
+	v.Crashed = v.Crashed[:0]
+	for id := 1; id <= r.cfg.Procs; id++ {
+		switch r.status[id] {
+		case statusReady:
+			v.Ready = append(v.Ready, id)
+		case statusIdle:
+			v.Idle = append(v.Idle, id)
+		case statusBlocked:
+			v.Blocked = append(v.Blocked, id)
+		case statusCrashed:
+			v.Crashed = append(v.Crashed, id)
+		}
+	}
+	return v
+}
+
 // StepInfo reports what one Extend did.
 type StepInfo struct {
-	// Delta holds the events the decision recorded, capacity-clipped so
-	// appends elsewhere can never overwrite them (monitors may retain
-	// the slice).
+	// Delta holds the events the decision recorded. It is a view into
+	// the session's live history buffer: valid until the session is
+	// restored at or below the delta's first event (and then extended),
+	// which in DFS terms means valid for as long as the node that
+	// produced it is on the exploration stack. Callers that retain a
+	// delta beyond that (violation witnesses) must copy it.
 	Delta history.History
 	// Access is the footprint of the decision (zero/unknown when the
 	// object does not track footprints), matching Result.Accesses.
@@ -164,22 +236,106 @@ type StepInfo struct {
 // process), exactly as for a sim.Run scheduler.
 func (s *Session) Extend(d Decision) (StepInfo, error) {
 	r := s.rt
-	if err := s.usable(); err != nil {
-		return StepInfo{}, err
+	if s.closed {
+		return StepInfo{}, errors.New("sim: session is closed")
 	}
 	evBefore := len(r.h)
 	stepsBefore := r.steps
-	if err := r.applyDecision(d); err != nil {
+	if err := r.extendDirect(d); err != nil {
 		return StepInfo{}, err
 	}
-	info := StepInfo{
-		Delta: r.h[evBefore:len(r.h):len(r.h)],
-		Steps: r.steps - stepsBefore,
+	return StepInfo{
+		Delta:  r.h[evBefore:len(r.h):len(r.h)],
+		Access: r.lastAccess,
+		Steps:  r.steps - stepsBefore,
+	}, nil
+}
+
+// extendDirect validates and dispatches one scheduler decision through
+// the continuation runtime: the session-mode equivalent of
+// applyDecision, with the granted window executed as a direct call into
+// the object's state machine instead of a goroutine handoff.
+func (r *runtime) extendDirect(d Decision) error {
+	if d.Proc < 1 || d.Proc > r.cfg.Procs {
+		return fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
 	}
-	if r.track && len(r.accesses) > 0 {
-		info.Access = r.accesses[len(r.accesses)-1]
+	id := d.Proc
+	if d.Crash {
+		if r.status[id] == statusCrashed {
+			return fmt.Errorf("sim: scheduler crashed process %d twice", id)
+		}
+		// The crashed process keeps its frame and pending invocation:
+		// they are part of the configuration (fingerprints include the
+		// pending operations of crashed processes), they just never run.
+		r.record(history.Crash(id))
+		r.status[id] = statusCrashed
+		r.lastAccess = Access{}
+		if r.track {
+			r.lastAccess = Access{Known: true, Crash: true}
+		}
+		return nil
 	}
-	return info, nil
+	if r.status[id] != statusReady {
+		return fmt.Errorf("sim: scheduler stepped non-ready process %d", id)
+	}
+	r.steps++
+	r.stepsBy[id]++
+	// Incremented before the window so a response recorded within it
+	// (which ends the operation) resets the counter to zero.
+	r.fpOpSteps[id]++
+	r.beginWindow()
+	evBefore := len(r.h)
+	p := r.procs[id]
+	var val history.Value
+	var st StepStatus
+	if f := r.frames[id]; f != nil {
+		val, st = f.Step(p)
+		if st != StepPaused {
+			r.frames[id] = nil
+		}
+	} else {
+		// Invocation window: resolve the argument, record the event, and
+		// run the operation's pre-first-access code via Begin.
+		inv := r.next[id]
+		r.hasNext[id] = false
+		if la, lazy := inv.Arg.(LazyArg); lazy {
+			inv.Arg = la(r.sessionView())
+			r.lazyStep = true
+			r.fpPoisoned = true
+		}
+		r.record(history.Event{
+			Kind: history.KindInvoke, Proc: id,
+			Op: inv.Op, Obj: inv.Obj, Arg: inv.Arg,
+		})
+		var f Frame
+		f, val, st = r.stepped.Begin(p, inv)
+		if st == StepPaused {
+			r.frames[id] = f
+		}
+	}
+	switch st {
+	case StepPaused:
+		// The operation pauses at its next step boundary; the process
+		// stays ready.
+	case StepBlocked:
+		r.status[id] = statusBlocked
+	case StepDone:
+		// Response and next-environment consultation happen within the
+		// same window, exactly as under the goroutine runtime.
+		pend := r.fpPending[id]
+		r.record(history.Event{
+			Kind: history.KindResponse, Proc: id,
+			Op: pend.Op, Obj: pend.Obj, Val: val,
+		})
+		r.consultEnv(id)
+	default:
+		return fmt.Errorf("sim: object %T returned invalid step status %d", r.cfg.Object, st)
+	}
+	r.lastAccess = Access{}
+	if r.track {
+		r.lastAccess = r.endWindow(evBefore)
+	}
+	return nil
 }
 
 // Ready returns the sorted ids of processes currently awaiting a step.
@@ -201,14 +357,16 @@ func (s *Session) ReadyAppend(dst []int) []int {
 	return dst
 }
 
-// History returns the external history of the current configuration,
-// capacity-clipped against later appends.
+// History returns the external history of the current configuration.
+// Like StepInfo.Delta, it is a view into the session's live buffer:
+// valid until the session is restored below the current position and
+// extended again. Callers that retain it (violation witnesses) must
+// copy it.
 func (s *Session) History() history.History {
 	return s.rt.h[:len(s.rt.h):len(s.rt.h)]
 }
 
-// Steps returns the number of simulator steps granted so far (rebuild
-// re-execution excluded).
+// Steps returns the number of simulator steps granted so far.
 func (s *Session) Steps() int { return s.rt.steps }
 
 // Fingerprint computes the canonical configuration fingerprint, exactly
@@ -224,15 +382,19 @@ func (s *Session) Fingerprint() (uint64, bool) {
 	return r.fingerprint()
 }
 
-// Mark captures the current configuration for a later Restore.
+// Mark captures the current configuration for a later Restore: the
+// object snapshot plus a plain copy of each process's control state
+// (status, counters, pending invocation, forked continuation frame,
+// chosen-but-uninvoked next invocation) and the environment position.
 type Mark struct {
 	obj      any
+	env      any
 	hLen     int
-	schedLen int
-	accLen   int
 	steps    int
+	envCalls int
 	poisoned bool
 	procs    []procMark // index 0 unused
+	link     *Mark      // Session.Release freelist
 }
 
 // procMark is one process's control state at a mark.
@@ -242,57 +404,88 @@ type procMark struct {
 	completed int
 	opSteps   int
 	obs       uint64
-	pending   *Invocation
-	reads     []history.Value
+	pending   Invocation
+	hasPend   bool
+	frame     Frame
+	next      Invocation
+	hasNext   bool
 }
 
-// Mark snapshots the current configuration. The live buffers are
-// capacity-clipped so later appends reallocate instead of overwriting
-// state the mark still references.
+// Mark snapshots the current configuration. Marks are cheap (no
+// goroutine state exists to capture) and poolable: Release returns one
+// to the session for reuse.
 func (s *Session) Mark() *Mark {
 	r := s.rt
-	m := &Mark{
-		obj:      s.obj.Snapshot(),
-		hLen:     len(r.h),
-		schedLen: len(r.schedule),
-		accLen:   len(r.accesses),
-		steps:    r.steps,
-		poisoned: r.fpPoisoned,
-		procs:    make([]procMark, r.cfg.Procs+1),
+	m := s.free
+	if m != nil {
+		s.free = m.link
+		m.link = nil
+	} else {
+		m = &Mark{procs: make([]procMark, r.cfg.Procs+1)}
 	}
-	r.h = r.h[:len(r.h):len(r.h)]
-	r.eventSteps = r.eventSteps[:len(r.eventSteps):len(r.eventSteps)]
-	r.schedule = r.schedule[:len(r.schedule):len(r.schedule)]
-	r.accesses = r.accesses[:len(r.accesses):len(r.accesses)]
+	m.obj = s.obj.Snapshot()
+	m.env = nil
+	if s.renv != nil {
+		m.env = s.renv.EnvSnapshot()
+	}
+	m.hLen = len(r.h)
+	m.steps = r.steps
+	m.envCalls = r.envCalls
+	m.poisoned = r.fpPoisoned
 	for id := 1; id <= r.cfg.Procs; id++ {
 		pm := &m.procs[id]
 		pm.status = r.status[id]
 		pm.stepsBy = r.stepsBy[id]
 		pm.completed = r.fpCompleted[id]
 		pm.opSteps = r.fpOpSteps[id]
-		pm.pending = r.fpPending[id]
+		pm.obs = 0
 		if r.fpTrack {
 			pm.obs = r.fpObs[id]
 		}
-		reads := r.sessReads[id]
-		pm.reads = reads[:len(reads):len(reads)]
-		r.sessReads[id] = pm.reads
+		pm.pending = r.fpPending[id]
+		pm.hasPend = r.fpHasPend[id]
+		pm.frame = nil
+		if f := r.frames[id]; f != nil {
+			pm.frame = f.Fork()
+		}
+		pm.next = r.next[id]
+		pm.hasNext = r.hasNext[id]
 	}
 	return m
 }
 
+// Release returns a mark to the session's pool for reuse by a later
+// Mark. The caller must not use the mark afterwards; releasing a mark
+// that could still be restored is a use-after-free on the caller's
+// side. Release is optional — unreleased marks are simply garbage
+// collected.
+func (s *Session) Release(m *Mark) {
+	if m == nil || m.link != nil {
+		return
+	}
+	m.obj = nil
+	m.env = nil
+	for i := range m.procs {
+		m.procs[i].pending = Invocation{}
+		m.procs[i].frame = nil
+		m.procs[i].next = Invocation{}
+	}
+	m.link = s.free
+	s.free = m
+}
+
 // Restore rewinds the session to a mark taken earlier on the current
-// execution path. It returns the number of rebuild steps re-executed
-// (re-granted pending-operation steps of processes whose goroutines had
-// to be respawned) so callers can account re-simulation work.
+// execution path: a plain struct copy of the control state plus the
+// object snapshot — no re-executed steps, ever. The returned count is
+// always 0; the signature is kept so callers account re-simulation work
+// uniformly across engines.
 func (s *Session) Restore(m *Mark) (int, error) {
 	r := s.rt
-	if err := s.usable(); err != nil {
-		return 0, err
+	if s.closed {
+		return 0, errors.New("sim: session is closed")
 	}
-	// Fast path: the configuration has not moved (or only needs status
-	// rewinds after crash decisions, handled below).
-	if r.steps == m.steps && len(r.h) == m.hLen {
+	moved := r.steps != m.steps || len(r.h) != m.hLen
+	if !moved {
 		same := true
 		for id := 1; id <= r.cfg.Procs; id++ {
 			if r.status[id] != m.procs[id].status {
@@ -305,124 +498,52 @@ func (s *Session) Restore(m *Mark) (int, error) {
 		}
 	}
 
-	// Rewind runtime bookkeeping. Truncations capacity-clip: property
-	// monitors retain delta slices of the old suffix, which appends past
-	// the truncation point must never overwrite.
-	r.h = r.h[:m.hLen:m.hLen]
-	r.eventSteps = r.eventSteps[:m.hLen:m.hLen]
-	r.schedule = r.schedule[:m.schedLen:m.schedLen]
-	r.accesses = r.accesses[:m.accLen:m.accLen]
+	// History truncates in place: deltas handed out above the mark are
+	// dead once the caller restores below them (see StepInfo.Delta).
+	r.h = r.h[:m.hLen]
+	r.eventSteps = r.eventSteps[:m.hLen]
 	r.steps = m.steps
 	r.fpPoisoned = m.poisoned
-
-	// A process whose step count moved since the mark has goroutine
-	// frames the mark does not describe: it must be rebuilt. Everyone
-	// else took no granted steps, so their frames (and read logs,
-	// pending invocations, environment positions) are exactly the
-	// mark's; only their status can differ, via crash decisions.
-	rebuilds := false
-	for id := 1; id <= r.cfg.Procs; id++ {
-		if r.stepsBy[id] != m.procs[id].stepsBy {
-			rebuilds = true
-			break
-		}
-	}
-	if !rebuilds {
-		for id := 1; id <= r.cfg.Procs; id++ {
-			r.status[id] = m.procs[id].status
-		}
-		return 0, nil
-	}
-
-	// Restore the object before rebuilding (composite-level reads during
-	// the rebuild observe mark state) and again after (composite-level
-	// side effects of re-executed operation code — local contexts, lazy
-	// allocations — are reverted; base-object accesses are already
-	// suppressed by the injection machinery).
-	s.obj.Restore(m.obj)
-	r.env = s.newEnv()
-	respAfter := r.responseIndices()
-	granted := 0
 	for id := 1; id <= r.cfg.Procs; id++ {
 		pm := &m.procs[id]
-		if r.stepsBy[id] == pm.stepsBy {
-			r.status[id] = pm.status
-			// Keep the parked goroutine, but position the fresh
-			// environment past every invocation this process has
-			// consumed: its completed operations plus the one its loop
-			// already holds (or consumed returning idle).
-			s.fastForward(id, pm.completed+1, respAfter)
-			continue
+		r.status[id] = pm.status
+		r.stepsBy[id] = pm.stepsBy
+		r.fpCompleted[id] = pm.completed
+		r.fpOpSteps[id] = pm.opSteps
+		if r.fpTrack {
+			r.fpObs[id] = pm.obs
 		}
-		granted += s.rebuildProc(id, pm, respAfter)
-		if r.desync != nil {
-			return granted, r.desync
+		r.fpPending[id] = pm.pending
+		r.fpHasPend[id] = pm.hasPend
+		r.frames[id] = nil
+		if pm.frame != nil {
+			// Fork on the way out too: the same mark may be restored
+			// many times, and the live frame must not mutate the mark's.
+			r.frames[id] = pm.frame.Fork()
 		}
+		r.next[id] = pm.next
+		r.hasNext[id] = pm.hasNext
 	}
-	s.obj.Restore(m.obj)
-	return granted, nil
-}
-
-// rebuildProc respawns process id's goroutine in the mark's state: its
-// environment is fast-forwarded, the goroutine restarted, and its
-// pending operation re-executed with reads injected from the mark's
-// read log. Returns the number of re-granted steps.
-func (s *Session) rebuildProc(id int, pm *procMark, respAfter [][]int) int {
-	r := s.rt
-	// Unwind the old goroutine if it is still parked on a grant (ready
-	// or crashed); idle and blocked goroutines have already exited.
-	if p := r.procs[id]; p != nil && (r.status[id] == statusReady || r.status[id] == statusCrashed) {
-		close(p.halt)
-		<-p.dead
+	if moved {
+		s.obj.Restore(m.obj)
 	}
-	r.procs[id] = nil
-	r.stepsBy[id] = pm.stepsBy
-	r.fpCompleted[id] = pm.completed
-	r.fpOpSteps[id] = pm.opSteps
-	r.fpPending[id] = pm.pending
-	if r.fpTrack {
-		r.fpObs[id] = pm.obs
-	}
-	r.sessReads[id] = pm.reads
-	s.fastForward(id, pm.completed, respAfter)
-
-	r.rebuildActive = true
-	r.rebuildProc = id
-	r.rebuildInv = pm.pending
-	r.rebuildReads = pm.reads
-	r.rebuildIdx = 0
-	r.rebuildView = s.histView(id, pm.completed+1, respAfter)
-	defer func() {
-		r.rebuildActive = false
-		r.rebuildInv = nil
-		r.rebuildReads = nil
-		r.rebuildView = nil
-	}()
-
-	r.spawn(id)
-	granted := 0
-	if pm.pending != nil {
-		for j := 0; j < pm.opSteps; j++ {
-			if r.status[id] != statusReady {
-				r.desync = fmt.Errorf("sim: session restore desynchronized: process %d stopped after %d of %d rebuild steps", id, j, pm.opSteps)
-				return granted
+	if r.envCalls != m.envCalls {
+		if s.renv != nil {
+			s.renv.EnvRestore(m.env)
+		} else {
+			// Fallback for environments without the rewind hook: a fresh
+			// instance fast-forwarded through each process's historical
+			// consultations (one per completed operation plus the one
+			// that chose its pending/next invocation).
+			r.env = s.newEnv()
+			respAfter := r.responseIndices()
+			for id := 1; id <= r.cfg.Procs; id++ {
+				s.fastForward(id, m.procs[id].completed+1, respAfter)
 			}
-			p := r.procs[id]
-			p.grant <- struct{}{}
-			r.status[id] = <-p.sync
-			granted++
 		}
-		if r.desync == nil && r.rebuildIdx != len(r.rebuildReads) {
-			r.desync = fmt.Errorf("sim: session restore desynchronized: process %d replayed %d of %d recorded reads", id, r.rebuildIdx, len(r.rebuildReads))
-			return granted
-		}
+		r.envCalls = m.envCalls
 	}
-	if r.desync == nil && r.status[id] != pm.status {
-		r.desync = fmt.Errorf("sim: session restore desynchronized: process %d rebuilt into status %d, marked %d", id, r.status[id], pm.status)
-		return granted
-	}
-	r.status[id] = pm.status
-	return granted
+	return 0, nil
 }
 
 // responseIndices returns, per process, the history index just past
@@ -470,23 +591,8 @@ func (s *Session) fastForward(id, calls int, respAfter [][]int) {
 	}
 }
 
-// usable returns the sticky error state of the session.
-func (s *Session) usable() error {
-	if s.closed {
-		return errors.New("sim: session is closed")
-	}
-	if s.rt.desync != nil {
-		return s.rt.desync
-	}
-	return nil
-}
-
-// Close shuts the session down, unwinding every process goroutine. The
-// session's history remains readable; Extend/Restore fail afterwards.
+// Close shuts the session down. The session's history remains readable;
+// Extend/Restore fail afterwards.
 func (s *Session) Close() {
-	if s.closed {
-		return
-	}
 	s.closed = true
-	s.rt.shutdown()
 }

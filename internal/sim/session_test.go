@@ -79,6 +79,70 @@ func (o *snapObject) Restore(v any) {
 	o.snap.Restore(st.snap)
 }
 
+// snapFrame is one in-flight snapObject operation, branching on the
+// test-and-set outcome exactly as Apply does.
+type snapFrame struct {
+	o   *snapObject
+	inv Invocation
+	pc  int
+	v   int
+	old history.Value
+}
+
+// Begin implements Stepped.
+func (o *snapObject) Begin(p *Proc, inv Invocation) (Frame, history.Value, StepStatus) {
+	switch inv.Op {
+	case "mix", "read":
+		return &snapFrame{o: o, inv: inv}, nil, StepPaused
+	}
+	return nil, nil, StepDone
+}
+
+// Step implements Frame.
+func (f *snapFrame) Step(p *Proc) (history.Value, StepStatus) {
+	o := f.o
+	if f.inv.Op == "read" {
+		return o.reg.ReadW(p), StepDone
+	}
+	switch f.pc {
+	case 0:
+		o.reg.WriteW(p, f.inv.Arg)
+		f.pc = 1
+	case 1:
+		f.v = o.ctr.AddW(p, 1)
+		f.pc = 2
+	case 2:
+		if o.tas.TestAndSetW(p) {
+			f.pc = 3
+		} else {
+			f.pc = 5
+		}
+	case 3:
+		f.old = o.cas.ReadW(p)
+		f.pc = 4
+	case 4:
+		o.cas.CompareAndSwapW(p, f.old, f.v)
+		f.pc = 6
+	case 5:
+		o.snap.UpdateW(p, p.ID()-1, f.v)
+		f.pc = 6
+	case 6:
+		sn := o.snap.ScanW(p, nil)
+		sum := 0
+		for _, x := range sn {
+			sum += x.(int)
+		}
+		return sum*100 + f.v, StepDone
+	}
+	return nil, StepPaused
+}
+
+// Fork implements Frame.
+func (f *snapFrame) Fork() Frame {
+	c := *f
+	return &c
+}
+
 // sessionCrossCheck walks the full schedule tree to the given depth
 // with one persistent session (descend by Extend, backtrack by
 // Restore) and, at EVERY node, compares the session's history,
@@ -196,7 +260,7 @@ func TestSessionMatchesReplayEverywhere(t *testing.T) {
 
 // TestSessionMatchesReplayWithCrashes repeats the cross-check with
 // crash decisions branching at every level (restores must rewind crash
-// statuses without respawning untouched goroutines).
+// statuses and reinstate the crashed operations' pending frames).
 func TestSessionMatchesReplayWithCrashes(t *testing.T) {
 	script := map[int][]Invocation{
 		1: {{Op: "mix", Arg: 1}},
@@ -248,6 +312,36 @@ func (o *tasObject) Apply(p *Proc, inv Invocation) history.Value {
 func (o *tasObject) Fingerprint(f *Fingerprinter) { o.t.Fingerprint(f) }
 func (o *tasObject) Snapshot() any                { return o.t.Snapshot() }
 func (o *tasObject) Restore(v any)                { o.t.Restore(v) }
+
+// tasFrame is one in-flight tasObject operation: a single window.
+type tasFrame struct {
+	o   *tasObject
+	inv Invocation
+}
+
+// Begin implements Stepped.
+func (o *tasObject) Begin(p *Proc, inv Invocation) (Frame, history.Value, StepStatus) {
+	switch inv.Op {
+	case "try", "release":
+		return &tasFrame{o: o, inv: inv}, nil, StepPaused
+	}
+	return nil, nil, StepDone
+}
+
+// Step implements Frame.
+func (f *tasFrame) Step(p *Proc) (history.Value, StepStatus) {
+	if f.inv.Op == "try" {
+		if f.o.t.TestAndSetW(p) {
+			return "won", StepDone
+		}
+		return "lost", StepDone
+	}
+	f.o.t.ResetW(p)
+	return "ok", StepDone
+}
+
+// Fork implements Frame: the frame is immutable.
+func (f *tasFrame) Fork() Frame { return f }
 
 // TestSessionViewDependentEnv cross-checks the session against replay
 // under a view-dependent environment (decisions derived from the

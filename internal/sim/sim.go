@@ -1,15 +1,23 @@
 // Package sim implements the asynchronous shared-memory system of the
 // paper's Section 2 as a deterministic, scheduler-driven simulator.
 //
-// Each of the n processes runs as a goroutine. Before every atomic step —
-// an invocation or a base-object operation — the process blocks until the
-// scheduler grants it a step; the scheduler therefore plays exactly the
-// role of the paper's external scheduler ("an external entity ... over
-// which processes have no control"). Because grants are serialized by the
-// runtime, a run is fully determined by the schedule (the sequence of
-// scheduler decisions) for deterministic algorithms and environments, which
-// makes replay and adversarial probing possible: a configuration is
-// represented by the schedule prefix that produced it.
+// Run executes each of the n processes as a goroutine. Before every
+// atomic step — an invocation or a base-object operation — the process
+// blocks until the scheduler grants it a step; the scheduler therefore
+// plays exactly the role of the paper's external scheduler ("an
+// external entity ... over which processes have no control"). Because
+// grants are serialized by the runtime, a run is fully determined by
+// the schedule (the sequence of scheduler decisions) for deterministic
+// algorithms and environments, which makes replay and adversarial
+// probing possible: a configuration is represented by the schedule
+// prefix that produced it.
+//
+// Session executes the same model without goroutines: objects
+// implementing Stepped run each operation as an explicit continuation
+// state machine (one resumable step closure per grant) driven by a
+// direct dispatch loop, which makes snapshot/restore a plain struct
+// copy and the exploration hot loop allocation-free. Run remains the
+// parity oracle for the continuation runtime.
 //
 // The runtime records the external history (invocations, responses, crash
 // events) exactly as defined in internal/history, along with per-event step
@@ -321,8 +329,14 @@ func (p *Proc) N() int { return p.n }
 
 // Exec performs op as one atomic step: it blocks until the scheduler grants
 // this process a step, then runs op. desc describes the step for tracing.
+// Exec only exists under the goroutine runtime (sim.Run); continuation
+// sessions dispatch Stepped frames directly and never block, so an
+// object stepping through Exec inside a session is a contract violation.
 func (p *Proc) Exec(desc string, op func()) {
 	_ = desc
+	if p.rt.direct {
+		panic("sim: Proc.Exec called inside a continuation session; Stepped objects must perform accesses in Begin/Step windows")
+	}
 	p.yield(statusReady)
 	p.awaitGrant()
 	op()
@@ -338,7 +352,7 @@ func (p *Proc) Exec(desc string, op func()) {
 // opted into tracking.
 func (p *Proc) Access(obj string, write bool) {
 	r := p.rt
-	if !r.track || r.rebuildActive {
+	if !r.track {
 		return
 	}
 	if r.declCount > 0 && r.declObj != obj {
@@ -350,23 +364,14 @@ func (p *Proc) Access(obj string, write bool) {
 }
 
 // Observe folds v — a value the current granted step read from shared
-// state — into the executing process's local-state fingerprint, and, in
-// a Session, into its pending-operation read log (the values a Restore
-// replays to rebuild the process's local frames). Base objects
-// (internal/base) call it on behalf of their read operations; an
-// implementation opting into Fingerprintable or Snapshottable whose
-// Apply reads shared state through its own steps must declare the
-// values itself (see those interfaces). Observe must only be called
-// within a granted step's window; it is a no-op when the run neither
-// fingerprints nor runs as a session.
+// state — into the executing process's local-state fingerprint. Base
+// objects (internal/base) call it on behalf of their read operations;
+// an implementation opting into Fingerprintable whose steps read shared
+// state through its own accesses must declare the values itself (see
+// that interface). Observe must only be called within a granted step's
+// window; it is a no-op when the run does not fingerprint.
 func (p *Proc) Observe(v history.Value) {
 	r := p.rt
-	if r.rebuildActive {
-		return
-	}
-	if r.sess {
-		r.sessReads[p.id] = append(r.sessReads[p.id], v)
-	}
 	if !r.fpTrack {
 		return
 	}
@@ -380,39 +385,6 @@ func (p *Proc) Observe(v history.Value) {
 		return
 	}
 	r.fpObs[p.id] = r.fpEnc.Sum()
-}
-
-// Replaying reports whether the current granted step is a rebuild step:
-// the runtime is restoring a session snapshot and re-executing this
-// process's pending operation to rebuild its local frames. A custom
-// Snapshottable object must consult it inside every step closure: when
-// true, take each value the step would read from shared state from
-// Replayed() instead of performing the real access, and skip every
-// mutation of shared state (see Snapshottable). Objects built entirely
-// from internal/base objects get this behavior automatically.
-func (p *Proc) Replaying() bool {
-	r := p.rt
-	return r.rebuildActive && r.rebuildProc == p.id
-}
-
-// Replayed returns the next recorded read value of the pending
-// operation being rebuilt. It must be called exactly once per value the
-// operation Observed live, in the same order; it returns nil (and marks
-// the session desynchronized, which surfaces as a Restore error) when
-// the log runs dry, which indicates the object broke the Snapshottable
-// determinism contract.
-func (p *Proc) Replayed() history.Value {
-	r := p.rt
-	if !p.Replaying() {
-		return nil
-	}
-	if r.rebuildIdx >= len(r.rebuildReads) {
-		r.desync = fmt.Errorf("sim: session restore desynchronized: process %d replayed more reads than its pending operation recorded", p.id)
-		return nil
-	}
-	v := r.rebuildReads[r.rebuildIdx]
-	r.rebuildIdx++
-	return v
 }
 
 // Block parks the process forever: the current operation never completes
@@ -464,7 +436,8 @@ type runtime struct {
 	// count, index 0 unused. Fingerprinting needs it to encode program
 	// counters; sessions need it to rebuild processes on Restore.
 	ctl         bool
-	fpPending   []*Invocation
+	fpPending   []Invocation
+	fpHasPend   []bool
 	fpOpSteps   []int
 	fpCompleted []int
 
@@ -478,20 +451,23 @@ type runtime struct {
 	fpPoisoned bool
 	fpEnc      Fingerprinter // reused by Observe for its encoding buffer
 
-	// Session state (only under Session, never sim.Run). sessReads holds
-	// each process's pending-operation read log: the values Observe saw,
-	// replayed by Restore to rebuild local frames. The rebuild* fields
-	// are the injection context of the one process currently being
-	// rebuilt; desync records a broken determinism contract.
-	sess          bool
-	sessReads     [][]history.Value
-	rebuildActive bool
-	rebuildProc   int
-	rebuildInv    *Invocation
-	rebuildReads  []history.Value
-	rebuildIdx    int
-	rebuildView   *View
-	desync        error
+	// Continuation-session state (only under Session, never sim.Run).
+	// The session dispatches Stepped frames directly: frames holds each
+	// process's in-flight operation continuation (nil between
+	// operations), next/hasNext the invocation the environment chose but
+	// the process has not yet invoked, lastAccess the footprint of the
+	// most recent decision, and envCalls the total number of environment
+	// consultations made (so Restore knows whether the environment needs
+	// rewinding). vw is the reusable view handed to environments and
+	// LazyArgs: it is valid only for the duration of the call.
+	direct     bool
+	stepped    Stepped
+	frames     []Frame      // index 0 unused
+	next       []Invocation // index 0 unused
+	hasNext    []bool       // index 0 unused
+	lastAccess Access
+	envCalls   int
+	vw         View
 }
 
 // beginWindow resets the per-window footprint accumulators.
@@ -522,34 +498,26 @@ func (r *runtime) endWindow(evBefore int) Access {
 	return a
 }
 
-// record appends an external event to the history. It is called from
-// process goroutines strictly within their granted windows, so accesses are
-// serialized with the runtime loop by the grant/sync channel handshake.
-// Rebuild steps record nothing: their events are already in the history
-// being restored.
+// record appends an external event to the history. Under sim.Run it is
+// called from process goroutines strictly within their granted windows,
+// so accesses are serialized with the runtime loop by the grant/sync
+// channel handshake; under a Session it is called by the dispatch loop.
 func (r *runtime) record(e history.Event) {
-	if r.rebuildActive {
-		return
-	}
 	r.h = append(r.h, e)
 	r.eventSteps = append(r.eventSteps, r.steps)
 	if r.ctl {
 		switch e.Kind {
 		case history.KindInvoke:
-			r.fpPending[e.Proc] = &Invocation{Op: e.Op, Obj: e.Obj, Arg: e.Arg}
+			r.fpPending[e.Proc] = Invocation{Op: e.Op, Obj: e.Obj, Arg: e.Arg}
+			r.fpHasPend[e.Proc] = true
 		case history.KindResponse:
 			// The operation is over: its local variables are dead, so the
-			// observation digest, read log and in-operation step counter
-			// reset. The read log is capacity-clipped away rather than
-			// reused: session marks alias the old backing array.
-			r.fpPending[e.Proc] = nil
+			// observation digest and in-operation step counter reset.
+			r.fpHasPend[e.Proc] = false
 			r.fpCompleted[e.Proc]++
 			r.fpOpSteps[e.Proc] = 0
 			if r.fpTrack {
 				r.fpObs[e.Proc] = history.DigestSeed()
-			}
-			if r.sess {
-				r.sessReads[e.Proc] = nil
 			}
 		}
 	}
@@ -610,15 +578,6 @@ func (r *runtime) procLoop(p *Proc) {
 		// The grant of this step is what schedules the invocation event.
 		// Lazy arguments resolve here, against the view at scheduling time.
 		p.Exec("invoke", func() {
-			if p.Replaying() {
-				// Rebuild of a pending operation: the invocation was
-				// recorded (with its lazy argument already resolved) when
-				// it was first scheduled; reuse it verbatim.
-				if r.rebuildInv != nil {
-					inv = *r.rebuildInv
-				}
-				return
-			}
 			if la, lazy := inv.Arg.(LazyArg); lazy {
 				inv.Arg = la(r.view())
 				r.lazyStep = true
@@ -637,18 +596,10 @@ func (r *runtime) procLoop(p *Proc) {
 	}
 }
 
-// envNext consults the environment for a process's next invocation.
-// While a Restore rebuilds a process, the environment sees the
-// historical view of the moment the invocation was originally chosen
-// (the restored history truncated just after the process's last
-// response) instead of the live view, so view-dependent environments
-// reproduce their decisions.
+// envNext consults the environment for a process's next invocation
+// (goroutine runtime only; sessions consult via their dispatch loop).
 func (r *runtime) envNext(p *Proc) (Invocation, bool) {
-	v := r.view()
-	if r.rebuildActive && r.rebuildProc == p.id && r.rebuildView != nil {
-		v = r.rebuildView
-	}
-	return r.env.Next(p.id, v)
+	return r.env.Next(p.id, r.view())
 }
 
 // newRuntime builds the shared runtime core of Run and Session.
@@ -677,7 +628,8 @@ func newRuntime(cfg Config, env Environment) *runtime {
 // per-operation step counts, completed-operation counts).
 func (r *runtime) enableCtl() {
 	r.ctl = true
-	r.fpPending = make([]*Invocation, r.cfg.Procs+1)
+	r.fpPending = make([]Invocation, r.cfg.Procs+1)
+	r.fpHasPend = make([]bool, r.cfg.Procs+1)
 	r.fpOpSteps = make([]int, r.cfg.Procs+1)
 	r.fpCompleted = make([]int, r.cfg.Procs+1)
 }

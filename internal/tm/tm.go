@@ -69,6 +69,17 @@ type snapRestorer interface {
 	Restore(any)
 }
 
+// steppedSnap is the window-form facet of a SnapshotObject: update and
+// scan each complete within a single already-granted access window,
+// which is what the continuation frames need. The hardware base.Snapshot
+// provides it; the software snapshot built from registers does not (its
+// scan takes many steps), so I12-with-software-snapshot reports
+// Snapshotting()==false and exploration uses the replay fallback.
+type steppedSnap interface {
+	UpdateW(a base.Accessor, i int, v history.Value)
+	ScanW(a base.Accessor, dst []history.Value) []history.Value
+}
+
 // txSnap is one process's captured transaction context. The read/write
 // buffer is copied both ways: write() mutates it in place, and the same
 // snapshot may be restored many times.
@@ -114,18 +125,6 @@ func restoreLocals(local []procTx, snaps []txSnap) {
 		}
 		l.values = m
 	}
-}
-
-// tmActive reads the transaction-active flag rebuild-aware: tryC clears
-// the flag inside its own invocation window, so when a session rebuild
-// re-executes a pending tryC the restored (post-clear) flag would take
-// the wrong branch — the value observed live is replayed instead.
-func tmActive(p *sim.Proc, l *procTx) bool {
-	if p.Replaying() {
-		return p.Replayed().(bool)
-	}
-	p.Observe(l.active)
-	return l.active
 }
 
 // I12 is the paper's Algorithm 1, implementing a TM that ensures S and
@@ -178,11 +177,14 @@ type tmState struct {
 	local []txSnap
 }
 
-// Snapshotting reports whether the snapshot object supports state
-// capture; false sends exploration to the replay fallback (see
-// sim.CanSnapshot).
+// Snapshotting reports whether the snapshot object supports both state
+// capture and single-window update/scan; false sends exploration to the
+// replay fallback (see sim.CanSnapshot).
 func (t *I12) Snapshotting() bool {
-	_, ok := t.r.(snapRestorer)
+	if _, ok := t.r.(snapRestorer); !ok {
+		return false
+	}
+	_, ok := t.r.(steppedSnap)
 	return ok
 }
 
@@ -245,7 +247,11 @@ func (t *I12) write(p *sim.Proc, v string, val history.Value) history.Value {
 
 func (t *I12) tryC(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
-	if !tmActive(p, l) {
+	// The active flag is local state that steers the operation's control
+	// flow, so it is folded into the local-state fingerprint (both here
+	// and in the continuation form's Begin).
+	p.Observe(l.active)
+	if !l.active {
 		return history.Abort
 	}
 	l.active = false
@@ -268,6 +274,112 @@ func (t *I12) tryC(p *sim.Proc) history.Value {
 		return history.Commit
 	}
 	return history.Abort
+}
+
+// Begin implements sim.Stepped. "read" and "write" are pure local-buffer
+// operations — zero accesses, so the whole operation completes in the
+// invocation window. "start" bumps the local timestamp in the invocation
+// window (it steers no shared access yet), then announces and reads C in
+// two access windows. "tryC" takes its active-flag branch in the
+// invocation window, mirroring the blocking form where the flag check
+// precedes the first access.
+//
+// Begin is only reached when Snapshotting() is true, so the snapshot
+// object is known to implement steppedSnap.
+func (t *I12) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case history.TMStart:
+		l := &t.local[p.ID()]
+		l.timestamp++
+		return &i12StartFrame{t: t}, nil, sim.StepPaused
+	case history.TMTryC:
+		l := &t.local[p.ID()]
+		p.Observe(l.active)
+		if !l.active {
+			return nil, history.Abort, sim.StepDone
+		}
+		l.active = false
+		return &i12TryCFrame{t: t}, nil, sim.StepPaused
+	case history.TMRead:
+		return nil, t.read(p, inv.Obj), sim.StepDone
+	case history.TMWrite:
+		return nil, t.write(p, inv.Obj, inv.Arg), sim.StepDone
+	default:
+		return nil, history.Abort, sim.StepDone
+	}
+}
+
+// i12StartFrame is an in-flight start: announce the timestamp, then read
+// the central CAS and initialize the read/write buffer.
+type i12StartFrame struct {
+	t  *I12
+	pc int
+}
+
+// Step implements sim.Frame.
+func (f *i12StartFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	t := f.t
+	l := &t.local[p.ID()]
+	if f.pc == 0 {
+		t.r.(steppedSnap).UpdateW(p, p.ID()-1, l.timestamp)
+		f.pc = 1
+		return nil, sim.StepPaused
+	}
+	st := t.c.ReadW(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.written = false
+	l.active = true
+	return history.OK, sim.StepDone
+}
+
+// Fork implements sim.Frame.
+func (f *i12StartFrame) Fork() sim.Frame {
+	c := *f
+	return &c
+}
+
+// i12TryCFrame is an in-flight tryC past the active check: scan the
+// timestamps (aborting on the count rule in the scan's window, as in the
+// blocking form), then attempt the commit CAS.
+type i12TryCFrame struct {
+	t    *I12
+	next *memState
+	pc   int
+}
+
+// Step implements sim.Frame.
+func (f *i12TryCFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	t := f.t
+	l := &t.local[p.ID()]
+	if f.pc == 0 {
+		snap := t.r.(steppedSnap).ScanW(p, nil)
+		count := 0
+		for _, ts := range snap {
+			if ts.(int) >= l.timestamp {
+				count++
+			}
+		}
+		if count >= 3 {
+			return history.Abort, sim.StepDone
+		}
+		f.next = &memState{version: l.snapshot.version + 1, vals: l.values}
+		f.pc = 1
+		return nil, sim.StepPaused
+	}
+	if t.c.CompareAndSwapW(p, l.snapshot, f.next) {
+		return history.Commit, sim.StepDone
+	}
+	return history.Abort, sim.StepDone
+}
+
+// Fork implements sim.Frame.
+func (f *i12TryCFrame) Fork() sim.Frame {
+	c := *f
+	return &c
 }
 
 // GlobalCAS is Algorithm 1 without the timestamp rule: an opaque,
@@ -342,7 +454,8 @@ func (t *GlobalCAS) write(p *sim.Proc, v string, val history.Value) history.Valu
 
 func (t *GlobalCAS) tryC(p *sim.Proc) history.Value {
 	l := &t.local[p.ID()]
-	if !tmActive(p, l) {
+	p.Observe(l.active)
+	if !l.active {
 		return history.Abort
 	}
 	l.active = false
@@ -352,6 +465,71 @@ func (t *GlobalCAS) tryC(p *sim.Proc) history.Value {
 	}
 	return history.Abort
 }
+
+// Begin implements sim.Stepped (see I12.Begin; GlobalCAS has no
+// snapshot object, so start is a single read and tryC a single CAS).
+// Both frames are immutable after Begin, so Fork returns the receiver.
+func (t *GlobalCAS) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case history.TMStart:
+		return &gcasStartFrame{t: t}, nil, sim.StepPaused
+	case history.TMTryC:
+		l := &t.local[p.ID()]
+		p.Observe(l.active)
+		if !l.active {
+			return nil, history.Abort, sim.StepDone
+		}
+		l.active = false
+		next := &memState{version: l.snapshot.version + 1, vals: l.values}
+		return &gcasCommitFrame{t: t, old: l.snapshot, next: next}, nil, sim.StepPaused
+	case history.TMRead:
+		return nil, t.read(p, inv.Obj), sim.StepDone
+	case history.TMWrite:
+		return nil, t.write(p, inv.Obj, inv.Arg), sim.StepDone
+	default:
+		return nil, history.Abort, sim.StepDone
+	}
+}
+
+// gcasStartFrame is an in-flight start: one read of the central CAS.
+type gcasStartFrame struct {
+	t *GlobalCAS
+}
+
+// Step implements sim.Frame.
+func (f *gcasStartFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	t := f.t
+	l := &t.local[p.ID()]
+	st := t.c.ReadW(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.active = true
+	return history.OK, sim.StepDone
+}
+
+// Fork implements sim.Frame: the frame holds no mutable state.
+func (f *gcasStartFrame) Fork() sim.Frame { return f }
+
+// gcasCommitFrame is an in-flight tryC past the active check: one
+// commit CAS.
+type gcasCommitFrame struct {
+	t         *GlobalCAS
+	old, next *memState
+}
+
+// Step implements sim.Frame.
+func (f *gcasCommitFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	if f.t.c.CompareAndSwapW(p, f.old, f.next) {
+		return history.Commit, sim.StepDone
+	}
+	return history.Abort, sim.StepDone
+}
+
+// Fork implements sim.Frame: the frame holds no mutable state.
+func (f *gcasCommitFrame) Fork() sim.Frame { return f }
 
 // Aborter responds A to every operation. It is trivially opaque and makes
 // no progress whatsoever — requiring only "every operation returns" is
@@ -403,49 +581,74 @@ type Access struct {
 	Val history.Value
 }
 
+// txnLoopEnv drives each process through its transaction template over
+// and over. It keeps no mutable state: the position within the cycle is
+// derived from the history view (invocations since the process's latest
+// start), which makes the environment rewindable for free — a
+// sim.Session restore needs no environment rewind at all.
+type txnLoopEnv struct {
+	templates map[int]Txn
+}
+
+// Next implements sim.Environment.
+func (e *txnLoopEnv) Next(proc int, v *sim.View) (sim.Invocation, bool) {
+	tpl, ok := e.templates[proc]
+	if !ok {
+		return sim.Invocation{}, false
+	}
+	// Walk the history backwards: record the process's most recent
+	// response and count its invocations back to (and including) its
+	// latest start. The process has no pending operation at consultation
+	// time, so the latest response (if any) is its latest event.
+	m := 0
+	inTxn := false
+	var lastResp history.Value
+	sawResp := false
+	for i := len(v.H) - 1; i >= 0; i-- {
+		ev := &v.H[i]
+		if ev.Proc != proc {
+			continue
+		}
+		if !sawResp && ev.Kind == history.KindResponse {
+			sawResp = true
+			lastResp = ev.Val
+		}
+		if ev.Kind == history.KindInvoke {
+			m++
+			if ev.Op == history.TMStart {
+				inTxn = true
+				break
+			}
+		}
+	}
+	// An aborted operation ends the transaction early; a completed cycle
+	// (start, accesses, tryC all invoked) or no transaction yet also
+	// means the next invocation is a fresh start.
+	if (sawResp && lastResp == history.Abort) || !inTxn || m == len(tpl.Accesses)+2 {
+		return sim.Invocation{Op: history.TMStart}, true
+	}
+	if m <= len(tpl.Accesses) {
+		a := tpl.Accesses[m-1]
+		if a.Write {
+			return sim.Invocation{Op: history.TMWrite, Obj: a.Var, Arg: a.Val}, true
+		}
+		return sim.Invocation{Op: history.TMRead, Obj: a.Var}, true
+	}
+	return sim.Invocation{Op: history.TMTryC}, true
+}
+
+// EnvSnapshot implements sim.RewindableEnv: there is no state to capture.
+func (e *txnLoopEnv) EnvSnapshot() any { return nil }
+
+// EnvRestore implements sim.RewindableEnv.
+func (e *txnLoopEnv) EnvRestore(any) {}
+
 // TxnLoop is an environment in which each process executes its transaction
 // template over and over: start, the accesses, tryC, repeat. If a process
 // has no template it is parked. Aborted operations end the transaction
 // early (the next invocation is a fresh start).
 func TxnLoop(templates map[int]Txn) sim.Environment {
-	type state struct {
-		step int // 0 = start, 1..len = accesses, len+1 = tryC
-	}
-	states := make(map[int]*state)
-	return sim.EnvironmentFunc(func(proc int, v *sim.View) (sim.Invocation, bool) {
-		tpl, ok := templates[proc]
-		if !ok {
-			return sim.Invocation{}, false
-		}
-		st := states[proc]
-		if st == nil {
-			st = &state{}
-			states[proc] = st
-		}
-		// If our previous operation aborted, restart the transaction.
-		if st.step > 0 {
-			proj := v.H.Project(proc)
-			if len(proj) > 0 {
-				last := proj[len(proj)-1]
-				if last.Kind == history.KindResponse && last.Val == history.Abort {
-					st.step = 0
-				}
-			}
-		}
-		defer func() { st.step = (st.step + 1) % (len(tpl.Accesses) + 2) }()
-		switch {
-		case st.step == 0:
-			return sim.Invocation{Op: history.TMStart}, true
-		case st.step <= len(tpl.Accesses):
-			a := tpl.Accesses[st.step-1]
-			if a.Write {
-				return sim.Invocation{Op: history.TMWrite, Obj: a.Var, Arg: a.Val}, true
-			}
-			return sim.Invocation{Op: history.TMRead, Obj: a.Var}, true
-		default:
-			return sim.Invocation{Op: history.TMTryC}, true
-		}
-	})
+	return &txnLoopEnv{templates: templates}
 }
 
 // RandomWorkload builds per-process transaction templates with opsPerTx

@@ -99,21 +99,24 @@ func TestExploreCacheRequiresMonitors(t *testing.T) {
 	}
 }
 
-// TestWorkersClamped pins the WithWorkers contract: values below 1 are
-// clamped to 1 and Report.Workers records the count actually used.
-func TestWorkersClamped(t *testing.T) {
+// TestWorkersValidated pins the WithWorkers contract: values below 1
+// are rejected up front with a message naming the workers field (the
+// service's 400), and valid counts are recorded in Report.Workers.
+func TestWorkersValidated(t *testing.T) {
 	tc := porCases()["register/linearizability"]
-	for _, n := range []int{-3, 0, 1, 4} {
+	for _, n := range []int{-3, 0} {
+		_, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)], slx.WithWorkers(n))...).Explore(tc.props...)
+		if err == nil || !strings.Contains(err.Error(), "workers") {
+			t.Errorf("WithWorkers(%d): want a workers validation error, got %v", n, err)
+		}
+	}
+	for _, n := range []int{1, 4} {
 		rep, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)], slx.WithWorkers(n))...).Explore(tc.props...)
 		if err != nil {
 			t.Fatalf("explore with %d workers: %v", n, err)
 		}
-		want := n
-		if want < 1 {
-			want = 1
-		}
-		if rep.Workers != want {
-			t.Errorf("WithWorkers(%d): Report.Workers = %d, want %d", n, rep.Workers, want)
+		if rep.Workers != n {
+			t.Errorf("WithWorkers(%d): Report.Workers = %d, want %d", n, rep.Workers, n)
 		}
 		if !rep.OK() {
 			t.Errorf("WithWorkers(%d): unexpected violation: %s", n, rep)

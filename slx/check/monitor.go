@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/safety"
 	"repro/slx"
@@ -49,9 +50,25 @@ func (m *safetyMonitor) Verdict() slx.Verdict {
 	return v
 }
 
+// wrapPool recycles released wrappers back into Fork (exploration forks
+// one wrapper per monitor per branch).
+var wrapPool = sync.Pool{New: func() any { return new(safetyMonitor) }}
+
 // Fork implements slx.Monitor.
 func (m *safetyMonitor) Fork() slx.Monitor {
-	return &safetyMonitor{name: m.name, inner: m.inner.Fork(), events: m.events, failAt: m.failAt, failEv: m.failEv}
+	f := wrapPool.Get().(*safetyMonitor)
+	f.name, f.inner, f.events, f.failAt, f.failEv = m.name, m.inner.Fork(), m.events, m.failAt, m.failEv
+	return f
+}
+
+// Release recycles a fork the exploration engine is done with, passing
+// the release on to the native monitor (see safety.Releaser).
+func (m *safetyMonitor) Release() {
+	if r, ok := m.inner.(safety.Releaser); ok {
+		r.Release()
+	}
+	m.inner = nil
+	wrapPool.Put(m)
 }
 
 // StateDigest implements slx.Digester by delegating to the native

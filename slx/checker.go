@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,8 +83,8 @@ func WithCrashes(n int) Option { return func(c *Checker) { c.crashes = n } }
 // failure at the lexicographically least schedule prefix — the one
 // sequential exploration reports — wins regardless of worker timing).
 // Properties are then checked from multiple goroutines. Values below 1
-// are clamped to 1; Report.Workers records the count actually used.
-// Default: 1.
+// are rejected by Explore and ValidateExplore; Report.Workers records
+// the count actually used. Default: 1.
 func WithWorkers(n int) Option { return func(c *Checker) { c.workers = n } }
 
 // WithWindow sets the liveness tail-window length in steps; 0 means half
@@ -397,10 +398,47 @@ type violation struct {
 func (v *violation) Error() string { return v.v.String() }
 
 // monitorSet adapts the property monitors to explore.MonitorSet,
-// counting every event fed to every monitor.
+// counting every event fed to every monitor. Small sets (the common
+// case: one or two properties) keep the monitor slice in the inline
+// array, so exploration's per-branch Fork allocates one object instead
+// of two.
 type monitorSet struct {
-	mons  []Monitor
-	scans *atomic.Int64
+	mons   []Monitor
+	scans  *atomic.Int64
+	inline [2]Monitor
+}
+
+// newMonitorSet builds a set over mons, using the inline backing when
+// it fits.
+func newMonitorSet(mons []Monitor, scans *atomic.Int64) *monitorSet {
+	s := &monitorSet{scans: scans}
+	if len(mons) <= len(s.inline) {
+		s.mons = append(s.inline[:0], mons...)
+	} else {
+		s.mons = mons
+	}
+	return s
+}
+
+// releasable is the optional per-monitor counterpart of the set's
+// Release (see safety.Releaser).
+type releasable interface{ Release() }
+
+// setPool recycles monitor sets released by the exploration engine back
+// into Fork, which otherwise allocates one set per explored branch.
+var setPool = sync.Pool{New: func() any { return new(monitorSet) }}
+
+// Release implements explore.ReleasableMonitorSet: the engine is done
+// with this fork — recycle it and every monitor that opts in.
+func (s *monitorSet) Release() {
+	for i, m := range s.mons {
+		if r, ok := m.(releasable); ok {
+			r.Release()
+		}
+		s.mons[i] = nil
+	}
+	s.mons = s.mons[:0]
+	setPool.Put(s)
 }
 
 // Step implements explore.MonitorSet.
@@ -416,11 +454,15 @@ func (s *monitorSet) Step(e hist.Event) error {
 
 // Fork implements explore.MonitorSet.
 func (s *monitorSet) Fork() explore.MonitorSet {
-	mons := make([]Monitor, len(s.mons))
-	for i, m := range s.mons {
-		mons[i] = m.Fork()
+	ns := setPool.Get().(*monitorSet)
+	ns.scans = s.scans
+	if ns.mons == nil {
+		ns.mons = ns.inline[:0]
 	}
-	return &monitorSet{mons: mons, scans: s.scans}
+	for _, m := range s.mons {
+		ns.mons = append(ns.mons, m.Fork())
+	}
+	return ns
 }
 
 // StateDigest implements explore.Digester by chaining the property
@@ -514,7 +556,7 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 			for i, p := range props {
 				mons[i] = p.Spawn()
 			}
-			return &monitorSet{mons: mons, scans: &scans}
+			return newMonitorSet(mons, &scans)
 		}
 	}
 	st, err := explore.Run(ecfg)
@@ -577,6 +619,9 @@ func (c *Checker) ValidateExplore(props ...Property) error {
 	}
 	if c.visited != nil && !c.cache {
 		return fmt.Errorf("slx: WithVisitedTier requires WithStateCache (the tier is the cache's storage)")
+	}
+	if c.workers < 1 {
+		return fmt.Errorf("slx: workers: WithWorkers requires at least 1 worker, got %d", c.workers)
 	}
 	if c.sample {
 		switch {
@@ -647,7 +692,7 @@ func (c *Checker) sampleExplore(ctx context.Context, props []Property) (*Report,
 			for i, p := range props {
 				mons[i] = p.Spawn()
 			}
-			return &monitorSet{mons: mons, scans: &scans}
+			return newMonitorSet(mons, &scans)
 		},
 		Schedules:    c.schedules,
 		Steps:        c.depth,

@@ -11,7 +11,9 @@ package slx_test
 // engine bug, never a property change. Run with -race in CI.
 
 import (
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/slx"
@@ -158,5 +160,117 @@ func TestIncrementalFallbackTransparent(t *testing.T) {
 	}
 	if def.SimSteps <= def.Prefixes {
 		t.Errorf("replay fallback should show quadratic steps (%d) above prefixes (%d)", def.SimSteps, def.Prefixes)
+	}
+}
+
+// viewDependentEnv issues invocations that depend on the observed view:
+// each process writes the current history length (different in every
+// interleaving), then reads, then stops. Both engines must consult the
+// environment inside the same step window with the same view — a session
+// restore that replayed the environment against a stale or rebuilt view
+// would pick different invocations and change the explored tree.
+func viewDependentEnv() run.Environment {
+	return run.EnvironmentFunc(func(proc int, v *run.View) (run.Invocation, bool) {
+		invoked := 0
+		for _, e := range v.H {
+			if e.Proc == proc && e.Kind == hist.KindInvoke {
+				invoked++
+			}
+		}
+		switch invoked {
+		case 0:
+			return run.Invocation{Op: "write", Arg: 100*proc + len(v.H)}, true
+		case 1:
+			return run.Invocation{Op: "read"}, true
+		}
+		return run.Invocation{}, false
+	})
+}
+
+// TestContinuationParityViewEnvAndCrashes pins the continuation engine
+// against the replay oracle on the two execution features most easily
+// broken by snapshot restore: view-dependent environments (the chosen
+// invocation depends on the history at consult time) and crash
+// branching (restores must resurrect pre-crash continuation frames).
+// Run with -race in CI.
+func TestContinuationParityViewEnvAndCrashes(t *testing.T) {
+	base := []slx.Option{
+		slx.WithObject(func() run.Object { return &porRegister{v: 0} }),
+		slx.WithEnv(viewDependentEnv),
+		slx.WithProcs(3),
+		slx.WithDepth(6),
+		slx.WithCrashes(1),
+	}
+	props := []slx.Property{check.Linearizability(check.RegisterSpec{Initial: 0})}
+	inc, err := slx.New(base...).Explore(props...)
+	if err != nil {
+		t.Fatalf("continuation explore: %v", err)
+	}
+	rep, err := slx.New(append(base[:len(base):len(base)], slx.WithReplayExecution())...).Explore(props...)
+	if err != nil {
+		t.Fatalf("replay explore: %v", err)
+	}
+	if inc.OK() != rep.OK() {
+		t.Fatalf("verdicts differ: continuation OK=%v, replay OK=%v", inc.OK(), rep.OK())
+	}
+	if inc.Prefixes != rep.Prefixes || inc.EventScans != rep.EventScans {
+		t.Errorf("trees differ: continuation %d prefixes/%d scans, replay %d/%d",
+			inc.Prefixes, inc.EventScans, rep.Prefixes, rep.EventScans)
+	}
+	if !reflect.DeepEqual(inc.Witness(), rep.Witness()) {
+		t.Errorf("witnesses differ: continuation %v, replay %v", inc.Witness(), rep.Witness())
+	}
+	if inc.SimSteps >= rep.SimSteps {
+		t.Errorf("continuation engine did not reduce sim steps: %d vs replay %d", inc.SimSteps, rep.SimSteps)
+	}
+}
+
+// TestExplorePoolReuseParallelStress hammers the engine's recycling
+// paths — pooled sessions and marks, recycled node infos, released
+// monitor sets and their sync.Pool-backed forks — by running violating
+// and clean explorations concurrently, with work-stealing workers
+// inside each exploration, against pools shared process-wide. Any
+// cross-branch or cross-exploration state bleed shows up as a flipped
+// verdict (or a -race report in CI, which runs this with -race).
+func TestExplorePoolReuseParallelStress(t *testing.T) {
+	cases := []string{"racy-lock/violation", "lossy-register/violation", "register/linearizability", "commit-adopt/crashes+workers"}
+	type want struct {
+		name string
+		ok   bool
+	}
+	wants := make([]want, 0, len(cases))
+	for _, name := range cases {
+		tc := porCases()[name]
+		rep, err := slx.New(tc.opts[:len(tc.opts):len(tc.opts)]...).Explore(tc.props...)
+		if err != nil {
+			t.Fatalf("%s: sequential explore: %v", name, err)
+		}
+		wants = append(wants, want{name: name, ok: rep.OK()})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases)*8)
+	for round := 0; round < 8; round++ {
+		for _, w := range wants {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tc := porCases()[w.name]
+				rep, err := slx.New(append(tc.opts[:len(tc.opts):len(tc.opts)],
+					slx.WithPOR(), slx.WithStateCache(), slx.WithWorkers(4))...).Explore(tc.props...)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", w.name, err)
+					return
+				}
+				if rep.OK() != w.ok {
+					errs <- fmt.Errorf("%s: verdict flipped under pooled parallel reuse: got OK=%v, want %v", w.name, rep.OK(), w.ok)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -19,10 +19,9 @@ import (
 )
 
 // porRegister is a linearizable register with declared footprints,
-// observations, a state fingerprint, and rebuild-aware snapshots (the
-// reference pattern for hand-rolled single-step objects: every step
-// closure consults Proc.Replaying and answers reads from Proc.Replayed
-// during a session rebuild).
+// observations, a state fingerprint, snapshots and a continuation form
+// (the reference pattern for hand-rolled session-capable objects: Apply
+// is the blocking oracle, Begin/Step the equivalent frame machine).
 type porRegister struct{ v hist.Value }
 
 func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
@@ -30,10 +29,6 @@ func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	switch inv.Op {
 	case "read":
 		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("r", false)
 			out = r.v
 			p.Observe(out)
@@ -41,9 +36,6 @@ func (r *porRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case "write":
 		p.Exec("write", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("r", true)
 			r.v = inv.Arg
 		})
@@ -59,6 +51,37 @@ func (r *porRegister) Snapshot() any { return r.v }
 
 func (r *porRegister) Restore(s any) { r.v = s }
 
+// porRegisterFrame is one in-flight porRegister operation: one window.
+type porRegisterFrame struct {
+	r   *porRegister
+	inv run.Invocation
+}
+
+// Begin implements run.Stepped.
+func (r *porRegister) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		return &porRegisterFrame{r: r, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *porRegisterFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	if f.inv.Op == "read" {
+		p.Access("r", false)
+		out := f.r.v
+		p.Observe(out)
+		return out, run.StepDone
+	}
+	p.Access("r", true)
+	f.r.v = f.inv.Arg
+	return hist.OK, run.StepDone
+}
+
+// Fork implements run.Frame: the frame is immutable.
+func (f *porRegisterFrame) Fork() run.Frame { return f }
+
 // lossyRegister is a seeded bug: process 2's writes acknowledge without
 // taking effect, so its write-then-read is not linearizable.
 type lossyRegister struct{ v hist.Value }
@@ -68,10 +91,6 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	switch inv.Op {
 	case "read":
 		p.Exec("read", func() {
-			if p.Replaying() {
-				out = p.Replayed()
-				return
-			}
 			p.Access("r", false)
 			out = r.v
 			p.Observe(out)
@@ -79,9 +98,6 @@ func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 	case "write":
 		p.Exec("write", func() {
 			out = hist.OK
-			if p.Replaying() {
-				return
-			}
 			p.Access("r", true)
 			if p.ID() != 2 {
 				r.v = inv.Arg
@@ -99,6 +115,40 @@ func (r *lossyRegister) Snapshot() any { return r.v }
 
 func (r *lossyRegister) Restore(s any) { r.v = s }
 
+// lossyRegisterFrame is one in-flight lossyRegister operation.
+type lossyRegisterFrame struct {
+	r   *lossyRegister
+	inv run.Invocation
+}
+
+// Begin implements run.Stepped.
+func (r *lossyRegister) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "read", "write":
+		return &lossyRegisterFrame{r: r, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *lossyRegisterFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	r := f.r
+	if f.inv.Op == "read" {
+		p.Access("r", false)
+		out := r.v
+		p.Observe(out)
+		return out, run.StepDone
+	}
+	p.Access("r", true)
+	if p.ID() != 2 {
+		r.v = f.inv.Arg
+	}
+	return hist.OK, run.StepDone
+}
+
+// Fork implements run.Frame: the frame is immutable.
+func (f *lossyRegisterFrame) Fork() run.Frame { return f }
+
 // racyLock is a seeded deep bug: test and set are separate register
 // steps, so mutual exclusion breaks only on the interleavings where both
 // processes read the lock free before either takes it — violations that
@@ -111,19 +161,12 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		for {
 			var free bool
 			p.Exec("test", func() {
-				if p.Replaying() {
-					free = p.Replayed().(bool)
-					return
-				}
 				p.Access("lock", false)
 				free = !l.held
 				p.Observe(free)
 			})
 			if free {
 				p.Exec("set", func() {
-					if p.Replaying() {
-						return
-					}
 					p.Access("lock", true)
 					l.held = true
 				})
@@ -132,9 +175,6 @@ func (l *racyLock) Apply(p *run.Proc, inv run.Invocation) hist.Value {
 		}
 	case mutex.OpRelease:
 		p.Exec("clear", func() {
-			if p.Replaying() {
-				return
-			}
 			p.Access("lock", true)
 			l.held = false
 		})
@@ -150,6 +190,50 @@ func (l *racyLock) Fingerprint(f *run.Fingerprinter) { f.Str("lock"); f.Bool(l.h
 func (l *racyLock) Snapshot() any { return l.held }
 
 func (l *racyLock) Restore(s any) { l.held = s.(bool) }
+
+// racyLockFrame is one in-flight racyLock operation: test/set rounds for
+// acquire (free records a successful test, making set the next step),
+// one clear for release.
+type racyLockFrame struct {
+	l    *racyLock
+	op   string
+	free bool
+}
+
+// Begin implements run.Stepped.
+func (l *racyLock) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case mutex.OpAcquire, mutex.OpRelease:
+		return &racyLockFrame{l: l, op: inv.Op}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *racyLockFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	l := f.l
+	if f.op == mutex.OpRelease {
+		p.Access("lock", true)
+		l.held = false
+		return mutex.Unlocked, run.StepDone
+	}
+	if !f.free {
+		p.Access("lock", false)
+		free := !l.held
+		p.Observe(free)
+		f.free = free
+		return nil, run.StepPaused
+	}
+	p.Access("lock", true)
+	l.held = true
+	return mutex.Locked, run.StepDone
+}
+
+// Fork implements run.Frame.
+func (f *racyLockFrame) Fork() run.Frame {
+	c := *f
+	return &c
+}
 
 // regEnv writes a distinct value per process, then reads.
 func regEnv(procs int) func() run.Environment {

@@ -75,8 +75,9 @@ type Report struct {
 	// configuration was already fully explored (0 unless
 	// WithStateCache).
 	CacheHits int
-	// Workers is the number of exploration workers actually used:
-	// WithWorkers clamped to at least 1. Zero outside ModeExplore.
+	// Workers is the number of exploration workers actually used
+	// (WithWorkers; counts below 1 are rejected by validation). Zero
+	// outside ModeExplore.
 	Workers int
 	// EventScans counts the events fed to the property layer during an
 	// exploration: one per (event, monitor) pair on the incremental path,

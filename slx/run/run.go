@@ -51,16 +51,41 @@ type Fingerprintable = sim.Fingerprintable
 type Fingerprinter = sim.Fingerprinter
 
 // Snapshottable is the opt-in snapshot hook of incremental exploration:
-// Objects implementing it can be rewound to earlier configurations, so
-// Explore descends by extending one persistent simulation instead of
-// replaying every prefix from the root. Snapshot/Restore must capture
-// all state that outlives a granted step (repository base objects
-// provide composable Snapshot/Restore methods); custom single-step
-// objects must additionally make every step closure rebuild-aware via
-// Proc.Replaying/Proc.Replayed and report reads via Proc.Observe. See
-// the sim.Snapshottable contract for the details. Objects without the
-// hook are explored by from-root replay, with identical verdicts.
+// Objects implementing it (together with Stepped) can be rewound to
+// earlier configurations, so Explore descends by extending one
+// persistent simulation instead of replaying every prefix from the
+// root. Snapshot/Restore must capture all object state that outlives a
+// granted step (repository base objects provide composable
+// Snapshot/Restore methods); in-flight operation state lives in the
+// continuation frames, which the engine forks and restores by itself.
+// See the sim.Snapshottable contract for the details. Objects without
+// the hook are explored by from-root replay, with identical verdicts.
 type Snapshottable = sim.Snapshottable
+
+// Stepped is the continuation form of an Object: operations run as
+// explicit resumable frames (one access per Step call) driven directly
+// by the exploration loop, with no goroutine per process. Incremental
+// exploration requires it alongside Snapshottable. See sim.Stepped for
+// the window-equivalence contract with Apply.
+type Stepped = sim.Stepped
+
+// Frame is one in-flight operation of a Stepped object.
+type Frame = sim.Frame
+
+// StepStatus is what a Begin or Step call reports back to the engine.
+type StepStatus = sim.StepStatus
+
+// Step statuses.
+const (
+	StepPaused  = sim.StepPaused
+	StepDone    = sim.StepDone
+	StepBlocked = sim.StepBlocked
+)
+
+// RewindableEnv is the opt-in environment-rewind hook of incremental
+// exploration; stock environments (OneShot, Script, ...) are stateless
+// and rewindable for free. See sim.RewindableEnv.
+type RewindableEnv = sim.RewindableEnv
 
 // SessionGated optionally vetoes snapshot support at runtime (for
 // objects with pluggable components); see sim.SessionGated.

@@ -67,7 +67,10 @@ func (s Spec) Options() []Option {
 	if s.Crashes > 0 {
 		opts = append(opts, WithCrashes(s.Crashes))
 	}
-	if s.Workers > 0 {
+	if s.Workers != 0 {
+		// Negative values are applied, not skipped: they must reach
+		// ValidateExplore and be rejected with the workers message, not
+		// silently explore sequentially.
 		opts = append(opts, WithWorkers(s.Workers))
 	}
 	if s.POR {

@@ -3,6 +3,7 @@ package slx
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -131,6 +132,39 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSpecNegativeWorkersRejected: a negative workers count survives
+// the JSON round trip, is applied by Options (not silently skipped),
+// and is rejected by ValidateExplore with the workers-isolated message
+// — the full path a bad service spec takes to its 400.
+func TestSpecNegativeWorkersRejected(t *testing.T) {
+	orig := Spec{Workers: -2}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != -2 {
+		t.Fatalf("workers did not survive the round trip: %+v", back)
+	}
+	if n := len(back.Options()); n != 1 {
+		t.Fatalf("negative workers produced %d options, want 1 (it must reach validation)", n)
+	}
+	c := New(append(testTargetOptions(), back.Options()...)...)
+	verr := c.ValidateExplore(testProperty())
+	if verr == nil {
+		t.Fatal("ValidateExplore accepted workers = -2")
+	}
+	if !strings.Contains(verr.Error(), "workers") || !strings.Contains(verr.Error(), "-2") {
+		t.Fatalf("message does not isolate the workers field: %q", verr)
+	}
+	if _, eerr := c.Explore(testProperty()); eerr == nil || eerr.Error() != verr.Error() {
+		t.Fatalf("Explore said %q, ValidateExplore said %q", eerr, verr)
+	}
+}
+
 func jsonHasKey(t *testing.T, data []byte, key string) bool {
 	t.Helper()
 	var m map[string]any
@@ -150,12 +184,14 @@ func TestValidateExploreMatchesExplore(t *testing.T) {
 		return New(append(testTargetOptions(), extra...)...)
 	}
 	bad := map[string]*Checker{
-		"sample+por":      base(WithSample(10, 2), WithPOR()),
-		"sample+batch":    base(WithSample(10, 2), WithBatchExplore()),
-		"sample+cache":    base(WithSample(10, 2), WithStateCache()),
-		"no-schedules":    base(WithSample(0, 2)),
-		"batch+cache":     base(WithBatchExplore(), WithStateCache()),
-		"tier-sans-cache": base(WithVisitedTier(NewVisitedTier())),
+		"sample+por":       base(WithSample(10, 2), WithPOR()),
+		"sample+batch":     base(WithSample(10, 2), WithBatchExplore()),
+		"sample+cache":     base(WithSample(10, 2), WithStateCache()),
+		"no-schedules":     base(WithSample(0, 2)),
+		"batch+cache":      base(WithBatchExplore(), WithStateCache()),
+		"tier-sans-cache":  base(WithVisitedTier(NewVisitedTier())),
+		"negative-workers": base(WithWorkers(-3)),
+		"zero-workers":     base(WithWorkers(0)),
 	}
 	for name, c := range bad {
 		verr := c.ValidateExplore(testProperty())
