@@ -332,11 +332,80 @@ func BenchmarkExploreLinearizabilityWorkers4(b *testing.B) {
 	benchExploreLinearizability(b, linExploreChecker(slx.WithWorkers(4)))
 }
 
+// benchRecRegister is benchRegister with the crash–recovery hooks: no
+// volatile state (CrashVolatile wipes nothing) and a one-read-window
+// recovery routine, so the benchmark exercises the recovery re-spawn
+// machinery — crash decisions, recovery frames, epoch fingerprints —
+// on an object that stays strictly linearizable throughout.
+type benchRecRegister struct{ benchRegister }
+
+func (r *benchRecRegister) CrashVolatile() {}
+
+func (r *benchRecRegister) RecoverFrame() run.Frame { return &benchRecFrame{r: r} }
+
+// benchRecFrame is the recovery routine: one read window.
+type benchRecFrame struct{ r *benchRecRegister }
+
+// Step implements run.Frame.
+func (f *benchRecFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	p.Access("r", false)
+	p.Observe(f.r.v)
+	return nil, run.StepDone
+}
+
+// Fork implements run.Frame: the frame holds no mutable state.
+func (f *benchRecFrame) Fork() run.Frame { return f }
+
+// recExploreChecker is the crash–recovery twin of linExploreChecker:
+// the same depth-7, 3-process register workload explored with one
+// crash and one recovery in the failure budget.
+func recExploreChecker(extra ...slx.Option) *slx.Checker {
+	opts := []slx.Option{
+		slx.WithObject(func() run.Object { return &benchRecRegister{benchRegister{v: 0}} }),
+		slx.WithEnv(func() run.Environment {
+			return run.Script(map[int][]run.Invocation{
+				1: {{Op: "write", Arg: 1}, {Op: "read"}},
+				2: {{Op: "write", Arg: 2}, {Op: "read"}},
+				3: {{Op: "write", Arg: 3}, {Op: "read"}},
+			})
+		}),
+		slx.WithProcs(3),
+		slx.WithDepth(7),
+		slx.WithCrashes(1),
+		slx.WithRecoveries(1),
+	}
+	return slx.New(append(opts, extra...)...)
+}
+
+func strictProp() slx.Property {
+	return check.StrictLinearizability(check.RegisterSpec{Initial: 0})
+}
+
+// BenchmarkExploreRecoveryMonitor measures crash–recovery exploration
+// on the default incremental path: the depth-7 register workload with a
+// 1-crash/1-recovery failure budget under the strict-linearizability
+// monitor.
+func BenchmarkExploreRecoveryMonitor(b *testing.B) {
+	benchExplore(b, recExploreChecker(), strictProp())
+}
+
+// BenchmarkExploreRecoveryCachePOR measures the same recovery workload
+// with partial-order reduction and the state cache composed on top —
+// the configuration CI gates, because recovery epochs participate in
+// both footprints and fingerprints.
+func BenchmarkExploreRecoveryCachePOR(b *testing.B) {
+	benchExplore(b, recExploreChecker(slx.WithPOR(), slx.WithStateCache()), strictProp())
+}
+
 func benchExploreLinearizability(b *testing.B, c *slx.Checker) {
+	benchExplore(b, c, linProp())
+}
+
+func benchExplore(b *testing.B, c *slx.Checker, prop slx.Property) {
 	b.ReportAllocs()
 	prefixes := 0
 	for i := 0; i < b.N; i++ {
-		rep, err := c.Explore(linProp())
+		rep, err := c.Explore(prop)
 		if err != nil {
 			b.Fatal(err)
 		}

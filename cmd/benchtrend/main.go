@@ -68,6 +68,8 @@ var sections = map[string]string{
 	"BenchmarkExploreLinearizabilityCache":    "cache",
 	"BenchmarkExploreLinearizabilityCachePOR": "cache_por",
 	"BenchmarkExploreLinearizabilityWorkers4": "parallel_work_stealing",
+	"BenchmarkExploreRecoveryMonitor":         "recovery",
+	"BenchmarkExploreRecoveryCachePOR":        "recovery_cache_por",
 	"BenchmarkSampleThroughput":               "sample",
 	"BenchmarkSampleThroughputReplay":         "sample_replay",
 	"BenchmarkServiceThroughput":              "service",

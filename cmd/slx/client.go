@@ -9,10 +9,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -31,6 +34,7 @@ func cmdSubmit(args []string) error {
 	procs := fs.Int("procs", 0, "override the target's process count")
 	depth := fs.Int("depth", 12, "schedule depth")
 	crashes := fs.Int("crashes", 0, "crash budget")
+	recoveries := fs.Int("recoveries", 0, "recovery budget (needs -crashes)")
 	batch := fs.Bool("batch", false, "legacy batch checking")
 	por := fs.Bool("por", false, "sleep-set partial-order reduction")
 	cache := fs.Bool("cache", false, "state-fingerprint cache")
@@ -49,20 +53,21 @@ func cmdSubmit(args []string) error {
 	spec := service.JobSpec{
 		Target: *target,
 		Spec: slx.Spec{
-			Procs:     *procs,
-			Depth:     *depth,
-			Crashes:   *crashes,
-			Workers:   *workers,
-			POR:       *por,
-			Cache:     *cache,
-			Batch:     *batch,
-			Replay:    *replay,
-			Sample:    *sampleMode,
-			Schedules: *schedules,
-			D:         *d,
-			Walk:      *walk,
-			Seed:      *seed,
-			TimeoutMs: timeout.Milliseconds(),
+			Procs:      *procs,
+			Depth:      *depth,
+			Crashes:    *crashes,
+			Recoveries: *recoveries,
+			Workers:    *workers,
+			POR:        *por,
+			Cache:      *cache,
+			Batch:      *batch,
+			Replay:     *replay,
+			Sample:     *sampleMode,
+			Schedules:  *schedules,
+			D:          *d,
+			Walk:       *walk,
+			Seed:       *seed,
+			TimeoutMs:  timeout.Milliseconds(),
 		},
 		SharedCache: *sharedCache,
 	}
@@ -181,22 +186,88 @@ func terminalState(s string) bool {
 	return s == service.StateDone || s == service.StateFailed || s == service.StateCancelled
 }
 
-// apiCall performs one JSON round-trip against the daemon; non-2xx
-// responses surface the daemon's error message.
+// Retry tunables. A transient failure — the daemon not up yet, a
+// connection reset, or an explicit 429/503 back-pressure response — is
+// retried with full-jitter exponential backoff, capped per delay and in
+// attempt count. Tests swap retrySleep and reseed retryRand to make the
+// schedule deterministic and instant.
+var (
+	retryAttempts = 4
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 1 * time.Second
+	retrySleep    = time.Sleep
+	retryRand     = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// backoffDelay returns the full-jitter delay for 0-based attempt i:
+// uniform in [0, min(cap, base<<i)]. Jitter spreads concurrent clients
+// so a recovering daemon is not hit by a synchronized thundering herd.
+func backoffDelay(i int) time.Duration {
+	d := retryBase << uint(i)
+	if d <= 0 || d > retryCap {
+		d = retryCap
+	}
+	return time.Duration(retryRand.Int63n(int64(d) + 1))
+}
+
+// httpStatusError carries the daemon's non-2xx status so the retry loop
+// can distinguish back-pressure (429, 503) from real rejections (400,
+// 404), which must surface immediately.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
+
+// transientErr reports whether a failure is worth retrying: any
+// transport-level error (connection refused while the daemon starts,
+// reset mid-flight) or an explicit retry-me status. Everything else —
+// bad spec, unknown job, JSON mismatch — is permanent.
+func transientErr(err error) bool {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.code == http.StatusTooManyRequests || he.code == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// apiCall performs a JSON round-trip against the daemon, retrying
+// transient failures; non-2xx responses surface the daemon's error
+// message.
 func apiCall(method, url string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = apiOnce(method, url, payload, out)
+		if err == nil || !transientErr(err) || attempt >= retryAttempts {
+			return err
+		}
+		retrySleep(backoffDelay(attempt))
+	}
+}
+
+// apiOnce is a single request/response exchange. The payload is a
+// pre-marshalled body (nil for body-less methods) so every retry sends
+// an identical request.
+func apiOnce(method, url string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, url, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
@@ -213,9 +284,9 @@ func apiCall(method, url string, in, out any) error {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+			return &httpStatusError{code: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, e.Error)}
 		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return &httpStatusError{code: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(data)))}
 	}
 	if out != nil {
 		return json.Unmarshal(data, out)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// withInstantRetries makes the backoff schedule deterministic and
+// instant for the duration of a test: sleeps are recorded instead of
+// taken and the jitter source is reseeded.
+func withInstantRetries(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	oldSleep, oldRand := retrySleep, retryRand
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	retryRand = rand.New(rand.NewSource(1))
+	t.Cleanup(func() { retrySleep, retryRand = oldSleep, oldRand })
+	return &slept
+}
+
+// flakyHandler rejects the first fail requests with the given status,
+// then delegates to the wrapped handler.
+func flakyHandler(fail int64, status int, next http.Handler) (http.Handler, *int64) {
+	var seen int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&seen, 1) <= fail {
+			http.Error(w, `{"error":"warming up"}`, status)
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &seen
+}
+
+// TestClientRetriesTransientStatuses: submit -wait and status ride out
+// leading 503s and 429s; the backoff sleeps once per rejected attempt.
+func TestClientRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		t.Run(http.StatusText(status), func(t *testing.T) {
+			slept := withInstantRetries(t)
+			srv, err := service.NewServer(service.Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := flakyHandler(2, status, srv.Handler())
+			hs := httptest.NewServer(h)
+			defer hs.Close()
+
+			if err := dispatch([]string{"submit", "-addr", hs.URL, "-wait", "-target", "consensus", "-depth", "4"}); err != nil {
+				t.Fatalf("submit -wait through %d rejections: %v", status, err)
+			}
+			if len(*slept) < 2 {
+				t.Fatalf("slept %d times, want >= 2 (one per rejected attempt)", len(*slept))
+			}
+			for _, d := range *slept {
+				if d < 0 || d > retryCap {
+					t.Fatalf("backoff delay %v outside [0, %v]", d, retryCap)
+				}
+			}
+			if err := dispatch([]string{"status", "-addr", hs.URL}); err != nil {
+				t.Fatalf("status list after flaky start: %v", err)
+			}
+		})
+	}
+}
+
+// TestClientRetriesConnectionRefused: with no daemon listening at all,
+// the client retries the connection the full budget and then reports
+// the transport error.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	slept := withInstantRetries(t)
+	// Grab an address nothing listens on: bind, record, close.
+	hs := httptest.NewServer(http.NotFoundHandler())
+	addr := hs.URL
+	hs.Close()
+
+	err := dispatch([]string{"status", "-addr", addr})
+	if err == nil {
+		t.Fatal("status against a dead daemon must fail")
+	}
+	if got := len(*slept); got != retryAttempts {
+		t.Fatalf("slept %d times, want %d (full retry budget)", got, retryAttempts)
+	}
+}
+
+// TestClientDoesNotRetryPermanentErrors: a 400 (invalid spec) and a 404
+// (unknown job) surface immediately — no sleeps, one request each.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	slept := withInstantRetries(t)
+	srv, err := service.NewServer(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, seen := flakyHandler(0, 0, srv.Handler())
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	if err := dispatch([]string{"submit", "-addr", hs.URL, "-target", "consensus", "-sample", "-por", "-schedules", "5"}); err == nil {
+		t.Fatal("invalid spec must be rejected")
+	} else if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("want the daemon's 400, got: %v", err)
+	}
+	if err := dispatch([]string{"status", "-addr", hs.URL, "job-999"}); err == nil {
+		t.Fatal("missing job must fail")
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("permanent errors slept %d times, want 0", len(*slept))
+	}
+	if got := atomic.LoadInt64(seen); got != 2 {
+		t.Fatalf("daemon saw %d requests, want 2 (no retries)", got)
+	}
+}
+
+// TestBackoffDelayShape: delays are capped, non-negative, and the
+// exponential envelope grows until the cap.
+func TestBackoffDelayShape(t *testing.T) {
+	oldRand := retryRand
+	retryRand = rand.New(rand.NewSource(42))
+	defer func() { retryRand = oldRand }()
+	for i := 0; i < 40; i++ {
+		d := backoffDelay(i)
+		env := retryBase << uint(i)
+		if env <= 0 || env > retryCap {
+			env = retryCap
+		}
+		if d < 0 || d > env {
+			t.Fatalf("attempt %d: delay %v outside [0, %v]", i, d, env)
+		}
+	}
+}

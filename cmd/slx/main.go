@@ -54,7 +54,7 @@ var commands = []command{
 	{"gmax", "", "Corollaries 4.5 / 4.6 (G_max = ∅)", func([]string) error { return cmdGmax() }},
 	{"theorem44", "", "Theorem 4.4 on finite models", func([]string) error { return cmdTheorem44() }},
 	{"theorem49", "", "Theorem 4.9 over I_t / I_b automata", func([]string) error { return cmdTheorem49() }},
-	{"explore", "[-target consensus] [-depth 12] [-batch] [-por] [-cache] [-workers n] [-replay] [-timeout d] [-sample] [-schedules n] [-d k] [-seed s] [-walk]", "exhaustive or sampled (PCT) safety check", cmdExplore},
+	{"explore", "[-target consensus] [-depth 12] [-crashes n] [-recoveries n] [-batch] [-por] [-cache] [-workers n] [-replay] [-timeout d] [-sample] [-schedules n] [-d k] [-seed s] [-walk]", "exhaustive or sampled (PCT) safety check", cmdExplore},
 	{"submit", "[-addr url] [-wait] <explore flags>", "submit a check job to an slxd daemon", cmdSubmit},
 	{"status", "[-addr url] [job-id]", "show one slxd job, or list all", cmdStatus},
 	{"report", "", "full paper-versus-measured summary", func([]string) error { return cmdReport() }},
@@ -271,6 +271,8 @@ func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	target := fs.String("target", "consensus", fmt.Sprintf("check target: %s", strings.Join(service.TargetNames(), ", ")))
 	depth := fs.Int("depth", 12, "schedule depth")
+	crashes := fs.Int("crashes", 0, "crash budget (branch on crashing ready processes)")
+	recoveries := fs.Int("recoveries", 0, "recovery budget (branch on recovering crashed processes; needs -crashes)")
 	batch := fs.Bool("batch", false, "legacy batch checking (re-judge every prefix) instead of incremental monitors")
 	por := fs.Bool("por", false, "sleep-set partial-order reduction (prune interleavings that only commute independent steps)")
 	cache := fs.Bool("cache", false, "state-fingerprint cache (prune subtrees rooted at already-explored states)")
@@ -300,6 +302,12 @@ func cmdExplore(args []string) error {
 		slx.WithDepth(*depth), slx.WithWorkers(*workers), slx.WithContext(ctx))
 	if *timeout > 0 {
 		opts = append(opts, slx.WithTimeout(*timeout))
+	}
+	if *crashes > 0 {
+		opts = append(opts, slx.WithCrashes(*crashes))
+	}
+	if *recoveries != 0 {
+		opts = append(opts, slx.WithRecoveries(*recoveries))
 	}
 	if *batch {
 		opts = append(opts, slx.WithBatchExplore())

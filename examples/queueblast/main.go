@@ -33,6 +33,8 @@ const capacity = 3
 // blastQueue is the buggy bounded queue. Enqueue takes two granted
 // steps (reserve, then publish) so the minimal violating schedule is
 // provably deeper than the exhaustive ceiling used below.
+//
+//slx:norecover the blast scenario is crash-free; all state is modeled durable
 type blastQueue struct{ items []hist.Value }
 
 func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {

@@ -163,6 +163,118 @@ func (r *Register) Write(s Stepper, v Value) {
 	})
 }
 
+// DurableRegister is the crash-aware register pair of the recovery
+// runtime: an atomic register whose content lives in a volatile cache
+// until an explicit flush persists it. Read and Write act on the cache;
+// Flush copies the cache into the durable cell, each in one atomic
+// step. CrashWipe — called from the owning object's
+// sim.Recoverable.CrashVolatile hook — discards the cache, exposing the
+// last flushed value, which is exactly what a recovery routine then
+// observes. A write that is never flushed vanishes at the next crash.
+type DurableRegister struct {
+	name    string
+	durable Value
+	vol     Value
+}
+
+// NewDurableRegister creates a durable register whose durable cell and
+// cache both hold initial.
+func NewDurableRegister(name string, initial Value) *DurableRegister {
+	return &DurableRegister{name: name, durable: initial, vol: initial}
+}
+
+// Name returns the register's name.
+func (r *DurableRegister) Name() string { return r.name }
+
+// ReadW atomically reads the cached value within the caller's granted
+// step.
+func (r *DurableRegister) ReadW(a Accessor) Value {
+	a.Access(r.name, false)
+	v := r.vol
+	a.Observe(v)
+	return v
+}
+
+// Read atomically reads the cached value.
+func (r *DurableRegister) Read(s Stepper) Value {
+	var v Value
+	s.Exec("read "+r.name, func() {
+		declare(s, r.name, false)
+		v = r.vol
+		observe(s, v)
+	})
+	return v
+}
+
+// WriteW atomically writes v to the cache within the caller's granted
+// step. The write is volatile until a flush.
+func (r *DurableRegister) WriteW(a Accessor, v Value) {
+	a.Access(r.name, true)
+	r.vol = v
+}
+
+// Write atomically writes v to the cache. The write is volatile until a
+// flush.
+func (r *DurableRegister) Write(s Stepper, v Value) {
+	s.Exec("write "+r.name, func() {
+		declare(s, r.name, true)
+		r.vol = v
+	})
+}
+
+// FlushW atomically persists the cached value within the caller's
+// granted step.
+func (r *DurableRegister) FlushW(a Accessor) {
+	a.Access(r.name, true)
+	r.durable = r.vol
+}
+
+// Flush atomically persists the cached value.
+func (r *DurableRegister) Flush(s Stepper) {
+	s.Exec("flush "+r.name, func() {
+		declare(s, r.name, true)
+		r.durable = r.vol
+	})
+}
+
+// CrashWipe discards the volatile cache, exposing the last flushed
+// value. It is not a step: the simulation runtime invokes the owning
+// object's CrashVolatile hook between windows, at every crash decision.
+func (r *DurableRegister) CrashWipe() { r.vol = r.durable }
+
+// PeekDurable returns the durable cell without recording an access. Like
+// CAS.Peek it exists for scheduler callbacks and tests, which run
+// strictly between process windows; algorithm code must use Read after a
+// crash (the wiped cache equals the durable cell).
+func (r *DurableRegister) PeekDurable() Value { return r.durable }
+
+// Peek returns the volatile cache without recording an access; see
+// PeekDurable.
+func (r *DurableRegister) Peek() Value { return r.vol }
+
+// Fingerprint writes the register's canonical state: name, durable cell
+// and cache.
+func (r *DurableRegister) Fingerprint(f StateSink) {
+	f.Str(r.name)
+	f.Val(r.durable)
+	f.Val(r.vol)
+}
+
+// durableRegState is a captured (durable, volatile) pair.
+type durableRegState struct{ durable, vol Value }
+
+// Snapshot captures both cells (stored values follow the
+// immutable-record idiom: replaced, never mutated in place).
+func (r *DurableRegister) Snapshot() any {
+	return durableRegState{durable: r.durable, vol: r.vol}
+}
+
+// Restore reinstates a state captured by Snapshot.
+func (r *DurableRegister) Restore(s any) {
+	st := s.(durableRegState)
+	r.durable, r.vol = st.durable, st.vol
+}
+
 // CAS is an atomic compare-and-swap object. Comparison uses ==, so
 // composite states should be stored as pointers to immutable records (the
 // usual technique for CAS-based algorithms).

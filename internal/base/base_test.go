@@ -36,6 +36,53 @@ func TestRegister(t *testing.T) {
 	}
 }
 
+func TestDurableRegister(t *testing.T) {
+	s := &countStepper{}
+	r := NewDurableRegister("d", 0)
+	if got := r.Read(s); got != 0 {
+		t.Errorf("initial Read = %v, want 0", got)
+	}
+	r.Write(s, 7)
+	if got, dur := r.Read(s), r.PeekDurable(); got != 7 || dur != 0 {
+		t.Errorf("after Write: cache %v durable %v, want 7 and 0 (writes are volatile until flushed)", got, dur)
+	}
+	r.CrashWipe()
+	if got := r.Read(s); got != 0 {
+		t.Errorf("Read after unflushed crash = %v, want 0 (the write vanished)", got)
+	}
+	r.Write(s, 7)
+	r.Flush(s)
+	if got, dur := r.Peek(), r.PeekDurable(); got != 7 || dur != 7 {
+		t.Errorf("after Flush: cache %v durable %v, want 7 and 7", got, dur)
+	}
+	r.Write(s, 8)
+	r.CrashWipe()
+	if got := r.Read(s); got != 7 {
+		t.Errorf("Read after crash = %v, want the flushed 7", got)
+	}
+	if s.steps != 8 {
+		t.Errorf("steps = %d, want 8 (CrashWipe and the peeks are not steps)", s.steps)
+	}
+	if r.Name() != "d" {
+		t.Errorf("Name() = %q", r.Name())
+	}
+}
+
+func TestDurableRegisterSnapshot(t *testing.T) {
+	s := &countStepper{}
+	r := NewDurableRegister("d", 0)
+	r.Write(s, 1)
+	r.Flush(s)
+	r.Write(s, 2)
+	snap := r.Snapshot()
+	r.Write(s, 3)
+	r.Flush(s)
+	r.Restore(snap)
+	if got, dur := r.Peek(), r.PeekDurable(); got != 2 || dur != 1 {
+		t.Errorf("after Restore: cache %v durable %v, want 2 and 1", got, dur)
+	}
+}
+
 func TestCAS(t *testing.T) {
 	s := &countStepper{}
 	c := NewCAS("c", nil)

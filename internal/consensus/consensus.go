@@ -96,6 +96,8 @@ func (r *caRound) run(p *sim.Proc, v history.Value) (history.Value, bool) {
 
 // CommitAdoptOF is obstruction-free consensus from registers: rounds of
 // commit-adopt plus a decision register.
+//
+//slx:norecover all state lives in shared registers modeled durable; a crashed proposer just stops
 type CommitAdoptOF struct {
 	n        int
 	decision *base.Register
@@ -314,6 +316,8 @@ func (f *commitAdoptFrame) Fork() sim.Frame {
 }
 
 // CASBased is wait-free consensus from one compare-and-swap object.
+//
+//slx:norecover the one CAS cell is modeled durable; a crashed proposer just stops
 type CASBased struct {
 	c *base.CAS
 }

@@ -63,6 +63,9 @@ type nodeInfo struct {
 	access sim.Access
 	// ready lists the processes that can step from this node, sorted.
 	ready []int
+	// crashed lists the crashed processes (recover candidates), sorted.
+	// Only populated when the exploration has a recovery budget.
+	crashed []int
 	// fp/fped carry the configuration fingerprint under Config.Cache.
 	fp   uint64
 	fped bool
@@ -141,12 +144,15 @@ func (e *sessionExec) node(delta history.History, a sim.Access) *nodeInfo {
 	if n := len(e.nifree); n > 0 {
 		ni = e.nifree[n-1]
 		e.nifree = e.nifree[:n-1]
-		*ni = nodeInfo{ready: ni.ready[:0]}
+		*ni = nodeInfo{ready: ni.ready[:0], crashed: ni.crashed[:0]}
 	} else {
 		ni = &nodeInfo{}
 	}
 	ni.delta, ni.access = delta, a
 	ni.ready = e.sess.ReadyAppend(ni.ready)
+	if e.g.cfg.Recoveries > 0 {
+		ni.crashed = e.sess.CrashedAppend(ni.crashed)
+	}
 	if e.g.cfg.Cache {
 		ni.fp, ni.fped = e.sess.Fingerprint()
 	}
@@ -230,13 +236,17 @@ func (e *replayExec) chargeResim(res *sim.Result, prefix []sim.Decision) {
 }
 
 func (e *replayExec) node(res *sim.Result, ready []int, delta history.History) *nodeInfo {
-	return &nodeInfo{
+	ni := &nodeInfo{
 		delta:  delta,
 		access: accessAt(res, len(e.stack)-1),
 		ready:  ready,
 		fp:     res.Fingerprint,
 		fped:   res.Fingerprinted,
 	}
+	if e.g.cfg.Recoveries > 0 {
+		ni.crashed = res.Crashed
+	}
+	return ni
 }
 
 func (e *replayExec) mark() execMark { return &replayMark{depth: len(e.stack), res: e.res} }

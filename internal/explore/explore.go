@@ -137,6 +137,18 @@ type Config struct {
 	// (Idle and blocked processes take no further steps, so crashing them
 	// would only duplicate their sibling subtrees modulo a crash event.)
 	Crashes int
+	// Recoveries additionally branches on recovering each crashed
+	// process, at most this many times per schedule. 0 disables recovery
+	// injection; it only matters together with Crashes > 0 (without
+	// crashes no process is ever recoverable). A recovered process
+	// re-enters the ready set — its pending operation never responds, its
+	// volatile state is wiped (sim.Recoverable), and it runs its recovery
+	// routine before rejoining the workload. Like crash decisions,
+	// recover decisions are never pruned or slept by POR. Under
+	// incremental execution recovery requires a rewindable environment
+	// (sim.RewindableEnv); other environments fall back to replay
+	// execution transparently.
+	Recoveries int
 	// Check is invoked on the history of every explored prefix together
 	// with the schedule that produced it. Returning an error aborts the
 	// exploration; the error and witness schedule are reported. When
@@ -176,7 +188,7 @@ type Config struct {
 	// invocations (or adjacent responses) of different processes, and
 	// environments that decide invocations per process, independent of
 	// the view — both hold for the repository's environments and
-	// properties. Crash decisions are never pruned or slept.
+	// properties. Crash and recover decisions are never pruned or slept.
 	POR bool
 	// ForceReplay forces from-root replay execution even when the
 	// object supports snapshots (sim.Snapshottable): the escape hatch
@@ -271,14 +283,18 @@ type sleepEntry struct {
 }
 
 // dependent reports whether the two decisions (with their footprints)
-// must not be commuted. Steps of one process are ordered; crash
-// decisions are visible to every property and change enabledness;
-// unknown footprints conflict with everything; an invocation and a
-// response of different processes must keep their order (it is the
-// real-time precedence properties observe); and two base-object accesses
-// conflict when they touch the same object and either writes.
+// must not be commuted. Steps of one process are ordered; crash and
+// recover decisions are visible to every property and change
+// enabledness; unknown footprints conflict with everything; an
+// invocation and a response of different processes must keep their order
+// (it is the real-time precedence properties observe); and two
+// base-object accesses conflict when they touch the same object and
+// either writes.
 func dependent(d1 sim.Decision, a1 sim.Access, d2 sim.Decision, a2 sim.Access) bool {
 	if d1.Proc == d2.Proc || d1.Crash || d2.Crash || a1.Crash || a2.Crash {
+		return true
+	}
+	if d1.Recover || d2.Recover || a1.Recover || a2.Recover {
 		return true
 	}
 	if !a1.Known || !a2.Known {
@@ -348,6 +364,14 @@ func Run(cfg Config) (*Stats, error) {
 	g := &engine{cfg: cfg}
 	if !cfg.ForceReplay {
 		g.incremental = sim.CanSnapshot(cfg.NewObject())
+		if g.incremental && cfg.Recoveries > 0 {
+			// Session recovery needs a rewindable environment: the
+			// fallback rewind rebuilds consultation points from response
+			// events, which recovery consultations do not produce.
+			if _, ok := cfg.NewEnv().(sim.RewindableEnv); !ok {
+				g.incremental = false
+			}
+		}
 	}
 	if cfg.Cache {
 		if cfg.Visited != nil {
@@ -377,6 +401,22 @@ func Run(cfg Config) (*Stats, error) {
 	return st, err
 }
 
+// budgets tallies a prefix's non-step decisions (crash and recover
+// budget already spent) and its step count.
+func budgets(prefix []sim.Decision) (steps, crashes, recoveries int) {
+	for _, d := range prefix {
+		switch {
+		case d.Crash:
+			crashes++
+		case d.Recover:
+			recoveries++
+		default:
+			steps++
+		}
+	}
+	return
+}
+
 // replay executes the schedule prefix from the initial configuration
 // and returns the run result plus the set of processes ready afterwards
 // (the replay-fallback primitive; sessions never call it).
@@ -397,12 +437,15 @@ func (g *engine) replay(prefix []sim.Decision, st *Stats) (*sim.Result, []int) {
 		return sim.Decision{}, false
 	})
 	res := sim.Run(sim.Config{
-		Procs:       g.cfg.Procs,
-		Object:      g.cfg.NewObject(),
-		Env:         g.cfg.NewEnv(),
-		Scheduler:   sched,
-		MaxSteps:    len(prefix) + 1,
-		Fingerprint: g.cfg.Cache,
+		Procs:     g.cfg.Procs,
+		Object:    g.cfg.NewObject(),
+		Env:       g.cfg.NewEnv(),
+		Scheduler: sched,
+		MaxSteps:  len(prefix) + 1,
+		// A prefix may recover from a configuration where every live
+		// process is crashed; the quiescence stop must not fire first.
+		RecoverQuiescent: g.cfg.Recoveries > 0,
+		Fingerprint:      g.cfg.Cache,
 	})
 	if st != nil {
 		st.Steps += res.Steps
@@ -431,12 +474,8 @@ func (g *engine) runTask(w *wsWorker, ex pathExec, t *wsTask, st *Stats) error {
 		prefix: t.prefix[:len(t.prefix):len(t.prefix)],
 		path:   t.path[:len(t.path):len(t.path)],
 	}
-	for _, d := range t.prefix {
-		if !d.Crash {
-			ps.steps++
-		}
-	}
-	_, err = g.explore(w, ex, node, ps, t.crashes, t.ms, t.sleep, st)
+	ps.steps, _, _ = budgets(t.prefix)
+	_, err = g.explore(w, ex, node, ps, t.crashes, t.recoveries, t.ms, t.sleep, st)
 	ex.recycle(node)
 	if err == nil && t.ms != nil {
 		releaseMonitors(t.ms)
@@ -488,7 +527,7 @@ func combineKey(fp, digest uint64) uint64 {
 // incomplete, and an incomplete subtree must never be published to the
 // visited set — even when the node's own child loop never re-checked
 // the cutoff (e.g. the abandoned child was its last).
-func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState, crashes int, ms MonitorSet, sleep []sleepEntry, st *Stats) (bool, error) {
+func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState, crashes, recoveries int, ms MonitorSet, sleep []sleepEntry, st *Stats) (bool, error) {
 	st.Prefixes++
 	if err := g.ctxErr(); err != nil {
 		return false, g.fatal(w, err)
@@ -506,19 +545,31 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 	}
 	// Children are indexed, not materialized (the hot loop allocates no
 	// per-node slices): ready-process steps first, then — crash budget
-	// permitting — crashes of the same processes. Crash only ready
+	// permitting — crashes of the same processes, then — recovery budget
+	// permitting — recoveries of the crashed processes. Crash only ready
 	// processes: idle and blocked processes take no further steps, so
 	// crashing them duplicates sibling subtrees.
 	nready := len(node.ready)
 	nchildren := nready
+	crashBase := -1
 	if crashes < g.cfg.Crashes {
-		nchildren = 2 * nready
+		crashBase = nchildren
+		nchildren += nready
+	}
+	recoverBase := -1
+	if recoveries < g.cfg.Recoveries && len(node.crashed) > 0 {
+		recoverBase = nchildren
+		nchildren += len(node.crashed)
 	}
 	childAt := func(i int) sim.Decision {
-		if i < nready {
+		switch {
+		case i < nready:
 			return sim.Decision{Proc: node.ready[i]}
+		case recoverBase >= 0 && i >= recoverBase:
+			return sim.Decision{Proc: node.crashed[i-recoverBase], Recover: true}
+		default:
+			return sim.Decision{Proc: node.ready[i-crashBase], Crash: true}
 		}
-		return sim.Decision{Proc: node.ready[i-nready], Crash: true}
 	}
 	var z []sleepEntry
 	if g.cfg.POR && len(ps.prefix) > 0 {
@@ -552,12 +603,13 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 	var ckey uint64
 	var zStart []sleepEntry
 	remDepth, remCrashes := g.cfg.Depth-ps.steps, g.cfg.Crashes-crashes
+	remRecoveries := g.cfg.Recoveries - recoveries
 	cacheable := false
 	if g.visited != nil && node.fped {
 		if dg, ok := monitorDigest(ms); ok {
 			ckey = combineKey(node.fp, dg)
 			zStart = z[:len(z):len(z)]
-			if g.visited.hit(ckey, remDepth, remCrashes, zStart) {
+			if g.visited.hit(ckey, remDepth, remCrashes, remRecoveries, zStart) {
 				st.CacheHits++
 				return true, nil
 			}
@@ -587,7 +639,7 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 				live = append(live, i)
 			}
 		}
-		spawned = g.trySplit(w, ex, mark, ps, crashes, ms, z, children, live)
+		spawned = g.trySplit(w, ex, mark, ps, crashes, recoveries, ms, z, children, live)
 	}
 
 	complete := true
@@ -614,9 +666,12 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 		if ms != nil && i < lastLive && spawned == 0 {
 			cms = ms.Fork() // the last explored child inherits the set without a copy
 		}
-		nextCrashes := crashes
-		if d.Crash {
+		nextCrashes, nextRecoveries := crashes, recoveries
+		switch {
+		case d.Crash:
 			nextCrashes++
+		case d.Recover:
+			nextRecoveries++
 		}
 		if mark != nil {
 			if err := ex.leave(mark); err != nil {
@@ -628,15 +683,15 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 			return false, g.fail(w, ps.path, fmt.Errorf("explore: replay failed: %w", err))
 		}
 		ps.prefix = append(ps.prefix, d)
-		if !d.Crash {
+		if !d.Crash && !d.Recover {
 			ps.steps++
 		}
-		cc, err := g.explore(w, ex, cn, ps, nextCrashes, cms, z, st)
+		cc, err := g.explore(w, ex, cn, ps, nextCrashes, nextRecoveries, cms, z, st)
 		if err == nil && cms != ms {
 			releaseMonitors(cms) // forked for this child, now fully explored
 		}
 		ps.prefix = ps.prefix[:len(ps.prefix)-1]
-		if !d.Crash {
+		if !d.Crash && !d.Recover {
 			ps.steps--
 		}
 		if w != nil {
@@ -651,7 +706,7 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 			// re-checks the cutoff (the abandoned child may be its last).
 			complete = false
 		}
-		if g.cfg.POR && !d.Crash {
+		if g.cfg.POR && !d.Crash && !d.Recover {
 			z = append(z, sleepEntry{d: d, a: cn.access})
 		}
 		ex.recycle(cn)
@@ -670,7 +725,7 @@ func (g *engine) explore(w *wsWorker, ex pathExec, node *nodeInfo, ps *pathState
 		complete = false
 	}
 	if cacheable && complete {
-		g.visited.store(ckey, remDepth, remCrashes, zStart)
+		g.visited.store(ckey, remDepth, remCrashes, remRecoveries, zStart)
 	}
 	return complete, nil
 }

@@ -39,13 +39,14 @@ const (
 )
 
 // wsTask is one stealable subtree: the schedule prefix of its root, the
-// root's preorder path (child ordinals), its crash budget spent, the
-// parent's event count, the forked monitor set as of the parent, and the
-// inherited sleep set.
+// root's preorder path (child ordinals), its crash and recovery budgets
+// spent, the parent's event count, the forked monitor set as of the
+// parent, and the inherited sleep set.
 type wsTask struct {
 	prefix       []sim.Decision
 	path         []int
 	crashes      int
+	recoveries   int
 	parentEvents int
 	ms           MonitorSet
 	sleep        []sleepEntry
@@ -333,7 +334,7 @@ func (p *wsPool) finish(st *Stats, err error) {
 // per sibling (counted as re-simulation), the replay exec runs one
 // short replay each (excluded from the statistics, like PR3's
 // first-level probes).
-func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState, crashes int, ms MonitorSet, z []sleepEntry, children []sim.Decision, live []int) int {
+func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState, crashes, recoveries int, ms MonitorSet, z []sleepEntry, children []sim.Decision, live []int) int {
 	n := len(live) - 1
 	if !w.pool.room(w.id, n) {
 		return 0
@@ -343,7 +344,7 @@ func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState
 	if g.cfg.POR {
 		probes = make([]sim.Access, len(live)-1)
 		for j, ci := range live[:len(live)-1] {
-			if children[ci].Crash {
+			if children[ci].Crash || children[ci].Recover {
 				continue
 			}
 			// A failed probe leaves the footprint unknown, which only
@@ -361,7 +362,7 @@ func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState
 		if g.cfg.POR {
 			// The sibling explored before this child goes to sleep for it,
 			// exactly as the sequential loop would append it.
-			if prev := children[live[j-1]]; !prev.Crash {
+			if prev := children[live[j-1]]; !prev.Crash && !prev.Recover {
 				sl = append(sl[:len(sl):len(sl)], sleepEntry{d: prev, a: probes[j-1]})
 			}
 		}
@@ -369,14 +370,18 @@ func (g *engine) trySplit(w *wsWorker, ex pathExec, mark execMark, ps *pathState
 		if ms != nil {
 			tms = ms.Fork()
 		}
-		cr := crashes
-		if d.Crash {
+		cr, rv := crashes, recoveries
+		switch {
+		case d.Crash:
 			cr++
+		case d.Recover:
+			rv++
 		}
 		tasks = append(tasks, &wsTask{
 			prefix:       append(prefix, d),
 			path:         append(path, ci),
 			crashes:      cr,
+			recoveries:   rv,
 			parentEvents: parentEvents,
 			ms:           tms,
 			sleep:        sl,

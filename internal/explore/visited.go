@@ -8,13 +8,14 @@ import "sync"
 // map is sharded by key so parallel workers rarely contend.
 //
 // An entry means: from a configuration with this key, every schedule of
-// at most remDepth further steps and remCrashes further crashes — except
-// those whose first decision was asleep in the stored sleep set — was
-// explored without a violation. A lookup may therefore prune its subtree
-// only if it has at most that much budget left and its own sleep set
-// covers the stored one (a larger stored sleep set could have skipped
-// branches the current node still needs; Godefroid's classic condition
-// for composing state caching with sleep sets).
+// at most remDepth further steps, remCrashes further crashes and
+// remRecoveries further recoveries — except those whose first decision
+// was asleep in the stored sleep set — was explored without a violation.
+// A lookup may therefore prune its subtree only if it has at most that
+// much budget left and its own sleep set covers the stored one (a larger
+// stored sleep set could have skipped branches the current node still
+// needs; Godefroid's classic condition for composing state caching with
+// sleep sets).
 type visitedSet struct {
 	shards [visitedShards]visitedShard
 }
@@ -52,8 +53,8 @@ type visitedShard struct {
 }
 
 type visitedEntry struct {
-	remDepth, remCrashes int
-	sleep                []sleepEntry
+	remDepth, remCrashes, remRecoveries int
+	sleep                               []sleepEntry
 }
 
 func newVisitedSet() *visitedSet {
@@ -90,12 +91,12 @@ func sleepCovered(stored, now []sleepEntry) bool {
 // hit reports whether an already explored state dominates the current
 // one: at least as much remaining budget, and a sleep set the current
 // one covers.
-func (v *visitedSet) hit(key uint64, remDepth, remCrashes int, sleep []sleepEntry) bool {
+func (v *visitedSet) hit(key uint64, remDepth, remCrashes, remRecoveries int, sleep []sleepEntry) bool {
 	s := v.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range s.m[key] {
-		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && sleepCovered(e.sleep, sleep) {
+		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && e.remRecoveries >= remRecoveries && sleepCovered(e.sleep, sleep) {
 			return true
 		}
 	}
@@ -105,22 +106,22 @@ func (v *visitedSet) hit(key uint64, remDepth, remCrashes int, sleep []sleepEntr
 // store publishes a fully explored state. Entries dominated by the new
 // one are dropped; the store is skipped if an existing entry dominates
 // it (a racing worker may have published a stronger one meanwhile).
-func (v *visitedSet) store(key uint64, remDepth, remCrashes int, sleep []sleepEntry) {
+func (v *visitedSet) store(key uint64, remDepth, remCrashes, remRecoveries int, sleep []sleepEntry) {
 	s := v.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries := s.m[key]
 	for _, e := range entries {
-		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && sleepCovered(e.sleep, sleep) {
+		if e.remDepth >= remDepth && e.remCrashes >= remCrashes && e.remRecoveries >= remRecoveries && sleepCovered(e.sleep, sleep) {
 			return // dominated: nothing new to publish
 		}
 	}
 	kept := entries[:0]
 	for _, e := range entries {
-		if remDepth >= e.remDepth && remCrashes >= e.remCrashes && sleepCovered(sleep, e.sleep) {
+		if remDepth >= e.remDepth && remCrashes >= e.remCrashes && remRecoveries >= e.remRecoveries && sleepCovered(sleep, e.sleep) {
 			continue // the new entry dominates this one
 		}
 		kept = append(kept, e)
 	}
-	s.m[key] = append(kept, visitedEntry{remDepth: remDepth, remCrashes: remCrashes, sleep: sleep})
+	s.m[key] = append(kept, visitedEntry{remDepth: remDepth, remCrashes: remCrashes, remRecoveries: remRecoveries, sleep: sleep})
 }

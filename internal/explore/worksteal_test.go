@@ -121,36 +121,39 @@ func TestVisitedSetSemantics(t *testing.T) {
 	v := newVisitedSet()
 	s1 := []sleepEntry{{d: sim.Decision{Proc: 1}, a: sim.Access{Obj: "r", Known: true}}}
 
-	v.store(42, 3, 1, nil)
-	if !v.hit(42, 3, 1, nil) {
+	v.store(42, 3, 1, 1, nil)
+	if !v.hit(42, 3, 1, 1, nil) {
 		t.Error("exact replica not hit")
 	}
-	if !v.hit(42, 2, 0, nil) {
+	if !v.hit(42, 2, 0, 0, nil) {
 		t.Error("smaller budget not dominated")
 	}
-	if v.hit(42, 4, 1, nil) {
+	if v.hit(42, 4, 1, 1, nil) {
 		t.Error("deeper budget wrongly hit")
 	}
-	if v.hit(42, 3, 2, nil) {
+	if v.hit(42, 3, 2, 1, nil) {
 		t.Error("larger crash budget wrongly hit")
 	}
-	if v.hit(7, 3, 1, nil) {
+	if v.hit(42, 3, 1, 2, nil) {
+		t.Error("larger recovery budget wrongly hit")
+	}
+	if v.hit(7, 3, 1, 1, nil) {
 		t.Error("different key hit")
 	}
 
 	// Stored under sleep set s1: only arrivals whose sleep set covers s1
 	// may prune (the stored exploration skipped s1's branches).
-	v.store(99, 5, 0, s1)
-	if v.hit(99, 5, 0, nil) {
+	v.store(99, 5, 0, 0, s1)
+	if v.hit(99, 5, 0, 0, nil) {
 		t.Error("arrival with empty sleep set hit an entry stored under a sleep set")
 	}
-	if !v.hit(99, 5, 0, s1) {
+	if !v.hit(99, 5, 0, 0, s1) {
 		t.Error("arrival with covering sleep set not hit")
 	}
 	// A stronger store (same budget, no sleeping) supersedes s1's entry
 	// and serves both arrivals.
-	v.store(99, 5, 0, nil)
-	if !v.hit(99, 5, 0, nil) || !v.hit(99, 5, 0, s1) {
+	v.store(99, 5, 0, 0, nil)
+	if !v.hit(99, 5, 0, 0, nil) || !v.hit(99, 5, 0, 0, s1) {
 		t.Error("stronger entry does not serve both arrivals")
 	}
 	if got := len(v.shard(99).m[99]); got != 1 {

@@ -16,8 +16,9 @@ import (
 	"strings"
 )
 
-// Kind distinguishes the three external action classes of the paper's model:
-// invocations, responses and the special crash_i input actions.
+// Kind distinguishes the external action classes of the paper's model:
+// invocations, responses, the special crash_i input actions, and the
+// recover_i actions of the crash–recovery extension.
 type Kind int
 
 // Event kinds. They start at one so the zero Kind is invalid and cannot be
@@ -26,6 +27,7 @@ const (
 	KindInvoke Kind = iota + 1
 	KindResponse
 	KindCrash
+	KindRecover
 )
 
 // String returns a short human-readable name for the kind.
@@ -37,6 +39,8 @@ func (k Kind) String() string {
 		return "response"
 	case KindCrash:
 		return "crash"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -101,6 +105,13 @@ func Crash(proc int) Event {
 	return Event{Kind: KindCrash, Proc: proc}
 }
 
+// Recover constructs a recover_i event for the given process: the crashed
+// process restarts with its volatile state wiped and only durable object
+// state surviving. Any operation pending at the crash never responds.
+func Recover(proc int) Event {
+	return Event{Kind: KindRecover, Proc: proc}
+}
+
 // String renders the event in a compact notation close to the paper's:
 // propose_1(0) for invocations, ret_1[propose]=0 for responses, crash_1 for
 // crashes.
@@ -131,6 +142,8 @@ func (e Event) String() string {
 		}
 	case KindCrash:
 		fmt.Fprintf(&b, "crash_%d", e.Proc)
+	case KindRecover:
+		fmt.Fprintf(&b, "recover_%d", e.Proc)
 	default:
 		fmt.Fprintf(&b, "invalid_%d", e.Proc)
 	}

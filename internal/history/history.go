@@ -53,10 +53,12 @@ func (h History) Procs() []int {
 	return out
 }
 
-// WellFormed reports whether h is well-formed per Section 2: for every
-// process, the projection is an alternating sequence of invocations and
-// responses starting with an invocation, with at most one crash event after
-// which the process takes no further events.
+// WellFormed reports whether h is well-formed per Section 2, extended
+// with crash–recovery: for every process, the projection is an
+// alternating sequence of invocations and responses starting with an
+// invocation; a crash event stops the process (no further events) until
+// a recover event restarts it, after which the alternation begins anew —
+// the operation pending at the crash never receives a response.
 func (h History) WellFormed() bool {
 	type procState struct {
 		pending bool
@@ -69,7 +71,7 @@ func (h History) WellFormed() bool {
 			st = &procState{}
 			states[e.Proc] = st
 		}
-		if st.crashed {
+		if st.crashed && e.Kind != KindRecover {
 			return false
 		}
 		switch e.Kind {
@@ -85,6 +87,12 @@ func (h History) WellFormed() bool {
 			st.pending = false
 		case KindCrash:
 			st.crashed = true
+		case KindRecover:
+			if !st.crashed {
+				return false
+			}
+			st.crashed = false
+			st.pending = false
 		default:
 			return false
 		}
@@ -104,6 +112,10 @@ func (h History) Pending(proc int) bool {
 		case KindInvoke:
 			pending = true
 		case KindResponse:
+			pending = false
+		case KindRecover:
+			// The operation pending at the crash never responds; after
+			// recovery the process starts afresh.
 			pending = false
 		}
 	}

@@ -2,13 +2,20 @@
 // shared-object implementation (a type with an Apply step method) that
 // opts into any of the simulator's optional capability hooks —
 // sim.Footprinted (partial-order reduction), sim.Fingerprintable
-// (state caching), sim.Snapshottable (incremental execution) — must
-// either implement all three or carry an explicit exemption pragma
-// per missing hook:
+// (state caching), sim.Snapshottable (incremental execution),
+// sim.Recoverable (crash–recovery exploration) — must either implement
+// all four or carry an explicit exemption pragma per missing hook:
 //
 //	//slx:nofootprint   POR must treat every step as conflicting
 //	//slx:nofingerprint content fingerprints are unsound (pointer identity)
 //	//slx:nosnapshot    exploration must replay from the root
+//	//slx:norecover     every cell is durable; recovery is a bare re-spawn
+//
+// Recoverable is a method pair: a type with CrashVolatile but no
+// RecoverFrame (or vice versa) is reported unconditionally, because the
+// runtime's interface assertion silently fails on half a pair and the
+// object would explore under -recoveries with no crash semantics at
+// all.
 //
 // The runtime composes silently: an object missing a hook simply loses
 // the optimization, and the parity tests only cover objects someone
@@ -80,7 +87,22 @@ func checkType(pass *analysis.Pass, ts *ast.TypeSpec, doc *ast.CommentGroup) {
 	footprinted := hasFootprints(ms)
 	fingerprintable := hasFingerprint(ms)
 	snapshottable := hasSnapshot(ms) && hasRestore(ms)
-	if !footprinted && !fingerprintable && !snapshottable {
+	crashVolatile := hasCrashVolatile(ms)
+	recoverFrame := hasRecoverFrame(ms)
+	recoverable := crashVolatile && recoverFrame
+
+	// Half a Recoverable is always wrong: the runtime asserts the whole
+	// interface, so the lone method is dead code and crashes wipe
+	// nothing (or recovery runs no routine) without a diagnostic.
+	if crashVolatile != recoverFrame {
+		have, miss := "CrashVolatile", "RecoverFrame() Frame"
+		if recoverFrame {
+			have, miss = "RecoverFrame", "CrashVolatile()"
+		}
+		pass.Reportf(ts.Pos(), "%s implements %s but not %s: sim.Recoverable is asserted as a pair, so the half-implemented hook is silently ignored — complete the pair or remove it", ts.Name.Name, have, miss)
+	}
+
+	if !footprinted && !fingerprintable && !snapshottable && !recoverable {
 		// The type opts into nothing: a plain Object, outside the
 		// parity contract.
 		return
@@ -94,6 +116,9 @@ func checkType(pass *analysis.Pass, ts *ast.TypeSpec, doc *ast.CommentGroup) {
 	}
 	if !snapshottable && !pragma.Has(doc, "nosnapshot") {
 		pass.Reportf(ts.Pos(), "%s opts into engine hooks but not sim.Snapshottable: add Snapshot/Restore or annotate the type //slx:nosnapshot with why incremental execution must fall back to from-root replay", ts.Name.Name)
+	}
+	if !recoverable && !pragma.Has(doc, "norecover") {
+		pass.Reportf(ts.Pos(), "%s opts into engine hooks but not sim.Recoverable: add CrashVolatile/RecoverFrame stating what a crash wipes and how a process rejoins, or annotate the type //slx:norecover with why a bare re-spawn is sound (typically: every cell is durable)", ts.Name.Name)
 	}
 }
 
@@ -159,4 +184,16 @@ func hasSnapshot(ms *types.MethodSet) bool {
 func hasRestore(ms *types.MethodSet) bool {
 	sig := signature(ms, "Restore")
 	return sig != nil && sig.Params().Len() == 1 && sig.Results().Len() == 0
+}
+
+// hasCrashVolatile matches CrashVolatile().
+func hasCrashVolatile(ms *types.MethodSet) bool {
+	sig := signature(ms, "CrashVolatile")
+	return sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// hasRecoverFrame matches RecoverFrame() Frame.
+func hasRecoverFrame(ms *types.MethodSet) bool {
+	sig := signature(ms, "RecoverFrame")
+	return sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1
 }

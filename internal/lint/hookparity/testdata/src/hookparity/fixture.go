@@ -1,5 +1,5 @@
 // Package hookparity is the analyzer fixture: object types in every
-// parity state, self-contained stand-ins for sim.Proc and
+// parity state, self-contained stand-ins for sim.Proc, sim.Frame and
 // sim.Fingerprinter included.
 package hookparity
 
@@ -12,7 +12,10 @@ type Invocation struct{}
 // Fingerprinter stands in for sim.Fingerprinter.
 type Fingerprinter struct{}
 
-// full implements every hook: clean.
+// Frame stands in for sim.Frame.
+type Frame interface{ Step(*Proc) (any, int) }
+
+// full implements every hook, the Recoverable pair included: clean.
 type full struct{}
 
 func (f *full) Apply(p *Proc, inv Invocation) any { return nil }
@@ -20,15 +23,19 @@ func (f *full) Footprints() bool                  { return true }
 func (f *full) Fingerprint(fp *Fingerprinter)     {}
 func (f *full) Snapshot() any                     { return nil }
 func (f *full) Restore(any)                       {}
+func (f *full) CrashVolatile()                    {}
+func (f *full) RecoverFrame() Frame               { return nil }
 
 // partial opts into footprints only and carries no exemptions.
-type partial struct{} // want `not sim\.Fingerprintable` `not sim\.Snapshottable`
+type partial struct{} // want `not sim\.Fingerprintable` `not sim\.Snapshottable` `not sim\.Recoverable`
 
 func (q *partial) Apply(p *Proc, inv Invocation) any { return nil }
 func (q *partial) Footprints() bool                  { return true }
 
 // halfSnapshot has Snapshot but no Restore: the snapshot hook is
 // incomplete, so only the fingerprint side of the pair is satisfied.
+//
+//slx:norecover fixture: every cell durable
 type halfSnapshot struct{} // want `not sim\.Footprint` `not sim\.Snapshottable`
 
 func (h *halfSnapshot) Apply(p *Proc, inv Invocation) any { return nil }
@@ -40,6 +47,7 @@ func (h *halfSnapshot) Snapshot() any                     { return nil }
 //
 //slx:nofootprint fixture: steps must conflict
 //slx:nofingerprint fixture: pointer identity
+//slx:norecover fixture: every cell durable
 type annotated struct{}
 
 func (a *annotated) Apply(p *Proc, inv Invocation) any { return nil }
@@ -51,4 +59,26 @@ type plain struct{}
 
 func (pl *plain) Apply(p *Proc, inv Invocation) any { return nil }
 
-var _ = []any{&full{}, &partial{}, &halfSnapshot{}, &annotated{}, &plain{}}
+// recoverOnly opts into crash–recovery alone; the other hooks must be
+// implemented or exempted like for any capability.
+type recoverOnly struct{} // want `not sim\.Footprint` `not sim\.Fingerprintable` `not sim\.Snapshottable`
+
+func (r *recoverOnly) Apply(p *Proc, inv Invocation) any { return nil }
+func (r *recoverOnly) CrashVolatile()                    {}
+func (r *recoverOnly) RecoverFrame() Frame               { return nil }
+
+// halfRecover has CrashVolatile but no RecoverFrame: the runtime's
+// interface assertion fails silently, so the half pair is always a
+// diagnostic — no pragma can excuse it.
+//
+//slx:norecover fixture: pragma must not silence the broken pair
+type halfRecover struct{} // want `implements CrashVolatile but not RecoverFrame`
+
+func (h *halfRecover) Apply(p *Proc, inv Invocation) any { return nil }
+func (h *halfRecover) Footprints() bool                  { return true }
+func (h *halfRecover) Fingerprint(fp *Fingerprinter)     {}
+func (h *halfRecover) Snapshot() any                     { return nil }
+func (h *halfRecover) Restore(any)                       {}
+func (h *halfRecover) CrashVolatile()                    {}
+
+var _ = []any{&full{}, &partial{}, &halfSnapshot{}, &annotated{}, &plain{}, &recoverOnly{}, &halfRecover{}}

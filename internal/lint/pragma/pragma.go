@@ -17,6 +17,10 @@
 //	//slx:nosnapshot     hookparity: the object cannot capture/restore
 //	                     its shared state; exploration replays from the
 //	                     root instead.
+//	//slx:norecover      hookparity: the object holds no volatile state,
+//	                     so crash–recovery exploration treats a recovery
+//	                     as a bare process re-spawn (nothing to wipe, no
+//	                     recovery routine to run).
 //	//slx:rawdigest      canonenc: this declaration is the canonical
 //	                     home of the raw FNV-1a primitives.
 //	//slx:nondet         detorder: this line (or the next) reads

@@ -13,6 +13,7 @@ import (
 //
 //slx:nosnapshot unbounded tickets make restored sessions diverge from recorded history lengths
 //slx:nofootprint acquire scans every process's slots, so steps conflict pairwise anyway
+//slx:norecover tickets and flags are modeled durable; a crashed holder simply never releases
 type Bakery struct {
 	n        int
 	choosing []*base.Register

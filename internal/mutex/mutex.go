@@ -49,6 +49,8 @@ func DeadlockFreedom() liveness.Property {
 
 // Peterson is the two-process Peterson lock from registers. Process ids
 // must be 1 and 2.
+//
+//slx:norecover flag and turn registers are modeled durable; a crashed holder simply never releases
 type Peterson struct {
 	flag [2]*base.Register
 	turn *base.Register
@@ -189,6 +191,8 @@ func (f *petersonFrame) Fork() sim.Frame {
 }
 
 // TASLock is a test-and-set spinlock: deadlock-free, not starvation-free.
+//
+//slx:norecover the one TAS bit is modeled durable; a crashed holder simply never releases
 type TASLock struct {
 	t *base.TAS
 }

@@ -46,6 +46,8 @@ func (q *qstate) deq() (*qstate, history.Value) {
 }
 
 // Locked is the lock-based queue (two processes, Peterson lock).
+//
+//slx:norecover lock and state registers are modeled durable; recovery is a bare re-spawn
 type Locked struct {
 	lock  *mutex.Peterson
 	state *base.Register
@@ -183,6 +185,7 @@ func (f *lockedFrame) Fork() sim.Frame {
 //
 //slx:nofingerprint CAS on *qstate pointer identity: content-equal states diverge (ABA)
 //slx:nofootprint every step CASes the one state cell, so all steps conflict anyway
+//slx:norecover the one CAS cell is modeled durable; Persistent is the crash-modeled variant
 type CASQueue struct {
 	state *base.CAS
 }

@@ -214,7 +214,7 @@ func DigestHistory(tag string, h history.History) (uint64, bool) {
 // cache keys imply equal capacity too.
 func (m *LinMonitor) StateDigest() (uint64, bool) {
 	var parts []string
-	parts = append(parts, "lin/"+strconv.FormatBool(m.failed)+"/"+strconv.Itoa(len(m.ops)))
+	parts = append(parts, "lin/"+strconv.FormatBool(m.strict)+"/"+strconv.FormatBool(m.failed)+"/"+strconv.Itoa(len(m.ops)))
 
 	for p, pi := range m.pending {
 		if pi == 0 {

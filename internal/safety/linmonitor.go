@@ -49,6 +49,17 @@ import (
 type LinMonitor struct {
 	spec  SeqSpec
 	aspec AppendSpec // spec's allocation-free form, nil if not provided
+	// strict selects strict (crash-aware) linearizability: an operation
+	// pending when its process crashes must linearize before the crash
+	// point or never. The monitor then closes the operation at the crash
+	// event — each configuration branches into "the operation vanished"
+	// and "it linearized before the crash, with any response" — and marks
+	// it done so no later event can linearize it. With strict false a
+	// crashed operation stays pending forever and may linearize at any
+	// later point, which is plain linearizability on crash-free suffixes
+	// but too weak once crashed processes recover: a recovered process
+	// must observe only effects that were durable at its crash.
+	strict bool
 	// ops holds every operation seen, in invocation order. Entries are
 	// immutable once appended, so Fork shares the backing array: both
 	// sides are clipped to length (full slice expression), making any
@@ -367,8 +378,21 @@ func NewLinMonitor(spec SeqSpec) *LinMonitor {
 	return m
 }
 
+// NewStrictLinMonitor creates the crash-aware (strict linearizability)
+// monitor for spec: operations pending at their process's crash either
+// linearize before the crash point or vanish. See the strict field.
+func NewStrictLinMonitor(spec SeqSpec) *LinMonitor {
+	m := NewLinMonitor(spec)
+	m.strict = true
+	return m
+}
+
 // Spawn implements the monitor side of the linearizability property.
-func (m *LinMonitor) Spawn() Monitor { return NewLinMonitor(m.spec) }
+func (m *LinMonitor) Spawn() Monitor {
+	s := NewLinMonitor(m.spec)
+	s.strict = m.strict
+	return s
+}
 
 // Step implements Monitor.
 func (m *LinMonitor) Step(e history.Event) bool {
@@ -403,10 +427,89 @@ func (m *LinMonitor) Step(e history.Event) bool {
 			return false
 		}
 	case history.KindCrash:
-		// A crashed process's operation stays pending: it may take effect
-		// or not, which is exactly how pending operations are treated.
+		// Non-strict: a crashed process's operation stays pending — it may
+		// take effect or not, at any point, which is exactly how pending
+		// operations are treated. Strict: the operation is closed at the
+		// crash (linearize now-or-earlier with any response, or vanish).
+		if m.strict && e.Proc >= 0 && e.Proc < len(m.pending) && m.pending[e.Proc] != 0 {
+			idx := m.pending[e.Proc] - 1
+			m.pending[e.Proc] = 0
+			m.crashClose(idx)
+		}
+	case history.KindRecover:
+		// Recovery introduces no operation: the recovered process's next
+		// invocation is an ordinary fresh operation.
 	}
 	return true
+}
+
+// crashClose consumes the crash of a process with operation idx pending:
+// every configuration branches into the operation vanishing (the
+// configuration survives unchanged) and linearizing before the crash
+// point — possibly after speculatively linearizing other pending
+// operations, with any response, since no response event will ever
+// check it. idx is then marked done, so no later advance can linearize
+// it: that is the strict-linearizability cutoff. Unlike advance, the
+// configuration set can only grow here, so the monitor never fails at a
+// crash event.
+//
+// After a crashClose the completed-mask invariant weakens to "every
+// responded operation is in every mask": a vanished operation is done
+// but absent from the surviving configurations' masks. That is sound —
+// a done operation is excluded from pendMask, so its mask bit never
+// influences future transitions.
+func (m *LinMonitor) crashClose(idx int) {
+	bit := uint64(1) << uint(idx)
+	sc := scratchPool.Get().(*linScratch)
+	sc.reset()
+	sc.next = sc.next[:0]
+	pendMask := (uint64(1)<<uint(len(m.ops)) - 1) &^ m.doneMask
+	for i := range m.configs {
+		c := &m.configs[i]
+		if c.mask&bit != 0 {
+			// Speculatively linearized before the crash: keep, dropping the
+			// promise — the response it committed to will never arrive and
+			// nothing can observe it.
+			if np, dup := sc.markWithout(c.mask, c.st, c.promises, int32(idx)); !dup {
+				sc.next = append(sc.next, linCfg{mask: c.mask, st: c.st, promises: np})
+			}
+			continue
+		}
+		if sc.markOf(c.mask, c.st, c.promises) {
+			continue // already reached while closing an earlier source
+		}
+		sc.stack = append(sc.stack[:0], *c)
+		for len(sc.stack) > 0 {
+			cur := sc.stack[len(sc.stack)-1]
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			// The operation may vanish: cur survives as-is. Every stacked
+			// configuration was fresh when marked, so it is appended exactly
+			// once — which also keeps cross-source deduplication lossless
+			// (the first discoverer of a shared configuration emitted it).
+			sc.next = append(sc.next, cur)
+			// Or it linearizes here, with any response.
+			for _, tr := range m.apply(sc, cur.st, &m.ops[idx]) {
+				if !sc.markOf(cur.mask|bit, tr.Next, cur.promises) {
+					sc.next = append(sc.next, linCfg{mask: cur.mask | bit, st: tr.Next, promises: cur.promises})
+				}
+			}
+			// Or another pending operation speculatively linearizes first.
+			for rest := pendMask &^ cur.mask &^ bit; rest != 0; rest &= rest - 1 {
+				j := bits.TrailingZeros64(rest)
+				jbit := uint64(1) << uint(j)
+				for _, tr := range m.apply(sc, cur.st, &m.ops[j]) {
+					np, dup := sc.markWith(cur.mask|jbit, tr.Next, cur.promises, int32(j), tr.Resp)
+					if dup {
+						continue
+					}
+					sc.stack = append(sc.stack, linCfg{mask: cur.mask | jbit, st: tr.Next, promises: np})
+				}
+			}
+		}
+	}
+	m.doneMask |= bit
+	m.configs = append(m.configs[:0], sc.next...)
+	scratchPool.Put(sc)
 }
 
 // apply enumerates spec transitions for op at st, through the spec's
@@ -511,6 +614,7 @@ func (m *LinMonitor) Fork() Monitor {
 	m.ops = m.ops[:len(m.ops):len(m.ops)]
 	f := linPool.Get().(*LinMonitor)
 	f.spec, f.aspec, f.ops, f.doneMask, f.failed = m.spec, m.aspec, m.ops, m.doneMask, m.failed
+	f.strict = m.strict
 	if f.pending == nil {
 		f.pending = f.pendInline[:0]
 	}

@@ -1,0 +1,130 @@
+package safety
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// StrictLinearizable reports whether the well-formed history h is
+// strictly linearizable with respect to spec: linearizable in the usual
+// sense, with the additional crash cutoff of Aguilera–Frølund strict
+// linearizability — an operation pending when its process crashes
+// either takes effect before the crash point or never. Operations of
+// processes that later recover are ordinary fresh operations; the
+// recovered process therefore observes exactly the effects that were
+// durable at its crash.
+//
+// The search is the memoized Wing–Gong DFS of Linearizable with one
+// extra constraint: a crash-pending operation's interval ends at its
+// crash event, so it cannot be linearized once any operation invoked
+// after that crash has been (and, being response-less, it may match any
+// transition or be omitted). Histories with more than 63 operations are
+// rejected with false, matching Linearizable.
+func StrictLinearizable(spec SeqSpec, h history.History) bool {
+	ops := h.Operations()
+	if len(ops) > maxLinOps {
+		return false
+	}
+	// crashedAt[i] is the history index of the crash that closed pending
+	// operation i, or -1. Reconstructed with the same per-process pairing
+	// walk as Operations: a later invocation of a recovered process opens
+	// a fresh operation and leaves the closed one behind.
+	crashedAt := make([]int, len(ops))
+	for i := range crashedAt {
+		crashedAt[i] = -1
+	}
+	open := make(map[int]int) // proc -> index into ops of its open operation
+	k := 0
+	for i, e := range h {
+		switch e.Kind {
+		case history.KindInvoke:
+			open[e.Proc] = k
+			k++
+		case history.KindResponse:
+			delete(open, e.Proc)
+		case history.KindCrash:
+			if j, ok := open[e.Proc]; ok {
+				crashedAt[j] = i
+				delete(open, e.Proc)
+			}
+		}
+	}
+
+	mustPrecede := make([]uint64, len(ops))
+	// barredBy[i] is the mask of operations invoked after operation i's
+	// crash: once any of them is linearized, i may no longer be.
+	barredBy := make([]uint64, len(ops))
+	for i := range ops {
+		for j := range ops {
+			if i == j {
+				continue
+			}
+			if history.PrecedesRealTime(ops[j], ops[i]) {
+				mustPrecede[i] |= 1 << uint(j)
+			}
+			if crashedAt[i] >= 0 && ops[j].InvIndex > crashedAt[i] {
+				barredBy[i] |= 1 << uint(j)
+			}
+		}
+	}
+	completedMask := uint64(0)
+	for i, op := range ops {
+		if op.Done {
+			completedMask |= 1 << uint(i)
+		}
+	}
+
+	type key struct {
+		mask  uint64
+		state State
+	}
+	memo := make(map[key]bool)
+
+	var dfs func(mask uint64, st State) bool
+	dfs = func(mask uint64, st State) bool {
+		if mask&completedMask == completedMask {
+			return true
+		}
+		k := key{mask, st}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		res := false
+		for i := range ops {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || mask&mustPrecede[i] != mustPrecede[i] || mask&barredBy[i] != 0 {
+				continue
+			}
+			op := ops[i]
+			for _, tr := range spec.Apply(st, op.Proc, op.Name, op.Obj, op.Arg) {
+				if op.Done && tr.Resp != op.Val {
+					continue
+				}
+				if dfs(mask|bit, tr.Next) {
+					res = true
+					break
+				}
+			}
+			if res {
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return dfs(0, spec.Init())
+}
+
+// StrictLinearizabilityProperty wraps a sequential specification as the
+// crash-aware safety Property: a history is in the property iff it is
+// strictly linearizable w.r.t. spec. Strict linearizability is
+// prefix-closed: a strict linearization of h restricts to one of every
+// prefix (dropping operations the prefix has not invoked keeps both the
+// real-time order and the crash cutoffs intact).
+func StrictLinearizabilityProperty(spec SeqSpec) Property {
+	return PropertyFunc{
+		PropName: fmt.Sprintf("strict-linearizability(%s)", spec.Name()),
+		F:        func(h history.History) bool { return StrictLinearizable(spec, h) },
+	}
+}

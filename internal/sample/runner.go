@@ -18,10 +18,26 @@ type runner interface {
 	close()
 }
 
+// incremental reports whether the run uses reused sessions: the object
+// supports snapshots, replay is not forced, and — when recovery is
+// injected — the environment supports fast rewind (session recovery
+// cannot rebuild consultation points from response events).
+func incremental(cfg *Config) bool {
+	if cfg.ForceReplay || !sim.CanSnapshot(cfg.NewObject()) {
+		return false
+	}
+	if cfg.Recoveries > 0 {
+		if _, ok := cfg.NewEnv().(sim.RewindableEnv); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // newRunner builds the worker's executor: session reuse when the object
 // supports snapshots (and replay is not forced), else from-root replay.
 func newRunner(cfg *Config) (runner, error) {
-	if !cfg.ForceReplay && sim.CanSnapshot(cfg.NewObject()) {
+	if incremental(cfg) {
 		return newSessionRunner(cfg)
 	}
 	return &replayRunner{cfg: cfg, strat: newStrategy(cfg), mons: cfg.NewMonitors()}, nil
@@ -32,13 +48,14 @@ func newRunner(cfg *Config) (runner, error) {
 // process has a pending operation there), so every granted step
 // advances a fresh schedule.
 type sessionRunner struct {
-	cfg    *Config
-	sess   *sim.Session
-	root   *sim.Mark
-	strat  *strategy
-	mons   explore.MonitorSet // pristine root set, forked per schedule
-	ready  []int
-	prefix []sim.Decision
+	cfg     *Config
+	sess    *sim.Session
+	root    *sim.Mark
+	strat   *strategy
+	mons    explore.MonitorSet // pristine root set, forked per schedule
+	ready   []int
+	crashed []int
+	prefix  []sim.Decision
 }
 
 func newSessionRunner(cfg *Config) (*sessionRunner, error) {
@@ -75,7 +92,11 @@ func (r *sessionRunner) sample(seed int64, rec *schedRec) (*explore.Violation, e
 		if len(r.ready) == 0 || steps >= r.cfg.Steps {
 			break
 		}
-		d, ok := r.strat.decide(r.ready, steps)
+		r.crashed = r.crashed[:0]
+		if r.cfg.Recoveries > 0 {
+			r.crashed = r.sess.CrashedAppend(r.crashed)
+		}
+		d, ok := r.strat.decide(r.ready, r.crashed, steps)
 		if !ok {
 			break
 		}
@@ -160,11 +181,11 @@ func (r *replayRunner) sample(seed int64, rec *schedRec) (*explore.Violation, er
 			if steps >= r.cfg.Steps {
 				return sim.Decision{}, false
 			}
-			d, ok := r.strat.decide(v.Ready, steps)
+			d, ok := r.strat.decide(v.Ready, v.Crashed, steps)
 			if !ok {
 				return sim.Decision{}, false
 			}
-			if !d.Crash {
+			if !d.Crash && !d.Recover {
 				steps++
 			}
 			r.prefix = append(r.prefix, d)

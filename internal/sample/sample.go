@@ -72,6 +72,15 @@ type Config struct {
 	// Crashes injects at most this many crash decisions per schedule,
 	// at uniformly chosen steps. 0 disables crash injection.
 	Crashes int
+	// Recoveries injects at most this many recover decisions per
+	// schedule, at uniformly chosen steps. A recovery point fires at the
+	// first decision at or after its step where some process is crashed
+	// (a point drawn before any crash stays armed). 0 disables recovery
+	// injection; it only matters together with Crashes > 0. Like crash
+	// injection under incremental execution, recovery requires a
+	// rewindable environment (sim.RewindableEnv) when the object runs on
+	// reused sessions; other environments fall back to replay execution.
+	Recoveries int
 	// Strategy selects PCT or Walk.
 	Strategy Strategy
 	// ChangePoints is PCT's d: the number of priority-change points per
@@ -192,7 +201,7 @@ func Run(cfg Config) (*Stats, error) {
 		pending:    make(map[int]*chunkResult),
 		maxPending: 4 * workers,
 		distinct:   make(map[uint64]struct{}),
-		st:         &Stats{Workers: workers, Incremental: !cfg.ForceReplay && sim.CanSnapshot(cfg.NewObject())},
+		st:         &Stats{Workers: workers, Incremental: incremental(&cfg)},
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.failBound.Store(math.MaxInt64)
@@ -247,8 +256,8 @@ func validate(cfg *Config) error {
 		return errors.New("sample: Schedules must be >= 1")
 	case cfg.Steps < 1:
 		return errors.New("sample: Steps must be >= 1")
-	case cfg.Crashes < 0 || cfg.ChangePoints < 0:
-		return errors.New("sample: Crashes and ChangePoints must be >= 0")
+	case cfg.Crashes < 0 || cfg.Recoveries < 0 || cfg.ChangePoints < 0:
+		return errors.New("sample: Crashes, Recoveries and ChangePoints must be >= 0")
 	}
 	return nil
 }

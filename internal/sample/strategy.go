@@ -14,11 +14,12 @@ import (
 // on either execution engine. A strategy is reused across schedules via
 // reset (workers keep one each); it is not safe for concurrent use.
 type strategy struct {
-	procs   int
-	steps   int
-	d       int
-	crashes int
-	walk    bool
+	procs      int
+	steps      int
+	d          int
+	crashes    int
+	recoveries int
+	walk       bool
 
 	src rand.Source
 	rng *rand.Rand
@@ -41,6 +42,14 @@ type strategy struct {
 	// coincident points crash consecutively).
 	crashAt []int
 	nextCr  int
+	// recoverAt holds sorted granted-step counts after which one recover
+	// decision is injected (uniform in 1..steps, with replacement,
+	// drawn after the crash points in the fixed consultation order). A
+	// recovery point stays armed until some process is crashed: a point
+	// drawn before the first crash fires at the first decision where a
+	// crashed process exists.
+	recoverAt []int
+	nextRv    int
 	// last is the process granted the most recent step (0 before any).
 	last int
 }
@@ -48,23 +57,25 @@ type strategy struct {
 func newStrategy(cfg *Config) *strategy {
 	src := rand.NewSource(0)
 	return &strategy{
-		procs:   cfg.Procs,
-		steps:   cfg.Steps,
-		d:       cfg.ChangePoints,
-		crashes: cfg.Crashes,
-		walk:    cfg.Strategy == Walk,
-		src:     src,
-		rng:     rand.New(src),
-		prio:    make([]int, cfg.Procs+1),
-		change:  make([]int, 0, cfg.ChangePoints),
-		crashAt: make([]int, 0, cfg.Crashes),
+		procs:      cfg.Procs,
+		steps:      cfg.Steps,
+		d:          cfg.ChangePoints,
+		crashes:    cfg.Crashes,
+		recoveries: cfg.Recoveries,
+		walk:       cfg.Strategy == Walk,
+		src:        src,
+		rng:        rand.New(src),
+		prio:       make([]int, cfg.Procs+1),
+		change:     make([]int, 0, cfg.ChangePoints),
+		crashAt:    make([]int, 0, cfg.Crashes),
+		recoverAt:  make([]int, 0, cfg.Recoveries),
 	}
 }
 
 // reset re-seeds the strategy for one schedule.
 func (s *strategy) reset(seed int64) {
 	s.src.Seed(seed)
-	s.next, s.nextCr, s.last = 0, 0, 0
+	s.next, s.nextCr, s.nextRv, s.last = 0, 0, 0, 0
 	if !s.walk {
 		for p := 1; p <= s.procs; p++ {
 			s.prio[p] = s.d + p
@@ -84,13 +95,18 @@ func (s *strategy) reset(seed int64) {
 		s.crashAt = append(s.crashAt, s.rng.Intn(s.steps)+1)
 	}
 	sort.Ints(s.crashAt)
+	s.recoverAt = s.recoverAt[:0]
+	for j := 0; j < s.recoveries; j++ {
+		s.recoverAt = append(s.recoverAt, s.rng.Intn(s.steps)+1)
+	}
+	sort.Ints(s.recoverAt)
 }
 
-// decide picks the next decision given the sorted ready set and the
-// number of granted (non-crash) steps taken so far. ok=false ends the
-// schedule. Both execution engines call decide with identical argument
-// sequences, so their schedules coincide.
-func (s *strategy) decide(ready []int, step int) (sim.Decision, bool) {
+// decide picks the next decision given the sorted ready and crashed
+// sets and the number of granted (non-crash) steps taken so far.
+// ok=false ends the schedule. Both execution engines call decide with
+// identical argument sequences, so their schedules coincide.
+func (s *strategy) decide(ready, crashed []int, step int) (sim.Decision, bool) {
 	if len(ready) == 0 {
 		return sim.Decision{}, false
 	}
@@ -106,14 +122,19 @@ func (s *strategy) decide(ready []int, step int) (sim.Decision, bool) {
 		s.nextCr++
 		return sim.Decision{Proc: s.pick(ready), Crash: true}, true
 	}
+	if s.nextRv < len(s.recoverAt) && s.recoverAt[s.nextRv] <= step+1 && len(crashed) > 0 {
+		s.nextRv++
+		return sim.Decision{Proc: s.pick(crashed), Recover: true}, true
+	}
 	p := s.pick(ready)
 	s.last = p
 	return sim.Decision{Proc: p}, true
 }
 
-// pick selects a process from the ready set: uniformly for Walk, the
-// highest-priority one for PCT (also the crash victim — PCT crashes the
-// process that would run).
+// pick selects a process from the given sorted set: uniformly for Walk,
+// the highest-priority one for PCT (also the crash victim — PCT crashes
+// the process that would run — and the recovery candidate among the
+// crashed processes).
 func (s *strategy) pick(ready []int) int {
 	if s.walk {
 		return ready[s.rng.Intn(len(ready))]

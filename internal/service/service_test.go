@@ -15,7 +15,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -256,6 +259,38 @@ func TestWitnessReplays(t *testing.T) {
 	// is on the failing property, not the message text.
 	if want := j.Result.Verdicts[0]; rep.Verdicts[0].Property != want.Property {
 		t.Errorf("replay failed %q, job failed %q", rep.Verdicts[0].Property, want.Property)
+	}
+}
+
+// TestDurableQueueRecoveryJob: the crash–recovery showcase target. The
+// roll-forward duplicate needs both budgets — a crash-only job is
+// provably clean, a crash+recover job violates — and the daemon's
+// witness (crash and recover decisions included) replays in-process to
+// the same failing property.
+func TestDurableQueueRecoveryJob(t *testing.T) {
+	_, hs := newTestServer(t, service.Config{Workers: 2})
+
+	clean := service.JobSpec{Target: "durablequeue", Spec: slx.Spec{Depth: 12, Crashes: 1}}
+	j := await(t, hs.URL, submit(t, hs.URL, clean).ID)
+	requireParity(t, j, inProcess(t, clean), "all")
+	if !j.Result.OK {
+		t.Fatalf("crash-only job must be clean: %+v", j.Result.Verdicts)
+	}
+
+	viol := service.JobSpec{Target: "durablequeue", Spec: slx.Spec{Depth: 12, Crashes: 1, Recoveries: 1}}
+	j = await(t, hs.URL, submit(t, hs.URL, viol).ID)
+	requireParity(t, j, inProcess(t, viol), "all")
+	if j.Result.OK {
+		t.Fatal("crash+recover job must find the roll-forward duplicate")
+	}
+	tgt, _ := service.LookupTarget(viol.Target)
+	rep, err := slx.New(append(tgt.Options(), slx.WithMaxSteps(len(j.Result.Witness)+1))...).
+		Replay(j.Result.Witness, tgt.Property())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.OK() {
+		t.Fatalf("witness %v replayed clean", j.Result.Witness)
 	}
 }
 
@@ -588,6 +623,75 @@ func TestSpillReload(t *testing.T) {
 		t.Fatalf("restarted daemon reused job ID %s", second.ID)
 	}
 	await(t, hs2.URL, second.ID)
+}
+
+// TestSpillReloadToleratesCorruptRecords: a daemon killed mid-spill can
+// leave truncated, garbage or torn files behind; the next start skips
+// them with a warning, serves every intact record, and never hands out
+// a job ID that would resurrect a skipped file.
+func TestSpillReloadToleratesCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	srv1, hs1 := newTestServer(t, service.Config{Workers: 1, SpillDir: dir})
+	spec := service.JobSpec{Target: "consensus", Spec: slx.Spec{Depth: 6}}
+	first := await(t, hs1.URL, submit(t, hs1.URL, spec).ID)
+	hs1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv1.Shutdown(ctx)
+
+	// Sabotage the directory the way a crash would: a truncated record,
+	// pure garbage, an empty file, a record with no job ID, and a torn
+	// .tmp from an interrupted write-then-rename.
+	intact, err := os.ReadFile(filepath.Join(dir, first.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := map[string][]byte{
+		"job-7.json":     intact[:len(intact)/2],
+		"job-8.json":     []byte("not json at all"),
+		"job-9.json":     nil,
+		"job-10.json":    []byte(`{"state":"done"}`),
+		"job-4.json.tmp": intact,
+	}
+	for name, data := range corrupt {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv2, hs2 := newTestServer(t, service.Config{Workers: 1, SpillDir: dir})
+	var reloaded service.Job
+	if status, body := doJSON(t, http.MethodGet, hs2.URL+"/v1/jobs/"+first.ID, nil, &reloaded); status != http.StatusOK {
+		t.Fatalf("intact record lost behind corrupt neighbours: status %d body %s", status, body)
+	}
+	if !reflect.DeepEqual(reloaded.Result, first.Result) {
+		t.Fatalf("reloaded job diverges: %+v vs %+v", reloaded, first)
+	}
+	skipped := srv2.Store().SkippedSpills()
+	if len(skipped) != 4 {
+		t.Fatalf("skipped %v, want the 4 corrupt records", skipped)
+	}
+	// The corrupt ordinals are burned: the next job must start past
+	// job-10, and the torn .tmp must be gone.
+	next := submit(t, hs2.URL, spec)
+	for name := range corrupt {
+		if next.ID+".json" == name {
+			t.Fatalf("new job %s resurrects a skipped record", next.ID)
+		}
+	}
+	if got := jobOrdinalTest(next.ID); got <= 10 {
+		t.Fatalf("new job ordinal %d, want > 10 (corrupt IDs burned)", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-4.json.tmp")); !os.IsNotExist(err) {
+		t.Errorf("torn .tmp survived reload: %v", err)
+	}
+	await(t, hs2.URL, next.ID)
+}
+
+// jobOrdinalTest mirrors the store's ID ordering helper.
+func jobOrdinalTest(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
 }
 
 // TestProductionSurface: healthz, readyz, metrics and the target

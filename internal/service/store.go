@@ -19,14 +19,19 @@ import (
 // finish and loaded back on startup, so a restarted daemon still serves
 // past results (their IDs are skipped by the ID counter).
 type Store struct {
-	mu   sync.Mutex
-	jobs map[string]*Job
-	dir  string // spill directory, "" for memory-only
-	next int    // next job ID ordinal
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	dir     string   // spill directory, "" for memory-only
+	next    int      // next job ID ordinal
+	skipped []string // spill files skipped as corrupt on the last load
 }
 
 // NewStore opens a store. dir is the spill directory ("" disables
-// spilling); existing job-*.json files in it are loaded.
+// spilling); existing job-*.json files in it are loaded. A truncated or
+// corrupt record — a daemon killed mid-crash leaves those — is skipped
+// with a warning rather than blocking startup: losing one past result
+// beats refusing to serve any. Leftover .tmp files from torn
+// write-then-rename spills are removed.
 func NewStore(dir string) (*Store, error) {
 	s := &Store{jobs: make(map[string]*Job), dir: dir, next: 1}
 	if dir == "" {
@@ -41,23 +46,51 @@ func NewStore(dir string) (*Store, error) {
 	}
 	for _, e := range ents {
 		name := e.Name()
+		if strings.HasSuffix(name, ".json.tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
 		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return nil, fmt.Errorf("service: spill load: %w", err)
-		}
-		var j Job
-		if err := json.Unmarshal(data, &j); err != nil {
-			return nil, fmt.Errorf("service: spill load %s: %w", name, err)
-		}
-		s.jobs[j.ID] = &j
+		// The ordinal advances even for a record that turns out corrupt,
+		// so a fresh job can never reuse its ID and silently resurrect
+		// the bad file.
 		if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "job-"), ".json")); err == nil && n >= s.next {
 			s.next = n + 1
 		}
+		if err := s.loadSpill(name); err != nil {
+			s.skipped = append(s.skipped, name)
+			fmt.Fprintf(os.Stderr, "service: spill load %s: skipping corrupt record: %v\n", name, err)
+		}
 	}
 	return s, nil
+}
+
+// loadSpill reads and installs one spilled job; any failure marks the
+// record corrupt.
+func (s *Store) loadSpill(name string) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return err
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.ID == "" {
+		return fmt.Errorf("record has no job ID")
+	}
+	s.jobs[j.ID] = &j
+	return nil
+}
+
+// SkippedSpills returns the spill files the last load skipped as
+// corrupt, in directory order.
+func (s *Store) SkippedSpills() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.skipped...)
 }
 
 // Add registers a new job under a fresh ID and returns a copy.

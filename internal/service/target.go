@@ -90,6 +90,25 @@ var targets = map[string]Target{
 			return check.Linearizability(check.RegisterSpec{Initial: 0})
 		},
 	},
+	"durablequeue": {
+		Name:  "durablequeue",
+		About: "seeded recovery bug: roll-forward queue duplicates a crashed enqueue (explore with crashes+recoveries)",
+		Options: func() []slx.Option {
+			return []slx.Option{
+				slx.WithProcs(2),
+				slx.WithObject(func() run.Object { return newDurQueue(2) }),
+				slx.WithEnv(func() run.Environment {
+					return run.Script(map[int][]run.Invocation{
+						1: {{Op: "enq", Arg: "a"}},
+						2: {{Op: "deq"}, {Op: "deq"}},
+					})
+				}),
+			}
+		},
+		Property: func() slx.Property {
+			return check.StrictLinearizability(check.QueueSpec{})
+		},
+	},
 	"queueblast": {
 		Name:  "queueblast",
 		About: "seeded deep-bug evicting queue, 8 procs, linearizability",
@@ -149,6 +168,8 @@ func TargetNames() []string {
 // acknowledge without taking effect, so its write-then-read history is
 // not linearizable. Both exhaustive explore (depth 8) and sampling find
 // it, exercising the violation paths end to end.
+//
+//slx:norecover the seeded bug is crash-free; the register is modeled durable
 type lossyRegister struct{ v hist.Value }
 
 func (r *lossyRegister) Apply(p *run.Proc, inv run.Invocation) hist.Value {
@@ -227,6 +248,8 @@ const blastCapacity = 3
 // enqueues plus an observing dequeue — exhaustive exploration below
 // depth 8 is provably clean while the bug is alive, which makes this
 // the service's sampling showcase target.
+//
+//slx:norecover the blast scenario is crash-free; all state is modeled durable
 type blastQueue struct{ items []hist.Value }
 
 func (q *blastQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
@@ -326,3 +349,221 @@ func (q *blastQueue) Fingerprint(f *run.Fingerprinter) {
 func (q *blastQueue) Snapshot() any { return append([]hist.Value(nil), q.items...) }
 
 func (q *blastQueue) Restore(s any) { q.items = append(q.items[:0:0], s.([]hist.Value)...) }
+
+// durQueue is the recovery-bug queue from examples/durablequeue: every
+// enqueue is journaled in a per-process redo log (write intent, flush,
+// apply, clear, flush the clear), but the recovery routine rolls the
+// log forward UNCONDITIONALLY — it never checks whether the crashed
+// enqueue already took effect. The protocol is correct crash-free and
+// correct under crashes alone (a crashed process never replays its
+// log); the duplicate needs a crash between the apply and the final
+// clear flush plus a recovery, where strict linearizability flags the
+// twice-delivered element. This is the service's crash–recovery
+// showcase target: explore it with crashes>=1 and recoveries>=1.
+type durQueue struct {
+	items  []hist.Value // committed queue (durable)
+	logVol []*durRec    // per-proc redo log, volatile cache (1-based)
+	logDur []*durRec    // per-proc redo log, durable cell (1-based)
+}
+
+// durRec is one redo-log record, immutable once written.
+type durRec struct{ arg hist.Value }
+
+func newDurQueue(n int) *durQueue {
+	return &durQueue{logVol: make([]*durRec, n+1), logDur: make([]*durRec, n+1)}
+}
+
+// durLogName is the footprint label of proc p's redo log.
+func durLogName(p int) string { return fmt.Sprintf("log.%d", p) }
+
+// deq is the shared single-window dequeue body.
+func (q *durQueue) deq(p *run.Proc) hist.Value {
+	p.Access("q", true)
+	var out hist.Value
+	if len(q.items) == 0 {
+		out = "empty"
+	} else {
+		out = q.items[0]
+		q.items = q.items[1:]
+	}
+	p.Observe(out)
+	return out
+}
+
+func (q *durQueue) Apply(p *run.Proc, inv run.Invocation) hist.Value {
+	var out hist.Value
+	switch inv.Op {
+	case "enq":
+		id := p.ID()
+		p.Exec("log", func() {
+			p.Access(durLogName(id), true)
+			q.logVol[id] = &durRec{arg: inv.Arg}
+		})
+		p.Exec("log-flush", func() {
+			p.Access(durLogName(id), true)
+			q.logDur[id] = q.logVol[id]
+		})
+		p.Exec("apply", func() {
+			p.Access("q", true)
+			q.items = append(q.items, inv.Arg)
+		})
+		p.Exec("log-clear", func() {
+			p.Access(durLogName(id), true)
+			q.logVol[id] = nil
+		})
+		p.Exec("clear-flush", func() {
+			p.Access(durLogName(id), true)
+			q.logDur[id] = nil
+			out = hist.OK
+		})
+	case "deq":
+		p.Exec("deq", func() { out = q.deq(p) })
+	}
+	return out
+}
+
+// durFrame is one in-flight durQueue operation. pc (enq): 0 = write
+// log, 1 = flush log, 2 = apply, 3 = clear log, 4 = flush the clear;
+// deq is a single window.
+type durFrame struct {
+	q   *durQueue
+	inv run.Invocation
+	pc  int
+}
+
+// Begin implements run.Stepped.
+func (q *durQueue) Begin(p *run.Proc, inv run.Invocation) (run.Frame, hist.Value, run.StepStatus) {
+	switch inv.Op {
+	case "enq", "deq":
+		return &durFrame{q: q, inv: inv}, nil, run.StepPaused
+	}
+	return nil, nil, run.StepDone
+}
+
+// Step implements run.Frame.
+func (f *durFrame) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	q := f.q
+	if f.inv.Op == "deq" {
+		return q.deq(p), run.StepDone
+	}
+	id := p.ID()
+	switch f.pc {
+	case 0:
+		p.Access(durLogName(id), true)
+		q.logVol[id] = &durRec{arg: f.inv.Arg}
+	case 1:
+		p.Access(durLogName(id), true)
+		q.logDur[id] = q.logVol[id]
+	case 2:
+		p.Access("q", true)
+		q.items = append(q.items, f.inv.Arg)
+	case 3:
+		p.Access(durLogName(id), true)
+		q.logVol[id] = nil
+	case 4:
+		p.Access(durLogName(id), true)
+		q.logDur[id] = nil
+		return hist.OK, run.StepDone
+	}
+	f.pc++
+	return nil, run.StepPaused
+}
+
+// Fork implements run.Frame.
+func (f *durFrame) Fork() run.Frame {
+	c := *f
+	return &c
+}
+
+func (q *durQueue) Footprints() bool { return true }
+
+// CrashVolatile implements run.Recoverable: every log cache reverts to
+// its durable cell; the committed queue survives.
+func (q *durQueue) CrashVolatile() { copy(q.logVol, q.logDur) }
+
+// RecoverFrame implements run.Recoverable.
+func (q *durQueue) RecoverFrame() run.Frame { return &durRecovery{q: q} }
+
+// durRecovery is the recovery routine: read the durable log and roll it
+// forward. pc: 0 = read log (done if empty), 1 = re-apply, 2 = clear
+// log, 3 = flush the clear.
+type durRecovery struct {
+	q   *durQueue
+	pc  int
+	rec *durRec
+}
+
+// Step implements run.Frame.
+func (f *durRecovery) Step(p *run.Proc) (hist.Value, run.StepStatus) {
+	q := f.q
+	id := p.ID()
+	switch f.pc {
+	case 0:
+		p.Access(durLogName(id), false)
+		if q.logVol[id] == nil {
+			return nil, run.StepDone
+		}
+		f.rec = q.logVol[id]
+	case 1:
+		// The seeded bug: an unconditional roll-forward re-applies an
+		// enqueue that already took effect before the crash.
+		p.Access("q", true)
+		q.items = append(q.items, f.rec.arg)
+	case 2:
+		p.Access(durLogName(id), true)
+		q.logVol[id] = nil
+	case 3:
+		p.Access(durLogName(id), true)
+		q.logDur[id] = nil
+		return nil, run.StepDone
+	}
+	f.pc++
+	return nil, run.StepPaused
+}
+
+// Fork implements run.Frame.
+func (f *durRecovery) Fork() run.Frame {
+	c := *f
+	return &c
+}
+
+func (q *durQueue) Fingerprint(f *run.Fingerprinter) {
+	f.Str("dq")
+	f.Int(len(q.items))
+	for _, v := range q.items {
+		f.Val(v)
+	}
+	for p := 1; p < len(q.logVol); p++ {
+		for _, r := range [2]*durRec{q.logVol[p], q.logDur[p]} {
+			if r == nil {
+				f.Int(0)
+			} else {
+				f.Int(1)
+				f.Val(r.arg)
+			}
+		}
+	}
+}
+
+// durState is a captured configuration (log records are immutable, so
+// the slices copy shallowly).
+type durState struct {
+	items  []hist.Value
+	logVol []*durRec
+	logDur []*durRec
+}
+
+func (q *durQueue) Snapshot() any {
+	return durState{
+		items:  append([]hist.Value(nil), q.items...),
+		logVol: append([]*durRec(nil), q.logVol...),
+		logDur: append([]*durRec(nil), q.logDur...),
+	}
+}
+
+func (q *durQueue) Restore(s any) {
+	st := s.(durState)
+	q.items = append(q.items[:0:0], st.items...)
+	copy(q.logVol, st.logVol)
+	copy(q.logDur, st.logDur)
+}

@@ -165,6 +165,23 @@ func (r *runtime) fingerprint() (fp uint64, ok bool) {
 		} else {
 			f.Bool(false)
 		}
+		// Crash–recovery control state: the recovery epoch and the
+		// invoked-operation count separate configurations whose histories
+		// consumed different invocations through crashed operations (the
+		// environment's position depends on invocations, not completions),
+		// and the recovering flag separates a recovery routine about to
+		// take its first step from a process between operations. The
+		// arrays are nil exactly when no recover decision happened on this
+		// runtime, in which case every epoch is zero — the fold is a pure
+		// function of the configuration either way.
+		if r.recEpochs != nil {
+			f.Int(r.recEpochs[id])
+			f.Bool(r.recovering[id])
+		} else {
+			f.Int(0)
+			f.Bool(false)
+		}
+		f.Int(r.fpInvoked[id])
 	}
 	return f.Sum(), !f.Poisoned()
 }

@@ -43,7 +43,8 @@ func Solo(proc int) Scheduler {
 }
 
 // Fixed replays an explicit decision sequence, then stops. Decisions naming
-// non-ready processes are skipped (this lets prefixes recorded from runs
+// processes that cannot take them — steps of non-ready processes, recoveries
+// of non-crashed ones — are skipped (this lets prefixes recorded from runs
 // with different continuations replay robustly).
 func Fixed(schedule []Decision) Scheduler {
 	i := 0
@@ -51,7 +52,17 @@ func Fixed(schedule []Decision) Scheduler {
 		for i < len(schedule) {
 			d := schedule[i]
 			i++
-			if d.Crash || v.ReadyContains(d.Proc) {
+			switch {
+			case d.Crash:
+				return d, true
+			case d.Recover:
+				// A recovery names a crashed process, never a ready one.
+				for _, p := range v.Crashed {
+					if p == d.Proc {
+						return d, true
+					}
+				}
+			case v.ReadyContains(d.Proc):
 				return d, true
 			}
 		}
@@ -103,6 +114,34 @@ func RandomCrashy(seed int64, crashProb float64, maxCrashes int) Scheduler {
 	rng := rand.New(rand.NewSource(seed))
 	crashes := 0
 	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if crashes < maxCrashes && rng.Float64() < crashProb {
+			live := make([]int, 0, len(v.Ready)+len(v.Idle)+len(v.Blocked))
+			live = append(live, v.Ready...)
+			live = append(live, v.Idle...)
+			live = append(live, v.Blocked...)
+			if len(live) > 0 {
+				crashes++
+				return Decision{Proc: live[rng.Intn(len(live))], Crash: true}, true
+			}
+		}
+		if len(v.Ready) == 0 {
+			return Decision{}, false
+		}
+		return Decision{Proc: v.Ready[rng.Intn(len(v.Ready))]}, true
+	})
+}
+
+// RandomRecovery is RandomCrashy plus a per-decision recovery
+// probability (in [0,1]): a uniformly chosen crashed process is
+// recovered with probability recoverProb, at most maxRecoveries times.
+func RandomRecovery(seed int64, crashProb, recoverProb float64, maxCrashes, maxRecoveries int) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	crashes, recoveries := 0, 0
+	return SchedulerFunc(func(v *View) (Decision, bool) {
+		if recoveries < maxRecoveries && len(v.Crashed) > 0 && rng.Float64() < recoverProb {
+			recoveries++
+			return Decision{Proc: v.Crashed[rng.Intn(len(v.Crashed))], Recover: true}, true
+		}
 		if crashes < maxCrashes && rng.Float64() < crashProb {
 			live := make([]int, 0, len(v.Ready)+len(v.Idle)+len(v.Blocked))
 			live = append(live, v.Ready...)

@@ -226,14 +226,15 @@ type StepInfo struct {
 	// Access is the footprint of the decision (zero/unknown when the
 	// object does not track footprints), matching Result.Accesses.
 	Access Access
-	// Steps is the number of simulator steps granted: 0 for a crash
-	// decision, 1 otherwise.
+	// Steps is the number of simulator steps granted: 0 for a crash or
+	// recover decision, 1 otherwise.
 	Steps int
 }
 
 // Extend applies one scheduler decision to the live configuration. The
-// decision must be valid (a ready process, or a crash of a non-crashed
-// process), exactly as for a sim.Run scheduler.
+// decision must be valid (a ready process, a crash of a non-crashed
+// process, or a recover of a crashed one), exactly as for a sim.Run
+// scheduler.
 func (s *Session) Extend(d Decision) (StepInfo, error) {
 	r := s.rt
 	if s.closed {
@@ -260,18 +261,70 @@ func (r *runtime) extendDirect(d Decision) error {
 		return fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
 	}
 	id := d.Proc
+	if d.Crash && d.Recover {
+		return fmt.Errorf("sim: decision cannot both crash and recover process %d", id)
+	}
 	if d.Crash {
 		if r.status[id] == statusCrashed {
 			return fmt.Errorf("sim: scheduler crashed process %d twice", id)
 		}
 		// The crashed process keeps its frame and pending invocation:
 		// they are part of the configuration (fingerprints include the
-		// pending operations of crashed processes), they just never run.
+		// pending operations of crashed processes), they just never run —
+		// unless a later recover decision discards them.
 		r.record(history.Crash(id))
 		r.status[id] = statusCrashed
+		if r.recObj != nil {
+			r.recObj.CrashVolatile()
+		}
 		r.lastAccess = Access{}
 		if r.track {
 			r.lastAccess = Access{Known: true, Crash: true}
+		}
+		return nil
+	}
+	if d.Recover {
+		if r.status[id] != statusCrashed {
+			return fmt.Errorf("sim: scheduler recovered non-crashed process %d", id)
+		}
+		if _, ok := r.env.(RewindableEnv); !ok {
+			// The fallback environment rewind reconstructs consultation
+			// points from response events, which recovery consultations do
+			// not produce; exploration routes such environments to replay
+			// execution instead.
+			return fmt.Errorf("sim: recover under a session requires a rewindable environment (%T lacks EnvSnapshot/EnvRestore)", r.env)
+		}
+		r.record(history.Recover(id))
+		r.noteRecover(id)
+		r.fpPending[id] = Invocation{}
+		r.fpHasPend[id] = false
+		r.fpOpSteps[id] = 0
+		if r.fpTrack {
+			r.fpObs[id] = history.DigestSeed()
+		}
+		// The in-flight frame and the chosen-but-uninvoked next invocation
+		// are volatile process state: both die with the crash.
+		r.frames[id] = nil
+		r.hasNext[id] = false
+		var rec Frame
+		if r.recObj != nil {
+			rec = r.recObj.RecoverFrame()
+		}
+		// Set unconditionally: the process may have crashed during a
+		// previous recovery routine, leaving the flag true.
+		r.recovering[id] = rec != nil
+		if rec != nil {
+			r.frames[id] = rec
+			r.status[id] = statusReady
+		} else {
+			// No recovery routine: consult the environment immediately,
+			// within the recover decision, mirroring the goroutine
+			// runtime's respawn handshake.
+			r.consultEnv(id)
+		}
+		r.lastAccess = Access{}
+		if r.track {
+			r.lastAccess = Access{Known: true, Recover: true}
 		}
 		return nil
 	}
@@ -320,6 +373,15 @@ func (r *runtime) extendDirect(d Decision) error {
 	case StepBlocked:
 		r.status[id] = statusBlocked
 	case StepDone:
+		if r.recovering != nil && r.recovering[id] {
+			// A completed recovery routine records no response — recovery
+			// is not an operation — but the next-environment consultation
+			// still happens within the same window, exactly as under the
+			// goroutine runtime's respawn path.
+			r.recoveryDone(id)
+			r.consultEnv(id)
+			break
+		}
 		// Response and next-environment consultation happen within the
 		// same window, exactly as under the goroutine runtime.
 		pend := r.fpPending[id]
@@ -351,6 +413,19 @@ func (s *Session) ReadyAppend(dst []int) []int {
 	r := s.rt
 	for id := 1; id <= r.cfg.Procs; id++ {
 		if r.status[id] == statusReady {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// CrashedAppend appends the sorted ids of currently crashed processes to
+// dst and returns the extended slice: the candidates for a recover
+// decision, mirroring ReadyAppend for step decisions.
+func (s *Session) CrashedAppend(dst []int) []int {
+	r := s.rt
+	for id := 1; id <= r.cfg.Procs; id++ {
+		if r.status[id] == statusCrashed {
 			dst = append(dst, id)
 		}
 	}
@@ -399,16 +474,19 @@ type Mark struct {
 
 // procMark is one process's control state at a mark.
 type procMark struct {
-	status    procStatus
-	stepsBy   int
-	completed int
-	opSteps   int
-	obs       uint64
-	pending   Invocation
-	hasPend   bool
-	frame     Frame
-	next      Invocation
-	hasNext   bool
+	status     procStatus
+	stepsBy    int
+	completed  int
+	invoked    int
+	opSteps    int
+	obs        uint64
+	pending    Invocation
+	hasPend    bool
+	frame      Frame
+	next       Invocation
+	hasNext    bool
+	recEpoch   int
+	recovering bool
 }
 
 // Mark snapshots the current configuration. Marks are cheap (no
@@ -437,7 +515,14 @@ func (s *Session) Mark() *Mark {
 		pm.status = r.status[id]
 		pm.stepsBy = r.stepsBy[id]
 		pm.completed = r.fpCompleted[id]
+		pm.invoked = r.fpInvoked[id]
 		pm.opSteps = r.fpOpSteps[id]
+		pm.recEpoch = 0
+		pm.recovering = false
+		if r.recEpochs != nil {
+			pm.recEpoch = r.recEpochs[id]
+			pm.recovering = r.recovering[id]
+		}
 		pm.obs = 0
 		if r.fpTrack {
 			pm.obs = r.fpObs[id]
@@ -509,7 +594,15 @@ func (s *Session) Restore(m *Mark) (int, error) {
 		r.status[id] = pm.status
 		r.stepsBy[id] = pm.stepsBy
 		r.fpCompleted[id] = pm.completed
+		r.fpInvoked[id] = pm.invoked
 		r.fpOpSteps[id] = pm.opSteps
+		if r.recEpochs != nil {
+			// Marks taken before the first recover hold zeros; arrays stay
+			// allocated across restores (the fingerprint fold reads zeros
+			// from both states identically).
+			r.recEpochs[id] = pm.recEpoch
+			r.recovering[id] = pm.recovering
+		}
 		if r.fpTrack {
 			r.fpObs[id] = pm.obs
 		}

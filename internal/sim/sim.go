@@ -113,11 +113,13 @@ type Access struct {
 	// arguments resolved against the scheduling-time view).
 	Known bool
 	// Invoked and Responded report whether the step recorded an
-	// invocation / response event (crash decisions record crash events
-	// and are marked with Crash instead).
+	// invocation / response event (crash and recover decisions record
+	// their own events and are marked with Crash / Recover instead).
 	Invoked, Responded bool
 	// Crash marks the access-log entry of a crash decision.
 	Crash bool
+	// Recover marks the access-log entry of a recover decision.
+	Recover bool
 }
 
 // Conflicts reports whether two accesses touch the same base object with
@@ -137,23 +139,30 @@ type Environment interface {
 	Next(proc int, v *View) (inv Invocation, ok bool)
 }
 
-// Decision is one scheduler choice: grant a step to Proc, or crash it.
+// Decision is one scheduler choice: grant a step to Proc, crash it, or
+// recover it after a crash.
 type Decision struct {
-	Proc  int
-	Crash bool
+	Proc    int
+	Crash   bool
+	Recover bool
 }
 
-// String renders the decision compactly ("3" or "crash(3)").
+// String renders the decision compactly ("3", "crash(3)" or
+// "recover(3)").
 func (d Decision) String() string {
-	if d.Crash {
+	switch {
+	case d.Crash:
 		return fmt.Sprintf("crash(%d)", d.Proc)
+	case d.Recover:
+		return fmt.Sprintf("recover(%d)", d.Proc)
 	}
 	return fmt.Sprintf("%d", d.Proc)
 }
 
 // Scheduler picks the next decision given the current view. Returning
 // ok=false ends the run. Next must only name processes in v.Ready (for
-// steps) or non-crashed processes (for crashes).
+// steps), non-crashed processes (for crashes), or crashed processes
+// (for recoveries).
 type Scheduler interface {
 	Next(v *View) (d Decision, ok bool)
 }
@@ -295,6 +304,13 @@ type Config struct {
 	// costs a full state walk per run, which exploration only wants when
 	// its state cache is enabled.
 	Fingerprint bool
+	// RecoverQuiescent keeps the run alive when no process is ready but
+	// some process is crashed: the scheduler is still consulted (with an
+	// empty Ready set) and may issue a recover decision. Off by default,
+	// a configuration with no ready process is quiescent and the run
+	// stops — the right behavior for every run without recovery
+	// injection, where a crashed process can never step again.
+	RecoverQuiescent bool
 }
 
 type procStatus int
@@ -432,14 +448,29 @@ type runtime struct {
 	lazyStep  bool
 
 	// Control-state tracking (ctl): the per-process pending invocation,
-	// steps taken within the pending operation, and completed-operation
-	// count, index 0 unused. Fingerprinting needs it to encode program
-	// counters; sessions need it to rebuild processes on Restore.
+	// steps taken within the pending operation, completed-operation and
+	// invoked-operation counts, index 0 unused. Fingerprinting needs it
+	// to encode program counters; sessions need it to rebuild processes
+	// on Restore. The invoked count exists for recovery: an operation
+	// killed by a crash consumed an environment invocation without ever
+	// completing, and stateless environments derive their position from
+	// invocation counts, so the fingerprint must separate configurations
+	// that differ only in consumed-but-never-completed invocations.
 	ctl         bool
 	fpPending   []Invocation
 	fpHasPend   []bool
 	fpOpSteps   []int
 	fpCompleted []int
+	fpInvoked   []int
+
+	// Crash–recovery state: recObj is the object's Recoverable facet
+	// (nil when not implemented), recEpochs counts recover decisions per
+	// process, and recovering marks processes currently executing their
+	// recovery routine. The two arrays stay nil until the first recover
+	// decision, so crash-free runs pay nothing for them.
+	recObj     Recoverable
+	recEpochs  []int
+	recovering []bool
 
 	// State-fingerprint tracking (only when Config.Fingerprint is set and
 	// the object opts in via Fingerprintable): the running observation
@@ -510,6 +541,7 @@ func (r *runtime) record(e history.Event) {
 		case history.KindInvoke:
 			r.fpPending[e.Proc] = Invocation{Op: e.Op, Obj: e.Obj, Arg: e.Arg}
 			r.fpHasPend[e.Proc] = true
+			r.fpInvoked[e.Proc]++
 		case history.KindResponse:
 			// The operation is over: its local variables are dead, so the
 			// observation digest and in-operation step counter reset.
@@ -545,7 +577,14 @@ func (r *runtime) view() *View {
 	return v
 }
 
-func (r *runtime) procLoop(p *Proc) {
+func (r *runtime) procLoop(p *Proc) { r.procLoopFrom(p, nil) }
+
+// procLoopFrom is procLoop with an optional recovery routine to drive
+// first: a recovered process's goroutine steps the recovery frame under
+// granted windows (one Step per grant, like an operation frame, but
+// recording no response on completion), then re-enters the normal
+// environment loop.
+func (r *runtime) procLoopFrom(p *Proc, rec Frame) {
 	normal := false
 	defer func() {
 		v := recover()
@@ -563,6 +602,21 @@ func (r *runtime) procLoop(p *Proc) {
 		}
 		close(p.dead)
 	}()
+
+	for rec != nil {
+		var st StepStatus
+		p.Exec("recover", func() {
+			_, st = rec.Step(p)
+		})
+		switch st {
+		case StepPaused:
+		case StepBlocked:
+			panic(errBlocked)
+		default: // StepDone: the routine is over, no response is recorded.
+			rec = nil
+			r.recoveryDone(p.id)
+		}
+	}
 
 	for {
 		// Consult the environment at the end of the previous window (or at
@@ -614,6 +668,7 @@ func newRuntime(cfg Config, env Environment) *runtime {
 	if f, ok := cfg.Object.(Footprinted); ok && f.Footprints() {
 		r.track = true
 	}
+	r.recObj, _ = cfg.Object.(Recoverable)
 	if _, ok := cfg.Object.(Fingerprintable); ok && cfg.Fingerprint {
 		r.fpTrack = true
 		r.fpObs = make([]uint64, cfg.Procs+1)
@@ -632,11 +687,41 @@ func (r *runtime) enableCtl() {
 	r.fpHasPend = make([]bool, r.cfg.Procs+1)
 	r.fpOpSteps = make([]int, r.cfg.Procs+1)
 	r.fpCompleted = make([]int, r.cfg.Procs+1)
+	r.fpInvoked = make([]int, r.cfg.Procs+1)
+}
+
+// noteRecover bumps a process's recovery epoch, lazily allocating the
+// recovery-tracking arrays on the first recover decision.
+func (r *runtime) noteRecover(id int) {
+	if r.recEpochs == nil {
+		r.recEpochs = make([]int, r.cfg.Procs+1)
+		r.recovering = make([]bool, r.cfg.Procs+1)
+	}
+	r.recEpochs[id]++
+}
+
+// recoveryDone marks the end of a process's recovery routine: the
+// routine's step counter and observation digest die with it, so the
+// next operation starts from clean in-operation state.
+func (r *runtime) recoveryDone(id int) {
+	if r.recovering != nil {
+		r.recovering[id] = false
+	}
+	if r.ctl {
+		r.fpOpSteps[id] = 0
+	}
+	if r.fpTrack {
+		r.fpObs[id] = history.DigestSeed()
+	}
 }
 
 // spawn starts (or restarts) process id's goroutine and waits for its
 // initial yield, so readiness transitions stay deterministic.
-func (r *runtime) spawn(id int) {
+func (r *runtime) spawn(id int) { r.respawn(id, nil) }
+
+// respawn starts process id's goroutine, optionally with a recovery
+// routine to drive first, and waits for its initial yield.
+func (r *runtime) respawn(id int, rec Frame) {
 	p := &Proc{
 		id: id, n: r.cfg.Procs, rt: r,
 		grant: make(chan struct{}),
@@ -645,7 +730,7 @@ func (r *runtime) spawn(id int) {
 		halt:  make(chan struct{}),
 	}
 	r.procs[id] = p
-	go r.procLoop(p)
+	go r.procLoopFrom(p, rec)
 	r.status[id] = <-p.sync // initial yield before first invocation
 }
 
@@ -656,6 +741,9 @@ func (r *runtime) applyDecision(d Decision) error {
 	if d.Proc < 1 || d.Proc > r.cfg.Procs {
 		return fmt.Errorf("sim: scheduler chose invalid process %d", d.Proc)
 	}
+	if d.Crash && d.Recover {
+		return fmt.Errorf("sim: decision cannot both crash and recover process %d", d.Proc)
+	}
 	if d.Crash {
 		if r.status[d.Proc] == statusCrashed {
 			return fmt.Errorf("sim: scheduler crashed process %d twice", d.Proc)
@@ -663,8 +751,44 @@ func (r *runtime) applyDecision(d Decision) error {
 		r.schedule = append(r.schedule, d)
 		r.record(history.Crash(d.Proc))
 		r.status[d.Proc] = statusCrashed
+		if r.recObj != nil {
+			r.recObj.CrashVolatile()
+		}
 		if r.track {
 			r.accesses = append(r.accesses, Access{Known: true, Crash: true})
+		}
+		return nil
+	}
+	if d.Recover {
+		if r.status[d.Proc] != statusCrashed {
+			return fmt.Errorf("sim: scheduler recovered non-crashed process %d", d.Proc)
+		}
+		// Kill the crashed process's parked goroutine, then re-spawn it
+		// fresh: recovery routine first (if any), then the environment
+		// loop. Its pending invocation never responds.
+		if p := r.procs[d.Proc]; p != nil {
+			close(p.halt)
+			<-p.dead
+		}
+		r.schedule = append(r.schedule, d)
+		r.record(history.Recover(d.Proc))
+		r.noteRecover(d.Proc)
+		if r.ctl {
+			r.fpPending[d.Proc] = Invocation{}
+			r.fpHasPend[d.Proc] = false
+			r.fpOpSteps[d.Proc] = 0
+		}
+		if r.fpTrack {
+			r.fpObs[d.Proc] = history.DigestSeed()
+		}
+		var rec Frame
+		if r.recObj != nil {
+			rec = r.recObj.RecoverFrame()
+		}
+		r.recovering[d.Proc] = rec != nil
+		r.respawn(d.Proc, rec)
+		if r.track {
+			r.accesses = append(r.accesses, Access{Known: true, Recover: true})
 		}
 		return nil
 	}
@@ -728,7 +852,7 @@ func Run(cfg Config) *Result {
 			break
 		}
 		v := r.view()
-		if len(v.Ready) == 0 {
+		if len(v.Ready) == 0 && (!cfg.RecoverQuiescent || len(v.Crashed) == 0) {
 			res.Reason = StopQuiescent
 			break
 		}

@@ -1,0 +1,294 @@
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// DurableTM is GlobalCAS extended with crash–recovery: a write-ahead
+// commit log makes every commit decision durable before it takes
+// effect. tryC follows the discipline
+//
+//	write commit intent {prev, next} (volatile) → flush (durable)
+//	→ CAS the central memory → clear intent → flush the clear
+//
+// and the recovery routine of a crashed process redoes its durable
+// intent with a prev-pointer guard (memState records are freshly
+// allocated and never reused, so the redo CAS succeeds exactly when the
+// crashed commit had not taken effect — the transaction then commits
+// during recovery, invisibly to the crashed process, or vanishes).
+//
+// Durable state: the central CAS and the flushed halves of the commit
+// logs. Volatile state: the log caches and every process-local
+// transaction context — a crash wipes all contexts, so transactions
+// live at the crash observe inactive contexts and abort, and a
+// recovered process must start a fresh transaction (TxnLoop issues a
+// fresh start after a recover event).
+//
+//slx:nofingerprint CAS compares *memState pointers: content-equal snapshots still differ (ABA)
+type DurableTM struct {
+	c     *base.CAS
+	logs  []*base.DurableRegister // indexed by 1-based proc id
+	local []procTx
+}
+
+// commitIntent is one durable commit record, immutable once stored.
+type commitIntent struct {
+	prev, next *memState
+}
+
+// NewDurableTM creates the implementation for n processes.
+func NewDurableTM(n int) *DurableTM {
+	t := &DurableTM{
+		c:     base.NewCAS("C", &memState{version: 1}),
+		logs:  make([]*base.DurableRegister, n+1),
+		local: make([]procTx, n+1),
+	}
+	for p := 1; p <= n; p++ {
+		t.logs[p] = base.NewDurableRegister(fmt.Sprintf("commitlog.%d", p), nil)
+	}
+	return t
+}
+
+// Footprints implements sim.Footprinted: cross-process state is the
+// central CAS and the commit logs, each declaring its accesses.
+func (t *DurableTM) Footprints() bool { return true }
+
+// CrashVolatile implements sim.Recoverable: the log caches revert to
+// their flushed values and every transaction context is wiped (local
+// contexts are volatile memory; a live transaction finds its context
+// inactive and aborts).
+func (t *DurableTM) CrashVolatile() {
+	for _, r := range t.logs {
+		if r != nil {
+			r.CrashWipe()
+		}
+	}
+	for i := range t.local {
+		t.local[i] = procTx{}
+	}
+}
+
+// RecoverFrame implements sim.Recoverable.
+func (t *DurableTM) RecoverFrame() sim.Frame { return &dtmRecFrame{t: t} }
+
+// dtmState is a captured DurableTM configuration.
+type dtmState struct {
+	c     any
+	logs  []any
+	local []txSnap
+}
+
+// Snapshot implements sim.Snapshottable.
+func (t *DurableTM) Snapshot() any {
+	st := &dtmState{c: t.c.Snapshot(), logs: make([]any, len(t.logs)), local: snapLocals(t.local)}
+	for i, r := range t.logs {
+		if r != nil {
+			st.logs[i] = r.Snapshot()
+		}
+	}
+	return st
+}
+
+// Restore implements sim.Snapshottable.
+func (t *DurableTM) Restore(v any) {
+	st := v.(*dtmState)
+	t.c.Restore(st.c)
+	for i, r := range t.logs {
+		if r != nil {
+			r.Restore(st.logs[i])
+		}
+	}
+	restoreLocals(t.local, st.local)
+}
+
+// Apply implements sim.Object.
+func (t *DurableTM) Apply(p *sim.Proc, inv sim.Invocation) history.Value {
+	return tmApply(t, p, inv)
+}
+
+// start/read/write are GlobalCAS's, over this object's local contexts.
+
+func (t *DurableTM) start(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	st := t.c.Read(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.active = true
+	return history.OK
+}
+
+func (t *DurableTM) read(p *sim.Proc, v string) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	if val, ok := l.values[v]; ok {
+		return val
+	}
+	return 0
+}
+
+func (t *DurableTM) write(p *sim.Proc, v string, val history.Value) history.Value {
+	l := &t.local[p.ID()]
+	if !l.active {
+		return history.Abort
+	}
+	l.values[v] = val
+	return history.OK
+}
+
+func (t *DurableTM) tryC(p *sim.Proc) history.Value {
+	l := &t.local[p.ID()]
+	p.Observe(l.active)
+	if !l.active {
+		return history.Abort
+	}
+	l.active = false
+	reg := t.logs[p.ID()]
+	next := &memState{version: l.snapshot.version + 1, vals: l.values}
+	reg.Write(p, &commitIntent{prev: l.snapshot, next: next})
+	reg.Flush(p)
+	resp := history.Value(history.Abort)
+	if t.c.CompareAndSwap(p, l.snapshot, next) {
+		resp = history.Commit
+	}
+	reg.Write(p, nil)
+	reg.Flush(p)
+	return resp
+}
+
+// Begin implements sim.Stepped (window form of the same protocol;
+// start, read and write match GlobalCAS's shapes).
+func (t *DurableTM) Begin(p *sim.Proc, inv sim.Invocation) (sim.Frame, history.Value, sim.StepStatus) {
+	switch inv.Op {
+	case history.TMStart:
+		return &dtmStartFrame{t: t}, nil, sim.StepPaused
+	case history.TMTryC:
+		l := &t.local[p.ID()]
+		p.Observe(l.active)
+		if !l.active {
+			return nil, history.Abort, sim.StepDone
+		}
+		l.active = false
+		next := &memState{version: l.snapshot.version + 1, vals: l.values}
+		return &dtmCommitFrame{t: t, in: &commitIntent{prev: l.snapshot, next: next}}, nil, sim.StepPaused
+	case history.TMRead:
+		return nil, t.read(p, inv.Obj), sim.StepDone
+	case history.TMWrite:
+		return nil, t.write(p, inv.Obj, inv.Arg), sim.StepDone
+	default:
+		return nil, history.Abort, sim.StepDone
+	}
+}
+
+// dtmStartFrame is an in-flight start: one read of the central CAS.
+type dtmStartFrame struct {
+	t *DurableTM
+}
+
+// Step implements sim.Frame.
+func (f *dtmStartFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	t := f.t
+	l := &t.local[p.ID()]
+	st := t.c.ReadW(p).(*memState)
+	l.snapshot = st
+	l.values = make(map[string]history.Value, len(st.vals))
+	for k, v := range st.vals {
+		l.values[k] = v
+	}
+	l.active = true
+	return history.OK, sim.StepDone
+}
+
+// Fork implements sim.Frame: the frame holds no mutable state.
+func (f *dtmStartFrame) Fork() sim.Frame { return f }
+
+// dtmCommitFrame is an in-flight tryC past the active check. pc: 0 =
+// write intent, 1 = flush, 2 = commit CAS, 3 = clear intent, 4 = flush
+// the clear.
+type dtmCommitFrame struct {
+	t    *DurableTM
+	in   *commitIntent
+	pc   int
+	resp history.Value
+}
+
+// Step implements sim.Frame.
+func (f *dtmCommitFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	reg := f.t.logs[p.ID()]
+	switch f.pc {
+	case 0:
+		reg.WriteW(p, f.in)
+		f.pc = 1
+	case 1:
+		reg.FlushW(p)
+		f.pc = 2
+	case 2:
+		f.resp = history.Abort
+		if f.t.c.CompareAndSwapW(p, f.in.prev, f.in.next) {
+			f.resp = history.Commit
+		}
+		f.pc = 3
+	case 3:
+		reg.WriteW(p, nil)
+		f.pc = 4
+	case 4:
+		reg.FlushW(p)
+		return f.resp, sim.StepDone
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *dtmCommitFrame) Fork() sim.Frame {
+	c := *f
+	return &c
+}
+
+// dtmRecFrame is the recovery routine: read the durable commit log,
+// redo it with the prev-guard, clear it. pc: 0 = read log (done if
+// none), 1 = guarded redo CAS, 2 = clear log, 3 = flush the clear.
+type dtmRecFrame struct {
+	t  *DurableTM
+	pc int
+	in *commitIntent
+}
+
+// Step implements sim.Frame.
+func (f *dtmRecFrame) Step(p *sim.Proc) (history.Value, sim.StepStatus) {
+	reg := f.t.logs[p.ID()]
+	switch f.pc {
+	case 0:
+		in, _ := reg.ReadW(p).(*commitIntent)
+		if in == nil {
+			return nil, sim.StepDone
+		}
+		f.in = in
+		f.pc = 1
+	case 1:
+		// See Persistent's recovery: the guard makes the redo idempotent —
+		// the crashed commit takes effect at most once.
+		f.t.c.CompareAndSwapW(p, f.in.prev, f.in.next)
+		f.pc = 2
+	case 2:
+		reg.WriteW(p, nil)
+		f.pc = 3
+	case 3:
+		reg.FlushW(p)
+		return nil, sim.StepDone
+	}
+	return nil, sim.StepPaused
+}
+
+// Fork implements sim.Frame.
+func (f *dtmRecFrame) Fork() sim.Frame {
+	c := *f
+	return &c
+}

@@ -131,6 +131,7 @@ func restoreLocals(local []procTx, snaps []txSnap) {
 // (1,2)-freedom.
 //
 //slx:nofingerprint CAS compares *memState pointers: content-equal snapshots still differ (ABA)
+//slx:norecover local transaction contexts are not crash-modeled; DurableTM is the crash-recovery variant
 type I12 struct {
 	c     *base.CAS
 	r     SnapshotObject
@@ -386,6 +387,7 @@ func (f *i12TryCFrame) Fork() sim.Frame {
 // 1-lock-free TM (the paper's reference [16] AGP algorithm).
 //
 //slx:nofingerprint CAS compares *memState pointers: content-equal snapshots still differ (ABA)
+//slx:norecover local transaction contexts are not crash-modeled; DurableTM is the crash-recovery variant
 type GlobalCAS struct {
 	c     *base.CAS
 	local []procTx
@@ -608,6 +610,13 @@ func (e *txnLoopEnv) Next(proc int, v *sim.View) (sim.Invocation, bool) {
 		ev := &v.H[i]
 		if ev.Proc != proc {
 			continue
+		}
+		if ev.Kind == history.KindCrash || ev.Kind == history.KindRecover {
+			// The walk reached a crash boundary before a start: the process
+			// was recovered and has not invoked since. Its crashed
+			// transaction never completes and the local context was lost,
+			// so the cycle restarts with a fresh start (inTxn stays false).
+			break
 		}
 		if !sawResp && ev.Kind == history.KindResponse {
 			sawResp = true

@@ -114,6 +114,20 @@ func Linearizability(spec SeqSpec) slx.Property {
 		func() safety.Monitor { return safety.NewLinMonitor(spec) })
 }
 
+// StrictLinearizability is the crash-aware variant of Linearizability
+// (Aguilera–Frølund strict linearizability): an operation pending when
+// its process crashes either linearizes before the crash point or
+// vanishes, so a process that recovers observes exactly the effects
+// that were durable at its crash. On crash-free histories it coincides
+// with Linearizability. Use it with WithCrashes/WithRecoveries; the
+// plain property is too weak there — it lets a crashed operation take
+// effect after its process has already recovered and moved on.
+func StrictLinearizability(spec SeqSpec) slx.Property {
+	return monitored(fmt.Sprintf("strict-linearizability(%s)", spec.Name()),
+		func(h hist.History) bool { return safety.StrictLinearizable(spec, h) },
+		func() safety.Monitor { return safety.NewStrictLinMonitor(spec) })
+}
+
 // Opaque reports TM opacity of a single history (the raw predicate
 // behind Opacity).
 func Opaque(h hist.History) bool { return safety.Opaque(h) }

@@ -21,28 +21,29 @@ import (
 // run an attack strategy (Adversary), or exhaustively explore every
 // schedule to a depth (Explore). All four return the same Report type.
 type Checker struct {
-	newObject func() run.Object
-	newEnv    func() run.Environment
-	newSched  func() run.Scheduler
-	procs     int
-	maxSteps  int
-	depth     int
-	crashes   int
-	workers   int
-	window    int
-	batch     bool
-	por       bool
-	cache     bool
-	replay    bool
-	sample    bool
-	schedules int
-	sampleD   int
-	walk      bool
-	seed      int64
-	timeout   time.Duration
-	spawn     func(loop func()) bool
-	visited   *VisitedTier
-	ctx       context.Context
+	newObject  func() run.Object
+	newEnv     func() run.Environment
+	newSched   func() run.Scheduler
+	procs      int
+	maxSteps   int
+	depth      int
+	crashes    int
+	recoveries int
+	workers    int
+	window     int
+	batch      bool
+	por        bool
+	cache      bool
+	replay     bool
+	sample     bool
+	schedules  int
+	sampleD    int
+	walk       bool
+	seed       int64
+	timeout    time.Duration
+	spawn      func(loop func()) bool
+	visited    *VisitedTier
+	ctx        context.Context
 }
 
 // Option configures a Checker.
@@ -75,6 +76,19 @@ func WithDepth(n int) Option { return func(c *Checker) { c.depth = n } }
 // take no further steps, so crashing them would only duplicate sibling
 // subtrees). Default: 0 (no crash injection).
 func WithCrashes(n int) Option { return func(c *Checker) { c.crashes = n } }
+
+// WithRecoveries lets Explore additionally branch on recovering each
+// crashed process, at most n times per schedule (in sampling mode:
+// inject up to n recover decisions at uniformly chosen steps). A
+// recovered process re-enters the ready set: its operation pending at
+// the crash never responds, its volatile object state is gone (wiped at
+// the crash through the run.Recoverable hook, when implemented), and it
+// runs the object's recovery routine — if any — before consulting the
+// environment again. Objects without the hook recover too, with all
+// state durable and no routine. Only meaningful together with
+// WithCrashes(>= 1): without crashes no process is ever recoverable.
+// Default: 0 (crashes are permanent).
+func WithRecoveries(n int) Option { return func(c *Checker) { c.recoveries = n } }
 
 // WithWorkers explores with n concurrent workers under a bounded
 // work-stealing scheduler: workers split sibling subtrees into
@@ -531,6 +545,7 @@ func (c *Checker) Explore(props ...Property) (*Report, error) {
 		NewEnv:      c.newEnv,
 		Depth:       c.depth,
 		Crashes:     c.crashes,
+		Recoveries:  c.recoveries,
 		Workers:     workers,
 		Spawn:       c.spawn,
 		POR:         c.por,
@@ -623,6 +638,12 @@ func (c *Checker) ValidateExplore(props ...Property) error {
 	if c.workers < 1 {
 		return fmt.Errorf("slx: workers: WithWorkers requires at least 1 worker, got %d", c.workers)
 	}
+	if c.recoveries < 0 {
+		return fmt.Errorf("slx: WithRecoveries requires n >= 0, got %d", c.recoveries)
+	}
+	if c.recoveries > 0 && c.crashes < 1 {
+		return fmt.Errorf("slx: WithRecoveries(%d) requires WithCrashes >= 1 (without crashes no process is ever recoverable)", c.recoveries)
+	}
 	if c.sample {
 		switch {
 		case c.schedules < 1:
@@ -697,6 +718,7 @@ func (c *Checker) sampleExplore(ctx context.Context, props []Property) (*Report,
 		Schedules:    c.schedules,
 		Steps:        c.depth,
 		Crashes:      c.crashes,
+		Recoveries:   c.recoveries,
 		Strategy:     strat,
 		ChangePoints: c.sampleD,
 		Seed:         c.seed,

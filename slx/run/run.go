@@ -87,6 +87,16 @@ const (
 // and rewindable for free. See sim.RewindableEnv.
 type RewindableEnv = sim.RewindableEnv
 
+// Recoverable is the opt-in crash–recovery hook: Objects implementing
+// it split their state into a durable part that survives crashes
+// (CrashVolatile wipes everything else at every crash decision) and
+// provide the recovery routine a recovered process runs before
+// rejoining its workload (RecoverFrame; nil means none). Objects
+// without the hook still support recover decisions — all their state is
+// treated as durable and recovery runs no routine. See sim.Recoverable
+// for the full composition contract.
+type Recoverable = sim.Recoverable
+
 // SessionGated optionally vetoes snapshot support at runtime (for
 // objects with pluggable components); see sim.SessionGated.
 type SessionGated = sim.SessionGated
@@ -100,7 +110,8 @@ type Environment = sim.Environment
 // EnvironmentFunc adapts a function to Environment.
 type EnvironmentFunc = sim.EnvironmentFunc
 
-// Decision is one scheduler choice: grant a step, or crash a process.
+// Decision is one scheduler choice: grant a step, crash a process, or
+// recover a crashed process.
 type Decision = sim.Decision
 
 // Scheduler picks the next decision given the current view.

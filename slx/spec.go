@@ -23,6 +23,8 @@ type Spec struct {
 	Depth int `json:"depth,omitempty"`
 	// Crashes maps to WithCrashes.
 	Crashes int `json:"crashes,omitempty"`
+	// Recoveries maps to WithRecoveries.
+	Recoveries int `json:"recoveries,omitempty"`
 	// Workers maps to WithWorkers.
 	Workers int `json:"workers,omitempty"`
 	// POR maps to WithPOR.
@@ -66,6 +68,11 @@ func (s Spec) Options() []Option {
 	}
 	if s.Crashes > 0 {
 		opts = append(opts, WithCrashes(s.Crashes))
+	}
+	if s.Recoveries != 0 {
+		// Negative values are applied, not skipped: they must reach
+		// ValidateExplore and be rejected with the recoveries message.
+		opts = append(opts, WithRecoveries(s.Recoveries))
 	}
 	if s.Workers != 0 {
 		// Negative values are applied, not skipped: they must reach
